@@ -1,0 +1,17 @@
+//! # ams-backtest — market simulator and the §IV-F trading backtest
+//!
+//! Reproduces the paper's application study: a market simulator with
+//! surprise-driven abnormal returns ([`market`]) and the long/short
+//! strategy with Earning / MDD / relative Sharpe / AER metrics
+//! ([`strategy`]). Price paths are generated from the panel and a seed
+//! only — identical for every model — so strategy comparisons (Tables
+//! IV/V, Figures 6/7) are apples-to-apples.
+
+pub mod market;
+pub mod strategy;
+
+pub use market::{MarketConfig, MarketSim};
+pub use strategy::{
+    aer_vs, daily_returns, max_drawdown, run_strategy, run_strategy_with, sharpe_vs,
+    BacktestResult, Signals, StrategyConfig,
+};

@@ -1,0 +1,383 @@
+//! The paper's long/short strategy and backtest metrics (§IV-F).
+//!
+//! At the end of each test fiscal quarter the strategy inspects the
+//! model's predicted unexpected revenue: positive ⇒ the market
+//! underestimates revenue ⇒ buy and sell a month later; negative ⇒
+//! short sell and buy back a month later. Capital is split across
+//! companies in the ratio 1:2:3 by market-cap tier (boundaries 1 B and
+//! 10 B).
+//!
+//! Reported metrics: total Earning, Max Drawdown (MDD), the
+//! Sharpe-ratio of a baseline's daily returns *relative to AMS*
+//! (`AVG(R_B − R_AMS)/STD(R_B − R_AMS)`), and the Average Excess Return
+//! (AER) over quarter ends.
+
+use ams_data::Panel;
+use ams_stats::{mean, std_dev};
+
+use crate::market::MarketSim;
+
+/// Per-window trading signals: `signals[w][c]` is the model's predicted
+/// unexpected revenue for company `c` at the window's quarter. Sign
+/// decides direction; zero means no position.
+pub type Signals = Vec<Vec<f64>>;
+
+/// Outcome of one strategy backtest.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct BacktestResult {
+    /// Model name.
+    pub model: String,
+    /// Daily asset series; element 0 is the initial capital.
+    pub asset_curve: Vec<f64>,
+    /// Indices into `asset_curve` marking each quarter window's end.
+    pub quarter_ends: Vec<usize>,
+    /// Total earning over the period, percent.
+    pub earning_pct: f64,
+    /// Max drawdown per the paper's definition, as percent of initial
+    /// capital.
+    pub mdd_pct: f64,
+}
+
+/// Strategy variations beyond the paper's base long/short rule —
+/// useful for robustness studies and closer to how a desk would deploy
+/// the signal.
+#[derive(Debug, Clone)]
+pub struct StrategyConfig {
+    /// Starting capital.
+    pub initial_capital: f64,
+    /// Ignore signals whose predicted surprise is below this fraction
+    /// of the company's consensus (0 = trade everything, the paper's
+    /// rule).
+    pub min_rel_signal: f64,
+    /// Suppress short positions (long-only portfolios are common where
+    /// borrowing is constrained).
+    pub long_only: bool,
+    /// One-way transaction cost in basis points of traded notional,
+    /// charged at entry and exit.
+    pub cost_bps: f64,
+}
+
+impl Default for StrategyConfig {
+    fn default() -> Self {
+        Self { initial_capital: 100.0, min_rel_signal: 0.0, long_only: false, cost_bps: 0.0 }
+    }
+}
+
+/// Run the strategy for one model's signals over a simulated market
+/// with the paper's base rule (every signal traded, long/short, no
+/// costs).
+///
+/// # Panics
+/// Panics if the signal dimensions disagree with the simulation.
+pub fn run_strategy(
+    panel: &Panel,
+    sim: &MarketSim,
+    signals: &Signals,
+    model: &str,
+    initial_capital: f64,
+) -> BacktestResult {
+    run_strategy_with(
+        panel,
+        sim,
+        signals,
+        model,
+        &StrategyConfig { initial_capital, ..Default::default() },
+    )
+}
+
+/// [`run_strategy`] with explicit [`StrategyConfig`].
+pub fn run_strategy_with(
+    panel: &Panel,
+    sim: &MarketSim,
+    signals: &Signals,
+    model: &str,
+    config: &StrategyConfig,
+) -> BacktestResult {
+    let initial_capital = config.initial_capital;
+    assert_eq!(signals.len(), sim.num_windows(), "signal windows != simulated windows");
+    let n = panel.num_companies();
+    let mut curve = vec![initial_capital];
+    let mut quarter_ends = Vec::with_capacity(signals.len());
+    let mut capital = initial_capital;
+
+    for (w, sig) in signals.iter().enumerate() {
+        assert_eq!(sig.len(), n, "signal count != companies");
+        let tq = sim.quarters()[w];
+        // Which companies are actually traded under the configured rule.
+        let tradable = |c: usize| -> bool {
+            let s = sig[c];
+            if s == 0.0 {
+                return false;
+            }
+            if config.long_only && s < 0.0 {
+                return false;
+            }
+            if config.min_rel_signal > 0.0 {
+                let consensus = panel.get(c, tq).consensus.abs().max(1e-12);
+                if s.abs() / consensus < config.min_rel_signal {
+                    return false;
+                }
+            }
+            true
+        };
+        // Allocation: 1:2:3 by cap tier over traded companies.
+        let weights: Vec<f64> = (0..n)
+            .map(|c| if tradable(c) { panel.companies[c].cap_tier().capital_weight() } else { 0.0 })
+            .collect();
+        let total_w: f64 = weights.iter().sum();
+        if total_w == 0.0 {
+            // No positions: capital sits in cash for the window.
+            for _ in 0..sim.days_per_window() {
+                curve.push(capital);
+            }
+            quarter_ends.push(curve.len() - 1);
+            continue;
+        }
+        // Entry costs reduce the deployable capital.
+        let entry_cost = capital * config.cost_bps / 10_000.0;
+        let deployable = capital - entry_cost;
+        let alloc: Vec<f64> = weights.iter().map(|w_i| deployable * w_i / total_w).collect();
+        // Track each position's cumulative price factor.
+        let mut factors = vec![1.0; n];
+        for d in 0..sim.days_per_window() {
+            let mut assets = 0.0;
+            for c in 0..n {
+                if weights[c] == 0.0 {
+                    continue;
+                }
+                factors[c] *= 1.0 + sim.window_returns(w, c)[d];
+                let value = if sig[c] > 0.0 {
+                    alloc[c] * factors[c] // long
+                } else {
+                    alloc[c] * (2.0 - factors[c]) // short: profit = 1 − factor
+                };
+                assets += value;
+            }
+            curve.push(assets);
+        }
+        capital = *curve.last().expect("nonempty curve");
+        // Exit costs on the closing notional.
+        if config.cost_bps > 0.0 {
+            let exit_cost = capital * config.cost_bps / 10_000.0;
+            capital -= exit_cost;
+            *curve.last_mut().expect("nonempty curve") = capital;
+        }
+        quarter_ends.push(curve.len() - 1);
+    }
+
+    let earning_pct = (capital / initial_capital - 1.0) * 100.0;
+    let mdd_pct = max_drawdown(&curve) / initial_capital * 100.0;
+    BacktestResult { model: model.into(), asset_curve: curve, quarter_ends, earning_pct, mdd_pct }
+}
+
+/// Max drawdown per the paper's definition:
+/// `max_l max_{t<l} (S_t − S_l)` — the largest peak-to-later-trough
+/// asset drop, in asset units.
+pub fn max_drawdown(curve: &[f64]) -> f64 {
+    let mut peak = f64::NEG_INFINITY;
+    let mut mdd = 0.0f64;
+    for &s in curve {
+        peak = peak.max(s);
+        mdd = mdd.max(peak - s);
+    }
+    mdd
+}
+
+/// Daily simple returns of an asset curve.
+pub fn daily_returns(curve: &[f64]) -> Vec<f64> {
+    curve.windows(2).map(|w| w[1] / w[0] - 1.0).collect()
+}
+
+/// The paper's relative Sharpe ratio:
+/// `AVG(R_B − R_AMS) / STD(R_B − R_AMS)` over daily returns. Negative
+/// means the baseline earns no excess return over AMS. Returns `None`
+/// when the difference series is constant (STD = 0).
+pub fn sharpe_vs(baseline: &BacktestResult, ams: &BacktestResult) -> Option<f64> {
+    let rb = daily_returns(&baseline.asset_curve);
+    let ra = daily_returns(&ams.asset_curve);
+    assert_eq!(rb.len(), ra.len(), "sharpe_vs: curve length mismatch");
+    let diff: Vec<f64> = rb.iter().zip(&ra).map(|(b, a)| b - a).collect();
+    let sd = std_dev(&diff);
+    if sd == 0.0 {
+        None
+    } else {
+        Some(mean(&diff) / sd)
+    }
+}
+
+/// Average Excess Return (§IV-F): the baseline's earning minus AMS's at
+/// every quarter end, averaged, in percentage points.
+pub fn aer_vs(baseline: &BacktestResult, ams: &BacktestResult) -> f64 {
+    assert_eq!(
+        baseline.quarter_ends.len(),
+        ams.quarter_ends.len(),
+        "aer_vs: quarter count mismatch"
+    );
+    let init_b = baseline.asset_curve[0];
+    let init_a = ams.asset_curve[0];
+    let ers: Vec<f64> = baseline
+        .quarter_ends
+        .iter()
+        .zip(&ams.quarter_ends)
+        .map(|(&qb, &qa)| {
+            let eb = (baseline.asset_curve[qb] / init_b - 1.0) * 100.0;
+            let ea = (ams.asset_curve[qa] / init_a - 1.0) * 100.0;
+            eb - ea
+        })
+        .collect();
+    mean(&ers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::MarketConfig;
+    use ams_data::{generate, SynthConfig};
+
+    fn setup() -> (Panel, MarketSim) {
+        let p = generate(&SynthConfig::tiny(310)).panel;
+        let sim = MarketSim::simulate(&p, &[6, 7, 8], MarketConfig::default());
+        (p, sim)
+    }
+
+    /// Oracle signals: the actual unexpected revenue (perfect foresight).
+    fn oracle_signals(p: &Panel, sim: &MarketSim) -> Signals {
+        sim.quarters()
+            .iter()
+            .map(|&tq| {
+                (0..p.num_companies()).map(|c| p.get(c, tq).unexpected_revenue()).collect()
+            })
+            .collect()
+    }
+
+    /// Anti-oracle: always on the wrong side.
+    fn anti_signals(p: &Panel, sim: &MarketSim) -> Signals {
+        oracle_signals(p, sim).into_iter().map(|v| v.into_iter().map(|x| -x).collect()).collect()
+    }
+
+    #[test]
+    fn curve_shape_and_quarter_marks() {
+        let (p, sim) = setup();
+        let r = run_strategy(&p, &sim, &oracle_signals(&p, &sim), "oracle", 100.0);
+        assert_eq!(r.asset_curve.len(), 1 + 3 * 21);
+        assert_eq!(r.quarter_ends, vec![21, 42, 63]);
+        assert_eq!(r.asset_curve[0], 100.0);
+    }
+
+    #[test]
+    fn oracle_beats_anti_oracle() {
+        let (p, sim) = setup();
+        let good = run_strategy(&p, &sim, &oracle_signals(&p, &sim), "oracle", 100.0);
+        let bad = run_strategy(&p, &sim, &anti_signals(&p, &sim), "anti", 100.0);
+        assert!(
+            good.earning_pct > bad.earning_pct + 1.0,
+            "oracle {} should beat anti-oracle {}",
+            good.earning_pct,
+            bad.earning_pct
+        );
+        assert!(good.earning_pct > 0.0, "oracle earning {}", good.earning_pct);
+    }
+
+    #[test]
+    fn no_signals_means_flat_curve() {
+        let (p, sim) = setup();
+        let zero: Signals = (0..3).map(|_| vec![0.0; p.num_companies()]).collect();
+        let r = run_strategy(&p, &sim, &zero, "cash", 100.0);
+        assert!(r.asset_curve.iter().all(|&s| s == 100.0));
+        assert_eq!(r.earning_pct, 0.0);
+        assert_eq!(r.mdd_pct, 0.0);
+    }
+
+    #[test]
+    fn max_drawdown_cases() {
+        assert_eq!(max_drawdown(&[100.0, 110.0, 105.0, 120.0, 90.0, 95.0]), 30.0);
+        assert_eq!(max_drawdown(&[100.0, 101.0, 102.0]), 0.0);
+        assert_eq!(max_drawdown(&[100.0]), 0.0);
+    }
+
+    #[test]
+    fn sharpe_vs_self_is_none() {
+        let (p, sim) = setup();
+        let r = run_strategy(&p, &sim, &oracle_signals(&p, &sim), "oracle", 100.0);
+        assert!(sharpe_vs(&r, &r).is_none());
+    }
+
+    #[test]
+    fn worse_model_has_negative_sharpe_vs_oracle() {
+        let (p, sim) = setup();
+        let good = run_strategy(&p, &sim, &oracle_signals(&p, &sim), "oracle", 100.0);
+        let bad = run_strategy(&p, &sim, &anti_signals(&p, &sim), "anti", 100.0);
+        let s = sharpe_vs(&bad, &good).expect("non-degenerate diff");
+        assert!(s < 0.0, "anti-oracle sharpe vs oracle should be negative, got {s}");
+        let aer = aer_vs(&bad, &good);
+        assert!(aer < 0.0, "anti-oracle AER {aer}");
+    }
+
+    #[test]
+    fn cap_tiers_shift_allocation() {
+        // A universe where one large-cap stock moves: tier weighting
+        // must make its move matter 3× a small-cap's.
+        let (p, sim) = setup();
+        // Find a large-cap and small-cap company if present; otherwise
+        // the test trivially passes on weights.
+        let large = p.companies.iter().position(|c| c.market_cap > 10.0);
+        let small = p.companies.iter().position(|c| c.market_cap < 1.0);
+        if let (Some(l), Some(s)) = (large, small) {
+            let w_l = p.companies[l].cap_tier().capital_weight();
+            let w_s = p.companies[s].cap_tier().capital_weight();
+            assert_eq!(w_l, 3.0);
+            assert_eq!(w_s, 1.0);
+        }
+        let _ = sim;
+    }
+
+    #[test]
+    fn long_only_never_shorts() {
+        let (p, sim) = setup();
+        // All-negative signals + long_only ⇒ nothing traded ⇒ flat.
+        let neg: Signals = (0..3).map(|_| vec![-1.0; p.num_companies()]).collect();
+        let cfg = StrategyConfig { long_only: true, ..Default::default() };
+        let r = run_strategy_with(&p, &sim, &neg, "long-only", &cfg);
+        assert!(r.asset_curve.iter().all(|&v| v == 100.0));
+    }
+
+    #[test]
+    fn threshold_filters_small_signals() {
+        let (p, sim) = setup();
+        // Tiny signals relative to consensus get filtered entirely.
+        let tiny: Signals =
+            (0..3).map(|_| vec![1e-9; p.num_companies()]).collect();
+        let cfg = StrategyConfig { min_rel_signal: 0.01, ..Default::default() };
+        let r = run_strategy_with(&p, &sim, &tiny, "filtered", &cfg);
+        assert_eq!(r.earning_pct, 0.0);
+        // The same signals unfiltered do trade.
+        let r2 = run_strategy(&p, &sim, &tiny, "unfiltered", 100.0);
+        assert!(r2.asset_curve.iter().any(|&v| v != 100.0));
+    }
+
+    #[test]
+    fn costs_strictly_reduce_earnings() {
+        let (p, sim) = setup();
+        let sigs = oracle_signals(&p, &sim);
+        let free = run_strategy(&p, &sim, &sigs, "free", 100.0);
+        let costly = run_strategy_with(
+            &p,
+            &sim,
+            &sigs,
+            "costly",
+            &StrategyConfig { cost_bps: 25.0, ..Default::default() },
+        );
+        assert!(costly.earning_pct < free.earning_pct);
+        // Six one-way charges (3 windows × 2 sides) of 25 bps ≈ 1.5%.
+        let gap = free.earning_pct - costly.earning_pct;
+        assert!(gap > 0.5 && gap < 3.0, "cost drag {gap}");
+    }
+
+    #[test]
+    fn daily_returns_roundtrip() {
+        let curve = [100.0, 110.0, 99.0];
+        let r = daily_returns(&curve);
+        assert!((r[0] - 0.1).abs() < 1e-12);
+        assert!((r[1] + 0.1).abs() < 1e-12);
+    }
+}

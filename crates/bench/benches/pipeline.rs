@@ -1,0 +1,99 @@
+//! End-to-end pipeline benchmarks: panel generation, feature assembly,
+//! correlation-graph construction, one AMS training epoch, and a GBDT
+//! fit — the pieces whose cost dominates the experiment binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ams_core::{AmsConfig, AmsModel, QuarterBatch};
+use ams_data::{generate, FeatureSet, SynthConfig};
+use ams_graph::{CompanyGraph, GraphConfig};
+use ams_models::{Gbdt, GbdtConfig, Regressor};
+use ams_tensor::Matrix;
+
+fn bench_generate(c: &mut Criterion) {
+    c.bench_function("generate_transaction_panel_71x16", |b| {
+        b.iter(|| black_box(generate(&SynthConfig::transaction_paper(1))));
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    let panel = generate(&SynthConfig::transaction_paper(1)).panel;
+    c.bench_function("feature_set_build_71x16_k4", |b| {
+        b.iter(|| black_box(FeatureSet::build(&panel, 4)));
+    });
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let panel = generate(&SynthConfig::transaction_paper(1)).panel;
+    let series = panel.all_revenue_series(0, 12);
+    c.bench_function("correlation_graph_topk5_71", |b| {
+        b.iter(|| {
+            black_box(CompanyGraph::from_series(
+                &series,
+                GraphConfig { k: 5, ..Default::default() },
+            ))
+        });
+    });
+}
+
+fn ams_task() -> (CompanyGraph, Vec<QuarterBatch>) {
+    let panel = generate(&SynthConfig::transaction_paper(1)).panel;
+    let fs = FeatureSet::build(&panel, 4);
+    let series = panel.all_revenue_series(0, 12);
+    let graph = CompanyGraph::from_series(&series, GraphConfig::default());
+    let batches: Vec<QuarterBatch> = (4..12)
+        .map(|t| {
+            let ids = fs.samples_at_quarter(t);
+            let (x, r, cdim, y) = fs.design(&ids);
+            QuarterBatch { x: Matrix::from_vec(r, cdim, x), y: Matrix::col_vector(&y) }
+        })
+        .collect();
+    (graph, batches)
+}
+
+fn bench_ams_short_fit(c: &mut Criterion) {
+    let (graph, batches) = ams_task();
+    let mut group = c.benchmark_group("ams_fit");
+    group.sample_size(10);
+    group.bench_function("ams_fit_10_epochs_71_companies", |b| {
+        b.iter(|| {
+            let mut model = AmsModel::new(AmsConfig {
+                epochs: 10,
+                dropout: 0.0,
+                ..Default::default()
+            });
+            model.fit(&graph, &batches);
+            black_box(model.predict(&batches[0].x))
+        });
+    });
+    group.finish();
+}
+
+fn bench_gbdt_fit(c: &mut Criterion) {
+    let panel = generate(&SynthConfig::transaction_paper(1)).panel;
+    let fs = FeatureSet::build(&panel, 4);
+    let ids: Vec<usize> = (0..fs.samples.len()).collect();
+    let (x, r, cdim, y) = fs.design(&ids);
+    let xm = Matrix::from_vec(r, cdim, x);
+    let ym = Matrix::col_vector(&y);
+    let mut group = c.benchmark_group("gbdt");
+    group.sample_size(10);
+    group.bench_function("gbdt_fit_50_trees_852x48", |b| {
+        b.iter(|| {
+            let mut m = Gbdt::new(GbdtConfig { n_estimators: 50, ..Default::default() });
+            m.fit(&xm, &ym);
+            black_box(m.predict(&xm))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generate,
+    bench_features,
+    bench_graph_build,
+    bench_ams_short_fit,
+    bench_gbdt_fit
+);
+criterion_main!(benches);

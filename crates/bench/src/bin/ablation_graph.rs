@@ -1,0 +1,84 @@
+//! Design-choice ablation: the company correlation graph (§III-C).
+//!
+//! Sensitivity of AMS to the graph structure: top-k for k ∈ {2, 5, 10,
+//! 20}, an edgeless graph (self-loops only — the GAT degenerates to
+//! per-node transforms), a complete graph (attention over everyone),
+//! and a random graph of the same mean degree (does *correlation*
+//! structure matter, or just having edges?).
+
+use ams_bench::exp::{Dataset, MODEL_SEED};
+use ams_core::AmsConfig;
+use ams_data::{CvSchedule, FeatureSet, Panel};
+use ams_eval::harness::run_ams_fold_with_graph;
+use ams_eval::metrics::{bounded_accuracy, mean_surprise_ratio};
+use ams_eval::EvalOptions;
+use ams_graph::{CompanyGraph, GraphConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+type GraphBuilder = Box<dyn Fn(&Panel, usize) -> CompanyGraph>;
+
+fn topk(k: usize) -> GraphBuilder {
+    Box::new(move |panel, test_q| {
+        let series = panel.all_revenue_series(0, test_q);
+        CompanyGraph::from_series(&series, GraphConfig { k, ..Default::default() })
+    })
+}
+
+fn random_graph(k: usize, seed: u64) -> GraphBuilder {
+    Box::new(move |panel, test_q| {
+        let n = panel.num_companies();
+        let mut rng = StdRng::seed_from_u64(seed ^ test_q as u64);
+        let adj: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                let mut v = vec![i as u32];
+                while v.len() < k + 1 {
+                    let j = rng.gen_range(0..n) as u32;
+                    if !v.contains(&j) {
+                        v.push(j);
+                    }
+                }
+                v
+            })
+            .collect();
+        CompanyGraph::from_adjacency(adj)
+    })
+}
+
+fn main() {
+    let dataset = Dataset::Transaction;
+    let panel = dataset.panel();
+    let opts = EvalOptions::paper_for(&panel);
+    let fs = FeatureSet::build(&panel, opts.k);
+    let schedule = CvSchedule::paper(panel.num_quarters(), opts.k, opts.n_folds);
+    let config = AmsConfig { seed: MODEL_SEED, ..Default::default() };
+
+    let variants: Vec<(String, GraphBuilder)> = vec![
+        ("top-k, k=2".into(), topk(2)),
+        ("top-k, k=5 (paper)".into(), topk(5)),
+        ("top-k, k=10".into(), topk(10)),
+        ("top-k, k=20".into(), topk(20)),
+        ("isolated (self-loops)".into(), Box::new(|p: &Panel, _| CompanyGraph::isolated(p.num_companies()))),
+        ("complete".into(), Box::new(|p: &Panel, _| CompanyGraph::complete(p.num_companies()))),
+        ("random, degree≈5".into(), random_graph(5, 9001)),
+    ];
+
+    println!("Graph-structure ablation on {} dataset", dataset.name());
+    println!("{:<24} {:>9} {:>9}", "Graph", "BA", "SR");
+    for (name, builder) in &variants {
+        eprintln!("  running {name} ...");
+        let mut preds = Vec::new();
+        let mut actuals = Vec::new();
+        for fold in schedule.folds() {
+            let (records, _, _) = run_ams_fold_with_graph(&panel, &fs, fold, &config, builder);
+            preds.extend(records.iter().map(|r| r.pred_ur));
+            actuals.extend(records.iter().map(|r| r.actual_ur));
+        }
+        println!(
+            "{:<24} {:>9.3} {:>9.4}",
+            name,
+            bounded_accuracy(&preds, &actuals),
+            mean_surprise_ratio(&preds, &actuals)
+        );
+    }
+}

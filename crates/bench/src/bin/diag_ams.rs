@@ -1,0 +1,225 @@
+//! Diagnostic: does the AMS master actually learn per-company structure
+//! on the transaction panel? Prints train/test MSE vs the anchored LR
+//! and the correlation between learned alt-feature slave weights and
+//! the generator's true channel sensitivities.
+
+use ams_bench::exp::{Dataset, DATA_SEED, MODEL_SEED};
+use ams_core::{AmsConfig, AmsModel, QuarterBatch};
+use ams_data::{generate, CvSchedule, FeatureSet, Standardizer, SynthConfig};
+use ams_graph::{CompanyGraph, GraphConfig};
+use ams_stats::pearson;
+use ams_tensor::Matrix;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let epochs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let gamma: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.75);
+    let slg: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let lr: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(8e-3);
+
+    let sp = generate(&SynthConfig::transaction_paper(DATA_SEED));
+    let panel = &sp.panel;
+    let _ = Dataset::Transaction;
+    let fs = FeatureSet::build(panel, 4);
+    let schedule = CvSchedule::paper(panel.num_quarters(), 4, 7);
+    let fold = schedule.folds().last().unwrap().clone();
+
+    let train_ids = fs.samples_at_quarters(&fold.train);
+    let test_ids = fs.samples_at_quarter(fold.test);
+    let st = Standardizer::fit(&fs, &train_ids);
+    let z = st.transform(&fs);
+
+    let series = panel.all_revenue_series(0, fold.test);
+    let graph = CompanyGraph::from_series(&series, GraphConfig { k: 5, ..Default::default() });
+
+    let mk = |ids: &[usize]| {
+        let (x, r, c, y) = z.design(ids);
+        (Matrix::from_vec(r, c, x), Matrix::col_vector(&y))
+    };
+    let batches: Vec<QuarterBatch> = fold.train.iter().map(|&t| {
+        let ids = z.samples_at_quarter(t);
+        let (x, y) = mk(&ids);
+        QuarterBatch { x, y }
+    }).collect();
+
+    let dropout: f64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let l2: f64 = args.get(6).and_then(|s| s.parse().ok()).unwrap_or(1e-4);
+    // Slave sees continuous financial columns only (keep the bias out:
+    // a per-company intercept is pure memorization).
+    let slave_cols: Vec<usize> = (0..fs.width())
+        .filter(|&i| {
+            let n = &fs.names[i];
+            n != "bias"
+                && !n.starts_with("quarter_")
+                && !n.starts_with("month_")
+                && !n.starts_with("sector_")
+        })
+        .collect();
+    let cfg = AmsConfig {
+        gamma, lambda_slg: slg, epochs, lr,
+        dropout, lambda_l2: l2,
+        nt_hidden: vec![48], gen_hidden: vec![48], gat_out: 24,
+        slave_cols: Some(slave_cols.clone()),
+        seed: MODEL_SEED, ..Default::default()
+    };
+    let val_ids = z.samples_at_quarter(fold.val);
+    let (xv, yv) = mk(&val_ids);
+    let mut model = AmsModel::new(cfg);
+    model.fit_with_validation(&graph, &batches, Some(&QuarterBatch { x: xv, y: yv }));
+
+    let (xtr, ytr) = mk(&train_ids);
+    let (xte, yte) = mk(&test_ids);
+    let mse = |p: &Matrix, y: &Matrix| p.sub(y).sq_frobenius() / p.len() as f64;
+
+    let acr = model.anchored().unwrap().clone();
+    // Anchored LR lives in slave-column space; project designs.
+    let project = |x: &Matrix| {
+        let mut out = Matrix::zeros(x.rows(), slave_cols.len());
+        for r in 0..x.rows() {
+            for (j, &c) in slave_cols.iter().enumerate() {
+                out[(r, j)] = x[(r, c)];
+            }
+        }
+        out
+    };
+    println!("anchored  train mse {:.4}  test mse {:.4}",
+        mse(&project(&xtr).matmul(&acr), &ytr), mse(&project(&xte).matmul(&acr), &yte));
+    // AMS per-quarter prediction (train quarters)
+    let mut tr_mse = 0.0;
+    for b in &batches { let p = model.predict(&b.x); tr_mse += p.sub(&b.y).sq_frobenius(); }
+    let n_tr: usize = batches.iter().map(|b| b.y.len()).sum();
+    println!("AMS       train mse {:.4}  test mse {:.4}",
+        tr_mse / n_tr as f64, mse(&model.predict(&xte), &yte));
+
+    // Correlation between learned alt weight (txn_amount_dq0 col) and true kappa.
+    let (beta, _) = model.slave_weights(&xte);
+    let col = slave_cols.iter().position(|&c| fs.names[c] == "txn_amount_dq0").unwrap();
+    let weights: Vec<f64> = (0..beta.rows()).map(|i| beta[(i, col)]).collect();
+    let kappas: Vec<f64> = sp.latents.iter().map(|l| l.kappa).collect();
+    println!("corr(learned alt weight, true kappa) = {:.3}", pearson(&weights, &kappas));
+    let sign_match = weights.iter().zip(&kappas).filter(|(w, k)| w.signum() == k.signum()).count();
+    println!("sign match: {}/{}", sign_match, weights.len());
+    // --- Oracle baselines ---
+    // 0) predict zero (the consensus itself)
+    let var_te = yte.sq_frobenius() / yte.len() as f64;
+    println!("predict-0 test mse {var_te:.4}");
+    // 1) sector-specific ridge: does the sector interaction carry signal?
+    use ams_tensor::ridge_solve;
+    let mut sec_mse = 0.0;
+    let mut sec_n = 0usize;
+    for sector in ams_data::Sector::ALL {
+        let tr: Vec<usize> = train_ids.iter().copied()
+            .filter(|&i| panel.companies[z.samples[i].company].sector == sector).collect();
+        let te: Vec<usize> = test_ids.iter().copied()
+            .filter(|&i| panel.companies[z.samples[i].company].sector == sector).collect();
+        if tr.len() < 10 || te.is_empty() { continue; }
+        let (xs, ys) = mk(&tr);
+        let (xse, yse) = mk(&te);
+        let b = ridge_solve(&xs, &ys, 5.0).unwrap();
+        sec_mse += xse.matmul(&b).sub(&yse).sq_frobenius();
+        sec_n += te.len();
+    }
+    println!("sector-ridge test mse {:.4} ({} samples)", sec_mse / sec_n as f64, sec_n);
+    // 2) oracle: regress label on true shock eps (upper bound on learnable signal)
+    let mut eps_te = Matrix::zeros(yte.rows(), 2);
+    for (r, &i) in test_ids.iter().enumerate() {
+        let s_ = &z.samples[i];
+        eps_te[(r, 0)] = 1.0;
+        eps_te[(r, 1)] = sp.shocks[s_.company][s_.quarter_idx];
+    }
+    let mut eps_tr = Matrix::zeros(ytr.rows(), 2);
+    for (r, &i) in train_ids.iter().enumerate() {
+        let s_ = &z.samples[i];
+        eps_tr[(r, 0)] = 1.0;
+        eps_tr[(r, 1)] = sp.shocks[s_.company][s_.quarter_idx];
+    }
+    let b = ridge_solve(&eps_tr, &ytr, 1e-6).unwrap();
+    println!("true-shock oracle test mse {:.4}", eps_te.matmul(&b).sub(&yte).sq_frobenius() / yte.len() as f64);
+
+    // 3) ridge without alternative columns (the -na ablation, as an oracle diff)
+    let fs_na = fs.without_alternative();
+    let st_na = Standardizer::fit(&fs_na, &train_ids);
+    let z_na = st_na.transform(&fs_na);
+    let mkna = |ids: &[usize]| {
+        let (x, r, c, y) = z_na.design(ids);
+        (Matrix::from_vec(r, c, x), Matrix::col_vector(&y))
+    };
+    let (xtrn, ytrn) = mkna(&train_ids);
+    let (xten, yten) = mkna(&test_ids);
+    let bna = ridge_solve(&xtrn, &ytrn, 1.0).unwrap();
+    println!("ridge-na  test mse {:.4}", xten.matmul(&bna).sub(&yten).sq_frobenius() / yten.len() as f64);
+
+    // 4) channel-implied surprise with TRUE kappa:
+    //    z = log(A(t)/A(t-4))/kappa_i - log(E(t)/R(t-4)); regress y on [1, z, e].
+    let build_z = |ids: &[usize]| {
+        let mut xm = Matrix::zeros(ids.len(), 3);
+        let mut ym = Matrix::zeros(ids.len(), 1);
+        for (r, &i) in ids.iter().enumerate() {
+            let s_ = &fs.samples[i]; // unstandardized features
+            let c = s_.company;
+            let t = s_.quarter_idx;
+            let a_ratio = panel.get(c, t).alt[0] / panel.get(c, t - 4).alt[0];
+            let e_ratio = panel.get(c, t).consensus / panel.get(c, t - 4).revenue;
+            let kap = sp.latents[c].kappa;
+            let zval = a_ratio.ln() / kap - e_ratio.ln();
+            xm[(r, 0)] = 1.0;
+            xm[(r, 1)] = zval * e_ratio; // scale by level to match label units
+            xm[(r, 2)] = e_ratio;
+            ym[(r, 0)] = st.standardize_label(s_.label);
+        }
+        (xm, ym)
+    };
+    let (zx_tr, zy_tr) = build_z(&train_ids);
+    let (zx_te, zy_te) = build_z(&test_ids);
+    let bz = ridge_solve(&zx_tr, &zy_tr, 1e-4).unwrap();
+    println!("true-kappa channel oracle test mse {:.4}",
+        zx_te.matmul(&bz).sub(&zy_te).sq_frobenius() / zy_te.len() as f64);
+
+    // 4b) sector-interacted ridge: pooled design plus (alt col × sector
+    // one-hot) interactions — the linear ceiling for sector-level
+    // adaptation, which is exactly what the master could learn.
+    {
+        let sec_cols: Vec<usize> = (0..fs.width())
+            .filter(|&i| fs.names[i].starts_with("sector_")).collect();
+        let widen = |ids: &[usize]| {
+            let (x, r, c, y) = z.design(ids);
+            let base = Matrix::from_vec(r, c, x);
+            let extra = fs.alt_cols.len() * sec_cols.len();
+            let mut xm = Matrix::zeros(r, c + extra);
+            for i in 0..r {
+                for j in 0..c { xm[(i, j)] = base[(i, j)]; }
+                let mut k2 = c;
+                for &ac in &fs.alt_cols {
+                    for &sc in &sec_cols {
+                        xm[(i, k2)] = base[(i, ac)] * base[(i, sc)];
+                        k2 += 1;
+                    }
+                }
+            }
+            (xm, Matrix::col_vector(&y))
+        };
+        let (xi_tr, yi_tr) = widen(&train_ids);
+        let (xi_te, yi_te) = widen(&test_ids);
+        for lam in [0.3, 1.0, 3.0, 10.0] {
+            let b = ridge_solve(&xi_tr, &yi_tr, lam).unwrap();
+            println!("sector-interaction ridge (lam={lam}) test mse {:.4}",
+                xi_te.matmul(&b).sub(&yi_te).sq_frobenius() / yi_te.len() as f64);
+        }
+    }
+
+    // 5) same oracle split by channel quality.
+    for poor in [false, true] {
+        let trq: Vec<usize> = train_ids.iter().copied()
+            .filter(|&i| sp.latents[fs.samples[i].company].poor_coverage == poor).collect();
+        let teq: Vec<usize> = test_ids.iter().copied()
+            .filter(|&i| sp.latents[fs.samples[i].company].poor_coverage == poor).collect();
+        if trq.len() < 10 || teq.is_empty() { continue; }
+        let (zx_tr, zy_tr) = build_z(&trq);
+        let (zx_te, zy_te) = build_z(&teq);
+        let bz = ridge_solve(&zx_tr, &zy_tr, 1e-4).unwrap();
+        let m = zx_te.matmul(&bz).sub(&zy_te).sq_frobenius() / zy_te.len() as f64;
+        let v0 = zy_te.sq_frobenius() / zy_te.len() as f64;
+        println!("  quality={} oracle mse {m:.4} (predict-0: {v0:.4}, n_te={})",
+            if poor {"poor"} else {"good"}, zy_te.len());
+    }
+}

@@ -1,0 +1,39 @@
+//! Extension study (beyond the paper's own tables): AMS's "aggressive"
+//! adaptation vs the related-work adaptive families of §V-B — the
+//! semi-lazy local-regression approach and a passive online-RLS model
+//! — on the transaction panel.
+
+use ams_bench::exp::{run_cached_seed, Dataset, DATA_SEED, MODEL_SEED, N_SEEDS};
+use ams_core::AmsConfig;
+use ams_eval::ModelKind;
+
+fn main() {
+    let dataset = Dataset::Transaction;
+    let kinds = vec![
+        ModelKind::Ams { config: AmsConfig { seed: MODEL_SEED, ..Default::default() }, graph_k: 5 },
+        ModelKind::SemiLazy { k: 40, lambda: 1.0 },
+        ModelKind::SemiLazy { k: 120, lambda: 1.0 },
+        ModelKind::OnlineRidge { forgetting: 0.98 },
+        ModelKind::OnlineRidge { forgetting: 1.0 },
+        ModelKind::Ridge { lambda: 1.0 },
+    ];
+    println!("Adaptive-family comparison on {} dataset (mean over {N_SEEDS} seeds)", dataset.name());
+    println!("{:<28} {:>9} {:>9}", "Model", "BA", "SR");
+    for kind in &kinds {
+        let label = match kind {
+            ModelKind::SemiLazy { k, .. } => format!("SemiLazy (k={k})"),
+            ModelKind::OnlineRidge { forgetting } => format!("OnlineRidge (λ={forgetting})"),
+            other => other.name(),
+        };
+        let (mut ba, mut sr) = (0.0, 0.0);
+        for seed in DATA_SEED..DATA_SEED + N_SEEDS {
+            eprintln!("  running {label} (seed {seed}) ...");
+            std::env::set_var("AMS_RESULTS_DIR", format!("results/extension_adaptive/{}", label.replace([' ', '(', ')', '=', ',', '.'], "_")));
+            let panel = dataset.panel_for_seed(seed);
+            let cv = run_cached_seed(dataset, &panel, kind, false, seed);
+            ba += cv.mean_ba();
+            sr += cv.mean_sr();
+        }
+        println!("{:<28} {:>9.3} {:>9.4}", label, ba / N_SEEDS as f64, sr / N_SEEDS as f64);
+    }
+}

@@ -1,0 +1,15 @@
+//! Figure 5: the time-series cross-validation schedule on both panels.
+
+use ams_bench::exp::Dataset;
+use ams_data::CvSchedule;
+use ams_eval::EvalOptions;
+
+fn main() {
+    for dataset in [Dataset::Transaction, Dataset::MapQuery] {
+        let panel = dataset.panel();
+        let opts = EvalOptions::paper_for(&panel);
+        let schedule = CvSchedule::paper(panel.num_quarters(), opts.k, opts.n_folds);
+        println!("\nFigure 5 — CV schedule on {} dataset", dataset.name());
+        println!("{}", schedule.describe(&panel.quarters));
+    }
+}

@@ -1,0 +1,20 @@
+//! Figure 6: daily asset curves of every strategy on the transaction
+//! dataset. Writes `results/figure6.csv` and prints an ASCII sparkline
+//! per model.
+
+use ams_bench::exp::{results_dir, run_backtests, write_curves_csv, Dataset};
+
+fn main() {
+    let results = run_backtests(Dataset::Transaction);
+    let path = results_dir().join("figure6.csv");
+    write_curves_csv(&path, &results);
+    println!("Figure 6 — asset curves on transaction dataset (CSV: {})", path.display());
+    for r in &results {
+        println!("{:<12} {}", r.model, ams_bench::exp::sparkline(&r.asset_curve));
+    }
+    let series: Vec<ams_bench::chart::Series> = results
+        .iter()
+        .map(|r| ams_bench::chart::Series { label: r.model.clone(), values: r.asset_curve.clone() })
+        .collect();
+    println!("\n{}", ams_bench::chart::render(&series, 90, 20));
+}

@@ -1,0 +1,25 @@
+//! Table I: BA (Bounded Accuracy) comparison with paired t-tests vs
+//! AMS, on both datasets, averaged over several panel realizations.
+
+use ams_bench::exp::{per_quarter_means, run_lineup, Dataset, N_SEEDS};
+use ams_eval::report::{build_rows, format_ba_table};
+
+fn main() {
+    for dataset in [Dataset::Transaction, Dataset::MapQuery] {
+        eprintln!("== dataset: {} ==", dataset.name());
+        let (_panel, results) = run_lineup(dataset);
+        let rows = build_rows(&results, "AMS");
+        println!("\nTable I — BA on {} dataset (mean over {N_SEEDS} panel seeds)", dataset.name());
+        println!("{}", format_ba_table(&rows, &[]));
+        if dataset == Dataset::MapQuery {
+            println!("Per-quarter means (across seeds):");
+            for r in &results {
+                let cells: Vec<String> = per_quarter_means(r)
+                    .into_iter()
+                    .map(|(l, ba, _)| format!("BA({l})={ba:.2}"))
+                    .collect();
+                println!("  {:<12} {}", r.model, cells.join("  "));
+            }
+        }
+    }
+}

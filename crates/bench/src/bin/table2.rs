@@ -1,0 +1,26 @@
+//! Table II: SR (Surprise Ratio) comparison with one-sample t-tests of
+//! each model's per-quarter SR series against 1 (analysts' consensus),
+//! averaged over several panel realizations.
+
+use ams_bench::exp::{per_quarter_means, run_lineup, Dataset, N_SEEDS};
+use ams_eval::report::{build_rows, format_sr_table};
+
+fn main() {
+    for dataset in [Dataset::Transaction, Dataset::MapQuery] {
+        eprintln!("== dataset: {} ==", dataset.name());
+        let (_panel, results) = run_lineup(dataset);
+        let rows = build_rows(&results, "AMS");
+        println!("\nTable II — SR on {} dataset (mean over {N_SEEDS} panel seeds)", dataset.name());
+        println!("{}", format_sr_table(&rows, &[]));
+        if dataset == Dataset::MapQuery {
+            println!("Per-quarter means (across seeds):");
+            for r in &results {
+                let cells: Vec<String> = per_quarter_means(r)
+                    .into_iter()
+                    .map(|(l, _, sr)| format!("SR({l})={sr:.3}"))
+                    .collect();
+                println!("  {:<12} {}", r.model, cells.join("  "));
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Table III: feature effectiveness — every learned model retrained
+//! without the alternative-data columns; reports SR-m and BA-m.
+
+use ams_bench::exp::{run_cached_seed, Dataset, DATA_SEED, MODEL_SEED, N_SEEDS};
+use ams_eval::ablation::{format_ablation_table, AblationRow};
+use ams_eval::ModelKind;
+
+fn main() {
+    for dataset in [Dataset::Transaction, Dataset::MapQuery] {
+        eprintln!("== dataset: {} ==", dataset.name());
+        let kinds: Vec<ModelKind> = ModelKind::paper_lineup(dataset.n_channels(), MODEL_SEED)
+            .into_iter()
+            .filter(|k| !matches!(k, ModelKind::Naive { .. } | ModelKind::Arima(_)))
+            .collect();
+        let rows: Vec<AblationRow> = kinds
+            .iter()
+            .map(|kind| {
+                let (mut ba_w, mut ba_wo, mut sr_w, mut sr_wo) = (0.0, 0.0, 0.0, 0.0);
+                for seed in DATA_SEED..DATA_SEED + N_SEEDS {
+                    eprintln!("  running {}-na (seed {seed}) ...", kind.name());
+                    let panel = dataset.panel_for_seed(seed);
+                    let with = run_cached_seed(dataset, &panel, kind, false, seed);
+                    let without = run_cached_seed(dataset, &panel, kind, true, seed);
+                    ba_w += with.mean_ba();
+                    ba_wo += without.mean_ba();
+                    sr_w += with.mean_sr();
+                    sr_wo += without.mean_sr();
+                }
+                let n = N_SEEDS as f64;
+                let (ba_w, ba_wo, sr_w, sr_wo) = (ba_w / n, ba_wo / n, sr_w / n, sr_wo / n);
+                AblationRow {
+                    model: format!("{}-na", kind.name()),
+                    sr_m: sr_wo - sr_w,
+                    ba_m: ba_wo - ba_w,
+                    ba_with: ba_w,
+                    ba_without: ba_wo,
+                    sr_with: sr_w,
+                    sr_without: sr_wo,
+                }
+            })
+            .collect();
+        println!("\nTable III — feature effectiveness on {} dataset (mean over {N_SEEDS} seeds)", dataset.name());
+        println!("{}", format_ablation_table(&rows));
+    }
+}

@@ -1,0 +1,9 @@
+//! Table IV: backtest on the transaction dataset (Earning, MDD,
+//! Sharpe-vs-AMS, AER), over the seven CV test quarters.
+
+use ams_bench::exp::{print_backtest_table, run_backtests, Dataset};
+
+fn main() {
+    let results = run_backtests(Dataset::Transaction);
+    print_backtest_table("Table IV", Dataset::Transaction, &results);
+}

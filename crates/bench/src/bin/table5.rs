@@ -1,0 +1,9 @@
+//! Table V: backtest on the map-query dataset over its two CV test
+//! quarters.
+
+use ams_bench::exp::{print_backtest_table, run_backtests, Dataset};
+
+fn main() {
+    let results = run_backtests(Dataset::MapQuery);
+    print_backtest_table("Table V", Dataset::MapQuery, &results);
+}

@@ -1,0 +1,151 @@
+//! Terminal line charts for the figure binaries.
+//!
+//! Renders multiple asset-curve series into a character grid with a
+//! y-axis, per-series glyphs and a legend — enough to eyeball the shape
+//! of Figures 6/7 without leaving the terminal (the binaries also write
+//! CSVs for real plotting).
+
+/// One plottable series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The values (x is the index).
+    pub values: Vec<f64>,
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Render series into a `width`×`height` chart (plot area; axes add a
+/// margin). Series longer than `width` are subsampled; shorter series
+/// simply end early.
+pub fn render(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 4, "chart too small");
+    assert!(!series.is_empty(), "no series to plot");
+    let lo = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .fold(f64::INFINITY, f64::min);
+    let hi = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let range = (hi - lo).max(1e-12);
+    let max_len = series.iter().map(|s| s.values.len()).max().expect("nonempty");
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for col in 0..width {
+            // Sample the series position corresponding to this column.
+            let idx = col * max_len.saturating_sub(1) / width.saturating_sub(1).max(1);
+            if idx >= s.values.len() {
+                continue;
+            }
+            let v = s.values[idx];
+            let row = ((hi - v) / range * (height - 1) as f64).round() as usize;
+            let row = row.min(height - 1);
+            // Later series overwrite earlier ones where they collide.
+            grid[row][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:>10.2} ")
+        } else if r == height - 1 {
+            format!("{lo:>10.2} ")
+        } else {
+            " ".repeat(11)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(11));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    // Legend.
+    out.push_str(&" ".repeat(12));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, s)| format!("{} {}", GLYPHS[si % GLYPHS.len()], s.label))
+        .collect();
+    out.push_str(&legend.join("   "));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines_of(chart: &str) -> Vec<&str> {
+        chart.lines().collect()
+    }
+
+    #[test]
+    fn renders_expected_dimensions() {
+        let s = vec![Series { label: "a".into(), values: (0..50).map(|i| i as f64).collect() }];
+        let chart = render(&s, 40, 10);
+        let lines = lines_of(&chart);
+        // height rows + axis + legend.
+        assert_eq!(lines.len(), 12);
+        assert!(lines[0].contains("49.00"));
+        assert!(lines[9].contains("0.00"));
+    }
+
+    #[test]
+    fn monotone_series_is_monotone_on_grid() {
+        let s = vec![Series { label: "up".into(), values: (0..100).map(|i| i as f64).collect() }];
+        let chart = render(&s, 30, 8);
+        // The glyph in the first column must be on a lower row (visually
+        // lower = larger row index) than in the last column.
+        let lines = lines_of(&chart);
+        let col_of = |line: &str| line.rfind('*');
+        let mut first_row = None;
+        let mut last_row = None;
+        for (r, line) in lines.iter().enumerate().take(8) {
+            let body = &line[12..];
+            if body.starts_with('*') {
+                first_row = Some(r);
+            }
+            if let Some(pos) = col_of(body) {
+                if pos == body.len() - 1 {
+                    last_row = Some(r);
+                }
+            }
+        }
+        let (f, l) = (first_row.expect("first col plotted"), last_row.expect("last col plotted"));
+        assert!(f > l, "rising series should end higher on screen: first row {f}, last row {l}");
+    }
+
+    #[test]
+    fn legend_names_every_series() {
+        let s = vec![
+            Series { label: "AMS".into(), values: vec![1.0, 2.0] },
+            Series { label: "Ridge".into(), values: vec![2.0, 1.0] },
+        ];
+        let chart = render(&s, 20, 5);
+        assert!(chart.contains("* AMS"));
+        assert!(chart.contains("o Ridge"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = vec![Series { label: "flat".into(), values: vec![5.0; 10] }];
+        let chart = render(&s, 12, 4);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "no series")]
+    fn empty_input_panics() {
+        render(&[], 20, 5);
+    }
+}

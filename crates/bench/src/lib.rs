@@ -1,0 +1,9 @@
+//! # ams-bench — experiment binaries and micro-benchmarks
+//!
+//! One binary per paper artifact (`table1` … `table5`, `figure5` …
+//! `figure8`, plus the `ablation_*` design-choice studies), all driven
+//! by the shared runner in [`exp`]. Criterion micro-benchmarks for the
+//! substrate kernels live under `benches/`.
+
+pub mod chart;
+pub mod exp;

@@ -1,0 +1,721 @@
+//! The Adaptive Master-Slave regularized model (§III).
+//!
+//! Pipeline per Figure 3: node transformation (Eq. 1) → GAT over the
+//! company correlation graph (Eqs. 2–3) → slave-model generation
+//! `β_v(X_i) = M(g(X_i))` (Eq. 6), regularized by
+//!
+//! * **supervised LR generation** (Eq. 8): `β_v` is pulled toward the
+//!   anchored LR `B_acr` pre-trained on the whole training set (Eq. 5);
+//! * **model assembly** (Eq. 10): the effective slave model is
+//!   `γ·β_v(X_i) + (1−γ)·β_c` with a globally optimized `β_c`.
+//!
+//! Training follows §III-F: phase 1 fits `B_acr` in closed form; phase
+//! 2 minimizes Γ_master (Eq. 11) with Adam over the node-transform, GAT
+//! and generator parameters plus `β_c`.
+
+use ams_graph::CompanyGraph;
+use ams_tensor::init::{dropout_mask, he_uniform};
+use ams_tensor::{ridge_solve, Adam, Graph, Matrix, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gat::GatLayer;
+
+/// AMS hyperparameters. The γ / λ_slg / λ₁ knobs are the ones the
+/// paper's random search tunes per CV fold.
+#[derive(Debug, Clone)]
+pub struct AmsConfig {
+    /// Node-transform hidden widths (Eq. 1; one ReLU layer per entry).
+    pub nt_hidden: Vec<usize>,
+    /// Per-head width of hidden GAT layers.
+    pub gat_hidden: usize,
+    /// Number of attention heads in hidden GAT layers (H of Eq. 3).
+    pub gat_heads: usize,
+    /// Width of the single-head GAT output layer.
+    pub gat_out: usize,
+    /// Generator `M` hidden widths (ReLU; the final projection to the
+    /// slave-LR weight vector has no activation).
+    pub gen_hidden: Vec<usize>,
+    /// Model-assembly mix γ ∈ [0, 1] (Eq. 10); 1 = fully adaptive.
+    pub gamma: f64,
+    /// Supervised-generation strength λ_slg (Eq. 9).
+    pub lambda_slg: f64,
+    /// L2 strength λ₁ on master weights and β_c (Eq. 11).
+    pub lambda_l2: f64,
+    /// Ridge strength of the anchored LR (λ of Eq. 5).
+    pub anchored_lambda: f64,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Full-batch epochs for phase 2.
+    pub epochs: usize,
+    /// Dropout on stacked dense layers (node transform and generator).
+    pub dropout: f64,
+    /// Init/dropout seed.
+    pub seed: u64,
+    /// Concatenate the node-transform output to the GAT output before
+    /// slave generation (a residual/skip connection). With mean degree
+    /// ~k the attention softmax dilutes a company's own features to
+    /// ~1/k of its embedding; the skip keeps per-company information
+    /// undiminished, which per-company slave generation needs.
+    pub residual: bool,
+    /// Columns of the feature vector the *slave-LR* is evaluated on
+    /// (`None` = all). The master always sees the full vector. Routing
+    /// only the continuous financial features to the slave removes the
+    /// per-company-intercept memorization channel (a constant or
+    /// one-hot column's slave weight is an arbitrary company fixed
+    /// effect, pure overfitting on quarterly panels this small) while
+    /// keeping the interpretability of the per-feature weights.
+    pub slave_cols: Option<Vec<usize>>,
+}
+
+impl Default for AmsConfig {
+    fn default() -> Self {
+        Self {
+            nt_hidden: vec![48],
+            gat_hidden: 8,
+            gat_heads: 4,
+            gat_out: 24,
+            gen_hidden: vec![48],
+            gamma: 0.8,
+            lambda_slg: 0.3,
+            lambda_l2: 1e-3,
+            anchored_lambda: 1.0,
+            lr: 5e-3,
+            epochs: 2000,
+            dropout: 0.1,
+            seed: 0,
+            residual: true,
+            slave_cols: None,
+        }
+    }
+}
+
+/// One training quarter: node features for every company (`n×d`, rows
+/// aligned with graph node ids) and the normalized unexpected-revenue
+/// labels (`n×1`).
+#[derive(Debug, Clone)]
+pub struct QuarterBatch {
+    /// Company features at this quarter.
+    pub x: Matrix,
+    /// Normalized unexpected revenue labels.
+    pub y: Matrix,
+}
+
+/// The fitted AMS model.
+pub struct AmsModel {
+    config: AmsConfig,
+    /// Node-transform layers (W `in×out`, b `1×out`).
+    nt: Vec<(Matrix, Matrix)>,
+    /// GAT stack: hidden multi-head layers then a single-head output.
+    gat: Vec<GatLayer>,
+    /// Generator layers (W, b); the last maps to the slave-LR width d.
+    gen: Vec<(Matrix, Matrix)>,
+    /// Globally optimized assembly component β_c (d×1).
+    beta_c: Matrix,
+    /// Anchored LR coefficients B_acr (d×1), fitted in phase 1.
+    b_acr: Option<Matrix>,
+    /// Dense adjacency mask of the training graph.
+    mask: Option<Matrix>,
+}
+
+impl AmsModel {
+    /// Untrained model; layer shapes are finalized at `fit` time from
+    /// the feature width.
+    pub fn new(config: AmsConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.gamma), "gamma outside [0,1]");
+        assert!(config.lambda_slg >= 0.0 && config.lambda_l2 >= 0.0);
+        Self { config, nt: Vec::new(), gat: Vec::new(), gen: Vec::new(), beta_c: Matrix::zeros(0, 0), b_acr: None, mask: None }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &AmsConfig {
+        &self.config
+    }
+
+    /// The anchored LR `B_acr` (available after `fit`), in slave-column
+    /// space.
+    pub fn anchored(&self) -> Option<&Matrix> {
+        self.b_acr.as_ref()
+    }
+
+    /// Width of the slave-LR weight vector for feature width `d`.
+    fn slave_dim(&self, d: usize) -> usize {
+        self.config.slave_cols.as_ref().map_or(d, |c| c.len())
+    }
+
+    /// 0/1 selection matrix mapping full features to slave columns.
+    fn selection(&self, d: usize) -> Matrix {
+        match &self.config.slave_cols {
+            None => Matrix::eye(d),
+            Some(cols) => {
+                let mut s = Matrix::zeros(d, cols.len());
+                for (j, &c) in cols.iter().enumerate() {
+                    assert!(c < d, "slave column {c} out of range for width {d}");
+                    s[(c, j)] = 1.0;
+                }
+                s
+            }
+        }
+    }
+
+    fn build_params(&mut self, d: usize, rng: &mut StdRng) {
+        self.nt.clear();
+        self.gat.clear();
+        self.gen.clear();
+        let mut w_in = d;
+        for &w_out in &self.config.nt_hidden {
+            self.nt.push((he_uniform(w_in, w_out, rng), Matrix::zeros(1, w_out)));
+            w_in = w_out;
+        }
+        let hidden = GatLayer::hidden(w_in, self.config.gat_hidden, self.config.gat_heads, rng);
+        let hidden_out = hidden.out_dim();
+        self.gat.push(hidden);
+        self.gat.push(GatLayer::output(hidden_out, self.config.gat_out, rng));
+        let nt_out = if self.config.nt_hidden.is_empty() { d } else { *self.config.nt_hidden.last().expect("nonempty") };
+        let mut g_in = self.config.gat_out + if self.config.residual { nt_out } else { 0 };
+        for &w_out in &self.config.gen_hidden {
+            self.gen.push((he_uniform(g_in, w_out, rng), Matrix::zeros(1, w_out)));
+            g_in = w_out;
+        }
+        // Final projection to the slave-LR weight vector (no
+        // activation). Zero-initialized: combined with the bias warm
+        // start below, the generated slave starts exactly at the
+        // anchored LR and training learns per-company *residual*
+        // adaptation — the optimization-friendly reading of the
+        // supervised-generation idea (Eq. 8).
+        let m = self.slave_dim(d);
+        self.gen.push((Matrix::zeros(g_in, m), Matrix::zeros(1, m)));
+        self.beta_c = Matrix::zeros(m, 1);
+    }
+
+    /// Flat parameter list in the canonical order used for Adam.
+    fn param_list(&self) -> Vec<Matrix> {
+        let mut out = Vec::new();
+        for (w, b) in &self.nt {
+            out.push(w.clone());
+            out.push(b.clone());
+        }
+        for layer in &self.gat {
+            out.extend(layer.params().into_iter().cloned());
+        }
+        for (w, b) in &self.gen {
+            out.push(w.clone());
+            out.push(b.clone());
+        }
+        out.push(self.beta_c.clone());
+        out
+    }
+
+    /// Write a flat parameter list back into the structured storage.
+    fn store_params(&mut self, params: &[Matrix]) {
+        let mut it = params.iter();
+        for (w, b) in &mut self.nt {
+            *w = it.next().expect("nt W").clone();
+            *b = it.next().expect("nt b").clone();
+        }
+        for layer in &mut self.gat {
+            for head in &mut layer.heads {
+                head.w = it.next().expect("gat W").clone();
+                head.a_left = it.next().expect("gat a_l").clone();
+                head.a_right = it.next().expect("gat a_r").clone();
+            }
+        }
+        for (w, b) in &mut self.gen {
+            *w = it.next().expect("gen W").clone();
+            *b = it.next().expect("gen b").clone();
+        }
+        self.beta_c = it.next().expect("beta_c").clone();
+        assert!(it.next().is_none(), "extra parameters");
+    }
+
+    /// Build the master forward pass on `g` for one quarter's node
+    /// features, returning `(prediction n×1, generated β_v n×d,
+    /// assembled β n×d)`. `param_vars` must follow `param_list` order.
+    fn forward(
+        &self,
+        g: &mut Graph,
+        x: Var,
+        mask: &Matrix,
+        param_vars: &[Var],
+        rng: Option<&mut StdRng>,
+    ) -> (Var, Var, Var) {
+        let mut cursor = 0;
+        let mut take = |k: usize| {
+            let r = cursor;
+            cursor += k;
+            r
+        };
+        let mut rng = rng;
+        let apply_dropout = |g: &mut Graph, h: Var, rng: &mut Option<&mut StdRng>| -> Var {
+            if self.config.dropout > 0.0 {
+                if let Some(r) = rng.as_deref_mut() {
+                    let shape = g.value(h).shape();
+                    let m = dropout_mask(shape.0, shape.1, self.config.dropout, r);
+                    return g.dropout(h, &m);
+                }
+            }
+            h
+        };
+
+        // Node transform (Eq. 1).
+        let mut h = x;
+        for _ in &self.nt {
+            let wi = take(2);
+            let z = g.matmul(h, param_vars[wi]);
+            let z = g.add_row_broadcast(z, param_vars[wi + 1]);
+            h = g.relu(z);
+            h = apply_dropout(g, h, &mut rng);
+        }
+        let nt_out = h;
+        // GAT stack (Eqs. 2–3).
+        for layer in &self.gat {
+            let base = take(layer.n_params());
+            h = layer.forward(g, h, mask, &param_vars[base..base + layer.n_params()]);
+        }
+        if self.config.residual {
+            h = g.concat_cols(&[h, nt_out]);
+        }
+        // Generator M (Eq. 6): hidden ReLU layers then a linear map.
+        let n_gen = self.gen.len();
+        for (i, _) in self.gen.iter().enumerate() {
+            let wi = take(2);
+            let z = g.matmul(h, param_vars[wi]);
+            let z = g.add_row_broadcast(z, param_vars[wi + 1]);
+            if i + 1 < n_gen {
+                h = g.relu(z);
+                h = apply_dropout(g, h, &mut rng);
+            } else {
+                h = z;
+            }
+        }
+        let beta_v = h; // n×d
+
+        // Model assembly (Eq. 10): β = γ β_v + (1−γ) β_c.
+        let beta_c_var = param_vars[take(1)];
+        let n = g.value(x).rows();
+        let ones = g.input(Matrix::ones(n, 1));
+        let bc_t = g.transpose(beta_c_var); // 1×d
+        let bc_rows = g.matmul(ones, bc_t); // n×d
+        let scaled_v = g.scale(beta_v, self.config.gamma);
+        let scaled_c = g.scale(bc_rows, 1.0 - self.config.gamma);
+        let beta = g.add(scaled_v, scaled_c);
+
+        // Slave-LR evaluation on the slave columns: ÛR_i = x̃_iᵀ β_i.
+        let d = g.value(x).cols();
+        let x_slave = if self.config.slave_cols.is_some() {
+            let sel = g.input(self.selection(d));
+            g.matmul(x, sel)
+        } else {
+            x
+        };
+        let pred = g.rowwise_dot(x_slave, beta);
+        (pred, beta_v, beta)
+    }
+
+    /// Two-phase training (§III-F) on the given correlation graph and
+    /// training quarters.
+    ///
+    /// # Panics
+    /// Panics if batches are empty or row counts disagree with the
+    /// graph's node count.
+    pub fn fit(&mut self, graph: &CompanyGraph, train: &[QuarterBatch]) {
+        let _ = self.fit_with_validation(graph, train, None);
+    }
+
+    /// Like [`AmsModel::fit`], but when a validation quarter is given,
+    /// validation MSE is evaluated every 25 epochs and the parameters
+    /// with the best validation error are kept (the standard
+    /// early-stopping counterpart of the paper's per-fold validation
+    /// quarter, §IV-C). Returns the best validation MSE (NaN when no
+    /// validation batch was supplied), which hyperparameter search uses
+    /// to compare candidate configurations.
+    pub fn fit_with_validation(
+        &mut self,
+        graph: &CompanyGraph,
+        train: &[QuarterBatch],
+        val: Option<&QuarterBatch>,
+    ) -> f64 {
+        assert!(!train.is_empty(), "AMS fit: no training quarters");
+        let n_nodes = graph.num_nodes();
+        for b in train {
+            assert_eq!(b.x.rows(), n_nodes, "AMS fit: batch rows != graph nodes");
+            assert_eq!(b.y.rows(), n_nodes, "AMS fit: label rows != graph nodes");
+        }
+        let d = train[0].x.cols();
+        let mask = Matrix::from_vec(n_nodes, n_nodes, graph.dense_mask());
+
+        // Phase 1: anchored LR on all training samples (Eq. 5), in
+        // slave-column space.
+        let mut x_all = train[0].x.clone();
+        let mut y_all = train[0].y.clone();
+        for b in &train[1..] {
+            x_all = x_all.vcat(&b.x);
+            y_all = y_all.vcat(&b.y);
+        }
+        let x_all = x_all.matmul(&self.selection(d));
+        let b_acr = ridge_solve(&x_all, &y_all, self.config.anchored_lambda)
+            .or_else(|_| ridge_solve(&x_all, &y_all, self.config.anchored_lambda + 1e-6))
+            .expect("anchored LR solve failed");
+        self.b_acr = Some(b_acr.clone());
+
+        // Phase 2: Adam on Γ_master (Eq. 11).
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.build_params(d, &mut rng);
+        // Warm-start both slave components at the anchored LR: the
+        // generator's output bias and the global assembly β_c start at
+        // B_acr, so epoch 0 reproduces the anchored model exactly.
+        self.beta_c = b_acr.clone();
+        if let Some((_, b)) = self.gen.last_mut() {
+            *b = b_acr.t();
+        }
+
+        let total_n: usize = train.iter().map(|b| b.x.rows()).sum();
+        let mut params = self.param_list();
+        let n_weight_slots: Vec<bool> = self.l2_slots();
+        let mut adam = Adam::new(self.config.lr);
+        let mut best: Option<(f64, Vec<Matrix>)> = None;
+        const VAL_EVERY: usize = 25;
+        // Stop after this many consecutive validation checks without
+        // improvement — deep-overfit snapshots are never useful and the
+        // one-quarter validation set is too noisy to be trusted to pick
+        // among them.
+        const PATIENCE: usize = 12;
+        let mut checks_since_best = 0usize;
+
+        // Epoch-0 snapshot: the warm-started model reproduces the
+        // anchored LR exactly, so validation selection can never end up
+        // materially worse than the anchor.
+        if let Some(vb) = val {
+            self.store_params(&params);
+            self.mask = Some(mask.clone());
+            let pred = self.predict(&vb.x);
+            let vmse = pred.sub(&vb.y).sq_frobenius() / pred.len() as f64;
+            best = Some((vmse, params.clone()));
+        }
+
+        for epoch in 0..self.config.epochs {
+            let mut g = Graph::new();
+            let param_vars: Vec<Var> = params.iter().map(|p| g.input(p.clone())).collect();
+            let b_acr_rowvar = g.input(b_acr.t()); // 1×d, broadcast target
+
+            let mut data_term: Option<Var> = None;
+            let mut slg_term: Option<Var> = None;
+            for batch in train {
+                let x = g.input(batch.x.clone());
+                let y = g.input(batch.y.clone());
+                let (pred, beta_v, _) = self.forward(&mut g, x, &mask, &param_vars, Some(&mut rng));
+                let resid = g.sub(pred, y);
+                let sq = g.sq_frobenius(resid);
+                data_term = Some(match data_term {
+                    None => sq,
+                    Some(acc) => g.add(acc, sq),
+                });
+                // ‖β_v(X_i) − B_acr‖² summed over companies: subtract the
+                // broadcast anchored row from every generated row.
+                let n = batch.x.rows();
+                let ones = g.input(Matrix::ones(n, 1));
+                let acr_rows = g.matmul(ones, b_acr_rowvar);
+                let dv = g.sub(beta_v, acr_rows);
+                let sqv = g.sq_frobenius(dv);
+                slg_term = Some(match slg_term {
+                    None => sqv,
+                    Some(acc) => g.add(acc, sqv),
+                });
+            }
+            let data_term = data_term.expect("nonempty train");
+            let slg_term = slg_term.expect("nonempty train");
+            let scale_data = 1.0 / (2.0 * total_n as f64);
+            let mut loss = g.scale(data_term, scale_data);
+            if self.config.lambda_slg > 0.0 {
+                let slg = g.scale(slg_term, self.config.lambda_slg * scale_data);
+                loss = g.add(loss, slg);
+            }
+            if self.config.lambda_l2 > 0.0 {
+                for (i, &v) in param_vars.iter().enumerate() {
+                    if n_weight_slots[i] {
+                        let sq = g.sq_frobenius(v);
+                        let reg = g.scale(sq, 0.5 * self.config.lambda_l2);
+                        loss = g.add(loss, reg);
+                    }
+                }
+            }
+            let grads = g.backward(loss);
+            let grad_mats: Vec<Matrix> = param_vars.iter().map(|&v| grads.get(v)).collect();
+            adam.step(&mut params, &grad_mats);
+
+            if let Some(vb) = val {
+                if (epoch + 1) % VAL_EVERY == 0 || epoch + 1 == self.config.epochs {
+                    self.store_params(&params);
+                    self.mask = Some(mask.clone());
+                    let pred = self.predict(&vb.x);
+                    let vmse = pred.sub(&vb.y).sq_frobenius() / pred.len() as f64;
+                    if best.as_ref().map_or(true, |(b, _)| vmse < *b) {
+                        best = Some((vmse, params.clone()));
+                        checks_since_best = 0;
+                    } else {
+                        checks_since_best += 1;
+                        if checks_since_best >= PATIENCE {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let best_val = best.as_ref().map_or(f64::NAN, |(v, _)| *v);
+        if let Some((_, best_params)) = best {
+            self.store_params(&best_params);
+        } else {
+            self.store_params(&params);
+        }
+        self.mask = Some(mask);
+        best_val
+    }
+
+    /// Which parameter slots receive L2 (weights and β_c, not biases).
+    fn l2_slots(&self) -> Vec<bool> {
+        let mut slots = Vec::new();
+        for _ in &self.nt {
+            slots.push(true); // W
+            slots.push(false); // b
+        }
+        for layer in &self.gat {
+            for _ in &layer.heads {
+                slots.push(true); // W
+                slots.push(true); // a_left
+                slots.push(true); // a_right
+            }
+        }
+        for _ in &self.gen {
+            slots.push(true);
+            slots.push(false);
+        }
+        slots.push(true); // beta_c (Eq. 11's ‖β_c‖²)
+        slots
+    }
+
+    /// Predict normalized unexpected revenue for every company at one
+    /// quarter (`x` is `n×d` with rows aligned to graph node ids).
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        let (pred, _, _) = self.run_eval(x);
+        pred
+    }
+
+    /// The per-company slave-LR weights at one quarter:
+    /// `(assembled β, generated β_v)`, both `n×d`. The assembled β is
+    /// what Figure 8 visualizes — the weight the final linear model
+    /// puts on each feature of each company.
+    pub fn slave_weights(&self, x: &Matrix) -> (Matrix, Matrix) {
+        let (_, beta_v, beta) = self.run_eval(x);
+        (beta, beta_v)
+    }
+
+    fn run_eval(&self, x: &Matrix) -> (Matrix, Matrix, Matrix) {
+        let mask = self.mask.as_ref().expect("predict before fit");
+        assert_eq!(x.rows(), mask.rows(), "predict: row count != graph nodes");
+        let params = self.param_list();
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let pv: Vec<Var> = params.iter().map(|p| g.input(p.clone())).collect();
+        let (pred, beta_v, beta) = self.forward(&mut g, xv, mask, &pv, None);
+        (g.value(pred).clone(), g.value(beta_v).clone(), g.value(beta).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_graph::GraphConfig;
+    use ams_tensor::init::standard_normal;
+
+    /// Synthetic "adaptive" task: two clusters of nodes with *opposite*
+    /// optimal linear weights on feature 0. A single global LR must
+    /// average them out; AMS can specialize via the graph.
+    struct AdaptiveTask {
+        graph: CompanyGraph,
+        train: Vec<QuarterBatch>,
+        test: QuarterBatch,
+    }
+
+    fn adaptive_task(n_per_cluster: usize, quarters: usize, seed: u64) -> AdaptiveTask {
+        let n = 2 * n_per_cluster;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Cluster graph: dense within cluster, no cross edges.
+        let adj: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                let lo = if i < n_per_cluster { 0 } else { n_per_cluster };
+                (lo..lo + n_per_cluster).map(|j| j as u32).collect()
+            })
+            .collect();
+        let graph = CompanyGraph::from_adjacency(adj);
+        let make = |rng: &mut StdRng| {
+            let mut x = Matrix::zeros(n, 3);
+            let mut y = Matrix::zeros(n, 1);
+            for i in 0..n {
+                let sign = if i < n_per_cluster { 1.0 } else { -1.0 };
+                let f0 = standard_normal(rng);
+                let f1 = standard_normal(rng);
+                x[(i, 0)] = f0;
+                x[(i, 1)] = f1;
+                // Cluster-identifying feature the master can read.
+                x[(i, 2)] = sign;
+                y[(i, 0)] = sign * f0 + 0.5 * f1 + 0.05 * standard_normal(rng);
+            }
+            QuarterBatch { x, y }
+        };
+        let train = (0..quarters).map(|_| make(&mut rng)).collect();
+        let test = make(&mut rng);
+        AdaptiveTask { graph, train, test }
+    }
+
+    fn mse(a: &Matrix, b: &Matrix) -> f64 {
+        a.sub(b).sq_frobenius() / a.len() as f64
+    }
+
+    #[test]
+    fn ams_beats_anchored_lr_on_adaptive_task() {
+        let task = adaptive_task(8, 6, 70);
+        let mut model = AmsModel::new(AmsConfig {
+            epochs: 400,
+            dropout: 0.0,
+            gamma: 0.8,
+            lambda_slg: 0.1,
+            lr: 1e-2,
+            ..Default::default()
+        });
+        model.fit(&task.graph, &task.train);
+
+        // Anchored LR error (the best any global linear model can do).
+        let b_acr = model.anchored().unwrap().clone();
+        let lr_pred = task.test.x.matmul(&b_acr);
+        let lr_err = mse(&lr_pred, &task.test.y);
+
+        let ams_pred = model.predict(&task.test.x);
+        let ams_err = mse(&ams_pred, &task.test.y);
+        assert!(
+            ams_err < 0.5 * lr_err,
+            "AMS {ams_err} should clearly beat the global LR {lr_err} on the adaptive task"
+        );
+    }
+
+    #[test]
+    fn slave_weights_differ_across_clusters() {
+        let task = adaptive_task(8, 6, 71);
+        let mut model = AmsModel::new(AmsConfig {
+            epochs: 400,
+            dropout: 0.0,
+            gamma: 0.8,
+            lambda_slg: 0.1,
+            lr: 1e-2,
+            ..Default::default()
+        });
+        model.fit(&task.graph, &task.train);
+        let (beta, _) = model.slave_weights(&task.test.x);
+        // Feature-0 weight should be positive in cluster A and clearly
+        // lower (specialized toward negative) in cluster B.
+        let w_a = beta[(0, 0)];
+        let w_b = beta[(8, 0)];
+        assert!(w_a > 0.2, "cluster A weight {w_a}");
+        assert!(w_b < 0.0, "cluster B weight {w_b}");
+        assert!(w_a - w_b > 0.4, "clusters should be clearly separated: {w_a} vs {w_b}");
+    }
+
+    #[test]
+    fn gamma_zero_reduces_to_global_model() {
+        // With γ = 0 the generated β_v is ignored: predictions must be
+        // exactly x β_c for every company.
+        let task = adaptive_task(4, 3, 72);
+        let mut model = AmsModel::new(AmsConfig {
+            epochs: 50,
+            dropout: 0.0,
+            gamma: 0.0,
+            ..Default::default()
+        });
+        model.fit(&task.graph, &task.train);
+        let pred = model.predict(&task.test.x);
+        let (beta, _) = model.slave_weights(&task.test.x);
+        // All rows of the assembled β are identical.
+        for i in 1..beta.rows() {
+            for j in 0..beta.cols() {
+                assert!((beta[(i, j)] - beta[(0, j)]).abs() < 1e-12);
+            }
+        }
+        // And prediction is the linear model applied row-wise.
+        for i in 0..pred.rows() {
+            let manual: f64 =
+                (0..beta.cols()).map(|j| task.test.x[(i, j)] * beta[(0, j)]).sum();
+            assert!((pred[(i, 0)] - manual).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn strong_slg_pulls_generated_weights_toward_anchor() {
+        // Compare the mean distance of β_v to B_acr with and without
+        // the supervised-generation regularizer: strong λ_slg must pull
+        // the generated weights far closer to the anchor.
+        let task = adaptive_task(4, 3, 73);
+        let dist = |lambda_slg: f64| {
+            let mut model = AmsModel::new(AmsConfig {
+                epochs: 300,
+                dropout: 0.0,
+                gamma: 1.0,
+                lambda_slg,
+                lr: 1e-2,
+                ..Default::default()
+            });
+            model.fit(&task.graph, &task.train);
+            let (_, beta_v) = model.slave_weights(&task.test.x);
+            let acr = model.anchored().unwrap();
+            let mut acc = 0.0;
+            for i in 0..beta_v.rows() {
+                for j in 0..beta_v.cols() {
+                    acc += (beta_v[(i, j)] - acr[(j, 0)]).abs();
+                }
+            }
+            acc / beta_v.len() as f64
+        };
+        let free = dist(0.0);
+        let pinned = dist(1e4);
+        assert!(
+            pinned < 0.5 * free,
+            "strong λ_slg distance {pinned} should be well below unregularized {free}"
+        );
+        assert!(pinned < 0.1, "pinned mean distance {pinned} should be small in absolute terms");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let task = adaptive_task(4, 2, 74);
+        let cfg = AmsConfig { epochs: 30, seed: 11, ..Default::default() };
+        let mut a = AmsModel::new(cfg.clone());
+        a.fit(&task.graph, &task.train);
+        let mut b = AmsModel::new(cfg);
+        b.fit(&task.graph, &task.train);
+        assert_eq!(a.predict(&task.test.x).as_slice(), b.predict(&task.test.x).as_slice());
+    }
+
+    #[test]
+    fn fit_uses_correlation_graph_builder() {
+        // End-to-end with a graph built from revenue series.
+        let series: Vec<Vec<f64>> =
+            (0..8).map(|i| (0..6).map(|t| (i as f64 + 1.0) * (t as f64 + 1.0)).collect()).collect();
+        let graph = CompanyGraph::from_series(&series, GraphConfig { k: 2, ..Default::default() });
+        let task = adaptive_task(4, 2, 75);
+        let mut model = AmsModel::new(AmsConfig { epochs: 20, ..Default::default() });
+        model.fit(&graph, &task.train);
+        assert_eq!(model.predict(&task.test.x).rows(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        AmsModel::new(AmsConfig::default()).predict(&Matrix::ones(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch rows != graph nodes")]
+    fn fit_rejects_mismatched_rows() {
+        let graph = CompanyGraph::complete(3);
+        let batch = QuarterBatch { x: Matrix::ones(4, 2), y: Matrix::ones(4, 1) };
+        AmsModel::new(AmsConfig::default()).fit(&graph, &[batch]);
+    }
+}

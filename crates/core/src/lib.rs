@@ -1,0 +1,18 @@
+//! # ams-core — the Adaptive Master-Slave regularized model
+//!
+//! The paper's primary contribution (§III): a GAT-based master model
+//! over the company correlation graph that *generates* a per-company
+//! linear-regression slave model, regularized by supervised LR
+//! generation (Eq. 8) and model assembly (Eq. 10), trained in two
+//! phases per §III-F.
+//!
+//! * [`GatLayer`]/[`GatHead`] — multi-head graph attention (Eqs. 2–3);
+//! * [`AmsModel`]/[`AmsConfig`] — the full master-slave model
+//!   (Γ_master, Eq. 11) with [`AmsModel::slave_weights`] exposing the
+//!   per-company weights behind the Figure 8 interpretability plots.
+
+pub mod ams;
+pub mod gat;
+
+pub use ams::{AmsConfig, AmsModel, QuarterBatch};
+pub use gat::{GatHead, GatLayer};

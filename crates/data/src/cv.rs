@@ -1,0 +1,173 @@
+//! Time-series cross-validation (Figure 5, §IV-C).
+//!
+//! The paper evaluates with an expanding-window schedule: the first
+//! year of the panel is dropped (no full history), the next block of
+//! quarters seeds the training set, then each fold uses one quarter for
+//! validation and the following quarter for testing, growing the
+//! training window by one quarter per fold.
+//!
+//! For the transaction panel (16 quarters, k = 4) this yields the
+//! paper's seven test quarters 2016q4–2018q2; for the map-query panel
+//! (9 quarters) the two test quarters 2018q1–2018q2.
+
+use crate::quarters::Quarter;
+
+/// One cross-validation fold, all values are *quarter indices* into the
+/// panel (not sample ids).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Training target quarters (each contributes one sample per company).
+    pub train: Vec<usize>,
+    /// Validation target quarter (hyperparameter selection).
+    pub val: usize,
+    /// Test target quarter (reported).
+    pub test: usize,
+}
+
+/// The full expanding-window schedule.
+#[derive(Debug, Clone)]
+pub struct CvSchedule {
+    folds: Vec<Fold>,
+    /// History length k: quarter indices below this can never be targets.
+    pub k: usize,
+}
+
+impl CvSchedule {
+    /// Build the paper's schedule: `n_quarters` total panel quarters,
+    /// history length `k`, and `n_folds` test quarters at the end.
+    ///
+    /// The initial training window gets every target quarter not used
+    /// for validation/testing: `n_quarters − k − n_folds − 1` quarters.
+    ///
+    /// # Panics
+    /// Panics when the panel is too short for the requested schedule.
+    pub fn paper(n_quarters: usize, k: usize, n_folds: usize) -> Self {
+        assert!(n_folds >= 1, "need at least one fold");
+        let n_targets = n_quarters.checked_sub(k).expect("panel shorter than history");
+        assert!(
+            n_targets >= n_folds + 2,
+            "panel too short: {n_targets} target quarters cannot support {n_folds} folds \
+             (need at least {} for 1 train + 1 val + tests)",
+            n_folds + 2
+        );
+        let initial_train = n_targets - n_folds - 1;
+        let folds = (0..n_folds)
+            .map(|f| {
+                let val = k + initial_train + f;
+                Fold { train: (k..val).collect(), val, test: val + 1 }
+            })
+            .collect();
+        Self { folds, k }
+    }
+
+    /// The folds in chronological order.
+    pub fn folds(&self) -> &[Fold] {
+        &self.folds
+    }
+
+    /// Number of folds.
+    pub fn len(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// True when the schedule has no folds (never produced by `paper`).
+    pub fn is_empty(&self) -> bool {
+        self.folds.is_empty()
+    }
+
+    /// Render the schedule as the paper's Figure 5 does, given the
+    /// panel's quarters.
+    pub fn describe(&self, quarters: &[Quarter]) -> String {
+        let mut out = String::new();
+        out.push_str("fold | train                         | validate | test\n");
+        out.push_str("-----+-------------------------------+----------+--------\n");
+        for (i, f) in self.folds.iter().enumerate() {
+            let first = quarters[*f.train.first().expect("nonempty train")];
+            let last = quarters[*f.train.last().expect("nonempty train")];
+            out.push_str(&format!(
+                "{:>4} | {} .. {} ({:>2} quarters)   | {}   | {}\n",
+                i + 1,
+                first,
+                last,
+                f.train.len(),
+                quarters[f.val],
+                quarters[f.test],
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transaction_schedule_matches_paper() {
+        // 16 quarters from 2014q3; k=4; 7 folds → tests 2016q4..2018q2.
+        let s = CvSchedule::paper(16, 4, 7);
+        assert_eq!(s.len(), 7);
+        let quarters = Quarter::range(Quarter::new(2014, 3), Quarter::new(2018, 2));
+        let f0 = &s.folds()[0];
+        // Initial training 2015q3..2016q2 (indices 4..=7), val 2016q3, test 2016q4.
+        assert_eq!(f0.train, vec![4, 5, 6, 7]);
+        assert_eq!(quarters[f0.train[0]].to_string(), "2015q3");
+        assert_eq!(quarters[f0.val].to_string(), "2016q3");
+        assert_eq!(quarters[f0.test].to_string(), "2016q4");
+        let f6 = &s.folds()[6];
+        assert_eq!(quarters[f6.test].to_string(), "2018q2");
+        assert_eq!(f6.train, (4..14).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_query_schedule_matches_paper() {
+        // 9 quarters from 2016q2; k=4; 2 folds → tests 2018q1, 2018q2.
+        let s = CvSchedule::paper(9, 4, 2);
+        assert_eq!(s.len(), 2);
+        let quarters = Quarter::range(Quarter::new(2016, 2), Quarter::new(2018, 2));
+        let f0 = &s.folds()[0];
+        // Train {2017q2, 2017q3}, val 2017q4, test 2018q1.
+        assert_eq!(f0.train, vec![4, 5]);
+        assert_eq!(quarters[f0.val].to_string(), "2017q4");
+        assert_eq!(quarters[f0.test].to_string(), "2018q1");
+        let f1 = &s.folds()[1];
+        assert_eq!(f1.train, vec![4, 5, 6]);
+        assert_eq!(quarters[f1.test].to_string(), "2018q2");
+    }
+
+    #[test]
+    fn windows_expand_by_one() {
+        let s = CvSchedule::paper(16, 4, 7);
+        for w in s.folds().windows(2) {
+            assert_eq!(w[1].train.len(), w[0].train.len() + 1);
+            assert_eq!(w[1].val, w[0].val + 1);
+            assert_eq!(w[1].test, w[0].test + 1);
+        }
+    }
+
+    #[test]
+    fn no_leakage_ordering() {
+        for s in [CvSchedule::paper(16, 4, 7), CvSchedule::paper(9, 4, 2)] {
+            for f in s.folds() {
+                assert!(f.train.iter().all(|&t| t < f.val));
+                assert!(f.val < f.test);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn rejects_impossible_schedule() {
+        CvSchedule::paper(8, 4, 4);
+    }
+
+    #[test]
+    fn describe_renders_every_fold() {
+        let s = CvSchedule::paper(16, 4, 7);
+        let quarters = Quarter::range(Quarter::new(2014, 3), Quarter::new(2018, 2));
+        let d = s.describe(&quarters);
+        assert_eq!(d.lines().count(), 2 + 7);
+        assert!(d.contains("2016q4"));
+        assert!(d.contains("2018q2"));
+    }
+}

@@ -1,0 +1,326 @@
+//! Panel import/export as CSV.
+//!
+//! The repository ships a simulator because the paper's datasets are
+//! proprietary, but a user with access to *real* consensus and
+//! alternative data should not have to touch the simulator: this module
+//! round-trips a [`Panel`] through a plain CSV with one row per
+//! (company, quarter) observation, so real panels can be dropped in and
+//! every downstream component — features, CV, AMS, the backtest — works
+//! unchanged.
+//!
+//! Schema (header required, alternative channels are every column after
+//! the fixed prefix):
+//!
+//! ```csv
+//! company,name,sector,market_cap,fiscal_offset,quarter,revenue,consensus,low_est,high_est,<alt...>
+//! 0,R000,retail,2.5,0,2014q3,1021.5,1003.2,970.0,1050.8,553.1
+//! ```
+
+use std::fmt;
+use std::path::Path;
+use std::str::FromStr;
+
+use crate::panel::{Observation, Panel};
+use crate::quarters::Quarter;
+use crate::universe::{Company, Sector};
+
+/// Error importing a panel CSV.
+#[derive(Debug)]
+pub enum PanelIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or value-level problem, with a line number (1-based,
+    /// header = 1) and description.
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for PanelIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PanelIoError::Io(e) => write!(f, "panel csv io error: {e}"),
+            PanelIoError::Parse { line, message } => {
+                write!(f, "panel csv parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PanelIoError {}
+
+impl From<std::io::Error> for PanelIoError {
+    fn from(e: std::io::Error) -> Self {
+        PanelIoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> PanelIoError {
+    PanelIoError::Parse { line, message: message.into() }
+}
+
+const FIXED_COLS: [&str; 10] = [
+    "company",
+    "name",
+    "sector",
+    "market_cap",
+    "fiscal_offset",
+    "quarter",
+    "revenue",
+    "consensus",
+    "low_est",
+    "high_est",
+];
+
+fn sector_from_name(name: &str) -> Option<Sector> {
+    Sector::ALL.iter().copied().find(|s| s.name() == name)
+}
+
+/// Serialize a panel to CSV text.
+pub fn to_csv(panel: &Panel) -> String {
+    let mut out = FIXED_COLS.join(",");
+    for a in &panel.alt_names {
+        out.push(',');
+        out.push_str(a);
+    }
+    out.push('\n');
+    for c in 0..panel.num_companies() {
+        let company = &panel.companies[c];
+        for (t, q) in panel.quarters.iter().enumerate() {
+            let o = panel.get(c, t);
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{}",
+                company.id,
+                company.name,
+                company.sector.name(),
+                company.market_cap,
+                company.fiscal_offset,
+                q,
+                o.revenue,
+                o.consensus,
+                o.low_est,
+                o.high_est,
+            ));
+            for a in &o.alt {
+                out.push_str(&format!(",{a}"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Write a panel to a CSV file.
+pub fn write_csv(panel: &Panel, path: &Path) -> Result<(), PanelIoError> {
+    std::fs::write(path, to_csv(panel))?;
+    Ok(())
+}
+
+/// Parse a panel from CSV text. Rows may appear in any order but every
+/// company must cover the same consecutive quarter range.
+pub fn from_csv(text: &str) -> Result<Panel, PanelIoError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| parse_err(1, "empty file"))?;
+    let cols: Vec<&str> = header.split(',').map(str::trim).collect();
+    if cols.len() < FIXED_COLS.len() {
+        return Err(parse_err(1, format!("expected at least {} columns", FIXED_COLS.len())));
+    }
+    for (i, expected) in FIXED_COLS.iter().enumerate() {
+        if cols[i] != *expected {
+            return Err(parse_err(1, format!("column {i} must be {expected:?}, got {:?}", cols[i])));
+        }
+    }
+    let alt_names: Vec<String> = cols[FIXED_COLS.len()..].iter().map(|s| s.to_string()).collect();
+    let n_alt = alt_names.len();
+
+    struct Row {
+        company: usize,
+        quarter: Quarter,
+        obs: Observation,
+        meta: Company,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = raw.split(',').map(str::trim).collect();
+        if f.len() != FIXED_COLS.len() + n_alt {
+            return Err(parse_err(line_no, format!("expected {} fields, got {}", FIXED_COLS.len() + n_alt, f.len())));
+        }
+        let num = |i: usize, what: &str| -> Result<f64, PanelIoError> {
+            f[i].parse::<f64>().map_err(|_| parse_err(line_no, format!("bad {what}: {:?}", f[i])))
+        };
+        let company: usize =
+            f[0].parse().map_err(|_| parse_err(line_no, format!("bad company id {:?}", f[0])))?;
+        let sector = sector_from_name(f[2])
+            .ok_or_else(|| parse_err(line_no, format!("unknown sector {:?}", f[2])))?;
+        let quarter = Quarter::from_str(f[5])
+            .map_err(|e| parse_err(line_no, e.to_string()))?;
+        let mut alt = Vec::with_capacity(n_alt);
+        for (k, name) in alt_names.iter().enumerate() {
+            alt.push(num(FIXED_COLS.len() + k, name)?);
+        }
+        rows.push(Row {
+            company,
+            quarter,
+            obs: Observation {
+                revenue: num(6, "revenue")?,
+                consensus: num(7, "consensus")?,
+                low_est: num(8, "low_est")?,
+                high_est: num(9, "high_est")?,
+                alt,
+            },
+            meta: Company {
+                id: company,
+                name: f[1].to_string(),
+                sector,
+                market_cap: num(3, "market_cap")?,
+                fiscal_offset: f[4]
+                    .parse()
+                    .map_err(|_| parse_err(line_no, format!("bad fiscal_offset {:?}", f[4])))?,
+            },
+        });
+    }
+    if rows.is_empty() {
+        return Err(parse_err(2, "no observation rows"));
+    }
+
+    // Determine shape.
+    let n_companies = rows.iter().map(|r| r.company).max().expect("nonempty") + 1;
+    let first = rows.iter().map(|r| r.quarter).min().expect("nonempty");
+    let last = rows.iter().map(|r| r.quarter).max().expect("nonempty");
+    let quarters = Quarter::range(first, last);
+    let nq = quarters.len();
+
+    let mut companies: Vec<Option<Company>> = vec![None; n_companies];
+    let mut obs: Vec<Option<Observation>> = vec![None; n_companies * nq];
+    for r in rows {
+        if r.company >= n_companies {
+            unreachable!();
+        }
+        let t = r.quarter.diff(first) as usize;
+        let slot = r.company * nq + t;
+        if obs[slot].is_some() {
+            return Err(parse_err(0, format!("duplicate row for company {} at {}", r.company, r.quarter)));
+        }
+        obs[slot] = Some(r.obs);
+        match &companies[r.company] {
+            None => companies[r.company] = Some(r.meta),
+            Some(existing) => {
+                if existing.name != r.meta.name || existing.sector != r.meta.sector {
+                    return Err(parse_err(0, format!("inconsistent metadata for company {}", r.company)));
+                }
+            }
+        }
+    }
+    let companies: Vec<Company> = companies
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| c.ok_or_else(|| parse_err(0, format!("company {i} has no rows"))))
+        .collect::<Result<_, _>>()?;
+    let obs: Vec<Observation> = obs
+        .into_iter()
+        .enumerate()
+        .map(|(slot, o)| {
+            o.ok_or_else(|| {
+                let (c, t) = (slot / nq, slot % nq);
+                parse_err(0, format!("missing observation for company {c} at {}", quarters[t]))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(Panel::new(companies, quarters, alt_names, obs))
+}
+
+/// Read a panel from a CSV file.
+pub fn read_csv(path: &Path) -> Result<Panel, PanelIoError> {
+    from_csv(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let p = generate(&SynthConfig::tiny(800)).panel;
+        let csv = to_csv(&p);
+        let back = from_csv(&csv).expect("roundtrip parse");
+        assert_eq!(back.num_companies(), p.num_companies());
+        assert_eq!(back.num_quarters(), p.num_quarters());
+        assert_eq!(back.alt_names, p.alt_names);
+        for c in 0..p.num_companies() {
+            assert_eq!(back.companies[c].name, p.companies[c].name);
+            assert_eq!(back.companies[c].sector, p.companies[c].sector);
+            for t in 0..p.num_quarters() {
+                let (a, b) = (p.get(c, t), back.get(c, t));
+                assert!((a.revenue - b.revenue).abs() < 1e-9);
+                assert!((a.consensus - b.consensus).abs() < 1e-9);
+                assert_eq!(a.alt.len(), b.alt.len());
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_two_channel_panel() {
+        let p = generate(&SynthConfig { n_companies: 5, ..SynthConfig::map_query_paper(801) }).panel;
+        let back = from_csv(&to_csv(&p)).unwrap();
+        assert_eq!(back.alt_names.len(), 2);
+        assert_eq!(back.get(3, 5).alt.len(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_and_garbage() {
+        assert!(from_csv("").is_err());
+        assert!(from_csv("not,a,panel\n1,2,3").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_header_order() {
+        let p = generate(&SynthConfig::tiny(802)).panel;
+        let csv = to_csv(&p).replacen("company,name", "name,company", 1);
+        let err = from_csv(&csv).unwrap_err();
+        assert!(err.to_string().contains("column 0"));
+    }
+
+    #[test]
+    fn rejects_missing_observation() {
+        let p = generate(&SynthConfig { n_companies: 2, n_quarters: 6, ..SynthConfig::tiny(803) }).panel;
+        let csv = to_csv(&p);
+        // Drop the last data line.
+        let trimmed: Vec<&str> = csv.trim_end().lines().collect();
+        let cut = trimmed[..trimmed.len() - 1].join("\n");
+        let err = from_csv(&cut).unwrap_err();
+        assert!(err.to_string().contains("missing observation"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_sector() {
+        let p = generate(&SynthConfig { n_companies: 2, n_quarters: 6, ..SynthConfig::tiny(804) }).panel;
+        let csv = to_csv(&p).replace("retail", "crypto").replace("travel", "crypto")
+            .replace("apparel", "crypto").replace("electronics", "crypto")
+            .replace("grocery", "crypto").replace("home-goods", "crypto")
+            .replace("restaurants", "crypto").replace("entertainment", "crypto");
+        assert!(from_csv(&csv).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_quarter_literal() {
+        let p = generate(&SynthConfig { n_companies: 2, n_quarters: 6, ..SynthConfig::tiny(805) }).panel;
+        let csv = to_csv(&p).replace("2015q1", "2015x1");
+        let err = from_csv(&csv).unwrap_err();
+        assert!(err.to_string().contains("quarter"), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let p = generate(&SynthConfig { n_companies: 3, n_quarters: 6, ..SynthConfig::tiny(806) }).panel;
+        let dir = std::env::temp_dir().join("ams_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("panel.csv");
+        write_csv(&p, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.num_companies(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+}

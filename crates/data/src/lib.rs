@@ -1,0 +1,32 @@
+//! # ams-data — panels, synthetic alternative data, features, CV
+//!
+//! The data substrate of the AMS reproduction. The paper evaluates on
+//! two proprietary panels (China UnionPay online transaction amounts;
+//! Baidu Maps query counts); this crate simulates their statistical
+//! structure (see `DESIGN.md` §1 for the substitution argument) and
+//! implements the paper's feature protocol end-to-end:
+//!
+//! * [`quarters`] — fiscal-quarter calendar ([`Quarter`]);
+//! * [`universe`] — companies, sectors, market-cap tiers;
+//! * [`panel`] — quarterly observations ([`Panel`], [`Observation`]);
+//! * [`synth`] — the structural generator ([`synth::generate`]);
+//! * [`features`] — Definition II.3 feature assembly ([`FeatureSet`])
+//!   and train-split standardization ([`Standardizer`]);
+//! * [`cv`] — the Figure 5 expanding-window schedule ([`CvSchedule`]);
+//! * [`io`] — CSV import/export so real (non-simulated) panels can be
+//!   dropped into the same pipeline.
+
+pub mod cv;
+pub mod io;
+pub mod features;
+pub mod panel;
+pub mod quarters;
+pub mod synth;
+pub mod universe;
+
+pub use cv::{CvSchedule, Fold};
+pub use features::{FeatureSet, Sample, Standardizer};
+pub use panel::{Observation, Panel};
+pub use quarters::Quarter;
+pub use synth::{generate, AltChannel, SynthConfig, SynthPanel};
+pub use universe::{CapTier, Company, Sector};

@@ -1,0 +1,186 @@
+//! Quarterly panel storage: one [`Observation`] per (company, quarter).
+
+use crate::quarters::Quarter;
+use crate::universe::Company;
+
+/// Everything recorded for one company in one quarter.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Observation {
+    /// Officially reported revenue `R_i^t` (millions).
+    pub revenue: f64,
+    /// Analyst consensus `E_i^t` — the mean of the analyst panel's
+    /// estimates, frozen at fiscal quarter end (before announcement).
+    pub consensus: f64,
+    /// Lowest analyst estimate `LE_i^t`.
+    pub low_est: f64,
+    /// Highest analyst estimate `HE_i^t`.
+    pub high_est: f64,
+    /// Alternative-data aggregates `A_i^t` for this quarter, one value
+    /// per channel (1 channel for transaction amount, 2 for map query
+    /// to store / to parking lot).
+    pub alt: Vec<f64>,
+}
+
+impl Observation {
+    /// The actual unexpected revenue `UR = R − E(R)` (§II-A).
+    pub fn unexpected_revenue(&self) -> f64 {
+        self.revenue - self.consensus
+    }
+}
+
+/// A complete quarterly panel: companies × consecutive quarters.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Panel {
+    /// The company universe; `companies[i].id == i`.
+    pub companies: Vec<Company>,
+    /// Consecutive quarters covered by the panel.
+    pub quarters: Vec<Quarter>,
+    /// Names of the alternative-data channels, e.g. `["txn_amount"]`.
+    pub alt_names: Vec<String>,
+    /// Row-major `[company][quarter]` observations.
+    obs: Vec<Observation>,
+}
+
+impl Panel {
+    /// Assemble a panel; `obs` must be row-major `[company][quarter]`.
+    ///
+    /// # Panics
+    /// Panics if dimensions are inconsistent, quarters are not
+    /// consecutive, or any channel width disagrees with `alt_names`.
+    pub fn new(
+        companies: Vec<Company>,
+        quarters: Vec<Quarter>,
+        alt_names: Vec<String>,
+        obs: Vec<Observation>,
+    ) -> Self {
+        assert_eq!(obs.len(), companies.len() * quarters.len(), "panel: observation count mismatch");
+        for w in quarters.windows(2) {
+            assert_eq!(w[1], w[0].next(), "panel: quarters must be consecutive");
+        }
+        for (i, c) in companies.iter().enumerate() {
+            assert_eq!(c.id, i, "panel: company ids must be dense and ordered");
+        }
+        for o in &obs {
+            assert_eq!(o.alt.len(), alt_names.len(), "panel: alt channel width mismatch");
+        }
+        Self { companies, quarters, alt_names, obs }
+    }
+
+    /// Number of companies.
+    pub fn num_companies(&self) -> usize {
+        self.companies.len()
+    }
+
+    /// Number of quarters.
+    pub fn num_quarters(&self) -> usize {
+        self.quarters.len()
+    }
+
+    /// Observation for company `c` at quarter index `t`.
+    pub fn get(&self, c: usize, t: usize) -> &Observation {
+        &self.obs[c * self.quarters.len() + t]
+    }
+
+    /// Index of a quarter within the panel, if covered.
+    pub fn quarter_index(&self, q: Quarter) -> Option<usize> {
+        let first = *self.quarters.first()?;
+        let d = q.diff(first);
+        if d >= 0 && (d as usize) < self.quarters.len() {
+            Some(d as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Revenue series of company `c` over quarter indices `[start, end)`
+    /// — the input to correlation-graph construction.
+    pub fn revenue_series(&self, c: usize, start: usize, end: usize) -> Vec<f64> {
+        (start..end).map(|t| self.get(c, t).revenue).collect()
+    }
+
+    /// Revenue series for every company over `[start, end)`.
+    pub fn all_revenue_series(&self, start: usize, end: usize) -> Vec<Vec<f64>> {
+        (0..self.num_companies()).map(|c| self.revenue_series(c, start, end)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Sector;
+
+    fn tiny_panel() -> Panel {
+        let companies = vec![
+            Company { id: 0, name: "A".into(), sector: Sector::Retail, market_cap: 2.0, fiscal_offset: 0 },
+            Company { id: 1, name: "B".into(), sector: Sector::Travel, market_cap: 0.5, fiscal_offset: 1 },
+        ];
+        let quarters = Quarter::range(Quarter::new(2016, 1), Quarter::new(2016, 3));
+        let mut obs = Vec::new();
+        for c in 0..2 {
+            for t in 0..3 {
+                let base = 100.0 * (c + 1) as f64 + t as f64;
+                obs.push(Observation {
+                    revenue: base,
+                    consensus: base - 1.0,
+                    low_est: base - 3.0,
+                    high_est: base + 2.0,
+                    alt: vec![base * 10.0],
+                });
+            }
+        }
+        Panel::new(companies, quarters, vec!["txn".into()], obs)
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let p = tiny_panel();
+        assert_eq!(p.get(0, 0).revenue, 100.0);
+        assert_eq!(p.get(0, 2).revenue, 102.0);
+        assert_eq!(p.get(1, 0).revenue, 200.0);
+    }
+
+    #[test]
+    fn unexpected_revenue_definition() {
+        let p = tiny_panel();
+        assert_eq!(p.get(1, 1).unexpected_revenue(), 1.0);
+    }
+
+    #[test]
+    fn quarter_index_lookup() {
+        let p = tiny_panel();
+        assert_eq!(p.quarter_index(Quarter::new(2016, 1)), Some(0));
+        assert_eq!(p.quarter_index(Quarter::new(2016, 3)), Some(2));
+        assert_eq!(p.quarter_index(Quarter::new(2015, 4)), None);
+        assert_eq!(p.quarter_index(Quarter::new(2016, 4)), None);
+    }
+
+    #[test]
+    fn revenue_series_slice() {
+        let p = tiny_panel();
+        assert_eq!(p.revenue_series(0, 0, 2), vec![100.0, 101.0]);
+        assert_eq!(p.all_revenue_series(1, 3)[1], vec![201.0, 202.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive")]
+    fn rejects_gapped_quarters() {
+        let mut p = tiny_panel();
+        let companies = p.companies.clone();
+        let alt_names = p.alt_names.clone();
+        let obs: Vec<Observation> = (0..4).map(|_| p.get(0, 0).clone()).collect();
+        p = Panel::new(
+            companies,
+            vec![Quarter::new(2016, 1), Quarter::new(2016, 3)],
+            alt_names,
+            obs,
+        );
+        let _ = p;
+    }
+
+    #[test]
+    #[should_panic(expected = "observation count")]
+    fn rejects_wrong_obs_count() {
+        let p = tiny_panel();
+        Panel::new(p.companies.clone(), p.quarters.clone(), p.alt_names.clone(), vec![]);
+    }
+}

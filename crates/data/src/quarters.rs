@@ -1,0 +1,187 @@
+//! Fiscal-quarter calendar arithmetic.
+//!
+//! The paper's datasets are quarterly panels ("2014q3 to 2018q2, namely
+//! 16 quarters"). [`Quarter`] is a year/quarter pair with total
+//! ordering, arithmetic, and parsing of the paper's `2016q4` notation.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A calendar quarter such as `2016q4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Quarter {
+    year: i32,
+    /// 1..=4
+    q: u8,
+}
+
+impl Quarter {
+    /// Construct; `q` must be 1..=4.
+    pub fn new(year: i32, q: u8) -> Self {
+        assert!((1..=4).contains(&q), "quarter must be 1..=4, got {q}");
+        Self { year, q }
+    }
+
+    /// Calendar year.
+    pub fn year(self) -> i32 {
+        self.year
+    }
+
+    /// Quarter within the year, 1..=4.
+    pub fn q(self) -> u8 {
+        self.q
+    }
+
+    /// Monotone integer index (quarters since year 0).
+    pub fn index(self) -> i64 {
+        self.year as i64 * 4 + (self.q as i64 - 1)
+    }
+
+    /// Quarter from a monotone index.
+    pub fn from_index(idx: i64) -> Self {
+        let year = idx.div_euclid(4);
+        let q = idx.rem_euclid(4) + 1;
+        Self::new(year as i32, q as u8)
+    }
+
+    /// `self + n` quarters (n may be negative).
+    pub fn add(self, n: i64) -> Self {
+        Self::from_index(self.index() + n)
+    }
+
+    /// Signed distance `self − other` in quarters.
+    pub fn diff(self, other: Quarter) -> i64 {
+        self.index() - other.index()
+    }
+
+    /// The next quarter.
+    pub fn next(self) -> Self {
+        self.add(1)
+    }
+
+    /// The month in which the quarter ends (3, 6, 9, 12), the paper's
+    /// "month" one-hot feature anchor for a calendar-year fiscal company.
+    pub fn end_month(self) -> u8 {
+        self.q * 3
+    }
+
+    /// Inclusive range of quarters `[start, end]`.
+    pub fn range(start: Quarter, end: Quarter) -> Vec<Quarter> {
+        assert!(start <= end, "range: start after end");
+        (start.index()..=end.index()).map(Quarter::from_index).collect()
+    }
+}
+
+impl fmt::Display for Quarter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}q{}", self.year, self.q)
+    }
+}
+
+/// Error parsing a quarter string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQuarterError(String);
+
+impl fmt::Display for ParseQuarterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid quarter literal: {:?} (expected e.g. 2016q4)", self.0)
+    }
+}
+
+impl std::error::Error for ParseQuarterError {}
+
+impl FromStr for Quarter {
+    type Err = ParseQuarterError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        let (y, q) = lower.split_once('q').ok_or_else(|| ParseQuarterError(s.into()))?;
+        let year: i32 = y.parse().map_err(|_| ParseQuarterError(s.into()))?;
+        let qn: u8 = q.parse().map_err(|_| ParseQuarterError(s.into()))?;
+        if !(1..=4).contains(&qn) {
+            return Err(ParseQuarterError(s.into()));
+        }
+        Ok(Quarter::new(year, qn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let q = Quarter::new(2016, 4);
+        assert_eq!(q.year(), 2016);
+        assert_eq!(q.q(), 4);
+        assert_eq!(q.end_month(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "quarter must be")]
+    fn rejects_quarter_five() {
+        Quarter::new(2016, 5);
+    }
+
+    #[test]
+    fn arithmetic_wraps_years() {
+        let q = Quarter::new(2014, 3);
+        assert_eq!(q.add(2), Quarter::new(2015, 1));
+        assert_eq!(q.add(-3), Quarter::new(2013, 4));
+        assert_eq!(q.add(15), Quarter::new(2018, 2));
+    }
+
+    #[test]
+    fn diff_is_inverse_of_add() {
+        let a = Quarter::new(2014, 3);
+        let b = a.add(15);
+        assert_eq!(b.diff(a), 15);
+        assert_eq!(a.diff(b), -15);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for year in [1999, 2016, 2026] {
+            for q in 1..=4 {
+                let qu = Quarter::new(year, q);
+                assert_eq!(Quarter::from_index(qu.index()), qu);
+            }
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Quarter::new(2016, 4) < Quarter::new(2017, 1));
+        assert!(Quarter::new(2016, 2) > Quarter::new(2016, 1));
+    }
+
+    #[test]
+    fn paper_transaction_span_is_16_quarters() {
+        let qs = Quarter::range(Quarter::new(2014, 3), Quarter::new(2018, 2));
+        assert_eq!(qs.len(), 16);
+        assert_eq!(qs[0].to_string(), "2014q3");
+        assert_eq!(qs[15].to_string(), "2018q2");
+    }
+
+    #[test]
+    fn paper_map_query_span_is_9_quarters() {
+        let qs = Quarter::range(Quarter::new(2016, 2), Quarter::new(2018, 2));
+        assert_eq!(qs.len(), 9);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let q: Quarter = "2016q4".parse().unwrap();
+        assert_eq!(q, Quarter::new(2016, 4));
+        assert_eq!(q.to_string(), "2016q4");
+        assert_eq!("2016Q4".parse::<Quarter>().unwrap(), q);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("2016".parse::<Quarter>().is_err());
+        assert!("2016q5".parse::<Quarter>().is_err());
+        assert!("q4".parse::<Quarter>().is_err());
+        assert!("abcq1".parse::<Quarter>().is_err());
+    }
+}

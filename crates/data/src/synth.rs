@@ -1,0 +1,540 @@
+//! Structural simulator replacing the proprietary alternative datasets.
+//!
+//! The paper's data (China UnionPay transaction amounts; Baidu Maps
+//! query counts) is unavailable, so this module generates a synthetic
+//! panel whose *statistical structure* matches the properties the paper
+//! relies on:
+//!
+//! 1. **Revenue** follows sector-seasonal, trending, factor-driven
+//!    dynamics plus a *current-quarter demand shock* `ε_i(t)` that no
+//!    purely historical model can see.
+//! 2. **Analysts** know the predictable part and only partially
+//!    incorporate `ε` (under-reaction fraction `phi`), so the consensus
+//!    is good but beatable: its error — the unexpected revenue — is
+//!    partially predictable from data that observes `ε`.
+//! 3. **Alternative data** observes realized demand through a
+//!    company-specific sensitivity `κ_i` (transaction coverage /
+//!    store-visit conversion), clustered by sector. A global fixed-
+//!    weight model mis-scales companies whose `κ` is far from average;
+//!    an adaptive per-company model (the slave-LR) can calibrate — this
+//!    is the mechanism that reproduces the paper's ordering in
+//!    Tables I–III.
+//! 4. The **map-query** channel is noisier and more indirect than the
+//!    transaction channel (two series via a drifting visitation link),
+//!    reproducing the paper's observation that QoQ/YoY-style ratio
+//!    rules collapse on it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ams_stats::mean;
+
+use crate::panel::{Observation, Panel};
+use crate::quarters::Quarter;
+use crate::universe::{random_universe, Sector};
+
+/// Which alternative-data product to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AltChannel {
+    /// Online credit-card transaction amounts (one series/company).
+    TransactionAmount,
+    /// Map queries to store and to parking lot (two series/company).
+    MapQuery,
+}
+
+impl AltChannel {
+    /// Channel names in panel column order.
+    pub fn names(self) -> Vec<String> {
+        match self {
+            AltChannel::TransactionAmount => vec!["txn_amount".into()],
+            AltChannel::MapQuery => vec!["map_query_store".into(), "map_query_parking".into()],
+        }
+    }
+}
+
+/// Simulator parameters. Defaults are calibrated so the experiment
+/// binaries reproduce the *shape* of the paper's tables (see
+/// EXPERIMENTS.md for the calibration record).
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of companies (paper: 71 transaction, 62 map query).
+    pub n_companies: usize,
+    /// First quarter of the panel.
+    pub start: Quarter,
+    /// Number of consecutive quarters (paper: 16 transaction, 9 map query).
+    pub n_quarters: usize,
+    /// Alternative-data product to attach.
+    pub channel: AltChannel,
+    /// RNG seed (panels are bit-reproducible per seed).
+    pub seed: u64,
+    /// Std of the current-quarter demand shock `ε` in log space.
+    pub demand_shock_std: f64,
+    /// Fraction of `ε` analysts incorporate (under-reaction ⇒ < 1).
+    pub analyst_reaction: f64,
+    /// Std of consensus-level noise in log space.
+    pub consensus_noise_std: f64,
+    /// Stationary std of the persistent per-company analyst bias
+    /// (systematic optimism/pessimism, AR(1) with ρ = 0.95). Keeps the
+    /// unexpected revenue bounded away from zero most quarters — the
+    /// empirically documented behaviour of real consensus errors — and
+    /// gives models a learnable company-level component.
+    pub analyst_bias_std: f64,
+    /// Dispersion of individual analyst estimates around consensus.
+    pub analyst_dispersion: f64,
+    /// Analysts covering each company (min, max inclusive).
+    pub analysts_per_company: (usize, usize),
+    /// Observation noise of the transaction channel (log space).
+    pub txn_noise_std: f64,
+    /// Quarterly drift std of transaction coverage `c_i(t)`.
+    pub coverage_drift_std: f64,
+    /// Observation noise of map-query-to-store counts (log space).
+    pub store_noise_std: f64,
+    /// Observation noise of map-query-to-parking counts (log space).
+    pub parking_noise_std: f64,
+    /// AR(1) std of the visitation↔revenue conversion wedge (map query).
+    pub conversion_drift_std: f64,
+    /// Across-sector std of the sensitivity κ's sector mean.
+    pub kappa_sector_std: f64,
+    /// Within-sector std of company sensitivity κ.
+    pub kappa_company_std: f64,
+    /// Noise multiplier applied to the channel of a poor-coverage
+    /// company (its alternative data barely tracks revenue).
+    pub poor_noise_mult: f64,
+    /// Sensitivity multiplier for a poor-coverage company's channel.
+    pub poor_kappa_mult: f64,
+    /// Base probability that a company's channel relation is
+    /// *inverted* (κ < 0): volume proxies discounting/promotion rather
+    /// than recognized revenue, as with GMV-heavy platforms. A global
+    /// fixed-weight model necessarily gets these companies backwards;
+    /// only a per-company slave model can flip the sign — the same
+    /// phenomenon the paper's Figure 8 shows as opposite feature
+    /// weights across companies.
+    pub inverted_prob: f64,
+}
+
+impl SynthConfig {
+    /// The transaction-amount dataset of §II-D: 71 companies,
+    /// 2014q3–2018q2 (16 quarters).
+    pub fn transaction_paper(seed: u64) -> Self {
+        Self {
+            n_companies: 71,
+            start: Quarter::new(2014, 3),
+            n_quarters: 16,
+            channel: AltChannel::TransactionAmount,
+            seed,
+            demand_shock_std: 0.070,
+            analyst_reaction: 0.30,
+            consensus_noise_std: 0.012,
+            analyst_bias_std: 0.008,
+            analyst_dispersion: 0.022,
+            analysts_per_company: (4, 12),
+            txn_noise_std: 0.015,
+            coverage_drift_std: 0.005,
+            store_noise_std: 0.025,
+            parking_noise_std: 0.040,
+            conversion_drift_std: 0.015,
+            kappa_sector_std: 0.30,
+            kappa_company_std: 0.05,
+            poor_noise_mult: 3.0,
+            poor_kappa_mult: 0.35,
+            inverted_prob: 0.25,
+        }
+    }
+
+    /// The map-query dataset of §II-D: 62 companies, 2016q2–2018q2
+    /// (9 quarters).
+    pub fn map_query_paper(seed: u64) -> Self {
+        Self {
+            n_companies: 62,
+            start: Quarter::new(2016, 2),
+            n_quarters: 9,
+            channel: AltChannel::MapQuery,
+            ..Self::transaction_paper(seed)
+        }
+    }
+
+    /// A small fast panel for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            n_companies: 12,
+            start: Quarter::new(2015, 1),
+            n_quarters: 10,
+            channel: AltChannel::TransactionAmount,
+            ..Self::transaction_paper(seed)
+        }
+    }
+}
+
+/// Latent per-company state the generator tracks (exposed for tests and
+/// for the "oracle" diagnostics in the benches).
+#[derive(Debug, Clone)]
+pub struct LatentCompany {
+    /// Base log revenue level.
+    pub log_level: f64,
+    /// Quarterly log growth rate.
+    pub growth: f64,
+    /// Sensitivity of the alternative channel to log revenue.
+    pub kappa: f64,
+    /// Loading on the sector demand factor.
+    pub factor_loading: f64,
+    /// Whether the company's alternative channel has poor coverage
+    /// (mostly noise): the heterogeneity that only an adaptive
+    /// per-company model can exploit.
+    pub poor_coverage: bool,
+    /// Whether the channel relation is inverted (negative κ).
+    pub inverted: bool,
+    /// Latent business-model subgroup within the sector (0 or 1).
+    pub subgroup: usize,
+}
+
+/// A generated panel plus the latent ground truth behind it.
+#[derive(Debug, Clone)]
+pub struct SynthPanel {
+    /// The observable panel handed to models.
+    pub panel: Panel,
+    /// Latent per-company parameters (never fed to models; used by
+    /// tests to verify the generator and by benches for diagnostics).
+    pub latents: Vec<LatentCompany>,
+    /// The demand shocks `ε_i(t)` (company-major), the quantity the
+    /// alternative data partially reveals.
+    pub shocks: Vec<Vec<f64>>,
+}
+
+/// Generate a panel according to `config`.
+pub fn generate(config: &SynthConfig) -> SynthPanel {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let companies = random_universe(config.n_companies, &mut rng);
+    let quarters: Vec<Quarter> = (0..config.n_quarters as i64).map(|i| config.start.add(i)).collect();
+    let nq = config.n_quarters;
+
+    // Sector factor paths: AR(1) in log space.
+    let n_sectors = Sector::ALL.len();
+    let mut sector_factor = vec![vec![0.0; nq]; n_sectors];
+    for path in &mut sector_factor {
+        let mut f = 0.0;
+        for v in path.iter_mut() {
+            f = 0.6 * f + 0.035 * normal(&mut rng);
+            *v = f;
+        }
+    }
+
+    // Sector-level mean sensitivity κ_s (what makes the correlation
+    // graph informative about a company's calibration).
+    let kappa_sector: Vec<f64> =
+        (0..n_sectors).map(|_| 1.0 + config.kappa_sector_std * normal(&mut rng)).collect();
+    // Sector-level probability that a member company's alternative
+    // channel has poor coverage — clustered so the correlation graph
+    // carries information about channel quality.
+    // Channel coverage quality is a *latent subgroup* trait: each
+    // sector splits into two business-model subgroups (e.g.
+    // online-heavy vs. offline-heavy chains). Subgroups share a demand
+    // factor, so the revenue-correlation graph clusters by subgroup —
+    // the graph, not any feature column, carries the gating signal.
+    // Subgroups shape revenue co-movement (and hence the correlation
+    // graph); channel coverage quality itself is a sector-level trait
+    // observable through the sector one-hot.
+    let mut subgroup_factor = vec![vec![vec![0.0; nq]; 2]; n_sectors];
+    for sector_paths in &mut subgroup_factor {
+        for path in sector_paths.iter_mut() {
+            let mut f = 0.0;
+            for v in path.iter_mut() {
+                f = 0.5 * f + 0.045 * normal(&mut rng);
+                *v = f;
+            }
+        }
+    }
+    let poor_sector: Vec<bool> = (0..n_sectors).map(|_| rng.gen::<f64>() < 0.3).collect();
+    // Channel inversion is a *sector-level* trait (GMV-heavy platform
+    // sectors report volume that anticorrelates with recognized
+    // revenue); individual companies follow their sector's sign with
+    // high probability, so sector one-hots and graph neighbours carry
+    // the information an adaptive model needs to flip the slope.
+    let sector_inverted: Vec<bool> =
+        (0..n_sectors).map(|_| rng.gen::<f64>() < config.inverted_prob).collect();
+
+    let mut latents = Vec::with_capacity(companies.len());
+    let mut shocks: Vec<Vec<f64>> = Vec::with_capacity(companies.len());
+    let mut obs: Vec<Observation> = Vec::with_capacity(companies.len() * nq);
+
+    for company in &companies {
+        let sector = company.sector;
+        // Base scale tied to market cap (revenue in millions/quarter).
+        let log_level = (150.0 * company.market_cap.max(0.05)).ln() + 0.3 * normal(&mut rng);
+        let growth = 0.010 + 0.012 * normal(&mut rng);
+        let kappa = kappa_sector[sector.index()] + config.kappa_company_std * normal(&mut rng);
+        // Keep sensitivity bounded away from zero so ratios stay informative.
+        let mut kappa = kappa.clamp(0.4, 1.8);
+        let subgroup = rng.gen_range(0..2usize);
+        let poor_coverage = poor_sector[sector.index()] == (rng.gen::<f64>() < 0.97);
+        let noise_mult = if poor_coverage { config.poor_noise_mult } else { 1.0 };
+        if poor_coverage {
+            kappa *= config.poor_kappa_mult;
+        }
+        let follows_sector = rng.gen::<f64>() < 0.98;
+        let inverted = sector_inverted[sector.index()] == follows_sector;
+        if inverted {
+            kappa = -0.8 * kappa;
+        }
+        let factor_loading = 0.8 + 0.3 * rng.gen::<f64>();
+        latents.push(LatentCompany {
+            log_level,
+            growth,
+            kappa,
+            factor_loading,
+            poor_coverage,
+            inverted,
+            subgroup,
+        });
+
+        // Company AR(1) demand wedge and channel-specific drifts.
+        let mut idio = 0.0;
+        let mut analyst_bias = config.analyst_bias_std * normal(&mut rng);
+        let mut log_coverage = (0.05 + 0.25 * rng.gen::<f64>()).ln();
+        let mut conv_wedge = 0.0;
+        let store_scale = (2.0 + 8.0 * rng.gen::<f64>()).ln();
+        let parking_scale = (0.5 + 3.0 * rng.gen::<f64>()).ln();
+        let n_analysts = rng.gen_range(config.analysts_per_company.0..=config.analysts_per_company.1);
+
+        let mut company_shocks = Vec::with_capacity(nq);
+        for (t, q) in quarters.iter().enumerate() {
+            idio = 0.5 * idio + 0.03 * normal(&mut rng);
+            let season = sector.seasonal_shape(q.q()).ln();
+            let predictable = log_level
+                + growth * t as f64
+                + season
+                + factor_loading * sector_factor[sector.index()][t]
+                + subgroup_factor[sector.index()][subgroup][t]
+                + idio;
+            let eps = config.demand_shock_std * normal(&mut rng);
+            company_shocks.push(eps);
+            let log_revenue = predictable + eps;
+            let revenue = log_revenue.exp();
+
+            // Analyst panel: consensus target under-reacts to ε and
+            // carries the slowly moving company-level bias.
+            analyst_bias = 0.95 * analyst_bias
+                + config.analyst_bias_std * (1.0f64 - 0.95 * 0.95).sqrt() * normal(&mut rng);
+            let log_consensus_target = predictable
+                + config.analyst_reaction * eps
+                + analyst_bias
+                + config.consensus_noise_std * normal(&mut rng);
+            let estimates: Vec<f64> = (0..n_analysts)
+                .map(|_| (log_consensus_target + config.analyst_dispersion * normal(&mut rng)).exp())
+                .collect();
+            let consensus = mean(&estimates);
+            let low = estimates.iter().copied().fold(f64::INFINITY, f64::min);
+            let high = estimates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+            // Alternative channel(s).
+            log_coverage += config.coverage_drift_std * normal(&mut rng);
+            let alt = match config.channel {
+                AltChannel::TransactionAmount => {
+                    let log_a = log_coverage
+                        + kappa * log_revenue
+                        + noise_mult * config.txn_noise_std * normal(&mut rng);
+                    // Scale down so magnitudes look like "sum of online
+                    // transactions" rather than total revenue.
+                    vec![(log_a * 0.999).exp()]
+                }
+                AltChannel::MapQuery => {
+                    conv_wedge = 0.55 * conv_wedge
+                        + noise_mult * config.conversion_drift_std * normal(&mut rng);
+                    let log_visits = kappa * log_revenue + conv_wedge;
+                    let store = (store_scale
+                        + log_visits
+                        + noise_mult * config.store_noise_std * normal(&mut rng))
+                    .exp();
+                    let parking = (parking_scale
+                        + log_visits
+                        + noise_mult * config.parking_noise_std * normal(&mut rng))
+                    .exp();
+                    vec![store, parking]
+                }
+            };
+
+            obs.push(Observation { revenue, consensus, low_est: low, high_est: high, alt });
+        }
+        shocks.push(company_shocks);
+    }
+
+    let panel = Panel::new(companies, quarters, config.channel.names(), obs);
+    SynthPanel { panel, latents, shocks }
+}
+
+fn normal(rng: &mut impl Rng) -> f64 {
+    ams_tensor_free_normal(rng)
+}
+
+// Box–Muller without depending on ams-tensor (keeps the crate graph
+// acyclic: data ← models ← core all share ams-stats only).
+fn ams_tensor_free_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_stats::pearson;
+
+    #[test]
+    fn paper_shapes() {
+        let tx = generate(&SynthConfig::transaction_paper(1));
+        assert_eq!(tx.panel.num_companies(), 71);
+        assert_eq!(tx.panel.num_quarters(), 16);
+        assert_eq!(tx.panel.alt_names, vec!["txn_amount"]);
+        let mq = generate(&SynthConfig::map_query_paper(1));
+        assert_eq!(mq.panel.num_companies(), 62);
+        assert_eq!(mq.panel.num_quarters(), 9);
+        assert_eq!(mq.panel.alt_names.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&SynthConfig::tiny(7));
+        let b = generate(&SynthConfig::tiny(7));
+        let c = generate(&SynthConfig::tiny(8));
+        assert_eq!(a.panel.get(3, 4).revenue, b.panel.get(3, 4).revenue);
+        assert_ne!(a.panel.get(3, 4).revenue, c.panel.get(3, 4).revenue);
+    }
+
+    #[test]
+    fn revenues_positive_and_finite() {
+        let s = generate(&SynthConfig::transaction_paper(2));
+        for c in 0..71 {
+            for t in 0..16 {
+                let o = s.panel.get(c, t);
+                assert!(o.revenue > 0.0 && o.revenue.is_finite());
+                assert!(o.consensus > 0.0);
+                assert!(o.low_est <= o.consensus && o.consensus <= o.high_est);
+                assert!(o.alt.iter().all(|&a| a > 0.0 && a.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn consensus_is_good_but_imperfect() {
+        // Mean absolute relative consensus error should be a few percent
+        // — analysts are strong but beatable.
+        let s = generate(&SynthConfig::transaction_paper(3));
+        let mut errs = Vec::new();
+        for c in 0..71 {
+            for t in 0..16 {
+                let o = s.panel.get(c, t);
+                errs.push(((o.revenue - o.consensus) / o.revenue).abs());
+            }
+        }
+        let m = mean(&errs);
+        assert!(m > 0.01 && m < 0.12, "mean consensus error {m}");
+    }
+
+    #[test]
+    fn unexpected_revenue_correlates_with_alt_innovation() {
+        // The core premise: UR relates to the part of the alt ratio not
+        // explained by the revenue the analysts already predicted.
+        let s = generate(&SynthConfig::transaction_paper(4));
+        let collect = |poor: bool, inverted: bool| {
+            let mut ur_norm = Vec::new();
+            let mut alt_ratio = Vec::new();
+            for c in 0..71 {
+                if s.latents[c].poor_coverage != poor || s.latents[c].inverted != inverted {
+                    continue;
+                }
+                for t in 4..16 {
+                    let o = s.panel.get(c, t);
+                    let prev = s.panel.get(c, t - 4);
+                    ur_norm.push((o.revenue - o.consensus) / prev.revenue);
+                    // Alt YoY ratio minus consensus YoY ratio: a crude
+                    // proxy for the demand surprise the channel sees.
+                    alt_ratio.push(o.alt[0] / prev.alt[0] - o.consensus / prev.revenue);
+                }
+            }
+            pearson(&ur_norm, &alt_ratio)
+        };
+        let r_good = collect(false, false);
+        let r_poor = collect(true, false);
+        let r_inv = collect(false, true);
+        assert!(r_good > 0.2, "good-coverage alt data should carry UR signal, got r={r_good}");
+        assert!(
+            r_good > r_poor,
+            "good-coverage correlation {r_good} should exceed poor-coverage {r_poor}"
+        );
+        assert!(r_inv < 0.05, "inverted companies should anticorrelate, got {r_inv}");
+    }
+
+    #[test]
+    fn same_sector_revenues_more_correlated() {
+        let s = generate(&SynthConfig::transaction_paper(5));
+        let p = &s.panel;
+        let series = p.all_revenue_series(0, 16);
+        // Average pairwise correlation within sector vs across sector.
+        let mut within = Vec::new();
+        let mut across = Vec::new();
+        for i in 0..p.num_companies() {
+            for j in (i + 1)..p.num_companies() {
+                let r = pearson(&series[i], &series[j]);
+                if p.companies[i].sector == p.companies[j].sector {
+                    within.push(r);
+                } else {
+                    across.push(r);
+                }
+            }
+        }
+        assert!(
+            mean(&within) > mean(&across),
+            "within-sector correlation {} should exceed across {}",
+            mean(&within),
+            mean(&across)
+        );
+    }
+
+    #[test]
+    fn kappa_clusters_by_sector() {
+        let s = generate(&SynthConfig::transaction_paper(6));
+        // Variance of κ within sectors should be below total variance.
+        let mut by_sector: std::collections::HashMap<usize, Vec<f64>> = Default::default();
+        for (c, lat) in s.panel.companies.iter().zip(&s.latents) {
+            by_sector.entry(c.sector.index()).or_default().push(lat.kappa);
+        }
+        let all: Vec<f64> = s.latents.iter().map(|l| l.kappa).collect();
+        let total_var = ams_stats::variance(&all);
+        let within_var: f64 = {
+            let mut acc = 0.0;
+            let mut n = 0.0;
+            for xs in by_sector.values() {
+                if xs.len() >= 2 {
+                    acc += ams_stats::variance(xs) * (xs.len() - 1) as f64;
+                    n += (xs.len() - 1) as f64;
+                }
+            }
+            acc / n
+        };
+        assert!(within_var < total_var, "within {within_var} vs total {total_var}");
+    }
+
+    #[test]
+    fn map_query_noisier_than_transactions() {
+        // Relative quarter-over-quarter volatility of the alt series
+        // should be visibly higher for map query.
+        let tx = generate(&SynthConfig::transaction_paper(7));
+        let mq = generate(&SynthConfig::map_query_paper(7));
+        let vol = |s: &SynthPanel, ch: usize| {
+            let mut diffs = Vec::new();
+            for c in 0..s.panel.num_companies() {
+                for t in 1..s.panel.num_quarters() {
+                    let a = s.panel.get(c, t).alt[ch];
+                    let b = s.panel.get(c, t - 1).alt[ch];
+                    // Remove the revenue-driven part by comparing to the
+                    // company's revenue move.
+                    let ra = s.panel.get(c, t).revenue;
+                    let rb = s.panel.get(c, t - 1).revenue;
+                    diffs.push(((a / b).ln() - (ra / rb).ln()).abs());
+                }
+            }
+            mean(&diffs)
+        };
+        assert!(vol(&mq, 0) > vol(&tx, 0), "store channel should be noisier");
+        assert!(vol(&mq, 1) > vol(&mq, 0), "parking noisier than store");
+    }
+}

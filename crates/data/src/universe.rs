@@ -1,0 +1,233 @@
+//! The simulated company universe.
+//!
+//! The paper's two datasets cover consumer-facing listed companies (the
+//! kind with credit-card transactions, offline stores and parking
+//! lots). We model a universe of such companies with a sector label, a
+//! market capitalization (the backtest of §IV-F allocates capital 1:2:3
+//! across caps below 1 B, 1–10 B and above 10 B), and a fiscal-month
+//! offset so the "month" one-hot feature of §II-D is not degenerate.
+
+use rand::Rng;
+
+use crate::quarters::Quarter;
+
+/// Business sector of a company. Sectors shape the seasonal profile and
+/// the latent demand factor every member loads on, which is what makes
+/// revenue-correlated companies genuinely informative about each other
+/// — the premise of the company correlation graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Sector {
+    Retail,
+    Restaurants,
+    Apparel,
+    Electronics,
+    Travel,
+    Grocery,
+    HomeGoods,
+    Entertainment,
+}
+
+impl Sector {
+    /// All sectors, in one-hot order.
+    pub const ALL: [Sector; 8] = [
+        Sector::Retail,
+        Sector::Restaurants,
+        Sector::Apparel,
+        Sector::Electronics,
+        Sector::Travel,
+        Sector::Grocery,
+        Sector::HomeGoods,
+        Sector::Entertainment,
+    ];
+
+    /// Position in [`Sector::ALL`].
+    pub fn index(self) -> usize {
+        Sector::ALL.iter().position(|&s| s == self).expect("sector in ALL")
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sector::Retail => "retail",
+            Sector::Restaurants => "restaurants",
+            Sector::Apparel => "apparel",
+            Sector::Electronics => "electronics",
+            Sector::Travel => "travel",
+            Sector::Grocery => "grocery",
+            Sector::HomeGoods => "home-goods",
+            Sector::Entertainment => "entertainment",
+        }
+    }
+
+    /// Seasonal revenue multiplier for calendar quarter `q` (1..=4).
+    /// Shapes are stylized: retail/electronics peak in Q4, travel in Q3,
+    /// grocery is flat, etc.
+    pub fn seasonal_shape(self, q: u8) -> f64 {
+        debug_assert!((1..=4).contains(&q));
+        let shape: [f64; 4] = match self {
+            Sector::Retail => [0.92, 0.96, 0.98, 1.14],
+            Sector::Restaurants => [0.95, 1.03, 1.05, 0.97],
+            Sector::Apparel => [0.90, 1.00, 0.98, 1.12],
+            Sector::Electronics => [0.93, 0.94, 1.00, 1.13],
+            Sector::Travel => [0.88, 1.02, 1.18, 0.92],
+            Sector::Grocery => [0.99, 1.00, 1.00, 1.01],
+            Sector::HomeGoods => [0.95, 1.05, 1.02, 0.98],
+            Sector::Entertainment => [0.96, 1.00, 1.08, 0.96],
+        };
+        shape[(q - 1) as usize]
+    }
+}
+
+/// Market-capitalization tier used by the backtest's 1:2:3 capital
+/// allocation (boundaries 1 B and 10 B, §IV-F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CapTier {
+    /// Below 1 billion.
+    Small,
+    /// 1–10 billion.
+    Mid,
+    /// Above 10 billion.
+    Large,
+}
+
+impl CapTier {
+    /// Tier from a market cap expressed in billions.
+    pub fn from_cap_billions(cap: f64) -> Self {
+        if cap < 1.0 {
+            CapTier::Small
+        } else if cap <= 10.0 {
+            CapTier::Mid
+        } else {
+            CapTier::Large
+        }
+    }
+
+    /// Relative capital weight (1:2:3, §IV-F).
+    pub fn capital_weight(self) -> f64 {
+        match self {
+            CapTier::Small => 1.0,
+            CapTier::Mid => 2.0,
+            CapTier::Large => 3.0,
+        }
+    }
+}
+
+/// A listed company in the simulated universe.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Company {
+    /// Dense id, the node id in the correlation graph.
+    pub id: usize,
+    /// Ticker-like display name.
+    pub name: String,
+    /// Business sector.
+    pub sector: Sector,
+    /// Market capitalization in billions.
+    pub market_cap: f64,
+    /// Fiscal quarter end offset in months (0, 1 or 2), so that e.g. an
+    /// offset-1 company's Q1 ends in April.
+    pub fiscal_offset: u8,
+}
+
+impl Company {
+    /// Market-cap tier for capital allocation.
+    pub fn cap_tier(&self) -> CapTier {
+        CapTier::from_cap_billions(self.market_cap)
+    }
+
+    /// Calendar month (1..=12) in which this company's fiscal quarter
+    /// `q` ends.
+    pub fn fiscal_end_month(&self, q: Quarter) -> u8 {
+        let m = q.end_month() + self.fiscal_offset;
+        if m > 12 {
+            m - 12
+        } else {
+            m
+        }
+    }
+}
+
+/// Draw a universe of `n` companies with sector clustering and a heavy-
+/// tailed cap distribution resembling a consumer-stock cross-section.
+pub fn random_universe(n: usize, rng: &mut impl Rng) -> Vec<Company> {
+    (0..n)
+        .map(|id| {
+            let sector = Sector::ALL[rng.gen_range(0..Sector::ALL.len())];
+            // Log-normal-ish caps: most small/mid, a few mega-caps.
+            let cap = (0.2 + rng.gen::<f64>() * 2.0).powf(3.0);
+            Company {
+                id,
+                name: format!("{}{:03}", sector.name().chars().next().unwrap().to_ascii_uppercase(), id),
+                sector,
+                market_cap: cap,
+                fiscal_offset: rng.gen_range(0..3),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sector_index_roundtrip() {
+        for (i, &s) in Sector::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn seasonal_shapes_average_near_one() {
+        for &s in &Sector::ALL {
+            let avg: f64 = (1..=4).map(|q| s.seasonal_shape(q)).sum::<f64>() / 4.0;
+            assert!((avg - 1.0).abs() < 0.02, "{:?} seasonal average {avg}", s);
+        }
+    }
+
+    #[test]
+    fn cap_tier_boundaries() {
+        assert_eq!(CapTier::from_cap_billions(0.5), CapTier::Small);
+        assert_eq!(CapTier::from_cap_billions(1.0), CapTier::Mid);
+        assert_eq!(CapTier::from_cap_billions(10.0), CapTier::Mid);
+        assert_eq!(CapTier::from_cap_billions(10.1), CapTier::Large);
+    }
+
+    #[test]
+    fn capital_weights_are_1_2_3() {
+        assert_eq!(CapTier::Small.capital_weight(), 1.0);
+        assert_eq!(CapTier::Mid.capital_weight(), 2.0);
+        assert_eq!(CapTier::Large.capital_weight(), 3.0);
+    }
+
+    #[test]
+    fn fiscal_end_month_wraps() {
+        let mut c = Company {
+            id: 0,
+            name: "T000".into(),
+            sector: Sector::Retail,
+            market_cap: 2.0,
+            fiscal_offset: 2,
+        };
+        assert_eq!(c.fiscal_end_month(Quarter::new(2016, 4)), 2); // 12 + 2 → Feb
+        c.fiscal_offset = 0;
+        assert_eq!(c.fiscal_end_month(Quarter::new(2016, 4)), 12);
+    }
+
+    #[test]
+    fn random_universe_is_deterministic_and_diverse() {
+        let a = random_universe(71, &mut StdRng::seed_from_u64(9));
+        let b = random_universe(71, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.len(), 71);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.market_cap, y.market_cap);
+        }
+        // More than one sector and more than one cap tier present.
+        let sectors: std::collections::HashSet<_> = a.iter().map(|c| c.sector).collect();
+        assert!(sectors.len() >= 4);
+        let tiers: std::collections::HashSet<_> = a.iter().map(|c| c.cap_tier()).collect();
+        assert!(tiers.len() >= 2);
+    }
+}

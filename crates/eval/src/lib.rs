@@ -1,0 +1,17 @@
+//! # ams-eval — metrics, cross-validation harness, reporting
+//!
+//! Implements the paper's evaluation machinery: the BC/BA/SR metrics of
+//! §II-B ([`metrics`]), the expanding-window CV harness of §IV-C
+//! ([`harness`]), the significance tests and table assembly of §IV-D
+//! ([`report`]), and the `-na` feature-effectiveness ablation of §IV-E
+//! ([`ablation`]), and the random-search hyperparameter protocol of
+//! §IV-C ([`tuning`]).
+
+pub mod ablation;
+pub mod harness;
+pub mod metrics;
+pub mod report;
+pub mod tuning;
+
+pub use harness::{run_model, CvResult, EvalOptions, ModelKind, PredRecord, QuarterResult};
+pub use metrics::{bounded_accuracy, bounded_correction, mean_surprise_ratio, surprise_ratio};

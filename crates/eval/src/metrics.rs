@@ -1,0 +1,172 @@
+//! The paper's evaluation metrics (§II-B).
+//!
+//! * **BC (Bounded Correction)**, Definition II.1:
+//!   `BC = 𝟙(|ÛR − UR| < |UR|)`. By Lemma II.1 this implies the
+//!   predicted and actual unexpected revenue share a sign *and* the
+//!   predicted revenue is closer to the actual revenue than the
+//!   analysts' consensus.
+//! * **BA (Bounded Accuracy)**: the mean of BC over companies. Note the
+//!   paper's caution that random guessing scores ≈ 0, not 0.5.
+//! * **SR (Surprise Ratio)**, Definition II.2:
+//!   `SR = |ÛR − UR| / |UR|`; below 1 means the model beat consensus.
+
+/// Bounded Correction for one prediction. With `UR = 0` the condition
+/// `|ÛR − UR| < |UR|` is unsatisfiable, so BC is false — consistent
+/// with the definition.
+pub fn bounded_correction(pred_ur: f64, actual_ur: f64) -> bool {
+    (pred_ur - actual_ur).abs() < actual_ur.abs()
+}
+
+/// Surprise Ratio for one prediction. `UR = 0` with a nonzero
+/// prediction yields `+∞` (any error infinitely exceeds consensus's
+/// zero error); a perfect prediction of a zero surprise yields 0.
+pub fn surprise_ratio(pred_ur: f64, actual_ur: f64) -> f64 {
+    let num = (pred_ur - actual_ur).abs();
+    if actual_ur == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / actual_ur.abs()
+    }
+}
+
+/// Bounded Accuracy over a set of predictions, in percent (the paper
+/// reports e.g. `58.551`).
+pub fn bounded_accuracy(pred_ur: &[f64], actual_ur: &[f64]) -> f64 {
+    assert_eq!(pred_ur.len(), actual_ur.len(), "bounded_accuracy: length mismatch");
+    if pred_ur.is_empty() {
+        return 0.0;
+    }
+    let hits = pred_ur
+        .iter()
+        .zip(actual_ur)
+        .filter(|&(&p, &a)| bounded_correction(p, a))
+        .count();
+    100.0 * hits as f64 / pred_ur.len() as f64
+}
+
+/// Winsorization cap applied to per-sample surprise ratios before
+/// averaging. `SR = |ÛR − UR| / |UR|` has no finite mean whenever the
+/// actual surprise can be arbitrarily close to zero, so a handful of
+/// near-zero-|UR| companies would otherwise dominate the table; the
+/// paper's own worst rows (ARIMA ≈ 5.9, YoY ≈ 6.3) sit well below this
+/// cap, so it does not bind for any sane model.
+pub const SR_CAP: f64 = 10.0;
+
+/// Mean Surprise Ratio over a set of predictions, with each sample's
+/// ratio winsorized at [`SR_CAP`].
+pub fn mean_surprise_ratio(pred_ur: &[f64], actual_ur: &[f64]) -> f64 {
+    assert_eq!(pred_ur.len(), actual_ur.len(), "mean_surprise_ratio: length mismatch");
+    if pred_ur.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = pred_ur
+        .iter()
+        .zip(actual_ur)
+        .map(|(&p, &a)| surprise_ratio(p, a).min(SR_CAP))
+        .sum();
+    total / pred_ur.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bc_true_when_within_bound() {
+        assert!(bounded_correction(8.0, 10.0)); // error 2 < 10
+        assert!(bounded_correction(-8.0, -10.0));
+        assert!(bounded_correction(15.0, 10.0)); // error 5 < 10, same sign
+    }
+
+    #[test]
+    fn bc_false_when_outside_bound() {
+        assert!(!bounded_correction(21.0, 10.0)); // error 11 > 10
+        assert!(!bounded_correction(-1.0, 10.0)); // wrong side
+        assert!(!bounded_correction(0.0, 10.0)); // boundary: error == |UR|
+    }
+
+    #[test]
+    fn bc_implies_same_sign_lemma() {
+        // Lemma II.1: exhaustively check on a grid that BC ⇒ sign match.
+        for i in -50..=50 {
+            for j in -50..=50 {
+                let (p, a) = (i as f64 / 5.0, j as f64 / 5.0);
+                if bounded_correction(p, a) {
+                    assert!(
+                        p.signum() == a.signum(),
+                        "BC held but signs differ: pred {p}, actual {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bc_with_zero_actual_is_false() {
+        assert!(!bounded_correction(0.0, 0.0));
+        assert!(!bounded_correction(1.0, 0.0));
+    }
+
+    #[test]
+    fn sr_values() {
+        assert_eq!(surprise_ratio(10.0, 10.0), 0.0);
+        assert_eq!(surprise_ratio(8.0, 10.0), 0.2);
+        assert_eq!(surprise_ratio(0.0, 10.0), 1.0); // predicting "no surprise" ties consensus
+        assert_eq!(surprise_ratio(-10.0, 10.0), 2.0);
+    }
+
+    #[test]
+    fn sr_zero_actual_edge_cases() {
+        assert_eq!(surprise_ratio(0.0, 0.0), 0.0);
+        assert_eq!(surprise_ratio(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn ba_percentage() {
+        let pred = [8.0, -1.0, 21.0, -9.0];
+        let actual = [10.0, 10.0, 10.0, -10.0];
+        // hits: first (err 2<10) and last (err 1<10) → 50%.
+        assert_eq!(bounded_accuracy(&pred, &actual), 50.0);
+    }
+
+    #[test]
+    fn ba_empty_is_zero() {
+        assert_eq!(bounded_accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mean_sr() {
+        let pred = [8.0, 12.0];
+        let actual = [10.0, 10.0];
+        assert!((mean_surprise_ratio(&pred, &actual) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_sr_winsorizes_tails() {
+        // One near-zero |UR| sample would dominate an uncapped mean.
+        let pred = [5.0, 0.1];
+        let actual = [5.0, 1e-9];
+        let m = mean_surprise_ratio(&pred, &actual);
+        assert!((m - SR_CAP / 2.0).abs() < 1e-9, "mean {m}");
+    }
+
+    #[test]
+    fn perfect_model_ba_100_sr_0() {
+        let actual = [3.0, -2.0, 0.5];
+        assert_eq!(bounded_accuracy(&actual, &actual), 100.0);
+        assert_eq!(mean_surprise_ratio(&actual, &actual), 0.0);
+    }
+
+    #[test]
+    fn consensus_itself_scores_sr_1_ba_0() {
+        // Predicting ÛR = 0 (i.e. R̂ = consensus) gives SR = 1, BC = 0.
+        let actual = [3.0, -2.0, 0.5];
+        let zeros = [0.0; 3];
+        assert_eq!(bounded_accuracy(&zeros, &actual), 0.0);
+        assert!((mean_surprise_ratio(&zeros, &actual) - 1.0).abs() < 1e-12);
+    }
+}

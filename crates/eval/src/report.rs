@@ -1,0 +1,191 @@
+//! Table assembly and significance tests (§IV-D).
+//!
+//! Table I pairs each baseline's per-quarter BA series against AMS's
+//! with a paired t-test; Table II tests each model's per-quarter SR
+//! series against the constant 1 (the analysts' consensus) with a
+//! one-sample t-test.
+
+use ams_stats::{paired_ttest, ttest_1samp};
+
+use crate::harness::CvResult;
+
+/// One row of the Table I/II style reports.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TableRow {
+    /// Model name.
+    pub model: String,
+    /// Mean BA (%) across test quarters.
+    pub ba: f64,
+    /// Paired t-test p-value of the BA series vs AMS (None for the AMS
+    /// row itself or when the test is undefined).
+    pub ba_pvalue: Option<f64>,
+    /// Mean SR across test quarters.
+    pub sr: f64,
+    /// One-sample t-test p-value of the SR series vs 1 (consensus).
+    pub sr_pvalue: Option<f64>,
+    /// Per-quarter BA values.
+    pub per_quarter_ba: Vec<f64>,
+    /// Per-quarter SR values.
+    pub per_quarter_sr: Vec<f64>,
+}
+
+/// Build report rows from CV results. The reference model for the BA
+/// paired test is the row named `reference` (the paper uses AMS).
+pub fn build_rows(results: &[CvResult], reference: &str) -> Vec<TableRow> {
+    let ref_ba = results
+        .iter()
+        .find(|r| r.model == reference)
+        .map(|r| r.ba_series())
+        .unwrap_or_default();
+    results
+        .iter()
+        .map(|r| {
+            let ba_series = r.ba_series();
+            let sr_series = r.sr_series();
+            let ba_pvalue = if r.model == reference || ref_ba.is_empty() {
+                None
+            } else {
+                paired_ttest(&ref_ba, &ba_series).map(|t| t.p_value)
+            };
+            let sr_pvalue = ttest_1samp(&sr_series, 1.0).map(|t| t.p_value);
+            TableRow {
+                model: r.model.clone(),
+                ba: r.mean_ba(),
+                ba_pvalue,
+                sr: r.mean_sr(),
+                sr_pvalue,
+                per_quarter_ba: ba_series,
+                per_quarter_sr: sr_series,
+            }
+        })
+        .collect()
+}
+
+fn fmt_p(p: Option<f64>) -> String {
+    match p {
+        None => "-".into(),
+        Some(p) if p < 1e-4 => "<1e-4".into(),
+        Some(p) => format!("{p:.4}"),
+    }
+}
+
+/// Render a Table I style BA report. `quarter_labels` adds per-quarter
+/// columns (the paper's map-query table shows BA(18q1)/BA(18q2)).
+pub fn format_ba_table(rows: &[TableRow], quarter_labels: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<12} {:>9} {:>9}", "Model", "BA", "P-value"));
+    for q in quarter_labels {
+        out.push_str(&format!(" {:>10}", format!("BA({q})")));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<12} {:>9.3} {:>9}", row.model, row.ba, fmt_p(row.ba_pvalue)));
+        if !quarter_labels.is_empty() {
+            for v in &row.per_quarter_ba {
+                out.push_str(&format!(" {v:>10.3}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a Table II style SR report.
+pub fn format_sr_table(rows: &[TableRow], quarter_labels: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<12} {:>9} {:>9}", "Model", "SR", "P-value"));
+    for q in quarter_labels {
+        out.push_str(&format!(" {:>10}", format!("SR({q})")));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<12} {:>9.4} {:>9}", row.model, row.sr, fmt_p(row.sr_pvalue)));
+        if !quarter_labels.is_empty() {
+            for v in &row.per_quarter_sr {
+                out.push_str(&format!(" {v:>10.4}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{CvResult, PredRecord, QuarterResult};
+    use ams_data::Quarter;
+
+    fn fake_result(model: &str, bas: &[f64], srs: &[f64]) -> CvResult {
+        let per_quarter = bas
+            .iter()
+            .zip(srs)
+            .enumerate()
+            .map(|(i, (&ba, &sr))| QuarterResult {
+                quarter: Quarter::new(2017, 1).add(i as i64),
+                ba,
+                sr,
+                preds: vec![PredRecord {
+                    company: 0,
+                    pred_ur: 1.0,
+                    actual_ur: 2.0,
+                    consensus: 10.0,
+                    revenue: 12.0,
+                }],
+            })
+            .collect();
+        CvResult { model: model.into(), per_quarter }
+    }
+
+    #[test]
+    fn reference_row_has_no_ba_pvalue() {
+        let results = vec![
+            fake_result("AMS", &[60.0, 58.0, 59.0, 61.0], &[0.95, 0.96, 0.94, 0.97]),
+            fake_result("Ridge", &[52.0, 50.0, 51.0, 53.0], &[1.00, 1.01, 0.99, 1.02]),
+        ];
+        let rows = build_rows(&results, "AMS");
+        assert!(rows[0].ba_pvalue.is_none());
+        assert!(rows[1].ba_pvalue.is_some());
+        // Clear 8-point gap with tiny variance → significant.
+        assert!(rows[1].ba_pvalue.unwrap() < 0.01);
+    }
+
+    #[test]
+    fn sr_pvalue_tests_against_one() {
+        let results = vec![fake_result("M", &[50.0; 5], &[0.90, 0.91, 0.89, 0.92, 0.90])];
+        let rows = build_rows(&results, "M");
+        // SR clearly below 1 → small p.
+        assert!(rows[0].sr_pvalue.unwrap() < 0.01);
+        assert!((rows[0].sr - 0.904).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formatting_contains_all_rows_and_quarters() {
+        let results = vec![
+            fake_result("AMS", &[60.0, 58.0], &[0.95, 0.96]),
+            fake_result("Lasso", &[40.0, 42.0], &[1.05, 1.04]),
+        ];
+        let rows = build_rows(&results, "AMS");
+        let labels = vec!["18q1".to_string(), "18q2".to_string()];
+        let ba = format_ba_table(&rows, &labels);
+        assert!(ba.contains("AMS"));
+        assert!(ba.contains("Lasso"));
+        assert!(ba.contains("BA(18q1)"));
+        let sr = format_sr_table(&rows, &[]);
+        assert!(sr.contains("1.045") || sr.contains("1.0450"));
+    }
+
+    #[test]
+    fn tiny_pvalues_render_as_less_than() {
+        assert_eq!(fmt_p(Some(1e-6)), "<1e-4");
+        assert_eq!(fmt_p(Some(0.0179)), "0.0179");
+        assert_eq!(fmt_p(None), "-");
+    }
+
+    #[test]
+    fn missing_reference_leaves_pvalues_none() {
+        let results = vec![fake_result("Ridge", &[50.0, 51.0], &[1.0, 1.0])];
+        let rows = build_rows(&results, "AMS");
+        assert!(rows[0].ba_pvalue.is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! Random-search hyperparameter tuning (§IV-C: "The random search
+//! strategy is adopted on validation data to determine the optimal
+//! hyperparameters").
+//!
+//! [`random_search_cv`] runs the full expanding-window CV, but inside
+//! each fold it samples `n_trials` hyperparameter candidates, scores
+//! each on the fold's validation quarter (BA first, capped SR as the
+//! tie-breaker — the two metrics the paper reports), refits the winner
+//! and predicts the test quarter. Samplers for the common model
+//! families live in [`samplers`].
+
+use ams_data::{CvSchedule, FeatureSet, Panel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::harness::{run_fold_predictions, CvResult, EvalOptions, ModelKind, QuarterResult};
+use crate::metrics::{bounded_accuracy, mean_surprise_ratio};
+
+/// A hyperparameter sampler: draws one candidate configuration.
+pub type Sampler<'a> = &'a dyn Fn(&mut StdRng) -> ModelKind;
+
+/// Validation score of a candidate (higher is better): BA with a small
+/// SR-based tie-breaker.
+fn val_score(pred: &[f64], actual: &[f64]) -> f64 {
+    bounded_accuracy(pred, actual) - 0.1 * mean_surprise_ratio(pred, actual)
+}
+
+/// Run random-search tuning inside every CV fold.
+///
+/// Returns a [`CvResult`] whose model name is taken from the first
+/// sampled candidate (all candidates from one sampler should share a
+/// family name).
+pub fn random_search_cv(
+    panel: &Panel,
+    sampler: Sampler,
+    n_trials: usize,
+    opts: &EvalOptions,
+    seed: u64,
+) -> CvResult {
+    assert!(n_trials >= 1, "random search needs at least one trial");
+    let schedule = CvSchedule::paper(panel.num_quarters(), opts.k, opts.n_folds);
+    let mut fs = FeatureSet::build(panel, opts.k);
+    if opts.drop_alternative {
+        fs = fs.without_alternative();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model_name = String::new();
+    let mut per_quarter = Vec::with_capacity(schedule.len());
+
+    for fold in schedule.folds() {
+        // Sample candidates and score them on the validation quarter.
+        let mut best: Option<(f64, ModelKind)> = None;
+        for _ in 0..n_trials {
+            let kind = sampler(&mut rng);
+            if model_name.is_empty() {
+                model_name = kind.name();
+            }
+            let val_preds = run_fold_predictions(panel, &fs, &fold.train, fold.val, &kind);
+            let p: Vec<f64> = val_preds.iter().map(|r| r.pred_ur).collect();
+            let a: Vec<f64> = val_preds.iter().map(|r| r.actual_ur).collect();
+            let score = val_score(&p, &a);
+            if best.as_ref().map_or(true, |(b, _)| score > *b) {
+                best = Some((score, kind));
+            }
+        }
+        let (_, winner) = best.expect("at least one trial");
+        // Refit the winner on train ∪ nothing-extra and score the test
+        // quarter (the validation quarter stays out of training, as in
+        // the paper's protocol).
+        let preds = run_fold_predictions(panel, &fs, &fold.train, fold.test, &winner);
+        let p: Vec<f64> = preds.iter().map(|r| r.pred_ur).collect();
+        let a: Vec<f64> = preds.iter().map(|r| r.actual_ur).collect();
+        per_quarter.push(QuarterResult {
+            quarter: panel.quarters[fold.test],
+            ba: bounded_accuracy(&p, &a),
+            sr: mean_surprise_ratio(&p, &a),
+            preds,
+        });
+    }
+    CvResult { model: model_name, per_quarter }
+}
+
+/// Ready-made samplers for the §IV-B baselines.
+pub mod samplers {
+    use super::*;
+    use ams_models::{GbdtConfig, MlpConfig, RnnConfig};
+
+    fn log_uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+        (rng.gen::<f64>() * (hi.ln() - lo.ln()) + lo.ln()).exp()
+    }
+
+    /// Ridge with λ ∈ log-U[1e-3, 1e2].
+    pub fn ridge(rng: &mut StdRng) -> ModelKind {
+        ModelKind::Ridge { lambda: log_uniform(rng, 1e-3, 1e2) }
+    }
+
+    /// Lasso with α ∈ log-U[1e-4, 1e0].
+    pub fn lasso(rng: &mut StdRng) -> ModelKind {
+        ModelKind::Lasso { alpha: log_uniform(rng, 1e-4, 1.0) }
+    }
+
+    /// Elastic net over both α and the L1 ratio.
+    pub fn elasticnet(rng: &mut StdRng) -> ModelKind {
+        ModelKind::ElasticNet {
+            alpha: log_uniform(rng, 1e-4, 1.0),
+            l1_ratio: rng.gen::<f64>(),
+        }
+    }
+
+    /// GBDT over rounds/depth/η/subsampling.
+    pub fn gbdt(rng: &mut StdRng) -> ModelKind {
+        ModelKind::Gbdt(GbdtConfig {
+            n_estimators: rng.gen_range(50..400),
+            max_depth: rng.gen_range(2..5),
+            learning_rate: log_uniform(rng, 0.02, 0.3),
+            lambda: log_uniform(rng, 0.1, 10.0),
+            subsample: 0.6 + 0.4 * rng.gen::<f64>(),
+            colsample: 0.6 + 0.4 * rng.gen::<f64>(),
+            seed: rng.gen(),
+            ..Default::default()
+        })
+    }
+
+    /// MLP over width/depth/L2/dropout.
+    pub fn mlp(rng: &mut StdRng) -> ModelKind {
+        let width = *[8usize, 16, 32, 64].get(rng.gen_range(0..4)).expect("in range");
+        let hidden = if rng.gen::<bool>() { vec![width] } else { vec![width, width / 2] };
+        ModelKind::Mlp(MlpConfig {
+            hidden,
+            lr: log_uniform(rng, 1e-3, 3e-2),
+            epochs: rng.gen_range(100..400),
+            l2: log_uniform(rng, 1e-4, 3e-2),
+            dropout: 0.3 * rng.gen::<f64>(),
+            seed: rng.gen(),
+        })
+    }
+
+    /// GRU over hidden width / epochs / L2.
+    pub fn gru(rng: &mut StdRng) -> ModelKind {
+        ModelKind::Gru(RnnConfig {
+            hidden: rng.gen_range(4..24),
+            lr: log_uniform(rng, 3e-3, 3e-2),
+            epochs: rng.gen_range(80..300),
+            l2: log_uniform(rng, 1e-4, 3e-2),
+            seed: rng.gen(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_data::{generate, SynthConfig};
+
+    fn panel() -> Panel {
+        generate(&SynthConfig { n_companies: 10, n_quarters: 12, ..SynthConfig::tiny(900) }).panel
+    }
+
+    fn opts() -> EvalOptions {
+        EvalOptions { k: 4, n_folds: 2, drop_alternative: false }
+    }
+
+    #[test]
+    fn tunes_ridge_end_to_end() {
+        let p = panel();
+        let cv = random_search_cv(&p, &samplers::ridge, 5, &opts(), 1);
+        assert_eq!(cv.model, "Ridge");
+        assert_eq!(cv.per_quarter.len(), 2);
+        for q in &cv.per_quarter {
+            assert_eq!(q.preds.len(), 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = panel();
+        let a = random_search_cv(&p, &samplers::lasso, 4, &opts(), 3);
+        let b = random_search_cv(&p, &samplers::lasso, 4, &opts(), 3);
+        assert_eq!(a.mean_ba(), b.mean_ba());
+        let c = random_search_cv(&p, &samplers::lasso, 4, &opts(), 4);
+        // A different search seed is allowed to pick different winners;
+        // results must still be well-formed.
+        assert_eq!(c.per_quarter.len(), 2);
+    }
+
+    #[test]
+    fn more_trials_never_hurt_validation_fit() {
+        // Not a strict theorem on test data, but with the same seed
+        // stream prefix the 1-trial winner is among the 6-trial
+        // candidates ... simply check both run and produce finite
+        // metrics.
+        let p = panel();
+        let one = random_search_cv(&p, &samplers::ridge, 1, &opts(), 7);
+        let many = random_search_cv(&p, &samplers::ridge, 6, &opts(), 7);
+        assert!(one.mean_sr().is_finite());
+        assert!(many.mean_sr().is_finite());
+    }
+
+    #[test]
+    fn samplers_produce_valid_configs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            match samplers::ridge(&mut rng) {
+                ModelKind::Ridge { lambda } => assert!(lambda > 0.0),
+                other => panic!("unexpected {other:?}"),
+            }
+            match samplers::elasticnet(&mut rng) {
+                ModelKind::ElasticNet { alpha, l1_ratio } => {
+                    assert!(alpha > 0.0);
+                    assert!((0.0..=1.0).contains(&l1_ratio));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            match samplers::gbdt(&mut rng) {
+                ModelKind::Gbdt(c) => {
+                    assert!(c.subsample > 0.0 && c.subsample <= 1.0);
+                    assert!(c.max_depth >= 2);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        random_search_cv(&panel(), &samplers::ridge, 0, &opts(), 1);
+    }
+}

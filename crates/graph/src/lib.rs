@@ -1,0 +1,18 @@
+//! # ams-graph — the company correlation graph (§III-C)
+//!
+//! The master model of AMS runs a GAT over a graph in which each node is
+//! a company and each company is connected to the `k` companies whose
+//! *historical revenue* series correlate most strongly with its own
+//! (Pearson correlation, computed over the training window only to avoid
+//! leakage — §III-C: "we only use the historical revenue to build the
+//! graph at every time series cross-validation step").
+//!
+//! The top-k relation is directed at construction (A's top-k need not
+//! include B even when B's includes A); following the paper's Figure 4
+//! and standard GAT practice the edge set is symmetrized so attention
+//! flows both ways, and every node keeps a self-loop so a company always
+//! attends to itself.
+
+pub mod correlation_graph;
+
+pub use correlation_graph::{CompanyGraph, GraphConfig};

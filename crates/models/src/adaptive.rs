@@ -1,0 +1,249 @@
+//! The *other* adaptive-model families the paper's related work (§V-B)
+//! contrasts AMS against:
+//!
+//! * [`SemiLazy`] — the semi-lazy learning approach (paper refs
+//!   [33]–[35]): no global model; for each query point a local ridge
+//!   regression is fitted on its k nearest training samples. This is
+//!   "adaptive" without a master model — the paper argues it starves on
+//!   sparse financial data because each local fit sees only a handful
+//!   of points.
+//! * [`OnlineRidge`] — a "passive adaptive model" (refs [29]–[31]):
+//!   recursive least squares with exponential forgetting, updated only
+//!   after each ground truth is revealed. It adapts *after* the fact,
+//!   never per-company in advance — exactly the weakness §V-B points
+//!   out.
+//!
+//! Both implement [`Regressor`] so the harness and the extension
+//! benches can run them alongside the paper's lineup.
+
+use ams_tensor::{ridge_solve, Matrix};
+
+use crate::regressor::Regressor;
+
+/// Semi-lazy local ridge regression.
+pub struct SemiLazy {
+    /// Number of nearest neighbours per query.
+    pub k: usize,
+    /// Ridge strength of each local fit.
+    pub lambda: f64,
+    train_x: Option<Matrix>,
+    train_y: Option<Matrix>,
+}
+
+impl SemiLazy {
+    /// New semi-lazy regressor.
+    pub fn new(k: usize, lambda: f64) -> Self {
+        assert!(k >= 1, "semi-lazy needs at least one neighbour");
+        assert!(lambda >= 0.0);
+        Self { k, lambda, train_x: None, train_y: None }
+    }
+
+    /// Indices of the `k` nearest training rows to `query` (Euclidean).
+    fn neighbours(&self, query: &[f64]) -> Vec<usize> {
+        let x = self.train_x.as_ref().expect("predict before fit");
+        let mut scored: Vec<(f64, usize)> = (0..x.rows())
+            .map(|r| {
+                let d: f64 = x.row(r).iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d, r)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances").then(a.1.cmp(&b.1)));
+        scored.into_iter().take(self.k).map(|(_, r)| r).collect()
+    }
+}
+
+impl Regressor for SemiLazy {
+    fn fit(&mut self, x: &Matrix, y: &Matrix) {
+        assert_eq!(x.rows(), y.rows(), "semi-lazy: label count mismatch");
+        assert!(x.rows() >= 1, "semi-lazy: empty training set");
+        self.train_x = Some(x.clone());
+        self.train_y = Some(y.clone());
+    }
+
+    fn predict(&self, x: &Matrix) -> Matrix {
+        let tx = self.train_x.as_ref().expect("predict before fit");
+        let ty = self.train_y.as_ref().expect("predict before fit");
+        let mut out = Matrix::zeros(x.rows(), 1);
+        for r in 0..x.rows() {
+            let ids = self.neighbours(x.row(r));
+            let xs = tx.select_rows(&ids);
+            let ys = ty.select_rows(&ids);
+            // Local ridge; jitter once if the local design is degenerate.
+            let beta = ridge_solve(&xs, &ys, self.lambda.max(1e-8))
+                .or_else(|_| ridge_solve(&xs, &ys, self.lambda + 1.0))
+                .expect("local ridge solve");
+            out[(r, 0)] = x.row(r).iter().zip(beta.as_slice()).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "SemiLazy"
+    }
+}
+
+/// Recursive least squares with exponential forgetting — the passive
+/// online-adaptive linear model.
+pub struct OnlineRidge {
+    /// Forgetting factor ∈ (0, 1]; 1 = ordinary RLS.
+    pub forgetting: f64,
+    /// Initial inverse-covariance scale (large = weak prior).
+    pub prior_scale: f64,
+    /// Inverse covariance P (d×d).
+    p: Option<Matrix>,
+    /// Coefficients (d×1).
+    beta: Option<Matrix>,
+}
+
+impl OnlineRidge {
+    /// New RLS model.
+    pub fn new(forgetting: f64, prior_scale: f64) -> Self {
+        assert!(forgetting > 0.0 && forgetting <= 1.0, "forgetting factor outside (0,1]");
+        assert!(prior_scale > 0.0);
+        Self { forgetting, prior_scale, p: None, beta: None }
+    }
+
+    /// One online update with a revealed ground truth (the "passive"
+    /// adaptation step).
+    pub fn update(&mut self, x_row: &[f64], y: f64) {
+        let d = x_row.len();
+        if self.p.is_none() {
+            self.p = Some(Matrix::eye(d).scale(self.prior_scale));
+            self.beta = Some(Matrix::zeros(d, 1));
+        }
+        let p = self.p.as_mut().expect("initialized");
+        let beta = self.beta.as_mut().expect("initialized");
+        assert_eq!(p.rows(), d, "feature width changed between updates");
+        // Standard RLS: k = P x / (λ + xᵀ P x); β += k (y − xᵀβ);
+        // P = (P − k xᵀ P) / λ.
+        let x = Matrix::col_vector(x_row);
+        let px = p.matmul(&x); // d×1
+        let denom = self.forgetting + x.flat_dot(&px);
+        let k = px.scale(1.0 / denom); // d×1
+        let err = y - x.flat_dot(beta);
+        beta.add_scaled_assign(&k, err);
+        let xtp = x.t().matmul(p); // 1×d
+        let kxtp = k.matmul(&xtp); // d×d
+        *p = p.sub(&kxtp).scale(1.0 / self.forgetting);
+    }
+
+    /// Current coefficients (None before any update).
+    pub fn coefficients(&self) -> Option<&Matrix> {
+        self.beta.as_ref()
+    }
+}
+
+impl Regressor for OnlineRidge {
+    /// "Fitting" replays the training set as an online stream in row
+    /// order (for panel data the harness orders rows chronologically
+    /// within each quarter batch).
+    fn fit(&mut self, x: &Matrix, y: &Matrix) {
+        assert_eq!(x.rows(), y.rows(), "online ridge: label count mismatch");
+        self.p = None;
+        self.beta = None;
+        for r in 0..x.rows() {
+            self.update(x.row(r), y[(r, 0)]);
+        }
+    }
+
+    fn predict(&self, x: &Matrix) -> Matrix {
+        let beta = self.beta.as_ref().expect("predict before fit");
+        x.matmul(beta)
+    }
+
+    fn name(&self) -> &str {
+        "OnlineRidge"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regressor::mse;
+    use crate::regressor::testutil::linear_problem;
+
+    #[test]
+    fn semilazy_interpolates_piecewise_structure() {
+        // Two regimes split on feature 0's sign with opposite slopes —
+        // a global linear model fails, local fits succeed.
+        let n = 200;
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Matrix::zeros(n, 1);
+        for i in 0..n {
+            let a = (i as f64 / n as f64) * 4.0 - 2.0;
+            x[(i, 0)] = a;
+            x[(i, 1)] = 1.0;
+            y[(i, 0)] = if a > 0.0 { 2.0 * a } else { -2.0 * a };
+        }
+        let mut lazy = SemiLazy::new(15, 1e-6);
+        lazy.fit(&x, &y);
+        let lazy_err = mse(&lazy.predict(&x), &y);
+        let mut ridge = crate::linear::RidgeRegression::new(1e-6);
+        ridge.fit(&x, &y);
+        let ridge_err = mse(&ridge.predict(&x), &y);
+        assert!(lazy_err < 0.1 * ridge_err, "lazy {lazy_err} vs global {ridge_err}");
+    }
+
+    #[test]
+    fn semilazy_matches_global_on_linear_data() {
+        let (xtr, ytr, xte, yte) = linear_problem(300, 50, 3, 0.05, 90);
+        let mut lazy = SemiLazy::new(60, 1e-4);
+        lazy.fit(&xtr, &ytr);
+        let err = mse(&lazy.predict(&xte), &yte);
+        assert!(err < 0.1, "semi-lazy linear test mse {err}");
+    }
+
+    #[test]
+    fn semilazy_deterministic_tie_break() {
+        let x = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 1.0], &[5.0, 1.0]]);
+        let y = Matrix::col_vector(&[1.0, 1.0, 2.0]);
+        let mut lazy = SemiLazy::new(2, 1e-3);
+        lazy.fit(&x, &y);
+        let p1 = lazy.predict(&x);
+        let p2 = lazy.predict(&x);
+        assert_eq!(p1.as_slice(), p2.as_slice());
+    }
+
+    #[test]
+    fn online_ridge_converges_to_true_weights() {
+        let (xtr, ytr, xte, yte) = linear_problem(400, 50, 4, 0.05, 91);
+        let mut rls = OnlineRidge::new(1.0, 1e3);
+        rls.fit(&xtr, &ytr);
+        let err = mse(&rls.predict(&xte), &yte);
+        assert!(err < 0.05, "rls test mse {err}");
+    }
+
+    #[test]
+    fn forgetting_tracks_drifting_weights() {
+        // Weight flips sign halfway; forgetting RLS tracks, plain RLS
+        // averages and is worse at the end.
+        let n = 400;
+        let mut x = Matrix::zeros(n, 1);
+        let mut y = Matrix::zeros(n, 1);
+        let mut s = 77u64;
+        let mut unif = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            let v = unif();
+            let w = if i < n / 2 { 1.0 } else { -1.0 };
+            x[(i, 0)] = v;
+            y[(i, 0)] = w * v + 0.01 * unif();
+        }
+        let mut forgetful = OnlineRidge::new(0.95, 1e3);
+        forgetful.fit(&x, &y);
+        let mut plain = OnlineRidge::new(1.0, 1e3);
+        plain.fit(&x, &y);
+        let wf = forgetful.coefficients().unwrap()[(0, 0)];
+        let wp = plain.coefficients().unwrap()[(0, 0)];
+        assert!(wf < -0.8, "forgetting RLS should track the flip, got {wf}");
+        assert!(wp > wf + 0.3, "plain RLS should lag, got {wp} vs {wf}");
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        OnlineRidge::new(1.0, 100.0).predict(&Matrix::ones(1, 2));
+    }
+}

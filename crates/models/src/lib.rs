@@ -1,0 +1,41 @@
+//! # ams-models — the paper's baseline zoo (§IV-B)
+//!
+//! Every competitor the paper evaluates against, implemented from
+//! scratch on the `ams-tensor` substrate:
+//!
+//! | Paper baseline | Implementation |
+//! |---|---|
+//! | XGBoost | [`Gbdt`] — second-order boosted trees, exact greedy splits |
+//! | MLP | [`Mlp`] — ReLU layers, dropout, Adam |
+//! | Lasso / Ridge / Elasticnet | [`ElasticNet`], [`RidgeRegression`] |
+//! | LSTM / GRU | [`Rnn`] over the lag structure ([`SequenceSpec`]) |
+//! | ARIMA | [`Arima`] — CSS fit via Nelder–Mead |
+//! | QoQ / YoY | [`NaiveRule`] ratio rules |
+//!
+//! [`adaptive`] adds the two adaptive-model families of the paper's
+//! related work (§V-B): semi-lazy local regression and passive online
+//! RLS — useful comparison points for the "aggressive adaptive" AMS.
+//!
+//! All feature-based models implement the [`Regressor`] trait consumed
+//! by the `ams-eval` cross-validation harness.
+
+pub mod adaptive;
+pub mod arima;
+pub mod gbdt;
+pub mod linear;
+pub mod mlp;
+pub mod naive;
+pub mod optim;
+pub mod regressor;
+pub mod rnn;
+pub mod sequence;
+
+pub use adaptive::{OnlineRidge, SemiLazy};
+pub use arima::{Arima, ArimaConfig};
+pub use gbdt::{Gbdt, GbdtConfig};
+pub use linear::{ElasticNet, RidgeRegression};
+pub use mlp::{Mlp, MlpConfig};
+pub use naive::NaiveRule;
+pub use regressor::Regressor;
+pub use rnn::{Rnn, RnnConfig, RnnKind};
+pub use sequence::SequenceSpec;

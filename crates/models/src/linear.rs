@@ -1,0 +1,331 @@
+//! Linear baselines: OLS/Ridge (closed form) and Lasso/ElasticNet
+//! (cyclic coordinate descent with soft thresholding).
+//!
+//! These are the "good interpretability" group of §IV-B. The elastic-net
+//! objective follows the scikit-learn convention the paper's baselines
+//! used:
+//!
+//! ```text
+//! min_b  1/(2n) ‖y − X b‖² + α ( ρ ‖b‖₁ + (1−ρ)/2 ‖b‖² )
+//! ```
+//!
+//! with `ρ = 1` giving Lasso and `ρ = 0` ridge. An optional intercept
+//! column can be exempted from the penalty.
+
+use ams_tensor::{ridge_solve, Matrix};
+
+use crate::regressor::Regressor;
+
+/// Ridge regression (L2), solved exactly via Cholesky on the normal
+/// equations. `lambda = 0` gives OLS.
+#[derive(Debug, Clone)]
+pub struct RidgeRegression {
+    /// L2 strength (the λ of Eq. 5 when used as the anchored LR).
+    pub lambda: f64,
+    coef: Option<Matrix>,
+    name: String,
+}
+
+impl RidgeRegression {
+    /// New ridge model.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda >= 0.0, "ridge: negative lambda");
+        Self { lambda, coef: None, name: "Ridge".into() }
+    }
+
+    /// OLS (λ = 0) with an OLS display name.
+    pub fn ols() -> Self {
+        Self { lambda: 0.0, coef: None, name: "OLS".into() }
+    }
+
+    /// Fitted coefficients (d×1).
+    pub fn coefficients(&self) -> Option<&Matrix> {
+        self.coef.as_ref()
+    }
+}
+
+impl Regressor for RidgeRegression {
+    fn fit(&mut self, x: &Matrix, y: &Matrix) {
+        // Fall back to a slightly regularized solve if the Gram matrix
+        // is singular (possible with λ=0 and collinear one-hots).
+        let coef = ridge_solve(x, y, self.lambda)
+            .or_else(|_| ridge_solve(x, y, self.lambda + 1e-8))
+            .expect("ridge solve failed even with jitter");
+        self.coef = Some(coef);
+    }
+
+    fn predict(&self, x: &Matrix) -> Matrix {
+        let coef = self.coef.as_ref().expect("predict before fit");
+        x.matmul(coef)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Elastic-net linear regression by cyclic coordinate descent.
+#[derive(Debug, Clone)]
+pub struct ElasticNet {
+    /// Overall penalty strength α.
+    pub alpha: f64,
+    /// L1 mixing ρ ∈ [0, 1]; 1 = Lasso.
+    pub l1_ratio: f64,
+    /// Column exempt from the penalty (the explicit bias column).
+    pub intercept_col: Option<usize>,
+    /// Convergence threshold on the max coefficient change.
+    pub tol: f64,
+    /// Maximum coordinate-descent sweeps.
+    pub max_iter: usize,
+    coef: Option<Matrix>,
+    name: String,
+}
+
+impl ElasticNet {
+    /// Elastic net with the given strength and mixing.
+    pub fn new(alpha: f64, l1_ratio: f64) -> Self {
+        assert!(alpha >= 0.0, "elasticnet: negative alpha");
+        assert!((0.0..=1.0).contains(&l1_ratio), "elasticnet: l1_ratio outside [0,1]");
+        Self {
+            alpha,
+            l1_ratio,
+            intercept_col: Some(0),
+            tol: 1e-7,
+            max_iter: 2000,
+            coef: None,
+            name: "Elasticnet".into(),
+        }
+    }
+
+    /// Lasso (ρ = 1).
+    pub fn lasso(alpha: f64) -> Self {
+        Self { name: "Lasso".into(), ..Self::new(alpha, 1.0) }
+    }
+
+    /// Fitted coefficients (d×1).
+    pub fn coefficients(&self) -> Option<&Matrix> {
+        self.coef.as_ref()
+    }
+
+    /// Number of exactly-zero coefficients (Lasso's feature selection —
+    /// the mechanism behind its identical `-na` rows in Table III).
+    pub fn num_zeros(&self) -> usize {
+        self.coef
+            .as_ref()
+            .map(|c| c.as_slice().iter().filter(|&&v| v == 0.0).count())
+            .unwrap_or(0)
+    }
+}
+
+fn soft_threshold(z: f64, t: f64) -> f64 {
+    if z > t {
+        z - t
+    } else if z < -t {
+        z + t
+    } else {
+        0.0
+    }
+}
+
+impl Regressor for ElasticNet {
+    fn fit(&mut self, x: &Matrix, y: &Matrix) {
+        let n = x.rows();
+        let d = x.cols();
+        assert_eq!(y.rows(), n, "elasticnet: label count mismatch");
+        let nf = n as f64;
+        // Precompute per-column squared norms / n.
+        let col_sq: Vec<f64> = (0..d)
+            .map(|j| (0..n).map(|i| x[(i, j)] * x[(i, j)]).sum::<f64>() / nf)
+            .collect();
+        let l1 = self.alpha * self.l1_ratio;
+        let l2 = self.alpha * (1.0 - self.l1_ratio);
+
+        let mut b = vec![0.0; d];
+        // Residual r = y − X b (starts at y with b = 0).
+        let mut r: Vec<f64> = (0..n).map(|i| y[(i, 0)]).collect();
+        for _ in 0..self.max_iter {
+            let mut max_delta: f64 = 0.0;
+            for j in 0..d {
+                if col_sq[j] == 0.0 {
+                    continue; // dead column
+                }
+                // rho_j = (1/n) x_jᵀ r + col_sq[j] * b_j  (partial residual corr.)
+                let mut rho = 0.0;
+                for i in 0..n {
+                    rho += x[(i, j)] * r[i];
+                }
+                rho = rho / nf + col_sq[j] * b[j];
+                let new_b = if self.intercept_col == Some(j) {
+                    rho / col_sq[j]
+                } else {
+                    soft_threshold(rho, l1) / (col_sq[j] + l2)
+                };
+                let delta = new_b - b[j];
+                if delta != 0.0 {
+                    for i in 0..n {
+                        r[i] -= delta * x[(i, j)];
+                    }
+                    b[j] = new_b;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < self.tol {
+                break;
+            }
+        }
+        self.coef = Some(Matrix::col_vector(&b));
+    }
+
+    fn predict(&self, x: &Matrix) -> Matrix {
+        let coef = self.coef.as_ref().expect("predict before fit");
+        x.matmul(coef)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regressor::testutil::linear_problem;
+    use crate::regressor::mse;
+
+    #[test]
+    fn ols_recovers_exact_linear_map() {
+        let (xtr, ytr, xte, yte) = linear_problem(200, 50, 6, 0.0, 1);
+        let mut m = RidgeRegression::ols();
+        m.fit(&xtr, &ytr);
+        assert!(mse(&m.predict(&xte), &yte) < 1e-18);
+    }
+
+    #[test]
+    fn ridge_handles_noise() {
+        let (xtr, ytr, xte, yte) = linear_problem(200, 50, 6, 0.3, 2);
+        let mut m = RidgeRegression::new(0.5);
+        m.fit(&xtr, &ytr);
+        let err = mse(&m.predict(&xte), &yte);
+        // Should explain most variance: residual near the noise floor.
+        assert!(err < 0.2, "ridge test mse {err}");
+    }
+
+    #[test]
+    fn ridge_shrinks_relative_to_ols() {
+        let (xtr, ytr, _, _) = linear_problem(50, 1, 4, 0.1, 3);
+        let mut ols = RidgeRegression::ols();
+        ols.fit(&xtr, &ytr);
+        let mut ridge = RidgeRegression::new(50.0);
+        ridge.fit(&xtr, &ytr);
+        let n_ols = ols.coefficients().unwrap().frobenius();
+        let n_ridge = ridge.coefficients().unwrap().frobenius();
+        assert!(n_ridge < n_ols, "ridge norm {n_ridge} !< ols norm {n_ols}");
+    }
+
+    #[test]
+    fn lasso_matches_ols_at_zero_penalty() {
+        let (xtr, ytr, xte, _) = linear_problem(100, 30, 5, 0.05, 4);
+        let mut ols = RidgeRegression::ols();
+        ols.fit(&xtr, &ytr);
+        let mut lasso = ElasticNet::lasso(0.0);
+        lasso.intercept_col = None;
+        lasso.fit(&xtr, &ytr);
+        let diff = ols.predict(&xte).max_abs_diff(&lasso.predict(&xte));
+        assert!(diff < 1e-4, "lasso(0) vs OLS prediction diff {diff}");
+    }
+
+    #[test]
+    fn lasso_zeroes_irrelevant_features() {
+        // Only feature 0 matters; strong L1 must zero the rest.
+        let n = 120;
+        let mut x = Matrix::zeros(n, 5);
+        let mut y = Matrix::zeros(n, 1);
+        let mut state = 123u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in 0..5 {
+                x[(i, j)] = next();
+            }
+            y[(i, 0)] = 3.0 * x[(i, 0)] + 0.01 * next();
+        }
+        let mut lasso = ElasticNet::lasso(0.2);
+        lasso.intercept_col = None;
+        lasso.fit(&x, &y);
+        let c = lasso.coefficients().unwrap();
+        assert!(c[(0, 0)] > 1.0, "signal coefficient survived: {}", c[(0, 0)]);
+        for j in 1..5 {
+            assert_eq!(c[(j, 0)], 0.0, "noise coefficient {j} not zeroed");
+        }
+        assert_eq!(lasso.num_zeros(), 4);
+    }
+
+    #[test]
+    fn lasso_kkt_conditions_hold() {
+        // At the optimum: |x_jᵀ r / n| ≤ α for zero coords; = α·sign(b_j)
+        // for active ones (within tolerance).
+        let (xtr, ytr, _, _) = linear_problem(150, 1, 6, 0.2, 5);
+        let alpha = 0.05;
+        let mut lasso = ElasticNet::lasso(alpha);
+        lasso.intercept_col = None;
+        lasso.fit(&xtr, &ytr);
+        let b = lasso.coefficients().unwrap();
+        let resid = ytr.sub(&xtr.matmul(b));
+        let n = xtr.rows() as f64;
+        for j in 0..xtr.cols() {
+            let grad = (0..xtr.rows()).map(|i| xtr[(i, j)] * resid[(i, 0)]).sum::<f64>() / n;
+            if b[(j, 0)] == 0.0 {
+                assert!(grad.abs() <= alpha + 1e-5, "KKT violated at zero coord {j}: {grad}");
+            } else {
+                assert!(
+                    (grad - alpha * b[(j, 0)].signum()).abs() < 1e-5,
+                    "KKT violated at active coord {j}: {grad}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn elasticnet_between_ridge_and_lasso() {
+        let (xtr, ytr, _, _) = linear_problem(100, 1, 6, 0.2, 6);
+        let mut en = ElasticNet::new(0.1, 0.5);
+        en.intercept_col = None;
+        en.fit(&xtr, &ytr);
+        assert_eq!(en.name(), "Elasticnet");
+        assert!(en.coefficients().unwrap().all_finite());
+    }
+
+    #[test]
+    fn intercept_column_unpenalized() {
+        // Constant-shifted target: the intercept should absorb the shift
+        // even under strong L1.
+        let n = 80;
+        let mut x = Matrix::ones(n, 2);
+        let mut y = Matrix::zeros(n, 1);
+        for i in 0..n {
+            let v = (i as f64 / n as f64) - 0.5;
+            x[(i, 1)] = v;
+            y[(i, 0)] = 10.0 + 0.0 * v;
+        }
+        let mut lasso = ElasticNet::lasso(1.0); // intercept_col = Some(0)
+        lasso.fit(&x, &y);
+        let c = lasso.coefficients().unwrap();
+        assert!((c[(0, 0)] - 10.0).abs() < 1e-6, "intercept {}", c[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        RidgeRegression::new(1.0).predict(&Matrix::ones(1, 1));
+    }
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+        assert_eq!(soft_threshold(-0.5, 1.0), 0.0);
+    }
+}

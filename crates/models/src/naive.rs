@@ -1,0 +1,106 @@
+//! The naive alternative-data rules QoQ and YoY (§IV-B).
+//!
+//! * QoQ: `ÛR_i^t = (A_i^t / A_i^{t−1}) · R_i^{t−1} − E_i^t`
+//! * YoY: `ÛR_i^t = (A_i^t / A_i^{t−4}) · R_i^{t−4} − E_i^t`
+//!
+//! i.e. extrapolate revenue by the alternative channel's growth ratio
+//! and subtract the consensus. These operate on panel semantics rather
+//! than feature rows, so they live outside the [`crate::Regressor`]
+//! trait; the evaluation harness calls them directly per (company,
+//! quarter, channel).
+
+use ams_data::Panel;
+
+/// Which naive rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NaiveRule {
+    /// Quarter-over-quarter ratio (lag 1).
+    QoQ,
+    /// Year-over-year ratio (lag 4).
+    YoY,
+}
+
+impl NaiveRule {
+    /// The lag the rule compares against.
+    pub fn lag(self) -> usize {
+        match self {
+            NaiveRule::QoQ => 1,
+            NaiveRule::YoY => 4,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NaiveRule::QoQ => "QoQ",
+            NaiveRule::YoY => "YoY",
+        }
+    }
+
+    /// Predicted unexpected revenue for company `c` at panel quarter
+    /// index `t`, using alternative channel `channel`.
+    ///
+    /// # Panics
+    /// Panics when `t` lacks the required lag history.
+    pub fn predict_ur(self, panel: &Panel, c: usize, t: usize, channel: usize) -> f64 {
+        let lag = self.lag();
+        assert!(t >= lag, "{} needs {lag} quarters of history at t={t}", self.name());
+        let cur = panel.get(c, t);
+        let prev = panel.get(c, t - lag);
+        let ratio = cur.alt[channel] / prev.alt[channel];
+        ratio * prev.revenue - cur.consensus
+    }
+
+    /// Predicted revenue level (the term before subtracting consensus).
+    pub fn predict_revenue(self, panel: &Panel, c: usize, t: usize, channel: usize) -> f64 {
+        let lag = self.lag();
+        let cur = panel.get(c, t);
+        let prev = panel.get(c, t - lag);
+        cur.alt[channel] / prev.alt[channel] * prev.revenue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_data::{generate, SynthConfig};
+
+    #[test]
+    fn lags_and_names() {
+        assert_eq!(NaiveRule::QoQ.lag(), 1);
+        assert_eq!(NaiveRule::YoY.lag(), 4);
+        assert_eq!(NaiveRule::QoQ.name(), "QoQ");
+        assert_eq!(NaiveRule::YoY.name(), "YoY");
+    }
+
+    #[test]
+    fn formulas_match_paper() {
+        let s = generate(&SynthConfig::tiny(60));
+        let p = &s.panel;
+        let (c, t, ch) = (3, 6, 0);
+        let qoq = NaiveRule::QoQ.predict_ur(p, c, t, ch);
+        let expect_qoq =
+            p.get(c, t).alt[ch] / p.get(c, t - 1).alt[ch] * p.get(c, t - 1).revenue - p.get(c, t).consensus;
+        assert!((qoq - expect_qoq).abs() < 1e-12);
+        let yoy = NaiveRule::YoY.predict_ur(p, c, t, ch);
+        let expect_yoy =
+            p.get(c, t).alt[ch] / p.get(c, t - 4).alt[ch] * p.get(c, t - 4).revenue - p.get(c, t).consensus;
+        assert!((yoy - expect_yoy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn revenue_and_ur_consistent() {
+        let s = generate(&SynthConfig::tiny(61));
+        let p = &s.panel;
+        let r = NaiveRule::YoY.predict_revenue(p, 1, 5, 0);
+        let ur = NaiveRule::YoY.predict_ur(p, 1, 5, 0);
+        assert!((r - p.get(1, 5).consensus - ur).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "history")]
+    fn rejects_insufficient_history() {
+        let s = generate(&SynthConfig::tiny(62));
+        NaiveRule::YoY.predict_ur(&s.panel, 0, 2, 0);
+    }
+}

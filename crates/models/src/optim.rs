@@ -1,0 +1,181 @@
+//! Derivative-free optimization: the Nelder–Mead simplex method, used
+//! to fit ARIMA's conditional-sum-of-squares objective (the same
+//! criterion classical ARIMA packages minimize).
+
+/// Nelder–Mead options.
+#[derive(Debug, Clone)]
+pub struct NelderMeadConfig {
+    /// Maximum function evaluations.
+    pub max_evals: usize,
+    /// Stop when the simplex's function-value spread falls below this
+    /// *and* the simplex diameter falls below `x_tol`.
+    pub f_tol: f64,
+    /// Simplex-diameter part of the convergence test (guards against
+    /// premature stops when two vertices straddle the minimum with
+    /// equal objective values).
+    pub x_tol: f64,
+    /// Initial simplex step per coordinate.
+    pub step: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        Self { max_evals: 4000, f_tol: 1e-10, x_tol: 1e-7, step: 0.1 }
+    }
+}
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone)]
+pub struct NelderMeadResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub f: f64,
+    /// Function evaluations used.
+    pub evals: usize,
+}
+
+/// Minimize `f` starting from `x0` with the Nelder–Mead simplex
+/// (reflection 1, expansion 2, contraction ½, shrink ½).
+pub fn nelder_mead(
+    f: impl Fn(&[f64]) -> f64,
+    x0: &[f64],
+    config: &NelderMeadConfig,
+) -> NelderMeadResult {
+    let n = x0.len();
+    assert!(n > 0, "nelder_mead: empty start point");
+    let mut evals = 0;
+    let eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let f0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), f0));
+    for i in 0..n {
+        let mut xi = x0.to_vec();
+        xi[i] += if xi[i].abs() > 1e-8 { config.step * xi[i].abs() } else { config.step };
+        let fi = eval(&xi, &mut evals);
+        simplex.push((xi, fi));
+    }
+
+    while evals < config.max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN filtered"));
+        let spread = simplex[n].1 - simplex[0].1;
+        let diameter = simplex[1..]
+            .iter()
+            .map(|(x, _)| {
+                x.iter()
+                    .zip(&simplex[0].0)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0_f64, f64::max)
+            })
+            .fold(0.0_f64, f64::max);
+        if spread.abs() < config.f_tol && diameter < config.x_tol {
+            break;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in &simplex[..n] {
+            for (c, v) in centroid.iter_mut().zip(x) {
+                *c += v / n as f64;
+            }
+        }
+        let worst = simplex[n].clone();
+        let reflect: Vec<f64> =
+            centroid.iter().zip(&worst.0).map(|(c, w)| c + (c - w)).collect();
+        let f_r = eval(&reflect, &mut evals);
+
+        if f_r < simplex[0].1 {
+            // Try expansion.
+            let expand: Vec<f64> =
+                centroid.iter().zip(&worst.0).map(|(c, w)| c + 2.0 * (c - w)).collect();
+            let f_e = eval(&expand, &mut evals);
+            simplex[n] = if f_e < f_r { (expand, f_e) } else { (reflect, f_r) };
+        } else if f_r < simplex[n - 1].1 {
+            simplex[n] = (reflect, f_r);
+        } else {
+            // Contraction (toward the better of worst/reflected).
+            let (base, f_base) =
+                if f_r < worst.1 { (&reflect, f_r) } else { (&worst.0, worst.1) };
+            let contract: Vec<f64> =
+                centroid.iter().zip(base).map(|(c, b)| c + 0.5 * (b - c)).collect();
+            let f_c = eval(&contract, &mut evals);
+            if f_c < f_base {
+                simplex[n] = (contract, f_c);
+            } else {
+                // Shrink toward the best point.
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let x: Vec<f64> =
+                        best.iter().zip(&entry.0).map(|(b, v)| b + 0.5 * (v - b)).collect();
+                    let fx = eval(&x, &mut evals);
+                    *entry = (x, fx);
+                }
+            }
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN filtered"));
+    NelderMeadResult { x: simplex[0].0.clone(), f: simplex[0].1, evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_sphere() {
+        let r = nelder_mead(
+            |x| x.iter().map(|v| v * v).sum(),
+            &[3.0, -2.0, 1.0],
+            &NelderMeadConfig::default(),
+        );
+        assert!(r.f < 1e-8, "sphere residual {}", r.f);
+        for v in &r.x {
+            assert!(v.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let r = nelder_mead(rosen, &[-1.2, 1.0], &NelderMeadConfig { max_evals: 20_000, ..Default::default() });
+        assert!(r.f < 1e-6, "rosenbrock residual {}", r.f);
+        assert!((r.x[0] - 1.0).abs() < 1e-2);
+        assert!((r.x[1] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn handles_shifted_quadratic() {
+        let r = nelder_mead(
+            |x| (x[0] - 5.0).powi(2) + (x[1] + 3.0).powi(2) + 7.0,
+            &[0.0, 0.0],
+            &NelderMeadConfig::default(),
+        );
+        assert!((r.f - 7.0).abs() < 1e-8);
+        assert!((r.x[0] - 5.0).abs() < 1e-3);
+        assert!((r.x[1] + 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let r = nelder_mead(|x| x[0] * x[0], &[100.0], &NelderMeadConfig { max_evals: 10, ..Default::default() });
+        assert!(r.evals <= 13); // budget + final simplex evaluations margin
+    }
+
+    #[test]
+    fn nan_objective_treated_as_infinite() {
+        // Function NaN outside [0, ∞): optimizer must still find 0.5.
+        let f = |x: &[f64]| if x[0] < 0.0 { f64::NAN } else { (x[0] - 0.5).powi(2) };
+        let r = nelder_mead(f, &[2.0], &NelderMeadConfig::default());
+        assert!((r.x[0] - 0.5).abs() < 1e-3);
+    }
+}

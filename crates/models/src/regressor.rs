@@ -1,0 +1,99 @@
+//! The common interface all baselines (and AMS itself, via an adapter in
+//! `ams-eval`) implement: fit on a design matrix, predict a column of
+//! normalized unexpected revenues.
+
+use ams_tensor::Matrix;
+
+/// A supervised regressor mapping feature rows to scalar predictions.
+///
+/// `fit` receives the full training design (`n×d`) and labels (`n×1`);
+/// the AMS workloads are small enough that mini-batching is a model-
+/// internal concern. Implementations must be deterministic given their
+/// construction-time seed.
+pub trait Regressor {
+    /// Fit on training data, replacing any previous fit.
+    fn fit(&mut self, x: &Matrix, y: &Matrix);
+
+    /// Predict one value per row of `x`. Must be called after `fit`.
+    fn predict(&self, x: &Matrix) -> Matrix;
+
+    /// Short display name used in result tables.
+    fn name(&self) -> &str;
+}
+
+/// Mean squared error between prediction and target columns — the
+/// training-diagnostics helper shared by the model tests.
+pub fn mse(pred: &Matrix, target: &Matrix) -> f64 {
+    assert_eq!(pred.shape(), target.shape(), "mse: shape mismatch");
+    pred.sub(target).sq_frobenius() / pred.len() as f64
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use ams_tensor::init::standard_normal;
+    use ams_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// y = X w* + noise, returns (x_train, y_train, x_test, y_test).
+    pub fn linear_problem(
+        n_train: usize,
+        n_test: usize,
+        d: usize,
+        noise: f64,
+        seed: u64,
+    ) -> (Matrix, Matrix, Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w: Vec<f64> = (0..d).map(|_| standard_normal(&mut rng)).collect();
+        let gen = |n: usize, rng: &mut StdRng| {
+            let mut x = Matrix::zeros(n, d);
+            let mut y = Matrix::zeros(n, 1);
+            for r in 0..n {
+                let mut dot = 0.0;
+                for c in 0..d {
+                    let v = standard_normal(rng);
+                    x[(r, c)] = v;
+                    dot += v * w[c];
+                }
+                y[(r, 0)] = dot + noise * standard_normal(rng);
+            }
+            (x, y)
+        };
+        let (xtr, ytr) = gen(n_train, &mut rng);
+        let (xte, yte) = gen(n_test, &mut rng);
+        (xtr, ytr, xte, yte)
+    }
+
+    /// A nonlinear target: y = sin(x0) + x1^2 − x0 x1 + noise.
+    pub fn nonlinear_problem(n: usize, noise: f64, seed: u64) -> (Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Matrix::zeros(n, 1);
+        for r in 0..n {
+            let a = 2.0 * standard_normal(&mut rng);
+            let b = standard_normal(&mut rng);
+            x[(r, 0)] = a;
+            x[(r, 1)] = b;
+            y[(r, 0)] = a.sin() + b * b - a * b + noise * standard_normal(&mut rng);
+        }
+        (x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_equal_is_zero() {
+        let a = Matrix::col_vector(&[1.0, 2.0]);
+        assert_eq!(mse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let a = Matrix::col_vector(&[1.0, 2.0]);
+        let b = Matrix::col_vector(&[0.0, 0.0]);
+        assert_eq!(mse(&a, &b), 2.5);
+    }
+}

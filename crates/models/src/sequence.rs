@@ -1,0 +1,188 @@
+//! Mapping flat Definition II.3 feature rows onto sequences for the
+//! LSTM/GRU baselines.
+//!
+//! The feature layout tags every historical column with a `_dq{lag}`
+//! suffix (lag quarters before the target). The sequence models consume
+//! the history as `k` timesteps ordered oldest→newest, each timestep
+//! carrying the same base schema (revenue, consensus, low/high
+//! estimates, alternative channels); base features missing at a lag
+//! (the dropped `R_dq{k}`, which normalizes to the constant 1) are
+//! padded. Everything else — the bias, the current-quarter `*_dq0`
+//! block and the one-hots — is static context concatenated to the
+//! recurrent output before the linear head.
+
+use ams_tensor::Matrix;
+
+/// How a flat feature row decomposes into a sequence plus static
+/// context.
+#[derive(Debug, Clone)]
+pub struct SequenceSpec {
+    /// Base feature schema shared by every timestep.
+    pub base_names: Vec<String>,
+    /// `steps[t][f]` = column of base feature `f` at timestep `t`
+    /// (t = 0 is the oldest lag). `None` means the column was dropped
+    /// from the flat layout and is padded with `pad_value`.
+    pub steps: Vec<Vec<Option<usize>>>,
+    /// Columns used as static context.
+    pub static_cols: Vec<usize>,
+    /// Value used for padded entries.
+    pub pad_value: f64,
+}
+
+impl SequenceSpec {
+    /// Derive the spec from flat feature names with history length `k`.
+    pub fn derive(names: &[String], k: usize) -> Self {
+        assert!(k > 0, "sequence spec needs k > 0");
+        // Collect base names appearing at any historical lag, keeping
+        // first-seen order for determinism.
+        let mut base_names: Vec<String> = Vec::new();
+        let mut tagged: Vec<Option<(String, usize)>> = Vec::with_capacity(names.len());
+        for n in names {
+            let parsed = n.rsplit_once("_dq").and_then(|(base, lag)| {
+                lag.parse::<usize>().ok().map(|l| (base.to_string(), l))
+            });
+            if let Some((base, lag)) = &parsed {
+                if (1..=k).contains(lag) && !base_names.contains(base) {
+                    base_names.push(base.clone());
+                }
+            }
+            tagged.push(parsed);
+        }
+        assert!(!base_names.is_empty(), "no _dq-tagged history columns found");
+
+        let mut steps = vec![vec![None; base_names.len()]; k];
+        let mut static_cols = Vec::new();
+        for (col, t) in tagged.iter().enumerate() {
+            match t {
+                Some((base, lag)) if (1..=k).contains(lag) => {
+                    let f = base_names.iter().position(|b| b == base).expect("base collected");
+                    // lag k is timestep 0 (oldest), lag 1 is the last.
+                    steps[k - lag][f] = Some(col);
+                }
+                _ => static_cols.push(col),
+            }
+        }
+        Self { base_names, steps, static_cols, pad_value: 0.0 }
+    }
+
+    /// Number of timesteps.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Per-timestep input width.
+    pub fn step_width(&self) -> usize {
+        self.base_names.len()
+    }
+
+    /// Static context width.
+    pub fn static_width(&self) -> usize {
+        self.static_cols.len()
+    }
+
+    /// Slice a flat design matrix into per-timestep matrices plus the
+    /// static context matrix.
+    pub fn split(&self, x: &Matrix) -> (Vec<Matrix>, Matrix) {
+        let n = x.rows();
+        let mut step_mats = Vec::with_capacity(self.num_steps());
+        for step in &self.steps {
+            let mut m = Matrix::full(n, self.step_width(), self.pad_value);
+            for (f, col) in step.iter().enumerate() {
+                if let Some(c) = col {
+                    for r in 0..n {
+                        m[(r, f)] = x[(r, *c)];
+                    }
+                }
+            }
+            step_mats.push(m);
+        }
+        let mut stat = Matrix::zeros(n, self.static_width());
+        for (j, &c) in self.static_cols.iter().enumerate() {
+            for r in 0..n {
+                stat[(r, j)] = x[(r, c)];
+            }
+        }
+        (step_mats, stat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_names() -> Vec<String> {
+        [
+            "bias", "E_dq4", "A_dq4", // lag 4 (R_dq4 dropped)
+            "R_dq3", "E_dq3", "A_dq3",
+            "R_dq2", "E_dq2", "A_dq2",
+            "R_dq1", "E_dq1", "A_dq1",
+            "E_dq0", "A_dq0", "quarter_q1",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    #[test]
+    fn derive_groups_by_lag() {
+        let spec = SequenceSpec::derive(&toy_names(), 4);
+        assert_eq!(spec.num_steps(), 4);
+        assert_eq!(spec.base_names, vec!["E", "A", "R"]); // first-seen order
+        // Oldest step (lag 4): E at col 1, A at col 2, R missing.
+        assert_eq!(spec.steps[0], vec![Some(1), Some(2), None]);
+        // Newest step (lag 1): R col 9, E col 10, A col 11.
+        assert_eq!(spec.steps[3], vec![Some(10), Some(11), Some(9)]);
+    }
+
+    #[test]
+    fn static_cols_are_the_rest() {
+        let spec = SequenceSpec::derive(&toy_names(), 4);
+        // bias, E_dq0, A_dq0, quarter_q1.
+        assert_eq!(spec.static_cols, vec![0, 12, 13, 14]);
+    }
+
+    #[test]
+    fn split_places_values() {
+        let spec = SequenceSpec::derive(&toy_names(), 4);
+        let mut x = Matrix::zeros(2, 15);
+        for c in 0..15 {
+            x[(0, c)] = c as f64;
+            x[(1, c)] = 100.0 + c as f64;
+        }
+        let (steps, stat) = spec.split(&x);
+        assert_eq!(steps.len(), 4);
+        // Step 0 row 0: [E_dq4=1, A_dq4=2, R pad=0].
+        assert_eq!(steps[0].row(0), &[1.0, 2.0, 0.0]);
+        // Step 3 row 1: [E_dq1=110, A_dq1=111, R_dq1=109].
+        assert_eq!(steps[3].row(1), &[110.0, 111.0, 109.0]);
+        assert_eq!(stat.row(0), &[0.0, 12.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    fn real_feature_names_parse() {
+        use ams_data::{generate, FeatureSet, SynthConfig};
+        let s = generate(&SynthConfig::tiny(21));
+        let fs = FeatureSet::build(&s.panel, 4);
+        let spec = SequenceSpec::derive(&fs.names, 4);
+        assert_eq!(spec.num_steps(), 4);
+        // Base schema: R, E, LE, HE, txn_amount (order of first sight:
+        // lag 4 lists E first since R_dq4 is dropped, then R at lag 3).
+        assert_eq!(spec.step_width(), 5);
+        // Static: bias + 3 VE dq0 + 1 alt dq0 + 4 + 12 + 8 one-hots.
+        assert_eq!(spec.static_width(), 1 + 4 + 24);
+        // Every column is used exactly once.
+        let mut used: Vec<usize> = spec.static_cols.clone();
+        for step in &spec.steps {
+            used.extend(step.iter().flatten().copied());
+        }
+        used.sort_unstable();
+        let expect: Vec<usize> = (0..fs.width()).collect();
+        assert_eq!(used, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "no _dq-tagged")]
+    fn derive_rejects_untagged_layout() {
+        SequenceSpec::derive(&["a".into(), "b".into()], 4);
+    }
+}

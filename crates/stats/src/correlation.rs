@@ -1,0 +1,140 @@
+//! Correlation coefficients.
+//!
+//! The company correlation graph of §III-C is built from the Pearson
+//! correlation of historical revenue series between pairs of companies.
+//! Spearman rank correlation is provided as a robustness alternative
+//! (used by the graph-construction ablation bench).
+
+use crate::describe::mean;
+
+/// Pearson product-moment correlation of two equal-length series.
+///
+/// Returns 0.0 (uncorrelated) when either series is constant — a company
+/// with flat recorded revenue carries no co-movement information, and
+/// treating it as correlation 0 keeps it out of every top-k edge list,
+/// which is the behaviour the graph builder wants.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    // Clamp to [-1, 1]: rounding can push |r| epsilon past 1.
+    (cov / (vx.sqrt() * vy.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Spearman rank correlation: Pearson correlation of the rank vectors,
+/// with ties assigned the average rank of the tied block.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "spearman: length mismatch");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Fractional ranks (1-based, ties averaged).
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank over the tie block [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_known_value() {
+        // Computed by hand: r = 0.9819805060619659
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 4.0, 5.0, 4.0, 5.0];
+        assert!((pearson(&xs, &ys) - 0.7745966692414834).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_symmetric() {
+        let xs = [0.3, -1.2, 4.4, 2.0];
+        let ys = [9.0, 3.0, 0.1, -2.0];
+        assert_eq!(pearson(&xs, &ys), pearson(&ys, &xs));
+    }
+
+    #[test]
+    fn pearson_short_series_is_zero() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pearson_length_mismatch_panics() {
+        pearson(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_is_one() {
+        // Any strictly monotone relation has Spearman rho = 1.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 8.0, 27.0, 64.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_tie_averaging() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

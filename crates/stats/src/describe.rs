@@ -1,0 +1,164 @@
+//! Descriptive statistics over `f64` slices.
+//!
+//! All functions treat the input as a complete population unless noted;
+//! [`variance`] and [`std_dev`] use the unbiased (n−1) estimator because
+//! every caller in this workspace works with samples (CV folds, analyst
+//! panels, daily return series).
+
+/// Arithmetic mean. Returns 0.0 for an empty slice so that callers
+/// aggregating over possibly-empty CV folds do not need a special case.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (divides by n−1). Returns 0.0 when fewer
+/// than two observations are available.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Unbiased sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum value; NaN-free inputs assumed. Returns +inf for empty input.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum value; NaN-free inputs assumed. Returns −inf for empty input.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Linear-interpolation quantile (the "type 7" estimator used by NumPy's
+/// default). `q` must lie in `[0, 1]`.
+///
+/// # Panics
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Scale a slice to `[0, 1]` by min–max normalization, as the paper does
+/// for the Figure 8 weight visualization ("we linearly scale the value
+/// along with the feature to [0,1] in selected companies").
+///
+/// A constant slice maps to all zeros (rather than dividing by zero).
+pub fn minmax_scale(xs: &[f64]) -> Vec<f64> {
+    let lo = min(xs);
+    let hi = max(xs);
+    let range = hi - lo;
+    if range == 0.0 || !range.is_finite() {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - lo) / range).collect()
+}
+
+/// Mean and standard deviation in one pass pair, convenient for
+/// train-split standardization.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    (mean(xs), std_dev(xs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert!((mean(&[1.0, 2.0, 3.0, 4.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_unbiased() {
+        // Known: sample variance of [2,4,4,4,5,5,7,9] with n-1 is 32/7.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_singleton_is_zero() {
+        assert_eq!(variance(&[3.14]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_matches_variance() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!((std_dev(&xs) - variance(&xs).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn min_max_basic() {
+        let xs = [3.0, -1.0, 7.5, 0.0];
+        assert_eq!(min(&xs), -1.0);
+        assert_eq!(max(&xs), 7.5);
+    }
+
+    #[test]
+    fn quantile_median_odd() {
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 0.5), 2.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        // positions: 0->1, 1->2, 2->3, 3->4; q=0.25 → pos 0.75 → 1.75
+        assert!((quantile(&[1.0, 2.0, 3.0, 4.0], 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let xs = [5.0, 1.0, 9.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty slice")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn minmax_scale_unit_interval() {
+        let scaled = minmax_scale(&[10.0, 20.0, 15.0]);
+        assert_eq!(scaled, vec![0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn minmax_scale_constant_input() {
+        assert_eq!(minmax_scale(&[4.0, 4.0, 4.0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_std_pair() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - (2.0f64).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,99 @@
+//! Cumulative distribution functions for the standard normal and
+//! Student-t distributions, built on [`crate::special`].
+
+use crate::special::{betainc, erf};
+
+/// Standard normal CDF `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Student-t CDF with `df` degrees of freedom, via the regularized
+/// incomplete beta function:
+/// `P(T ≤ t) = 1 − ½ I_{df/(df+t²)}(df/2, ½)` for `t ≥ 0`, and the
+/// symmetric counterpart for `t < 0`.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "student_t_cdf requires positive degrees of freedom");
+    if t == 0.0 {
+        return 0.5;
+    }
+    let x = df / (df + t * t);
+    let tail = 0.5 * betainc(0.5 * df, 0.5, x);
+    if t > 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Two-sided p-value for a t statistic: `P(|T| ≥ |t|)`.
+pub fn t_two_sided_pvalue(t: f64, df: f64) -> f64 {
+    2.0 * (1.0 - student_t_cdf(t.abs(), df))
+}
+
+/// One-sided p-value `P(T ≥ t)` (upper tail).
+pub fn t_upper_pvalue(t: f64, df: f64) -> f64 {
+    1.0 - student_t_cdf(t, df)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_center_and_tails() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_cdf(1.959_963_985) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(-1.959_963_985) - 0.025).abs() < 1e-4);
+        assert!(normal_cdf(8.0) > 0.999_999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn t_cdf_is_symmetric() {
+        for &df in &[1.0, 5.0, 30.0] {
+            for &t in &[0.5, 1.3, 2.7] {
+                let up = student_t_cdf(t, df);
+                let dn = student_t_cdf(-t, df);
+                assert!((up + dn - 1.0).abs() < 1e-12, "asymmetric at t={t}, df={df}");
+            }
+        }
+    }
+
+    #[test]
+    fn t_cdf_cauchy_case() {
+        // df=1 is the Cauchy distribution: CDF(t) = 1/2 + atan(t)/pi.
+        for &t in &[-2.0f64, -0.5, 0.0, 0.5, 2.0] {
+            let expected = 0.5 + t.atan() / std::f64::consts::PI;
+            assert!((student_t_cdf(t, 1.0) - expected).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn t_cdf_approaches_normal_for_large_df() {
+        for &t in &[-1.5, 0.3, 2.0] {
+            let diff = (student_t_cdf(t, 1e6) - normal_cdf(t)).abs();
+            assert!(diff < 1e-4, "t-CDF with huge df should match normal at {t}");
+        }
+    }
+
+    #[test]
+    fn t_cdf_known_critical_value() {
+        // For df=10, P(T <= 2.228) ≈ 0.975 (classic t-table value).
+        assert!((student_t_cdf(2.228, 10.0) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn two_sided_pvalue() {
+        // |t|=2.228, df=10 → p ≈ 0.05.
+        assert!((t_two_sided_pvalue(2.228, 10.0) - 0.05).abs() < 2e-3);
+        assert!((t_two_sided_pvalue(-2.228, 10.0) - 0.05).abs() < 2e-3);
+    }
+
+    #[test]
+    fn upper_pvalue_monotone_in_t() {
+        let p1 = t_upper_pvalue(1.0, 8.0);
+        let p2 = t_upper_pvalue(2.0, 8.0);
+        assert!(p2 < p1);
+    }
+}

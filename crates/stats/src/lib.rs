@@ -1,0 +1,27 @@
+//! Statistical substrate for the AMS reproduction.
+//!
+//! The paper relies on a handful of classical statistics: Pearson
+//! correlation (to build the company correlation graph, §III-C), paired
+//! t-tests (significance columns of Tables I and II), and routine
+//! descriptive statistics used throughout feature engineering and the
+//! backtest. None of these are allowed to come from external crates in
+//! this reproduction, so they are implemented here from first principles
+//! and tested against known values.
+//!
+//! Modules:
+//! * [`describe`] — means, variances, quantiles, min–max scaling.
+//! * [`correlation`] — Pearson and Spearman correlation.
+//! * [`special`] — log-gamma, regularized incomplete beta, error function.
+//! * [`distributions`] — normal and Student-t CDFs built on [`special`].
+//! * [`ttest`] — one-sample and paired two-sample t-tests.
+
+pub mod correlation;
+pub mod describe;
+pub mod distributions;
+pub mod special;
+pub mod ttest;
+
+pub use correlation::{pearson, spearman};
+pub use describe::{max, mean, min, minmax_scale, quantile, std_dev, variance};
+pub use distributions::{normal_cdf, student_t_cdf};
+pub use ttest::{paired_ttest, ttest_1samp, TTestResult};

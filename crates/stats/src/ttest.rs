@@ -1,0 +1,119 @@
+//! Student-t hypothesis tests.
+//!
+//! Tables I and II of the paper report pairwise t-tests: between AMS and
+//! each baseline on BA (Table I), and between each model's SR series and
+//! the constant 1 representing analysts' consensus (Table II). Both
+//! reduce to a one-sample t-test on a difference series, implemented
+//! here.
+
+use crate::describe::{mean, std_dev};
+use crate::distributions::t_two_sided_pvalue;
+
+/// Outcome of a t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom (n − 1).
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+/// One-sample t-test of the null hypothesis `mean(xs) == mu0`.
+///
+/// Returns `None` when fewer than two observations are available or the
+/// sample is exactly constant at `mu0` (t undefined: 0/0).
+pub fn ttest_1samp(xs: &[f64], mu0: f64) -> Option<TTestResult> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s == 0.0 {
+        if m == mu0 {
+            return None;
+        }
+        // Constant sample away from mu0: infinitely significant.
+        return Some(TTestResult { t: f64::INFINITY * (m - mu0).signum(), df: n - 1.0, p_value: 0.0 });
+    }
+    let t = (m - mu0) / (s / n.sqrt());
+    Some(TTestResult { t, df: n - 1.0, p_value: t_two_sided_pvalue(t, n - 1.0) })
+}
+
+/// Paired two-sample t-test: tests whether the mean of `a - b` differs
+/// from zero. This is the "pairwise t-test" of §IV-D, pairing model
+/// scores across cross-validation folds.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn paired_ttest(a: &[f64], b: &[f64]) -> Option<TTestResult> {
+    assert_eq!(a.len(), b.len(), "paired_ttest: length mismatch");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    ttest_1samp(&diffs, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_sample_known_value() {
+        // xs = [5.1, 4.9, 5.6, 4.7, 5.2], H0: mu = 5.0
+        // mean = 5.1, sd = 0.3391..., t = 0.6594..., df = 4.
+        let xs = [5.1, 4.9, 5.6, 4.7, 5.2];
+        let r = ttest_1samp(&xs, 5.0).unwrap();
+        assert!((r.t - 0.659_380_473).abs() < 1e-6, "t = {}", r.t);
+        assert_eq!(r.df, 4.0);
+        assert!((r.p_value - 0.545_745).abs() < 1e-3, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn one_sample_too_small() {
+        assert!(ttest_1samp(&[1.0], 0.0).is_none());
+        assert!(ttest_1samp(&[], 0.0).is_none());
+    }
+
+    #[test]
+    fn one_sample_constant_at_mu0() {
+        assert!(ttest_1samp(&[2.0, 2.0, 2.0], 2.0).is_none());
+    }
+
+    #[test]
+    fn one_sample_constant_away_from_mu0() {
+        let r = ttest_1samp(&[2.0, 2.0, 2.0], 1.0).unwrap();
+        assert_eq!(r.p_value, 0.0);
+        assert!(r.t.is_infinite() && r.t > 0.0);
+    }
+
+    #[test]
+    fn paired_equal_samples_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!(paired_ttest(&a, &a).is_none()); // all diffs zero
+    }
+
+    #[test]
+    fn paired_shifted_samples_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b: Vec<f64> = a.iter().map(|x| x - 1.0).collect();
+        let r = paired_ttest(&a, &b).unwrap();
+        // Constant difference of 1 → infinitely significant.
+        assert_eq!(r.p_value, 0.0);
+    }
+
+    #[test]
+    fn paired_noisy_shift() {
+        let a = [2.1, 3.2, 4.0, 5.1, 6.3, 6.9];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let r = paired_ttest(&a, &b).unwrap();
+        assert!(r.t > 0.0);
+        assert!(r.p_value < 0.01, "clear shift should be significant, p={}", r.p_value);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn paired_mismatch_panics() {
+        paired_ttest(&[1.0], &[1.0, 2.0]);
+    }
+}

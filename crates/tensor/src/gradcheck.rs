@@ -1,0 +1,285 @@
+//! Finite-difference gradient checking.
+//!
+//! Every op in [`crate::graph`] is verified against central differences
+//! in this module's test suite, and downstream crates (GAT layers, LSTM
+//! cells, the AMS master objective) reuse [`check_gradients`] in their
+//! own tests. This is the correctness anchor for the whole autodiff
+//! substrate: a VJP bug anywhere shows up as a large relative error
+//! here.
+
+use crate::graph::{Graph, Var};
+use crate::matrix::Matrix;
+
+/// A differentiable scalar function of a list of parameter matrices:
+/// given the parameter values, build a graph and return it together with
+/// the leaf [`Var`]s corresponding to each parameter and the 1×1 loss.
+pub type ScalarFn<'a> = &'a dyn Fn(&mut Graph, &[Var]) -> Var;
+
+/// Evaluate `f` at `params`, returning the scalar loss.
+fn eval(f: ScalarFn, params: &[Matrix]) -> f64 {
+    let mut g = Graph::new();
+    let vars: Vec<Var> = params.iter().map(|p| g.input(p.clone())).collect();
+    let loss = f(&mut g, &vars);
+    g.value(loss).item()
+}
+
+/// Numerical gradient of `f` by central differences with step `eps`.
+pub fn numeric_gradients(f: ScalarFn, params: &[Matrix], eps: f64) -> Vec<Matrix> {
+    let mut grads = Vec::with_capacity(params.len());
+    for pi in 0..params.len() {
+        let mut grad = Matrix::zeros(params[pi].rows(), params[pi].cols());
+        for idx in 0..params[pi].len() {
+            let mut plus = params.to_vec();
+            plus[pi].as_mut_slice()[idx] += eps;
+            let mut minus = params.to_vec();
+            minus[pi].as_mut_slice()[idx] -= eps;
+            grad.as_mut_slice()[idx] = (eval(f, &plus) - eval(f, &minus)) / (2.0 * eps);
+        }
+        grads.push(grad);
+    }
+    grads
+}
+
+/// Analytic (reverse-mode) gradient of `f` at `params`.
+pub fn analytic_gradients(f: ScalarFn, params: &[Matrix]) -> Vec<Matrix> {
+    let mut g = Graph::new();
+    let vars: Vec<Var> = params.iter().map(|p| g.input(p.clone())).collect();
+    let loss = f(&mut g, &vars);
+    let grads = g.backward(loss);
+    vars.iter().map(|&v| grads.get(v)).collect()
+}
+
+/// Compare analytic and numeric gradients; returns the worst relative
+/// error `|a − n| / max(1, |a|, |n|)` over all parameter entries.
+pub fn max_relative_error(f: ScalarFn, params: &[Matrix], eps: f64) -> f64 {
+    let analytic = analytic_gradients(f, params);
+    let numeric = numeric_gradients(f, params, eps);
+    let mut worst: f64 = 0.0;
+    for (a, n) in analytic.iter().zip(&numeric) {
+        for (&av, &nv) in a.as_slice().iter().zip(n.as_slice()) {
+            let denom = 1.0f64.max(av.abs()).max(nv.abs());
+            worst = worst.max((av - nv).abs() / denom);
+        }
+    }
+    worst
+}
+
+/// Assert that the analytic gradient of `f` matches finite differences
+/// to within `tol` relative error.
+///
+/// # Panics
+/// Panics (test-style) when the tolerance is exceeded.
+pub fn check_gradients(f: ScalarFn, params: &[Matrix], tol: f64) {
+    let err = max_relative_error(f, params, 1e-5);
+    assert!(err < tol, "gradient check failed: max relative error {err:.3e} >= tol {tol:.1e}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{dropout_mask, he_uniform, xavier_uniform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const TOL: f64 = 1e-6;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn check_matmul_chain() {
+        let mut r = rng();
+        let params = vec![xavier_uniform(3, 4, &mut r), xavier_uniform(4, 2, &mut r)];
+        check_gradients(
+            &|g, vars| {
+                let y = g.matmul(vars[0], vars[1]);
+                g.sq_frobenius(y)
+            },
+            &params,
+            TOL,
+        );
+    }
+
+    #[test]
+    fn check_elementwise_ops() {
+        let mut r = rng();
+        let params = vec![xavier_uniform(3, 3, &mut r), xavier_uniform(3, 3, &mut r)];
+        check_gradients(
+            &|g, vars| {
+                let s = g.add(vars[0], vars[1]);
+                let d = g.sub(vars[0], vars[1]);
+                let p = g.mul(s, d);
+                let a = g.affine(p, 1.5, -0.25);
+                g.sq_frobenius(a)
+            },
+            &params,
+            TOL,
+        );
+    }
+
+    #[test]
+    fn check_activations() {
+        let mut r = rng();
+        // Offset away from 0 so ReLU's kink doesn't poison the FD check.
+        let base = xavier_uniform(4, 4, &mut r).map(|x| if x.abs() < 0.05 { x + 0.1 } else { x });
+        for act in 0..4 {
+            let params = vec![base.clone()];
+            check_gradients(
+                &move |g, vars| {
+                    let y = match act {
+                        0 => g.relu(vars[0]),
+                        1 => g.leaky_relu(vars[0], 0.2),
+                        2 => g.sigmoid(vars[0]),
+                        _ => g.tanh(vars[0]),
+                    };
+                    g.sq_frobenius(y)
+                },
+                &params,
+                TOL,
+            );
+        }
+    }
+
+    #[test]
+    fn check_bias_broadcast_and_mean() {
+        let mut r = rng();
+        let params = vec![xavier_uniform(5, 3, &mut r), xavier_uniform(1, 3, &mut r)];
+        check_gradients(
+            &|g, vars| {
+                let y = g.add_row_broadcast(vars[0], vars[1]);
+                let t = g.tanh(y);
+                g.mean_all(t)
+            },
+            &params,
+            TOL,
+        );
+    }
+
+    #[test]
+    fn check_masked_softmax() {
+        let mut r = rng();
+        let params = vec![xavier_uniform(4, 4, &mut r)];
+        let mask = Matrix::from_rows(&[
+            &[1.0, 1.0, 0.0, 1.0],
+            &[0.0, 1.0, 1.0, 0.0],
+            &[1.0, 0.0, 0.0, 0.0],
+            &[1.0, 1.0, 1.0, 1.0],
+        ]);
+        let weights = xavier_uniform(4, 4, &mut r);
+        check_gradients(
+            &move |g, vars| {
+                let sm = g.masked_softmax_rows(vars[0], &mask);
+                let w = g.input(weights.clone());
+                let y = g.mul(sm, w);
+                g.sum_all(y)
+            },
+            &params,
+            TOL,
+        );
+    }
+
+    #[test]
+    fn check_outer_sum_attention_pattern() {
+        // The exact computation pattern GAT uses for logits.
+        let mut r = rng();
+        let params = vec![
+            xavier_uniform(4, 3, &mut r), // node features
+            xavier_uniform(3, 1, &mut r), // a_left
+            xavier_uniform(3, 1, &mut r), // a_right
+        ];
+        let mask = Matrix::from_rows(&[
+            &[1.0, 1.0, 0.0, 0.0],
+            &[1.0, 1.0, 1.0, 0.0],
+            &[0.0, 1.0, 1.0, 1.0],
+            &[0.0, 0.0, 1.0, 1.0],
+        ]);
+        check_gradients(
+            &move |g, vars| {
+                let sl = g.matmul(vars[0], vars[1]);
+                let sr = g.matmul(vars[0], vars[2]);
+                let e = g.outer_sum(sl, sr);
+                let e = g.leaky_relu(e, 0.2);
+                let a = g.masked_softmax_rows(e, &mask);
+                let h = g.matmul(a, vars[0]);
+                g.sq_frobenius(h)
+            },
+            &params,
+            TOL,
+        );
+    }
+
+    #[test]
+    fn check_rowwise_dot_and_select() {
+        let mut r = rng();
+        let params = vec![xavier_uniform(5, 4, &mut r), xavier_uniform(5, 4, &mut r)];
+        check_gradients(
+            &|g, vars| {
+                let d = g.rowwise_dot(vars[0], vars[1]);
+                let s = g.select_rows(d, &[0, 2, 2, 4]);
+                g.sq_frobenius(s)
+            },
+            &params,
+            TOL,
+        );
+    }
+
+    #[test]
+    fn check_concat_and_mse() {
+        let mut r = rng();
+        let params = vec![xavier_uniform(3, 2, &mut r), xavier_uniform(3, 3, &mut r)];
+        let target = xavier_uniform(3, 5, &mut r);
+        check_gradients(
+            &move |g, vars| {
+                let c = g.concat_cols(&[vars[0], vars[1]]);
+                let t = g.input(target.clone());
+                g.mse(c, t)
+            },
+            &params,
+            TOL,
+        );
+    }
+
+    #[test]
+    fn check_dropout_is_linear() {
+        let mut r = rng();
+        let params = vec![he_uniform(4, 4, &mut r)];
+        let mask = dropout_mask(4, 4, 0.5, &mut r);
+        check_gradients(
+            &move |g, vars| {
+                let d = g.dropout(vars[0], &mask);
+                g.sq_frobenius(d)
+            },
+            &params,
+            TOL,
+        );
+    }
+
+    #[test]
+    fn check_transpose_chain() {
+        let mut r = rng();
+        let params = vec![xavier_uniform(3, 5, &mut r)];
+        check_gradients(
+            &|g, vars| {
+                let t = g.transpose(vars[0]);
+                let y = g.matmul(t, vars[0]);
+                g.sum_all(y)
+            },
+            &params,
+            TOL,
+        );
+    }
+
+    #[test]
+    fn numeric_gradient_of_known_function() {
+        // f(w) = sum(w^2) → df/dw = 2w exactly; FD should agree closely.
+        let params = vec![Matrix::from_rows(&[&[1.0, -2.0, 0.5]])];
+        let numeric = numeric_gradients(
+            &|g, vars| g.sq_frobenius(vars[0]),
+            &params,
+            1e-5,
+        );
+        let expected = params[0].scale(2.0);
+        assert!(numeric[0].max_abs_diff(&expected) < 1e-8);
+    }
+}

@@ -1,0 +1,719 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! This is the substrate that replaces the paper's PaddlePaddle: a
+//! dynamically built computation graph over [`Matrix`] values with
+//! explicit vector–Jacobian products for every operation. The graph is
+//! rebuilt on every forward pass (define-by-run), which keeps recurrent
+//! models (LSTM/GRU over k=4 quarters) and the per-fold AMS training
+//! loop straightforward.
+//!
+//! Typical usage:
+//! ```
+//! use ams_tensor::{Graph, Matrix};
+//! let mut g = Graph::new();
+//! let x = g.input(Matrix::from_rows(&[&[1.0, 2.0]]));
+//! let w = g.input(Matrix::from_rows(&[&[0.5], &[-1.0]]));
+//! let y = g.matmul(x, w);
+//! let loss = g.sq_frobenius(y);
+//! let grads = g.backward(loss);
+//! assert_eq!(grads.get(w).rows(), 2);
+//! ```
+
+use std::rc::Rc;
+
+use crate::matrix::Matrix;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+impl Var {
+    /// Raw node index (stable for the life of the graph).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Operations recorded on the tape. Each variant stores the input
+/// handles plus whatever constant data its VJP needs.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Leaf: an input or parameter.
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    /// Element-wise (Hadamard) product.
+    Mul(Var, Var),
+    MatMul(Var, Var),
+    /// `a * x + b` applied element-wise; only the multiplier matters
+    /// for the VJP, so it alone is stored.
+    Affine(Var, f64),
+    Relu(Var),
+    LeakyRelu(Var, f64),
+    Sigmoid(Var),
+    Tanh(Var),
+    Transpose(Var),
+    /// `(n×d) + (1×d)` bias-style broadcast over rows.
+    AddRowBroadcast(Var, Var),
+    /// `out[i][j] = u[i] + v[j]` from column vectors `u (n×1)`, `v (m×1)`.
+    /// This is the pairwise attention-logit construction of GAT.
+    OuterSum(Var, Var),
+    /// Row-wise softmax restricted to positions where `mask != 0`;
+    /// masked positions output exactly 0.
+    MaskedSoftmaxRows(Var, Rc<Matrix>),
+    /// Horizontal concatenation of equal-row-count inputs.
+    ConcatCols(Vec<Var>),
+    SumAll(Var),
+    MeanAll(Var),
+    /// Mean squared error between two same-shape matrices → 1×1.
+    Mse(Var, Var),
+    /// `out[i] = dot(a.row(i), b.row(i))` → n×1. This evaluates every
+    /// slave-LR at once: `ÛR_i = X_iᵀ β_v(X_i)` (Eq. 6).
+    RowwiseDot(Var, Var),
+    /// Select rows by index (repetition allowed); gradient scatter-adds.
+    SelectRows(Var, Rc<Vec<usize>>),
+    /// Element-wise multiply by a fixed (inverted-dropout) mask.
+    Dropout(Var, Rc<Matrix>),
+    /// Squared Frobenius norm → 1×1 (the `‖·‖²` regularizers of Eq. 11).
+    SqFrobenius(Var),
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+}
+
+/// Gradients produced by [`Graph::backward`], indexed by [`Var`].
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+    shapes: Vec<(usize, usize)>,
+}
+
+impl Gradients {
+    /// Gradient of the loss w.r.t. `var`. Zero matrix when the variable
+    /// did not influence the loss.
+    pub fn get(&self, var: Var) -> Matrix {
+        match &self.grads[var.0] {
+            Some(g) => g.clone(),
+            None => {
+                let (r, c) = self.shapes[var.0];
+                Matrix::zeros(r, c)
+            }
+        }
+    }
+
+    /// Borrowed gradient, `None` when the variable is disconnected.
+    pub fn get_ref(&self, var: Var) -> Option<&Matrix> {
+        self.grads[var.0].as_ref()
+    }
+}
+
+/// A define-by-run computation tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current value of a node.
+    pub fn value(&self, var: Var) -> &Matrix {
+        &self.nodes[var.0].value
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        self.nodes.push(Node { op, value });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Record a leaf holding `value` (an input or a parameter snapshot).
+    pub fn input(&mut self, value: Matrix) -> Var {
+        self.push(Op::Leaf, value)
+    }
+
+    /// `a + b` (same shapes).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// `a - b` (same shapes).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Element-wise product (same shapes).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).hadamard(self.value(b));
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// `alpha * x + beta` element-wise.
+    pub fn affine(&mut self, x: Var, alpha: f64, beta: f64) -> Var {
+        let v = self.value(x).map(|e| alpha * e + beta);
+        self.push(Op::Affine(x, alpha), v)
+    }
+
+    /// `x * alpha`.
+    pub fn scale(&mut self, x: Var, alpha: f64) -> Var {
+        self.affine(x, alpha, 0.0)
+    }
+
+    /// Rectified linear unit (the paper's φ for node transform and GAT).
+    pub fn relu(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|e| e.max(0.0));
+        self.push(Op::Relu(x), v)
+    }
+
+    /// Leaky ReLU with slope `alpha` on the negative side (used inside
+    /// the GAT attention mechanism, following Veličković et al.).
+    pub fn leaky_relu(&mut self, x: Var, alpha: f64) -> Var {
+        let v = self.value(x).map(|e| if e > 0.0 { e } else { alpha * e });
+        self.push(Op::LeakyRelu(x, alpha), v)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|e| 1.0 / (1.0 + (-e).exp()));
+        self.push(Op::Sigmoid(x), v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(f64::tanh);
+        self.push(Op::Tanh(x), v)
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, x: Var) -> Var {
+        let v = self.value(x).t();
+        self.push(Op::Transpose(x), v)
+    }
+
+    /// `(n×d) + (1×d)` broadcast, the standard bias add.
+    pub fn add_row_broadcast(&mut self, x: Var, bias: Var) -> Var {
+        let xv = self.value(x);
+        let bv = self.value(bias);
+        assert_eq!(bv.rows(), 1, "add_row_broadcast: bias must be a row vector");
+        assert_eq!(bv.cols(), xv.cols(), "add_row_broadcast: width mismatch");
+        let mut out = xv.clone();
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                out[(r, c)] += bv[(0, c)];
+            }
+        }
+        self.push(Op::AddRowBroadcast(x, bias), out)
+    }
+
+    /// `out[i][j] = u[i] + v[j]` from column vectors.
+    pub fn outer_sum(&mut self, u: Var, v: Var) -> Var {
+        let uv = self.value(u);
+        let vv = self.value(v);
+        assert_eq!(uv.cols(), 1, "outer_sum: u must be a column vector");
+        assert_eq!(vv.cols(), 1, "outer_sum: v must be a column vector");
+        let mut out = Matrix::zeros(uv.rows(), vv.rows());
+        for i in 0..uv.rows() {
+            for j in 0..vv.rows() {
+                out[(i, j)] = uv[(i, 0)] + vv[(j, 0)];
+            }
+        }
+        self.push(Op::OuterSum(u, v), out)
+    }
+
+    /// Row-wise softmax over the positions where `mask != 0`; masked
+    /// positions are exactly zero in the output. A row whose mask is all
+    /// zero stays all zero (an isolated graph node attends to nothing).
+    pub fn masked_softmax_rows(&mut self, x: Var, mask: &Matrix) -> Var {
+        let xv = self.value(x);
+        assert_eq!(xv.shape(), mask.shape(), "masked_softmax_rows: mask shape mismatch");
+        let mut out = Matrix::zeros(xv.rows(), xv.cols());
+        for r in 0..xv.rows() {
+            let mut maxv = f64::NEG_INFINITY;
+            for c in 0..xv.cols() {
+                if mask[(r, c)] != 0.0 {
+                    maxv = maxv.max(xv[(r, c)]);
+                }
+            }
+            if maxv == f64::NEG_INFINITY {
+                continue; // fully masked row
+            }
+            let mut denom = 0.0;
+            for c in 0..xv.cols() {
+                if mask[(r, c)] != 0.0 {
+                    let e = (xv[(r, c)] - maxv).exp();
+                    out[(r, c)] = e;
+                    denom += e;
+                }
+            }
+            for c in 0..xv.cols() {
+                out[(r, c)] /= denom;
+            }
+        }
+        self.push(Op::MaskedSoftmaxRows(x, Rc::new(mask.clone())), out)
+    }
+
+    /// Horizontal concatenation (multi-head attention outputs, Eq. 3).
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols: empty input list");
+        let mut v = self.value(parts[0]).clone();
+        for p in &parts[1..] {
+            v = v.hcat(self.value(*p));
+        }
+        self.push(Op::ConcatCols(parts.to_vec()), v)
+    }
+
+    /// Sum of all elements → 1×1.
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let v = Matrix::scalar(self.value(x).sum());
+        self.push(Op::SumAll(x), v)
+    }
+
+    /// Mean of all elements → 1×1.
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let v = Matrix::scalar(self.value(x).sum() / self.value(x).len() as f64);
+        self.push(Op::MeanAll(x), v)
+    }
+
+    /// Mean squared error between same-shape matrices → 1×1.
+    pub fn mse(&mut self, pred: Var, target: Var) -> Var {
+        let p = self.value(pred);
+        let t = self.value(target);
+        assert_eq!(p.shape(), t.shape(), "mse: shape mismatch");
+        let v = p.sub(t).sq_frobenius() / p.len() as f64;
+        self.push(Op::Mse(pred, target), Matrix::scalar(v))
+    }
+
+    /// Row-wise dot product of two `n×d` matrices → `n×1`.
+    pub fn rowwise_dot(&mut self, a: Var, b: Var) -> Var {
+        let av = self.value(a);
+        let bv = self.value(b);
+        assert_eq!(av.shape(), bv.shape(), "rowwise_dot: shape mismatch");
+        let mut out = Matrix::zeros(av.rows(), 1);
+        for r in 0..av.rows() {
+            out[(r, 0)] = av.row(r).iter().zip(bv.row(r)).map(|(x, y)| x * y).sum();
+        }
+        self.push(Op::RowwiseDot(a, b), out)
+    }
+
+    /// Select rows by index (repetition allowed).
+    pub fn select_rows(&mut self, x: Var, ids: &[usize]) -> Var {
+        let v = self.value(x).select_rows(ids);
+        self.push(Op::SelectRows(x, Rc::new(ids.to_vec())), v)
+    }
+
+    /// Multiply by a fixed mask. Callers pass an inverted-dropout mask
+    /// (entries `0` or `1/keep_prob`), built by
+    /// [`crate::init::dropout_mask`].
+    pub fn dropout(&mut self, x: Var, mask: &Matrix) -> Var {
+        let v = self.value(x).hadamard(mask);
+        self.push(Op::Dropout(x, Rc::new(mask.clone())), v)
+    }
+
+    /// Squared Frobenius norm → 1×1.
+    pub fn sq_frobenius(&mut self, x: Var) -> Var {
+        let v = Matrix::scalar(self.value(x).sq_frobenius());
+        self.push(Op::SqFrobenius(x), v)
+    }
+
+    /// Reverse-mode sweep from `output` (which is seeded with an
+    /// all-ones cotangent, so for the usual 1×1 loss the result is the
+    /// plain gradient).
+    pub fn backward(&mut self, output: Var) -> Gradients {
+        let n = self.nodes.len();
+        let mut grads: Vec<Option<Matrix>> = vec![None; n];
+        let out_shape = self.value(output).shape();
+        grads[output.0] = Some(Matrix::ones(out_shape.0, out_shape.1));
+
+        for idx in (0..=output.0).rev() {
+            let g = match grads[idx].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            // Re-insert so callers can read intermediate gradients too.
+            grads[idx] = Some(g.clone());
+            let op = self.nodes[idx].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    self.accumulate(&mut grads, a, g.clone());
+                    self.accumulate(&mut grads, b, g);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(&mut grads, a, g.clone());
+                    self.accumulate(&mut grads, b, g.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let ga = g.hadamard(self.value(b));
+                    let gb = g.hadamard(self.value(a));
+                    self.accumulate(&mut grads, a, ga);
+                    self.accumulate(&mut grads, b, gb);
+                }
+                Op::MatMul(a, b) => {
+                    let ga = g.matmul(&self.value(b).t());
+                    let gb = self.value(a).t().matmul(&g);
+                    self.accumulate(&mut grads, a, ga);
+                    self.accumulate(&mut grads, b, gb);
+                }
+                Op::Affine(a, alpha) => {
+                    self.accumulate(&mut grads, a, g.scale(alpha));
+                }
+                Op::Relu(a) => {
+                    let gx = g.zip_with(self.value(a), |gi, xi| if xi > 0.0 { gi } else { 0.0 });
+                    self.accumulate(&mut grads, a, gx);
+                }
+                Op::LeakyRelu(a, alpha) => {
+                    let gx = g.zip_with(self.value(a), |gi, xi| if xi > 0.0 { gi } else { alpha * gi });
+                    self.accumulate(&mut grads, a, gx);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[idx].value;
+                    let gx = g.zip_with(y, |gi, yi| gi * yi * (1.0 - yi));
+                    self.accumulate(&mut grads, a, gx);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[idx].value;
+                    let gx = g.zip_with(y, |gi, yi| gi * (1.0 - yi * yi));
+                    self.accumulate(&mut grads, a, gx);
+                }
+                Op::Transpose(a) => {
+                    self.accumulate(&mut grads, a, g.t());
+                }
+                Op::AddRowBroadcast(x, bias) => {
+                    // d/dbias: column sums of g into a 1×d row.
+                    let mut gb = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            gb[(0, c)] += g[(r, c)];
+                        }
+                    }
+                    self.accumulate(&mut grads, x, g);
+                    self.accumulate(&mut grads, bias, gb);
+                }
+                Op::OuterSum(u, v) => {
+                    let mut gu = Matrix::zeros(g.rows(), 1);
+                    let mut gv = Matrix::zeros(g.cols(), 1);
+                    for i in 0..g.rows() {
+                        for j in 0..g.cols() {
+                            gu[(i, 0)] += g[(i, j)];
+                            gv[(j, 0)] += g[(i, j)];
+                        }
+                    }
+                    self.accumulate(&mut grads, u, gu);
+                    self.accumulate(&mut grads, v, gv);
+                }
+                Op::MaskedSoftmaxRows(x, mask) => {
+                    // Per row: gx = y ⊙ (g − Σ_k g_k y_k). Masked entries
+                    // have y = 0, so they receive zero gradient.
+                    let y = self.nodes[idx].value.clone();
+                    let mut gx = Matrix::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let dot: f64 = (0..y.cols()).map(|c| g[(r, c)] * y[(r, c)]).sum();
+                        for c in 0..y.cols() {
+                            if mask[(r, c)] != 0.0 {
+                                gx[(r, c)] = y[(r, c)] * (g[(r, c)] - dot);
+                            }
+                        }
+                    }
+                    self.accumulate(&mut grads, x, gx);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut offset = 0;
+                    for p in parts {
+                        let w = self.value(p).cols();
+                        let mut gp = Matrix::zeros(g.rows(), w);
+                        for r in 0..g.rows() {
+                            gp.row_mut(r).copy_from_slice(&g.row(r)[offset..offset + w]);
+                        }
+                        offset += w;
+                        self.accumulate(&mut grads, p, gp);
+                    }
+                }
+                Op::SumAll(a) => {
+                    let shape = self.value(a).shape();
+                    self.accumulate(&mut grads, a, Matrix::full(shape.0, shape.1, g.item()));
+                }
+                Op::MeanAll(a) => {
+                    let shape = self.value(a).shape();
+                    let n = (shape.0 * shape.1) as f64;
+                    self.accumulate(&mut grads, a, Matrix::full(shape.0, shape.1, g.item() / n));
+                }
+                Op::Mse(pred, target) => {
+                    let p = self.value(pred);
+                    let t = self.value(target);
+                    let n = p.len() as f64;
+                    let gp = p.sub(t).scale(2.0 * g.item() / n);
+                    let gt = gp.scale(-1.0);
+                    self.accumulate(&mut grads, pred, gp);
+                    self.accumulate(&mut grads, target, gt);
+                }
+                Op::RowwiseDot(a, b) => {
+                    let av = self.value(a).clone();
+                    let bv = self.value(b).clone();
+                    let mut ga = Matrix::zeros(av.rows(), av.cols());
+                    let mut gb = Matrix::zeros(av.rows(), av.cols());
+                    for r in 0..av.rows() {
+                        let gr = g[(r, 0)];
+                        for c in 0..av.cols() {
+                            ga[(r, c)] = gr * bv[(r, c)];
+                            gb[(r, c)] = gr * av[(r, c)];
+                        }
+                    }
+                    self.accumulate(&mut grads, a, ga);
+                    self.accumulate(&mut grads, b, gb);
+                }
+                Op::SelectRows(x, ids) => {
+                    let shape = self.value(x).shape();
+                    let mut gx = Matrix::zeros(shape.0, shape.1);
+                    for (r, &id) in ids.iter().enumerate() {
+                        for c in 0..shape.1 {
+                            gx[(id, c)] += g[(r, c)];
+                        }
+                    }
+                    self.accumulate(&mut grads, x, gx);
+                }
+                Op::Dropout(x, mask) => {
+                    self.accumulate(&mut grads, x, g.hadamard(&mask));
+                }
+                Op::SqFrobenius(x) => {
+                    let gx = self.value(x).scale(2.0 * g.item());
+                    self.accumulate(&mut grads, x, gx);
+                }
+            }
+        }
+
+        let shapes = self.nodes.iter().map(|n| n.value.shape()).collect();
+        Gradients { grads, shapes }
+    }
+
+    fn accumulate(&self, grads: &mut [Option<Matrix>], var: Var, g: Matrix) {
+        debug_assert_eq!(
+            g.shape(),
+            self.value(var).shape(),
+            "gradient shape mismatch for node {}",
+            var.0
+        );
+        match &mut grads[var.0] {
+            Some(existing) => existing.add_scaled_assign(&g, 1.0),
+            slot @ None => *slot = Some(g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_grads_flow_to_both() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::scalar(2.0));
+        let b = g.input(Matrix::scalar(3.0));
+        let s = g.add(a, b);
+        let grads = g.backward(s);
+        assert_eq!(grads.get(a).item(), 1.0);
+        assert_eq!(grads.get(b).item(), 1.0);
+    }
+
+    #[test]
+    fn matmul_grad_matches_closed_form() {
+        // loss = sum(A B); dA = ones @ B^T, dB = A^T @ ones.
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = g.input(Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]));
+        let c = g.matmul(a, b);
+        let loss = g.sum_all(c);
+        let grads = g.backward(loss);
+        let expected_da = Matrix::ones(2, 2).matmul(&g.value(b).t());
+        let expected_db = g.value(a).t().matmul(&Matrix::ones(2, 2));
+        assert!(grads.get(a).max_abs_diff(&expected_da) < 1e-12);
+        assert!(grads.get(b).max_abs_diff(&expected_db) < 1e-12);
+    }
+
+    #[test]
+    fn relu_gates_gradient() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[-1.0, 2.0]]));
+        let y = g.relu(x);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(x).as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_grad_at_zero_is_quarter() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::scalar(0.0));
+        let y = g.sigmoid(x);
+        let grads = g.backward(y);
+        assert!((grads.get(x).item() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reuse_of_node_accumulates() {
+        // loss = x * x (Hadamard with itself); d/dx = 2x.
+        let mut g = Graph::new();
+        let x = g.input(Matrix::scalar(3.0));
+        let y = g.mul(x, x);
+        let grads = g.backward(y);
+        assert!((grads.get(x).item() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_gradient() {
+        let mut g = Graph::new();
+        let p = g.input(Matrix::from_rows(&[&[1.0], &[3.0]]));
+        let t = g.input(Matrix::from_rows(&[&[0.0], &[0.0]]));
+        let l = g.mse(p, t);
+        assert!((g.value(l).item() - 5.0).abs() < 1e-12);
+        let grads = g.backward(l);
+        // d/dp = 2(p - t)/n = [1, 3].
+        assert!(grads.get(p).max_abs_diff(&Matrix::from_rows(&[&[1.0], &[3.0]])) < 1e-12);
+    }
+
+    #[test]
+    fn masked_softmax_rows_behaviour() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 0.0, 0.0]]));
+        let mask = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 0.0, 0.0]]);
+        let y = g.masked_softmax_rows(x, &mask);
+        let yv = g.value(y);
+        // Row 0: softmax over logits 1 and 3, middle masked to zero.
+        assert_eq!(yv[(0, 1)], 0.0);
+        assert!((yv[(0, 0)] + yv[(0, 2)] - 1.0).abs() < 1e-12);
+        assert!(yv[(0, 2)] > yv[(0, 0)]);
+        // Row 1: fully masked stays zero.
+        assert_eq!(yv.row(1), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn select_rows_scatter_adds() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]));
+        let s = g.select_rows(x, &[1, 1, 2]);
+        let loss = g.sum_all(s);
+        let grads = g.backward(loss);
+        // Row 1 selected twice → gradient 2; row 0 unselected → 0.
+        assert_eq!(grads.get(x).as_slice(), &[0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn rowwise_dot_value_and_grad() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = g.input(Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]));
+        let d = g.rowwise_dot(a, b);
+        assert_eq!(g.value(d).as_slice(), &[17.0, 53.0]);
+        let loss = g.sum_all(d);
+        let grads = g.backward(loss);
+        assert!(grads.get(a).max_abs_diff(g.value(b)) < 1e-12);
+        assert!(grads.get(b).max_abs_diff(g.value(a)) < 1e-12);
+    }
+
+    #[test]
+    fn outer_sum_value_and_grad() {
+        let mut g = Graph::new();
+        let u = g.input(Matrix::col_vector(&[1.0, 2.0]));
+        let v = g.input(Matrix::col_vector(&[10.0, 20.0, 30.0]));
+        let e = g.outer_sum(u, v);
+        assert_eq!(g.value(e).shape(), (2, 3));
+        assert_eq!(g.value(e)[(1, 2)], 32.0);
+        let loss = g.sum_all(e);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(u).as_slice(), &[3.0, 3.0]); // summed over 3 cols
+        assert_eq!(grads.get(v).as_slice(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn concat_cols_splits_gradient() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[&[1.0], &[2.0]]));
+        let b = g.input(Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]));
+        let c = g.concat_cols(&[a, b]);
+        assert_eq!(g.value(c).shape(), (2, 3));
+        let scaled = g.scale(c, 2.0);
+        let loss = g.sum_all(scaled);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(a).as_slice(), &[2.0, 2.0]);
+        assert_eq!(grads.get(b).as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn disconnected_var_gets_zero_grad() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::scalar(1.0));
+        let y = g.input(Matrix::scalar(2.0));
+        let loss = g.sq_frobenius(x);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(y).item(), 0.0);
+        assert!(grads.get_ref(y).is_none());
+    }
+
+    #[test]
+    fn sq_frobenius_grad_is_2x() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0, -2.0]]));
+        let l = g.sq_frobenius(x);
+        assert_eq!(g.value(l).item(), 5.0);
+        let grads = g.backward(l);
+        assert_eq!(grads.get(x).as_slice(), &[2.0, -4.0]);
+    }
+
+    #[test]
+    fn dropout_mask_scales_grad() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0, 1.0]]));
+        let mask = Matrix::from_rows(&[&[0.0, 2.0]]);
+        let y = g.dropout(x, &mask);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(x).as_slice(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn transpose_grad() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let xt = g.transpose(x);
+        assert_eq!(g.value(xt).shape(), (3, 1));
+        let w = g.input(Matrix::from_rows(&[&[1.0, 0.0, 0.0]]));
+        let y = g.matmul(w, xt);
+        let grads = g.backward(y);
+        assert_eq!(grads.get(x).as_slice(), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn deep_chain_backprop() {
+        // y = tanh(relu(2x + 1)); check at x=1: inner = 3, relu passes,
+        // dy/dx = (1 - tanh(3)^2) * 2.
+        let mut g = Graph::new();
+        let x = g.input(Matrix::scalar(1.0));
+        let a = g.affine(x, 2.0, 1.0);
+        let r = g.relu(a);
+        let y = g.tanh(r);
+        let grads = g.backward(y);
+        let expected = (1.0 - (3.0f64).tanh().powi(2)) * 2.0;
+        assert!((grads.get(x).item() - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,29 @@
+//! # ams-tensor — dense linear algebra and reverse-mode autodiff
+//!
+//! The numerical substrate of the AMS reproduction. The paper implements
+//! its models in PaddlePaddle; this crate provides the equivalent
+//! primitives from scratch:
+//!
+//! * [`Matrix`] — dense row-major `f64` matrices with the usual algebra;
+//! * [`linalg`] — Cholesky/LU direct solvers (closed-form ridge for the
+//!   anchored LR of Eq. 5);
+//! * [`Graph`]/[`Var`] — a define-by-run autodiff tape with the ops
+//!   needed by node transforms, GAT attention, LSTM/GRU cells and the
+//!   master objective Γ_master (Eq. 11);
+//! * [`optim`] — Adam and SGD;
+//! * [`init`] — Xavier/He initialization, Box–Muller normals, and
+//!   inverted-dropout masks;
+//! * [`gradcheck`] — finite-difference verification used across the
+//!   workspace's test suites.
+
+pub mod gradcheck;
+pub mod graph;
+pub mod init;
+pub mod linalg;
+pub mod matrix;
+pub mod optim;
+
+pub use graph::{Gradients, Graph, Var};
+pub use linalg::{cholesky, ridge_solve, solve_lu, solve_spd, LinalgError};
+pub use matrix::Matrix;
+pub use optim::{Adam, Sgd};

@@ -1,0 +1,242 @@
+//! Direct linear solvers.
+//!
+//! The anchored LR of §III-D (Eq. 5) and the ridge/OLS baselines have
+//! closed-form solutions `(XᵀX + λI) β = Xᵀy`; the left-hand side is
+//! symmetric positive definite for λ > 0, so a Cholesky factorization is
+//! the right tool. A partial-pivoting LU solver is provided for the few
+//! places (ARIMA's AR initialization) that need a general square solve.
+
+use crate::matrix::Matrix;
+
+/// Error from a direct solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Matrix was not (numerically) positive definite.
+    NotPositiveDefinite,
+    /// Matrix was singular to working precision.
+    Singular,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix. Returns the lower-triangular factor.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let n = a.rows();
+    assert_eq!(a.rows(), a.cols(), "cholesky: matrix must be square");
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solve `A x = b` for symmetric positive-definite `A` via Cholesky.
+/// `b` may have multiple right-hand-side columns.
+pub fn solve_spd(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    let l = cholesky(a)?;
+    // Forward substitution L y = b, then back substitution Lᵀ x = y.
+    let n = a.rows();
+    let m = b.cols();
+    assert_eq!(b.rows(), n, "solve_spd: rhs row mismatch");
+    let mut x = b.clone();
+    for col in 0..m {
+        for i in 0..n {
+            let mut v = x[(i, col)];
+            for k in 0..i {
+                v -= l[(i, k)] * x[(k, col)];
+            }
+            x[(i, col)] = v / l[(i, i)];
+        }
+        for i in (0..n).rev() {
+            let mut v = x[(i, col)];
+            for k in (i + 1)..n {
+                v -= l[(k, i)] * x[(k, col)];
+            }
+            x[(i, col)] = v / l[(i, i)];
+        }
+    }
+    Ok(x)
+}
+
+/// Solve the ridge normal equations `(XᵀX + λI) β = Xᵀ y`.
+///
+/// `lambda = 0` is allowed but may fail with
+/// [`LinalgError::NotPositiveDefinite`] on rank-deficient designs; the
+/// callers that need plain OLS on well-conditioned data pass 0, all
+/// model-fitting paths pass λ > 0.
+pub fn ridge_solve(x: &Matrix, y: &Matrix, lambda: f64) -> Result<Matrix, LinalgError> {
+    assert!(lambda >= 0.0, "ridge_solve: negative lambda");
+    let xt = x.t();
+    let mut gram = xt.matmul(x);
+    for i in 0..gram.rows() {
+        gram[(i, i)] += lambda;
+    }
+    let rhs = xt.matmul(y);
+    solve_spd(&gram, &rhs)
+}
+
+/// Solve `A x = b` for general square `A` by Gaussian elimination with
+/// partial pivoting.
+pub fn solve_lu(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    let n = a.rows();
+    assert_eq!(a.rows(), a.cols(), "solve_lu: matrix must be square");
+    assert_eq!(b.rows(), n, "solve_lu: rhs row mismatch");
+    let mut aug = a.clone();
+    let mut x = b.clone();
+    let m = b.cols();
+    for col in 0..n {
+        // Partial pivot.
+        let mut piv = col;
+        let mut best = aug[(col, col)].abs();
+        for r in (col + 1)..n {
+            if aug[(r, col)].abs() > best {
+                best = aug[(r, col)].abs();
+                piv = r;
+            }
+        }
+        if best < 1e-12 {
+            return Err(LinalgError::Singular);
+        }
+        if piv != col {
+            for c in 0..n {
+                let tmp = aug[(col, c)];
+                aug[(col, c)] = aug[(piv, c)];
+                aug[(piv, c)] = tmp;
+            }
+            for c in 0..m {
+                let tmp = x[(col, c)];
+                x[(col, c)] = x[(piv, c)];
+                x[(piv, c)] = tmp;
+            }
+        }
+        for r in (col + 1)..n {
+            let f = aug[(r, col)] / aug[(col, col)];
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                aug[(r, c)] -= f * aug[(col, c)];
+            }
+            for c in 0..m {
+                x[(r, c)] -= f * x[(col, c)];
+            }
+        }
+    }
+    // Back substitution.
+    for col in 0..m {
+        for i in (0..n).rev() {
+            let mut v = x[(i, col)];
+            for k in (i + 1)..n {
+                v -= aug[(i, k)] * x[(k, col)];
+            }
+            x[(i, col)] = v / aug[(i, i)];
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_example() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.5], &[0.6, 1.5, 3.0]])
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd_example();
+        let l = cholesky(&a).unwrap();
+        let back = l.matmul(&l.t());
+        assert!(back.max_abs_diff(&a) < 1e-12);
+        // L is lower triangular.
+        assert_eq!(l[(0, 1)], 0.0);
+        assert_eq!(l[(0, 2)], 0.0);
+        assert_eq!(l[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(cholesky(&a).unwrap_err(), LinalgError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn solve_spd_roundtrip() {
+        let a = spd_example();
+        let x_true = Matrix::from_rows(&[&[1.0], &[-2.0], &[0.5]]);
+        let b = a.matmul(&x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        assert!(x.max_abs_diff(&x_true) < 1e-10);
+    }
+
+    #[test]
+    fn solve_spd_multi_rhs() {
+        let a = spd_example();
+        let x_true = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[3.0, -1.0]]);
+        let b = a.matmul(&x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        assert!(x.max_abs_diff(&x_true) < 1e-10);
+    }
+
+    #[test]
+    fn ridge_shrinks_toward_zero() {
+        // y = 2x exactly; ridge with large lambda shrinks the slope.
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let y = Matrix::from_rows(&[&[2.0], &[4.0], &[6.0]]);
+        let b0 = ridge_solve(&x, &y, 0.0).unwrap();
+        let b_big = ridge_solve(&x, &y, 100.0).unwrap();
+        assert!((b0[(0, 0)] - 2.0).abs() < 1e-10);
+        assert!(b_big[(0, 0)].abs() < b0[(0, 0)].abs());
+        assert!(b_big[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn ridge_known_shrinkage() {
+        // With X = [1;1;1...] (n ones) and y = c, beta = n*c / (n + lambda).
+        let n = 5;
+        let x = Matrix::ones(n, 1);
+        let y = Matrix::full(n, 1, 3.0);
+        let b = ridge_solve(&x, &y, 5.0).unwrap();
+        assert!((b[(0, 0)] - (5.0 * 3.0) / (5.0 + 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_solves_general_system() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, -2.0, -3.0], &[-1.0, 1.0, 2.0]]);
+        let x_true = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let b = a.matmul(&x_true);
+        let x = solve_lu(&a, &b).unwrap();
+        assert!(x.max_abs_diff(&x_true) < 1e-10);
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        assert_eq!(solve_lu(&a, &b).unwrap_err(), LinalgError::Singular);
+    }
+}

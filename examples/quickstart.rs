@@ -1,0 +1,55 @@
+//! Quickstart: generate a synthetic alternative-data panel, train the
+//! AMS model through one cross-validation fold, and score it with the
+//! paper's BA/SR metrics against the analysts' consensus.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ams::data::{generate, CvSchedule, FeatureSet, SynthConfig};
+use ams::eval::harness::run_ams_fold;
+use ams::eval::{bounded_accuracy, mean_surprise_ratio, EvalOptions};
+use ams::model::AmsConfig;
+
+fn main() {
+    // A small transaction-amount panel: 24 companies, 12 quarters.
+    let synth = generate(&SynthConfig {
+        n_companies: 24,
+        n_quarters: 12,
+        ..SynthConfig::transaction_paper(7)
+    });
+    let panel = synth.panel;
+    println!(
+        "panel: {} companies × {} quarters, channels: {:?}",
+        panel.num_companies(),
+        panel.num_quarters(),
+        panel.alt_names
+    );
+
+    // Definition II.3 features (k = 4 quarters of history) and the
+    // paper's expanding-window CV schedule.
+    let opts = EvalOptions::paper_for(&panel);
+    let fs = FeatureSet::build(&panel, opts.k);
+    let schedule = CvSchedule::paper(panel.num_quarters(), opts.k, opts.n_folds);
+    println!("\nCV schedule:\n{}", schedule.describe(&panel.quarters));
+
+    // Train AMS on the last fold and predict the test quarter.
+    let fold = schedule.folds().last().expect("nonempty schedule");
+    let config = AmsConfig { epochs: 400, ..Default::default() };
+    let (records, model, xte) = run_ams_fold(&panel, &fs, fold, &config, 5);
+
+    let preds: Vec<f64> = records.iter().map(|r| r.pred_ur).collect();
+    let actuals: Vec<f64> = records.iter().map(|r| r.actual_ur).collect();
+    println!(
+        "test quarter {}: BA = {:.1}%  SR = {:.3}  (SR < 1 beats the consensus)",
+        panel.quarters[fold.test],
+        bounded_accuracy(&preds, &actuals),
+        mean_surprise_ratio(&preds, &actuals),
+    );
+
+    // Every company got its own generated linear model.
+    let (beta, _) = model.slave_weights(&xte);
+    println!(
+        "\nslave-LR weights: {} companies × {} features (each row is one company's own model)",
+        beta.rows(),
+        beta.cols()
+    );
+}

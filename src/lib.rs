@@ -1,0 +1,25 @@
+//! # AMS — Adaptive Master-Slave regularized model
+//!
+//! Facade crate re-exporting the whole workspace. A reproduction of
+//! *"An Adaptive Master-Slave Regularized Model for Unexpected Revenue
+//! Prediction Enhanced with Alternative Data"* (ICDE 2020):
+//!
+//! * [`tensor`] — dense linear algebra + reverse-mode autodiff;
+//! * [`stats`] — correlation, t-tests, special functions;
+//! * [`data`] — synthetic panels, Definition II.3 features, CV;
+//! * [`graph`] — the company correlation graph (§III-C);
+//! * [`models`] — the baseline zoo of §IV-B;
+//! * [`model`] — the AMS model itself (§III);
+//! * [`eval`] — BC/BA/SR metrics and the CV harness (§IV);
+//! * [`backtest`] — market simulator and the §IV-F trading strategy.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use ams_backtest as backtest;
+pub use ams_core as model;
+pub use ams_data as data;
+pub use ams_eval as eval;
+pub use ams_graph as graph;
+pub use ams_models as models;
+pub use ams_stats as stats;
+pub use ams_tensor as tensor;

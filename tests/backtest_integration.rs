@@ -1,0 +1,95 @@
+//! Integration of the CV harness with the backtest: predictions →
+//! signals → strategy → metrics, plus cross-model fairness guarantees.
+
+use ams::backtest::{aer_vs, run_strategy, sharpe_vs, MarketConfig, MarketSim, Signals};
+use ams::data::{generate, SynthConfig};
+use ams::eval::{run_model, CvResult, EvalOptions, ModelKind};
+
+fn setup() -> (ams::data::Panel, CvResult) {
+    let panel = generate(&SynthConfig { n_companies: 10, n_quarters: 12, ..SynthConfig::tiny(700) }).panel;
+    let opts = EvalOptions { k: 4, n_folds: 2, drop_alternative: false };
+    let cv = run_model(&panel, &ModelKind::Ridge { lambda: 1.0 }, &opts);
+    (panel, cv)
+}
+
+fn signals_of(panel: &ams::data::Panel, cv: &CvResult) -> (Vec<usize>, Signals) {
+    let mut quarters = Vec::new();
+    let mut signals = Vec::new();
+    for q in &cv.per_quarter {
+        quarters.push(panel.quarter_index(q.quarter).unwrap());
+        let mut sig = vec![0.0; panel.num_companies()];
+        for rec in &q.preds {
+            sig[rec.company] = rec.pred_ur;
+        }
+        signals.push(sig);
+    }
+    (quarters, signals)
+}
+
+#[test]
+fn cv_predictions_drive_a_full_backtest() {
+    let (panel, cv) = setup();
+    let (quarters, signals) = signals_of(&panel, &cv);
+    let sim = MarketSim::simulate(&panel, &quarters, MarketConfig::default());
+    let result = run_strategy(&panel, &sim, &signals, "Ridge", 100.0);
+    assert_eq!(result.asset_curve.len(), 1 + 2 * 21);
+    assert_eq!(result.quarter_ends.len(), 2);
+    assert!(result.asset_curve.iter().all(|v| v.is_finite() && *v > 0.0));
+    assert!(result.mdd_pct >= 0.0);
+}
+
+#[test]
+fn oracle_signals_beat_model_and_model_beats_anti_oracle() {
+    let (panel, cv) = setup();
+    let (quarters, signals) = signals_of(&panel, &cv);
+    let sim = MarketSim::simulate(
+        &panel,
+        &quarters,
+        MarketConfig { idio_vol: 0.004, market_vol: 0.0, ..Default::default() },
+    );
+    let oracle: Signals = quarters
+        .iter()
+        .map(|&tq| (0..panel.num_companies()).map(|c| panel.get(c, tq).unexpected_revenue()).collect())
+        .collect();
+    let anti: Signals =
+        oracle.iter().map(|v| v.iter().map(|x| -x).collect()).collect();
+    let r_oracle = run_strategy(&panel, &sim, &oracle, "oracle", 100.0);
+    let r_anti = run_strategy(&panel, &sim, &anti, "anti", 100.0);
+    assert!(
+        r_oracle.earning_pct > r_anti.earning_pct,
+        "oracle {} vs anti {}",
+        r_oracle.earning_pct,
+        r_anti.earning_pct
+    );
+    // Relative metrics are antisymmetric in the expected direction.
+    let s = sharpe_vs(&r_anti, &r_oracle).unwrap();
+    assert!(s < 0.0);
+    assert!(aer_vs(&r_anti, &r_oracle) < 0.0);
+}
+
+#[test]
+fn market_is_identical_across_models() {
+    // Two different models' backtests must see the same price paths:
+    // a no-position strategy always ends flat regardless of which CV
+    // produced it.
+    let (panel, cv) = setup();
+    let (quarters, _signals) = signals_of(&panel, &cv);
+    let sim1 = MarketSim::simulate(&panel, &quarters, MarketConfig { seed: 5, ..Default::default() });
+    let sim2 = MarketSim::simulate(&panel, &quarters, MarketConfig { seed: 5, ..Default::default() });
+    for w in 0..sim1.num_windows() {
+        for c in 0..panel.num_companies() {
+            assert_eq!(sim1.window_returns(w, c), sim2.window_returns(w, c));
+        }
+    }
+}
+
+#[test]
+fn capital_is_conserved_without_positions() {
+    let (panel, cv) = setup();
+    let (quarters, _) = signals_of(&panel, &cv);
+    let sim = MarketSim::simulate(&panel, &quarters, MarketConfig::default());
+    let zero: Signals = quarters.iter().map(|_| vec![0.0; panel.num_companies()]).collect();
+    let r = run_strategy(&panel, &sim, &zero, "cash", 250.0);
+    assert!(r.asset_curve.iter().all(|&v| v == 250.0));
+    assert_eq!(r.earning_pct, 0.0);
+}

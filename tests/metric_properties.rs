@@ -1,0 +1,120 @@
+//! Property-based tests of the paper's metrics and the financial
+//! substrate invariants, spanning crates.
+
+use ams::backtest::{daily_returns, max_drawdown};
+use ams::eval::{bounded_correction, surprise_ratio};
+use ams::stats::{pearson, student_t_cdf};
+use proptest::prelude::*;
+
+proptest! {
+    /// Lemma II.1: BC = 1 implies the predicted and actual unexpected
+    /// revenue share a sign.
+    #[test]
+    fn bc_implies_sign_agreement(pred in -1e6f64..1e6, actual in -1e6f64..1e6) {
+        if bounded_correction(pred, actual) {
+            prop_assert!(pred.signum() == actual.signum());
+        }
+    }
+
+    /// Lemma II.1, other direction of the bound: BC = 1 iff the
+    /// prediction error beats the consensus error |UR|.
+    #[test]
+    fn bc_matches_error_bound(pred in -1e6f64..1e6, actual in -1e6f64..1e6) {
+        let err_model = (pred - actual).abs();
+        let err_consensus = actual.abs();
+        prop_assert_eq!(bounded_correction(pred, actual), err_model < err_consensus);
+    }
+
+    /// SR < 1 exactly when BC holds (for nonzero UR) — the two metrics
+    /// agree on who beat the consensus.
+    #[test]
+    fn sr_below_one_iff_bc(pred in -1e6f64..1e6, actual in -1e6f64..1e6) {
+        prop_assume!(actual != 0.0);
+        prop_assert_eq!(surprise_ratio(pred, actual) < 1.0, bounded_correction(pred, actual));
+    }
+
+    /// SR is scale-invariant: measuring in dollars or millions changes
+    /// nothing.
+    #[test]
+    fn sr_scale_invariant(pred in -1e3f64..1e3, actual in 0.01f64..1e3, scale in 0.01f64..1e4) {
+        let a = surprise_ratio(pred, actual);
+        let b = surprise_ratio(pred * scale, actual * scale);
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+    }
+
+    /// Pearson correlation is bounded, symmetric, and invariant to
+    /// positive affine maps.
+    #[test]
+    fn pearson_properties(xs in prop::collection::vec(-1e3f64..1e3, 3..24),
+                          shift in -10f64..10.0, scale in 0.1f64..10.0) {
+        let ys: Vec<f64> = xs.iter().rev().cloned().collect();
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0..=1.0).contains(&r));
+        prop_assert!((r - pearson(&ys, &xs)).abs() < 1e-12);
+        let zs: Vec<f64> = ys.iter().map(|y| scale * y + shift).collect();
+        prop_assert!((pearson(&xs, &zs) - r).abs() < 1e-6);
+    }
+
+    /// The t CDF is a proper, symmetric CDF.
+    #[test]
+    fn t_cdf_properties(t in -50f64..50.0, df in 1f64..200.0) {
+        let p = student_t_cdf(t, df);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((p + student_t_cdf(-t, df) - 1.0).abs() < 1e-9);
+        // Monotone in t.
+        prop_assert!(student_t_cdf(t + 1.0, df) >= p - 1e-12);
+    }
+
+    /// Max drawdown is nonnegative, zero for nondecreasing curves, and
+    /// bounded by the curve's total range.
+    #[test]
+    fn mdd_properties(curve in prop::collection::vec(1f64..1e4, 2..64)) {
+        let mdd = max_drawdown(&curve);
+        prop_assert!(mdd >= 0.0);
+        let lo = curve.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = curve.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mdd <= hi - lo + 1e-12);
+        let mut sorted = curve.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(max_drawdown(&sorted), 0.0);
+    }
+
+    /// Daily returns reconstruct the curve.
+    #[test]
+    fn returns_reconstruct_curve(curve in prop::collection::vec(1f64..1e4, 2..32)) {
+        let rets = daily_returns(&curve);
+        let mut value = curve[0];
+        for (r, expected) in rets.iter().zip(&curve[1..]) {
+            value *= 1.0 + r;
+            prop_assert!((value - expected).abs() < 1e-6 * expected);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The correlation graph's degree never exceeds what symmetrized
+    /// top-k plus a self-loop can produce, and self-loops always exist.
+    #[test]
+    fn graph_degree_bounds(n in 2usize..12, k in 1usize..6, seed in 0u64..50) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let series: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..8).map(|_| rng.gen::<f64>()).collect()).collect();
+        let g = ams::graph::CompanyGraph::from_series(&series, ams::graph::GraphConfig {
+            k, ..Default::default()
+        });
+        for i in 0..n {
+            prop_assert!(g.has_edge(i, i), "missing self-loop");
+            // Out-degree ≤ own top-k + reverse edges + self ≤ n.
+            prop_assert!(g.degree(i) <= n);
+        }
+        // Symmetry after symmetrization.
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(g.has_edge(i, j), g.has_edge(j, i));
+            }
+        }
+    }
+}
