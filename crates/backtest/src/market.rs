@@ -77,11 +77,8 @@ impl MarketSim {
             let mut window = Vec::with_capacity(n);
             for c in 0..n {
                 let o = panel.get(c, tq);
-                let rel_surprise = if o.consensus != 0.0 {
-                    (o.revenue - o.consensus) / o.consensus
-                } else {
-                    0.0
-                };
+                let rel_surprise =
+                    if o.consensus != 0.0 { (o.revenue - o.consensus) / o.consensus } else { 0.0 };
                 let car = (config.surprise_sensitivity * rel_surprise)
                     .clamp(-config.max_abnormal, config.max_abnormal);
                 // 30% leaks pre-announcement, 50% jumps on the day, 20%
@@ -188,10 +185,7 @@ mod tests {
         }
         let mp = ams_stats::mean(&pos);
         let mn = ams_stats::mean(&neg);
-        assert!(
-            mp > mn + 0.01,
-            "positive-surprise stocks should outperform: {mp} vs {mn}"
-        );
+        assert!(mp > mn + 0.01, "positive-surprise stocks should outperform: {mp} vs {mn}");
     }
 
     #[test]

@@ -244,9 +244,7 @@ mod tests {
     fn oracle_signals(p: &Panel, sim: &MarketSim) -> Signals {
         sim.quarters()
             .iter()
-            .map(|&tq| {
-                (0..p.num_companies()).map(|c| p.get(c, tq).unexpected_revenue()).collect()
-            })
+            .map(|&tq| (0..p.num_companies()).map(|c| p.get(c, tq).unexpected_revenue()).collect())
             .collect()
     }
 
@@ -345,8 +343,7 @@ mod tests {
     fn threshold_filters_small_signals() {
         let (p, sim) = setup();
         // Tiny signals relative to consensus get filtered entirely.
-        let tiny: Signals =
-            (0..3).map(|_| vec![1e-9; p.num_companies()]).collect();
+        let tiny: Signals = (0..3).map(|_| vec![1e-9; p.num_companies()]).collect();
         let cfg = StrategyConfig { min_rel_signal: 0.01, ..Default::default() };
         let r = run_strategy_with(&p, &sim, &tiny, "filtered", &cfg);
         assert_eq!(r.earning_pct, 0.0);

@@ -1,0 +1,28 @@
+//! Inference-engine hot-path benchmarks: the single-company fast path
+//! (a slave-weight dot product), the tape-free batch path, and the
+//! training-side tape predict it replaces.
+
+use ams_serve::demo::train_demo;
+use ams_serve::Engine;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_inference(c: &mut Criterion) {
+    let bundle = train_demo(7);
+    let engine = Engine::new(bundle.artifact.clone()).expect("artifact validates");
+    let x = bundle.artifact.reference_features.clone();
+    let row: Vec<f64> = x.row(0).to_vec();
+    let model = bundle.model;
+
+    let mut group = c.benchmark_group("inference");
+    group.bench_function("engine_single_company", |b| {
+        b.iter(|| engine.predict_company(black_box(0), black_box(&row)).unwrap())
+    });
+    group.bench_function("engine_batch", |b| {
+        b.iter(|| engine.predict_batch(black_box(&x)).unwrap())
+    });
+    group.bench_function("tape_batch", |b| b.iter(|| model.predict(black_box(&x))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -57,11 +57,8 @@ fn bench_ams_short_fit(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("ams_fit_10_epochs_71_companies", |b| {
         b.iter(|| {
-            let mut model = AmsModel::new(AmsConfig {
-                epochs: 10,
-                dropout: 0.0,
-                ..Default::default()
-            });
+            let mut model =
+                AmsModel::new(AmsConfig { epochs: 10, dropout: 0.0, ..Default::default() });
             model.fit(&graph, &batches);
             black_box(model.predict(&batches[0].x))
         });

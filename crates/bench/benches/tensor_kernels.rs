@@ -41,9 +41,8 @@ fn bench_gat_layer(c: &mut Criterion) {
     let layer = GatLayer::hidden(48, 8, 4, &mut rng);
     let x0 = xavier_uniform(n, 48, &mut rng);
     // A plausible correlation-graph mask.
-    let series: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..12).map(|t| ((i * 7 + t * 13) % 29) as f64).collect())
-        .collect();
+    let series: Vec<Vec<f64>> =
+        (0..n).map(|i| (0..12).map(|t| ((i * 7 + t * 13) % 29) as f64).collect()).collect();
     let graph = CompanyGraph::from_series(&series, GraphConfig::default());
     let mask = Matrix::from_vec(n, n, graph.dense_mask());
 

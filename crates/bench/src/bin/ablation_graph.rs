@@ -58,7 +58,10 @@ fn main() {
         ("top-k, k=5 (paper)".into(), topk(5)),
         ("top-k, k=10".into(), topk(10)),
         ("top-k, k=20".into(), topk(20)),
-        ("isolated (self-loops)".into(), Box::new(|p: &Panel, _| CompanyGraph::isolated(p.num_companies()))),
+        (
+            "isolated (self-loops)".into(),
+            Box::new(|p: &Panel, _| CompanyGraph::isolated(p.num_companies())),
+        ),
         ("complete".into(), Box::new(|p: &Panel, _| CompanyGraph::complete(p.num_companies()))),
         ("random, degree≈5".into(), random_graph(5, 9001)),
     ];

@@ -36,11 +36,15 @@ fn main() {
         let (x, r, c, y) = z.design(ids);
         (Matrix::from_vec(r, c, x), Matrix::col_vector(&y))
     };
-    let batches: Vec<QuarterBatch> = fold.train.iter().map(|&t| {
-        let ids = z.samples_at_quarter(t);
-        let (x, y) = mk(&ids);
-        QuarterBatch { x, y }
-    }).collect();
+    let batches: Vec<QuarterBatch> = fold
+        .train
+        .iter()
+        .map(|&t| {
+            let ids = z.samples_at_quarter(t);
+            let (x, y) = mk(&ids);
+            QuarterBatch { x, y }
+        })
+        .collect();
 
     let dropout: f64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(0.05);
     let l2: f64 = args.get(6).and_then(|s| s.parse().ok()).unwrap_or(1e-4);
@@ -56,11 +60,18 @@ fn main() {
         })
         .collect();
     let cfg = AmsConfig {
-        gamma, lambda_slg: slg, epochs, lr,
-        dropout, lambda_l2: l2,
-        nt_hidden: vec![48], gen_hidden: vec![48], gat_out: 24,
+        gamma,
+        lambda_slg: slg,
+        epochs,
+        lr,
+        dropout,
+        lambda_l2: l2,
+        nt_hidden: vec![48],
+        gen_hidden: vec![48],
+        gat_out: 24,
         slave_cols: Some(slave_cols.clone()),
-        seed: MODEL_SEED, ..Default::default()
+        seed: MODEL_SEED,
+        ..Default::default()
     };
     let val_ids = z.samples_at_quarter(fold.val);
     let (xv, yv) = mk(&val_ids);
@@ -82,14 +93,23 @@ fn main() {
         }
         out
     };
-    println!("anchored  train mse {:.4}  test mse {:.4}",
-        mse(&project(&xtr).matmul(&acr), &ytr), mse(&project(&xte).matmul(&acr), &yte));
+    println!(
+        "anchored  train mse {:.4}  test mse {:.4}",
+        mse(&project(&xtr).matmul(&acr), &ytr),
+        mse(&project(&xte).matmul(&acr), &yte)
+    );
     // AMS per-quarter prediction (train quarters)
     let mut tr_mse = 0.0;
-    for b in &batches { let p = model.predict(&b.x); tr_mse += p.sub(&b.y).sq_frobenius(); }
+    for b in &batches {
+        let p = model.predict(&b.x);
+        tr_mse += p.sub(&b.y).sq_frobenius();
+    }
     let n_tr: usize = batches.iter().map(|b| b.y.len()).sum();
-    println!("AMS       train mse {:.4}  test mse {:.4}",
-        tr_mse / n_tr as f64, mse(&model.predict(&xte), &yte));
+    println!(
+        "AMS       train mse {:.4}  test mse {:.4}",
+        tr_mse / n_tr as f64,
+        mse(&model.predict(&xte), &yte)
+    );
 
     // Correlation between learned alt weight (txn_amount_dq0 col) and true kappa.
     let (beta, _) = model.slave_weights(&xte);
@@ -108,11 +128,19 @@ fn main() {
     let mut sec_mse = 0.0;
     let mut sec_n = 0usize;
     for sector in ams_data::Sector::ALL {
-        let tr: Vec<usize> = train_ids.iter().copied()
-            .filter(|&i| panel.companies[z.samples[i].company].sector == sector).collect();
-        let te: Vec<usize> = test_ids.iter().copied()
-            .filter(|&i| panel.companies[z.samples[i].company].sector == sector).collect();
-        if tr.len() < 10 || te.is_empty() { continue; }
+        let tr: Vec<usize> = train_ids
+            .iter()
+            .copied()
+            .filter(|&i| panel.companies[z.samples[i].company].sector == sector)
+            .collect();
+        let te: Vec<usize> = test_ids
+            .iter()
+            .copied()
+            .filter(|&i| panel.companies[z.samples[i].company].sector == sector)
+            .collect();
+        if tr.len() < 10 || te.is_empty() {
+            continue;
+        }
         let (xs, ys) = mk(&tr);
         let (xse, yse) = mk(&te);
         let b = ridge_solve(&xs, &ys, 5.0).unwrap();
@@ -134,7 +162,10 @@ fn main() {
         eps_tr[(r, 1)] = sp.shocks[s_.company][s_.quarter_idx];
     }
     let b = ridge_solve(&eps_tr, &ytr, 1e-6).unwrap();
-    println!("true-shock oracle test mse {:.4}", eps_te.matmul(&b).sub(&yte).sq_frobenius() / yte.len() as f64);
+    println!(
+        "true-shock oracle test mse {:.4}",
+        eps_te.matmul(&b).sub(&yte).sq_frobenius() / yte.len() as f64
+    );
 
     // 3) ridge without alternative columns (the -na ablation, as an oracle diff)
     let fs_na = fs.without_alternative();
@@ -147,7 +178,10 @@ fn main() {
     let (xtrn, ytrn) = mkna(&train_ids);
     let (xten, yten) = mkna(&test_ids);
     let bna = ridge_solve(&xtrn, &ytrn, 1.0).unwrap();
-    println!("ridge-na  test mse {:.4}", xten.matmul(&bna).sub(&yten).sq_frobenius() / yten.len() as f64);
+    println!(
+        "ridge-na  test mse {:.4}",
+        xten.matmul(&bna).sub(&yten).sq_frobenius() / yten.len() as f64
+    );
 
     // 4) channel-implied surprise with TRUE kappa:
     //    z = log(A(t)/A(t-4))/kappa_i - log(E(t)/R(t-4)); regress y on [1, z, e].
@@ -172,22 +206,26 @@ fn main() {
     let (zx_tr, zy_tr) = build_z(&train_ids);
     let (zx_te, zy_te) = build_z(&test_ids);
     let bz = ridge_solve(&zx_tr, &zy_tr, 1e-4).unwrap();
-    println!("true-kappa channel oracle test mse {:.4}",
-        zx_te.matmul(&bz).sub(&zy_te).sq_frobenius() / zy_te.len() as f64);
+    println!(
+        "true-kappa channel oracle test mse {:.4}",
+        zx_te.matmul(&bz).sub(&zy_te).sq_frobenius() / zy_te.len() as f64
+    );
 
     // 4b) sector-interacted ridge: pooled design plus (alt col × sector
     // one-hot) interactions — the linear ceiling for sector-level
     // adaptation, which is exactly what the master could learn.
     {
-        let sec_cols: Vec<usize> = (0..fs.width())
-            .filter(|&i| fs.names[i].starts_with("sector_")).collect();
+        let sec_cols: Vec<usize> =
+            (0..fs.width()).filter(|&i| fs.names[i].starts_with("sector_")).collect();
         let widen = |ids: &[usize]| {
             let (x, r, c, y) = z.design(ids);
             let base = Matrix::from_vec(r, c, x);
             let extra = fs.alt_cols.len() * sec_cols.len();
             let mut xm = Matrix::zeros(r, c + extra);
             for i in 0..r {
-                for j in 0..c { xm[(i, j)] = base[(i, j)]; }
+                for j in 0..c {
+                    xm[(i, j)] = base[(i, j)];
+                }
                 let mut k2 = c;
                 for &ac in &fs.alt_cols {
                     for &sc in &sec_cols {
@@ -202,24 +240,37 @@ fn main() {
         let (xi_te, yi_te) = widen(&test_ids);
         for lam in [0.3, 1.0, 3.0, 10.0] {
             let b = ridge_solve(&xi_tr, &yi_tr, lam).unwrap();
-            println!("sector-interaction ridge (lam={lam}) test mse {:.4}",
-                xi_te.matmul(&b).sub(&yi_te).sq_frobenius() / yi_te.len() as f64);
+            println!(
+                "sector-interaction ridge (lam={lam}) test mse {:.4}",
+                xi_te.matmul(&b).sub(&yi_te).sq_frobenius() / yi_te.len() as f64
+            );
         }
     }
 
     // 5) same oracle split by channel quality.
     for poor in [false, true] {
-        let trq: Vec<usize> = train_ids.iter().copied()
-            .filter(|&i| sp.latents[fs.samples[i].company].poor_coverage == poor).collect();
-        let teq: Vec<usize> = test_ids.iter().copied()
-            .filter(|&i| sp.latents[fs.samples[i].company].poor_coverage == poor).collect();
-        if trq.len() < 10 || teq.is_empty() { continue; }
+        let trq: Vec<usize> = train_ids
+            .iter()
+            .copied()
+            .filter(|&i| sp.latents[fs.samples[i].company].poor_coverage == poor)
+            .collect();
+        let teq: Vec<usize> = test_ids
+            .iter()
+            .copied()
+            .filter(|&i| sp.latents[fs.samples[i].company].poor_coverage == poor)
+            .collect();
+        if trq.len() < 10 || teq.is_empty() {
+            continue;
+        }
         let (zx_tr, zy_tr) = build_z(&trq);
         let (zx_te, zy_te) = build_z(&teq);
         let bz = ridge_solve(&zx_tr, &zy_tr, 1e-4).unwrap();
         let m = zx_te.matmul(&bz).sub(&zy_te).sq_frobenius() / zy_te.len() as f64;
         let v0 = zy_te.sq_frobenius() / zy_te.len() as f64;
-        println!("  quality={} oracle mse {m:.4} (predict-0: {v0:.4}, n_te={})",
-            if poor {"poor"} else {"good"}, zy_te.len());
+        println!(
+            "  quality={} oracle mse {m:.4} (predict-0: {v0:.4}, n_te={})",
+            if poor { "poor" } else { "good" },
+            zy_te.len()
+        );
     }
 }

@@ -17,7 +17,10 @@ fn main() {
         ModelKind::OnlineRidge { forgetting: 1.0 },
         ModelKind::Ridge { lambda: 1.0 },
     ];
-    println!("Adaptive-family comparison on {} dataset (mean over {N_SEEDS} seeds)", dataset.name());
+    println!(
+        "Adaptive-family comparison on {} dataset (mean over {N_SEEDS} seeds)",
+        dataset.name()
+    );
     println!("{:<28} {:>9} {:>9}", "Model", "BA", "SR");
     for kind in &kinds {
         let label = match kind {
@@ -28,7 +31,13 @@ fn main() {
         let (mut ba, mut sr) = (0.0, 0.0);
         for seed in DATA_SEED..DATA_SEED + N_SEEDS {
             eprintln!("  running {label} (seed {seed}) ...");
-            std::env::set_var("AMS_RESULTS_DIR", format!("results/extension_adaptive/{}", label.replace([' ', '(', ')', '=', ',', '.'], "_")));
+            std::env::set_var(
+                "AMS_RESULTS_DIR",
+                format!(
+                    "results/extension_adaptive/{}",
+                    label.replace([' ', '(', ')', '=', ',', '.'], "_")
+                ),
+            );
             let panel = dataset.panel_for_seed(seed);
             let cv = run_cached_seed(dataset, &panel, kind, false, seed);
             ba += cv.mean_ba();

@@ -39,7 +39,10 @@ fn main() {
                 }
             })
             .collect();
-        println!("\nTable III — feature effectiveness on {} dataset (mean over {N_SEEDS} seeds)", dataset.name());
+        println!(
+            "\nTable III — feature effectiveness on {} dataset (mean over {N_SEEDS} seeds)",
+            dataset.name()
+        );
         println!("{}", format_ablation_table(&rows));
     }
 }

@@ -1,0 +1,71 @@
+//! Train a small AMS on a seeded synthetic universe and write the
+//! serving artifact to disk — the producer side of the train/serve
+//! split.
+//!
+//! ```text
+//! train_and_export [--seed 7] [--version 1] [--out target/ams-demo.artifact.json]
+//! ```
+//!
+//! Feed the output to the server: `serve --artifact <path>`.
+
+use ams_serve::demo::train_demo;
+use ams_serve::engine::fast_vs_batch_deviation;
+use ams_serve::Engine;
+
+fn main() {
+    let mut seed = 7u64;
+    let mut version = 1u64;
+    let mut out = "target/ams-demo.artifact.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("train_and_export: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--seed" => seed = value("--seed").parse().expect("--seed: integer"),
+            "--version" => version = value("--version").parse().expect("--version: integer"),
+            "--out" => out = value("--out"),
+            "--help" | "-h" => {
+                println!("usage: train_and_export [--seed N] [--version N] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("train_and_export: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("training (seed {seed})...");
+    let mut bundle = train_demo(seed);
+    bundle.artifact.version = version;
+
+    // Prove the artifact scores exactly like the in-process model
+    // before writing it out.
+    let engine = Engine::new(bundle.artifact.clone()).expect("exported artifact validates");
+    let want = bundle.model.predict(&bundle.artifact.reference_features);
+    let got = engine
+        .predict_batch(&bundle.artifact.reference_features)
+        .expect("reference features score");
+    let worst = (0..want.rows()).map(|i| (want[(i, 0)] - got[(i, 0)]).abs()).fold(0.0f64, f64::max);
+    assert!(worst < 1e-10, "engine deviates from the tape by {worst}");
+    let fast_dev = fast_vs_batch_deviation(&engine);
+    assert!(fast_dev < 1e-10, "fast path deviates from batch path by {fast_dev}");
+
+    let json = bundle.artifact.to_json();
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(parent).expect("create output directory");
+    }
+    std::fs::write(&out, &json).expect("write artifact");
+    println!(
+        "wrote {out}: {} v{version} · {} companies · feature width {} · {} bytes \
+         (engine ≡ tape: max |Δ| = {worst:.1e})",
+        bundle.artifact.name,
+        bundle.artifact.num_companies(),
+        bundle.artifact.feature_width(),
+        json.len(),
+    );
+}

@@ -23,20 +23,15 @@ const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
 pub fn render(series: &[Series], width: usize, height: usize) -> String {
     assert!(width >= 8 && height >= 4, "chart too small");
     assert!(!series.is_empty(), "no series to plot");
-    let lo = series
-        .iter()
-        .flat_map(|s| s.values.iter().copied())
-        .fold(f64::INFINITY, f64::min);
-    let hi = series
-        .iter()
-        .flat_map(|s| s.values.iter().copied())
-        .fold(f64::NEG_INFINITY, f64::max);
+    let lo = series.iter().flat_map(|s| s.values.iter().copied()).fold(f64::INFINITY, f64::min);
+    let hi = series.iter().flat_map(|s| s.values.iter().copied()).fold(f64::NEG_INFINITY, f64::max);
     let range = (hi - lo).max(1e-12);
     let max_len = series.iter().map(|s| s.values.len()).max().expect("nonempty");
 
     let mut grid = vec![vec![' '; width]; height];
     for (si, s) in series.iter().enumerate() {
         let glyph = GLYPHS[si % GLYPHS.len()];
+        #[allow(clippy::needless_range_loop)] // col is a 2-D coordinate, not a slice walk
         for col in 0..width {
             // Sample the series position corresponding to this column.
             let idx = col * max_len.saturating_sub(1) / width.saturating_sub(1).max(1);

@@ -238,23 +238,30 @@ pub fn write_curves_csv(path: &std::path::Path, results: &[ams_backtest::Backtes
 
 /// Eight-level unicode sparkline of a series.
 pub fn sparkline(xs: &[f64]) -> String {
-    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let range = (hi - lo).max(1e-12);
     // Subsample to at most 60 columns.
     let step = (xs.len() / 60).max(1);
-    xs.iter()
-        .step_by(step)
-        .map(|&x| BARS[(((x - lo) / range) * 7.0).round() as usize])
-        .collect()
+    xs.iter().step_by(step).map(|&x| BARS[(((x - lo) / range) * 7.0).round() as usize]).collect()
 }
 
 /// Print a Table IV/V style backtest report.
-pub fn print_backtest_table(title: &str, dataset: Dataset, results: &[ams_backtest::BacktestResult]) {
+pub fn print_backtest_table(
+    title: &str,
+    dataset: Dataset,
+    results: &[ams_backtest::BacktestResult],
+) {
     let ams = results.iter().find(|r| r.model == "AMS").expect("AMS in lineup").clone();
-    println!("
-{title} — backtest on {} dataset", dataset.name());
+    println!(
+        "
+{title} — backtest on {} dataset",
+        dataset.name()
+    );
     println!(
         "{:<12} {:>11} {:>9} {:>13} {:>9}",
         "Model", "Earning(%)", "MDD(%)", "Sharpe Ratio", "AER(%)"
@@ -282,8 +289,8 @@ pub fn print_backtest_table(title: &str, dataset: Dataset, results: &[ams_backte
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ams_eval::{PredRecord, QuarterResult};
     use ams_data::Quarter;
+    use ams_eval::{PredRecord, QuarterResult};
 
     fn fake_cv() -> CvResult {
         let mk = |q: Quarter, ba: f64| QuarterResult {
@@ -377,8 +384,8 @@ mod tests {
     fn backtest_lineup_drops_naive_and_arima() {
         let lineup = backtest_lineup(Dataset::Transaction);
         assert_eq!(lineup.len(), 8);
-        assert!(lineup.iter().all(|k| {
-            !matches!(k, ModelKind::Arima(_) | ModelKind::Naive { .. })
-        }));
+        assert!(lineup
+            .iter()
+            .all(|k| { !matches!(k, ModelKind::Arima(_) | ModelKind::Naive { .. }) }));
     }
 }

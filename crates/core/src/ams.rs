@@ -23,7 +23,7 @@ use crate::gat::GatLayer;
 
 /// AMS hyperparameters. The γ / λ_slg / λ₁ knobs are the ones the
 /// paper's random search tunes per CV fold.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct AmsConfig {
     /// Node-transform hidden widths (Eq. 1; one ReLU layer per entry).
     pub nt_hidden: Vec<usize>,
@@ -101,6 +101,38 @@ pub struct QuarterBatch {
     pub y: Matrix,
 }
 
+/// Serializable snapshot of a fitted [`AmsModel`]: the learned
+/// parameters in structured form plus the dense training-graph mask.
+/// This is the unit the serving artifact embeds — everything needed to
+/// reproduce `predict` without retraining or the autodiff tape.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ModelSnapshot {
+    /// The configuration the model was trained with.
+    pub config: AmsConfig,
+    /// Node-transform layers (W `in×out`, b `1×out`).
+    pub nt: Vec<LinearLayer>,
+    /// GAT stack in forward order.
+    pub gat: Vec<GatLayer>,
+    /// Generator layers; the last maps to the slave-LR width.
+    pub gen: Vec<LinearLayer>,
+    /// Globally optimized assembly component β_c (d×1).
+    pub beta_c: Matrix,
+    /// Anchored LR coefficients B_acr (d×1).
+    pub b_acr: Option<Matrix>,
+    /// Dense adjacency mask of the training graph (n×n).
+    pub mask: Option<Matrix>,
+}
+
+/// One affine layer: weight `in×out` and bias `1×out`.
+///
+/// Stored as a named struct (not a tuple) so the snapshot JSON is
+/// self-describing.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LinearLayer {
+    pub w: Matrix,
+    pub b: Matrix,
+}
+
 /// The fitted AMS model.
 pub struct AmsModel {
     config: AmsConfig,
@@ -124,7 +156,15 @@ impl AmsModel {
     pub fn new(config: AmsConfig) -> Self {
         assert!((0.0..=1.0).contains(&config.gamma), "gamma outside [0,1]");
         assert!(config.lambda_slg >= 0.0 && config.lambda_l2 >= 0.0);
-        Self { config, nt: Vec::new(), gat: Vec::new(), gen: Vec::new(), beta_c: Matrix::zeros(0, 0), b_acr: None, mask: None }
+        Self {
+            config,
+            nt: Vec::new(),
+            gat: Vec::new(),
+            gen: Vec::new(),
+            beta_c: Matrix::zeros(0, 0),
+            b_acr: None,
+            mask: None,
+        }
     }
 
     /// The configuration this model was built with.
@@ -171,7 +211,11 @@ impl AmsModel {
         let hidden_out = hidden.out_dim();
         self.gat.push(hidden);
         self.gat.push(GatLayer::output(hidden_out, self.config.gat_out, rng));
-        let nt_out = if self.config.nt_hidden.is_empty() { d } else { *self.config.nt_hidden.last().expect("nonempty") };
+        let nt_out = if self.config.nt_hidden.is_empty() {
+            d
+        } else {
+            *self.config.nt_hidden.last().expect("nonempty")
+        };
         let mut g_in = self.config.gat_out + if self.config.residual { nt_out } else { 0 };
         for &w_out in &self.config.gen_hidden {
             self.gen.push((he_uniform(g_in, w_out, rng), Matrix::zeros(1, w_out)));
@@ -449,7 +493,7 @@ impl AmsModel {
                     self.mask = Some(mask.clone());
                     let pred = self.predict(&vb.x);
                     let vmse = pred.sub(&vb.y).sq_frobenius() / pred.len() as f64;
-                    if best.as_ref().map_or(true, |(b, _)| vmse < *b) {
+                    if best.as_ref().is_none_or(|(b, _)| vmse < *b) {
                         best = Some((vmse, params.clone()));
                         checks_since_best = 0;
                     } else {
@@ -509,6 +553,49 @@ impl AmsModel {
         (beta, beta_v)
     }
 
+    /// Export the learned state. Usually called after `fit`; an
+    /// untrained model snapshots too (empty layers, `mask: None`), which
+    /// [`AmsModel::from_snapshot`] restores to the same untrained state.
+    pub fn snapshot(&self) -> ModelSnapshot {
+        let lin = |layers: &[(Matrix, Matrix)]| {
+            layers.iter().map(|(w, b)| LinearLayer { w: w.clone(), b: b.clone() }).collect()
+        };
+        ModelSnapshot {
+            config: self.config.clone(),
+            nt: lin(&self.nt),
+            gat: self.gat.clone(),
+            gen: lin(&self.gen),
+            beta_c: self.beta_c.clone(),
+            b_acr: self.b_acr.clone(),
+            mask: self.mask.clone(),
+        }
+    }
+
+    /// Rebuild a predict-ready model from an exported snapshot. The
+    /// result is interchangeable with the model that produced the
+    /// snapshot for `predict` / `slave_weights` (bit-for-bit: both run
+    /// the same forward pass over the same parameters).
+    pub fn from_snapshot(s: ModelSnapshot) -> Self {
+        let lin = |layers: Vec<LinearLayer>| layers.into_iter().map(|l| (l.w, l.b)).collect();
+        Self {
+            config: s.config,
+            nt: lin(s.nt),
+            gat: s.gat,
+            gen: lin(s.gen),
+            beta_c: s.beta_c,
+            b_acr: s.b_acr,
+            mask: s.mask,
+        }
+    }
+
+    /// 0/1 selection matrix mapping full features to the configured
+    /// slave columns (`d×m`; identity when no subset is configured).
+    /// Exposed so tape-free scorers can reproduce the slave-column
+    /// projection exactly.
+    pub fn selection_matrix(&self, d: usize) -> Matrix {
+        self.selection(d)
+    }
+
     fn run_eval(&self, x: &Matrix) -> (Matrix, Matrix, Matrix) {
         let mask = self.mask.as_ref().expect("predict before fit");
         assert_eq!(x.rows(), mask.rows(), "predict: row count != graph nodes");
@@ -526,6 +613,42 @@ mod tests {
     use super::*;
     use ams_graph::GraphConfig;
     use ams_tensor::init::standard_normal;
+
+    #[test]
+    fn config_serde_json_round_trip() {
+        let config = AmsConfig {
+            nt_hidden: vec![24, 12],
+            gat_heads: 3,
+            gamma: 0.35,
+            slave_cols: Some(vec![0, 2, 5]),
+            seed: 99,
+            ..AmsConfig::default()
+        };
+        let json = serde_json::to_string(&config).unwrap();
+        let back: AmsConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.nt_hidden, config.nt_hidden);
+        assert_eq!(back.gat_hidden, config.gat_hidden);
+        assert_eq!(back.gat_heads, config.gat_heads);
+        assert_eq!(back.gat_out, config.gat_out);
+        assert_eq!(back.gen_hidden, config.gen_hidden);
+        assert_eq!(back.gamma.to_bits(), config.gamma.to_bits());
+        assert_eq!(back.lambda_slg.to_bits(), config.lambda_slg.to_bits());
+        assert_eq!(back.lambda_l2.to_bits(), config.lambda_l2.to_bits());
+        assert_eq!(back.anchored_lambda.to_bits(), config.anchored_lambda.to_bits());
+        assert_eq!(back.lr.to_bits(), config.lr.to_bits());
+        assert_eq!(back.epochs, config.epochs);
+        assert_eq!(back.dropout.to_bits(), config.dropout.to_bits());
+        assert_eq!(back.seed, config.seed);
+        assert_eq!(back.residual, config.residual);
+        assert_eq!(back.slave_cols, config.slave_cols);
+
+        // `None` must survive as well (it selects all-continuous columns
+        // downstream, which is very different from `Some(vec![])`).
+        let config = AmsConfig::default();
+        let back: AmsConfig =
+            serde_json::from_str(&serde_json::to_string(&config).unwrap()).unwrap();
+        assert_eq!(back.slave_cols, None);
+    }
 
     /// Synthetic "adaptive" task: two clusters of nodes with *opposite*
     /// optimal linear weights on feature 0. A single global LR must
@@ -624,12 +747,8 @@ mod tests {
         // With γ = 0 the generated β_v is ignored: predictions must be
         // exactly x β_c for every company.
         let task = adaptive_task(4, 3, 72);
-        let mut model = AmsModel::new(AmsConfig {
-            epochs: 50,
-            dropout: 0.0,
-            gamma: 0.0,
-            ..Default::default()
-        });
+        let mut model =
+            AmsModel::new(AmsConfig { epochs: 50, dropout: 0.0, gamma: 0.0, ..Default::default() });
         model.fit(&task.graph, &task.train);
         let pred = model.predict(&task.test.x);
         let (beta, _) = model.slave_weights(&task.test.x);
@@ -641,10 +760,55 @@ mod tests {
         }
         // And prediction is the linear model applied row-wise.
         for i in 0..pred.rows() {
-            let manual: f64 =
-                (0..beta.cols()).map(|j| task.test.x[(i, j)] * beta[(0, j)]).sum();
+            let manual: f64 = (0..beta.cols()).map(|j| task.test.x[(i, j)] * beta[(0, j)]).sum();
             assert!((pred[(i, 0)] - manual).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn snapshot_json_round_trip_preserves_predictions() {
+        let task = adaptive_task(4, 3, 74);
+        let mut model = AmsModel::new(AmsConfig {
+            epochs: 60,
+            dropout: 0.0,
+            gamma: 0.8,
+            slave_cols: Some(vec![0, 1]),
+            ..Default::default()
+        });
+        model.fit(&task.graph, &task.train);
+        let want_pred = model.predict(&task.test.x);
+        let (want_beta, want_beta_v) = model.slave_weights(&task.test.x);
+
+        let json = serde_json::to_string(&model.snapshot()).unwrap();
+        let snap: ModelSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = AmsModel::from_snapshot(snap);
+        let got_pred = restored.predict(&task.test.x);
+        let (got_beta, got_beta_v) = restored.slave_weights(&task.test.x);
+
+        // JSON floats use shortest-round-trip formatting, so the
+        // restored parameters — and therefore the forward pass — are
+        // bit-for-bit identical, not merely close.
+        for (a, b) in
+            [(&want_pred, &got_pred), (&want_beta, &got_beta), (&want_beta_v, &got_beta_v)]
+        {
+            assert_eq!(a.rows(), b.rows());
+            assert_eq!(a.cols(), b.cols());
+            for i in 0..a.rows() {
+                for j in 0..a.cols() {
+                    assert_eq!(a[(i, j)].to_bits(), b[(i, j)].to_bits(), "at ({i},{j})");
+                }
+            }
+        }
+        assert!(restored.anchored().is_some());
+    }
+
+    #[test]
+    fn untrained_snapshot_round_trips() {
+        let model = AmsModel::new(AmsConfig::default());
+        let json = serde_json::to_string(&model.snapshot()).unwrap();
+        let restored = AmsModel::from_snapshot(serde_json::from_str(&json).unwrap());
+        assert!(restored.anchored().is_none());
+        assert_eq!(restored.config().seed, AmsConfig::default().seed);
     }
 
     #[test]

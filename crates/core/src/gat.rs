@@ -13,7 +13,7 @@ use ams_tensor::{Graph, Matrix, Var};
 use rand::Rng;
 
 /// One attention head's parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct GatHead {
     /// Shared transform `W^g` (stored input×output so features multiply
     /// on the left).
@@ -65,7 +65,7 @@ impl GatHead {
 }
 
 /// A multi-head graph attention layer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct GatLayer {
     /// The attention heads.
     pub heads: Vec<GatHead>,
@@ -259,8 +259,7 @@ mod tests {
         let x0 = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 0.0], &[3.0, 0.0], &[4.0, 0.0]]);
         let mut g = Graph::new();
         let x = g.input(x0);
-        let pv: Vec<Var> =
-            head.params().iter().map(|p| g.input((*p).clone())).collect();
+        let pv: Vec<Var> = head.params().iter().map(|p| g.input((*p).clone())).collect();
         let y = head.forward(&mut g, x, &mask, 0.2, &pv);
         let yv = g.value(y);
         // Node 0 neighbours {0, 1}: mean of 1 and 2 = 1.5.

@@ -14,5 +14,5 @@
 pub mod ams;
 pub mod gat;
 
-pub use ams::{AmsConfig, AmsModel, QuarterBatch};
+pub use ams::{AmsConfig, AmsModel, LinearLayer, ModelSnapshot, QuarterBatch};
 pub use gat::{GatHead, GatLayer};

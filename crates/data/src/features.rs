@@ -110,7 +110,8 @@ impl FeatureSet {
         for c in 0..panel.num_companies() {
             for t in k..panel.num_quarters() {
                 let denom = panel.get(c, t - k).revenue;
-                let alt_denoms: Vec<f64> = (0..n_ch).map(|ch| panel.get(c, t - k).alt[ch]).collect();
+                let alt_denoms: Vec<f64> =
+                    (0..n_ch).map(|ch| panel.get(c, t - k).alt[ch]).collect();
                 let mut f = Vec::with_capacity(width);
                 f.push(1.0);
                 for lag in (1..=k).rev() {
@@ -121,16 +122,16 @@ impl FeatureSet {
                     f.push((o.consensus / denom).ln());
                     f.push((o.low_est / denom).ln());
                     f.push((o.high_est / denom).ln());
-                    for ch in 0..n_ch {
-                        f.push((o.alt[ch] / alt_denoms[ch]).ln());
+                    for (a, d) in o.alt.iter().zip(&alt_denoms) {
+                        f.push((a / d).ln());
                     }
                 }
                 let cur = panel.get(c, t);
                 f.push((cur.consensus / denom).ln());
                 f.push((cur.low_est / denom).ln());
                 f.push((cur.high_est / denom).ln());
-                for ch in 0..n_ch {
-                    f.push((cur.alt[ch] / alt_denoms[ch]).ln());
+                for (a, d) in cur.alt.iter().zip(&alt_denoms) {
+                    f.push((a / d).ln());
                 }
                 let q = panel.quarters[t];
                 for qi in 1..=4 {
@@ -165,8 +166,7 @@ impl FeatureSet {
 
     /// The `-na` variant: drop every alternative-data column (§IV-E).
     pub fn without_alternative(&self) -> FeatureSet {
-        let keep: Vec<usize> =
-            (0..self.width()).filter(|i| !self.alt_cols.contains(i)).collect();
+        let keep: Vec<usize> = (0..self.width()).filter(|i| !self.alt_cols.contains(i)).collect();
         let names = keep.iter().map(|&i| self.names[i].clone()).collect();
         let samples = self
             .samples
@@ -186,9 +186,7 @@ impl FeatureSet {
 
     /// Indices of samples whose target quarter is in `ts`.
     pub fn samples_at_quarters(&self, ts: &[usize]) -> Vec<usize> {
-        (0..self.samples.len())
-            .filter(|&i| ts.contains(&self.samples[i].quarter_idx))
-            .collect()
+        (0..self.samples.len()).filter(|&i| ts.contains(&self.samples[i].quarter_idx)).collect()
     }
 
     /// Dense design matrix and label vector for the given sample ids,
@@ -211,7 +209,7 @@ impl FeatureSet {
 /// binary 0/1 columns (the one-hot encodings — z-scoring a rare
 /// indicator would inflate it into a high-leverage memorization
 /// direction) are left untouched.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Standardizer {
     means: Vec<f64>,
     stds: Vec<f64>,
@@ -277,6 +275,27 @@ impl Standardizer {
             s.label = self.standardize_label(s.label);
         }
         out
+    }
+
+    /// Standardize a single raw feature row in place, exactly as
+    /// [`Standardizer::transform`] would. This is the serving-time entry
+    /// point: inference receives one company's raw features, not a
+    /// whole [`FeatureSet`].
+    ///
+    /// # Panics
+    /// Panics if the row width disagrees with the fitted width.
+    pub fn transform_row(&self, features: &mut [f64]) {
+        assert_eq!(features.len(), self.width(), "transform_row: feature width mismatch");
+        for (j, v) in features.iter_mut().enumerate() {
+            if !self.skip[j] && self.stds[j] > 1e-12 {
+                *v = (*v - self.means[j]) / self.stds[j];
+            }
+        }
+    }
+
+    /// The feature width this standardizer was fitted on.
+    pub fn width(&self) -> usize {
+        self.means.len()
     }
 
     /// Standardize one label value.
@@ -356,9 +375,12 @@ mod tests {
     #[test]
     fn one_hots_are_exclusive() {
         let fs = tiny_fs();
-        let qcols: Vec<usize> = (0..fs.width()).filter(|&i| fs.names[i].starts_with("quarter_")).collect();
-        let mcols: Vec<usize> = (0..fs.width()).filter(|&i| fs.names[i].starts_with("month_")).collect();
-        let scols: Vec<usize> = (0..fs.width()).filter(|&i| fs.names[i].starts_with("sector_")).collect();
+        let qcols: Vec<usize> =
+            (0..fs.width()).filter(|&i| fs.names[i].starts_with("quarter_")).collect();
+        let mcols: Vec<usize> =
+            (0..fs.width()).filter(|&i| fs.names[i].starts_with("month_")).collect();
+        let scols: Vec<usize> =
+            (0..fs.width()).filter(|&i| fs.names[i].starts_with("sector_")).collect();
         for s in &fs.samples {
             assert_eq!(qcols.iter().map(|&i| s.features[i]).sum::<f64>(), 1.0);
             assert_eq!(mcols.iter().map(|&i| s.features[i]).sum::<f64>(), 1.0);
@@ -414,6 +436,38 @@ mod tests {
             let back = st.destandardize_label(st.standardize_label(l));
             assert!((back - l).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn standardizer_serde_round_trip_matches_transform() {
+        let fs = tiny_fs();
+        let train: Vec<usize> = fs.samples_at_quarters(&[4, 5, 6]);
+        let st = Standardizer::fit(&fs, &train);
+        let back: Standardizer =
+            serde_json::from_str(&serde_json::to_string(&st).unwrap()).unwrap();
+        assert_eq!(back.width(), st.width());
+        // Row-wise transform through the round-tripped standardizer is
+        // bit-identical to the batch transform through the original.
+        let z = st.transform(&fs);
+        for i in [0usize, 7, 33] {
+            let mut row = fs.samples[i].features.clone();
+            back.transform_row(&mut row);
+            for (a, b) in row.iter().zip(&z.samples[i].features) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(
+                back.standardize_label(fs.samples[i].label).to_bits(),
+                st.standardize_label(fs.samples[i].label).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn transform_row_rejects_wrong_width() {
+        let fs = tiny_fs();
+        let st = Standardizer::fit(&fs, &fs.samples_at_quarter(4));
+        st.transform_row(&mut [1.0, 2.0]);
     }
 
     #[test]

@@ -15,6 +15,15 @@
 //! company,name,sector,market_cap,fiscal_offset,quarter,revenue,consensus,low_est,high_est,<alt...>
 //! 0,R000,retail,2.5,0,2014q3,1021.5,1003.2,970.0,1050.8,553.1
 //! ```
+//!
+//! Text fields (company names, alternative-channel headers) follow
+//! RFC-4180 quoting: a field containing commas, double quotes, or
+//! leading/trailing whitespace is wrapped in `"` with embedded quotes
+//! doubled. Embedded newlines are not supported. Numeric fields use
+//! Rust's shortest round-trip `Display`, so finite values (including
+//! `-0.0` and subnormals) survive export→import bit-exactly; `NaN`
+//! and `±inf` are written as `NaN`/`inf`/`-inf` and parse back
+//! (any NaN collapses to the canonical quiet NaN).
 
 use std::fmt;
 use std::path::Path;
@@ -74,12 +83,72 @@ fn sector_from_name(name: &str) -> Option<Sector> {
     Sector::ALL.iter().copied().find(|s| s.name() == name)
 }
 
+/// Quote a text field per RFC 4180 when it would otherwise be
+/// ambiguous: contains a comma or quote, or carries leading/trailing
+/// whitespace (which the reader strips from unquoted fields).
+fn csv_field(s: &str) -> String {
+    assert!(!s.contains(['\n', '\r']), "csv fields may not contain newlines: {s:?}");
+    if s.contains([',', '"']) || s != s.trim() {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Split one CSV record into fields, honouring `"`-quoted fields with
+/// doubled-quote escapes. Unquoted fields are whitespace-trimmed;
+/// quoted fields are returned verbatim.
+fn split_record(raw: &str, line: usize) -> Result<Vec<String>, PanelIoError> {
+    let mut fields = Vec::new();
+    let mut rest = raw;
+    loop {
+        let trimmed = rest.trim_start_matches([' ', '\t']);
+        if let Some(body) = trimmed.strip_prefix('"') {
+            let mut field = String::new();
+            let mut end = None;
+            let mut chars = body.char_indices();
+            while let Some((i, c)) = chars.next() {
+                if c == '"' {
+                    if body[i + 1..].starts_with('"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        end = Some(i + 1);
+                        break;
+                    }
+                } else {
+                    field.push(c);
+                }
+            }
+            let end = end.ok_or_else(|| parse_err(line, "unterminated quoted field"))?;
+            fields.push(field);
+            let after = body[end..].trim_start_matches([' ', '\t']);
+            match after.strip_prefix(',') {
+                Some(tail) => rest = tail,
+                None if after.is_empty() => return Ok(fields),
+                None => return Err(parse_err(line, "unexpected text after closing quote")),
+            }
+        } else {
+            match trimmed.find(',') {
+                Some(i) => {
+                    fields.push(trimmed[..i].trim_end().to_string());
+                    rest = &trimmed[i + 1..];
+                }
+                None => {
+                    fields.push(trimmed.trim_end().to_string());
+                    return Ok(fields);
+                }
+            }
+        }
+    }
+}
+
 /// Serialize a panel to CSV text.
 pub fn to_csv(panel: &Panel) -> String {
     let mut out = FIXED_COLS.join(",");
     for a in &panel.alt_names {
         out.push(',');
-        out.push_str(a);
+        out.push_str(&csv_field(a));
     }
     out.push('\n');
     for c in 0..panel.num_companies() {
@@ -89,7 +158,7 @@ pub fn to_csv(panel: &Panel) -> String {
             out.push_str(&format!(
                 "{},{},{},{},{},{},{},{},{},{}",
                 company.id,
-                company.name,
+                csv_field(&company.name),
                 company.sector.name(),
                 company.market_cap,
                 company.fiscal_offset,
@@ -119,16 +188,19 @@ pub fn write_csv(panel: &Panel, path: &Path) -> Result<(), PanelIoError> {
 pub fn from_csv(text: &str) -> Result<Panel, PanelIoError> {
     let mut lines = text.lines().enumerate();
     let (_, header) = lines.next().ok_or_else(|| parse_err(1, "empty file"))?;
-    let cols: Vec<&str> = header.split(',').map(str::trim).collect();
+    let cols: Vec<String> = split_record(header, 1)?;
     if cols.len() < FIXED_COLS.len() {
         return Err(parse_err(1, format!("expected at least {} columns", FIXED_COLS.len())));
     }
     for (i, expected) in FIXED_COLS.iter().enumerate() {
         if cols[i] != *expected {
-            return Err(parse_err(1, format!("column {i} must be {expected:?}, got {:?}", cols[i])));
+            return Err(parse_err(
+                1,
+                format!("column {i} must be {expected:?}, got {:?}", cols[i]),
+            ));
         }
     }
-    let alt_names: Vec<String> = cols[FIXED_COLS.len()..].iter().map(|s| s.to_string()).collect();
+    let alt_names: Vec<String> = cols[FIXED_COLS.len()..].to_vec();
     let n_alt = alt_names.len();
 
     struct Row {
@@ -143,19 +215,21 @@ pub fn from_csv(text: &str) -> Result<Panel, PanelIoError> {
         if raw.trim().is_empty() {
             continue;
         }
-        let f: Vec<&str> = raw.split(',').map(str::trim).collect();
+        let f: Vec<String> = split_record(raw, line_no)?;
         if f.len() != FIXED_COLS.len() + n_alt {
-            return Err(parse_err(line_no, format!("expected {} fields, got {}", FIXED_COLS.len() + n_alt, f.len())));
+            return Err(parse_err(
+                line_no,
+                format!("expected {} fields, got {}", FIXED_COLS.len() + n_alt, f.len()),
+            ));
         }
         let num = |i: usize, what: &str| -> Result<f64, PanelIoError> {
             f[i].parse::<f64>().map_err(|_| parse_err(line_no, format!("bad {what}: {:?}", f[i])))
         };
         let company: usize =
             f[0].parse().map_err(|_| parse_err(line_no, format!("bad company id {:?}", f[0])))?;
-        let sector = sector_from_name(f[2])
+        let sector = sector_from_name(&f[2])
             .ok_or_else(|| parse_err(line_no, format!("unknown sector {:?}", f[2])))?;
-        let quarter = Quarter::from_str(f[5])
-            .map_err(|e| parse_err(line_no, e.to_string()))?;
+        let quarter = Quarter::from_str(&f[5]).map_err(|e| parse_err(line_no, e.to_string()))?;
         let mut alt = Vec::with_capacity(n_alt);
         for (k, name) in alt_names.iter().enumerate() {
             alt.push(num(FIXED_COLS.len() + k, name)?);
@@ -201,14 +275,20 @@ pub fn from_csv(text: &str) -> Result<Panel, PanelIoError> {
         let t = r.quarter.diff(first) as usize;
         let slot = r.company * nq + t;
         if obs[slot].is_some() {
-            return Err(parse_err(0, format!("duplicate row for company {} at {}", r.company, r.quarter)));
+            return Err(parse_err(
+                0,
+                format!("duplicate row for company {} at {}", r.company, r.quarter),
+            ));
         }
         obs[slot] = Some(r.obs);
         match &companies[r.company] {
             None => companies[r.company] = Some(r.meta),
             Some(existing) => {
                 if existing.name != r.meta.name || existing.sector != r.meta.sector {
-                    return Err(parse_err(0, format!("inconsistent metadata for company {}", r.company)));
+                    return Err(parse_err(
+                        0,
+                        format!("inconsistent metadata for company {}", r.company),
+                    ));
                 }
             }
         }
@@ -240,6 +320,155 @@ pub fn read_csv(path: &Path) -> Result<Panel, PanelIoError> {
 mod tests {
     use super::*;
     use crate::synth::{generate, SynthConfig};
+    use proptest::prelude::*;
+
+    /// Characters names are drawn from in the property test — half of
+    /// them are CSV hazards (comma, quote, spaces, unicode).
+    const NAME_CHARS: [char; 12] = [',', '"', ' ', '\t', 'a', 'Z', '7', '-', '_', '.', 'é', '京'];
+
+    /// Map two uniforms in [0,1) to an f64 biased toward edge cases:
+    /// NaN, ±inf, ±0, huge/tiny magnitudes, and ordinary values.
+    fn edge_value(u: f64, v: f64) -> f64 {
+        match (u * 10.0) as u32 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => -0.0,
+            4 => 0.0,
+            5 => (v - 0.5) * 1e-300,
+            6 => (v - 0.5) * 1e300,
+            _ => (v - 0.5) * 2.0e9,
+        }
+    }
+
+    /// Bit-exact equality, with any-NaN == any-NaN (the writer
+    /// collapses NaN payloads to the canonical quiet NaN).
+    fn same_bits(a: f64, b: f64) -> bool {
+        a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
+    }
+
+    fn name_from(sel: &[usize]) -> String {
+        sel.iter().map(|&i| NAME_CHARS[i % NAME_CHARS.len()]).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn csv_roundtrip_is_exact(
+            name_sel in prop::collection::vec(
+                prop::collection::vec(0usize..NAME_CHARS.len(), 0..10), 1..5),
+            alt_sel in prop::collection::vec(
+                prop::collection::vec(0usize..NAME_CHARS.len(), 1..8), 0..3),
+            nq in 1usize..5,
+            pool in prop::collection::vec(0.0f64..1.0, 400),
+        ) {
+            let n_companies = name_sel.len();
+            let n_alt = alt_sel.len();
+            let mut cursor = 0usize;
+            let mut draw = || {
+                let (u, v) = (pool[cursor % pool.len()], pool[(cursor + 1) % pool.len()]);
+                cursor += 2;
+                edge_value(u, v)
+            };
+
+            let companies: Vec<Company> = name_sel
+                .iter()
+                .enumerate()
+                .map(|(i, sel)| Company {
+                    id: i,
+                    name: name_from(sel),
+                    sector: Sector::ALL[i % Sector::ALL.len()],
+                    market_cap: draw(),
+                    fiscal_offset: (i % 3) as u8,
+                })
+                .collect();
+            let alt_names: Vec<String> = alt_sel.iter().map(|sel| name_from(sel)).collect();
+            let mut quarters = vec![Quarter::new(2014, 1)];
+            while quarters.len() < nq {
+                quarters.push(quarters.last().unwrap().next());
+            }
+            let obs: Vec<Observation> = (0..n_companies * nq)
+                .map(|_| Observation {
+                    revenue: draw(),
+                    consensus: draw(),
+                    low_est: draw(),
+                    high_est: draw(),
+                    alt: (0..n_alt).map(|_| draw()).collect(),
+                })
+                .collect();
+            let panel = Panel::new(companies, quarters, alt_names, obs);
+
+            let back = match from_csv(&to_csv(&panel)) {
+                Ok(p) => p,
+                Err(e) => return Err(format!("reimport failed: {e}")),
+            };
+            prop_assert_eq!(back.num_companies(), panel.num_companies());
+            prop_assert_eq!(back.num_quarters(), panel.num_quarters());
+            prop_assert_eq!(&back.alt_names, &panel.alt_names);
+            prop_assert_eq!(&back.quarters, &panel.quarters);
+            for c in 0..panel.num_companies() {
+                let (a, b) = (&panel.companies[c], &back.companies[c]);
+                prop_assert_eq!(&a.name, &b.name);
+                prop_assert_eq!(a.sector, b.sector);
+                prop_assert_eq!(a.fiscal_offset, b.fiscal_offset);
+                prop_assert!(same_bits(a.market_cap, b.market_cap),
+                    "market_cap {} vs {}", a.market_cap, b.market_cap);
+                for t in 0..panel.num_quarters() {
+                    let (x, y) = (panel.get(c, t), back.get(c, t));
+                    prop_assert!(same_bits(x.revenue, y.revenue),
+                        "revenue {} vs {}", x.revenue, y.revenue);
+                    prop_assert!(same_bits(x.consensus, y.consensus),
+                        "consensus {} vs {}", x.consensus, y.consensus);
+                    prop_assert!(same_bits(x.low_est, y.low_est),
+                        "low_est {} vs {}", x.low_est, y.low_est);
+                    prop_assert!(same_bits(x.high_est, y.high_est),
+                        "high_est {} vs {}", x.high_est, y.high_est);
+                    prop_assert_eq!(x.alt.len(), y.alt.len());
+                    for k in 0..x.alt.len() {
+                        prop_assert!(same_bits(x.alt[k], y.alt[k]),
+                            "alt[{}] {} vs {}", k, x.alt[k], y.alt[k]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quoted_names_round_trip() {
+        let mut p = generate(&SynthConfig::tiny(810)).panel;
+        p.companies[0].name = "Acme, \"Intl\" Retail".to_string();
+        p.companies[1].name = "  padded  ".to_string();
+        p.alt_names = vec!["txn, gross".to_string()];
+        let back = from_csv(&to_csv(&p)).expect("quoted roundtrip");
+        assert_eq!(back.companies[0].name, "Acme, \"Intl\" Retail");
+        assert_eq!(back.companies[1].name, "  padded  ");
+        assert_eq!(back.alt_names, vec!["txn, gross".to_string()]);
+    }
+
+    #[test]
+    fn nan_and_inf_round_trip() {
+        let mut p =
+            generate(&SynthConfig { n_companies: 2, n_quarters: 6, ..SynthConfig::tiny(811) })
+                .panel;
+        p.get_mut(0, 0).revenue = f64::NAN;
+        p.get_mut(0, 1).consensus = f64::INFINITY;
+        p.get_mut(1, 2).low_est = f64::NEG_INFINITY;
+        p.get_mut(1, 3).high_est = -0.0;
+        let back = from_csv(&to_csv(&p)).expect("nan roundtrip");
+        assert!(back.get(0, 0).revenue.is_nan());
+        assert_eq!(back.get(0, 1).consensus, f64::INFINITY);
+        assert_eq!(back.get(1, 2).low_est, f64::NEG_INFINITY);
+        assert_eq!(back.get(1, 3).high_est.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn rejects_unterminated_quote() {
+        let p = generate(&SynthConfig { n_companies: 2, n_quarters: 6, ..SynthConfig::tiny(812) })
+            .panel;
+        let csv = to_csv(&p).replacen(&p.companies[0].name, "\"broken", 1);
+        let err = from_csv(&csv).unwrap_err();
+        assert!(err.to_string().contains("unterminated"), "{err}");
+    }
 
     #[test]
     fn roundtrip_preserves_everything() {
@@ -263,7 +492,8 @@ mod tests {
 
     #[test]
     fn roundtrip_two_channel_panel() {
-        let p = generate(&SynthConfig { n_companies: 5, ..SynthConfig::map_query_paper(801) }).panel;
+        let p =
+            generate(&SynthConfig { n_companies: 5, ..SynthConfig::map_query_paper(801) }).panel;
         let back = from_csv(&to_csv(&p)).unwrap();
         assert_eq!(back.alt_names.len(), 2);
         assert_eq!(back.get(3, 5).alt.len(), 2);
@@ -285,7 +515,8 @@ mod tests {
 
     #[test]
     fn rejects_missing_observation() {
-        let p = generate(&SynthConfig { n_companies: 2, n_quarters: 6, ..SynthConfig::tiny(803) }).panel;
+        let p = generate(&SynthConfig { n_companies: 2, n_quarters: 6, ..SynthConfig::tiny(803) })
+            .panel;
         let csv = to_csv(&p);
         // Drop the last data line.
         let trimmed: Vec<&str> = csv.trim_end().lines().collect();
@@ -296,17 +527,24 @@ mod tests {
 
     #[test]
     fn rejects_unknown_sector() {
-        let p = generate(&SynthConfig { n_companies: 2, n_quarters: 6, ..SynthConfig::tiny(804) }).panel;
-        let csv = to_csv(&p).replace("retail", "crypto").replace("travel", "crypto")
-            .replace("apparel", "crypto").replace("electronics", "crypto")
-            .replace("grocery", "crypto").replace("home-goods", "crypto")
-            .replace("restaurants", "crypto").replace("entertainment", "crypto");
+        let p = generate(&SynthConfig { n_companies: 2, n_quarters: 6, ..SynthConfig::tiny(804) })
+            .panel;
+        let csv = to_csv(&p)
+            .replace("retail", "crypto")
+            .replace("travel", "crypto")
+            .replace("apparel", "crypto")
+            .replace("electronics", "crypto")
+            .replace("grocery", "crypto")
+            .replace("home-goods", "crypto")
+            .replace("restaurants", "crypto")
+            .replace("entertainment", "crypto");
         assert!(from_csv(&csv).is_err());
     }
 
     #[test]
     fn rejects_bad_quarter_literal() {
-        let p = generate(&SynthConfig { n_companies: 2, n_quarters: 6, ..SynthConfig::tiny(805) }).panel;
+        let p = generate(&SynthConfig { n_companies: 2, n_quarters: 6, ..SynthConfig::tiny(805) })
+            .panel;
         let csv = to_csv(&p).replace("2015q1", "2015x1");
         let err = from_csv(&csv).unwrap_err();
         assert!(err.to_string().contains("quarter"), "{err}");
@@ -314,7 +552,8 @@ mod tests {
 
     #[test]
     fn file_roundtrip() {
-        let p = generate(&SynthConfig { n_companies: 3, n_quarters: 6, ..SynthConfig::tiny(806) }).panel;
+        let p = generate(&SynthConfig { n_companies: 3, n_quarters: 6, ..SynthConfig::tiny(806) })
+            .panel;
         let dir = std::env::temp_dir().join("ams_io_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("panel.csv");

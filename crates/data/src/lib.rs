@@ -17,8 +17,8 @@
 //!   dropped into the same pipeline.
 
 pub mod cv;
-pub mod io;
 pub mod features;
+pub mod io;
 pub mod panel;
 pub mod quarters;
 pub mod synth;

@@ -53,7 +53,11 @@ impl Panel {
         alt_names: Vec<String>,
         obs: Vec<Observation>,
     ) -> Self {
-        assert_eq!(obs.len(), companies.len() * quarters.len(), "panel: observation count mismatch");
+        assert_eq!(
+            obs.len(),
+            companies.len() * quarters.len(),
+            "panel: observation count mismatch"
+        );
         for w in quarters.windows(2) {
             assert_eq!(w[1], w[0].next(), "panel: quarters must be consecutive");
         }
@@ -79,6 +83,12 @@ impl Panel {
     /// Observation for company `c` at quarter index `t`.
     pub fn get(&self, c: usize, t: usize) -> &Observation {
         &self.obs[c * self.quarters.len() + t]
+    }
+
+    /// Mutable observation for company `c` at quarter index `t`.
+    pub fn get_mut(&mut self, c: usize, t: usize) -> &mut Observation {
+        let nq = self.quarters.len();
+        &mut self.obs[c * nq + t]
     }
 
     /// Index of a quarter within the panel, if covered.
@@ -111,8 +121,20 @@ mod tests {
 
     fn tiny_panel() -> Panel {
         let companies = vec![
-            Company { id: 0, name: "A".into(), sector: Sector::Retail, market_cap: 2.0, fiscal_offset: 0 },
-            Company { id: 1, name: "B".into(), sector: Sector::Travel, market_cap: 0.5, fiscal_offset: 1 },
+            Company {
+                id: 0,
+                name: "A".into(),
+                sector: Sector::Retail,
+                market_cap: 2.0,
+                fiscal_offset: 0,
+            },
+            Company {
+                id: 1,
+                name: "B".into(),
+                sector: Sector::Travel,
+                market_cap: 0.5,
+                fiscal_offset: 1,
+            },
         ];
         let quarters = Quarter::range(Quarter::new(2016, 1), Quarter::new(2016, 3));
         let mut obs = Vec::new();

@@ -8,7 +8,9 @@ use std::fmt;
 use std::str::FromStr;
 
 /// A calendar quarter such as `2016q4`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Quarter {
     year: i32,
     /// 1..=4
@@ -45,6 +47,7 @@ impl Quarter {
     }
 
     /// `self + n` quarters (n may be negative).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, n: i64) -> Self {
         Self::from_index(self.index() + n)
     }

@@ -204,7 +204,8 @@ pub struct SynthPanel {
 pub fn generate(config: &SynthConfig) -> SynthPanel {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let companies = random_universe(config.n_companies, &mut rng);
-    let quarters: Vec<Quarter> = (0..config.n_quarters as i64).map(|i| config.start.add(i)).collect();
+    let quarters: Vec<Quarter> =
+        (0..config.n_quarters as i64).map(|i| config.start.add(i)).collect();
     let nq = config.n_quarters;
 
     // Sector factor paths: AR(1) in log space.
@@ -273,7 +274,7 @@ pub fn generate(config: &SynthConfig) -> SynthPanel {
         let follows_sector = rng.gen::<f64>() < 0.98;
         let inverted = sector_inverted[sector.index()] == follows_sector;
         if inverted {
-            kappa = -0.8 * kappa;
+            kappa *= -0.8;
         }
         let factor_loading = 0.8 + 0.3 * rng.gen::<f64>();
         latents.push(LatentCompany {
@@ -293,7 +294,8 @@ pub fn generate(config: &SynthConfig) -> SynthPanel {
         let mut conv_wedge = 0.0;
         let store_scale = (2.0 + 8.0 * rng.gen::<f64>()).ln();
         let parking_scale = (0.5 + 3.0 * rng.gen::<f64>()).ln();
-        let n_analysts = rng.gen_range(config.analysts_per_company.0..=config.analysts_per_company.1);
+        let n_analysts =
+            rng.gen_range(config.analysts_per_company.0..=config.analysts_per_company.1);
 
         let mut company_shocks = Vec::with_capacity(nq);
         for (t, q) in quarters.iter().enumerate() {
@@ -319,7 +321,9 @@ pub fn generate(config: &SynthConfig) -> SynthPanel {
                 + analyst_bias
                 + config.consensus_noise_std * normal(&mut rng);
             let estimates: Vec<f64> = (0..n_analysts)
-                .map(|_| (log_consensus_target + config.analyst_dispersion * normal(&mut rng)).exp())
+                .map(|_| {
+                    (log_consensus_target + config.analyst_dispersion * normal(&mut rng)).exp()
+                })
                 .collect();
             let consensus = mean(&estimates);
             let low = estimates.iter().copied().fold(f64::INFINITY, f64::min);

@@ -156,7 +156,11 @@ pub fn random_universe(n: usize, rng: &mut impl Rng) -> Vec<Company> {
             let cap = (0.2 + rng.gen::<f64>() * 2.0).powf(3.0);
             Company {
                 id,
-                name: format!("{}{:03}", sector.name().chars().next().unwrap().to_ascii_uppercase(), id),
+                name: format!(
+                    "{}{:03}",
+                    sector.name().chars().next().unwrap().to_ascii_uppercase(),
+                    id
+                ),
                 sector,
                 market_cap: cap,
                 fiscal_offset: rng.gen_range(0..3),

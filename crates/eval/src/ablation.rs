@@ -79,12 +79,9 @@ mod tests {
 
     #[test]
     fn ablation_skips_naive_and_arima() {
-        let panel = generate(&SynthConfig {
-            n_companies: 8,
-            n_quarters: 11,
-            ..SynthConfig::tiny(200)
-        })
-        .panel;
+        let panel =
+            generate(&SynthConfig { n_companies: 8, n_quarters: 11, ..SynthConfig::tiny(200) })
+                .panel;
         let kinds = vec![
             ModelKind::Ridge { lambda: 1.0 },
             ModelKind::Naive { rule: NaiveRule::QoQ, channel: 0 },
@@ -108,12 +105,9 @@ mod tests {
         // alternative features, so Lasso-na can equal Lasso. With a
         // very large alpha, everything but the intercept is zeroed and
         // the ablation deltas must be exactly 0.
-        let panel = generate(&SynthConfig {
-            n_companies: 8,
-            n_quarters: 11,
-            ..SynthConfig::tiny(201)
-        })
-        .panel;
+        let panel =
+            generate(&SynthConfig { n_companies: 8, n_quarters: 11, ..SynthConfig::tiny(201) })
+                .panel;
         let rows = feature_effectiveness(
             &panel,
             &[ModelKind::Lasso { alpha: 1e3 }],

@@ -72,7 +72,13 @@ impl ModelKind {
         let rnn = RnnConfig { hidden: 8, epochs: 150, l2: 5e-3, lr: 1e-2, seed };
         let mut v = vec![
             ModelKind::Ams { config: AmsConfig { seed, ..Default::default() }, graph_k: 5 },
-            ModelKind::Gbdt(GbdtConfig { seed, max_depth: 3, subsample: 0.8, colsample: 0.8, ..Default::default() }),
+            ModelKind::Gbdt(GbdtConfig {
+                seed,
+                max_depth: 3,
+                subsample: 0.8,
+                colsample: 0.8,
+                ..Default::default()
+            }),
             ModelKind::Mlp(MlpConfig { hidden: vec![16], l2: 5e-3, seed, ..Default::default() }),
             ModelKind::Lasso { alpha: 0.01 },
             ModelKind::Ridge { lambda: 1.0 },
@@ -200,10 +206,7 @@ pub fn run_model(panel: &Panel, kind: &ModelKind, opts: &EvalOptions) -> CvResul
                 let k = *graph_k;
                 run_ams_fold_with_graph(panel, &fs, fold, config, &|panel, test_q| {
                     let series = panel.all_revenue_series(0, test_q);
-                    CompanyGraph::from_series(
-                        &series,
-                        GraphConfig { k, ..Default::default() },
-                    )
+                    CompanyGraph::from_series(&series, GraphConfig { k, ..Default::default() })
                 })
                 .0
             }
@@ -450,7 +453,12 @@ fn run_arima_fold(panel: &Panel, test_q: usize, cfg: &ArimaConfig) -> Vec<PredRe
         .collect()
 }
 
-fn run_naive_fold(panel: &Panel, test_q: usize, rule: NaiveRule, channel: usize) -> Vec<PredRecord> {
+fn run_naive_fold(
+    panel: &Panel,
+    test_q: usize,
+    rule: NaiveRule,
+    channel: usize,
+) -> Vec<PredRecord> {
     (0..panel.num_companies())
         .map(|c| {
             let o = panel.get(c, test_q);
@@ -471,12 +479,7 @@ mod tests {
     use ams_data::{generate, SynthConfig};
 
     fn small_panel() -> Panel {
-        generate(&SynthConfig {
-            n_companies: 10,
-            n_quarters: 12,
-            ..SynthConfig::tiny(100)
-        })
-        .panel
+        generate(&SynthConfig { n_companies: 10, n_quarters: 12, ..SynthConfig::tiny(100) }).panel
     }
 
     fn fast_opts() -> EvalOptions {
@@ -513,10 +516,8 @@ mod tests {
     #[test]
     fn ams_cv_runs() {
         let p = small_panel();
-        let kind = ModelKind::Ams {
-            config: AmsConfig { epochs: 30, ..Default::default() },
-            graph_k: 3,
-        };
+        let kind =
+            ModelKind::Ams { config: AmsConfig { epochs: 30, ..Default::default() }, graph_k: 3 };
         let r = run_model(&p, &kind, &fast_opts());
         assert_eq!(r.model, "AMS");
         assert_eq!(r.per_quarter.len(), 2);
@@ -536,7 +537,10 @@ mod tests {
         let b = without.per_quarter[0].preds[0].pred_ur;
         assert_ne!(a, b, "dropping alt features should change ridge predictions");
         // Actual URs are identical (same panel).
-        assert_eq!(with.per_quarter[0].preds[0].actual_ur, without.per_quarter[0].preds[0].actual_ur);
+        assert_eq!(
+            with.per_quarter[0].preds[0].actual_ur,
+            without.per_quarter[0].preds[0].actual_ur
+        );
     }
 
     #[test]

@@ -40,11 +40,7 @@ pub fn bounded_accuracy(pred_ur: &[f64], actual_ur: &[f64]) -> f64 {
     if pred_ur.is_empty() {
         return 0.0;
     }
-    let hits = pred_ur
-        .iter()
-        .zip(actual_ur)
-        .filter(|&(&p, &a)| bounded_correction(p, a))
-        .count();
+    let hits = pred_ur.iter().zip(actual_ur).filter(|&(&p, &a)| bounded_correction(p, a)).count();
     100.0 * hits as f64 / pred_ur.len() as f64
 }
 
@@ -63,11 +59,8 @@ pub fn mean_surprise_ratio(pred_ur: &[f64], actual_ur: &[f64]) -> f64 {
     if pred_ur.is_empty() {
         return 0.0;
     }
-    let total: f64 = pred_ur
-        .iter()
-        .zip(actual_ur)
-        .map(|(&p, &a)| surprise_ratio(p, a).min(SR_CAP))
-        .sum();
+    let total: f64 =
+        pred_ur.iter().zip(actual_ur).map(|(&p, &a)| surprise_ratio(p, a).min(SR_CAP)).sum();
     total / pred_ur.len() as f64
 }
 

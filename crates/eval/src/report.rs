@@ -32,11 +32,8 @@ pub struct TableRow {
 /// Build report rows from CV results. The reference model for the BA
 /// paired test is the row named `reference` (the paper uses AMS).
 pub fn build_rows(results: &[CvResult], reference: &str) -> Vec<TableRow> {
-    let ref_ba = results
-        .iter()
-        .find(|r| r.model == reference)
-        .map(|r| r.ba_series())
-        .unwrap_or_default();
+    let ref_ba =
+        results.iter().find(|r| r.model == reference).map(|r| r.ba_series()).unwrap_or_default();
     results
         .iter()
         .map(|r| {

@@ -59,7 +59,7 @@ pub fn random_search_cv(
             let p: Vec<f64> = val_preds.iter().map(|r| r.pred_ur).collect();
             let a: Vec<f64> = val_preds.iter().map(|r| r.actual_ur).collect();
             let score = val_score(&p, &a);
-            if best.as_ref().map_or(true, |(b, _)| score > *b) {
+            if best.as_ref().is_none_or(|(b, _)| score > *b) {
                 best = Some((score, kind));
             }
         }
@@ -101,10 +101,7 @@ pub mod samplers {
 
     /// Elastic net over both α and the L1 ratio.
     pub fn elasticnet(rng: &mut StdRng) -> ModelKind {
-        ModelKind::ElasticNet {
-            alpha: log_uniform(rng, 1e-4, 1.0),
-            l1_ratio: rng.gen::<f64>(),
-        }
+        ModelKind::ElasticNet { alpha: log_uniform(rng, 1e-4, 1.0), l1_ratio: rng.gen::<f64>() }
     }
 
     /// GBDT over rounds/depth/η/subsampling.
@@ -123,7 +120,7 @@ pub mod samplers {
 
     /// MLP over width/depth/L2/dropout.
     pub fn mlp(rng: &mut StdRng) -> ModelKind {
-        let width = *[8usize, 16, 32, 64].get(rng.gen_range(0..4)).expect("in range");
+        let width = *[8usize, 16, 32, 64].get(rng.gen_range(0..4usize)).expect("in range");
         let hidden = if rng.gen::<bool>() { vec![width] } else { vec![width, width / 2] };
         ModelKind::Mlp(MlpConfig {
             hidden,

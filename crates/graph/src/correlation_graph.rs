@@ -3,7 +3,7 @@
 use ams_stats::pearson;
 
 /// Configuration for [`CompanyGraph::from_series`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct GraphConfig {
     /// Number of strongest-correlated neighbours per company (the
     /// hyperparameter `k` of §III-C; Figure 4 illustrates `k = 5`).
@@ -22,7 +22,7 @@ impl Default for GraphConfig {
 }
 
 /// The company correlation graph in CSR (compressed sparse row) form.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct CompanyGraph {
     n: usize,
     /// CSR row offsets, length n+1.
@@ -156,6 +156,41 @@ impl CompanyGraph {
     }
 }
 
+// Deserialization is manual so a hand-edited or truncated artifact
+// cannot smuggle in a malformed CSR (every accessor indexes through
+// `offsets` unchecked-by-construction).
+impl serde::Deserialize for CompanyGraph {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::custom(format!("CompanyGraph: missing `{name}`")))
+        };
+        let n = usize::from_value(field("n")?)?;
+        let offsets = Vec::<usize>::from_value(field("offsets")?)?;
+        let neighbors = Vec::<u32>::from_value(field("neighbors")?)?;
+        if offsets.len() != n + 1 || offsets.first() != Some(&0) {
+            return Err(serde::Error::custom(format!(
+                "CompanyGraph: offsets must have length n+1={} starting at 0",
+                n + 1
+            )));
+        }
+        if offsets.windows(2).any(|w| w[1] < w[0]) {
+            return Err(serde::Error::custom("CompanyGraph: offsets must be non-decreasing"));
+        }
+        if *offsets.last().expect("nonempty") != neighbors.len() {
+            return Err(serde::Error::custom(format!(
+                "CompanyGraph: final offset {} != neighbour count {}",
+                offsets.last().expect("nonempty"),
+                neighbors.len()
+            )));
+        }
+        if neighbors.iter().any(|&j| j as usize >= n) {
+            return Err(serde::Error::custom("CompanyGraph: neighbour id out of range"));
+        }
+        Ok(CompanyGraph { n, offsets, neighbors })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,5 +314,33 @@ mod tests {
     fn mean_degree() {
         let g = CompanyGraph::complete(4);
         assert_eq!(g.mean_degree(), 4.0);
+    }
+
+    #[test]
+    fn serde_json_round_trip() {
+        let g = CompanyGraph::from_series(&two_cluster_series(), GraphConfig::default());
+        let json = serde_json::to_string(&g).unwrap();
+        let back: CompanyGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+
+        let cfg = GraphConfig { k: 7, self_loops: false, symmetric: true };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: GraphConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.k, cfg.k);
+        assert_eq!(back.self_loops, cfg.self_loops);
+        assert_eq!(back.symmetric, cfg.symmetric);
+    }
+
+    #[test]
+    fn serde_rejects_malformed_csr() {
+        // Neighbour id out of range for the declared node count.
+        let bad = r#"{"n": 2, "offsets": [0, 1, 1], "neighbors": [5]}"#;
+        assert!(serde_json::from_str::<CompanyGraph>(bad).is_err());
+        // Offsets of the wrong length.
+        let bad = r#"{"n": 2, "offsets": [0, 1], "neighbors": [1]}"#;
+        assert!(serde_json::from_str::<CompanyGraph>(bad).is_err());
+        // Decreasing offsets.
+        let bad = r#"{"n": 2, "offsets": [0, 1, 0], "neighbors": []}"#;
+        assert!(serde_json::from_str::<CompanyGraph>(bad).is_err());
     }
 }

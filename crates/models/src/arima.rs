@@ -65,7 +65,7 @@ impl Arima {
         let ar0 = ar_least_squares(&w, config.p);
         let mut x0 = vec![mean];
         x0.extend_from_slice(&ar0);
-        x0.extend(std::iter::repeat(0.0).take(config.q));
+        x0.extend(std::iter::repeat_n(0.0, config.q));
 
         let p = config.p;
         let q = config.q;

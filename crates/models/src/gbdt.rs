@@ -232,8 +232,8 @@ impl Regressor for Gbdt {
                 all_cols.clone()
             };
             let tree = self.grow_tree(x, &grad, &hess, &rows, &cols);
-            for i in 0..n {
-                pred[i] += self.config.learning_rate * tree.predict_row(x.row(i));
+            for (i, p) in pred.iter_mut().enumerate() {
+                *p += self.config.learning_rate * tree.predict_row(x.row(i));
             }
             self.trees.push(tree);
         }
@@ -258,8 +258,8 @@ impl Regressor for Gbdt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::regressor::testutil::{linear_problem, nonlinear_problem};
     use crate::regressor::mse;
+    use crate::regressor::testutil::{linear_problem, nonlinear_problem};
 
     #[test]
     fn fits_step_function_exactly() {
@@ -272,7 +272,12 @@ mod tests {
             x[(i, 0)] = v;
             y[(i, 0)] = if v > 0.0 { 1.0 } else { -1.0 };
         }
-        let mut m = Gbdt::new(GbdtConfig { n_estimators: 100, max_depth: 2, lambda: 0.0, ..Default::default() });
+        let mut m = Gbdt::new(GbdtConfig {
+            n_estimators: 100,
+            max_depth: 2,
+            lambda: 0.0,
+            ..Default::default()
+        });
         m.fit(&x, &y);
         let err = mse(&m.predict(&x), &y);
         assert!(err < 1e-4, "step-function mse {err}");
@@ -324,9 +329,11 @@ mod tests {
     #[test]
     fn gamma_prunes_weak_splits() {
         let (xtr, ytr, _, _) = linear_problem(100, 1, 4, 0.5, 42);
-        let mut loose = Gbdt::new(GbdtConfig { n_estimators: 20, gamma: 0.0, ..Default::default() });
+        let mut loose =
+            Gbdt::new(GbdtConfig { n_estimators: 20, gamma: 0.0, ..Default::default() });
         loose.fit(&xtr, &ytr);
-        let mut strict = Gbdt::new(GbdtConfig { n_estimators: 20, gamma: 10.0, ..Default::default() });
+        let mut strict =
+            Gbdt::new(GbdtConfig { n_estimators: 20, gamma: 10.0, ..Default::default() });
         strict.fit(&xtr, &ytr);
         assert!(strict.total_leaves() < loose.total_leaves());
     }
@@ -334,7 +341,13 @@ mod tests {
     #[test]
     fn subsampling_is_deterministic_per_seed() {
         let (xtr, ytr, xte, _) = linear_problem(120, 20, 4, 0.2, 43);
-        let cfg = GbdtConfig { n_estimators: 30, subsample: 0.7, colsample: 0.7, seed: 3, ..Default::default() };
+        let cfg = GbdtConfig {
+            n_estimators: 30,
+            subsample: 0.7,
+            colsample: 0.7,
+            seed: 3,
+            ..Default::default()
+        };
         let mut a = Gbdt::new(cfg.clone());
         a.fit(&xtr, &ytr);
         let mut b = Gbdt::new(cfg);

@@ -110,10 +110,7 @@ impl ElasticNet {
     /// Number of exactly-zero coefficients (Lasso's feature selection —
     /// the mechanism behind its identical `-na` rows in Table III).
     pub fn num_zeros(&self) -> usize {
-        self.coef
-            .as_ref()
-            .map(|c| c.as_slice().iter().filter(|&&v| v == 0.0).count())
-            .unwrap_or(0)
+        self.coef.as_ref().map(|c| c.as_slice().iter().filter(|&&v| v == 0.0).count()).unwrap_or(0)
     }
 }
 
@@ -134,9 +131,8 @@ impl Regressor for ElasticNet {
         assert_eq!(y.rows(), n, "elasticnet: label count mismatch");
         let nf = n as f64;
         // Precompute per-column squared norms / n.
-        let col_sq: Vec<f64> = (0..d)
-            .map(|j| (0..n).map(|i| x[(i, j)] * x[(i, j)]).sum::<f64>() / nf)
-            .collect();
+        let col_sq: Vec<f64> =
+            (0..d).map(|j| (0..n).map(|i| x[(i, j)] * x[(i, j)]).sum::<f64>() / nf).collect();
         let l1 = self.alpha * self.l1_ratio;
         let l2 = self.alpha * (1.0 - self.l1_ratio);
 
@@ -189,8 +185,8 @@ impl Regressor for ElasticNet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::regressor::testutil::linear_problem;
     use crate::regressor::mse;
+    use crate::regressor::testutil::linear_problem;
 
     #[test]
     fn ols_recovers_exact_linear_map() {

@@ -133,8 +133,8 @@ impl Regressor for Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::regressor::testutil::{linear_problem, nonlinear_problem};
     use crate::regressor::mse;
+    use crate::regressor::testutil::{linear_problem, nonlinear_problem};
 
     #[test]
     fn learns_linear_map() {
@@ -148,9 +148,21 @@ mod tests {
     #[test]
     fn learns_nonlinear_map_better_than_linear() {
         let (x, y) = nonlinear_problem(300, 0.05, 11);
-        let (xtr, ytr) = (x.select_rows(&(0..200).collect::<Vec<_>>()), y.select_rows(&(0..200).collect::<Vec<_>>()));
-        let (xte, yte) = (x.select_rows(&(200..300).collect::<Vec<_>>()), y.select_rows(&(200..300).collect::<Vec<_>>()));
-        let mut mlp = Mlp::new(MlpConfig { hidden: vec![48, 24], epochs: 800, dropout: 0.0, lr: 5e-3, ..Default::default() });
+        let (xtr, ytr) = (
+            x.select_rows(&(0..200).collect::<Vec<_>>()),
+            y.select_rows(&(0..200).collect::<Vec<_>>()),
+        );
+        let (xte, yte) = (
+            x.select_rows(&(200..300).collect::<Vec<_>>()),
+            y.select_rows(&(200..300).collect::<Vec<_>>()),
+        );
+        let mut mlp = Mlp::new(MlpConfig {
+            hidden: vec![48, 24],
+            epochs: 800,
+            dropout: 0.0,
+            lr: 5e-3,
+            ..Default::default()
+        });
         mlp.fit(&xtr, &ytr);
         let mlp_err = mse(&mlp.predict(&xte), &yte);
         let mut lin = crate::linear::RidgeRegression::new(1e-6);

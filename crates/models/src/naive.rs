@@ -79,12 +79,12 @@ mod tests {
         let p = &s.panel;
         let (c, t, ch) = (3, 6, 0);
         let qoq = NaiveRule::QoQ.predict_ur(p, c, t, ch);
-        let expect_qoq =
-            p.get(c, t).alt[ch] / p.get(c, t - 1).alt[ch] * p.get(c, t - 1).revenue - p.get(c, t).consensus;
+        let expect_qoq = p.get(c, t).alt[ch] / p.get(c, t - 1).alt[ch] * p.get(c, t - 1).revenue
+            - p.get(c, t).consensus;
         assert!((qoq - expect_qoq).abs() < 1e-12);
         let yoy = NaiveRule::YoY.predict_ur(p, c, t, ch);
-        let expect_yoy =
-            p.get(c, t).alt[ch] / p.get(c, t - 4).alt[ch] * p.get(c, t - 4).revenue - p.get(c, t).consensus;
+        let expect_yoy = p.get(c, t).alt[ch] / p.get(c, t - 4).alt[ch] * p.get(c, t - 4).revenue
+            - p.get(c, t).consensus;
         assert!((yoy - expect_yoy).abs() < 1e-12);
     }
 

@@ -72,10 +72,7 @@ pub fn nelder_mead(
         let diameter = simplex[1..]
             .iter()
             .map(|(x, _)| {
-                x.iter()
-                    .zip(&simplex[0].0)
-                    .map(|(a, b)| (a - b).abs())
-                    .fold(0.0_f64, f64::max)
+                x.iter().zip(&simplex[0].0).map(|(a, b)| (a - b).abs()).fold(0.0_f64, f64::max)
             })
             .fold(0.0_f64, f64::max);
         if spread.abs() < config.f_tol && diameter < config.x_tol {
@@ -89,8 +86,7 @@ pub fn nelder_mead(
             }
         }
         let worst = simplex[n].clone();
-        let reflect: Vec<f64> =
-            centroid.iter().zip(&worst.0).map(|(c, w)| c + (c - w)).collect();
+        let reflect: Vec<f64> = centroid.iter().zip(&worst.0).map(|(c, w)| c + (c - w)).collect();
         let f_r = eval(&reflect, &mut evals);
 
         if f_r < simplex[0].1 {
@@ -103,8 +99,7 @@ pub fn nelder_mead(
             simplex[n] = (reflect, f_r);
         } else {
             // Contraction (toward the better of worst/reflected).
-            let (base, f_base) =
-                if f_r < worst.1 { (&reflect, f_r) } else { (&worst.0, worst.1) };
+            let (base, f_base) = if f_r < worst.1 { (&reflect, f_r) } else { (&worst.0, worst.1) };
             let contract: Vec<f64> =
                 centroid.iter().zip(base).map(|(c, b)| c + 0.5 * (b - c)).collect();
             let f_c = eval(&contract, &mut evals);
@@ -147,7 +142,11 @@ mod tests {
     #[test]
     fn minimizes_rosenbrock_2d() {
         let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
-        let r = nelder_mead(rosen, &[-1.2, 1.0], &NelderMeadConfig { max_evals: 20_000, ..Default::default() });
+        let r = nelder_mead(
+            rosen,
+            &[-1.2, 1.0],
+            &NelderMeadConfig { max_evals: 20_000, ..Default::default() },
+        );
         assert!(r.f < 1e-6, "rosenbrock residual {}", r.f);
         assert!((r.x[0] - 1.0).abs() < 1e-2);
         assert!((r.x[1] - 1.0).abs() < 1e-2);
@@ -167,7 +166,11 @@ mod tests {
 
     #[test]
     fn respects_eval_budget() {
-        let r = nelder_mead(|x| x[0] * x[0], &[100.0], &NelderMeadConfig { max_evals: 10, ..Default::default() });
+        let r = nelder_mead(
+            |x| x[0] * x[0],
+            &[100.0],
+            &NelderMeadConfig { max_evals: 10, ..Default::default() },
+        );
         assert!(r.evals <= 13); // budget + final simplex evaluations margin
     }
 

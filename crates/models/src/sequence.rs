@@ -38,9 +38,9 @@ impl SequenceSpec {
         let mut base_names: Vec<String> = Vec::new();
         let mut tagged: Vec<Option<(String, usize)>> = Vec::with_capacity(names.len());
         for n in names {
-            let parsed = n.rsplit_once("_dq").and_then(|(base, lag)| {
-                lag.parse::<usize>().ok().map(|l| (base.to_string(), l))
-            });
+            let parsed = n
+                .rsplit_once("_dq")
+                .and_then(|(base, lag)| lag.parse::<usize>().ok().map(|l| (base.to_string(), l)));
             if let Some((base, lag)) = &parsed {
                 if (1..=k).contains(lag) && !base_names.contains(base) {
                     base_names.push(base.clone());
@@ -112,11 +112,21 @@ mod tests {
 
     fn toy_names() -> Vec<String> {
         [
-            "bias", "E_dq4", "A_dq4", // lag 4 (R_dq4 dropped)
-            "R_dq3", "E_dq3", "A_dq3",
-            "R_dq2", "E_dq2", "A_dq2",
-            "R_dq1", "E_dq1", "A_dq1",
-            "E_dq0", "A_dq0", "quarter_q1",
+            "bias",
+            "E_dq4",
+            "A_dq4", // lag 4 (R_dq4 dropped)
+            "R_dq3",
+            "E_dq3",
+            "A_dq3",
+            "R_dq2",
+            "E_dq2",
+            "A_dq2",
+            "R_dq1",
+            "E_dq1",
+            "A_dq1",
+            "E_dq0",
+            "A_dq0",
+            "quarter_q1",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -128,7 +138,7 @@ mod tests {
         let spec = SequenceSpec::derive(&toy_names(), 4);
         assert_eq!(spec.num_steps(), 4);
         assert_eq!(spec.base_names, vec!["E", "A", "R"]); // first-seen order
-        // Oldest step (lag 4): E at col 1, A at col 2, R missing.
+                                                          // Oldest step (lag 4): E at col 1, A at col 2, R missing.
         assert_eq!(spec.steps[0], vec![Some(1), Some(2), None]);
         // Newest step (lag 1): R col 9, E col 10, A col 11.
         assert_eq!(spec.steps[3], vec![Some(10), Some(11), Some(9)]);

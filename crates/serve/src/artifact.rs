@@ -1,0 +1,246 @@
+//! The trained-model artifact: everything a serving process needs to
+//! score companies without retraining — and without the training-side
+//! crates' autodiff machinery ever running.
+//!
+//! An artifact is a single JSON document (floats are written with
+//! shortest-round-trip formatting, so parameters survive export →
+//! import bit-for-bit). The layout is versioned: [`FORMAT_VERSION`] is
+//! embedded on export and checked on load, so a serving binary refuses
+//! an artifact written by an incompatible build instead of
+//! mis-scoring it.
+
+use ams_core::{AmsModel, ModelSnapshot};
+use ams_data::Standardizer;
+use ams_graph::CompanyGraph;
+use ams_tensor::Matrix;
+
+/// Current artifact layout version. Bump on any breaking change to
+/// [`ModelArtifact`] or the structures it embeds.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Where an artifact came from: enough to reproduce or audit it.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Provenance {
+    /// Tool that produced the artifact (e.g. `train_and_export`).
+    pub created_by: String,
+    /// Free-form description (dataset, fold, experiment id…).
+    pub description: String,
+    /// Training seed, duplicated out of the config for quick audit.
+    pub seed: u64,
+}
+
+/// A self-contained, versioned export of a fitted AMS model.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ModelArtifact {
+    /// Artifact layout version; must equal [`FORMAT_VERSION`] on load.
+    pub format_version: u32,
+    /// Registry name (e.g. `"ams"`).
+    pub name: String,
+    /// Monotonically increasing model version within a name.
+    pub version: u64,
+    /// Learned parameters: node-transform, GAT and generator weights,
+    /// the anchored LR `B_acr`, the assembly `β_c`, the training-graph
+    /// mask and the full [`ams_core::AmsConfig`].
+    pub snapshot: ModelSnapshot,
+    /// The correlation graph the model was trained on (CSR form; the
+    /// snapshot's dense mask is its materialization).
+    pub graph: CompanyGraph,
+    /// Train-split standardization stats, when the model was trained on
+    /// standardized features. Lets the server accept raw feature rows.
+    pub standardizer: Option<Standardizer>,
+    /// Feature column names, aligned with the feature width.
+    pub feature_names: Vec<String>,
+    /// Per-company slave-LR weights `β` (n×m, slave-column space),
+    /// materialized at [`ModelArtifact::reference_features`]. The
+    /// single-company fast path is a dot product against one row.
+    pub slave_weights: Matrix,
+    /// The (standardized) feature matrix the slave weights were
+    /// materialized at — one row per graph node.
+    pub reference_features: Matrix,
+    /// Reproducibility metadata.
+    pub provenance: Provenance,
+}
+
+impl ModelArtifact {
+    /// Export a fitted model. Materializes the per-company slave
+    /// weights by running the master once on `reference_features`.
+    ///
+    /// # Panics
+    /// Panics if the model is unfitted or `reference_features` has the
+    /// wrong row count (both are caller bugs, not runtime conditions).
+    #[allow(clippy::too_many_arguments)] // an export IS the bundling of these inputs
+    pub fn export(
+        name: &str,
+        version: u64,
+        model: &AmsModel,
+        graph: &CompanyGraph,
+        standardizer: Option<&Standardizer>,
+        feature_names: &[String],
+        reference_features: &Matrix,
+        provenance: Provenance,
+    ) -> Self {
+        let (slave_weights, _beta_v) = model.slave_weights(reference_features);
+        Self {
+            format_version: FORMAT_VERSION,
+            name: name.to_string(),
+            version,
+            snapshot: model.snapshot(),
+            graph: graph.clone(),
+            standardizer: standardizer.cloned(),
+            feature_names: feature_names.to_vec(),
+            slave_weights,
+            reference_features: reference_features.clone(),
+            provenance,
+        }
+    }
+
+    /// Serialize to a JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("artifact serialization is infallible")
+    }
+
+    /// Parse and validate a JSON artifact. The format version is
+    /// checked *before* the full structure is decoded so a future
+    /// layout fails with "unsupported version", not a field error.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let value = serde_json::from_str::<serde::Value>(json)
+            .map_err(|e| format!("artifact: invalid JSON: {e}"))?;
+        let version = value
+            .get("format_version")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| "artifact: missing format_version".to_string())?;
+        if version != FORMAT_VERSION as f64 {
+            return Err(format!(
+                "artifact: unsupported format_version {version} (this build reads {FORMAT_VERSION})"
+            ));
+        }
+        let artifact: ModelArtifact =
+            serde::Deserialize::from_value(&value).map_err(|e| format!("artifact: {e}"))?;
+        artifact.validate()?;
+        Ok(artifact)
+    }
+
+    /// Cross-field consistency checks, run on every load.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.graph.num_nodes();
+        if self.slave_weights.rows() != n {
+            return Err(format!(
+                "artifact: slave_weights has {} rows but the graph has {n} nodes",
+                self.slave_weights.rows()
+            ));
+        }
+        if self.reference_features.rows() != n {
+            return Err(format!(
+                "artifact: reference_features has {} rows but the graph has {n} nodes",
+                self.reference_features.rows()
+            ));
+        }
+        if !self.feature_names.is_empty()
+            && self.feature_names.len() != self.reference_features.cols()
+        {
+            return Err(format!(
+                "artifact: {} feature names for width {}",
+                self.feature_names.len(),
+                self.reference_features.cols()
+            ));
+        }
+        if let Some(st) = &self.standardizer {
+            if st.width() != self.reference_features.cols() {
+                return Err(format!(
+                    "artifact: standardizer width {} != feature width {}",
+                    st.width(),
+                    self.reference_features.cols()
+                ));
+            }
+        }
+        match &self.snapshot.mask {
+            Some(mask) if mask.rows() == n && mask.cols() == n => {}
+            Some(mask) => {
+                return Err(format!(
+                    "artifact: mask is {}x{} but the graph has {n} nodes",
+                    mask.rows(),
+                    mask.cols()
+                ))
+            }
+            None => return Err("artifact: snapshot has no mask (unfitted model?)".to_string()),
+        }
+        let d = self.reference_features.cols();
+        if let Some(cols) = &self.snapshot.config.slave_cols {
+            if cols.iter().any(|&c| c >= d) {
+                return Err("artifact: slave column index out of feature range".to_string());
+            }
+            if self.slave_weights.cols() != cols.len() {
+                return Err(format!(
+                    "artifact: slave_weights width {} != {} slave columns",
+                    self.slave_weights.cols(),
+                    cols.len()
+                ));
+            }
+        } else if self.slave_weights.cols() != d {
+            return Err(format!(
+                "artifact: slave_weights width {} != feature width {d}",
+                self.slave_weights.cols()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of companies (graph nodes) this model scores.
+    pub fn num_companies(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Full feature width the model consumes.
+    pub fn feature_width(&self) -> usize {
+        self.reference_features.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trained_fixture;
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        let fx = trained_fixture(31);
+        let json = fx.artifact.to_json();
+        let back = ModelArtifact::from_json(&json).expect("round trip");
+        assert_eq!(back.format_version, FORMAT_VERSION);
+        assert_eq!(back.name, fx.artifact.name);
+        assert_eq!(back.version, fx.artifact.version);
+        assert_eq!(back.graph, fx.artifact.graph);
+        assert_eq!(back.feature_names, fx.artifact.feature_names);
+        let (a, b) = (&back.slave_weights, &fx.artifact.slave_weights);
+        assert_eq!(a.shape(), b.shape());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert_eq!(a[(i, j)].to_bits(), b[(i, j)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_format_version() {
+        let fx = trained_fixture(32);
+        let mut bumped = fx.artifact.clone();
+        bumped.format_version = FORMAT_VERSION + 1;
+        let err = ModelArtifact::from_json(&bumped.to_json()).unwrap_err();
+        assert!(err.contains("unsupported format_version"), "{err}");
+    }
+
+    #[test]
+    fn rejects_inconsistent_shapes() {
+        let fx = trained_fixture(33);
+        let mut bad = fx.artifact.clone();
+        bad.slave_weights = Matrix::zeros(1, bad.slave_weights.cols());
+        let err = ModelArtifact::from_json(&bad.to_json()).unwrap_err();
+        assert!(err.contains("slave_weights"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(ModelArtifact::from_json("not json").is_err());
+        assert!(ModelArtifact::from_json("{}").is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Concurrent load generator for the `serve` binary.
+//!
+//! ```text
+//! loadgen [--addr 127.0.0.1:7878] [--connections 8] [--duration 5] [--mode predict|slave_weights]
+//! ```
+//!
+//! Opens N persistent connections, sends single-company requests as
+//! fast as the server answers them, and reports total throughput plus
+//! mean/p50/p99 latency measured client-side.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    connections: usize,
+    duration_secs: u64,
+    mode: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        connections: 8,
+        duration_secs: 5,
+        mode: "predict".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--connections" => {
+                args.connections =
+                    value("--connections")?.parse().map_err(|e| format!("--connections: {e}"))?;
+            }
+            "--duration" => {
+                args.duration_secs =
+                    value("--duration")?.parse().map_err(|e| format!("--duration: {e}"))?;
+            }
+            "--mode" => args.mode = value("--mode")?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--addr HOST:PORT] [--connections N] \
+                     [--duration SECONDS] [--mode predict|slave_weights]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.mode != "predict" && args.mode != "slave_weights" {
+        return Err(format!("--mode must be predict or slave_weights, got `{}`", args.mode));
+    }
+    Ok(args)
+}
+
+/// One round trip: write a request line, read the response line.
+fn round_trip(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    request: &str,
+    line: &mut String,
+) -> Result<serde::Value, String> {
+    writer.write_all(request.as_bytes()).map_err(|e| e.to_string())?;
+    writer.write_all(b"\n").map_err(|e| e.to_string())?;
+    line.clear();
+    reader.read_line(line).map_err(|e| e.to_string())?;
+    if line.is_empty() {
+        return Err("server closed the connection".to_string());
+    }
+    serde_json::from_str(line.trim()).map_err(|e| format!("bad response: {e}"))
+}
+
+fn connect(addr: &str) -> Result<(TcpStream, BufReader<TcpStream>), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    Ok((stream, reader))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Discover the published model's shape from a health probe.
+    let (mut probe_w, mut probe_r) = match connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut line = String::new();
+    let health = round_trip(&mut probe_w, &mut probe_r, r#"{"type":"health"}"#, &mut line)
+        .unwrap_or_else(|e| {
+            eprintln!("loadgen: health probe failed: {e}");
+            std::process::exit(1);
+        });
+    let models = health.get("models").and_then(serde::Value::as_array).unwrap_or(&[]);
+    let first = models.first().unwrap_or_else(|| {
+        eprintln!("loadgen: server has no published models");
+        std::process::exit(1);
+    });
+    let model = first.get("name").and_then(serde::Value::as_str).unwrap_or("ams-demo").to_string();
+    let companies =
+        first.get("companies").and_then(serde::Value::as_f64).unwrap_or(1.0).max(1.0) as usize;
+    let width =
+        first.get("feature_width").and_then(serde::Value::as_f64).unwrap_or(1.0).max(1.0) as usize;
+    println!(
+        "target {} · model {model} · {companies} companies · feature width {width} · \
+         {} connections · {}s · mode {}",
+        args.addr, args.connections, args.duration_secs, args.mode
+    );
+
+    // A fixed synthetic feature row; the server does the same work
+    // regardless of the values.
+    let features: Vec<String> =
+        (0..width).map(|j| format!("{:.3}", 0.1 + 0.01 * j as f64)).collect();
+    let features = features.join(",");
+
+    let deadline = Instant::now() + Duration::from_secs(args.duration_secs);
+    let failed = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..args.connections.max(1))
+        .map(|conn_id| {
+            let addr = args.addr.clone();
+            let model = model.clone();
+            let mode = args.mode.clone();
+            let features = features.clone();
+            let failed = Arc::clone(&failed);
+            std::thread::spawn(move || -> Vec<u64> {
+                let (mut w, mut r) = match connect(&addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("loadgen[{conn_id}]: {e}");
+                        failed.store(true, Ordering::Relaxed);
+                        return Vec::new();
+                    }
+                };
+                let mut latencies = Vec::with_capacity(1 << 16);
+                let mut line = String::new();
+                let mut company = conn_id;
+                while Instant::now() < deadline {
+                    let request = match mode.as_str() {
+                        "predict" => format!(
+                            r#"{{"type":"predict","model":"{model}","company":{company},"features":[{features}]}}"#
+                        ),
+                        _ => format!(
+                            r#"{{"type":"slave_weights","model":"{model}","company":{company}}}"#
+                        ),
+                    };
+                    let started = Instant::now();
+                    match round_trip(&mut w, &mut r, &request, &mut line) {
+                        Ok(resp) => {
+                            if resp.get("ok").and_then(serde::Value::as_bool) != Some(true) {
+                                eprintln!("loadgen[{conn_id}]: error response: {}", line.trim());
+                                failed.store(true, Ordering::Relaxed);
+                                return latencies;
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("loadgen[{conn_id}]: {e}");
+                            failed.store(true, Ordering::Relaxed);
+                            return latencies;
+                        }
+                    }
+                    latencies.push(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                    company = (company + 1) % companies;
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    let mut all: Vec<u64> = Vec::new();
+    for h in handles {
+        all.extend(h.join().expect("loadgen worker panicked"));
+    }
+
+    if all.is_empty() {
+        eprintln!("loadgen: no successful requests");
+        std::process::exit(1);
+    }
+    all.sort_unstable();
+    let total = all.len();
+    let throughput = total as f64 / args.duration_secs.max(1) as f64;
+    let mean = all.iter().sum::<u64>() as f64 / total as f64;
+    let quantile = |q: f64| all[((total as f64 * q) as usize).min(total - 1)];
+    println!(
+        "{total} requests in {}s → {:.0} req/s · latency mean {:.1} µs · p50 {:.1} µs · p99 {:.1} µs",
+        args.duration_secs,
+        throughput,
+        mean / 1_000.0,
+        quantile(0.50) as f64 / 1_000.0,
+        quantile(0.99) as f64 / 1_000.0,
+    );
+    if failed.load(Ordering::Relaxed) {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,129 @@
+//! The AMS prediction server.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:7878] [--workers 4] [--artifact PATH]... [--demo] [--seed 7]
+//! ```
+//!
+//! With `--artifact`, loads and publishes each JSON artifact (repeat
+//! the flag to publish several models/versions). With `--demo` (or no
+//! artifacts at all), trains a small model on a seeded synthetic
+//! universe and publishes it as `ams-demo` v1. Speak JSON lines to the
+//! printed address; see the README "Serving" section for the protocol.
+
+use ams_serve::{demo, ModelArtifact, Registry, Server, ServerConfig};
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    workers: usize,
+    artifacts: Vec<String>,
+    demo: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        workers: 4,
+        artifacts: Vec::new(),
+        demo: false,
+        seed: 7,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.workers =
+                    value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--artifact" => args.artifacts.push(value("--artifact")?),
+            "--demo" => args.demo = true,
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve [--addr HOST:PORT] [--workers N] \
+                     [--artifact PATH]... [--demo] [--seed N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let registry = Arc::new(Registry::new());
+    for path in &args.artifacts {
+        let json = match std::fs::read_to_string(path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("serve: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let artifact = match ModelArtifact::from_json(&json) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("serve: {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let (name, version) = (artifact.name.clone(), artifact.version);
+        match registry.publish(artifact) {
+            Ok(engine) => println!(
+                "published {name} v{version} ({} companies, width {})",
+                engine.num_companies(),
+                engine.feature_width()
+            ),
+            Err(e) => {
+                eprintln!("serve: publish {name} v{version}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.demo || args.artifacts.is_empty() {
+        println!("training demo model (seed {})...", args.seed);
+        let bundle = demo::train_demo(args.seed);
+        let engine = registry.publish(bundle.artifact).expect("demo artifact publishes");
+        println!(
+            "published {} v{} ({} companies, width {})",
+            engine.artifact().name,
+            engine.artifact().version,
+            engine.num_companies(),
+            engine.feature_width()
+        );
+    }
+
+    let server = match Server::start(
+        ServerConfig { addr: args.addr.clone(), workers: args.workers },
+        registry,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "listening on {} with {} workers (JSON lines; try {{\"type\":\"health\"}})",
+        server.local_addr(),
+        args.workers
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,381 @@
+//! Tape-free forward-only scoring.
+//!
+//! Training-side `AmsModel::predict` replays the master→slave forward
+//! pass on the autodiff [`ams_tensor::Graph`] — every intermediate is
+//! recorded on a tape so gradients *could* be taken, which serving
+//! never needs. [`Engine`] runs the same arithmetic directly on
+//! [`Matrix`] values: same primitives in the same order, so results
+//! are bit-for-bit identical to the tape, with no tape allocation.
+//!
+//! Two paths:
+//! * **batch** ([`Engine::predict_batch`]) re-runs the master and the
+//!   slave generation for a fresh feature matrix (one row per graph
+//!   node) — what a nightly re-score over updated panels uses;
+//! * **fast** ([`Engine::predict_company`]) scores one company as a
+//!   dot product against its materialized slave-LR weights from the
+//!   artifact — the low-latency online path. At the artifact's
+//!   reference features it agrees with the batch path exactly; for
+//!   fresh features it holds the company's β fixed (the master is not
+//!   re-run), which is the standard export-the-entity-parameters
+//!   serving trade-off.
+
+use crate::artifact::ModelArtifact;
+use ams_core::{GatHead, GatLayer, LinearLayer};
+use ams_tensor::Matrix;
+
+/// A scoring-ready model: a validated artifact plus precomputed
+/// lookup structures. Cheap to clone behind an `Arc`; immutable, so
+/// freely shared across server workers.
+#[derive(Debug)]
+pub struct Engine {
+    artifact: ModelArtifact,
+    /// 0/1 projection from full feature space to slave columns
+    /// (`d×m`), `None` when the slave model uses every column.
+    selection: Option<Matrix>,
+}
+
+impl Engine {
+    /// Validate an artifact and prepare it for scoring.
+    pub fn new(artifact: ModelArtifact) -> Result<Self, String> {
+        artifact.validate()?;
+        let d = artifact.feature_width();
+        let selection = artifact.snapshot.config.slave_cols.as_ref().map(|cols| {
+            let mut s = Matrix::zeros(d, cols.len());
+            for (j, &c) in cols.iter().enumerate() {
+                s[(c, j)] = 1.0;
+            }
+            s
+        });
+        Ok(Self { artifact, selection })
+    }
+
+    /// The artifact this engine scores with.
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.artifact
+    }
+
+    /// Number of companies (graph nodes).
+    pub fn num_companies(&self) -> usize {
+        self.artifact.num_companies()
+    }
+
+    /// Full feature width the model consumes.
+    pub fn feature_width(&self) -> usize {
+        self.artifact.feature_width()
+    }
+
+    /// Fast path: score one company against its materialized slave-LR
+    /// weights. `features` is a full-width (standardized) feature row;
+    /// the slave-column projection happens here.
+    pub fn predict_company(&self, company: usize, features: &[f64]) -> Result<f64, String> {
+        let n = self.num_companies();
+        if company >= n {
+            return Err(format!("company {company} out of range (model has {n})"));
+        }
+        let d = self.feature_width();
+        if features.len() != d {
+            return Err(format!("feature width {} != model width {d}", features.len()));
+        }
+        let beta = self.artifact.slave_weights.row(company);
+        let pred = match &self.artifact.snapshot.config.slave_cols {
+            // Σ_j x[cols[j]] · β_j in slave-column order — exactly the
+            // x·S projection followed by the row-wise dot.
+            Some(cols) => cols.iter().zip(beta).map(|(&c, &b)| features[c] * b).sum(),
+            None => features.iter().zip(beta).map(|(&x, &b)| x * b).sum(),
+        };
+        Ok(pred)
+    }
+
+    /// The materialized slave-LR weight row for one company, aligned
+    /// with the slave columns.
+    pub fn slave_weights_row(&self, company: usize) -> Result<&[f64], String> {
+        let n = self.num_companies();
+        if company >= n {
+            return Err(format!("company {company} out of range (model has {n})"));
+        }
+        Ok(self.artifact.slave_weights.row(company))
+    }
+
+    /// Names of the slave-weight columns (subset of the feature names
+    /// when `slave_cols` is configured). Empty when the artifact
+    /// carries no names.
+    pub fn slave_feature_names(&self) -> Vec<String> {
+        let names = &self.artifact.feature_names;
+        if names.is_empty() {
+            return Vec::new();
+        }
+        match &self.artifact.snapshot.config.slave_cols {
+            Some(cols) => cols.iter().map(|&c| names[c].clone()).collect(),
+            None => names.clone(),
+        }
+    }
+
+    /// Batch path: re-run master→slave generation on a fresh feature
+    /// matrix (one row per graph node) and score every company.
+    /// Bit-for-bit equal to `AmsModel::predict` on the same input.
+    pub fn predict_batch(&self, x: &Matrix) -> Result<Matrix, String> {
+        let (pred, _, _) = self.run(x)?;
+        Ok(pred)
+    }
+
+    /// Batch slave weights `(assembled β, generated β_v)`, both `n×m` —
+    /// the serving-side counterpart of `AmsModel::slave_weights`.
+    pub fn slave_weights_batch(&self, x: &Matrix) -> Result<(Matrix, Matrix), String> {
+        let (_, beta_v, beta) = self.run(x)?;
+        Ok((beta, beta_v))
+    }
+
+    /// The forward pass of `AmsModel::forward`, replayed value-only.
+    /// Every step reuses the identical `Matrix` primitive the tape op
+    /// wraps, in the identical order — that is what makes the engine
+    /// exactly (not approximately) equal to the training-side predict.
+    fn run(&self, x: &Matrix) -> Result<(Matrix, Matrix, Matrix), String> {
+        let snap = &self.artifact.snapshot;
+        let mask = snap.mask.as_ref().expect("validated on load");
+        if x.rows() != mask.rows() {
+            return Err(format!(
+                "batch has {} rows but the model graph has {} nodes",
+                x.rows(),
+                mask.rows()
+            ));
+        }
+        if x.cols() != self.feature_width() {
+            return Err(format!(
+                "feature width {} != model width {}",
+                x.cols(),
+                self.feature_width()
+            ));
+        }
+
+        // Node transform (Eq. 1); dropout is identity at eval time.
+        let mut h = x.clone();
+        for LinearLayer { w, b } in &snap.nt {
+            h = relu(&add_row_broadcast(&h.matmul(w), b));
+        }
+        let nt_out = h.clone();
+        // GAT stack (Eqs. 2–3).
+        for layer in &snap.gat {
+            h = gat_layer_forward(layer, &h, mask);
+        }
+        if snap.config.residual {
+            h = h.hcat(&nt_out);
+        }
+        // Generator M (Eq. 6): hidden ReLU layers then a linear map.
+        let n_gen = snap.gen.len();
+        for (i, LinearLayer { w, b }) in snap.gen.iter().enumerate() {
+            let z = add_row_broadcast(&h.matmul(w), b);
+            h = if i + 1 < n_gen { relu(&z) } else { z };
+        }
+        let beta_v = h;
+
+        // Model assembly (Eq. 10): β = γ β_v + (1−γ) β_c.
+        let gamma = snap.config.gamma;
+        let bc_rows = Matrix::ones(x.rows(), 1).matmul(&snap.beta_c.t());
+        let beta = affine(&beta_v, gamma).add(&affine(&bc_rows, 1.0 - gamma));
+
+        // Slave-LR evaluation on the slave columns.
+        let x_slave = match &self.selection {
+            Some(sel) => x.matmul(sel),
+            None => x.clone(),
+        };
+        let pred = rowwise_dot(&x_slave, &beta);
+        Ok((pred, beta_v, beta))
+    }
+}
+
+/// `Graph::relu` value semantics.
+fn relu(x: &Matrix) -> Matrix {
+    x.map(|e| e.max(0.0))
+}
+
+/// `Graph::leaky_relu` value semantics.
+fn leaky_relu(x: &Matrix, alpha: f64) -> Matrix {
+    x.map(|e| if e > 0.0 { e } else { alpha * e })
+}
+
+/// `Graph::affine`/`scale` value semantics (`alpha·x + 0.0`; the
+/// `+ 0.0` is kept so `-0.0` entries normalize exactly as on the tape).
+fn affine(x: &Matrix, alpha: f64) -> Matrix {
+    x.map(|e| alpha * e + 0.0)
+}
+
+/// `Graph::add_row_broadcast` value semantics.
+fn add_row_broadcast(x: &Matrix, bias: &Matrix) -> Matrix {
+    assert_eq!(bias.rows(), 1, "add_row_broadcast: bias must be a row vector");
+    assert_eq!(bias.cols(), x.cols(), "add_row_broadcast: width mismatch");
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        for c in 0..out.cols() {
+            out[(r, c)] += bias[(0, c)];
+        }
+    }
+    out
+}
+
+/// `Graph::outer_sum` value semantics: `out[i][j] = u[i] + v[j]`.
+fn outer_sum(u: &Matrix, v: &Matrix) -> Matrix {
+    assert_eq!(u.cols(), 1, "outer_sum: u must be a column vector");
+    assert_eq!(v.cols(), 1, "outer_sum: v must be a column vector");
+    let mut out = Matrix::zeros(u.rows(), v.rows());
+    for i in 0..u.rows() {
+        for j in 0..v.rows() {
+            out[(i, j)] = u[(i, 0)] + v[(j, 0)];
+        }
+    }
+    out
+}
+
+/// `Graph::masked_softmax_rows` value semantics, including the
+/// fully-masked-row → all-zeros case for isolated nodes.
+fn masked_softmax_rows(x: &Matrix, mask: &Matrix) -> Matrix {
+    assert_eq!(x.shape(), mask.shape(), "masked_softmax_rows: mask shape mismatch");
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let mut maxv = f64::NEG_INFINITY;
+        for c in 0..x.cols() {
+            if mask[(r, c)] != 0.0 {
+                maxv = maxv.max(x[(r, c)]);
+            }
+        }
+        if maxv == f64::NEG_INFINITY {
+            continue;
+        }
+        let mut denom = 0.0;
+        for c in 0..x.cols() {
+            if mask[(r, c)] != 0.0 {
+                let e = (x[(r, c)] - maxv).exp();
+                out[(r, c)] = e;
+                denom += e;
+            }
+        }
+        for c in 0..x.cols() {
+            out[(r, c)] /= denom;
+        }
+    }
+    out
+}
+
+/// `Graph::rowwise_dot` value semantics.
+fn rowwise_dot(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "rowwise_dot: shape mismatch");
+    let mut out = Matrix::zeros(a.rows(), 1);
+    for r in 0..a.rows() {
+        out[(r, 0)] = a.row(r).iter().zip(b.row(r)).map(|(x, y)| x * y).sum();
+    }
+    out
+}
+
+/// One attention head, value-only (`GatHead::forward` minus the tape).
+fn gat_head_forward(head: &GatHead, x: &Matrix, mask: &Matrix, leaky_slope: f64) -> Matrix {
+    let wx = x.matmul(&head.w);
+    let s_l = wx.matmul(&head.a_left);
+    let s_r = wx.matmul(&head.a_right);
+    let logits = leaky_relu(&outer_sum(&s_l, &s_r), leaky_slope);
+    let attn = masked_softmax_rows(&logits, mask);
+    attn.matmul(&wx)
+}
+
+/// One GAT layer, value-only (`GatLayer::forward` minus the tape).
+fn gat_layer_forward(layer: &GatLayer, x: &Matrix, mask: &Matrix) -> Matrix {
+    let mut out: Option<Matrix> = None;
+    for head in &layer.heads {
+        let h = relu(&gat_head_forward(head, x, mask, layer.leaky_slope));
+        out = Some(match out {
+            None => h,
+            Some(acc) => acc.hcat(&h),
+        });
+    }
+    out.expect("gat layer has at least one head")
+}
+
+/// Convenience: sanity-check an engine against a snapshot's own
+/// reference features. Returns the max absolute deviation between the
+/// fast path and the batch path — `0.0` for a well-formed artifact.
+pub fn fast_vs_batch_deviation(engine: &Engine) -> f64 {
+    let x = &engine.artifact().reference_features;
+    let batch = engine.predict_batch(x).expect("reference features always score");
+    let mut worst = 0.0f64;
+    for i in 0..engine.num_companies() {
+        let fast = engine.predict_company(i, x.row(i)).expect("in range");
+        worst = worst.max((fast - batch[(i, 0)]).abs());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trained_fixture;
+
+    #[test]
+    fn batch_path_matches_model_predict_bitwise() {
+        let fx = trained_fixture(41);
+        let engine = Engine::new(fx.artifact.clone()).unwrap();
+        let want = fx.model.predict(&fx.artifact.reference_features);
+        let got = engine.predict_batch(&fx.artifact.reference_features).unwrap();
+        assert_eq!(want.shape(), got.shape());
+        for i in 0..want.rows() {
+            assert_eq!(
+                want[(i, 0)].to_bits(),
+                got[(i, 0)].to_bits(),
+                "row {i}: {} vs {}",
+                want[(i, 0)],
+                got[(i, 0)]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_path_matches_on_fresh_features() {
+        // Not just the export-time features: any same-shape batch must
+        // agree with the tape, to well under the 1e-10 acceptance bound.
+        let fx = trained_fixture(42);
+        let engine = Engine::new(fx.artifact.clone()).unwrap();
+        let fresh = fx.artifact.reference_features.map(|v| v * 1.25 + 0.03);
+        let want = fx.model.predict(&fresh);
+        let got = engine.predict_batch(&fresh).unwrap();
+        for i in 0..want.rows() {
+            assert!(
+                (want[(i, 0)] - got[(i, 0)]).abs() < 1e-10,
+                "row {i}: {} vs {}",
+                want[(i, 0)],
+                got[(i, 0)]
+            );
+        }
+    }
+
+    #[test]
+    fn slave_weights_match_model() {
+        let fx = trained_fixture(43);
+        let engine = Engine::new(fx.artifact.clone()).unwrap();
+        let x = &fx.artifact.reference_features;
+        let (want_beta, want_beta_v) = fx.model.slave_weights(x);
+        let (got_beta, got_beta_v) = engine.slave_weights_batch(x).unwrap();
+        for (a, b) in [(&want_beta, &got_beta), (&want_beta_v, &got_beta_v)] {
+            assert_eq!(a.shape(), b.shape());
+            for i in 0..a.rows() {
+                for j in 0..a.cols() {
+                    assert_eq!(a[(i, j)].to_bits(), b[(i, j)].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_equals_batch_at_reference_features() {
+        let fx = trained_fixture(44);
+        let engine = Engine::new(fx.artifact).unwrap();
+        assert_eq!(fast_vs_batch_deviation(&engine), 0.0);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let fx = trained_fixture(45);
+        let engine = Engine::new(fx.artifact).unwrap();
+        assert!(engine.predict_company(10_000, &vec![0.0; engine.feature_width()]).is_err());
+        assert!(engine.predict_company(0, &[1.0]).is_err());
+        assert!(engine.predict_batch(&Matrix::zeros(1, engine.feature_width())).is_err());
+        assert!(engine.predict_batch(&Matrix::zeros(engine.num_companies(), 1)).is_err());
+        assert!(engine.slave_weights_row(10_000).is_err());
+    }
+}

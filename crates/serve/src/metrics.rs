@@ -1,0 +1,178 @@
+//! Lock-free serving metrics: request/error counters and a latency
+//! histogram, all plain atomics so the hot path never takes a lock.
+//!
+//! The histogram uses power-of-two nanosecond buckets (1 µs, 2 µs, …,
+//! ~4 s, +overflow). Quantiles are read back as the upper bound of the
+//! bucket containing the requested rank — a ≤ 2× overestimate by
+//! construction, which is the right bias for latency reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Smallest histogram bucket: everything below 1 µs lands in bucket 0.
+const BASE_NANOS: u64 = 1_000;
+/// Number of power-of-two buckets before the overflow bucket.
+const N_BUCKETS: usize = 23;
+
+/// Serving counters + latency histogram. Cheap to share (`Arc`); all
+/// methods take `&self`.
+#[derive(Default)]
+pub struct Metrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    predict: AtomicU64,
+    batch_predict: AtomicU64,
+    slave_weights: AtomicU64,
+    /// `buckets[i]` counts latencies in `[BASE·2^(i-1), BASE·2^i)`;
+    /// the last bucket is the overflow.
+    buckets: [AtomicU64; N_BUCKETS + 1],
+    /// Total latency in nanoseconds (for the mean).
+    total_nanos: AtomicU64,
+}
+
+/// A point-in-time copy of the metrics, for reporting.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    pub requests: u64,
+    pub errors: u64,
+    pub predict: u64,
+    pub batch_predict: u64,
+    pub slave_weights: u64,
+    pub mean_latency_us: f64,
+    pub p50_latency_us: f64,
+    pub p99_latency_us: f64,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one finished request. `kind` is the request type string
+    /// from the wire protocol; unknown kinds still count as requests.
+    pub fn record(&self, kind: &str, latency: Duration, is_error: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        match kind {
+            "predict" => self.predict.fetch_add(1, Ordering::Relaxed),
+            "batch_predict" => self.batch_predict.fetch_add(1, Ordering::Relaxed),
+            "slave_weights" => self.slave_weights.fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        };
+        let nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy out the current values. Buckets are read without a global
+    /// lock, so a snapshot taken mid-request may be off by a count —
+    /// fine for monitoring.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        let mean_nanos = if total > 0 {
+            self.total_nanos.load(Ordering::Relaxed) as f64 / total as f64
+        } else {
+            0.0
+        };
+        MetricsSnapshot {
+            requests,
+            errors: self.errors.load(Ordering::Relaxed),
+            predict: self.predict.load(Ordering::Relaxed),
+            batch_predict: self.batch_predict.load(Ordering::Relaxed),
+            slave_weights: self.slave_weights.load(Ordering::Relaxed),
+            mean_latency_us: mean_nanos / 1_000.0,
+            p50_latency_us: quantile_nanos(&counts, total, 0.50) / 1_000.0,
+            p99_latency_us: quantile_nanos(&counts, total, 0.99) / 1_000.0,
+        }
+    }
+}
+
+/// Histogram bucket for a latency in nanoseconds.
+fn bucket_index(nanos: u64) -> usize {
+    if nanos < BASE_NANOS {
+        return 0;
+    }
+    let mut bound = BASE_NANOS;
+    for i in 0..N_BUCKETS {
+        if nanos < bound {
+            return i;
+        }
+        bound = bound.saturating_mul(2);
+    }
+    N_BUCKETS
+}
+
+/// Upper bound (ns) of the bucket holding quantile `q`.
+fn quantile_nanos(counts: &[u64], total: u64, q: f64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            // Bucket i spans up to BASE·2^i (bucket 0 = sub-µs).
+            return (BASE_NANOS << i.min(N_BUCKETS)) as f64;
+        }
+    }
+    (BASE_NANOS << N_BUCKETS) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.record("predict", Duration::from_micros(10), false);
+        m.record("predict", Duration::from_micros(20), false);
+        m.record("batch_predict", Duration::from_micros(100), true);
+        m.record("health", Duration::from_micros(1), false);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.predict, 2);
+        assert_eq!(s.batch_predict, 1);
+        assert_eq!(s.slave_weights, 0);
+        assert!(s.mean_latency_us > 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bracketing() {
+        let m = Metrics::new();
+        for _ in 0..99 {
+            m.record("predict", Duration::from_micros(50), false);
+        }
+        m.record("predict", Duration::from_millis(80), false);
+        let s = m.snapshot();
+        // p50 must sit in the ~50 µs range (≤ 2× bucket bias), p99 must
+        // see the slow outlier.
+        assert!(s.p50_latency_us >= 50.0 && s.p50_latency_us <= 128.0, "{}", s.p50_latency_us);
+        assert!(s.p99_latency_us >= 50.0, "{}", s.p99_latency_us);
+        assert!(s.p50_latency_us <= s.p99_latency_us);
+    }
+
+    #[test]
+    fn bucket_index_monotone() {
+        let mut prev = 0;
+        for nanos in [0, 500, 1_000, 1_999, 2_000, 1_000_000, u64::MAX] {
+            let b = bucket_index(nanos);
+            assert!(b >= prev, "bucket not monotone at {nanos}");
+            prev = b;
+        }
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = Metrics::new().snapshot();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.p99_latency_us, 0.0);
+    }
+}

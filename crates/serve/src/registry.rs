@@ -1,0 +1,175 @@
+//! Named, versioned model registry with atomic hot-swap.
+//!
+//! Server workers hold the registry behind an `Arc` and resolve a
+//! model per request; publishing a new version takes the write lock
+//! only long enough to swap an `Arc<Engine>` in, so in-flight requests
+//! keep scoring against the engine they already resolved — the classic
+//! read-copy-update shape, built from `std::sync` only.
+
+use crate::artifact::ModelArtifact;
+use crate::engine::Engine;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// A name's live state: every retained version plus the active one.
+struct Entry {
+    /// Versions in publish order (ascending version number).
+    versions: Vec<Arc<Engine>>,
+}
+
+impl Entry {
+    fn active(&self) -> Arc<Engine> {
+        Arc::clone(self.versions.last().expect("entry never empty"))
+    }
+}
+
+/// Thread-safe model registry.
+#[derive(Default)]
+pub struct Registry {
+    inner: RwLock<HashMap<String, Entry>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validate and publish an artifact under its embedded name. The
+    /// new version must be strictly greater than the latest published
+    /// one — stale re-publishes are rejected instead of silently
+    /// rolling traffic back.
+    pub fn publish(&self, artifact: ModelArtifact) -> Result<Arc<Engine>, String> {
+        let engine = Arc::new(Engine::new(artifact)?);
+        let name = engine.artifact().name.clone();
+        let version = engine.artifact().version;
+        let mut map = self.inner.write().expect("registry lock poisoned");
+        let entry = map.entry(name).or_insert_with(|| Entry { versions: Vec::new() });
+        if let Some(latest) = entry.versions.last() {
+            let latest_v = latest.artifact().version;
+            if version <= latest_v {
+                return Err(format!(
+                    "version {version} is not newer than published version {latest_v}"
+                ));
+            }
+        }
+        entry.versions.push(Arc::clone(&engine));
+        Ok(engine)
+    }
+
+    /// The active (latest) engine for a name.
+    pub fn get(&self, name: &str) -> Option<Arc<Engine>> {
+        self.inner.read().expect("registry lock poisoned").get(name).map(Entry::active)
+    }
+
+    /// A specific retained version.
+    pub fn get_version(&self, name: &str, version: u64) -> Option<Arc<Engine>> {
+        let map = self.inner.read().expect("registry lock poisoned");
+        map.get(name)?.versions.iter().find(|e| e.artifact().version == version).map(Arc::clone)
+    }
+
+    /// `(name, active version, retained count)` for every model.
+    pub fn list(&self) -> Vec<(String, u64, usize)> {
+        let map = self.inner.read().expect("registry lock poisoned");
+        let mut out: Vec<(String, u64, usize)> = map
+            .iter()
+            .map(|(name, e)| (name.clone(), e.active().artifact().version, e.versions.len()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Drop old versions of `name`, keeping the newest `keep`. Returns
+    /// how many were dropped. In-flight requests holding a dropped
+    /// engine's `Arc` finish unharmed.
+    pub fn prune(&self, name: &str, keep: usize) -> usize {
+        let mut map = self.inner.write().expect("registry lock poisoned");
+        match map.get_mut(name) {
+            Some(e) if e.versions.len() > keep.max(1) => {
+                let drop_n = e.versions.len() - keep.max(1);
+                e.versions.drain(..drop_n);
+                drop_n
+            }
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trained_fixture;
+    use std::thread;
+
+    fn artifact_with_version(seed: u64, version: u64) -> ModelArtifact {
+        let mut a = trained_fixture(seed).artifact;
+        a.version = version;
+        a
+    }
+
+    #[test]
+    fn publish_get_and_version_ordering() {
+        let reg = Registry::new();
+        reg.publish(artifact_with_version(51, 1)).unwrap();
+        reg.publish(artifact_with_version(52, 2)).unwrap();
+        assert_eq!(reg.get("ams-demo").unwrap().artifact().version, 2);
+        assert_eq!(reg.get_version("ams-demo", 1).unwrap().artifact().version, 1);
+        assert!(reg.get("nope").is_none());
+        // Stale publish rejected.
+        let err = reg.publish(artifact_with_version(53, 2)).unwrap_err();
+        assert!(err.contains("not newer"), "{err}");
+        assert_eq!(reg.list(), vec![("ams-demo".to_string(), 2, 2)]);
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let reg = Registry::new();
+        for v in 1..=4 {
+            reg.publish(artifact_with_version(54, v)).unwrap();
+        }
+        assert_eq!(reg.prune("ams-demo", 2), 2);
+        assert!(reg.get_version("ams-demo", 1).is_none());
+        assert_eq!(reg.get("ams-demo").unwrap().artifact().version, 4);
+    }
+
+    #[test]
+    fn hot_swap_is_atomic_under_concurrent_reads() {
+        // Readers resolve + score while a writer publishes new
+        // versions; every resolved engine must stay fully usable.
+        let reg = Arc::new(Registry::new());
+        reg.publish(artifact_with_version(55, 1)).unwrap();
+        let width = reg.get("ams-demo").unwrap().feature_width();
+
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let engine = reg.get("ams-demo").expect("always published");
+                        engine.predict_company(0, &vec![0.1; width]).expect("scores");
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+
+        // Publish a few new versions while readers hammer the registry.
+        // Reuse the same artifact body (only the version differs) so the
+        // test spends its time on the swap, not on training.
+        let base = trained_fixture(55).artifact;
+        for v in 2..=5 {
+            let mut a = base.clone();
+            a.version = v;
+            reg.publish(a).unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+        assert_eq!(reg.get("ams-demo").unwrap().artifact().version, 5);
+    }
+}

@@ -1,0 +1,382 @@
+//! Concurrent TCP prediction server, `std::net` only.
+//!
+//! Wire protocol: JSON lines. Each request is one JSON object on one
+//! line; each response is one JSON object on one line. Connections are
+//! persistent — a client may pipeline many requests. Floats travel as
+//! shortest-round-trip JSON numbers, so a served prediction is
+//! bit-for-bit the engine's output.
+//!
+//! Requests (`model` may be omitted when exactly one model is
+//! published; `version` pins an older retained version):
+//!
+//! ```text
+//! {"type":"predict","model":"ams","company":3,"features":[...]}
+//! {"type":"predict","company":3,"features":[...],"raw":true}
+//! {"type":"batch_predict","features":[[...],[...],...]}
+//! {"type":"slave_weights","company":3}
+//! {"type":"health"}
+//! {"type":"stats"}
+//! ```
+//!
+//! Responses: `{"ok":true,...}` or `{"ok":false,"error":"..."}` — a
+//! bad request gets an error response on its line, never a dropped
+//! connection or a panic.
+
+use crate::engine::Engine;
+use crate::metrics::Metrics;
+use crate::registry::Registry;
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server settings.
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Fixed worker-thread count (min 1).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:0".to_string(), workers: 4 }
+    }
+}
+
+/// A running prediction server. Dropping without [`Server::shutdown`]
+/// detaches the threads; call `shutdown` for a clean stop.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+}
+
+impl Server {
+    /// Bind, spawn the acceptor and the worker pool, and return.
+    pub fn start(config: ServerConfig, registry: Arc<Registry>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(Metrics::new());
+
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let registry = Arc::clone(&registry);
+                let metrics = Arc::clone(&metrics);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || worker_loop(&rx, &registry, &metrics, &shutdown))
+            })
+            .collect();
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        if tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // `tx` drops here: workers drain the queue and exit.
+        });
+
+        Ok(Self { local_addr, shutdown, accept_handle: Some(accept_handle), workers, metrics })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Shared metrics handle.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Graceful shutdown: stop accepting, let workers finish the
+    /// request they are on, join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    registry: &Registry,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+) {
+    loop {
+        // Hold the queue lock only while dequeuing; the timeout lets the
+        // worker notice shutdown even when no connections arrive.
+        let conn = {
+            let guard = rx.lock().expect("connection queue lock poisoned");
+            guard.recv_timeout(Duration::from_millis(50))
+        };
+        match conn {
+            Ok(stream) => handle_connection(stream, registry, metrics, shutdown),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Registry,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    // A finite read timeout keeps an idle connection from pinning its
+    // worker past shutdown.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let (kind, response) = handle_request(line.trim(), registry, metrics);
+        let is_error = matches!(response.get("ok").and_then(Value::as_bool), Some(false) | None);
+        metrics.record(&kind, started.elapsed(), is_error);
+        let mut encoded =
+            serde_json::to_string(&response).expect("response serialization is infallible");
+        encoded.push('\n');
+        if writer.write_all(encoded.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Dispatch one request line. Returns `(request kind, response)`;
+/// every failure path becomes an `{"ok":false,...}` response.
+fn handle_request(line: &str, registry: &Registry, metrics: &Metrics) -> (String, Value) {
+    let parsed: Result<Value, _> = serde_json::from_str(line);
+    let request = match parsed {
+        Ok(v) => v,
+        Err(e) => return ("invalid".to_string(), error_response(&format!("invalid JSON: {e}"))),
+    };
+    let kind = request.get("type").and_then(Value::as_str).unwrap_or("missing").to_string();
+    let response = match kind.as_str() {
+        "predict" => handle_predict(&request, registry),
+        "batch_predict" => handle_batch_predict(&request, registry),
+        "slave_weights" => handle_slave_weights(&request, registry),
+        "health" => Ok(handle_health(registry)),
+        "stats" => Ok(Value::Object(vec![
+            ("ok".to_string(), Value::Bool(true)),
+            ("stats".to_string(), serde::Serialize::to_value(&metrics.snapshot())),
+        ])),
+        other => Err(format!("unknown request type `{other}`")),
+    };
+    (kind, response.unwrap_or_else(|e| error_response(&e)))
+}
+
+fn error_response(message: &str) -> Value {
+    Value::Object(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::String(message.to_string())),
+    ])
+}
+
+/// Resolve the engine a request addresses.
+fn resolve_engine(request: &Value, registry: &Registry) -> Result<Arc<Engine>, String> {
+    let version = request.get("version").and_then(Value::as_f64);
+    match request.get("model").and_then(Value::as_str) {
+        Some(name) => match version {
+            Some(v) => registry
+                .get_version(name, v as u64)
+                .ok_or_else(|| format!("no model `{name}` at version {v}")),
+            None => registry.get(name).ok_or_else(|| format!("no model `{name}`")),
+        },
+        None => {
+            let names = registry.list();
+            match names.as_slice() {
+                [] => Err("no models published".to_string()),
+                [(only, _, _)] => registry.get(only).ok_or_else(|| format!("no model `{only}`")),
+                _ => Err(format!("`model` required ({} models published)", names.len())),
+            }
+        }
+    }
+}
+
+fn features_field(request: &Value) -> Result<Vec<f64>, String> {
+    let raw = request.get("features").ok_or_else(|| "missing `features`".to_string())?;
+    serde::Deserialize::from_value(raw).map_err(|e| format!("bad `features`: {e}"))
+}
+
+fn company_field(request: &Value) -> Result<usize, String> {
+    let v = request
+        .get("company")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| "missing `company`".to_string())?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!("bad `company` {v}"));
+    }
+    Ok(v as usize)
+}
+
+fn handle_predict(request: &Value, registry: &Registry) -> Result<Value, String> {
+    let engine = resolve_engine(request, registry)?;
+    let company = company_field(request)?;
+    let mut features = features_field(request)?;
+    let raw = request.get("raw").and_then(Value::as_bool).unwrap_or(false);
+    if raw {
+        let st =
+            engine.artifact().standardizer.as_ref().ok_or_else(|| {
+                "model has no standardizer; send model-space features".to_string()
+            })?;
+        if features.len() != st.width() {
+            return Err(format!("feature width {} != model width {}", features.len(), st.width()));
+        }
+        st.transform_row(&mut features);
+    }
+    let mut prediction = engine.predict_company(company, &features)?;
+    if raw {
+        let st = engine.artifact().standardizer.as_ref().expect("checked above");
+        prediction = st.destandardize_label(prediction);
+    }
+    Ok(Value::Object(vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("model".to_string(), Value::String(engine.artifact().name.clone())),
+        ("version".to_string(), Value::Number(engine.artifact().version as f64)),
+        ("company".to_string(), Value::Number(company as f64)),
+        ("prediction".to_string(), Value::Number(prediction)),
+    ]))
+}
+
+fn handle_batch_predict(request: &Value, registry: &Registry) -> Result<Value, String> {
+    let engine = resolve_engine(request, registry)?;
+    let rows_value = request.get("features").ok_or_else(|| "missing `features`".to_string())?;
+    let rows: Vec<Vec<f64>> =
+        serde::Deserialize::from_value(rows_value).map_err(|e| format!("bad `features`: {e}"))?;
+    let n = engine.num_companies();
+    if rows.len() != n {
+        return Err(format!("batch has {} rows but the model has {n} companies", rows.len()));
+    }
+    let d = engine.feature_width();
+    let raw = request.get("raw").and_then(Value::as_bool).unwrap_or(false);
+    let mut flat = Vec::with_capacity(n * d);
+    for (i, mut row) in rows.into_iter().enumerate() {
+        if row.len() != d {
+            return Err(format!("row {i} has width {} (expected {d})", row.len()));
+        }
+        if raw {
+            let st = engine.artifact().standardizer.as_ref().ok_or_else(|| {
+                "model has no standardizer; send model-space features".to_string()
+            })?;
+            st.transform_row(&mut row);
+        }
+        flat.extend_from_slice(&row);
+    }
+    let x = ams_tensor::Matrix::from_vec(n, d, flat);
+    let pred = engine.predict_batch(&x)?;
+    let out: Vec<Value> = (0..n)
+        .map(|i| {
+            let mut p = pred[(i, 0)];
+            if raw {
+                let st = engine.artifact().standardizer.as_ref().expect("checked above");
+                p = st.destandardize_label(p);
+            }
+            Value::Number(p)
+        })
+        .collect();
+    Ok(Value::Object(vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("model".to_string(), Value::String(engine.artifact().name.clone())),
+        ("version".to_string(), Value::Number(engine.artifact().version as f64)),
+        ("predictions".to_string(), Value::Array(out)),
+    ]))
+}
+
+fn handle_slave_weights(request: &Value, registry: &Registry) -> Result<Value, String> {
+    let engine = resolve_engine(request, registry)?;
+    let company = company_field(request)?;
+    let weights = engine.slave_weights_row(company)?;
+    let names = engine.slave_feature_names();
+    Ok(Value::Object(vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("company".to_string(), Value::Number(company as f64)),
+        ("weights".to_string(), Value::Array(weights.iter().map(|&w| Value::Number(w)).collect())),
+        ("feature_names".to_string(), Value::Array(names.into_iter().map(Value::String).collect())),
+    ]))
+}
+
+fn handle_health(registry: &Registry) -> Value {
+    let models: Vec<Value> = registry
+        .list()
+        .into_iter()
+        .map(|(name, version, retained)| {
+            let mut fields = vec![
+                ("name".to_string(), Value::String(name.clone())),
+                ("version".to_string(), Value::Number(version as f64)),
+                ("retained_versions".to_string(), Value::Number(retained as f64)),
+            ];
+            if let Some(engine) = registry.get(&name) {
+                fields
+                    .push(("companies".to_string(), Value::Number(engine.num_companies() as f64)));
+                fields.push((
+                    "feature_width".to_string(),
+                    Value::Number(engine.feature_width() as f64),
+                ));
+            }
+            Value::Object(fields)
+        })
+        .collect();
+    Value::Object(vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("status".to_string(), Value::String("healthy".to_string())),
+        ("models".to_string(), Value::Array(models)),
+    ])
+}

@@ -104,7 +104,7 @@ mod tests {
 
     #[test]
     fn variance_of_singleton_is_zero() {
-        assert_eq!(variance(&[3.14]), 0.0);
+        assert_eq!(variance(&[3.5]), 0.0);
     }
 
     #[test]

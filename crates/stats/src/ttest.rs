@@ -36,7 +36,11 @@ pub fn ttest_1samp(xs: &[f64], mu0: f64) -> Option<TTestResult> {
             return None;
         }
         // Constant sample away from mu0: infinitely significant.
-        return Some(TTestResult { t: f64::INFINITY * (m - mu0).signum(), df: n - 1.0, p_value: 0.0 });
+        return Some(TTestResult {
+            t: f64::INFINITY * (m - mu0).signum(),
+            df: n - 1.0,
+            p_value: 0.0,
+        });
     }
     let t = (m - mu0) / (s / n.sqrt());
     Some(TTestResult { t, df: n - 1.0, p_value: t_two_sided_pvalue(t, n - 1.0) })

@@ -274,11 +274,7 @@ mod tests {
     fn numeric_gradient_of_known_function() {
         // f(w) = sum(w^2) → df/dw = 2w exactly; FD should agree closely.
         let params = vec![Matrix::from_rows(&[&[1.0, -2.0, 0.5]])];
-        let numeric = numeric_gradients(
-            &|g, vars| g.sq_frobenius(vars[0]),
-            &params,
-            1e-5,
-        );
+        let numeric = numeric_gradients(&|g, vars| g.sq_frobenius(vars[0]), &params, 1e-5);
         let expected = params[0].scale(2.0);
         assert!(numeric[0].max_abs_diff(&expected) < 1e-8);
     }

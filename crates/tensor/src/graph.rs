@@ -384,7 +384,8 @@ impl Graph {
                     self.accumulate(&mut grads, a, gx);
                 }
                 Op::LeakyRelu(a, alpha) => {
-                    let gx = g.zip_with(self.value(a), |gi, xi| if xi > 0.0 { gi } else { alpha * gi });
+                    let gx =
+                        g.zip_with(self.value(a), |gi, xi| if xi > 0.0 { gi } else { alpha * gi });
                     self.accumulate(&mut grads, a, gx);
                 }
                 Op::Sigmoid(a) => {

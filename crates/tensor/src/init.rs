@@ -56,9 +56,8 @@ pub fn standard_normal(rng: &mut impl Rng) -> f64 {
 pub fn dropout_mask(rows: usize, cols: usize, p: f64, rng: &mut impl Rng) -> Matrix {
     assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1), got {p}");
     let keep = 1.0 - p;
-    let data = (0..rows * cols)
-        .map(|_| if rng.gen::<f64>() < p { 0.0 } else { 1.0 / keep })
-        .collect();
+    let data =
+        (0..rows * cols).map(|_| if rng.gen::<f64>() < p { 0.0 } else { 1.0 / keep }).collect();
     Matrix::from_vec(rows, cols, data)
 }
 

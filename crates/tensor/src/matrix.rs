@@ -49,7 +49,13 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "from_vec: {rows}x{cols} needs {} elements, got {}", rows * cols, data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: {rows}x{cols} needs {} elements, got {}",
+            rows * cols,
+            data.len()
+        );
         Self { rows, cols, data }
     }
 
@@ -198,7 +204,13 @@ impl Matrix {
 
     /// Element-wise combination with shape checking.
     pub fn zip_with(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
-        assert_eq!(self.shape(), other.shape(), "zip_with: shape mismatch {:?} vs {:?}", self.shape(), other.shape());
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "zip_with: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
         let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
     }
@@ -274,11 +286,7 @@ impl Matrix {
     /// Maximum absolute difference to another matrix of the same shape.
     pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
         assert_eq!(self.shape(), other.shape(), "max_abs_diff: shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// True when every element is finite.
@@ -291,14 +299,24 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -326,9 +344,59 @@ impl fmt::Debug for Matrix {
     }
 }
 
+// Serde support (used by model artifacts): `{"rows": r, "cols": c,
+// "data": [...]}` with row-major data. Implemented by hand because the
+// fields are private and the shape invariant must be revalidated on
+// load.
+impl serde::Serialize for Matrix {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("rows".to_string(), serde::Serialize::to_value(&self.rows)),
+            ("cols".to_string(), serde::Serialize::to_value(&self.cols)),
+            ("data".to_string(), serde::Serialize::to_value(&self.data)),
+        ])
+    }
+}
+
+impl serde::Deserialize for Matrix {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name).ok_or_else(|| serde::Error::custom(format!("Matrix: missing `{name}`")))
+        };
+        let rows = usize::from_value(field("rows")?)?;
+        let cols = usize::from_value(field("cols")?)?;
+        let data = Vec::<f64>::from_value(field("data")?)?;
+        if data.len() != rows * cols {
+            return Err(serde::Error::custom(format!(
+                "Matrix: {rows}x{cols} needs {} elements, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serde_json_round_trip_is_bit_exact() {
+        let m = Matrix::from_rows(&[&[1.5, -2.25, 1.0 / 3.0], &[0.0, f64::MIN_POSITIVE, 1e300]]);
+        let text = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.shape(), m.shape());
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn serde_rejects_inconsistent_shape() {
+        let text = r#"{"rows": 2, "cols": 2, "data": [1.0, 2.0, 3.0]}"#;
+        assert!(serde_json::from_str::<Matrix>(text).is_err());
+    }
 
     #[test]
     fn construction_and_shape() {

@@ -52,7 +52,8 @@ impl Adam {
         let t = self.t as i32;
         let bc1 = 1.0 - self.beta1.powi(t);
         let bc2 = 1.0 - self.beta2.powi(t);
-        for ((p, g), (m, v)) in params.iter_mut().zip(grads).zip(self.m.iter_mut().zip(&mut self.v)) {
+        for ((p, g), (m, v)) in params.iter_mut().zip(grads).zip(self.m.iter_mut().zip(&mut self.v))
+        {
             assert_eq!(p.shape(), g.shape(), "Adam::step: gradient shape mismatch");
             for ((pi, &gi), (mi, vi)) in p
                 .as_mut_slice()

@@ -47,13 +47,26 @@ fn main() {
     }
 
     let ams = all[0].clone();
-    println!("\n{:<10} {:>11} {:>8} {:>13} {:>9}", "Model", "Earning(%)", "MDD(%)", "Sharpe vs AMS", "AER(%)");
+    println!(
+        "\n{:<10} {:>11} {:>8} {:>13} {:>9}",
+        "Model", "Earning(%)", "MDD(%)", "Sharpe vs AMS", "AER(%)"
+    );
     for r in &all {
         if r.model == "AMS" {
-            println!("{:<10} {:>11.3} {:>8.3} {:>13} {:>9}", r.model, r.earning_pct, r.mdd_pct, "-", "-");
+            println!(
+                "{:<10} {:>11.3} {:>8.3} {:>13} {:>9}",
+                r.model, r.earning_pct, r.mdd_pct, "-", "-"
+            );
         } else {
             let s = sharpe_vs(r, &ams).map_or("-".into(), |v| format!("{v:.4}"));
-            println!("{:<10} {:>11.3} {:>8.3} {:>13} {:>9.3}", r.model, r.earning_pct, r.mdd_pct, s, aer_vs(r, &ams));
+            println!(
+                "{:<10} {:>11.3} {:>8.3} {:>13} {:>9.3}",
+                r.model,
+                r.earning_pct,
+                r.mdd_pct,
+                s,
+                aer_vs(r, &ams)
+            );
         }
     }
 }

@@ -10,11 +10,8 @@ use ams::eval::{EvalOptions, ModelKind};
 use ams::model::AmsConfig;
 
 fn main() {
-    let panel = generate(&SynthConfig {
-        n_companies: 24,
-        ..SynthConfig::map_query_paper(13)
-    })
-    .panel;
+    let panel =
+        generate(&SynthConfig { n_companies: 24, ..SynthConfig::map_query_paper(13) }).panel;
     let opts = EvalOptions::paper_for(&panel);
     println!(
         "map-query panel: {} companies × {} quarters, channels {:?}",

@@ -25,7 +25,7 @@ fn main() {
         opts.n_folds
     );
 
-    let kinds = vec![
+    let kinds = [
         ModelKind::Ams { config: AmsConfig { epochs: 800, ..Default::default() }, graph_k: 5 },
         ModelKind::Ridge { lambda: 1.0 },
         ModelKind::Lasso { alpha: 0.01 },

@@ -11,7 +11,9 @@
 //! * [`models`] — the baseline zoo of §IV-B;
 //! * [`model`] — the AMS model itself (§III);
 //! * [`eval`] — BC/BA/SR metrics and the CV harness (§IV);
-//! * [`backtest`] — market simulator and the §IV-F trading strategy.
+//! * [`backtest`] — market simulator and the §IV-F trading strategy;
+//! * [`serve`] — model artifacts, tape-free inference, the prediction
+//!   server (see README "Serving").
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -21,5 +23,6 @@ pub use ams_data as data;
 pub use ams_eval as eval;
 pub use ams_graph as graph;
 pub use ams_models as models;
+pub use ams_serve as serve;
 pub use ams_stats as stats;
 pub use ams_tensor as tensor;

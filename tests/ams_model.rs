@@ -10,7 +10,8 @@ use ams::tensor::Matrix;
 
 #[test]
 fn slave_weights_are_company_specific_on_real_pipeline() {
-    let synth = generate(&SynthConfig { n_companies: 12, n_quarters: 12, ..SynthConfig::tiny(600) });
+    let synth =
+        generate(&SynthConfig { n_companies: 12, n_quarters: 12, ..SynthConfig::tiny(600) });
     let panel = synth.panel;
     let opts = EvalOptions::paper_for(&panel);
     let fs = FeatureSet::build(&panel, opts.k);
@@ -48,15 +49,15 @@ fn slave_weights_are_company_specific_on_real_pipeline() {
     assert_eq!(beta.cols(), slave_cols.len());
     assert!(beta.all_finite() && beta_v.all_finite());
     // At least two companies differ somewhere (adaptive, not global).
-    let differs = (1..beta.rows()).any(|i| {
-        (0..beta.cols()).any(|j| (beta[(i, j)] - beta[(0, j)]).abs() > 1e-9)
-    });
+    let differs = (1..beta.rows())
+        .any(|i| (0..beta.cols()).any(|j| (beta[(i, j)] - beta[(0, j)]).abs() > 1e-9));
     assert!(differs, "slave models should differ across companies");
 }
 
 #[test]
 fn anchored_lr_available_and_reasonable() {
-    let synth = generate(&SynthConfig { n_companies: 10, n_quarters: 12, ..SynthConfig::tiny(601) });
+    let synth =
+        generate(&SynthConfig { n_companies: 10, n_quarters: 12, ..SynthConfig::tiny(601) });
     let panel = synth.panel;
     let fs = FeatureSet::build(&panel, 4);
     let schedule = CvSchedule::paper(panel.num_quarters(), 4, 2);
@@ -73,7 +74,8 @@ fn early_stopping_never_much_worse_than_anchor() {
     // The epoch-0 validation snapshot guarantees the selected model is
     // at least as good on validation as the anchored LR; check the
     // guarantee holds on a deliberately overfitting configuration.
-    let synth = generate(&SynthConfig { n_companies: 10, n_quarters: 12, ..SynthConfig::tiny(602) });
+    let synth =
+        generate(&SynthConfig { n_companies: 10, n_quarters: 12, ..SynthConfig::tiny(602) });
     let panel = synth.panel;
     let fs = FeatureSet::build(&panel, 4);
     let schedule = CvSchedule::paper(panel.num_quarters(), 4, 2);

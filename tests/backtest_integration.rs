@@ -6,7 +6,8 @@ use ams::data::{generate, SynthConfig};
 use ams::eval::{run_model, CvResult, EvalOptions, ModelKind};
 
 fn setup() -> (ams::data::Panel, CvResult) {
-    let panel = generate(&SynthConfig { n_companies: 10, n_quarters: 12, ..SynthConfig::tiny(700) }).panel;
+    let panel =
+        generate(&SynthConfig { n_companies: 10, n_quarters: 12, ..SynthConfig::tiny(700) }).panel;
     let opts = EvalOptions { k: 4, n_folds: 2, drop_alternative: false };
     let cv = run_model(&panel, &ModelKind::Ridge { lambda: 1.0 }, &opts);
     (panel, cv)
@@ -41,7 +42,7 @@ fn cv_predictions_drive_a_full_backtest() {
 #[test]
 fn oracle_signals_beat_model_and_model_beats_anti_oracle() {
     let (panel, cv) = setup();
-    let (quarters, signals) = signals_of(&panel, &cv);
+    let (quarters, _signals) = signals_of(&panel, &cv);
     let sim = MarketSim::simulate(
         &panel,
         &quarters,
@@ -49,10 +50,11 @@ fn oracle_signals_beat_model_and_model_beats_anti_oracle() {
     );
     let oracle: Signals = quarters
         .iter()
-        .map(|&tq| (0..panel.num_companies()).map(|c| panel.get(c, tq).unexpected_revenue()).collect())
+        .map(|&tq| {
+            (0..panel.num_companies()).map(|c| panel.get(c, tq).unexpected_revenue()).collect()
+        })
         .collect();
-    let anti: Signals =
-        oracle.iter().map(|v| v.iter().map(|x| -x).collect()).collect();
+    let anti: Signals = oracle.iter().map(|v| v.iter().map(|x| -x).collect()).collect();
     let r_oracle = run_strategy(&panel, &sim, &oracle, "oracle", 100.0);
     let r_anti = run_strategy(&panel, &sim, &anti, "anti", 100.0);
     assert!(
@@ -74,8 +76,10 @@ fn market_is_identical_across_models() {
     // produced it.
     let (panel, cv) = setup();
     let (quarters, _signals) = signals_of(&panel, &cv);
-    let sim1 = MarketSim::simulate(&panel, &quarters, MarketConfig { seed: 5, ..Default::default() });
-    let sim2 = MarketSim::simulate(&panel, &quarters, MarketConfig { seed: 5, ..Default::default() });
+    let sim1 =
+        MarketSim::simulate(&panel, &quarters, MarketConfig { seed: 5, ..Default::default() });
+    let sim2 =
+        MarketSim::simulate(&panel, &quarters, MarketConfig { seed: 5, ..Default::default() });
     for w in 0..sim1.num_windows() {
         for c in 0..panel.num_companies() {
             assert_eq!(sim1.window_returns(w, c), sim2.window_returns(w, c));

@@ -47,7 +47,8 @@ fn every_model_family_completes_cv() {
 #[test]
 fn cv_is_deterministic_end_to_end() {
     let panel = small_panel(501);
-    let kind = ModelKind::Ams { config: AmsConfig { epochs: 15, ..Default::default() }, graph_k: 3 };
+    let kind =
+        ModelKind::Ams { config: AmsConfig { epochs: 15, ..Default::default() }, graph_k: 3 };
     let a = run_model(&panel, &kind, &fast_opts());
     let b = run_model(&panel, &kind, &fast_opts());
     for (qa, qb) in a.per_quarter.iter().zip(&b.per_quarter) {
@@ -62,7 +63,8 @@ fn cv_is_deterministic_end_to_end() {
 fn test_quarters_follow_paper_schedule() {
     // On a paper-shaped 16-quarter panel, paper_for yields 7 folds with
     // tests in the last 7 quarters.
-    let panel = generate(&SynthConfig { n_companies: 8, ..SynthConfig::transaction_paper(502) }).panel;
+    let panel =
+        generate(&SynthConfig { n_companies: 8, ..SynthConfig::transaction_paper(502) }).panel;
     let opts = EvalOptions::paper_for(&panel);
     assert_eq!(opts.n_folds, 7);
     let cv = run_model(&panel, &ModelKind::Ridge { lambda: 1.0 }, &opts);

@@ -1,0 +1,91 @@
+//! End-to-end serving integration: train a small AMS, export the
+//! artifact to disk, reload it as a fresh process would, publish it,
+//! serve over a loopback TCP socket, and check served predictions
+//! against the in-process `AmsModel::predict`.
+
+use ams::serve::demo::train_demo;
+use ams::serve::{ModelArtifact, Registry, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn send(conn: &mut TcpStream, request: &str) -> serde_json::Value {
+    conn.write_all(request.as_bytes()).unwrap();
+    conn.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    serde_json::from_str(&line).unwrap()
+}
+
+#[test]
+fn served_predictions_match_in_process_model() {
+    // 1. Train and export.
+    let bundle = train_demo(2026);
+    let in_process = bundle.model.predict(&bundle.test_x);
+
+    // 2. Write the artifact to disk and reload it the way a fresh
+    //    serving process would — nothing but the file crosses over.
+    let path = std::env::temp_dir().join(format!("ams-serving-test-{}.json", std::process::id()));
+    std::fs::write(&path, bundle.artifact.to_json()).unwrap();
+    let reloaded = ModelArtifact::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // 3. Publish and serve on an ephemeral loopback port.
+    let registry = Arc::new(Registry::new());
+    registry.publish(reloaded).unwrap();
+    let server = Server::start(
+        ServerConfig { addr: "127.0.0.1:0".into(), workers: 2 },
+        Arc::clone(&registry),
+    )
+    .unwrap();
+    let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+
+    // 4a. Batch path: send the test-quarter features, compare every
+    //     company's served prediction with the in-process model.
+    let n = bundle.test_x.rows();
+    let rows: Vec<String> = (0..n)
+        .map(|i| {
+            let row: Vec<String> = bundle.test_x.row(i).iter().map(|v| format!("{v}")).collect();
+            format!("[{}]", row.join(","))
+        })
+        .collect();
+    let request = format!(r#"{{"type":"batch_predict","features":[{}]}}"#, rows.join(","));
+    let resp = send(&mut conn, &request);
+    assert_eq!(
+        resp.get("ok").and_then(|v| v.as_bool()),
+        Some(true),
+        "batch_predict failed: {resp:?}"
+    );
+    let served = resp.get("predictions").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(served.len(), n);
+    for (i, value) in served.iter().enumerate() {
+        let got = value.as_f64().unwrap();
+        let want = in_process[(i, 0)];
+        assert!((got - want).abs() < 1e-10, "company {i}: served {got} vs in-process {want}");
+    }
+
+    // 4b. Fast path: per-company predict at the reference features
+    //     must also match the in-process model.
+    for i in [0usize, n / 2, n - 1] {
+        let row: Vec<String> = bundle.test_x.row(i).iter().map(|v| format!("{v}")).collect();
+        let request =
+            format!(r#"{{"type":"predict","company":{i},"features":[{}]}}"#, row.join(","));
+        let resp = send(&mut conn, &request);
+        assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(true));
+        let got = resp.get("prediction").and_then(|v| v.as_f64()).unwrap();
+        let want = in_process[(i, 0)];
+        assert!((got - want).abs() < 1e-10, "company {i}: served {got} vs in-process {want}");
+    }
+
+    // 5. Health + stats sanity over the same connection.
+    let health = send(&mut conn, r#"{"type":"health"}"#);
+    assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("healthy"));
+    let stats = send(&mut conn, r#"{"type":"stats"}"#);
+    let requests =
+        stats.get("stats").and_then(|s| s.get("requests")).and_then(|v| v.as_f64()).unwrap();
+    assert!(requests >= 5.0, "stats saw {requests} requests");
+
+    drop(conn);
+    server.shutdown();
+}

@@ -1,0 +1,234 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, `criterion_group!`, `criterion_main!`)
+//! with a simple wall-clock harness: each benchmark warms up briefly,
+//! then runs timed batches and reports mean / p50 / p99 per iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimizer barrier.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement: Duration::from_millis(300), sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.measurement, self.sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+        }
+    }
+}
+
+/// Identifier distinguishing parameterized benchmark cases.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(format!("{param}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup {
+    name: String,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Lower or raise the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.measurement, self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.measurement, self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Finish the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark measurement state.
+pub struct Bencher {
+    measurement: Duration,
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(measurement: Duration, sample_size: usize) -> Self {
+        Bencher { measurement, sample_size, samples: Vec::new() }
+    }
+
+    /// Measure a closure: warm up, choose a batch size targeting the
+    /// measurement budget, then record per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + batch sizing: run until ~10% of the budget is spent.
+        let warmup = self.measurement / 10;
+        let t0 = Instant::now();
+        let mut warm_iters = 0u64;
+        while t0.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = t0.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement.as_secs_f64() * 0.9;
+        let batch = ((budget / self.sample_size as f64 / per_iter).floor() as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<56} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let p50 = sorted[sorted.len() / 2];
+        let p99 = sorted[(sorted.len() * 99 / 100).min(sorted.len() - 1)];
+        println!(
+            "{name:<56} mean {:>12} p50 {:>12} p99 {:>12}",
+            fmt_time(mean),
+            fmt_time(p50),
+            fmt_time(p99)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { measurement: Duration::from_millis(10), sample_size: 5 };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(2u64 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        let mut c = Criterion { measurement: Duration::from_millis(10), sample_size: 5 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut seen = 0usize;
+        for &n in &[1usize, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &input| {
+                b.iter(|| black_box(input * 2));
+                seen += 1;
+            });
+        }
+        group.finish();
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-6).contains("µs"));
+        assert!(fmt_time(5e-3).contains("ms"));
+        assert!(fmt_time(5.0).contains(" s"));
+    }
+}
