@@ -1,0 +1,24 @@
+//! Seeded lint fixture, NOT compiled into any crate. The path suffix
+//! `serve/src/engine.rs` puts it in scope for `no-unwrap-in-serve`;
+//! `ams-check lint` over this file must report exactly the planted
+//! findings below (the workspace walker never descends into
+//! `fixtures/`, so the repo-wide run stays clean).
+
+pub fn planted_hot_path(snapshot: Option<&str>) -> usize {
+    // Planted defect 1: unwrap on a serving hot path (line 9).
+    let snap = snapshot.unwrap();
+    snap.len()
+}
+
+pub fn planted_panic(version: u32) -> &'static str {
+    match version {
+        1 => "v1",
+        // Planted defect 2: panic-family macro on an inference path.
+        _ => unreachable!("unknown artifact version"),
+    }
+}
+
+pub fn suppressed_is_clean(snapshot: Option<&str>) -> usize {
+    // ams-lint: allow(no-unwrap-in-serve)
+    snapshot.unwrap().len()
+}

@@ -1,0 +1,148 @@
+//! `ams-check` — the AMS static-analysis entrypoint.
+//!
+//! ```text
+//! ams-check [--root DIR] [--format text|json]          lint the workspace
+//! ams-check lint [PATHS...] [--format text|json]       lint specific files
+//! ams-check plan FILE... [--format text|json]          audit JSON plan specs
+//! ```
+//!
+//! Exit codes (stable, documented in README):
+//!   0  clean, or warnings/infos only
+//!   1  at least one error-severity diagnostic
+//!   2  internal failure: bad arguments, unreadable file, invalid spec
+
+use ams_analyze::{lint, plan_io, Report};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: ams-check [--root DIR] [--format text|json]
+       ams-check lint [PATHS...] [--format text|json]
+       ams-check plan FILE... [--format text|json]";
+
+enum Format {
+    Text,
+    Json,
+}
+
+struct Cli {
+    command: Command,
+    format: Format,
+    root: PathBuf,
+}
+
+enum Command {
+    LintWorkspace,
+    LintPaths(Vec<PathBuf>),
+    Plan(Vec<PathBuf>),
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut format = Format::Text;
+    let mut root: Option<PathBuf> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return Err("--root expects a directory".to_string()),
+            },
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let command = match positional.split_first() {
+        None => Command::LintWorkspace,
+        Some((cmd, rest)) => match cmd.as_str() {
+            "lint" if rest.is_empty() => Command::LintWorkspace,
+            "lint" => Command::LintPaths(rest.iter().map(PathBuf::from).collect()),
+            "plan" if rest.is_empty() => return Err("plan: expected at least one FILE".to_string()),
+            "plan" => Command::Plan(rest.iter().map(PathBuf::from).collect()),
+            other => return Err(format!("unknown command `{other}`\n{USAGE}")),
+        },
+    };
+    Ok(Cli { command, format, root: root.unwrap_or_else(|| PathBuf::from(".")) })
+}
+
+fn run(cli: &Cli) -> Result<Report, String> {
+    let mut report = Report::new();
+    match &cli.command {
+        Command::LintWorkspace => {
+            report.extend(lint::lint_workspace(&cli.root)?);
+        }
+        Command::LintPaths(paths) => {
+            for path in paths {
+                let label = path.to_string_lossy().replace('\\', "/");
+                report.extend(lint::lint_file(path, &label)?);
+            }
+        }
+        Command::Plan(files) => {
+            for file in files {
+                let json = std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+                let audit =
+                    plan_io::parse_audit(&json).map_err(|e| format!("{}: {e}", file.display()))?;
+                report.extend(ams_analyze::analyze(&audit).diagnostics);
+            }
+        }
+    }
+    report.sort();
+    Ok(report)
+}
+
+fn emit(report: &Report, format: &Format, checked: &str) {
+    match format {
+        Format::Text => {
+            print!("{}", report.render_text());
+            println!("checked: {checked}");
+        }
+        Format::Json => match serde_json::to_string(&report.to_json()) {
+            Ok(s) => println!("{s}"),
+            Err(e) => eprintln!("ams-check: JSON rendering failed: {e:?}"),
+        },
+    }
+}
+
+fn describe(cli: &Cli) -> String {
+    match &cli.command {
+        Command::LintWorkspace => format!("workspace at {}", cli.root.display()),
+        Command::LintPaths(paths) => format!("{} file(s)", paths.len()),
+        Command::Plan(files) => format!("{} plan spec(s)", files.len()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("ams-check: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    // Sanity-check the root early so a typo'd --root is a clean 2.
+    if matches!(cli.command, Command::LintWorkspace) && !Path::new(&cli.root).is_dir() {
+        eprintln!("ams-check: --root {} is not a directory", cli.root.display());
+        return ExitCode::from(2);
+    }
+    match run(&cli) {
+        Ok(report) => {
+            emit(&report, &cli.format, &describe(&cli));
+            if report.has_errors() {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("ams-check: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

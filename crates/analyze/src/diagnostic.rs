@@ -1,0 +1,263 @@
+//! The shared structured diagnostic both analysis layers emit.
+//!
+//! Tape-IR passes ([`crate::shape`], [`crate::reach`],
+//! [`crate::numeric`]) anchor diagnostics to graph nodes with the op
+//! chain that produced them; the source lint engine ([`crate::lint`])
+//! anchors them to `file:line:col`. CI consumes the JSON rendering and
+//! fails on any `error`-severity entry; `warn` and `info` are
+//! reported but do not gate.
+
+use serde::Value;
+use std::fmt;
+
+/// Diagnostic severity. Ordering is by increasing severity, so
+/// `max()` over a report yields the gating level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Observation with no action required.
+    Info,
+    /// Suspicious but not necessarily wrong; reported, never gates.
+    Warn,
+    /// A defect. `ams-check` exits 1 when any error is present.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name used in text and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a diagnostic points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Location {
+    /// A source position (1-based line and column).
+    Source { file: String, line: usize, col: usize },
+    /// A tape node, with the rendered op chain that produced it.
+    Node { node: usize, op: String, chain: String },
+    /// No single anchor (e.g. a whole-plan property).
+    Global,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Source { file, line, col } => write!(f, "{file}:{line}:{col}"),
+            Location::Node { node, op, .. } => write!(f, "node #{node} ({op})"),
+            Location::Global => f.write_str("<global>"),
+        }
+    }
+}
+
+/// One finding: severity, stable rule id, location, message, and an
+/// optional fix hint.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// Stable kebab-case rule id (`shape-mismatch`, `no-unwrap-in-serve`, …).
+    pub rule: String,
+    pub location: Location,
+    pub message: String,
+    /// A short, actionable suggestion.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// Error-severity diagnostic.
+    pub fn error(rule: &str, location: Location, message: String) -> Self {
+        Self { severity: Severity::Error, rule: rule.to_string(), location, message, hint: None }
+    }
+
+    /// Warn-severity diagnostic.
+    pub fn warn(rule: &str, location: Location, message: String) -> Self {
+        Self { severity: Severity::Warn, rule: rule.to_string(), location, message, hint: None }
+    }
+
+    /// Info-severity diagnostic.
+    pub fn info(rule: &str, location: Location, message: String) -> Self {
+        Self { severity: Severity::Info, rule: rule.to_string(), location, message, hint: None }
+    }
+
+    /// Attach a fix hint.
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = Some(hint.into());
+        self
+    }
+
+    /// Human-readable rendering, one finding over one-to-three lines.
+    pub fn render_text(&self) -> String {
+        let mut out =
+            format!("{}[{}] {}: {}", self.severity, self.rule, self.location, self.message);
+        if let Location::Node { chain, .. } = &self.location {
+            if !chain.is_empty() {
+                out.push_str(&format!("\n  chain: {chain}"));
+            }
+        }
+        if let Some(hint) = &self.hint {
+            out.push_str(&format!("\n  hint: {hint}"));
+        }
+        out
+    }
+
+    /// Machine rendering (one object in the report's `diagnostics`).
+    pub fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("severity".to_string(), Value::String(self.severity.as_str().to_string())),
+            ("rule".to_string(), Value::String(self.rule.clone())),
+            ("message".to_string(), Value::String(self.message.clone())),
+        ];
+        match &self.location {
+            Location::Source { file, line, col } => {
+                fields.push(("file".to_string(), Value::String(file.clone())));
+                fields.push(("line".to_string(), Value::Number(*line as f64)));
+                fields.push(("col".to_string(), Value::Number(*col as f64)));
+            }
+            Location::Node { node, op, chain } => {
+                fields.push(("node".to_string(), Value::Number(*node as f64)));
+                fields.push(("op".to_string(), Value::String(op.clone())));
+                fields.push(("chain".to_string(), Value::String(chain.clone())));
+            }
+            Location::Global => {}
+        }
+        if let Some(hint) = &self.hint {
+            fields.push(("hint".to_string(), Value::String(hint.clone())));
+        }
+        Value::Object(fields)
+    }
+}
+
+/// An ordered collection of diagnostics plus summary accessors.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append every diagnostic of `other`.
+    pub fn extend(&mut self, other: Vec<Diagnostic>) {
+        self.diagnostics.extend(other);
+    }
+
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warn-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// True when at least one error is present (the CI gate).
+    pub fn has_errors(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// Sort most severe first, stable within a severity.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    }
+
+    /// Full text rendering with a trailing summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render_text());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} info(s)\n",
+            self.errors(),
+            self.warnings(),
+            self.count(Severity::Info)
+        ));
+        out
+    }
+
+    /// Machine rendering: `{"errors":n,"warnings":n,"infos":n,"diagnostics":[…]}`.
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("errors".to_string(), Value::Number(self.errors() as f64)),
+            ("warnings".to_string(), Value::Number(self.warnings() as f64)),
+            ("infos".to_string(), Value::Number(self.count(Severity::Info) as f64)),
+            (
+                "diagnostics".to_string(),
+                Value::Array(self.diagnostics.iter().map(Diagnostic::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_gates() {
+        assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+        let mut r = Report::new();
+        r.extend(vec![
+            Diagnostic::info("a", Location::Global, "i".into()),
+            Diagnostic::error("b", Location::Global, "e".into()),
+            Diagnostic::warn("c", Location::Global, "w".into()),
+        ]);
+        assert!(r.has_errors());
+        assert_eq!((r.errors(), r.warnings()), (1, 1));
+        r.sort();
+        assert_eq!(r.diagnostics[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn text_rendering_carries_location_and_hint() {
+        let d = Diagnostic::error(
+            "shape-mismatch",
+            Location::Node { node: 7, op: "matmul".into(), chain: "#7 matmul ← #1 leaf".into() },
+            "inner dimensions 3 vs 4".into(),
+        )
+        .with_hint("check the weight orientation");
+        let text = d.render_text();
+        assert!(text.contains("error[shape-mismatch]"));
+        assert!(text.contains("node #7 (matmul)"));
+        assert!(text.contains("chain:"));
+        assert!(text.contains("hint: check"));
+    }
+
+    #[test]
+    fn json_rendering_round_trips_through_serde_json() {
+        let d = Diagnostic::warn(
+            "todo-without-issue",
+            Location::Source { file: "src/lib.rs".into(), line: 3, col: 5 },
+            // ams-lint: allow(todo-without-issue) — message is test data
+            "TODO without an issue reference".into(),
+        );
+        let mut r = Report::new();
+        r.extend(vec![d]);
+        let s = serde_json::to_string(&r.to_json()).unwrap();
+        let back: Value = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.get("warnings").and_then(Value::as_f64), Some(1.0));
+        let diags = back.get("diagnostics").and_then(Value::as_array).unwrap();
+        assert_eq!(diags[0].get("file").and_then(Value::as_str), Some("src/lib.rs"));
+        assert_eq!(diags[0].get("line").and_then(Value::as_f64), Some(3.0));
+    }
+}

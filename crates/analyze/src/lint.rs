@@ -1,0 +1,346 @@
+//! Dependency-free source lint engine.
+//!
+//! No `syn`, no parsing: rules are line/token matchers, which is
+//! exactly enough for the repo-specific policies we enforce and keeps
+//! the analyzer buildable in the network-isolated environment. Rules
+//! are path-scoped by suffix (`serve/src/engine.rs`) or substring
+//! (`tensor/src/`) so the same engine lints both the real workspace
+//! and seeded fixture trees.
+//!
+//! Conventions the matcher relies on (true throughout this repo):
+//! `#[cfg(test)]` modules are the last item of a file, so everything
+//! from that attribute to EOF is test code and exempt from the
+//! production-path rules. A finding on line N is suppressed by
+//! `// ams-lint: allow(rule-id)` on line N or N-1.
+
+use crate::diagnostic::{Diagnostic, Location};
+use std::collections::HashSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Files where `.unwrap()` / `.expect(` are denied outright: the
+/// serving hot path, where a panic kills a worker thread mid-request.
+const NO_UNWRAP_FILES: [&str; 3] =
+    ["serve/src/engine.rs", "serve/src/registry.rs", "serve/src/server.rs"];
+
+/// Panic-family macros denied anywhere under `serve/src/`.
+const PANIC_MACROS: [&str; 4] = ["panic!(", "todo!(", "unimplemented!(", "unreachable!("];
+
+/// Integer target types for the float-truncation rule.
+const INT_CASTS: [&str; 8] =
+    ["as usize", "as isize", "as i32", "as i64", "as u32", "as u64", "as u8", "as u16"];
+
+/// Rounding calls that make a float→int cast intentional.
+const ROUNDERS: [&str; 4] = [".floor()", ".ceil()", ".round()", ".trunc()"];
+
+fn normalized(path: &str) -> String {
+    path.replace('\\', "/")
+}
+
+fn in_no_unwrap_scope(path: &str) -> bool {
+    let p = normalized(path);
+    NO_UNWRAP_FILES.iter().any(|suffix| p.ends_with(suffix))
+}
+
+fn in_serve_scope(path: &str) -> bool {
+    normalized(path).contains("serve/src/")
+}
+
+fn in_tensor_scope(path: &str) -> bool {
+    normalized(path).contains("tensor/src/")
+}
+
+/// Rules named by a `// ams-lint: allow(a, b)` marker, if the line
+/// carries one.
+fn allowed_rules(line: &str) -> HashSet<String> {
+    let mut out = HashSet::new();
+    if let Some(pos) = line.find("ams-lint: allow(") {
+        let rest = &line[pos + "ams-lint: allow(".len()..];
+        if let Some(end) = rest.find(')') {
+            for rule in rest[..end].split(',') {
+                out.insert(rule.trim().to_string());
+            }
+        }
+    }
+    out
+}
+
+/// The code portion of a line: everything before a `//` comment.
+/// Naive about `//` inside string literals, which this repo's rules
+/// never need to distinguish.
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn finding(
+    severity_error: bool,
+    rule: &str,
+    file: &str,
+    line_no: usize,
+    col: usize,
+    message: String,
+    hint: &str,
+) -> Diagnostic {
+    let loc = Location::Source { file: file.to_string(), line: line_no, col };
+    let d = if severity_error {
+        Diagnostic::error(rule, loc, message)
+    } else {
+        Diagnostic::warn(rule, loc, message)
+    };
+    d.with_hint(hint.to_string())
+}
+
+/// Lint one file's content. `path` is the label used for rule scoping
+/// and in diagnostics — callers pass a repo-relative path.
+pub fn lint_source(path: &str, content: &str) -> Vec<Diagnostic> {
+    let lines: Vec<&str> = content.lines().collect();
+    let mut out = Vec::new();
+    let mut in_tests = false;
+    let mut prev_allowed: HashSet<String> = HashSet::new();
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let mut allowed = allowed_rules(raw);
+        allowed.extend(prev_allowed.drain());
+        prev_allowed = allowed_rules(raw);
+
+        if raw.trim_start().starts_with("#[cfg(test)") {
+            in_tests = true;
+        }
+
+        // todo-without-issue looks at the whole line including comments
+        // and applies everywhere, tests included.
+        if !allowed.contains("todo-without-issue") {
+            // ams-lint: allow(todo-without-issue) — the rule's own marker list
+            for marker in ["TODO", "FIXME"] {
+                if let Some(col) = raw.find(marker) {
+                    let has_issue_ref = raw[col..]
+                        .split('#')
+                        .skip(1)
+                        .any(|s| s.starts_with(|c: char| c.is_ascii_digit()));
+                    if !has_issue_ref {
+                        out.push(finding(
+                            false,
+                            "todo-without-issue",
+                            path,
+                            line_no,
+                            col + 1,
+                            format!("{marker} without an issue reference"),
+                            "tag it `TODO(#123)` so the debt is trackable, or resolve it",
+                        ));
+                    }
+                    break; // one finding per line is enough
+                }
+            }
+        }
+
+        if in_tests {
+            continue;
+        }
+        let code = code_part(raw);
+
+        if in_no_unwrap_scope(path) && !allowed.contains("no-unwrap-in-serve") {
+            for needle in [".unwrap()", ".expect("] {
+                if let Some(col) = code.find(needle) {
+                    out.push(finding(
+                        true,
+                        "no-unwrap-in-serve",
+                        path,
+                        line_no,
+                        col + 1,
+                        format!(
+                            "`{}` in a serving hot path: a panic here kills a worker mid-request",
+                            needle.trim_end_matches('(')
+                        ),
+                        "propagate a Result (or recover, e.g. PoisonError::into_inner for locks)",
+                    ));
+                }
+            }
+        }
+
+        if in_serve_scope(path) && !allowed.contains("no-panic-in-inference") {
+            for needle in PANIC_MACROS {
+                if let Some(col) = code.find(needle) {
+                    // `debug_assert!`/`assert!` are fine; make sure the
+                    // match is the macro itself, not a suffix of a
+                    // longer identifier.
+                    let pre_ok = col == 0
+                        || !code.as_bytes()[col - 1].is_ascii_alphanumeric()
+                            && code.as_bytes()[col - 1] != b'_';
+                    if pre_ok {
+                        out.push(finding(
+                            true,
+                            "no-panic-in-inference",
+                            path,
+                            line_no,
+                            col + 1,
+                            format!("`{}...)` on an inference path", needle.trim_end_matches('(')),
+                            "return an error variant instead of panicking in the serving stack",
+                        ));
+                    }
+                }
+            }
+        }
+
+        if in_tensor_scope(path) && !allowed.contains("no-float-cast-truncation") {
+            for needle in INT_CASTS {
+                if let Some(col) = code.find(needle) {
+                    let before = &code[..col];
+                    let float_evidence = before.contains("f64")
+                        || before.contains("f32")
+                        || before.contains("sqrt")
+                        || before.contains("powf");
+                    let rounded = ROUNDERS.iter().any(|r| before.contains(r));
+                    if float_evidence && !rounded {
+                        out.push(finding(
+                            false,
+                            "no-float-cast-truncation",
+                            path,
+                            line_no,
+                            col + 1,
+                            format!("float value cast with `{needle}` truncates toward zero"),
+                            "make the rounding explicit: `.floor()`, `.round()` or `.ceil()` \
+                             before the cast",
+                        ));
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lint a file on disk. Errors (unreadable file) are surfaced to the
+/// caller, which maps them to exit code 2.
+pub fn lint_file(path: &Path, label: &str) -> Result<Vec<Diagnostic>, String> {
+    let content =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Ok(lint_source(label, &content))
+}
+
+/// Directories never descended into when walking a workspace.
+const SKIP_DIRS: [&str; 6] = ["target", "vendor", ".git", "fixtures", "results", "node_modules"];
+
+/// Collect every `.rs` file under `root`, skipping build output,
+/// vendored deps and fixture trees. Sorted for deterministic output.
+pub fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            fs::read_dir(&dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint every workspace source under `root`, labelling diagnostics
+/// with root-relative paths.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let mut out = Vec::new();
+    for path in workspace_sources(root)? {
+        let label = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        out.extend(lint_file(&path, &label)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_denied_only_in_serve_hot_paths() {
+        let src = "fn f() {\n    let x = y.unwrap();\n    let z = q.expect(\"msg\");\n}\n";
+        let diags = lint_source("crates/serve/src/engine.rs", src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "no-unwrap-in-serve"));
+        match &diags[0].location {
+            Location::Source { line, col, .. } => {
+                assert_eq!(*line, 2);
+                assert_eq!(*col, 14);
+            }
+            other => panic!("wrong location {other:?}"),
+        }
+        // Same content elsewhere: clean.
+        assert!(lint_source("crates/core/src/ams.rs", src).is_empty());
+        // Recovery combinators are not unwraps.
+        let ok = "let g = l.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n";
+        assert!(lint_source("crates/serve/src/registry.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn test_modules_and_suppressions_are_exempt() {
+        let src = "fn f() {\n\
+                   // ams-lint: allow(no-unwrap-in-serve)\n\
+                   let x = y.unwrap();\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { z.unwrap(); panic!(\"in tests is fine\"); }\n\
+                   }\n";
+        assert!(lint_source("crates/serve/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_flagged_assert_allowed() {
+        let src = "fn f() {\n    assert!(ok);\n    debug_assert!(ok);\n    panic!(\"boom\");\n    unreachable!();\n}\n";
+        let diags = lint_source("crates/serve/src/snapshot.rs", src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "no-panic-in-inference"));
+    }
+
+    #[test]
+    fn float_cast_needs_evidence_and_respects_rounding() {
+        let flagged = "let n = (x_f64 * scale_f64) as usize;\n";
+        let diags = lint_source("crates/tensor/src/kernel.rs", flagged);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "no-float-cast-truncation");
+        // Integer→integer cast: no float evidence, no finding.
+        assert!(lint_source("crates/tensor/src/optim.rs", "let t = self.t as i32;\n").is_empty());
+        // Explicit rounding: intentional, no finding.
+        let rounded = "let n = (x_f64 * scale_f64).round() as usize;\n";
+        assert!(lint_source("crates/tensor/src/kernel.rs", rounded).is_empty());
+        // Outside tensor kernels the rule does not apply.
+        assert!(lint_source("crates/core/src/data.rs", flagged).is_empty());
+    }
+
+    #[test]
+    fn todo_needs_an_issue_reference() {
+        // ams-lint: allow(todo-without-issue) — markers below are test data
+        let src =
+            "// TODO: make this faster\n// TODO(#42): blocked on upstream\n// FIXME see notes\n";
+        let diags = lint_source("crates/core/src/lib.rs", src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "todo-without-issue"));
+        assert!(diags[0].message.contains("TODO")); // ams-lint: allow(todo-without-issue)
+        assert!(diags[1].message.contains("FIXME")); // ams-lint: allow(todo-without-issue)
+    }
+
+    #[test]
+    fn workspace_walker_skips_fixture_and_vendor_trees() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = workspace_sources(root).unwrap();
+        assert!(!files.is_empty());
+        assert!(files.iter().all(|p| {
+            let s = p.to_string_lossy().replace('\\', "/");
+            !s.contains("/fixtures/") && !s.contains("/target/")
+        }));
+    }
+}

@@ -52,7 +52,7 @@ fn main() {
         .expect("reference features score");
     let worst = (0..want.rows()).map(|i| (want[(i, 0)] - got[(i, 0)]).abs()).fold(0.0f64, f64::max);
     assert!(worst < 1e-10, "engine deviates from the tape by {worst}");
-    let fast_dev = fast_vs_batch_deviation(&engine);
+    let fast_dev = fast_vs_batch_deviation(&engine).expect("reference features score");
     assert!(fast_dev < 1e-10, "fast path deviates from batch path by {fast_dev}");
 
     let json = bundle.artifact.to_json();

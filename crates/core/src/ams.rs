@@ -133,6 +133,22 @@ pub struct LinearLayer {
     pub b: Matrix,
 }
 
+/// Structural description of one full-batch training graph, exported
+/// for static analysis: the data-free tape [`Plan`](ams_tensor::Plan)
+/// plus the node ids of every trainable parameter (with human names in
+/// [`AmsModel::param_names`] form) and of the Γ_master loss. Feed it to
+/// `ams_analyze::analyze` to shape-check the tape and prove every
+/// parameter is reachable from the loss before spending epochs on it.
+#[derive(Debug, Clone)]
+pub struct TrainingAudit {
+    /// Data-free snapshot of the epoch's tape.
+    pub plan: ams_tensor::Plan,
+    /// `(plan node id, parameter name)` in `param_list` order.
+    pub params: Vec<(usize, String)>,
+    /// Plan node id of the scalar training loss.
+    pub loss: usize,
+}
+
 /// The fitted AMS model.
 pub struct AmsModel {
     config: AmsConfig,
@@ -250,6 +266,31 @@ impl AmsModel {
         out
     }
 
+    /// Human names for every slot of [`AmsModel::param_list`], in the
+    /// same canonical order: `nt[i].w`, `nt[i].b`,
+    /// `gat[l].head[h].{w,a_left,a_right}`, `gen[i].{w,b}`, `beta_c`.
+    /// Used to label parameters in training-audit diagnostics.
+    pub fn param_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for i in 0..self.nt.len() {
+            out.push(format!("nt[{i}].w"));
+            out.push(format!("nt[{i}].b"));
+        }
+        for (l, layer) in self.gat.iter().enumerate() {
+            for h in 0..layer.heads.len() {
+                out.push(format!("gat[{l}].head[{h}].w"));
+                out.push(format!("gat[{l}].head[{h}].a_left"));
+                out.push(format!("gat[{l}].head[{h}].a_right"));
+            }
+        }
+        for i in 0..self.gen.len() {
+            out.push(format!("gen[{i}].w"));
+            out.push(format!("gen[{i}].b"));
+        }
+        out.push("beta_c".to_string());
+        out
+    }
+
     /// Write a flat parameter list back into the structured storage.
     fn store_params(&mut self, params: &[Matrix]) {
         let mut it = params.iter();
@@ -356,6 +397,143 @@ impl AmsModel {
         (pred, beta_v, beta)
     }
 
+    /// Validate fit inputs and return `(feature width, dense mask)`.
+    fn check_fit_inputs(graph: &CompanyGraph, train: &[QuarterBatch]) -> (usize, Matrix) {
+        assert!(!train.is_empty(), "AMS fit: no training quarters");
+        let n_nodes = graph.num_nodes();
+        for b in train {
+            assert_eq!(b.x.rows(), n_nodes, "AMS fit: batch rows != graph nodes");
+            assert_eq!(b.y.rows(), n_nodes, "AMS fit: label rows != graph nodes");
+        }
+        (train[0].x.cols(), Matrix::from_vec(n_nodes, n_nodes, graph.dense_mask()))
+    }
+
+    /// Phase 1: the anchored LR on all training samples (Eq. 5), in
+    /// slave-column space.
+    fn fit_anchored(&self, train: &[QuarterBatch], d: usize) -> Matrix {
+        let mut x_all = train[0].x.clone();
+        let mut y_all = train[0].y.clone();
+        for b in &train[1..] {
+            x_all = x_all.vcat(&b.x);
+            y_all = y_all.vcat(&b.y);
+        }
+        let x_all = x_all.matmul(&self.selection(d));
+        ridge_solve(&x_all, &y_all, self.config.anchored_lambda)
+            .or_else(|_| ridge_solve(&x_all, &y_all, self.config.anchored_lambda + 1e-6))
+            .expect("anchored LR solve failed")
+    }
+
+    /// Record one full-batch training step on `g`: parameter inputs,
+    /// per-quarter forward passes, and the Γ_master objective (Eq. 11)
+    /// — data term, supervised-generation pull toward `b_acr`, and L2.
+    /// Returns the parameter `Var`s (in `param_list` order) and the
+    /// scalar loss. Shared by the epoch loop of
+    /// [`AmsModel::fit_with_validation`] and by
+    /// [`AmsModel::training_audit`], so the audited tape is the
+    /// trained tape by construction, not a parallel reimplementation.
+    fn build_training_graph(
+        &self,
+        g: &mut Graph,
+        train: &[QuarterBatch],
+        mask: &Matrix,
+        b_acr: &Matrix,
+        params: &[Matrix],
+        mut rng: Option<&mut StdRng>,
+    ) -> (Vec<Var>, Var) {
+        let total_n: usize = train.iter().map(|b| b.x.rows()).sum();
+        let n_weight_slots = self.l2_slots();
+        let param_vars: Vec<Var> = params.iter().map(|p| g.input(p.clone())).collect();
+        let b_acr_rowvar = g.input(b_acr.t()); // 1×d, broadcast target
+
+        let mut data_term: Option<Var> = None;
+        let mut slg_term: Option<Var> = None;
+        for batch in train {
+            let x = g.input(batch.x.clone());
+            let y = g.input(batch.y.clone());
+            let (pred, beta_v, _) = self.forward(g, x, mask, &param_vars, rng.as_deref_mut());
+            let resid = g.sub(pred, y);
+            let sq = g.sq_frobenius(resid);
+            data_term = Some(match data_term {
+                None => sq,
+                Some(acc) => g.add(acc, sq),
+            });
+            // ‖β_v(X_i) − B_acr‖² summed over companies: subtract the
+            // broadcast anchored row from every generated row.
+            let n = batch.x.rows();
+            let ones = g.input(Matrix::ones(n, 1));
+            let acr_rows = g.matmul(ones, b_acr_rowvar);
+            let dv = g.sub(beta_v, acr_rows);
+            let sqv = g.sq_frobenius(dv);
+            slg_term = Some(match slg_term {
+                None => sqv,
+                Some(acc) => g.add(acc, sqv),
+            });
+        }
+        let data_term = data_term.expect("nonempty train");
+        let slg_term = slg_term.expect("nonempty train");
+        let scale_data = 1.0 / (2.0 * total_n as f64);
+        let mut loss = g.scale(data_term, scale_data);
+        if self.config.lambda_slg > 0.0 {
+            let slg = g.scale(slg_term, self.config.lambda_slg * scale_data);
+            loss = g.add(loss, slg);
+        }
+        if self.config.lambda_l2 > 0.0 {
+            for (i, &v) in param_vars.iter().enumerate() {
+                if n_weight_slots[i] {
+                    let sq = g.sq_frobenius(v);
+                    let reg = g.scale(sq, 0.5 * self.config.lambda_l2);
+                    loss = g.add(loss, reg);
+                }
+            }
+        }
+        (param_vars, loss)
+    }
+
+    /// Export one epoch's training graph for static analysis without
+    /// running any optimizer step. On an untrained model this performs
+    /// phase 1 and seeds phase-2 parameters first (exactly as `fit`
+    /// would, so a subsequent `fit` is unaffected); on a fitted model
+    /// the current parameters are used and left untouched. The recorded
+    /// tape — including dropout nodes when `dropout > 0` — is the same
+    /// graph the epoch loop trains on.
+    pub fn training_audit(
+        &mut self,
+        graph: &CompanyGraph,
+        train: &[QuarterBatch],
+    ) -> TrainingAudit {
+        let (d, mask) = Self::check_fit_inputs(graph, train);
+        let b_acr = match &self.b_acr {
+            Some(b) => b.clone(),
+            None => {
+                let b = self.fit_anchored(train, d);
+                self.b_acr = Some(b.clone());
+                b
+            }
+        };
+        if self.gen.is_empty() {
+            let mut rng = StdRng::seed_from_u64(self.config.seed);
+            self.build_params(d, &mut rng);
+            self.beta_c = b_acr.clone();
+            if let Some((_, bias)) = self.gen.last_mut() {
+                *bias = b_acr.t();
+            }
+        }
+        let params = self.param_list();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut g = Graph::new();
+        let (param_vars, loss) =
+            self.build_training_graph(&mut g, train, &mask, &b_acr, &params, Some(&mut rng));
+        TrainingAudit {
+            plan: g.plan(),
+            params: param_vars
+                .iter()
+                .zip(self.param_names())
+                .map(|(v, name)| (v.index(), name))
+                .collect(),
+            loss: loss.index(),
+        }
+    }
+
     /// Two-phase training (§III-F) on the given correlation graph and
     /// training quarters.
     ///
@@ -379,27 +557,10 @@ impl AmsModel {
         train: &[QuarterBatch],
         val: Option<&QuarterBatch>,
     ) -> f64 {
-        assert!(!train.is_empty(), "AMS fit: no training quarters");
-        let n_nodes = graph.num_nodes();
-        for b in train {
-            assert_eq!(b.x.rows(), n_nodes, "AMS fit: batch rows != graph nodes");
-            assert_eq!(b.y.rows(), n_nodes, "AMS fit: label rows != graph nodes");
-        }
-        let d = train[0].x.cols();
-        let mask = Matrix::from_vec(n_nodes, n_nodes, graph.dense_mask());
+        let (d, mask) = Self::check_fit_inputs(graph, train);
 
-        // Phase 1: anchored LR on all training samples (Eq. 5), in
-        // slave-column space.
-        let mut x_all = train[0].x.clone();
-        let mut y_all = train[0].y.clone();
-        for b in &train[1..] {
-            x_all = x_all.vcat(&b.x);
-            y_all = y_all.vcat(&b.y);
-        }
-        let x_all = x_all.matmul(&self.selection(d));
-        let b_acr = ridge_solve(&x_all, &y_all, self.config.anchored_lambda)
-            .or_else(|_| ridge_solve(&x_all, &y_all, self.config.anchored_lambda + 1e-6))
-            .expect("anchored LR solve failed");
+        // Phase 1: anchored LR (Eq. 5).
+        let b_acr = self.fit_anchored(train, d);
         self.b_acr = Some(b_acr.clone());
 
         // Phase 2: Adam on Γ_master (Eq. 11).
@@ -413,9 +574,7 @@ impl AmsModel {
             *b = b_acr.t();
         }
 
-        let total_n: usize = train.iter().map(|b| b.x.rows()).sum();
         let mut params = self.param_list();
-        let n_weight_slots: Vec<bool> = self.l2_slots();
         let mut adam = Adam::new(self.config.lr);
         let mut best: Option<(f64, Vec<Matrix>)> = None;
         const VAL_EVERY: usize = 25;
@@ -437,52 +596,38 @@ impl AmsModel {
             best = Some((vmse, params.clone()));
         }
 
+        // With the `verify` feature, statically check the training tape
+        // before the first optimizer step: shapes, gradient
+        // reachability of every parameter, numerical-risk rules. The
+        // audit uses its own RNG so enabling the feature cannot perturb
+        // the training dropout stream.
+        #[cfg(feature = "verify")]
+        {
+            let mut vrng = StdRng::seed_from_u64(self.config.seed);
+            let mut vg = Graph::new();
+            let (pv, vloss) =
+                self.build_training_graph(&mut vg, train, &mask, &b_acr, &params, Some(&mut vrng));
+            let audit = ams_analyze::PlanAudit {
+                plan: vg.plan(),
+                params: pv
+                    .iter()
+                    .zip(self.param_names())
+                    .map(|(v, name)| (v.index(), name))
+                    .collect(),
+                loss: Some(vloss.index()),
+            };
+            let report = ams_analyze::analyze(&audit);
+            assert!(
+                !report.has_errors(),
+                "AMS training-graph verification failed:\n{}",
+                report.render_text()
+            );
+        }
+
         for epoch in 0..self.config.epochs {
             let mut g = Graph::new();
-            let param_vars: Vec<Var> = params.iter().map(|p| g.input(p.clone())).collect();
-            let b_acr_rowvar = g.input(b_acr.t()); // 1×d, broadcast target
-
-            let mut data_term: Option<Var> = None;
-            let mut slg_term: Option<Var> = None;
-            for batch in train {
-                let x = g.input(batch.x.clone());
-                let y = g.input(batch.y.clone());
-                let (pred, beta_v, _) = self.forward(&mut g, x, &mask, &param_vars, Some(&mut rng));
-                let resid = g.sub(pred, y);
-                let sq = g.sq_frobenius(resid);
-                data_term = Some(match data_term {
-                    None => sq,
-                    Some(acc) => g.add(acc, sq),
-                });
-                // ‖β_v(X_i) − B_acr‖² summed over companies: subtract the
-                // broadcast anchored row from every generated row.
-                let n = batch.x.rows();
-                let ones = g.input(Matrix::ones(n, 1));
-                let acr_rows = g.matmul(ones, b_acr_rowvar);
-                let dv = g.sub(beta_v, acr_rows);
-                let sqv = g.sq_frobenius(dv);
-                slg_term = Some(match slg_term {
-                    None => sqv,
-                    Some(acc) => g.add(acc, sqv),
-                });
-            }
-            let data_term = data_term.expect("nonempty train");
-            let slg_term = slg_term.expect("nonempty train");
-            let scale_data = 1.0 / (2.0 * total_n as f64);
-            let mut loss = g.scale(data_term, scale_data);
-            if self.config.lambda_slg > 0.0 {
-                let slg = g.scale(slg_term, self.config.lambda_slg * scale_data);
-                loss = g.add(loss, slg);
-            }
-            if self.config.lambda_l2 > 0.0 {
-                for (i, &v) in param_vars.iter().enumerate() {
-                    if n_weight_slots[i] {
-                        let sq = g.sq_frobenius(v);
-                        let reg = g.scale(sq, 0.5 * self.config.lambda_l2);
-                        loss = g.add(loss, reg);
-                    }
-                }
-            }
+            let (param_vars, loss) =
+                self.build_training_graph(&mut g, train, &mask, &b_acr, &params, Some(&mut rng));
             let grads = g.backward(loss);
             let grad_mats: Vec<Matrix> = param_vars.iter().map(|&v| grads.get(v)).collect();
             adam.step(&mut params, &grad_mats);
@@ -867,6 +1012,55 @@ mod tests {
         let mut model = AmsModel::new(AmsConfig { epochs: 20, ..Default::default() });
         model.fit(&graph, &task.train);
         assert_eq!(model.predict(&task.test.x).rows(), 8);
+    }
+
+    #[test]
+    fn training_audit_passes_static_analysis() {
+        let task = adaptive_task(4, 2, 76);
+        let mut model = AmsModel::new(AmsConfig {
+            epochs: 10,
+            slave_cols: Some(vec![0, 1]),
+            ..Default::default()
+        });
+        let audit = model.training_audit(&task.graph, &task.train);
+        assert_eq!(audit.params.len(), model.param_names().len());
+        assert!(audit.params.iter().any(|(_, n)| n == "beta_c"));
+        assert!(audit.params.iter().any(|(_, n)| n == "gat[0].head[0].a_left"));
+        assert!(audit.loss < audit.plan.len());
+        // The real training tape must be clean under every tape-IR pass.
+        let report = ams_analyze::analyze(&ams_analyze::PlanAudit {
+            plan: audit.plan,
+            params: audit.params,
+            loss: Some(audit.loss),
+        });
+        assert!(!report.has_errors(), "{}", report.render_text());
+        // Auditing an untrained model must not perturb a later fit.
+        model.fit(&task.graph, &task.train);
+        let mut fresh = AmsModel::new(AmsConfig {
+            epochs: 10,
+            slave_cols: Some(vec![0, 1]),
+            ..Default::default()
+        });
+        fresh.fit(&task.graph, &task.train);
+        assert_eq!(model.predict(&task.test.x).as_slice(), fresh.predict(&task.test.x).as_slice());
+    }
+
+    #[test]
+    fn training_audit_on_fitted_model_reuses_trained_state() {
+        let task = adaptive_task(4, 2, 77);
+        let mut model = AmsModel::new(AmsConfig { epochs: 10, dropout: 0.0, ..Default::default() });
+        model.fit(&task.graph, &task.train);
+        let before = model.predict(&task.test.x);
+        let audit = model.training_audit(&task.graph, &task.train);
+        // Every parameter is an input leaf of the plan.
+        for (node, name) in &audit.params {
+            assert!(
+                matches!(audit.plan.nodes[*node].op, ams_tensor::PlanOp::Leaf),
+                "{name} is not a leaf"
+            );
+        }
+        // And the audit left the fitted parameters untouched.
+        assert_eq!(model.predict(&task.test.x).as_slice(), before.as_slice());
     }
 
     #[test]

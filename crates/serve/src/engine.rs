@@ -131,7 +131,10 @@ impl Engine {
     /// exactly (not approximately) equal to the training-side predict.
     fn run(&self, x: &Matrix) -> Result<(Matrix, Matrix, Matrix), String> {
         let snap = &self.artifact.snapshot;
-        let mask = snap.mask.as_ref().expect("validated on load");
+        let mask = snap
+            .mask
+            .as_ref()
+            .ok_or_else(|| "artifact has no adjacency mask (corrupt snapshot)".to_string())?;
         if x.rows() != mask.rows() {
             return Err(format!(
                 "batch has {} rows but the model graph has {} nodes",
@@ -155,7 +158,7 @@ impl Engine {
         let nt_out = h.clone();
         // GAT stack (Eqs. 2–3).
         for layer in &snap.gat {
-            h = gat_layer_forward(layer, &h, mask);
+            h = gat_layer_forward(layer, &h, mask)?;
         }
         if snap.config.residual {
             h = h.hcat(&nt_out);
@@ -276,7 +279,8 @@ fn gat_head_forward(head: &GatHead, x: &Matrix, mask: &Matrix, leaky_slope: f64)
 }
 
 /// One GAT layer, value-only (`GatLayer::forward` minus the tape).
-fn gat_layer_forward(layer: &GatLayer, x: &Matrix, mask: &Matrix) -> Matrix {
+/// A zero-head layer is a corrupt artifact, reported as an error.
+fn gat_layer_forward(layer: &GatLayer, x: &Matrix, mask: &Matrix) -> Result<Matrix, String> {
     let mut out: Option<Matrix> = None;
     for head in &layer.heads {
         let h = relu(&gat_head_forward(head, x, mask, layer.leaky_slope));
@@ -285,21 +289,21 @@ fn gat_layer_forward(layer: &GatLayer, x: &Matrix, mask: &Matrix) -> Matrix {
             Some(acc) => acc.hcat(&h),
         });
     }
-    out.expect("gat layer has at least one head")
+    out.ok_or_else(|| "gat layer has no heads (corrupt snapshot)".to_string())
 }
 
 /// Convenience: sanity-check an engine against a snapshot's own
 /// reference features. Returns the max absolute deviation between the
-/// fast path and the batch path — `0.0` for a well-formed artifact.
-pub fn fast_vs_batch_deviation(engine: &Engine) -> f64 {
+/// fast path and the batch path — `Ok(0.0)` for a well-formed artifact.
+pub fn fast_vs_batch_deviation(engine: &Engine) -> Result<f64, String> {
     let x = &engine.artifact().reference_features;
-    let batch = engine.predict_batch(x).expect("reference features always score");
+    let batch = engine.predict_batch(x)?;
     let mut worst = 0.0f64;
     for i in 0..engine.num_companies() {
-        let fast = engine.predict_company(i, x.row(i)).expect("in range");
+        let fast = engine.predict_company(i, x.row(i))?;
         worst = worst.max((fast - batch[(i, 0)]).abs());
     }
-    worst
+    Ok(worst)
 }
 
 #[cfg(test)]
@@ -365,7 +369,7 @@ mod tests {
     fn fast_path_equals_batch_at_reference_features() {
         let fx = trained_fixture(44);
         let engine = Engine::new(fx.artifact).unwrap();
-        assert_eq!(fast_vs_batch_deviation(&engine), 0.0);
+        assert_eq!(fast_vs_batch_deviation(&engine).unwrap(), 0.0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::artifact::ModelArtifact;
 use crate::engine::Engine;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// A name's live state: every retained version plus the active one.
 struct Entry {
@@ -18,8 +18,10 @@ struct Entry {
 }
 
 impl Entry {
-    fn active(&self) -> Arc<Engine> {
-        Arc::clone(self.versions.last().expect("entry never empty"))
+    /// The latest published engine; `None` only for an entry that
+    /// never finished its first publish.
+    fn active(&self) -> Option<Arc<Engine>> {
+        self.versions.last().map(Arc::clone)
     }
 }
 
@@ -43,7 +45,11 @@ impl Registry {
         let engine = Arc::new(Engine::new(artifact)?);
         let name = engine.artifact().name.clone();
         let version = engine.artifact().version;
-        let mut map = self.inner.write().expect("registry lock poisoned");
+        // A poisoned lock means a worker panicked mid-swap; the map
+        // itself is still structurally sound (every mutation is a
+        // single push/drain), so recover the guard rather than
+        // cascading the panic through every serving thread.
+        let mut map = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         let entry = map.entry(name).or_insert_with(|| Entry { versions: Vec::new() });
         if let Some(latest) = entry.versions.last() {
             let latest_v = latest.artifact().version;
@@ -59,21 +65,23 @@ impl Registry {
 
     /// The active (latest) engine for a name.
     pub fn get(&self, name: &str) -> Option<Arc<Engine>> {
-        self.inner.read().expect("registry lock poisoned").get(name).map(Entry::active)
+        self.inner.read().unwrap_or_else(PoisonError::into_inner).get(name).and_then(Entry::active)
     }
 
     /// A specific retained version.
     pub fn get_version(&self, name: &str, version: u64) -> Option<Arc<Engine>> {
-        let map = self.inner.read().expect("registry lock poisoned");
+        let map = self.inner.read().unwrap_or_else(PoisonError::into_inner);
         map.get(name)?.versions.iter().find(|e| e.artifact().version == version).map(Arc::clone)
     }
 
     /// `(name, active version, retained count)` for every model.
     pub fn list(&self) -> Vec<(String, u64, usize)> {
-        let map = self.inner.read().expect("registry lock poisoned");
+        let map = self.inner.read().unwrap_or_else(PoisonError::into_inner);
         let mut out: Vec<(String, u64, usize)> = map
             .iter()
-            .map(|(name, e)| (name.clone(), e.active().artifact().version, e.versions.len()))
+            .filter_map(|(name, e)| {
+                e.active().map(|a| (name.clone(), a.artifact().version, e.versions.len()))
+            })
             .collect();
         out.sort();
         out
@@ -83,7 +91,7 @@ impl Registry {
     /// how many were dropped. In-flight requests holding a dropped
     /// engine's `Arc` finish unharmed.
     pub fn prune(&self, name: &str, keep: usize) -> usize {
-        let mut map = self.inner.write().expect("registry lock poisoned");
+        let mut map = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         match map.get_mut(name) {
             Some(e) if e.versions.len() > keep.max(1) => {
                 let drop_n = e.versions.len() - keep.max(1);

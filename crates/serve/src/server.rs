@@ -134,7 +134,10 @@ fn worker_loop(
         // Hold the queue lock only while dequeuing; the timeout lets the
         // worker notice shutdown even when no connections arrive.
         let conn = {
-            let guard = rx.lock().expect("connection queue lock poisoned");
+            // A poisoned queue lock means a sibling worker panicked
+            // while dequeuing; the receiver is still usable, so recover
+            // instead of taking the whole pool down.
+            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             guard.recv_timeout(Duration::from_millis(50))
         };
         match conn {
@@ -188,8 +191,9 @@ fn handle_connection(
         let (kind, response) = handle_request(line.trim(), registry, metrics);
         let is_error = matches!(response.get("ok").and_then(Value::as_bool), Some(false) | None);
         metrics.record(&kind, started.elapsed(), is_error);
-        let mut encoded =
-            serde_json::to_string(&response).expect("response serialization is infallible");
+        let mut encoded = serde_json::to_string(&response).unwrap_or_else(|_| {
+            r#"{"ok":false,"error":"internal: response serialization failed"}"#.to_string()
+        });
         encoded.push('\n');
         if writer.write_all(encoded.as_bytes()).is_err() || writer.flush().is_err() {
             return;
@@ -272,19 +276,24 @@ fn handle_predict(request: &Value, registry: &Registry) -> Result<Value, String>
     let company = company_field(request)?;
     let mut features = features_field(request)?;
     let raw = request.get("raw").and_then(Value::as_bool).unwrap_or(false);
-    if raw {
-        let st =
-            engine.artifact().standardizer.as_ref().ok_or_else(|| {
+    // Resolve the standardizer once so raw-space handling has a single
+    // fallible step instead of a checked lookup plus a later unwrap.
+    let standardizer =
+        if raw {
+            Some(engine.artifact().standardizer.as_ref().ok_or_else(|| {
                 "model has no standardizer; send model-space features".to_string()
-            })?;
+            })?)
+        } else {
+            None
+        };
+    if let Some(st) = standardizer {
         if features.len() != st.width() {
             return Err(format!("feature width {} != model width {}", features.len(), st.width()));
         }
         st.transform_row(&mut features);
     }
     let mut prediction = engine.predict_company(company, &features)?;
-    if raw {
-        let st = engine.artifact().standardizer.as_ref().expect("checked above");
+    if let Some(st) = standardizer {
         prediction = st.destandardize_label(prediction);
     }
     Ok(Value::Object(vec![
@@ -307,15 +316,20 @@ fn handle_batch_predict(request: &Value, registry: &Registry) -> Result<Value, S
     }
     let d = engine.feature_width();
     let raw = request.get("raw").and_then(Value::as_bool).unwrap_or(false);
+    let standardizer =
+        if raw {
+            Some(engine.artifact().standardizer.as_ref().ok_or_else(|| {
+                "model has no standardizer; send model-space features".to_string()
+            })?)
+        } else {
+            None
+        };
     let mut flat = Vec::with_capacity(n * d);
     for (i, mut row) in rows.into_iter().enumerate() {
         if row.len() != d {
             return Err(format!("row {i} has width {} (expected {d})", row.len()));
         }
-        if raw {
-            let st = engine.artifact().standardizer.as_ref().ok_or_else(|| {
-                "model has no standardizer; send model-space features".to_string()
-            })?;
+        if let Some(st) = standardizer {
             st.transform_row(&mut row);
         }
         flat.extend_from_slice(&row);
@@ -325,8 +339,7 @@ fn handle_batch_predict(request: &Value, registry: &Registry) -> Result<Value, S
     let out: Vec<Value> = (0..n)
         .map(|i| {
             let mut p = pred[(i, 0)];
-            if raw {
-                let st = engine.artifact().standardizer.as_ref().expect("checked above");
+            if let Some(st) = standardizer {
                 p = st.destandardize_label(p);
             }
             Value::Number(p)

@@ -271,6 +271,89 @@ mod tests {
     }
 
     #[test]
+    fn check_log_div_clamp() {
+        let mut r = rng();
+        // Positive, bounded away from the clamp threshold so the FD
+        // probe never crosses the kink.
+        let a = xavier_uniform(3, 3, &mut r).map(|x| x.abs() + 0.5);
+        let b = xavier_uniform(3, 3, &mut r).map(|x| x.abs() + 0.5);
+        check_gradients(
+            &|g, vars| {
+                let c = g.clamp_min(vars[1], 1e-3);
+                let q = g.div(vars[0], c);
+                let l = g.log(q);
+                g.sq_frobenius(l)
+            },
+            &[a, b],
+            TOL,
+        );
+    }
+
+    #[test]
+    fn check_gat_composite_end_to_end() {
+        // The full attention-layer op mix in one scalar objective:
+        // outer_sum → leaky_relu → masked softmax → aggregation,
+        // concatenated across two heads with eval-mode (identity)
+        // dropout in between. Each op has a unit check above; this
+        // verifies the *composition* — the configuration the AMS
+        // master actually differentiates through.
+        let mut r = rng();
+        let params = vec![
+            xavier_uniform(4, 3, &mut r), // node features
+            xavier_uniform(3, 2, &mut r), // head-1 W
+            xavier_uniform(2, 1, &mut r), // head-1 a_left
+            xavier_uniform(2, 1, &mut r), // head-1 a_right
+            xavier_uniform(3, 2, &mut r), // head-2 W
+            xavier_uniform(2, 1, &mut r), // head-2 a_left
+            xavier_uniform(2, 1, &mut r), // head-2 a_right
+        ];
+        let mask = Matrix::from_rows(&[
+            &[1.0, 1.0, 0.0, 0.0],
+            &[1.0, 1.0, 1.0, 0.0],
+            &[0.0, 1.0, 1.0, 1.0],
+            &[0.0, 0.0, 1.0, 1.0],
+        ]);
+        // Eval-mode dropout: rate 0 ⇒ an all-ones mask, so the op is
+        // recorded on the tape but must behave as the identity.
+        let eval_mask = dropout_mask(4, 2, 0.0, &mut r);
+        assert!(eval_mask.as_slice().iter().all(|&m| m == 1.0));
+        check_gradients(
+            &move |g, vars| {
+                let mut heads = Vec::new();
+                for h in 0..2 {
+                    let wx = g.matmul(vars[0], vars[1 + 3 * h]);
+                    let sl = g.matmul(wx, vars[2 + 3 * h]);
+                    let sr = g.matmul(wx, vars[3 + 3 * h]);
+                    let e = g.outer_sum(sl, sr);
+                    let e = g.leaky_relu(e, 0.2);
+                    let attn = g.masked_softmax_rows(e, &mask);
+                    let agg = g.matmul(attn, wx);
+                    let agg = g.dropout(agg, &eval_mask);
+                    heads.push(g.relu(agg));
+                }
+                let cat = g.concat_cols(&heads);
+                g.sq_frobenius(cat)
+            },
+            &params,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn eval_mode_dropout_is_identity() {
+        let mut r = rng();
+        let mut g = Graph::new();
+        let x0 = xavier_uniform(3, 4, &mut r);
+        let x = g.input(x0.clone());
+        let m = dropout_mask(3, 4, 0.0, &mut r);
+        let y = g.dropout(x, &m);
+        assert_eq!(g.value(y).as_slice(), x0.as_slice());
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert!(grads.get(x).max_abs_diff(&Matrix::ones(3, 4)) < 1e-15);
+    }
+
+    #[test]
     fn numeric_gradient_of_known_function() {
         // f(w) = sum(w^2) → df/dw = 2w exactly; FD should agree closely.
         let params = vec![Matrix::from_rows(&[&[1.0, -2.0, 0.5]])];

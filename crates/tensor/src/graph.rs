@@ -22,6 +22,7 @@
 use std::rc::Rc;
 
 use crate::matrix::Matrix;
+use crate::plan::{PlanNode, PlanOp};
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,6 +45,8 @@ enum Op {
     Sub(Var, Var),
     /// Element-wise (Hadamard) product.
     Mul(Var, Var),
+    /// Element-wise division `a / b`.
+    Div(Var, Var),
     MatMul(Var, Var),
     /// `a * x + b` applied element-wise; only the multiplier matters
     /// for the VJP, so it alone is stored.
@@ -52,6 +55,11 @@ enum Op {
     LeakyRelu(Var, f64),
     Sigmoid(Var),
     Tanh(Var),
+    /// Natural logarithm, element-wise.
+    Log(Var),
+    /// `max(x, lo)` element-wise — the numerical guard the analyzer
+    /// expects in front of `log`/`div` (see `ams-analyze`).
+    ClampMin(Var, f64),
     Transpose(Var),
     /// `(n×d) + (1×d)` bias-style broadcast over rows.
     AddRowBroadcast(Var, Var),
@@ -112,12 +120,27 @@ impl Gradients {
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    finite_checks: bool,
 }
 
 impl Graph {
     /// Empty graph.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self { nodes: Vec::new(), finite_checks: false }
+    }
+
+    /// Opt into checking every recorded value for NaN/∞ at record time,
+    /// in release builds too. Debug builds always check (the historical
+    /// `debug_assert`); enabling this lets a release training run get
+    /// NaN provenance — the panic names the op that first produced a
+    /// non-finite value — without rebuilding in debug.
+    pub fn set_finite_checks(&mut self, enabled: bool) {
+        self.finite_checks = enabled;
+    }
+
+    /// Whether opt-in finite checks are enabled.
+    pub fn finite_checks(&self) -> bool {
+        self.finite_checks
     }
 
     /// Number of recorded nodes.
@@ -136,7 +159,11 @@ impl Graph {
     }
 
     fn push(&mut self, op: Op, value: Matrix) -> Var {
-        debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        if self.finite_checks {
+            assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        } else {
+            debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        }
         self.nodes.push(Node { op, value });
         Var(self.nodes.len() - 1)
     }
@@ -162,6 +189,29 @@ impl Graph {
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         let v = self.value(a).hadamard(self.value(b));
         self.push(Op::Mul(a, b), v)
+    }
+
+    /// Element-wise division `a / b` (same shapes). The analyzer's
+    /// numerical-risk pass expects the denominator to pass through
+    /// [`Graph::clamp_min`] (or a bounded-positive activation) first.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip_with(self.value(b), |x, y| x / y);
+        self.push(Op::Div(a, b), v)
+    }
+
+    /// Natural logarithm, element-wise. Inputs must be positive; guard
+    /// with [`Graph::clamp_min`] when they are not positive by
+    /// construction.
+    pub fn log(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(f64::ln);
+        self.push(Op::Log(x), v)
+    }
+
+    /// `max(x, lo)` element-wise — the clamp that makes `log`/`div`
+    /// numerically safe.
+    pub fn clamp_min(&mut self, x: Var, lo: f64) -> Var {
+        let v = self.value(x).map(|e| e.max(lo));
+        self.push(Op::ClampMin(x, lo), v)
     }
 
     /// Matrix product.
@@ -370,6 +420,23 @@ impl Graph {
                     self.accumulate(&mut grads, a, ga);
                     self.accumulate(&mut grads, b, gb);
                 }
+                Op::Div(a, b) => {
+                    let ga = g.zip_with(self.value(b), |gi, bi| gi / bi);
+                    let y = self.nodes[idx].value.clone();
+                    // d/db (a/b) = -a/b² = -y/b.
+                    let gb =
+                        g.zip_with(&y, |gi, yi| gi * yi).zip_with(self.value(b), |gy, bi| -gy / bi);
+                    self.accumulate(&mut grads, a, ga);
+                    self.accumulate(&mut grads, b, gb);
+                }
+                Op::Log(a) => {
+                    let gx = g.zip_with(self.value(a), |gi, xi| gi / xi);
+                    self.accumulate(&mut grads, a, gx);
+                }
+                Op::ClampMin(a, lo) => {
+                    let gx = g.zip_with(self.value(a), |gi, xi| if xi > lo { gi } else { 0.0 });
+                    self.accumulate(&mut grads, a, gx);
+                }
                 Op::MatMul(a, b) => {
                     let ga = g.matmul(&self.value(b).t());
                     let gb = self.value(a).t().matmul(&g);
@@ -506,6 +573,46 @@ impl Graph {
 
         let shapes = self.nodes.iter().map(|n| n.value.shape()).collect();
         Gradients { grads, shapes }
+    }
+
+    /// Data-free description of node `idx` for [`Graph::plan`]
+    /// (defined here because [`Op`] is private to this module).
+    pub(crate) fn plan_node(&self, idx: usize) -> PlanNode {
+        let node = &self.nodes[idx];
+        let op = match &node.op {
+            Op::Leaf => PlanOp::Leaf,
+            Op::Add(a, b) => PlanOp::Add(a.0, b.0),
+            Op::Sub(a, b) => PlanOp::Sub(a.0, b.0),
+            Op::Mul(a, b) => PlanOp::Mul(a.0, b.0),
+            Op::Div(a, b) => PlanOp::Div(a.0, b.0),
+            Op::MatMul(a, b) => PlanOp::MatMul(a.0, b.0),
+            Op::Affine(a, alpha) => PlanOp::Affine(a.0, *alpha),
+            Op::Relu(a) => PlanOp::Relu(a.0),
+            Op::LeakyRelu(a, alpha) => PlanOp::LeakyRelu(a.0, *alpha),
+            Op::Sigmoid(a) => PlanOp::Sigmoid(a.0),
+            Op::Tanh(a) => PlanOp::Tanh(a.0),
+            Op::Log(a) => PlanOp::Log(a.0),
+            Op::ClampMin(a, lo) => PlanOp::ClampMin(a.0, *lo),
+            Op::Transpose(a) => PlanOp::Transpose(a.0),
+            Op::AddRowBroadcast(a, b) => PlanOp::AddRowBroadcast(a.0, b.0),
+            Op::OuterSum(a, b) => PlanOp::OuterSum(a.0, b.0),
+            Op::MaskedSoftmaxRows(a, mask) => {
+                let fully_masked_rows =
+                    (0..mask.rows()).filter(|&r| mask.row(r).iter().all(|&m| m == 0.0)).count();
+                PlanOp::MaskedSoftmaxRows { x: a.0, mask_shape: mask.shape(), fully_masked_rows }
+            }
+            Op::ConcatCols(parts) => PlanOp::ConcatCols(parts.iter().map(|v| v.0).collect()),
+            Op::SumAll(a) => PlanOp::SumAll(a.0),
+            Op::MeanAll(a) => PlanOp::MeanAll(a.0),
+            Op::Mse(a, b) => PlanOp::Mse(a.0, b.0),
+            Op::RowwiseDot(a, b) => PlanOp::RowwiseDot(a.0, b.0),
+            Op::SelectRows(a, ids) => {
+                PlanOp::SelectRows { x: a.0, n_ids: ids.len(), max_id: ids.iter().copied().max() }
+            }
+            Op::Dropout(a, mask) => PlanOp::Dropout(a.0, mask.shape()),
+            Op::SqFrobenius(a) => PlanOp::SqFrobenius(a.0),
+        };
+        PlanNode { op, shape: Some(node.value.shape()), finite: node.value.all_finite() }
     }
 
     fn accumulate(&self, grads: &mut [Option<Matrix>], var: Var, g: Matrix) {
@@ -702,6 +809,54 @@ mod tests {
         let y = g.matmul(w, xt);
         let grads = g.backward(y);
         assert_eq!(grads.get(x).as_slice(), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn div_value_and_grad() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[&[6.0, 1.0]]));
+        let b = g.input(Matrix::from_rows(&[&[2.0, 4.0]]));
+        let q = g.div(a, b);
+        assert_eq!(g.value(q).as_slice(), &[3.0, 0.25]);
+        let loss = g.sum_all(q);
+        let grads = g.backward(loss);
+        // d/da = 1/b; d/db = -a/b².
+        assert!(grads.get(a).max_abs_diff(&Matrix::from_rows(&[&[0.5, 0.25]])) < 1e-12);
+        assert!(grads.get(b).max_abs_diff(&Matrix::from_rows(&[&[-1.5, -0.0625]])) < 1e-12);
+    }
+
+    #[test]
+    fn log_grad_is_reciprocal() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[1.0, 4.0]]));
+        let y = g.log(x);
+        assert!((g.value(y)[(0, 1)] - 4.0f64.ln()).abs() < 1e-12);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert!(grads.get(x).max_abs_diff(&Matrix::from_rows(&[&[1.0, 0.25]])) < 1e-12);
+    }
+
+    #[test]
+    fn clamp_min_gates_gradient_like_relu() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_rows(&[&[0.5, 2.0]]));
+        let y = g.clamp_min(x, 1.0);
+        assert_eq!(g.value(y).as_slice(), &[1.0, 2.0]);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(x).as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite value")]
+    fn finite_checks_catch_nan_at_the_producing_op() {
+        // `log` of a negative number is NaN; with runtime finite checks
+        // enabled the panic names the op, giving NaN provenance even in
+        // release builds.
+        let mut g = Graph::new();
+        g.set_finite_checks(true);
+        let x = g.input(Matrix::from_rows(&[&[-1.0]]));
+        let _ = g.log(x);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * [`init`] — Xavier/He initialization, Box–Muller normals, and
 //!   inverted-dropout masks;
 //! * [`gradcheck`] — finite-difference verification used across the
-//!   workspace's test suites.
+//!   workspace's test suites;
+//! * [`plan`] — a read-only, data-free snapshot of a recorded tape
+//!   ([`Graph::plan`]), the IR the `ams-analyze` static checker
+//!   replays shape inference and gradient reachability over.
 
 pub mod gradcheck;
 pub mod graph;
@@ -22,8 +25,10 @@ pub mod init;
 pub mod linalg;
 pub mod matrix;
 pub mod optim;
+pub mod plan;
 
 pub use graph::{Gradients, Graph, Var};
 pub use linalg::{cholesky, ridge_solve, solve_lu, solve_spd, LinalgError};
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};
+pub use plan::{Plan, PlanNode, PlanOp};

@@ -13,10 +13,14 @@
 //! * [`eval`] — BC/BA/SR metrics and the CV harness (§IV);
 //! * [`backtest`] — market simulator and the §IV-F trading strategy;
 //! * [`serve`] — model artifacts, tape-free inference, the prediction
-//!   server (see README "Serving").
+//!   server (see README "Serving");
+//! * [`analyze`] — static analysis: symbolic shape/gradient checks
+//!   over the tape IR and the repo lint engine behind `ams-check`
+//!   (see README "Static analysis").
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+pub use ams_analyze as analyze;
 pub use ams_backtest as backtest;
 pub use ams_core as model;
 pub use ams_data as data;
