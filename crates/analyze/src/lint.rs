@@ -50,6 +50,10 @@ fn in_tensor_scope(path: &str) -> bool {
     normalized(path).contains("tensor/src/")
 }
 
+fn in_runtime_scope(path: &str) -> bool {
+    normalized(path).contains("runtime/src/")
+}
+
 /// Rules named by a `// ams-lint: allow(a, b)` marker, if the line
 /// carries one.
 fn allowed_rules(line: &str) -> HashSet<String> {
@@ -100,6 +104,9 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let mut in_tests = false;
     let mut prev_allowed: HashSet<String> = HashSet::new();
+    // Indentation stack of enclosing `for` loops, for the naive-matmul
+    // rule: an entry is the indent column of an open `for`.
+    let mut for_stack: Vec<usize> = Vec::new();
 
     for (idx, raw) in lines.iter().enumerate() {
         let line_no = idx + 1;
@@ -141,6 +148,45 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Diagnostic> {
             continue;
         }
         let code = code_part(raw);
+
+        // no-naive-matmul-outside-runtime: a multiply-accumulate inside
+        // three (or more) nested `for` loops is a hand-rolled O(n³)
+        // kernel; outside the runtime crate those belong on the shared
+        // blocked kernels. Loop nesting is tracked by indentation,
+        // which rustfmt makes reliable in this repo.
+        {
+            let trimmed = code.trim_start();
+            if !trimmed.is_empty() {
+                let indent = code.len() - trimmed.len();
+                while for_stack.last().is_some_and(|&open| open >= indent) {
+                    for_stack.pop();
+                }
+                if !in_runtime_scope(path)
+                    && !allowed.contains("no-naive-matmul-outside-runtime")
+                    && for_stack.len() >= 3
+                {
+                    if let Some(pos) = trimmed.find("+=") {
+                        if trimmed[pos..].contains('*') {
+                            out.push(finding(
+                                true,
+                                "no-naive-matmul-outside-runtime",
+                                path,
+                                line_no,
+                                indent + pos + 1,
+                                "multiply-accumulate in a triple `for` nest: a naive O(n³) kernel \
+                                 outside ams-runtime"
+                                    .to_string(),
+                                "use the shared blocked kernels (`Backend::matmul` or \
+                                 `ams_runtime::kernels`) instead of a hand-rolled loop",
+                            ));
+                        }
+                    }
+                }
+                if trimmed.starts_with("for ") {
+                    for_stack.push(indent);
+                }
+            }
+        }
 
         if in_no_unwrap_scope(path) && !allowed.contains("no-unwrap-in-serve") {
             for needle in [".unwrap()", ".expect("] {
@@ -319,6 +365,71 @@ mod tests {
         assert!(lint_source("crates/tensor/src/kernel.rs", rounded).is_empty());
         // Outside tensor kernels the rule does not apply.
         assert!(lint_source("crates/core/src/data.rs", flagged).is_empty());
+    }
+
+    #[test]
+    fn naive_matmul_flagged_outside_runtime_only() {
+        let naive = "fn matmul(a: &M, b: &M) -> M {\n\
+                     \x20   for i in 0..m {\n\
+                     \x20       for j in 0..n {\n\
+                     \x20           for kk in 0..k {\n\
+                     \x20               out[(i, j)] += a[(i, kk)] * b[(kk, j)];\n\
+                     \x20           }\n\
+                     \x20       }\n\
+                     \x20   }\n\
+                     }\n";
+        let diags = lint_source("crates/core/src/thing.rs", naive);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "no-naive-matmul-outside-runtime");
+        match &diags[0].location {
+            Location::Source { line, .. } => assert_eq!(*line, 5),
+            other => panic!("wrong location {other:?}"),
+        }
+        // The runtime crate is where those kernels are allowed to live.
+        assert!(lint_source("crates/runtime/src/kernels.rs", naive).is_empty());
+        // A suppression marker works as for every other rule.
+        let allowed = naive.replace(
+            "out[(i, j)] +=",
+            "// ams-lint: allow(no-naive-matmul-outside-runtime)\n                out[(i, j)] +=",
+        );
+        assert!(lint_source("crates/core/src/thing.rs", &allowed).is_empty());
+    }
+
+    #[test]
+    fn double_loop_accumulate_is_not_a_matmul() {
+        // Two nested loops (row sums, dot products) are fine; so is a
+        // triple nest without a multiply-accumulate.
+        let dot = "fn f() {\n\
+                   \x20   for i in 0..m {\n\
+                   \x20       for j in 0..n {\n\
+                   \x20           acc += a[(i, j)] * b[(i, j)];\n\
+                   \x20       }\n\
+                   \x20   }\n\
+                   }\n";
+        assert!(lint_source("crates/stats/src/corr.rs", dot).is_empty());
+        let copy = "fn f() {\n\
+                    \x20   for i in 0..m {\n\
+                    \x20       for j in 0..n {\n\
+                    \x20           for kk in 0..k {\n\
+                    \x20               out[(i, j, kk)] = a[(i, kk)];\n\
+                    \x20           }\n\
+                    \x20       }\n\
+                    \x20   }\n\
+                    }\n";
+        assert!(lint_source("crates/stats/src/corr.rs", copy).is_empty());
+        // Sibling loops at the same indent do not stack.
+        let siblings = "fn f() {\n\
+                        \x20   for i in 0..m {\n\
+                        \x20       x += 1.0 * 2.0;\n\
+                        \x20   }\n\
+                        \x20   for j in 0..n {\n\
+                        \x20       y += 1.0 * 2.0;\n\
+                        \x20   }\n\
+                        \x20   for kk in 0..k {\n\
+                        \x20       z += 1.0 * 2.0;\n\
+                        \x20   }\n\
+                        }\n";
+        assert!(lint_source("crates/stats/src/corr.rs", siblings).is_empty());
     }
 
     #[test]

@@ -15,9 +15,11 @@
 
 use ams_graph::CompanyGraph;
 use ams_tensor::init::{dropout_mask, he_uniform};
+use ams_tensor::runtime::{Backend, BackendChoice};
 use ams_tensor::{ridge_solve, Adam, Graph, Matrix, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 use crate::gat::GatLayer;
 
@@ -66,6 +68,12 @@ pub struct AmsConfig {
     /// effect, pure overfitting on quarterly panels this small) while
     /// keeping the interpretability of the per-feature weights.
     pub slave_cols: Option<Vec<usize>>,
+    /// Execution backend spec for the shared runtime kernels:
+    /// `"seq"`, `"par"`, or `"par:N"` (`None` = sequential). Every
+    /// backend produces bit-identical parameters and predictions — this
+    /// knob only chooses how the kernels execute, never what they
+    /// compute, so it is safe to flip between training and serving.
+    pub backend: Option<String>,
 }
 
 impl Default for AmsConfig {
@@ -86,6 +94,7 @@ impl Default for AmsConfig {
             seed: 0,
             residual: true,
             slave_cols: None,
+            backend: None,
         }
     }
 }
@@ -164,14 +173,32 @@ pub struct AmsModel {
     b_acr: Option<Matrix>,
     /// Dense adjacency mask of the training graph.
     mask: Option<Matrix>,
+    /// Kernel execution backend resolved from `config.backend`.
+    backend: Arc<dyn Backend>,
+}
+
+/// Resolve the configured backend spec, panicking on an invalid spec
+/// (configuration errors surface at model construction, not mid-fit).
+fn resolve_backend(config: &AmsConfig) -> Arc<dyn Backend> {
+    match &config.backend {
+        Some(spec) => {
+            BackendChoice::parse(spec).unwrap_or_else(|e| panic!("AmsConfig.backend: {e}")).create()
+        }
+        None => ams_tensor::runtime::seq(),
+    }
 }
 
 impl AmsModel {
     /// Untrained model; layer shapes are finalized at `fit` time from
     /// the feature width.
+    ///
+    /// # Panics
+    /// Panics if γ is outside `[0, 1]`, a regularization strength is
+    /// negative, or `config.backend` is not a valid spec.
     pub fn new(config: AmsConfig) -> Self {
         assert!((0.0..=1.0).contains(&config.gamma), "gamma outside [0,1]");
         assert!(config.lambda_slg >= 0.0 && config.lambda_l2 >= 0.0);
+        let backend = resolve_backend(&config);
         Self {
             config,
             nt: Vec::new(),
@@ -180,6 +207,7 @@ impl AmsModel {
             beta_c: Matrix::zeros(0, 0),
             b_acr: None,
             mask: None,
+            backend,
         }
     }
 
@@ -624,8 +652,14 @@ impl AmsModel {
             );
         }
 
+        // One tape for the whole fit: `reset` drains each epoch's nodes
+        // back into the graph's workspace arena, so after the first
+        // epoch the forward pass runs on recycled buffers instead of
+        // fresh allocations. Bit-exactness is unaffected — the kernels
+        // and accumulation order are identical either way.
+        let mut g = Graph::with_backend(Arc::clone(&self.backend));
         for epoch in 0..self.config.epochs {
-            let mut g = Graph::new();
+            g.reset();
             let (param_vars, loss) =
                 self.build_training_graph(&mut g, train, &mask, &b_acr, &params, Some(&mut rng));
             let grads = g.backward(loss);
@@ -722,6 +756,7 @@ impl AmsModel {
     /// the same forward pass over the same parameters).
     pub fn from_snapshot(s: ModelSnapshot) -> Self {
         let lin = |layers: Vec<LinearLayer>| layers.into_iter().map(|l| (l.w, l.b)).collect();
+        let backend = resolve_backend(&s.config);
         Self {
             config: s.config,
             nt: lin(s.nt),
@@ -730,6 +765,7 @@ impl AmsModel {
             beta_c: s.beta_c,
             b_acr: s.b_acr,
             mask: s.mask,
+            backend,
         }
     }
 
@@ -745,7 +781,7 @@ impl AmsModel {
         let mask = self.mask.as_ref().expect("predict before fit");
         assert_eq!(x.rows(), mask.rows(), "predict: row count != graph nodes");
         let params = self.param_list();
-        let mut g = Graph::new();
+        let mut g = Graph::with_backend(Arc::clone(&self.backend));
         let xv = g.input(x.clone());
         let pv: Vec<Var> = params.iter().map(|p| g.input(p.clone())).collect();
         let (pred, beta_v, beta) = self.forward(&mut g, xv, mask, &pv, None);
@@ -767,6 +803,7 @@ mod tests {
             gamma: 0.35,
             slave_cols: Some(vec![0, 2, 5]),
             seed: 99,
+            backend: Some("par:2".to_string()),
             ..AmsConfig::default()
         };
         let json = serde_json::to_string(&config).unwrap();
@@ -786,6 +823,7 @@ mod tests {
         assert_eq!(back.seed, config.seed);
         assert_eq!(back.residual, config.residual);
         assert_eq!(back.slave_cols, config.slave_cols);
+        assert_eq!(back.backend, config.backend);
 
         // `None` must survive as well (it selects all-continuous columns
         // downstream, which is very different from `Some(vec![])`).
@@ -793,6 +831,7 @@ mod tests {
         let back: AmsConfig =
             serde_json::from_str(&serde_json::to_string(&config).unwrap()).unwrap();
         assert_eq!(back.slave_cols, None);
+        assert_eq!(back.backend, None);
     }
 
     /// Synthetic "adaptive" task: two clusters of nodes with *opposite*
@@ -989,6 +1028,35 @@ mod tests {
             "strong λ_slg distance {pinned} should be well below unregularized {free}"
         );
         assert!(pinned < 0.1, "pinned mean distance {pinned} should be small in absolute terms");
+    }
+
+    #[test]
+    fn par_backend_fit_and_predict_are_bit_identical_to_seq() {
+        // The backend knob must never change what is computed: a full
+        // fit (phase 1 + Adam epochs + dropout) on the parallel backend
+        // has to reproduce the sequential run bit for bit.
+        let task = adaptive_task(6, 3, 78);
+        let cfg = AmsConfig { epochs: 60, seed: 21, ..Default::default() };
+        let mut seq = AmsModel::new(cfg.clone());
+        seq.fit(&task.graph, &task.train);
+        let mut par = AmsModel::new(AmsConfig { backend: Some("par:4".into()), ..cfg });
+        par.fit(&task.graph, &task.train);
+        let ps = seq.predict(&task.test.x);
+        let pp = par.predict(&task.test.x);
+        for (a, b) in ps.as_slice().iter().zip(pp.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let (bs, _) = seq.slave_weights(&task.test.x);
+        let (bp, _) = par.slave_weights(&task.test.x);
+        for (a, b) in bs.as_slice().iter().zip(bp.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid backend spec")]
+    fn invalid_backend_spec_is_rejected_at_construction() {
+        AmsModel::new(AmsConfig { backend: Some("gpu".into()), ..Default::default() });
     }
 
     #[test]

@@ -135,7 +135,7 @@ impl GatLayer {
 mod tests {
     use super::*;
     use ams_graph::CompanyGraph;
-    use ams_tensor::gradcheck::check_gradients;
+    use ams_tensor::gradcheck::{check_gradients, check_gradients_with};
     use ams_tensor::init::xavier_uniform;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -241,6 +241,31 @@ mod tests {
             },
             &params,
             1e-5,
+        );
+    }
+
+    #[test]
+    fn gat_layer_gradcheck_on_par_backend() {
+        // Same finite-difference check, but with every tape op running
+        // on the parallel backend: the analytic gradients must stay
+        // correct (and, by the runtime's determinism guarantee,
+        // bit-identical to the sequential ones).
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = GatLayer::hidden(4, 3, 2, &mut rng);
+        let mask = line_graph_mask(5);
+        let x0 = xavier_uniform(5, 4, &mut rng);
+        let mut params: Vec<Matrix> = vec![x0];
+        params.extend(layer.params().into_iter().cloned());
+        let backend: std::sync::Arc<dyn ams_tensor::Backend> =
+            std::sync::Arc::new(ams_tensor::runtime::Par::new(4));
+        check_gradients_with(
+            &move |g, vars| {
+                let y = layer.forward(g, vars[0], &mask, &vars[1..]);
+                g.sq_frobenius(y)
+            },
+            &params,
+            1e-5,
+            &backend,
         );
     }
 

@@ -147,7 +147,11 @@ impl Regressor for ElasticNet {
                 }
                 // rho_j = (1/n) x_jᵀ r + col_sq[j] * b_j  (partial residual corr.)
                 let mut rho = 0.0;
+                // Not a matmul: one dot product against a residual that
+                // the enclosing coordinate sweep mutates, so it cannot
+                // move onto a blocked kernel.
                 for i in 0..n {
+                    // ams-lint: allow(no-naive-matmul-outside-runtime)
                     rho += x[(i, j)] * r[i];
                 }
                 rho = rho / nf + col_sq[j] * b[j];

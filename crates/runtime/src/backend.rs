@@ -1,0 +1,317 @@
+//! Execution backends: *where* a kernel runs, separated from *what*
+//! it computes.
+//!
+//! [`Seq`] is the reference backend — it calls the [`crate::kernels`]
+//! directly and is bit-exact with the historical single-threaded
+//! `Matrix` loops. [`Par`] dispatches row ranges of the same kernels
+//! across a persistent [`ThreadPool`]. Because the partition is a pure
+//! function of the problem shape ([`partition`]) and every row is
+//! computed by the identical sequential kernel, `Par` output is
+//! bit-identical to `Seq` — run-to-run and across thread counts. That
+//! guarantee is what lets training, inference and serving choose a
+//! backend freely without perturbing a single ulp.
+
+use crate::kernels;
+use crate::pool::{partition, ThreadPool};
+use crate::RuntimeError;
+use std::sync::Arc;
+
+/// Minimum `m·k·n` (or `rows·cols` for row-wise ops) before `Par`
+/// bothers the pool; below this the dispatch overhead dwarfs the work
+/// and the sequential kernel is used. Shape-dependent only, so the
+/// choice is deterministic.
+const PAR_FLOP_THRESHOLD: usize = 16 * 1024;
+
+/// A kernel execution policy. All methods compute over row-major
+/// `f64` slices with caller-validated shapes (`debug_assert`ed in the
+/// kernels); output buffers must arrive zeroed, as [`crate::Workspace`]
+/// hands them out.
+pub trait Backend: Send + Sync + std::fmt::Debug {
+    /// Human-readable backend name (for logs and bench output).
+    fn name(&self) -> String;
+
+    /// Worker threads the backend computes with (1 for `Seq`).
+    fn threads(&self) -> usize {
+        1
+    }
+
+    /// `out = A·B` (`m×k` times `k×n`).
+    fn matmul(&self, a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+        kernels::matmul(a, b, out, m, k, n);
+    }
+
+    /// `out = A·Bᵀ` where `bt` is the logical `Bᵀ` stored row-major
+    /// (`n×k`) — the packed-panel micro-kernel.
+    fn matmul_transb(&self, a: &[f64], bt: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+        kernels::matmul_transb(a, bt, out, m, k, n);
+    }
+
+    /// `out = Aᵀ·G` (`a` is `r×m`, `g` is `r×n`, out `m×n`).
+    fn matmul_transa(&self, a: &[f64], g: &[f64], out: &mut [f64], r: usize, m: usize, n: usize) {
+        kernels::matmul_transa(a, g, out, r, m, n);
+    }
+
+    /// Fused `out = A·B + bias` (bias broadcast over rows).
+    #[allow(clippy::too_many_arguments)]
+    fn matmul_add_bias(
+        &self,
+        a: &[f64],
+        b: &[f64],
+        bias: &[f64],
+        out: &mut [f64],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        self.matmul(a, b, out, m, k, n);
+        kernels::add_bias_rows(out, bias, m, n);
+    }
+
+    /// `y += alpha·x`.
+    fn axpy(&self, y: &mut [f64], x: &[f64], alpha: f64) {
+        kernels::axpy(y, x, alpha);
+    }
+
+    /// Row-wise masked softmax (see [`kernels::masked_softmax_rows`]).
+    fn masked_softmax_rows(
+        &self,
+        x: &[f64],
+        mask: &[f64],
+        out: &mut [f64],
+        rows: usize,
+        cols: usize,
+    ) {
+        kernels::masked_softmax_rows(x, mask, out, rows, cols);
+    }
+
+    /// `out[r] = dot(a.row(r), b.row(r))`.
+    fn rowwise_dot(&self, a: &[f64], b: &[f64], out: &mut [f64], rows: usize, cols: usize) {
+        kernels::rowwise_dot(a, b, out, rows, cols);
+    }
+}
+
+/// The sequential reference backend.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Seq;
+
+impl Backend for Seq {
+    fn name(&self) -> String {
+        "seq".to_string()
+    }
+}
+
+/// Row-parallel backend over a persistent thread pool with a
+/// deterministic fixed partition. Bit-identical to [`Seq`] (see module
+/// docs).
+#[derive(Debug)]
+pub struct Par {
+    pool: ThreadPool,
+}
+
+impl Par {
+    /// Pool with `threads` workers (min 1).
+    pub fn new(threads: usize) -> Self {
+        Self { pool: ThreadPool::new(threads) }
+    }
+
+    /// Split `rows` into per-task chunks and run `body(task, lo, hi)`
+    /// across the pool. `body` must write only to its own rows.
+    fn for_row_chunks(&self, rows: usize, body: &(dyn Fn(usize, usize, usize) + Sync)) {
+        let tasks = self.pool.workers().min(rows.max(1));
+        self.pool.run(tasks, &|t| {
+            let (lo, hi) = partition(rows, tasks, t);
+            if lo < hi {
+                body(t, lo, hi);
+            }
+        });
+    }
+}
+
+/// A raw mutable pointer that may cross thread boundaries. Each task
+/// writes a disjoint row range, so the aliasing is sound.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// # Safety
+    /// `lo*width..hi*width` must be in bounds and disjoint from every
+    /// other task's range.
+    unsafe fn rows(self, lo: usize, hi: usize, width: usize) -> &'static mut [f64] {
+        std::slice::from_raw_parts_mut(self.0.add(lo * width), (hi - lo) * width)
+    }
+}
+
+impl Backend for Par {
+    fn name(&self) -> String {
+        format!("par:{}", self.pool.workers())
+    }
+
+    fn threads(&self) -> usize {
+        self.pool.workers()
+    }
+
+    fn matmul(&self, a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+        if m * k * n < PAR_FLOP_THRESHOLD || self.pool.workers() == 1 {
+            return kernels::matmul(a, b, out, m, k, n);
+        }
+        debug_assert_eq!(out.len(), m * n, "matmul: out buffer");
+        let ptr = SendPtr(out.as_mut_ptr());
+        self.for_row_chunks(m, &|_, lo, hi| {
+            // SAFETY: chunks are disjoint row ranges of `out`.
+            let rows = unsafe { ptr.rows(lo, hi, n) };
+            kernels::matmul_rows(a, b, rows, lo, hi, k, n);
+        });
+    }
+
+    fn matmul_transb(&self, a: &[f64], bt: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+        if m * k * n < PAR_FLOP_THRESHOLD || self.pool.workers() == 1 {
+            return kernels::matmul_transb(a, bt, out, m, k, n);
+        }
+        debug_assert_eq!(out.len(), m * n, "matmul_transb: out buffer");
+        let ptr = SendPtr(out.as_mut_ptr());
+        self.for_row_chunks(m, &|_, lo, hi| {
+            // SAFETY: chunks are disjoint row ranges of `out`.
+            let rows = unsafe { ptr.rows(lo, hi, n) };
+            kernels::matmul_transb_rows(a, bt, rows, lo, hi, k, n);
+        });
+    }
+
+    fn matmul_transa(&self, a: &[f64], g: &[f64], out: &mut [f64], r: usize, m: usize, n: usize) {
+        if r * m * n < PAR_FLOP_THRESHOLD || self.pool.workers() == 1 {
+            return kernels::matmul_transa(a, g, out, r, m, n);
+        }
+        debug_assert_eq!(out.len(), m * n, "matmul_transa: out buffer");
+        let ptr = SendPtr(out.as_mut_ptr());
+        self.for_row_chunks(m, &|_, lo, hi| {
+            // SAFETY: chunks are disjoint row ranges of `out`.
+            let rows = unsafe { ptr.rows(lo, hi, n) };
+            kernels::matmul_transa_cols(a, g, rows, lo, hi, r, m, n);
+        });
+    }
+
+    fn masked_softmax_rows(
+        &self,
+        x: &[f64],
+        mask: &[f64],
+        out: &mut [f64],
+        rows: usize,
+        cols: usize,
+    ) {
+        if rows * cols < PAR_FLOP_THRESHOLD || self.pool.workers() == 1 {
+            return kernels::masked_softmax_rows(x, mask, out, rows, cols);
+        }
+        debug_assert_eq!(out.len(), rows * cols, "masked_softmax_rows: out buffer");
+        let ptr = SendPtr(out.as_mut_ptr());
+        self.for_row_chunks(rows, &|_, lo, hi| {
+            // SAFETY: chunks are disjoint row ranges of `out`.
+            let chunk = unsafe { ptr.rows(lo, hi, cols) };
+            kernels::masked_softmax_rows_range(x, mask, chunk, lo, hi, cols);
+        });
+    }
+}
+
+/// Parsed backend selection, the form configs carry ("seq", "par",
+/// "par:8").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Sequential reference backend.
+    Seq,
+    /// Parallel backend with an explicit worker count (`None` = one
+    /// worker per available CPU).
+    Par(Option<usize>),
+}
+
+impl BackendChoice {
+    /// Parse a backend spec: `seq`, `par`, or `par:N`.
+    pub fn parse(spec: &str) -> Result<Self, RuntimeError> {
+        match spec.trim() {
+            "seq" => Ok(Self::Seq),
+            "par" => Ok(Self::Par(None)),
+            other => match other.strip_prefix("par:").map(str::parse::<usize>) {
+                Some(Ok(n)) if n >= 1 => Ok(Self::Par(Some(n))),
+                _ => Err(RuntimeError::BadBackendSpec(spec.to_string())),
+            },
+        }
+    }
+
+    /// Instantiate the chosen backend.
+    pub fn create(&self) -> Arc<dyn Backend> {
+        match self {
+            Self::Seq => Arc::new(Seq),
+            Self::Par(n) => {
+                let threads = n.unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+                });
+                Arc::new(Par::new(threads))
+            }
+        }
+    }
+}
+
+/// A shared handle to the sequential backend — the default execution
+/// policy everywhere a caller does not thread its own.
+pub fn seq() -> Arc<dyn Backend> {
+    Arc::new(Seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(len: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..len).map(f).collect()
+    }
+
+    #[test]
+    fn par_matches_seq_bitwise_at_1_2_8_threads() {
+        // Big enough to clear the dispatch threshold.
+        let (m, k, n) = (48, 40, 32);
+        let a = filled(m * k, |i| ((i * 37) % 23) as f64 * 0.125 - 1.0);
+        let b = filled(k * n, |i| ((i * 13) % 19) as f64 * 0.25 - 2.0);
+        let mut want = vec![0.0; m * n];
+        Seq.matmul(&a, &b, &mut want, m, k, n);
+        for threads in [1, 2, 8] {
+            let par = Par::new(threads);
+            let mut got = vec![0.0; m * n];
+            par.matmul(&a, &b, &mut got, m, k, n);
+            for (w, g) in want.iter().zip(&got) {
+                assert_eq!(w.to_bits(), g.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_softmax_matches_seq() {
+        let (rows, cols) = (160, 120);
+        let x = filled(rows * cols, |i| ((i * 7) % 31) as f64 * 0.3 - 4.0);
+        let mask = filled(rows * cols, |i| f64::from(i % 3 != 0));
+        let mut want = vec![0.0; rows * cols];
+        Seq.masked_softmax_rows(&x, &mask, &mut want, rows, cols);
+        let par = Par::new(4);
+        let mut got = vec![0.0; rows * cols];
+        par.masked_softmax_rows(&x, &mask, &mut got, rows, cols);
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(w.to_bits(), g.to_bits());
+        }
+    }
+
+    #[test]
+    fn choice_parsing() {
+        assert_eq!(BackendChoice::parse("seq").unwrap(), BackendChoice::Seq);
+        assert_eq!(BackendChoice::parse("par").unwrap(), BackendChoice::Par(None));
+        assert_eq!(BackendChoice::parse(" par:8 ").unwrap(), BackendChoice::Par(Some(8)));
+        assert!(BackendChoice::parse("par:0").is_err());
+        assert!(BackendChoice::parse("gpu").is_err());
+        assert!(BackendChoice::parse("").is_err());
+    }
+
+    #[test]
+    fn choice_creates_named_backends() {
+        assert_eq!(BackendChoice::Seq.create().name(), "seq");
+        let par = BackendChoice::Par(Some(3)).create();
+        assert_eq!(par.name(), "par:3");
+        assert_eq!(par.threads(), 3);
+    }
+}

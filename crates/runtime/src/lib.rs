@@ -1,0 +1,83 @@
+//! `ams-runtime` — the shared execution layer under training,
+//! inference, and serving.
+//!
+//! The crate owns three things:
+//!
+//! 1. **Kernels** ([`kernels`]): cache-blocked row-major `f64`
+//!    routines — blocked matmul with a packed/transposed-B
+//!    micro-kernel, the two transpose-fused products the tape's
+//!    backward pass needs, fused bias addition, `axpy`, row-wise
+//!    masked softmax. Every kernel preserves the exact accumulation
+//!    order of the historical `Matrix` loops, so refactoring onto the
+//!    runtime changes no result bit.
+//! 2. **Backends** ([`backend`]): the [`Backend`] trait separates
+//!    *what* is computed from *where*. [`Seq`] is the bit-exact
+//!    reference; [`Par`] spreads disjoint row ranges of the same
+//!    kernels over a persistent std-only [`pool::ThreadPool`] with a
+//!    deterministic fixed partition — identical output run-to-run and
+//!    across thread counts.
+//! 3. **Workspaces** ([`workspace`]): a scratch-buffer arena so the
+//!    training step and the serve engine reuse buffers instead of
+//!    allocating on the hot path.
+//!
+//! Shape validation surfaces as the typed [`RuntimeError`] rather than
+//! a panic, which is what lets the serve layer honor its
+//! no-panic-in-inference rule without suppressions.
+
+pub mod backend;
+pub mod kernels;
+pub mod pool;
+pub mod workspace;
+
+pub use backend::{seq, Backend, BackendChoice, Par, Seq};
+pub use pool::{partition, ThreadPool};
+pub use workspace::Workspace;
+
+/// Errors surfaced by the runtime API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Operand shapes do not compose, e.g. `m×k · k'×n` with `k ≠ k'`.
+    ShapeMismatch {
+        /// Operation name, e.g. `"matmul"`.
+        op: &'static str,
+        /// Left operand shape `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Right operand shape `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A backend spec string that parses as neither `seq`, `par`, nor
+    /// `par:N` with `N ≥ 1`.
+    BadBackendSpec(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: dimension mismatch ({}x{} vs {}x{})", lhs.0, lhs.1, rhs.0, rhs.1)
+            }
+            Self::BadBackendSpec(spec) => {
+                write!(f, "invalid backend spec {spec:?} (expected seq, par, or par:N)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_mismatch_display_names_shapes() {
+        let err = RuntimeError::ShapeMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        assert_eq!(err.to_string(), "matmul: dimension mismatch (2x3 vs 4x5)");
+    }
+
+    #[test]
+    fn bad_spec_display() {
+        let err = RuntimeError::BadBackendSpec("gpu".into());
+        assert!(err.to_string().contains("gpu"));
+    }
+}

@@ -1,0 +1,258 @@
+//! A persistent, std-only scoped thread pool.
+//!
+//! Built from `std::sync` primitives because the workspace vendors no
+//! threading crates. The design is a single injector queue behind a
+//! `Mutex` + `Condvar`: [`ThreadPool::run`] pushes one job per task,
+//! wakes the workers, and blocks until its batch completes. Because
+//! the caller does not return until every task has finished, a job may
+//! safely borrow the caller's stack — the closure travels as a raw
+//! wide pointer whose referent is pinned by the blocked caller (the
+//! same lifetime argument `std::thread::scope` makes, without paying a
+//! thread spawn per call).
+//!
+//! Determinism: the pool assigns *tasks*, not data. Callers partition
+//! work by task index with [`partition`], which depends only on the
+//! problem size and task count — never on which worker picks a job up
+//! or in what order — so any value computed through the pool is a pure
+//! function of its inputs.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Completion state shared between one `run` call and the workers
+/// executing its tasks.
+struct Batch {
+    /// The task body; valid for the lifetime of the `run` call, which
+    /// outlives every worker's use by construction (see module docs).
+    task: *const (dyn Fn(usize) + Sync),
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `task` is only dereferenced while the `run` caller is blocked
+// waiting for the batch, so the referent is alive; the referent is
+// `Sync`, so shared calls from several workers are allowed.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+struct Job {
+    batch: Arc<Batch>,
+    index: usize,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    work_cv: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// A fixed-size persistent worker pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("workers", &self.handles.len()).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawn `workers` (min 1) threads that live until the pool drops.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState { jobs: VecDeque::new(), shutdown: false }),
+            work_cv: Condvar::new(),
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run `task(0..tasks)` across the pool and block until every call
+    /// has returned. Tasks run concurrently; the caller's borrows stay
+    /// alive for the whole call, so `task` may capture references.
+    ///
+    /// # Panics
+    /// Propagates (as a fresh panic) if any task panicked.
+    pub fn run(&self, tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        // SAFETY: lifetime erasure only — the reference stays valid
+        // because this call blocks until every task has run (module
+        // docs). The raw pointer is never dereferenced afterwards.
+        let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        let batch = Arc::new(Batch {
+            task: task as *const _,
+            remaining: AtomicUsize::new(tasks),
+            panicked: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut q = lock(&self.shared.queue);
+            for index in 0..tasks {
+                q.jobs.push_back(Job { batch: Arc::clone(&batch), index });
+            }
+        }
+        self.shared.work_cv.notify_all();
+        let mut done = lock(&batch.done);
+        while !*done {
+            done = batch.done_cv.wait(done).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        drop(done);
+        assert!(!batch.panicked.load(Ordering::SeqCst), "runtime pool task panicked");
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut q = lock(&self.shared.queue);
+            q.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A poisoned queue means some task panicked while holding the
+    // lock; the queue structure itself is still sound.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.work_cv.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // SAFETY: the batch's `run` caller is blocked until `remaining`
+        // reaches zero, which only happens below, after this call.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.batch.task)(job.index) }));
+        if result.is_err() {
+            job.batch.panicked.store(true, Ordering::SeqCst);
+        }
+        if job.batch.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let mut done = lock(&job.batch.done);
+            *done = true;
+            job.batch.done_cv.notify_all();
+        }
+    }
+}
+
+/// Deterministic fixed partition of `len` items into `chunks` ranges:
+/// chunk `t` gets `[start, end)`. Depends only on `(len, chunks, t)`,
+/// never on scheduling — the cornerstone of the `Par` backend's
+/// bit-reproducibility guarantee.
+pub fn partition(len: usize, chunks: usize, t: usize) -> (usize, usize) {
+    let chunks = chunks.max(1);
+    let base = len / chunks;
+    let rem = len % chunks;
+    let start = t * base + t.min(rem);
+    let size = base + usize::from(t < rem);
+    (start.min(len), (start + size).min(len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_exactly_once() {
+        for len in [0, 1, 7, 64, 101] {
+            for chunks in [1, 2, 3, 8, 16] {
+                let mut covered = vec![0usize; len];
+                for t in 0..chunks {
+                    let (lo, hi) = partition(len, chunks, t);
+                    for slot in covered.iter_mut().take(hi).skip(lo) {
+                        *slot += 1;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1), "len={len} chunks={chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_runs_all_tasks_with_borrowed_state() {
+        let pool = ThreadPool::new(4);
+        let mut out = vec![0usize; 64];
+        let ptr = out.as_mut_ptr() as usize;
+        pool.run(8, &|t| {
+            let (lo, hi) = partition(64, 8, t);
+            // SAFETY: disjoint ranges per task.
+            let slice =
+                unsafe { std::slice::from_raw_parts_mut((ptr as *mut usize).add(lo), hi - lo) };
+            for (i, v) in slice.iter_mut().enumerate() {
+                *v = lo + i + 1;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn pool_survives_reuse_and_concurrent_batches() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        pool.run(4, &|_| {
+                            total.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 3 * 10 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "runtime pool task panicked")]
+    fn task_panic_propagates_to_caller() {
+        let pool = ThreadPool::new(2);
+        pool.run(2, &|t| {
+            if t == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

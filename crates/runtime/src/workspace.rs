@@ -1,0 +1,119 @@
+//! Scratch-buffer arena shared by the training step and the serve
+//! engine.
+//!
+//! A [`Workspace`] hands out zero-filled `Vec<f64>` buffers and takes
+//! them back when the caller is done. Returned buffers are kept on a
+//! free list and re-issued by best capacity fit, so a steady-state
+//! loop — an epoch of training, a prediction request — performs zero
+//! heap allocations after warm-up. The `allocs`/`reuses` counters make
+//! that property testable: a hot path is allocation-free exactly when
+//! a second pass adds zero to `allocs`.
+
+/// A reusable pool of `f64` scratch buffers.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    free: Vec<Vec<f64>>,
+    allocs: usize,
+    reuses: usize,
+}
+
+impl Workspace {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrow a zero-filled buffer of exactly `len` elements,
+    /// preferring the free buffer whose capacity fits tightest.
+    pub fn take(&mut self, len: usize) -> Vec<f64> {
+        let best = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= len)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => {
+                self.reuses += 1;
+                let mut buf = self.free.swap_remove(i);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                self.allocs += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Return a buffer to the arena for reuse.
+    pub fn give(&mut self, buf: Vec<f64>) {
+        if buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// `(allocs, reuses)` since construction. `allocs` counts fresh
+    /// heap allocations; a hot path that adds zero here between two
+    /// calls is allocation-free.
+    pub fn counters(&self) -> (usize, usize) {
+        (self.allocs, self.reuses)
+    }
+
+    /// Buffers currently sitting on the free list.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zero_filled_after_reuse() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.take(8);
+        buf.iter_mut().for_each(|v| *v = 3.0);
+        ws.give(buf);
+        let again = ws.take(8);
+        assert!(again.iter().all(|&v| v == 0.0));
+        assert_eq!(ws.counters(), (1, 1));
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_capacity() {
+        let mut ws = Workspace::new();
+        ws.give(vec![0.0; 100]);
+        ws.give(vec![0.0; 10]);
+        let buf = ws.take(8);
+        assert!(buf.capacity() < 100, "should have reused the 10-cap buffer");
+        assert_eq!(ws.counters(), (0, 1));
+    }
+
+    #[test]
+    fn steady_state_is_allocation_free() {
+        let mut ws = Workspace::new();
+        for _ in 0..3 {
+            let a = ws.take(32);
+            let b = ws.take(64);
+            ws.give(a);
+            ws.give(b);
+        }
+        let (allocs, reuses) = ws.counters();
+        assert_eq!(allocs, 2);
+        assert_eq!(reuses, 4);
+    }
+
+    #[test]
+    fn undersized_buffers_are_skipped() {
+        let mut ws = Workspace::new();
+        ws.give(vec![0.0; 4]);
+        let buf = ws.take(16);
+        assert_eq!(buf.len(), 16);
+        assert_eq!(ws.counters(), (1, 0));
+        assert_eq!(ws.pooled(), 1);
+    }
+}

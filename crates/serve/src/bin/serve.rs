@@ -1,7 +1,8 @@
 //! The AMS prediction server.
 //!
 //! ```text
-//! serve [--addr 127.0.0.1:7878] [--workers 4] [--artifact PATH]... [--demo] [--seed 7]
+//! serve [--addr 127.0.0.1:7878] [--workers 4] [--backend seq|par|par:N]
+//!       [--artifact PATH]... [--demo] [--seed 7]
 //! ```
 //!
 //! With `--artifact`, loads and publishes each JSON artifact (repeat
@@ -16,6 +17,7 @@ use std::sync::Arc;
 struct Args {
     addr: String,
     workers: usize,
+    backend: Option<String>,
     artifacts: Vec<String>,
     demo: bool,
     seed: u64,
@@ -25,6 +27,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7878".to_string(),
         workers: 4,
+        backend: None,
         artifacts: Vec::new(),
         demo: false,
         seed: 7,
@@ -38,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
                 args.workers =
                     value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
             }
+            "--backend" => args.backend = Some(value("--backend")?),
             "--artifact" => args.artifacts.push(value("--artifact")?),
             "--demo" => args.demo = true,
             "--seed" => {
@@ -45,7 +49,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: serve [--addr HOST:PORT] [--workers N] \
+                    "usage: serve [--addr HOST:PORT] [--workers N] [--backend seq|par|par:N] \
                      [--artifact PATH]... [--demo] [--seed N]"
                 );
                 std::process::exit(0);
@@ -108,7 +112,11 @@ fn main() {
     }
 
     let server = match Server::start(
-        ServerConfig { addr: args.addr.clone(), workers: args.workers },
+        ServerConfig {
+            addr: args.addr.clone(),
+            workers: args.workers,
+            backend: args.backend.clone(),
+        },
         registry,
     ) {
         Ok(s) => s,

@@ -21,6 +21,7 @@
 
 use crate::artifact::ModelArtifact;
 use ams_core::{GatHead, GatLayer, LinearLayer};
+use ams_tensor::runtime::{Backend, RuntimeError, Seq, Workspace};
 use ams_tensor::Matrix;
 
 /// A scoring-ready model: a validated artifact plus precomputed
@@ -114,22 +115,48 @@ impl Engine {
     /// matrix (one row per graph node) and score every company.
     /// Bit-for-bit equal to `AmsModel::predict` on the same input.
     pub fn predict_batch(&self, x: &Matrix) -> Result<Matrix, String> {
-        let (pred, _, _) = self.run(x)?;
+        let mut ws = Workspace::new();
+        self.predict_batch_with(x, &Seq, &mut ws)
+    }
+
+    /// [`Engine::predict_batch`] on an explicit backend and workspace.
+    /// Every scratch buffer comes from (and returns to) `ws`, so after
+    /// one warm-up call the hot path performs zero heap allocations —
+    /// provided the caller recycles the returned prediction with
+    /// `ws.give(pred.into_vec())` once it has been serialized, as the
+    /// server workers do.
+    pub fn predict_batch_with(
+        &self,
+        x: &Matrix,
+        backend: &dyn Backend,
+        ws: &mut Workspace,
+    ) -> Result<Matrix, String> {
+        let (pred, beta_v, beta) = self.run(x, backend, ws)?;
+        ws.give(beta_v.into_vec());
+        ws.give(beta.into_vec());
         Ok(pred)
     }
 
     /// Batch slave weights `(assembled β, generated β_v)`, both `n×m` —
     /// the serving-side counterpart of `AmsModel::slave_weights`.
     pub fn slave_weights_batch(&self, x: &Matrix) -> Result<(Matrix, Matrix), String> {
-        let (_, beta_v, beta) = self.run(x)?;
+        let mut ws = Workspace::new();
+        let (pred, beta_v, beta) = self.run(x, &Seq, &mut ws)?;
+        ws.give(pred.into_vec());
         Ok((beta, beta_v))
     }
 
-    /// The forward pass of `AmsModel::forward`, replayed value-only.
-    /// Every step reuses the identical `Matrix` primitive the tape op
-    /// wraps, in the identical order — that is what makes the engine
-    /// exactly (not approximately) equal to the training-side predict.
-    fn run(&self, x: &Matrix) -> Result<(Matrix, Matrix, Matrix), String> {
+    /// The forward pass of `AmsModel::forward`, replayed value-only on
+    /// the runtime kernels. Every step performs the identical
+    /// arithmetic in the identical order as the tape op — that is what
+    /// makes the engine exactly (not approximately) equal to the
+    /// training-side predict, on every backend.
+    fn run(
+        &self,
+        x: &Matrix,
+        backend: &dyn Backend,
+        ws: &mut Workspace,
+    ) -> Result<(Matrix, Matrix, Matrix), String> {
         let snap = &self.artifact.snapshot;
         let mask = snap
             .mask
@@ -151,142 +178,247 @@ impl Engine {
         }
 
         // Node transform (Eq. 1); dropout is identity at eval time.
-        let mut h = x.clone();
+        let mut h = clone_ws(x, ws);
         for LinearLayer { w, b } in &snap.nt {
-            h = relu(&add_row_broadcast(&h.matmul(w), b));
+            let mut z = matmul_add_bias_ws(&h, w, b, backend, ws)?;
+            relu_in_place(&mut z);
+            ws.give(h.into_vec());
+            h = z;
         }
-        let nt_out = h.clone();
+        let nt_out = clone_ws(&h, ws);
         // GAT stack (Eqs. 2–3).
         for layer in &snap.gat {
-            h = gat_layer_forward(layer, &h, mask)?;
+            let next = gat_layer_forward_ws(layer, &h, mask, backend, ws)?;
+            ws.give(h.into_vec());
+            h = next;
         }
         if snap.config.residual {
-            h = h.hcat(&nt_out);
+            let cat = hcat_ws(&h, &nt_out, ws);
+            ws.give(h.into_vec());
+            h = cat;
         }
+        ws.give(nt_out.into_vec());
         // Generator M (Eq. 6): hidden ReLU layers then a linear map.
         let n_gen = snap.gen.len();
         for (i, LinearLayer { w, b }) in snap.gen.iter().enumerate() {
-            let z = add_row_broadcast(&h.matmul(w), b);
-            h = if i + 1 < n_gen { relu(&z) } else { z };
+            let mut z = matmul_add_bias_ws(&h, w, b, backend, ws)?;
+            if i + 1 < n_gen {
+                relu_in_place(&mut z);
+            }
+            ws.give(h.into_vec());
+            h = z;
         }
         let beta_v = h;
 
-        // Model assembly (Eq. 10): β = γ β_v + (1−γ) β_c.
+        // Model assembly (Eq. 10): β = γ β_v + (1−γ) β_c. The ones·βcᵀ
+        // product is kept (rather than a row copy) so `-0.0` entries
+        // normalize exactly as on the tape.
         let gamma = snap.config.gamma;
-        let bc_rows = Matrix::ones(x.rows(), 1).matmul(&snap.beta_c.t());
-        let beta = affine(&beta_v, gamma).add(&affine(&bc_rows, 1.0 - gamma));
+        let ones = {
+            let mut data = ws.take(x.rows());
+            data.iter_mut().for_each(|v| *v = 1.0);
+            Matrix::from_vec(x.rows(), 1, data)
+        };
+        let bc_t = transpose_ws(&snap.beta_c, ws);
+        let bc_rows = matmul_ws(&ones, &bc_t, backend, ws)?;
+        ws.give(ones.into_vec());
+        ws.give(bc_t.into_vec());
+        let mut beta = affine_ws(&beta_v, gamma, ws);
+        let bc_scaled = affine_ws(&bc_rows, 1.0 - gamma, ws);
+        ws.give(bc_rows.into_vec());
+        for (a, &b) in beta.as_mut_slice().iter_mut().zip(bc_scaled.as_slice()) {
+            *a += b;
+        }
+        ws.give(bc_scaled.into_vec());
 
         // Slave-LR evaluation on the slave columns.
         let x_slave = match &self.selection {
-            Some(sel) => x.matmul(sel),
-            None => x.clone(),
+            Some(sel) => matmul_ws(x, sel, backend, ws)?,
+            None => clone_ws(x, ws),
         };
-        let pred = rowwise_dot(&x_slave, &beta);
+        let mut pred_data = ws.take(x_slave.rows());
+        backend.rowwise_dot(
+            x_slave.as_slice(),
+            beta.as_slice(),
+            &mut pred_data,
+            x_slave.rows(),
+            x_slave.cols(),
+        );
+        let pred = Matrix::from_vec(x_slave.rows(), 1, pred_data);
+        ws.give(x_slave.into_vec());
         Ok((pred, beta_v, beta))
     }
 }
 
-/// `Graph::relu` value semantics.
-fn relu(x: &Matrix) -> Matrix {
-    x.map(|e| e.max(0.0))
+/// Copy a matrix into a workspace buffer.
+fn clone_ws(x: &Matrix, ws: &mut Workspace) -> Matrix {
+    let mut data = ws.take(x.len());
+    data.copy_from_slice(x.as_slice());
+    Matrix::from_vec(x.rows(), x.cols(), data)
 }
 
-/// `Graph::leaky_relu` value semantics.
-fn leaky_relu(x: &Matrix, alpha: f64) -> Matrix {
-    x.map(|e| if e > 0.0 { e } else { alpha * e })
+/// `Graph::relu` value semantics, in place.
+fn relu_in_place(x: &mut Matrix) {
+    for e in x.as_mut_slice() {
+        *e = e.max(0.0);
+    }
+}
+
+/// `Graph::leaky_relu` value semantics, in place.
+fn leaky_relu_in_place(x: &mut Matrix, alpha: f64) {
+    for e in x.as_mut_slice() {
+        *e = if *e > 0.0 { *e } else { alpha * *e };
+    }
 }
 
 /// `Graph::affine`/`scale` value semantics (`alpha·x + 0.0`; the
 /// `+ 0.0` is kept so `-0.0` entries normalize exactly as on the tape).
-fn affine(x: &Matrix, alpha: f64) -> Matrix {
-    x.map(|e| alpha * e + 0.0)
+fn affine_ws(x: &Matrix, alpha: f64, ws: &mut Workspace) -> Matrix {
+    let mut data = ws.take(x.len());
+    for (o, &e) in data.iter_mut().zip(x.as_slice()) {
+        *o = alpha * e + 0.0;
+    }
+    Matrix::from_vec(x.rows(), x.cols(), data)
 }
 
-/// `Graph::add_row_broadcast` value semantics.
-fn add_row_broadcast(x: &Matrix, bias: &Matrix) -> Matrix {
-    assert_eq!(bias.rows(), 1, "add_row_broadcast: bias must be a row vector");
-    assert_eq!(bias.cols(), x.cols(), "add_row_broadcast: width mismatch");
-    let mut out = x.clone();
-    for r in 0..out.rows() {
-        for c in 0..out.cols() {
-            out[(r, c)] += bias[(0, c)];
-        }
+/// Workspace-fed matrix product on the runtime kernels; shape errors
+/// surface as the runtime's typed error rendered to the engine's
+/// error-string convention (never a panic on the inference path).
+fn matmul_ws(
+    a: &Matrix,
+    b: &Matrix,
+    backend: &dyn Backend,
+    ws: &mut Workspace,
+) -> Result<Matrix, String> {
+    if a.cols() != b.rows() {
+        return Err(RuntimeError::ShapeMismatch { op: "matmul", lhs: a.shape(), rhs: b.shape() }
+            .to_string());
     }
-    out
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut data = ws.take(m * n);
+    backend.matmul(a.as_slice(), b.as_slice(), &mut data, m, k, n);
+    Ok(Matrix::from_vec(m, n, data))
+}
+
+/// Fused `x·W + b` (bias broadcast over rows), workspace-fed — the
+/// matmul and the bias add happen in the same order the tape's
+/// separate ops used, so values match bit-for-bit.
+fn matmul_add_bias_ws(
+    x: &Matrix,
+    w: &Matrix,
+    b: &Matrix,
+    backend: &dyn Backend,
+    ws: &mut Workspace,
+) -> Result<Matrix, String> {
+    if x.cols() != w.rows() {
+        return Err(RuntimeError::ShapeMismatch { op: "matmul", lhs: x.shape(), rhs: w.shape() }
+            .to_string());
+    }
+    if b.rows() != 1 || b.cols() != w.cols() {
+        return Err(RuntimeError::ShapeMismatch {
+            op: "add_bias",
+            lhs: (x.rows(), w.cols()),
+            rhs: b.shape(),
+        }
+        .to_string());
+    }
+    let (m, k, n) = (x.rows(), x.cols(), w.cols());
+    let mut data = ws.take(m * n);
+    backend.matmul_add_bias(x.as_slice(), w.as_slice(), b.as_slice(), &mut data, m, k, n);
+    Ok(Matrix::from_vec(m, n, data))
 }
 
 /// `Graph::outer_sum` value semantics: `out[i][j] = u[i] + v[j]`.
-fn outer_sum(u: &Matrix, v: &Matrix) -> Matrix {
-    assert_eq!(u.cols(), 1, "outer_sum: u must be a column vector");
-    assert_eq!(v.cols(), 1, "outer_sum: v must be a column vector");
-    let mut out = Matrix::zeros(u.rows(), v.rows());
-    for i in 0..u.rows() {
-        for j in 0..v.rows() {
-            out[(i, j)] = u[(i, 0)] + v[(j, 0)];
+fn outer_sum_ws(u: &Matrix, v: &Matrix, ws: &mut Workspace) -> Matrix {
+    debug_assert_eq!(u.cols(), 1, "outer_sum: u must be a column vector");
+    debug_assert_eq!(v.cols(), 1, "outer_sum: v must be a column vector");
+    let (rows, cols) = (u.rows(), v.rows());
+    let mut data = ws.take(rows * cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            data[i * cols + j] = u.as_slice()[i] + v.as_slice()[j];
         }
     }
-    out
+    Matrix::from_vec(rows, cols, data)
 }
 
-/// `Graph::masked_softmax_rows` value semantics, including the
-/// fully-masked-row → all-zeros case for isolated nodes.
-fn masked_softmax_rows(x: &Matrix, mask: &Matrix) -> Matrix {
-    assert_eq!(x.shape(), mask.shape(), "masked_softmax_rows: mask shape mismatch");
-    let mut out = Matrix::zeros(x.rows(), x.cols());
-    for r in 0..x.rows() {
-        let mut maxv = f64::NEG_INFINITY;
-        for c in 0..x.cols() {
-            if mask[(r, c)] != 0.0 {
-                maxv = maxv.max(x[(r, c)]);
-            }
-        }
-        if maxv == f64::NEG_INFINITY {
-            continue;
-        }
-        let mut denom = 0.0;
-        for c in 0..x.cols() {
-            if mask[(r, c)] != 0.0 {
-                let e = (x[(r, c)] - maxv).exp();
-                out[(r, c)] = e;
-                denom += e;
-            }
-        }
-        for c in 0..x.cols() {
-            out[(r, c)] /= denom;
+/// `Graph::transpose` value semantics, workspace-fed.
+fn transpose_ws(x: &Matrix, ws: &mut Workspace) -> Matrix {
+    let (rows, cols) = x.shape();
+    let mut data = ws.take(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            data[c * rows + r] = x.as_slice()[r * cols + c];
         }
     }
-    out
+    Matrix::from_vec(cols, rows, data)
 }
 
-/// `Graph::rowwise_dot` value semantics.
-fn rowwise_dot(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.shape(), b.shape(), "rowwise_dot: shape mismatch");
-    let mut out = Matrix::zeros(a.rows(), 1);
-    for r in 0..a.rows() {
-        out[(r, 0)] = a.row(r).iter().zip(b.row(r)).map(|(x, y)| x * y).sum();
+/// Horizontal concatenation `[a | b]`, workspace-fed.
+fn hcat_ws(a: &Matrix, b: &Matrix, ws: &mut Workspace) -> Matrix {
+    debug_assert_eq!(a.rows(), b.rows(), "hcat: row mismatch");
+    let (rows, ac, bc) = (a.rows(), a.cols(), b.cols());
+    let mut data = ws.take(rows * (ac + bc));
+    for r in 0..rows {
+        data[r * (ac + bc)..r * (ac + bc) + ac].copy_from_slice(a.row(r));
+        data[r * (ac + bc) + ac..(r + 1) * (ac + bc)].copy_from_slice(b.row(r));
     }
-    out
+    Matrix::from_vec(rows, ac + bc, data)
 }
 
 /// One attention head, value-only (`GatHead::forward` minus the tape).
-fn gat_head_forward(head: &GatHead, x: &Matrix, mask: &Matrix, leaky_slope: f64) -> Matrix {
-    let wx = x.matmul(&head.w);
-    let s_l = wx.matmul(&head.a_left);
-    let s_r = wx.matmul(&head.a_right);
-    let logits = leaky_relu(&outer_sum(&s_l, &s_r), leaky_slope);
-    let attn = masked_softmax_rows(&logits, mask);
-    attn.matmul(&wx)
+fn gat_head_forward_ws(
+    head: &GatHead,
+    x: &Matrix,
+    mask: &Matrix,
+    leaky_slope: f64,
+    backend: &dyn Backend,
+    ws: &mut Workspace,
+) -> Result<Matrix, String> {
+    let wx = matmul_ws(x, &head.w, backend, ws)?;
+    let s_l = matmul_ws(&wx, &head.a_left, backend, ws)?;
+    let s_r = matmul_ws(&wx, &head.a_right, backend, ws)?;
+    let mut logits = outer_sum_ws(&s_l, &s_r, ws);
+    ws.give(s_l.into_vec());
+    ws.give(s_r.into_vec());
+    leaky_relu_in_place(&mut logits, leaky_slope);
+    let mut attn_data = ws.take(logits.len());
+    backend.masked_softmax_rows(
+        logits.as_slice(),
+        mask.as_slice(),
+        &mut attn_data,
+        logits.rows(),
+        logits.cols(),
+    );
+    let attn = Matrix::from_vec(logits.rows(), logits.cols(), attn_data);
+    ws.give(logits.into_vec());
+    let out = matmul_ws(&attn, &wx, backend, ws)?;
+    ws.give(attn.into_vec());
+    ws.give(wx.into_vec());
+    Ok(out)
 }
 
 /// One GAT layer, value-only (`GatLayer::forward` minus the tape).
 /// A zero-head layer is a corrupt artifact, reported as an error.
-fn gat_layer_forward(layer: &GatLayer, x: &Matrix, mask: &Matrix) -> Result<Matrix, String> {
+fn gat_layer_forward_ws(
+    layer: &GatLayer,
+    x: &Matrix,
+    mask: &Matrix,
+    backend: &dyn Backend,
+    ws: &mut Workspace,
+) -> Result<Matrix, String> {
     let mut out: Option<Matrix> = None;
     for head in &layer.heads {
-        let h = relu(&gat_head_forward(head, x, mask, layer.leaky_slope));
+        let mut h = gat_head_forward_ws(head, x, mask, layer.leaky_slope, backend, ws)?;
+        relu_in_place(&mut h);
         out = Some(match out {
             None => h,
-            Some(acc) => acc.hcat(&h),
+            Some(acc) => {
+                let cat = hcat_ws(&acc, &h, ws);
+                ws.give(acc.into_vec());
+                ws.give(h.into_vec());
+                cat
+            }
         });
     }
     out.ok_or_else(|| "gat layer has no heads (corrupt snapshot)".to_string())
@@ -370,6 +502,40 @@ mod tests {
         let fx = trained_fixture(44);
         let engine = Engine::new(fx.artifact).unwrap();
         assert_eq!(fast_vs_batch_deviation(&engine).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn hot_path_is_allocation_free_after_warm_up() {
+        // One warm-up call populates the workspace arena; every later
+        // request must add zero fresh allocations (the arena counter is
+        // the acceptance gauge — it counts in debug and release alike).
+        let fx = trained_fixture(46);
+        let engine = Engine::new(fx.artifact.clone()).unwrap();
+        let x = &fx.artifact.reference_features;
+        let mut ws = Workspace::new();
+        let warm = engine.predict_batch_with(x, &Seq, &mut ws).unwrap();
+        ws.give(warm.into_vec());
+        let (allocs_after_warmup, _) = ws.counters();
+        for _ in 0..5 {
+            let pred = engine.predict_batch_with(x, &Seq, &mut ws).unwrap();
+            ws.give(pred.into_vec());
+        }
+        let (allocs, _) = ws.counters();
+        assert_eq!(allocs, allocs_after_warmup, "prediction hot path allocated after warm-up");
+    }
+
+    #[test]
+    fn batch_path_on_par_backend_is_bit_identical() {
+        let fx = trained_fixture(47);
+        let engine = Engine::new(fx.artifact.clone()).unwrap();
+        let x = &fx.artifact.reference_features;
+        let want = engine.predict_batch(x).unwrap();
+        let par = ams_tensor::runtime::Par::new(4);
+        let mut ws = Workspace::new();
+        let got = engine.predict_batch_with(x, &par, &mut ws).unwrap();
+        for (w, g) in want.as_slice().iter().zip(got.as_slice()) {
+            assert_eq!(w.to_bits(), g.to_bits());
+        }
     }
 
     #[test]

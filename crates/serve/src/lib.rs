@@ -70,7 +70,7 @@ mod tests {
         let registry = Arc::new(Registry::new());
         registry.publish(fx.artifact.clone()).unwrap();
         let server = Server::start(
-            ServerConfig { addr: "127.0.0.1:0".into(), workers: 2 },
+            ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, backend: None },
             Arc::clone(&registry),
         )
         .unwrap();
@@ -126,9 +126,11 @@ mod tests {
     #[test]
     fn server_shutdown_joins_cleanly() {
         let registry = Arc::new(Registry::new());
-        let server =
-            Server::start(ServerConfig { addr: "127.0.0.1:0".into(), workers: 1 }, registry)
-                .unwrap();
+        let server = Server::start(
+            ServerConfig { addr: "127.0.0.1:0".into(), workers: 1, backend: None },
+            registry,
+        )
+        .unwrap();
         // No traffic at all: shutdown must still join promptly.
         server.shutdown();
     }

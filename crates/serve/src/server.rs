@@ -25,6 +25,7 @@
 use crate::engine::Engine;
 use crate::metrics::Metrics;
 use crate::registry::Registry;
+use ams_tensor::runtime::{Backend, BackendChoice, Workspace};
 use serde::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -40,11 +41,15 @@ pub struct ServerConfig {
     pub addr: String,
     /// Fixed worker-thread count (min 1).
     pub workers: usize,
+    /// Execution backend spec (`"seq"`, `"par"`, `"par:N"`); `None`
+    /// means sequential. All backends produce bit-identical
+    /// predictions — this only chooses how the kernels execute.
+    pub backend: Option<String>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { addr: "127.0.0.1:0".to_string(), workers: 4 }
+        Self { addr: "127.0.0.1:0".to_string(), workers: 4, backend: None }
     }
 }
 
@@ -61,6 +66,12 @@ pub struct Server {
 impl Server {
     /// Bind, spawn the acceptor and the worker pool, and return.
     pub fn start(config: ServerConfig, registry: Arc<Registry>) -> std::io::Result<Self> {
+        let backend: Arc<dyn Backend> = match &config.backend {
+            Some(spec) => BackendChoice::parse(spec)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?
+                .create(),
+            None => ams_tensor::runtime::seq(),
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -74,7 +85,10 @@ impl Server {
                 let registry = Arc::clone(&registry);
                 let metrics = Arc::clone(&metrics);
                 let shutdown = Arc::clone(&shutdown);
-                std::thread::spawn(move || worker_loop(&rx, &registry, &metrics, &shutdown))
+                let backend = Arc::clone(&backend);
+                std::thread::spawn(move || {
+                    worker_loop(&rx, &registry, &metrics, &shutdown, &backend)
+                })
             })
             .collect();
 
@@ -129,7 +143,12 @@ fn worker_loop(
     registry: &Registry,
     metrics: &Metrics,
     shutdown: &AtomicBool,
+    backend: &Arc<dyn Backend>,
 ) {
+    // Per-worker scratch arena: request handling borrows it mutably,
+    // so buffers recycle across every request this worker serves and
+    // the prediction hot path stops allocating once warm.
+    let mut ws = Workspace::new();
     loop {
         // Hold the queue lock only while dequeuing; the timeout lets the
         // worker notice shutdown even when no connections arrive.
@@ -141,7 +160,7 @@ fn worker_loop(
             guard.recv_timeout(Duration::from_millis(50))
         };
         match conn {
-            Ok(stream) => handle_connection(stream, registry, metrics, shutdown),
+            Ok(stream) => handle_connection(stream, registry, metrics, shutdown, backend, &mut ws),
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if shutdown.load(Ordering::SeqCst) {
                     return;
@@ -157,6 +176,8 @@ fn handle_connection(
     registry: &Registry,
     metrics: &Metrics,
     shutdown: &AtomicBool,
+    backend: &Arc<dyn Backend>,
+    ws: &mut Workspace,
 ) {
     let _ = stream.set_nodelay(true);
     // A finite read timeout keeps an idle connection from pinning its
@@ -188,7 +209,7 @@ fn handle_connection(
             continue;
         }
         let started = Instant::now();
-        let (kind, response) = handle_request(line.trim(), registry, metrics);
+        let (kind, response) = handle_request(line.trim(), registry, metrics, backend, ws);
         let is_error = matches!(response.get("ok").and_then(Value::as_bool), Some(false) | None);
         metrics.record(&kind, started.elapsed(), is_error);
         let mut encoded = serde_json::to_string(&response).unwrap_or_else(|_| {
@@ -206,7 +227,13 @@ fn handle_connection(
 
 /// Dispatch one request line. Returns `(request kind, response)`;
 /// every failure path becomes an `{"ok":false,...}` response.
-fn handle_request(line: &str, registry: &Registry, metrics: &Metrics) -> (String, Value) {
+fn handle_request(
+    line: &str,
+    registry: &Registry,
+    metrics: &Metrics,
+    backend: &Arc<dyn Backend>,
+    ws: &mut Workspace,
+) -> (String, Value) {
     let parsed: Result<Value, _> = serde_json::from_str(line);
     let request = match parsed {
         Ok(v) => v,
@@ -215,7 +242,7 @@ fn handle_request(line: &str, registry: &Registry, metrics: &Metrics) -> (String
     let kind = request.get("type").and_then(Value::as_str).unwrap_or("missing").to_string();
     let response = match kind.as_str() {
         "predict" => handle_predict(&request, registry),
-        "batch_predict" => handle_batch_predict(&request, registry),
+        "batch_predict" => handle_batch_predict(&request, registry, backend, ws),
         "slave_weights" => handle_slave_weights(&request, registry),
         "health" => Ok(handle_health(registry)),
         "stats" => Ok(Value::Object(vec![
@@ -305,7 +332,12 @@ fn handle_predict(request: &Value, registry: &Registry) -> Result<Value, String>
     ]))
 }
 
-fn handle_batch_predict(request: &Value, registry: &Registry) -> Result<Value, String> {
+fn handle_batch_predict(
+    request: &Value,
+    registry: &Registry,
+    backend: &Arc<dyn Backend>,
+    ws: &mut Workspace,
+) -> Result<Value, String> {
     let engine = resolve_engine(request, registry)?;
     let rows_value = request.get("features").ok_or_else(|| "missing `features`".to_string())?;
     let rows: Vec<Vec<f64>> =
@@ -324,9 +356,14 @@ fn handle_batch_predict(request: &Value, registry: &Registry) -> Result<Value, S
         } else {
             None
         };
-    let mut flat = Vec::with_capacity(n * d);
+    // The feature matrix comes from (and returns to) the worker's
+    // arena: only JSON parsing and response building allocate, the
+    // inference path itself is allocation-free once the arena is warm.
+    let mut flat = ws.take(n * d);
+    flat.clear();
     for (i, mut row) in rows.into_iter().enumerate() {
         if row.len() != d {
+            ws.give(flat);
             return Err(format!("row {i} has width {} (expected {d})", row.len()));
         }
         if let Some(st) = standardizer {
@@ -335,7 +372,14 @@ fn handle_batch_predict(request: &Value, registry: &Registry) -> Result<Value, S
         flat.extend_from_slice(&row);
     }
     let x = ams_tensor::Matrix::from_vec(n, d, flat);
-    let pred = engine.predict_batch(&x)?;
+    let pred = match engine.predict_batch_with(&x, backend.as_ref(), ws) {
+        Ok(p) => p,
+        Err(e) => {
+            ws.give(x.into_vec());
+            return Err(e);
+        }
+    };
+    ws.give(x.into_vec());
     let out: Vec<Value> = (0..n)
         .map(|i| {
             let mut p = pred[(i, 0)];
@@ -345,6 +389,7 @@ fn handle_batch_predict(request: &Value, registry: &Registry) -> Result<Value, S
             Value::Number(p)
         })
         .collect();
+    ws.give(pred.into_vec());
     Ok(Value::Object(vec![
         ("ok".to_string(), Value::Bool(true)),
         ("model".to_string(), Value::String(engine.artifact().name.clone())),

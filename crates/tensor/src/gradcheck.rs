@@ -7,6 +7,10 @@
 //! substrate: a VJP bug anywhere shows up as a large relative error
 //! here.
 
+use std::sync::Arc;
+
+use ams_runtime::Backend;
+
 use crate::graph::{Graph, Var};
 use crate::matrix::Matrix;
 
@@ -15,9 +19,9 @@ use crate::matrix::Matrix;
 /// the leaf [`Var`]s corresponding to each parameter and the 1×1 loss.
 pub type ScalarFn<'a> = &'a dyn Fn(&mut Graph, &[Var]) -> Var;
 
-/// Evaluate `f` at `params`, returning the scalar loss.
-fn eval(f: ScalarFn, params: &[Matrix]) -> f64 {
-    let mut g = Graph::new();
+/// Evaluate `f` at `params` on `backend`, returning the scalar loss.
+fn eval(f: ScalarFn, params: &[Matrix], backend: &Arc<dyn Backend>) -> f64 {
+    let mut g = Graph::with_backend(Arc::clone(backend));
     let vars: Vec<Var> = params.iter().map(|p| g.input(p.clone())).collect();
     let loss = f(&mut g, &vars);
     g.value(loss).item()
@@ -25,6 +29,16 @@ fn eval(f: ScalarFn, params: &[Matrix]) -> f64 {
 
 /// Numerical gradient of `f` by central differences with step `eps`.
 pub fn numeric_gradients(f: ScalarFn, params: &[Matrix], eps: f64) -> Vec<Matrix> {
+    numeric_gradients_with(f, params, eps, &ams_runtime::seq())
+}
+
+/// [`numeric_gradients`] evaluated on an explicit backend.
+pub fn numeric_gradients_with(
+    f: ScalarFn,
+    params: &[Matrix],
+    eps: f64,
+    backend: &Arc<dyn Backend>,
+) -> Vec<Matrix> {
     let mut grads = Vec::with_capacity(params.len());
     for pi in 0..params.len() {
         let mut grad = Matrix::zeros(params[pi].rows(), params[pi].cols());
@@ -33,7 +47,8 @@ pub fn numeric_gradients(f: ScalarFn, params: &[Matrix], eps: f64) -> Vec<Matrix
             plus[pi].as_mut_slice()[idx] += eps;
             let mut minus = params.to_vec();
             minus[pi].as_mut_slice()[idx] -= eps;
-            grad.as_mut_slice()[idx] = (eval(f, &plus) - eval(f, &minus)) / (2.0 * eps);
+            grad.as_mut_slice()[idx] =
+                (eval(f, &plus, backend) - eval(f, &minus, backend)) / (2.0 * eps);
         }
         grads.push(grad);
     }
@@ -42,7 +57,16 @@ pub fn numeric_gradients(f: ScalarFn, params: &[Matrix], eps: f64) -> Vec<Matrix
 
 /// Analytic (reverse-mode) gradient of `f` at `params`.
 pub fn analytic_gradients(f: ScalarFn, params: &[Matrix]) -> Vec<Matrix> {
-    let mut g = Graph::new();
+    analytic_gradients_with(f, params, &ams_runtime::seq())
+}
+
+/// [`analytic_gradients`] evaluated on an explicit backend.
+pub fn analytic_gradients_with(
+    f: ScalarFn,
+    params: &[Matrix],
+    backend: &Arc<dyn Backend>,
+) -> Vec<Matrix> {
+    let mut g = Graph::with_backend(Arc::clone(backend));
     let vars: Vec<Var> = params.iter().map(|p| g.input(p.clone())).collect();
     let loss = f(&mut g, &vars);
     let grads = g.backward(loss);
@@ -52,8 +76,18 @@ pub fn analytic_gradients(f: ScalarFn, params: &[Matrix]) -> Vec<Matrix> {
 /// Compare analytic and numeric gradients; returns the worst relative
 /// error `|a − n| / max(1, |a|, |n|)` over all parameter entries.
 pub fn max_relative_error(f: ScalarFn, params: &[Matrix], eps: f64) -> f64 {
-    let analytic = analytic_gradients(f, params);
-    let numeric = numeric_gradients(f, params, eps);
+    max_relative_error_with(f, params, eps, &ams_runtime::seq())
+}
+
+/// [`max_relative_error`] with both sweeps running on `backend`.
+pub fn max_relative_error_with(
+    f: ScalarFn,
+    params: &[Matrix],
+    eps: f64,
+    backend: &Arc<dyn Backend>,
+) -> f64 {
+    let analytic = analytic_gradients_with(f, params, backend);
+    let numeric = numeric_gradients_with(f, params, eps, backend);
     let mut worst: f64 = 0.0;
     for (a, n) in analytic.iter().zip(&numeric) {
         for (&av, &nv) in a.as_slice().iter().zip(n.as_slice()) {
@@ -72,6 +106,18 @@ pub fn max_relative_error(f: ScalarFn, params: &[Matrix], eps: f64) -> f64 {
 pub fn check_gradients(f: ScalarFn, params: &[Matrix], tol: f64) {
     let err = max_relative_error(f, params, 1e-5);
     assert!(err < tol, "gradient check failed: max relative error {err:.3e} >= tol {tol:.1e}");
+}
+
+/// [`check_gradients`] with every graph evaluation on `backend` — used
+/// to pin that the parallel backend differentiates identically to the
+/// sequential reference.
+pub fn check_gradients_with(f: ScalarFn, params: &[Matrix], tol: f64, backend: &Arc<dyn Backend>) {
+    let err = max_relative_error_with(f, params, 1e-5, backend);
+    assert!(
+        err < tol,
+        "gradient check failed on {}: max relative error {err:.3e} >= tol {tol:.1e}",
+        backend.name()
+    );
 }
 
 #[cfg(test)]
@@ -351,6 +397,38 @@ mod tests {
         let loss = g.sum_all(y);
         let grads = g.backward(loss);
         assert!(grads.get(x).max_abs_diff(&Matrix::ones(3, 4)) < 1e-15);
+    }
+
+    #[test]
+    fn check_matmul_chain_on_par_backend() {
+        // Same composite as `check_matmul_chain`, with every forward
+        // and backward sweep on the row-parallel backend: gradients
+        // must agree with finite differences (and, being bit-identical
+        // to Seq by construction, with the sequential check).
+        let par: Arc<dyn Backend> = Arc::new(ams_runtime::Par::new(4));
+        let mut r = rng();
+        let params = vec![xavier_uniform(3, 4, &mut r), xavier_uniform(4, 2, &mut r)];
+        check_gradients_with(
+            &|g, vars| {
+                let y = g.matmul(vars[0], vars[1]);
+                g.sq_frobenius(y)
+            },
+            &params,
+            TOL,
+            &par,
+        );
+        // Analytic gradients on Par are bit-identical to Seq.
+        let f: ScalarFn = &|g, vars| {
+            let y = g.matmul(vars[0], vars[1]);
+            g.sq_frobenius(y)
+        };
+        let seq_grads = analytic_gradients(f, &params);
+        let par_grads = analytic_gradients_with(f, &params, &par);
+        for (s, p) in seq_grads.iter().zip(&par_grads) {
+            for (sv, pv) in s.as_slice().iter().zip(p.as_slice()) {
+                assert_eq!(sv.to_bits(), pv.to_bits());
+            }
+        }
     }
 
     #[test]

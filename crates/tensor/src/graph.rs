@@ -20,6 +20,9 @@
 //! ```
 
 use std::rc::Rc;
+use std::sync::Arc;
+
+use ams_runtime::{kernels, Backend, Workspace};
 
 use crate::matrix::Matrix;
 use crate::plan::{PlanNode, PlanOp};
@@ -117,16 +120,57 @@ impl Gradients {
 }
 
 /// A define-by-run computation tape.
-#[derive(Default)]
+///
+/// Heavy forward ops (matmul, masked softmax, row-wise dot) and the
+/// matmul backward pass execute on the graph's [`Backend`]; output
+/// buffers come from an internal [`Workspace`] so a tape that is
+/// [`Graph::reset`] between iterations (the training epoch loop)
+/// stops allocating once warm.
 pub struct Graph {
     nodes: Vec<Node>,
     finite_checks: bool,
+    backend: Arc<dyn Backend>,
+    ws: Workspace,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Graph {
-    /// Empty graph.
+    /// Empty graph on the sequential reference backend.
     pub fn new() -> Self {
-        Self { nodes: Vec::new(), finite_checks: false }
+        Self::with_backend(ams_runtime::seq())
+    }
+
+    /// Empty graph executing on `backend`. Every backend produces
+    /// bit-identical values (see `ams-runtime`), so this is purely an
+    /// execution-policy choice.
+    pub fn with_backend(backend: Arc<dyn Backend>) -> Self {
+        Self { nodes: Vec::new(), finite_checks: false, backend, ws: Workspace::new() }
+    }
+
+    /// The graph's execution backend.
+    pub fn backend(&self) -> Arc<dyn Backend> {
+        Arc::clone(&self.backend)
+    }
+
+    /// Clear the tape, recycling node value buffers into the internal
+    /// workspace. A define-by-run training loop calls this between
+    /// iterations instead of building a fresh `Graph`, making later
+    /// forward passes allocation-light.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            self.ws.give(node.value.into_vec());
+        }
+    }
+
+    /// `(allocs, reuses)` of the internal workspace — lets tests pin
+    /// the steady-state-no-allocation property of reset/re-run loops.
+    pub fn workspace_counters(&self) -> (usize, usize) {
+        self.ws.counters()
     }
 
     /// Opt into checking every recorded value for NaN/∞ at record time,
@@ -216,7 +260,19 @@ impl Graph {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
+        let (m, k) = self.nodes[a.0].value.shape();
+        let (k2, n) = self.nodes[b.0].value.shape();
+        assert_eq!(k, k2, "matmul: {m}x{k} * {k2}x{n} dimension mismatch");
+        let mut data = self.ws.take(m * n);
+        self.backend.matmul(
+            self.nodes[a.0].value.as_slice(),
+            self.nodes[b.0].value.as_slice(),
+            &mut data,
+            m,
+            k,
+            n,
+        );
+        let v = Matrix::from_vec(m, n, data);
         self.push(Op::MatMul(a, b), v)
     }
 
@@ -264,16 +320,14 @@ impl Graph {
 
     /// `(n×d) + (1×d)` broadcast, the standard bias add.
     pub fn add_row_broadcast(&mut self, x: Var, bias: Var) -> Var {
-        let xv = self.value(x);
-        let bv = self.value(bias);
-        assert_eq!(bv.rows(), 1, "add_row_broadcast: bias must be a row vector");
-        assert_eq!(bv.cols(), xv.cols(), "add_row_broadcast: width mismatch");
-        let mut out = xv.clone();
-        for r in 0..out.rows() {
-            for c in 0..out.cols() {
-                out[(r, c)] += bv[(0, c)];
-            }
-        }
+        let (rows, cols) = self.nodes[x.0].value.shape();
+        let bshape = self.nodes[bias.0].value.shape();
+        assert_eq!(bshape.0, 1, "add_row_broadcast: bias must be a row vector");
+        assert_eq!(bshape.1, cols, "add_row_broadcast: width mismatch");
+        let mut data = self.ws.take(rows * cols);
+        data.copy_from_slice(self.nodes[x.0].value.as_slice());
+        kernels::add_bias_rows(&mut data, self.nodes[bias.0].value.as_slice(), rows, cols);
+        let out = Matrix::from_vec(rows, cols, data);
         self.push(Op::AddRowBroadcast(x, bias), out)
     }
 
@@ -296,31 +350,17 @@ impl Graph {
     /// positions are exactly zero in the output. A row whose mask is all
     /// zero stays all zero (an isolated graph node attends to nothing).
     pub fn masked_softmax_rows(&mut self, x: Var, mask: &Matrix) -> Var {
-        let xv = self.value(x);
-        assert_eq!(xv.shape(), mask.shape(), "masked_softmax_rows: mask shape mismatch");
-        let mut out = Matrix::zeros(xv.rows(), xv.cols());
-        for r in 0..xv.rows() {
-            let mut maxv = f64::NEG_INFINITY;
-            for c in 0..xv.cols() {
-                if mask[(r, c)] != 0.0 {
-                    maxv = maxv.max(xv[(r, c)]);
-                }
-            }
-            if maxv == f64::NEG_INFINITY {
-                continue; // fully masked row
-            }
-            let mut denom = 0.0;
-            for c in 0..xv.cols() {
-                if mask[(r, c)] != 0.0 {
-                    let e = (xv[(r, c)] - maxv).exp();
-                    out[(r, c)] = e;
-                    denom += e;
-                }
-            }
-            for c in 0..xv.cols() {
-                out[(r, c)] /= denom;
-            }
-        }
+        let (rows, cols) = self.nodes[x.0].value.shape();
+        assert_eq!((rows, cols), mask.shape(), "masked_softmax_rows: mask shape mismatch");
+        let mut data = self.ws.take(rows * cols);
+        self.backend.masked_softmax_rows(
+            self.nodes[x.0].value.as_slice(),
+            mask.as_slice(),
+            &mut data,
+            rows,
+            cols,
+        );
+        let out = Matrix::from_vec(rows, cols, data);
         self.push(Op::MaskedSoftmaxRows(x, Rc::new(mask.clone())), out)
     }
 
@@ -357,13 +397,17 @@ impl Graph {
 
     /// Row-wise dot product of two `n×d` matrices → `n×1`.
     pub fn rowwise_dot(&mut self, a: Var, b: Var) -> Var {
-        let av = self.value(a);
-        let bv = self.value(b);
-        assert_eq!(av.shape(), bv.shape(), "rowwise_dot: shape mismatch");
-        let mut out = Matrix::zeros(av.rows(), 1);
-        for r in 0..av.rows() {
-            out[(r, 0)] = av.row(r).iter().zip(bv.row(r)).map(|(x, y)| x * y).sum();
-        }
+        let (rows, cols) = self.nodes[a.0].value.shape();
+        assert_eq!((rows, cols), self.nodes[b.0].value.shape(), "rowwise_dot: shape mismatch");
+        let mut data = self.ws.take(rows);
+        self.backend.rowwise_dot(
+            self.nodes[a.0].value.as_slice(),
+            self.nodes[b.0].value.as_slice(),
+            &mut data,
+            rows,
+            cols,
+        );
+        let out = Matrix::from_vec(rows, 1, data);
         self.push(Op::RowwiseDot(a, b), out)
     }
 
@@ -438,8 +482,31 @@ impl Graph {
                     self.accumulate(&mut grads, a, gx);
                 }
                 Op::MatMul(a, b) => {
-                    let ga = g.matmul(&self.value(b).t());
-                    let gb = self.value(a).t().matmul(&g);
+                    // Fused transpose products: B (k×n, row-major) is
+                    // already the packed layout the transposed-B kernel
+                    // wants for ga = g·Bᵀ, and gb = Aᵀ·g reads A columns
+                    // directly — no transpose is materialized, and both
+                    // keep the historical accumulation order bit-for-bit.
+                    let (m, n) = g.shape();
+                    let k = self.nodes[a.0].value.cols();
+                    let mut ga = Matrix::zeros(m, k);
+                    self.backend.matmul_transb(
+                        g.as_slice(),
+                        self.nodes[b.0].value.as_slice(),
+                        ga.as_mut_slice(),
+                        m,
+                        n,
+                        k,
+                    );
+                    let mut gb = Matrix::zeros(k, n);
+                    self.backend.matmul_transa(
+                        self.nodes[a.0].value.as_slice(),
+                        g.as_slice(),
+                        gb.as_mut_slice(),
+                        m,
+                        k,
+                        n,
+                    );
                     self.accumulate(&mut grads, a, ga);
                     self.accumulate(&mut grads, b, gb);
                 }

@@ -4,7 +4,9 @@
 //! its models in PaddlePaddle; this crate provides the equivalent
 //! primitives from scratch:
 //!
-//! * [`Matrix`] — dense row-major `f64` matrices with the usual algebra;
+//! * [`Matrix`] — dense row-major `f64` matrices with the usual algebra,
+//!   executing on the shared `ams-runtime` kernels (re-exported here as
+//!   [`runtime`]) with a pluggable sequential/parallel [`Backend`];
 //! * [`linalg`] — Cholesky/LU direct solvers (closed-form ridge for the
 //!   anchored LR of Eq. 5);
 //! * [`Graph`]/[`Var`] — a define-by-run autodiff tape with the ops
@@ -27,6 +29,8 @@ pub mod matrix;
 pub mod optim;
 pub mod plan;
 
+pub use ams_runtime as runtime;
+pub use ams_runtime::{Backend, BackendChoice, RuntimeError, Workspace};
 pub use graph::{Gradients, Graph, Var};
 pub use linalg::{cholesky, ridge_solve, solve_lu, solve_spd, LinalgError};
 pub use matrix::Matrix;

@@ -1,13 +1,14 @@
 //! Dense row-major `f64` matrix.
 //!
 //! All model state in this workspace — features, weights, activations,
-//! gradients — is a [`Matrix`]. Sizes in the AMS workloads are small
-//! (companies ≤ ~100, features ≤ ~100), so the implementation favours
-//! clarity and exhaustive checking over blocked/SIMD kernels; the
-//! Criterion benches in `ams-bench` confirm the naive triple loop is far
-//! from the bottleneck (training time is dominated by the number of Adam
-//! steps, as in the paper's 771-second fits).
+//! gradients — is a [`Matrix`]. Numeric heavy lifting is delegated to
+//! the cache-blocked kernels in `ams-runtime`; those kernels preserve
+//! the accumulation order of the original naive loops bit-for-bit, and
+//! [`Matrix::matmul_with`]/[`Matrix::try_matmul_with`] let callers pick
+//! an execution [`Backend`] (sequential or deterministic row-parallel)
+//! without changing a single result bit.
 
+use ams_runtime::{kernels, Backend, RuntimeError, Seq};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -121,6 +122,12 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Consume the matrix, yielding its row-major buffer (so callers
+    /// can recycle it through a runtime [`ams_runtime::Workspace`]).
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// A single row as a slice.
     pub fn row(&self, r: usize) -> &[f64] {
         assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
@@ -164,27 +171,39 @@ impl Matrix {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul: {}x{} * {}x{} dimension mismatch",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        // ikj loop order: stream through `other` rows for cache locality.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
-            }
+        self.matmul_with(other, &Seq)
+    }
+
+    /// Matrix product on an explicit execution backend.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_with(&self, other: &Matrix, backend: &dyn Backend) -> Matrix {
+        self.try_matmul_with(other, backend).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Matrix product returning a typed error instead of panicking on
+    /// shape mismatch — what the serve layer's no-panic rule requires.
+    pub fn try_matmul(&self, other: &Matrix) -> Result<Matrix, RuntimeError> {
+        self.try_matmul_with(other, &Seq)
+    }
+
+    /// [`Matrix::try_matmul`] on an explicit execution backend.
+    pub fn try_matmul_with(
+        &self,
+        other: &Matrix,
+        backend: &dyn Backend,
+    ) -> Result<Matrix, RuntimeError> {
+        if self.cols != other.rows {
+            return Err(RuntimeError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
         }
-        out
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        backend.matmul(&self.data, &other.data, &mut out.data, self.rows, self.cols, other.cols);
+        Ok(out)
     }
 
     /// Element-wise sum.
@@ -228,9 +247,7 @@ impl Matrix {
     /// In-place `self += alpha * other` (the axpy of optimizer updates).
     pub fn add_scaled_assign(&mut self, other: &Matrix, alpha: f64) {
         assert_eq!(self.shape(), other.shape(), "add_scaled_assign: shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        kernels::axpy(&mut self.data, &other.data, alpha);
     }
 
     /// Sum of all elements.
@@ -427,6 +444,25 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn matmul_mismatch_panics() {
         Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn try_matmul_returns_typed_shape_error() {
+        let err = Matrix::zeros(2, 3).try_matmul(&Matrix::zeros(2, 3)).unwrap_err();
+        assert_eq!(err, RuntimeError::ShapeMismatch { op: "matmul", lhs: (2, 3), rhs: (2, 3) });
+        assert!(Matrix::zeros(2, 3).try_matmul(&Matrix::zeros(3, 2)).is_ok());
+    }
+
+    #[test]
+    fn matmul_with_par_backend_is_bit_identical() {
+        let a = Matrix::from_vec(33, 40, (0..33 * 40).map(|i| (i % 7) as f64 - 3.0).collect());
+        let b = Matrix::from_vec(40, 21, (0..40 * 21).map(|i| (i % 5) as f64 * 0.5).collect());
+        let seq = a.matmul(&b);
+        let par = ams_runtime::Par::new(4);
+        let got = a.matmul_with(&b, &par);
+        for (s, p) in seq.as_slice().iter().zip(got.as_slice()) {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! *"An Adaptive Master-Slave Regularized Model for Unexpected Revenue
 //! Prediction Enhanced with Alternative Data"* (ICDE 2020):
 //!
+//! * [`runtime`] — shared execution layer: cache-blocked kernels,
+//!   sequential/parallel backends, workspace arenas (README "Runtime");
 //! * [`tensor`] — dense linear algebra + reverse-mode autodiff;
 //! * [`stats`] — correlation, t-tests, special functions;
 //! * [`data`] — synthetic panels, Definition II.3 features, CV;
@@ -27,6 +29,7 @@ pub use ams_data as data;
 pub use ams_eval as eval;
 pub use ams_graph as graph;
 pub use ams_models as models;
+pub use ams_runtime as runtime;
 pub use ams_serve as serve;
 pub use ams_stats as stats;
 pub use ams_tensor as tensor;

@@ -1,0 +1,63 @@
+//! Bit-exactness of the runtime refactor, end to end.
+//!
+//! `tests/fixtures/runtime_golden.json` holds the demo model's test
+//! predictions (as f64 bit patterns) captured *before* the workspace
+//! moved onto the shared `ams-runtime` kernels. These tests pin the
+//! refactored stack — cache-blocked matmul, fused backward, workspace
+//! arenas, and both backends — to that pre-refactor behaviour exactly:
+//! training, tape prediction, and tape-free serving must all reproduce
+//! the recorded bits.
+
+use ams::serve::demo::train_demo;
+use ams::serve::Engine;
+use ams::tensor::runtime::{Par, Seq, Workspace};
+use serde::Value;
+
+fn golden() -> (u64, Vec<u64>) {
+    let raw = include_str!("fixtures/runtime_golden.json");
+    let v: Value = serde_json::from_str(raw).unwrap();
+    let seed = v.get("seed").and_then(Value::as_f64).unwrap() as u64;
+    let bits = v
+        .get("pred_bits")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .map(|b| u64::from_str_radix(b.as_str().unwrap(), 16).unwrap())
+        .collect();
+    (seed, bits)
+}
+
+#[test]
+fn trained_predictions_match_pre_refactor_golden() {
+    let (seed, want) = golden();
+    let bundle = train_demo(seed);
+    let pred = bundle.model.predict(&bundle.test_x);
+    assert_eq!(pred.rows(), want.len());
+    for (i, &bits) in want.iter().enumerate() {
+        assert_eq!(
+            pred[(i, 0)].to_bits(),
+            bits,
+            "company {i}: refactored training diverged from the pre-refactor model"
+        );
+    }
+}
+
+#[test]
+fn serve_engine_matches_golden_on_both_backends() {
+    let (seed, want) = golden();
+    let bundle = train_demo(seed);
+    let engine = Engine::new(bundle.artifact).unwrap();
+    let mut ws = Workspace::new();
+    for backend in [&Seq as &dyn ams::tensor::Backend, &Par::new(8)] {
+        let pred = engine.predict_batch_with(&bundle.test_x, backend, &mut ws).unwrap();
+        for (i, &bits) in want.iter().enumerate() {
+            assert_eq!(
+                pred[(i, 0)].to_bits(),
+                bits,
+                "company {i} on {}: serving diverged from the pre-refactor model",
+                backend.name()
+            );
+        }
+        ws.give(pred.into_vec());
+    }
+}
