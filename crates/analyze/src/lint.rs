@@ -33,6 +33,22 @@ const INT_CASTS: [&str; 8] =
 /// Rounding calls that make a float→int cast intentional.
 const ROUNDERS: [&str; 4] = [".floor()", ".ceil()", ".round()", ".trunc()"];
 
+/// Evidence (on the push line or a few lines above) that a growing
+/// collection on a serving path is explicitly bounded.
+const CAPACITY_GUARDS: [&str; 8] = [
+    "len() <",
+    "len() >=",
+    "len() ==",
+    ".capacity()",
+    "with_capacity",
+    "truncate(",
+    "is_full",
+    "try_send",
+];
+
+/// How many preceding lines the capacity-guard search covers.
+const GUARD_WINDOW: usize = 5;
+
 fn normalized(path: &str) -> String {
     path.replace('\\', "/")
 }
@@ -107,6 +123,10 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Diagnostic> {
     // Indentation stack of enclosing `for` loops, for the naive-matmul
     // rule: an entry is the indent column of an open `for`.
     let mut for_stack: Vec<usize> = Vec::new();
+    // Indentation stack of enclosing loops of any kind (`for`, `while`,
+    // `loop`), for the unbounded-queue rule: a push inside a loop can
+    // grow without limit; a push in straight-line code cannot.
+    let mut loop_stack: Vec<usize> = Vec::new();
 
     for (idx, raw) in lines.iter().enumerate() {
         let line_no = idx + 1;
@@ -184,6 +204,58 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Diagnostic> {
                 }
                 if trimmed.starts_with("for ") {
                     for_stack.push(indent);
+                }
+                while loop_stack.last().is_some_and(|&open| open >= indent) {
+                    loop_stack.pop();
+                }
+                // no-unbounded-queue-in-serve: a `push`/`push_back`
+                // inside a loop on a serving path is an unbounded
+                // queue unless a capacity guard sits on the line or
+                // just above it. Unbounded `mpsc::channel()` is the
+                // same defect at the admission layer.
+                if in_serve_scope(path) && !allowed.contains("no-unbounded-queue-in-serve") {
+                    if let Some(pos) = code.find("mpsc::channel()") {
+                        out.push(finding(
+                            true,
+                            "no-unbounded-queue-in-serve",
+                            path,
+                            line_no,
+                            pos + 1,
+                            "unbounded `mpsc::channel()` on a serving path: a burst queues \
+                             without limit"
+                                .to_string(),
+                            "use `mpsc::sync_channel(capacity)` and shed on `try_send` Full",
+                        ));
+                    }
+                    if !loop_stack.is_empty() {
+                        let pushes = [".push(", ".push_back(", ".push_front("];
+                        if let Some(pos) = pushes.iter().filter_map(|p| code.find(p)).min() {
+                            let guarded = (idx.saturating_sub(GUARD_WINDOW)..=idx).any(|j| {
+                                CAPACITY_GUARDS.iter().any(|g| code_part(lines[j]).contains(g))
+                            });
+                            if !guarded {
+                                out.push(finding(
+                                    true,
+                                    "no-unbounded-queue-in-serve",
+                                    path,
+                                    line_no,
+                                    pos + 1,
+                                    "push into a collection inside a loop on a serving path \
+                                     with no capacity check in sight"
+                                        .to_string(),
+                                    "bound the collection (check `len()` against a capacity, or \
+                                     use a bounded queue) before pushing on a request path",
+                                ));
+                            }
+                        }
+                    }
+                }
+                if trimmed.starts_with("for ")
+                    || trimmed.starts_with("while ")
+                    || trimmed.starts_with("loop ")
+                    || trimmed == "loop {"
+                {
+                    loop_stack.push(indent);
                 }
             }
         }
@@ -430,6 +502,40 @@ mod tests {
                         \x20   }\n\
                         }\n";
         assert!(lint_source("crates/stats/src/corr.rs", siblings).is_empty());
+    }
+
+    #[test]
+    fn unbounded_queue_flagged_on_serve_request_paths() {
+        // A push inside a loop with no capacity check: flagged.
+        let hot = "fn f() {\n\
+                   \x20   loop {\n\
+                   \x20       queue.push_back(conn);\n\
+                   \x20   }\n\
+                   }\n";
+        let diags = lint_source("crates/serve/src/server.rs", hot);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "no-unbounded-queue-in-serve");
+        // The same push outside serve: clean.
+        assert!(lint_source("crates/core/src/ams.rs", hot).is_empty());
+        // A capacity guard right above the push: clean.
+        let guarded = "fn f() {\n\
+                       \x20   while run {\n\
+                       \x20       if queue.len() < cap {\n\
+                       \x20           queue.push_back(conn);\n\
+                       \x20       }\n\
+                       \x20   }\n\
+                       }\n";
+        assert!(lint_source("crates/serve/src/server.rs", guarded).is_empty());
+        // Straight-line pushes (response building) are not queues.
+        let flat = "fn f() {\n    fields.push(x);\n    fields.push(y);\n}\n";
+        assert!(lint_source("crates/serve/src/server.rs", flat).is_empty());
+        // Unbounded channels are the same defect at the admission layer.
+        let chan = "let (tx, rx) = mpsc::channel();\n";
+        let diags = lint_source("crates/serve/src/server.rs", chan);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "no-unbounded-queue-in-serve");
+        let bounded = "let (tx, rx) = mpsc::sync_channel(64);\n";
+        assert!(lint_source("crates/serve/src/server.rs", bounded).is_empty());
     }
 
     #[test]

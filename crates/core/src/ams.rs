@@ -16,11 +16,12 @@
 use ams_graph::CompanyGraph;
 use ams_tensor::init::{dropout_mask, he_uniform};
 use ams_tensor::runtime::{Backend, BackendChoice};
-use ams_tensor::{ridge_solve, Adam, Graph, Matrix, Var};
+use ams_tensor::{ridge_solve, Adam, AdamState, Graph, Matrix, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
+use crate::checkpoint::{self, CheckpointConfig, FitHalted, TrainCheckpoint};
 use crate::gat::GatLayer;
 
 /// AMS hyperparameters. The γ / λ_slg / λ₁ knobs are the ones the
@@ -585,6 +586,58 @@ impl AmsModel {
         train: &[QuarterBatch],
         val: Option<&QuarterBatch>,
     ) -> f64 {
+        match self.fit_inner(graph, train, val, None, false) {
+            Ok(v) => v,
+            Err(h) => unreachable!("halt without a checkpoint config: {h}"),
+        }
+    }
+
+    /// Like [`AmsModel::fit_with_validation`], but writes an atomic,
+    /// checksummed [`TrainCheckpoint`] every `ckpt.every` epochs so a
+    /// crashed run can be resumed with [`AmsModel::fit_resume`].
+    /// Returns `Err(FitHalted)` only when the test-only
+    /// [`CheckpointConfig::halt_after_epoch`] crash hook fires.
+    pub fn fit_checkpointed(
+        &mut self,
+        graph: &CompanyGraph,
+        train: &[QuarterBatch],
+        val: Option<&QuarterBatch>,
+        ckpt: &CheckpointConfig,
+    ) -> Result<f64, FitHalted> {
+        self.fit_inner(graph, train, val, Some(ckpt), false)
+    }
+
+    /// Resume a checkpointed fit from the newest *valid* checkpoint in
+    /// `ckpt.dir` (corrupt files are skipped — the checksummed framing
+    /// detects them — falling back to the previous retained one). The
+    /// resumed run replays the exact epoch stream: parameters, Adam
+    /// moments, the dropout RNG, and the early-stopping state are all
+    /// restored, so the final parameters are bit-identical to an
+    /// uninterrupted run over the same inputs. With no usable
+    /// checkpoint on disk this is a fresh [`AmsModel::fit_checkpointed`]
+    /// run.
+    ///
+    /// # Panics
+    /// Panics if the checkpoint's parameter list does not match this
+    /// configuration's shape (a checkpoint from a different model).
+    pub fn fit_resume(
+        &mut self,
+        graph: &CompanyGraph,
+        train: &[QuarterBatch],
+        val: Option<&QuarterBatch>,
+        ckpt: &CheckpointConfig,
+    ) -> Result<f64, FitHalted> {
+        self.fit_inner(graph, train, val, Some(ckpt), true)
+    }
+
+    fn fit_inner(
+        &mut self,
+        graph: &CompanyGraph,
+        train: &[QuarterBatch],
+        val: Option<&QuarterBatch>,
+        ckpt: Option<&CheckpointConfig>,
+        resume: bool,
+    ) -> Result<f64, FitHalted> {
         let (d, mask) = Self::check_fit_inputs(graph, train);
 
         // Phase 1: anchored LR (Eq. 5).
@@ -612,11 +665,35 @@ impl AmsModel {
         // among them.
         const PATIENCE: usize = 12;
         let mut checks_since_best = 0usize;
+        let mut start_epoch = 0usize;
+
+        if resume {
+            let cfg = ckpt.expect("fit_resume requires a checkpoint config");
+            if let Some((path, ck)) = checkpoint::latest_valid(&cfg.dir) {
+                assert_eq!(
+                    ck.params.len(),
+                    params.len(),
+                    "checkpoint {} was written by a different model configuration",
+                    path.display()
+                );
+                params = ck.params.clone();
+                adam.restore_state(AdamState {
+                    t: ck.adam_t as u64,
+                    m: ck.adam_m.clone(),
+                    v: ck.adam_v.clone(),
+                });
+                rng = StdRng::from_state(ck.decode_rng().expect("checkpoint passed validation"));
+                best = ck.best_params.as_ref().map(|bp| (ck.best_vmse, bp.clone()));
+                checks_since_best = ck.checks_since_best;
+                start_epoch = ck.epoch + 1;
+            }
+        }
 
         // Epoch-0 snapshot: the warm-started model reproduces the
         // anchored LR exactly, so validation selection can never end up
-        // materially worse than the anchor.
-        if let Some(vb) = val {
+        // materially worse than the anchor. (A resumed run restored its
+        // selection state from the checkpoint instead.)
+        if let (0, Some(vb)) = (start_epoch, val) {
             self.store_params(&params);
             self.mask = Some(mask.clone());
             let pred = self.predict(&vb.x);
@@ -658,7 +735,7 @@ impl AmsModel {
         // fresh allocations. Bit-exactness is unaffected — the kernels
         // and accumulation order are identical either way.
         let mut g = Graph::with_backend(Arc::clone(&self.backend));
-        for epoch in 0..self.config.epochs {
+        for epoch in start_epoch..self.config.epochs {
             g.reset();
             let (param_vars, loss) =
                 self.build_training_graph(&mut g, train, &mask, &b_acr, &params, Some(&mut rng));
@@ -683,6 +760,31 @@ impl AmsModel {
                     }
                 }
             }
+
+            if let Some(cfg) = ckpt {
+                if cfg.every > 0 && (epoch + 1) % cfg.every == 0 {
+                    let AdamState { t, m, v } = adam.export_state();
+                    let ck = TrainCheckpoint {
+                        epoch,
+                        params: params.clone(),
+                        adam_t: t as usize,
+                        adam_m: m,
+                        adam_v: v,
+                        rng_state: TrainCheckpoint::encode_rng(rng.state()),
+                        best_vmse: best.as_ref().map_or(f64::NAN, |(b, _)| *b),
+                        best_params: best.as_ref().map(|(_, p)| p.clone()),
+                        checks_since_best,
+                    };
+                    if let Err(e) = checkpoint::write(cfg, &ck) {
+                        // Checkpointing is best-effort durability; a
+                        // failed write must not kill the training run.
+                        eprintln!("checkpoint write failed at epoch {epoch}: {e}");
+                    }
+                }
+                if cfg.halt_after_epoch == Some(epoch) {
+                    return Err(FitHalted { epoch });
+                }
+            }
         }
         let best_val = best.as_ref().map_or(f64::NAN, |(v, _)| *v);
         if let Some((_, best_params)) = best {
@@ -691,7 +793,7 @@ impl AmsModel {
             self.store_params(&params);
         }
         self.mask = Some(mask);
-        best_val
+        Ok(best_val)
     }
 
     /// Which parameter slots receive L2 (weights and β_c, not biases).
@@ -984,6 +1086,98 @@ mod tests {
             }
         }
         assert!(restored.anchored().is_some());
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("ams-fit-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    /// Config for the resume tests: dropout > 0 so the RNG stream is
+    /// load-bearing, with validation so the early-stopping state is too.
+    fn resume_config() -> AmsConfig {
+        AmsConfig { epochs: 120, dropout: 0.1, gamma: 0.8, lr: 1e-2, ..Default::default() }
+    }
+
+    fn snapshot_json(model: &AmsModel) -> String {
+        serde_json::to_string(&model.snapshot()).unwrap()
+    }
+
+    #[test]
+    fn fit_resume_after_crash_is_bit_identical() {
+        let task = adaptive_task(6, 3, 90);
+        let val = task.test.clone();
+
+        // Uninterrupted reference run.
+        let mut straight = AmsModel::new(resume_config());
+        let want_vmse = straight.fit_with_validation(&task.graph, &task.train, Some(&val));
+
+        // Crashed run: checkpoints every 20 epochs, simulated crash
+        // after epoch 50 — deliberately *between* checkpoints, so the
+        // resume must replay epochs 40..=50 from the epoch-39 file.
+        let dir = ckpt_dir("crash");
+        let mut cfg = CheckpointConfig::new(&dir, 20);
+        cfg.halt_after_epoch = Some(50);
+        let mut crashed = AmsModel::new(resume_config());
+        let halted = crashed.fit_checkpointed(&task.graph, &task.train, Some(&val), &cfg);
+        assert_eq!(halted.unwrap_err(), FitHalted { epoch: 50 });
+
+        // Resume in a *fresh* model (the crashed process is gone).
+        cfg.halt_after_epoch = None;
+        let mut resumed = AmsModel::new(resume_config());
+        let got_vmse = resumed.fit_resume(&task.graph, &task.train, Some(&val), &cfg).unwrap();
+
+        assert_eq!(want_vmse.to_bits(), got_vmse.to_bits(), "best val MSE must match exactly");
+        assert_eq!(
+            snapshot_json(&straight),
+            snapshot_json(&resumed),
+            "resumed parameters must be bit-identical to the uninterrupted run"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fit_resume_survives_corrupt_newest_checkpoint() {
+        let task = adaptive_task(6, 3, 91);
+        let val = task.test.clone();
+
+        let mut straight = AmsModel::new(resume_config());
+        straight.fit_with_validation(&task.graph, &task.train, Some(&val));
+
+        let dir = ckpt_dir("corrupt");
+        let mut cfg = CheckpointConfig::new(&dir, 20);
+        cfg.halt_after_epoch = Some(65);
+        let mut crashed = AmsModel::new(resume_config());
+        crashed.fit_checkpointed(&task.graph, &task.train, Some(&val), &cfg).unwrap_err();
+
+        // Bit-flip the newest checkpoint (as if the disk corrupted it);
+        // resume must reject it on checksum and fall back to the older
+        // retained file — replaying more epochs, same final bits.
+        let files = crate::checkpoint::list(&dir);
+        assert!(files.len() >= 2, "need at least two retained checkpoints");
+        let newest = files.last().unwrap().1.clone();
+        ams_fault::bit_flip_file(&newest, 999).unwrap();
+
+        cfg.halt_after_epoch = None;
+        let mut resumed = AmsModel::new(resume_config());
+        resumed.fit_resume(&task.graph, &task.train, Some(&val), &cfg).unwrap();
+        assert_eq!(snapshot_json(&straight), snapshot_json(&resumed));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fit_resume_without_checkpoints_is_a_fresh_run() {
+        let task = adaptive_task(4, 3, 92);
+        let dir = ckpt_dir("fresh");
+        let cfg = CheckpointConfig::new(&dir, 50);
+        let mut a = AmsModel::new(AmsConfig { epochs: 60, ..resume_config() });
+        let va = a.fit_resume(&task.graph, &task.train, Some(&task.test), &cfg).unwrap();
+        let mut b = AmsModel::new(AmsConfig { epochs: 60, ..resume_config() });
+        let vb = b.fit_with_validation(&task.graph, &task.train, Some(&task.test));
+        assert_eq!(va.to_bits(), vb.to_bits());
+        assert_eq!(snapshot_json(&a), snapshot_json(&b));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

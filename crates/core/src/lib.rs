@@ -12,7 +12,9 @@
 //!   per-company weights behind the Figure 8 interpretability plots.
 
 pub mod ams;
+pub mod checkpoint;
 pub mod gat;
 
 pub use ams::{AmsConfig, AmsModel, LinearLayer, ModelSnapshot, QuarterBatch};
+pub use checkpoint::{CheckpointConfig, FitHalted, TrainCheckpoint};
 pub use gat::{GatHead, GatLayer};

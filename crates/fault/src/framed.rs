@@ -1,0 +1,224 @@
+//! Checksummed, atomically-published single-file framing.
+//!
+//! Both training checkpoints and serving artifacts need the same two
+//! guarantees from the filesystem:
+//!
+//! 1. **A reader never observes a torn write.** [`write_atomic`] writes
+//!    to a temporary sibling, fsyncs it, and renames it over the target
+//!    — the POSIX publish idiom. A crash mid-write leaves either the
+//!    old file or a stray `.tmp`, never a half-written target.
+//! 2. **At-rest corruption is detected, not served.** The first line is
+//!    a header `MAGIC vN crc32=XXXXXXXX len=M`; [`read_verified`]
+//!    recomputes the CRC over the body and rejects on any mismatch,
+//!    so a bit-flipped model or checkpoint fails loudly at load time
+//!    instead of silently mis-scoring.
+//!
+//! The body is opaque to this module (in practice: one JSON document).
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Framing format version, embedded in the header.
+pub const FRAME_VERSION: u32 = 1;
+
+/// Why a framed read failed. `Io` means the file could not be read at
+/// all; every other variant means the file exists but must not be
+/// trusted.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// Missing or malformed header line.
+    BadHeader(String),
+    /// Header magic differs from what the caller expected.
+    WrongMagic { expected: String, found: String },
+    /// Body checksum does not match the header.
+    ChecksumMismatch { expected: u32, actual: u32 },
+    /// Body length does not match the header (truncated file).
+    LengthMismatch { expected: usize, actual: usize },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "io error: {e}"),
+            FrameError::BadHeader(h) => write!(f, "bad frame header: {h}"),
+            FrameError::WrongMagic { expected, found } => {
+                write!(f, "wrong magic: expected `{expected}`, found `{found}`")
+            }
+            FrameError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: header {expected:08x}, body {actual:08x}")
+            }
+            FrameError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: header says {expected} bytes, body has {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected), computed bitwise — no table, no
+/// dependency; fast enough for checkpoint/artifact-sized payloads.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Render the header line for a body.
+fn header(magic: &str, body: &[u8]) -> String {
+    format!("{magic} v{FRAME_VERSION} crc32={:08x} len={}\n", crc32(body), body.len())
+}
+
+/// Atomically publish `body` at `path` under a checksummed header:
+/// write `path.tmp`, fsync, rename over `path`. `magic` is a short
+/// identifier (no spaces) naming the payload kind, e.g. `AMS-CKPT`.
+pub fn write_atomic(path: &Path, magic: &str, body: &str) -> io::Result<()> {
+    debug_assert!(!magic.contains(' '), "magic must be a single token");
+    let tmp: PathBuf = {
+        let mut name = path.as_os_str().to_os_string();
+        name.push(".tmp");
+        PathBuf::from(name)
+    };
+    {
+        let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        f.write_all(header(magic, body.as_bytes()).as_bytes())?;
+        f.write_all(body.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Fsync the directory so the rename itself is durable; best-effort
+    // (some filesystems reject directory handles).
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Read a framed file, verify magic + length + checksum, return the
+/// body. Any verification failure is an error — corrupt data is
+/// rejected, never returned.
+pub fn read_verified(path: &Path, magic: &str) -> Result<String, FrameError> {
+    let raw = fs::read_to_string(path)?;
+    let (head, body) =
+        raw.split_once('\n').ok_or_else(|| FrameError::BadHeader("no header line".to_string()))?;
+    let fields: Vec<&str> = head.split(' ').collect();
+    if fields.len() != 4 {
+        return Err(FrameError::BadHeader(head.to_string()));
+    }
+    if fields[0] != magic {
+        return Err(FrameError::WrongMagic {
+            expected: magic.to_string(),
+            found: fields[0].to_string(),
+        });
+    }
+    if fields[1] != format!("v{FRAME_VERSION}") {
+        return Err(FrameError::BadHeader(head.to_string()));
+    }
+    let expected_crc = fields[2]
+        .strip_prefix("crc32=")
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or_else(|| FrameError::BadHeader(head.to_string()))?;
+    let expected_len = fields[3]
+        .strip_prefix("len=")
+        .and_then(|n| n.parse::<usize>().ok())
+        .ok_or_else(|| FrameError::BadHeader(head.to_string()))?;
+    if body.len() != expected_len {
+        return Err(FrameError::LengthMismatch { expected: expected_len, actual: body.len() });
+    }
+    let actual = crc32(body.as_bytes());
+    if actual != expected_crc {
+        return Err(FrameError::ChecksumMismatch { expected: expected_crc, actual });
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ams-framed-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let path = temp_path("roundtrip");
+        let body = r#"{"hello":"world","n":1.5}"#;
+        write_atomic(&path, "AMS-TEST", body).unwrap();
+        assert_eq!(read_verified(&path, "AMS-TEST").unwrap(), body);
+        // No stray temp file remains.
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        assert!(!Path::new(&tmp).exists());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_detected() {
+        let path = temp_path("bitflip");
+        let body = "x".repeat(256);
+        write_atomic(&path, "AMS-TEST", &body).unwrap();
+        let clean = fs::read(&path).unwrap();
+        // Flip a handful of deterministic positions across header and
+        // body; every single one must be rejected.
+        for bit in [3u64, 77, 400, 1000, 1600] {
+            fs::write(&path, &clean).unwrap();
+            crate::bit_flip_file(&path, bit).unwrap();
+            assert!(
+                read_verified(&path, "AMS-TEST").is_err(),
+                "bit {bit} flipped but file still verified"
+            );
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_and_wrong_magic_are_rejected() {
+        let path = temp_path("trunc");
+        write_atomic(&path, "AMS-TEST", "0123456789").unwrap();
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert!(matches!(read_verified(&path, "AMS-TEST"), Err(FrameError::LengthMismatch { .. })));
+        fs::write(&path, &full).unwrap();
+        assert!(matches!(read_verified(&path, "AMS-OTHER"), Err(FrameError::WrongMagic { .. })));
+        fs::write(&path, "garbage with no header structure").unwrap();
+        assert!(read_verified(&path, "AMS-TEST").is_err());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn overwrite_is_atomic_publication() {
+        let path = temp_path("swap");
+        write_atomic(&path, "AMS-TEST", "version-one").unwrap();
+        write_atomic(&path, "AMS-TEST", "version-two").unwrap();
+        assert_eq!(read_verified(&path, "AMS-TEST").unwrap(), "version-two");
+        fs::remove_file(&path).ok();
+    }
+}

@@ -15,8 +15,64 @@ use ams_graph::CompanyGraph;
 use ams_tensor::Matrix;
 
 /// Current artifact layout version. Bump on any breaking change to
-/// [`ModelArtifact`] or the structures it embeds.
+/// [`ModelArtifact`] or the structures it embeds. (Additive `Option`
+/// fields — like `fallback` — do not need a bump: missing fields read
+/// back as `None`.)
 pub const FORMAT_VERSION: u32 = 1;
+
+/// Header magic for artifact files written by
+/// [`ModelArtifact::write_file`].
+pub const ARTIFACT_MAGIC: &str = "AMS-ART";
+
+/// The cheap degraded-mode predictor carried inside an artifact: the
+/// anchored LR (a single global linear model, §III-B's `B_acr`) plus
+/// every company's last-good prediction from export time. When the GAT
+/// engine errors, the circuit is open, or the input is out of domain,
+/// the server answers from this instead of failing the request.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FallbackModel {
+    /// Anchored-LR weights in slave-column space (`m×1`).
+    pub anchor: Matrix,
+    /// Per-company predictions at the reference features (`n×1`),
+    /// materialized at export.
+    pub last_good: Matrix,
+}
+
+impl FallbackModel {
+    /// Degradation ladder for one company:
+    /// 1. finite slave-space features → anchored-LR dot product;
+    /// 2. unusable features but a known company → its last-good
+    ///    prediction;
+    /// 3. neither → the cross-company mean of the last-good vector.
+    ///
+    /// Always returns a finite number — the whole point of the
+    /// fallback is that it cannot itself fail.
+    pub fn predict(&self, company: Option<usize>, slave_row: Option<&[f64]>) -> f64 {
+        if let Some(row) = slave_row {
+            if row.len() == self.anchor.rows() && row.iter().all(|v| v.is_finite()) {
+                let dot: f64 = row.iter().zip(self.anchor.as_slice()).map(|(&x, &w)| x * w).sum();
+                if dot.is_finite() {
+                    return dot;
+                }
+            }
+        }
+        if let Some(c) = company {
+            if c < self.last_good.rows() {
+                let p = self.last_good[(c, 0)];
+                if p.is_finite() {
+                    return p;
+                }
+            }
+        }
+        let n = self.last_good.rows().max(1) as f64;
+        let mean = self.last_good.as_slice().iter().filter(|v| v.is_finite()).sum::<f64>() / n;
+        if mean.is_finite() {
+            mean
+        } else {
+            0.0
+        }
+    }
+}
 
 /// Where an artifact came from: enough to reproduce or audit it.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -57,6 +113,10 @@ pub struct ModelArtifact {
     /// The (standardized) feature matrix the slave weights were
     /// materialized at — one row per graph node.
     pub reference_features: Matrix,
+    /// Degraded-mode predictor (anchored LR + last-good predictions).
+    /// `None` in artifacts written before this field existed; the
+    /// engine rebuilds it from the snapshot on load.
+    pub fallback: Option<FallbackModel>,
     /// Reproducibility metadata.
     pub provenance: Provenance,
 }
@@ -80,18 +140,41 @@ impl ModelArtifact {
         provenance: Provenance,
     ) -> Self {
         let (slave_weights, _beta_v) = model.slave_weights(reference_features);
+        let snapshot = model.snapshot();
+        let fallback = snapshot.b_acr.as_ref().map(|anchor| FallbackModel {
+            anchor: anchor.clone(),
+            last_good: model.predict(reference_features),
+        });
         Self {
             format_version: FORMAT_VERSION,
             name: name.to_string(),
             version,
-            snapshot: model.snapshot(),
+            snapshot,
             graph: graph.clone(),
             standardizer: standardizer.cloned(),
             feature_names: feature_names.to_vec(),
             slave_weights,
             reference_features: reference_features.clone(),
+            fallback,
             provenance,
         }
+    }
+
+    /// Atomically write this artifact to `path` under a checksummed
+    /// header (write-temp + fsync + rename), so a crash mid-export
+    /// never leaves a torn file and at-rest bit rot is detected on
+    /// load instead of silently mis-scoring.
+    pub fn write_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        ams_fault::framed::write_atomic(path, ARTIFACT_MAGIC, &self.to_json())
+    }
+
+    /// Read an artifact written by [`ModelArtifact::write_file`],
+    /// verifying the checksum before parsing — a corrupted file is
+    /// rejected with the frame error, never partially loaded.
+    pub fn read_file(path: &std::path::Path) -> Result<Self, String> {
+        let body = ams_fault::framed::read_verified(path, ARTIFACT_MAGIC)
+            .map_err(|e| format!("artifact {}: {e}", path.display()))?;
+        Self::from_json(&body)
     }
 
     /// Serialize to a JSON document.
@@ -242,5 +325,38 @@ mod tests {
     fn rejects_garbage() {
         assert!(ModelArtifact::from_json("not json").is_err());
         assert!(ModelArtifact::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn export_populates_fallback() {
+        let fx = trained_fixture(34);
+        let fb = fx.artifact.fallback.as_ref().expect("fitted model exports a fallback");
+        assert_eq!(fb.anchor.cols(), 1);
+        assert_eq!(fb.anchor.rows(), fx.artifact.slave_weights.cols());
+        assert_eq!(fb.last_good.rows(), fx.artifact.num_companies());
+        assert!(fb.last_good.as_slice().iter().all(|v| v.is_finite()));
+        // The ladder always yields a finite number, whatever it's fed.
+        assert!(fb.predict(Some(0), None).is_finite());
+        assert!(fb.predict(None, Some(&vec![f64::NAN; fb.anchor.rows()])).is_finite());
+        assert!(fb.predict(Some(usize::MAX), None).is_finite());
+    }
+
+    #[test]
+    fn file_round_trip_and_bit_flip_rejection() {
+        let fx = trained_fixture(35);
+        let dir = std::env::temp_dir().join(format!("ams-art-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.artifact");
+        fx.artifact.write_file(&path).expect("write");
+        let back = ModelArtifact::read_file(&path).expect("read back");
+        assert_eq!(back.to_json(), fx.artifact.to_json());
+        // A single flipped bit anywhere must be caught by the checksum.
+        ams_fault::bit_flip_file(&path, 8 * 200 + 3).expect("flip");
+        let err = ModelArtifact::read_file(&path).unwrap_err();
+        assert!(
+            err.contains("checksum") || err.contains("header") || err.contains("magic"),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

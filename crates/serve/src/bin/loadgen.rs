@@ -7,12 +7,30 @@
 //! Opens N persistent connections, sends single-company requests as
 //! fast as the server answers them, and reports total throughput plus
 //! mean/p50/p99 latency measured client-side.
+//!
+//! Refused or interrupted connections (including server-side sheds
+//! under overload) are retried with bounded, jittered exponential
+//! backoff; the summary reports how many retries the run needed. A
+//! worker that panics loses its samples but never takes down the run —
+//! join errors are collected and reported, not propagated.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Reconnect attempts before a worker gives up.
+const MAX_RETRIES: u32 = 5;
+
+/// Jittered exponential backoff for attempt `k` (0-based): base
+/// `10·2^k` ms plus up to that much deterministic jitter, so workers
+/// that were shed together do not reconnect in lockstep.
+fn backoff(attempt: u32, salt: u64) -> Duration {
+    let base = 10u64 << attempt.min(10);
+    let jitter = ams_fault::mix64(salt ^ u64::from(attempt).wrapping_mul(0x9E37_79B9)) % base;
+    Duration::from_millis(base + jitter)
+}
 
 struct Args {
     addr: String,
@@ -82,6 +100,28 @@ fn connect(addr: &str) -> Result<(TcpStream, BufReader<TcpStream>), String> {
     Ok((stream, reader))
 }
 
+/// [`connect`] with bounded, jittered retry — a refused connection
+/// (full backlog, shed burst) earns up to [`MAX_RETRIES`] more tries.
+fn connect_with_retry(
+    addr: &str,
+    salt: u64,
+    retries: &AtomicU64,
+) -> Result<(TcpStream, BufReader<TcpStream>), String> {
+    let mut attempt = 0u32;
+    loop {
+        match connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) if attempt < MAX_RETRIES => {
+                retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff(attempt, salt));
+                attempt += 1;
+                let _ = e;
+            }
+            Err(e) => return Err(format!("{e} (after {MAX_RETRIES} retries)")),
+        }
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -129,6 +169,7 @@ fn main() {
 
     let deadline = Instant::now() + Duration::from_secs(args.duration_secs);
     let failed = Arc::new(AtomicBool::new(false));
+    let retries = Arc::new(AtomicU64::new(0));
     let handles: Vec<_> = (0..args.connections.max(1))
         .map(|conn_id| {
             let addr = args.addr.clone();
@@ -136,8 +177,10 @@ fn main() {
             let mode = args.mode.clone();
             let features = features.clone();
             let failed = Arc::clone(&failed);
+            let retries = Arc::clone(&retries);
             std::thread::spawn(move || -> Vec<u64> {
-                let (mut w, mut r) = match connect(&addr) {
+                let salt = conn_id as u64;
+                let (mut w, mut r) = match connect_with_retry(&addr, salt, &retries) {
                     Ok(c) => c,
                     Err(e) => {
                         eprintln!("loadgen[{conn_id}]: {e}");
@@ -160,18 +203,46 @@ fn main() {
                     let started = Instant::now();
                     match round_trip(&mut w, &mut r, &request, &mut line) {
                         Ok(resp) => {
-                            if resp.get("ok").and_then(serde::Value::as_bool) != Some(true) {
+                            let ok = resp.get("ok").and_then(serde::Value::as_bool) == Some(true);
+                            let shed =
+                                resp.get("shed").and_then(serde::Value::as_bool) == Some(true);
+                            if shed {
+                                // Overload shed closes the connection;
+                                // reconnect with backoff and continue.
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(backoff(0, salt));
+                                match connect_with_retry(&addr, salt, &retries) {
+                                    Ok(c) => (w, r) = c,
+                                    Err(e) => {
+                                        eprintln!("loadgen[{conn_id}]: {e}");
+                                        failed.store(true, Ordering::Relaxed);
+                                        return latencies;
+                                    }
+                                }
+                                continue;
+                            }
+                            if !ok {
                                 eprintln!("loadgen[{conn_id}]: error response: {}", line.trim());
                                 failed.store(true, Ordering::Relaxed);
                                 return latencies;
                             }
                         }
-                        Err(e) => {
-                            eprintln!("loadgen[{conn_id}]: {e}");
-                            failed.store(true, Ordering::Relaxed);
-                            return latencies;
+                        Err(_) => {
+                            // The connection died mid-request (server
+                            // restart, truncation, reset): reconnect
+                            // with backoff rather than aborting the run.
+                            match connect_with_retry(&addr, salt, &retries) {
+                                Ok(c) => (w, r) = c,
+                                Err(e) => {
+                                    eprintln!("loadgen[{conn_id}]: {e}");
+                                    failed.store(true, Ordering::Relaxed);
+                                    return latencies;
+                                }
+                            }
+                            continue;
                         }
                     }
+                    // ams-lint: allow(no-unbounded-queue-in-serve) — bounded by run duration
                     latencies.push(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
                     company = (company + 1) % companies;
                 }
@@ -180,9 +251,18 @@ fn main() {
         })
         .collect();
 
+    // Collect join errors instead of propagating a worker's panic: the
+    // run reports what it measured, plus how many workers died.
     let mut all: Vec<u64> = Vec::new();
-    for h in handles {
-        all.extend(h.join().expect("loadgen worker panicked"));
+    let mut panicked = 0usize;
+    for (i, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(latencies) => all.extend(latencies),
+            Err(_) => {
+                panicked += 1;
+                eprintln!("loadgen: worker {i} panicked; its samples are lost");
+            }
+        }
     }
 
     if all.is_empty() {
@@ -195,14 +275,16 @@ fn main() {
     let mean = all.iter().sum::<u64>() as f64 / total as f64;
     let quantile = |q: f64| all[((total as f64 * q) as usize).min(total - 1)];
     println!(
-        "{total} requests in {}s → {:.0} req/s · latency mean {:.1} µs · p50 {:.1} µs · p99 {:.1} µs",
+        "{total} requests in {}s → {:.0} req/s · latency mean {:.1} µs · p50 {:.1} µs · \
+         p99 {:.1} µs · {} retries · {panicked} workers panicked",
         args.duration_secs,
         throughput,
         mean / 1_000.0,
         quantile(0.50) as f64 / 1_000.0,
         quantile(0.99) as f64 / 1_000.0,
+        retries.load(Ordering::Relaxed),
     );
-    if failed.load(Ordering::Relaxed) {
+    if failed.load(Ordering::Relaxed) || panicked > 0 {
         std::process::exit(1);
     }
 }

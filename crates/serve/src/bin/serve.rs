@@ -3,15 +3,18 @@
 //! ```text
 //! serve [--addr 127.0.0.1:7878] [--workers 4] [--backend seq|par|par:N]
 //!       [--artifact PATH]... [--demo] [--seed 7]
+//!       [--queue 64] [--idle-timeout-ms 30000] [--deadline-ms 0]
 //! ```
 //!
-//! With `--artifact`, loads and publishes each JSON artifact (repeat
-//! the flag to publish several models/versions). With `--demo` (or no
-//! artifacts at all), trains a small model on a seeded synthetic
+//! With `--artifact`, loads and publishes each artifact — either a
+//! plain JSON export or a checksummed `AMS-ART` file written by
+//! `ModelArtifact::write_file` (corruption is detected and refused) —
+//! repeat the flag to publish several models/versions. With `--demo`
+//! (or no artifacts at all), trains a small model on a seeded synthetic
 //! universe and publishes it as `ams-demo` v1. Speak JSON lines to the
 //! printed address; see the README "Serving" section for the protocol.
 
-use ams_serve::{demo, ModelArtifact, Registry, Server, ServerConfig};
+use ams_serve::{demo, ModelArtifact, Registry, Server, ServerConfig, ARTIFACT_MAGIC};
 use std::sync::Arc;
 
 struct Args {
@@ -21,6 +24,9 @@ struct Args {
     artifacts: Vec<String>,
     demo: bool,
     seed: u64,
+    queue: usize,
+    idle_timeout_ms: u64,
+    deadline_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +37,9 @@ fn parse_args() -> Result<Args, String> {
         artifacts: Vec::new(),
         demo: false,
         seed: 7,
+        queue: 64,
+        idle_timeout_ms: 30_000,
+        deadline_ms: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -42,15 +51,29 @@ fn parse_args() -> Result<Args, String> {
                     value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
             }
             "--backend" => args.backend = Some(value("--backend")?),
+            // ams-lint: allow(no-unbounded-queue-in-serve) — bounded by argv length
             "--artifact" => args.artifacts.push(value("--artifact")?),
             "--demo" => args.demo = true,
             "--seed" => {
                 args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
             }
+            "--queue" => {
+                args.queue = value("--queue")?.parse().map_err(|e| format!("--queue: {e}"))?;
+            }
+            "--idle-timeout-ms" => {
+                args.idle_timeout_ms = value("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout-ms: {e}"))?;
+            }
+            "--deadline-ms" => {
+                args.deadline_ms =
+                    value("--deadline-ms")?.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: serve [--addr HOST:PORT] [--workers N] [--backend seq|par|par:N] \
-                     [--artifact PATH]... [--demo] [--seed N]"
+                     [--artifact PATH]... [--demo] [--seed N] [--queue N] \
+                     [--idle-timeout-ms MS] [--deadline-ms MS]"
                 );
                 std::process::exit(0);
             }
@@ -58,6 +81,16 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Load a plain-JSON or checksummed (`AMS-ART` framed) artifact file.
+fn load_artifact(path: &str) -> Result<ModelArtifact, String> {
+    let head = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if head.starts_with(ARTIFACT_MAGIC.as_bytes()) {
+        return ModelArtifact::read_file(std::path::Path::new(path));
+    }
+    let json = String::from_utf8(head).map_err(|e| format!("{path}: not UTF-8: {e}"))?;
+    ModelArtifact::from_json(&json)
 }
 
 fn main() {
@@ -71,14 +104,7 @@ fn main() {
 
     let registry = Arc::new(Registry::new());
     for path in &args.artifacts {
-        let json = match std::fs::read_to_string(path) {
-            Ok(j) => j,
-            Err(e) => {
-                eprintln!("serve: cannot read {path}: {e}");
-                std::process::exit(1);
-            }
-        };
-        let artifact = match ModelArtifact::from_json(&json) {
+        let artifact = match load_artifact(path) {
             Ok(a) => a,
             Err(e) => {
                 eprintln!("serve: {path}: {e}");
@@ -116,6 +142,10 @@ fn main() {
             addr: args.addr.clone(),
             workers: args.workers,
             backend: args.backend.clone(),
+            queue_capacity: args.queue,
+            idle_timeout_ms: args.idle_timeout_ms,
+            default_deadline_ms: args.deadline_ms,
+            faults: None,
         },
         registry,
     ) {

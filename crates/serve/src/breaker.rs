@@ -1,0 +1,224 @@
+//! Per-model circuit breaker.
+//!
+//! The registry gives every model entry one [`CircuitBreaker`]. The
+//! server records an engine outcome after each prediction: consecutive
+//! *engine* failures (non-finite output, corrupt-snapshot errors — not
+//! client mistakes, which say nothing about the model's health) trip
+//! the breaker open. While open, requests skip the engine entirely and
+//! go straight to the fallback predictor; after a cooldown one probe
+//! request is let through (half-open), and its outcome decides between
+//! closing the breaker and re-opening it for another cooldown.
+//!
+//! Classic pattern (Nygard, *Release It!*): the point is to stop
+//! hammering a deterministically-failing component, shed that load,
+//! and re-detect recovery automatically.
+
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Breaker tuning, shared by every entry of a registry.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive engine failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before allowing a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self { failure_threshold: 5, cooldown: Duration::from_secs(1) }
+    }
+}
+
+/// Observable breaker state, reported through `health`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; requests reach the engine.
+    Closed,
+    /// Tripped; requests go straight to the fallback until the
+    /// cooldown elapses.
+    Open,
+    /// Cooldown elapsed; exactly one probe request is in flight.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+enum Inner {
+    Closed { consecutive_failures: u32 },
+    Open { until: Instant },
+    HalfOpen,
+}
+
+/// Thread-safe circuit breaker. All methods take `&self`; the mutex is
+/// held only for the few instructions of a state transition.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    pub fn new(config: BreakerConfig) -> Self {
+        Self { config, inner: Mutex::new(Inner::Closed { consecutive_failures: 0 }) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A thread panicking inside these tiny critical sections cannot
+        // leave the state torn (each transition is one assignment), so
+        // recover rather than poisoning the whole model entry.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// May this request use the engine? `false` means: serve the
+    /// fallback instead. When the cooldown has elapsed this admits the
+    /// caller as the half-open probe — callers MUST then report the
+    /// outcome via [`CircuitBreaker::record_success`] /
+    /// [`CircuitBreaker::record_failure`], or the breaker stays
+    /// half-open until another probe resolves it.
+    pub fn allow(&self) -> bool {
+        let mut inner = self.lock();
+        match &*inner {
+            Inner::Closed { .. } => true,
+            Inner::Open { until } => {
+                if Instant::now() >= *until {
+                    *inner = Inner::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+            Inner::HalfOpen => false,
+        }
+    }
+
+    /// Record a successful engine call: closes a half-open breaker,
+    /// resets the failure streak.
+    pub fn record_success(&self) {
+        *self.lock() = Inner::Closed { consecutive_failures: 0 };
+    }
+
+    /// Record an engine failure: extends the streak, trips the breaker
+    /// at the threshold, re-opens a half-open breaker immediately.
+    pub fn record_failure(&self) {
+        let mut inner = self.lock();
+        let open = Inner::Open { until: Instant::now() + self.config.cooldown };
+        match &mut *inner {
+            Inner::Closed { consecutive_failures } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.config.failure_threshold {
+                    *inner = open;
+                }
+            }
+            Inner::HalfOpen => *inner = open,
+            Inner::Open { .. } => {}
+        }
+    }
+
+    /// The admitted half-open probe ended without a verdict on the
+    /// model (e.g. its deadline expired mid-flight): re-open, and probe
+    /// again after another cooldown. No-op in every other state.
+    pub fn release_probe(&self) {
+        let mut inner = self.lock();
+        if matches!(&*inner, Inner::HalfOpen) {
+            *inner = Inner::Open { until: Instant::now() + self.config.cooldown };
+        }
+    }
+
+    /// Current state (an open breaker past its cooldown still reads
+    /// `Open` until a request probes it).
+    pub fn state(&self) -> BreakerState {
+        match &*self.lock() {
+            Inner::Closed { .. } => BreakerState::Closed,
+            Inner::Open { .. } => BreakerState::Open,
+            Inner::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Consecutive failures while closed (0 when open/half-open); a
+    /// non-zero streak reports the model as `degraded` in health.
+    pub fn failure_streak(&self) -> u32 {
+        match &*self.lock() {
+            Inner::Closed { consecutive_failures } => *consecutive_failures,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_breaker(threshold: u32) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(20),
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let b = fast_breaker(3);
+        b.record_failure();
+        b.record_failure();
+        b.record_success(); // streak broken
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+        b.record_failure(); // third consecutive
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn probe_after_cooldown_then_close_on_success() {
+        let b = fast_breaker(1);
+        b.record_failure();
+        assert!(!b.allow());
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.allow(), "cooldown elapsed: one probe admitted");
+        assert!(!b.allow(), "only one probe while half-open");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = fast_breaker(1);
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn inconclusive_probe_reopens_without_a_verdict() {
+        let b = fast_breaker(1);
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.allow());
+        b.release_probe(); // probe's deadline expired: no verdict
+        assert_eq!(b.state(), BreakerState::Open);
+        // A closed breaker is untouched by a release.
+        let c = fast_breaker(1);
+        c.release_probe();
+        assert_eq!(c.state(), BreakerState::Closed);
+        assert!(c.allow());
+    }
+
+    #[test]
+    fn failure_streak_reports_degradation() {
+        let b = fast_breaker(5);
+        assert_eq!(b.failure_streak(), 0);
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.failure_streak(), 2);
+        b.record_success();
+        assert_eq!(b.failure_streak(), 0);
+    }
+}

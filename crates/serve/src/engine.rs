@@ -19,10 +19,63 @@
 //!   re-run), which is the standard export-the-entity-parameters
 //!   serving trade-off.
 
-use crate::artifact::ModelArtifact;
+use crate::artifact::{FallbackModel, ModelArtifact};
 use ams_core::{GatHead, GatLayer, LinearLayer};
 use ams_tensor::runtime::{Backend, RuntimeError, Seq, Workspace};
 use ams_tensor::Matrix;
+use std::time::Instant;
+
+/// Why a prediction could not be served from the engine. The
+/// classification is what the server's degradation ladder keys on: only
+/// [`PredictError::Engine`] counts against a model's circuit breaker —
+/// a malformed request or an expired deadline says nothing about the
+/// model's health.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictError {
+    /// The request itself is malformed (wrong shape, unknown company).
+    BadRequest(String),
+    /// The per-request deadline expired mid-flight; the forward pass
+    /// was abandoned between stages.
+    DeadlineExceeded,
+    /// The engine failed (corrupt snapshot, non-finite output).
+    Engine(String),
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::BadRequest(m) => write!(f, "{m}"),
+            PredictError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            PredictError::Engine(m) => write!(f, "engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+impl From<String> for PredictError {
+    /// Untyped errors bubbling out of the kernel helpers can only be
+    /// shape mismatches from a corrupt snapshot — engine failures.
+    fn from(message: String) -> Self {
+        PredictError::Engine(message)
+    }
+}
+
+impl PredictError {
+    /// Does this failure count against the model's circuit breaker?
+    pub fn is_engine_failure(&self) -> bool {
+        matches!(self, PredictError::Engine(_))
+    }
+}
+
+/// Bail out of the forward pass between stages once the request's
+/// deadline has passed — the abandoned work is the cheapest work.
+fn check_deadline(deadline: Option<Instant>) -> Result<(), PredictError> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err(PredictError::DeadlineExceeded),
+        _ => Ok(()),
+    }
+}
 
 /// A scoring-ready model: a validated artifact plus precomputed
 /// lookup structures. Cheap to clone behind an `Arc`; immutable, so
@@ -33,6 +86,9 @@ pub struct Engine {
     /// 0/1 projection from full feature space to slave columns
     /// (`d×m`), `None` when the slave model uses every column.
     selection: Option<Matrix>,
+    /// Degraded-mode predictor, always resolved: taken from the
+    /// artifact when present, rebuilt from the snapshot otherwise.
+    fallback: FallbackModel,
 }
 
 impl Engine {
@@ -47,7 +103,50 @@ impl Engine {
             }
             s
         });
-        Ok(Self { artifact, selection })
+        let placeholder = FallbackModel {
+            anchor: artifact
+                .snapshot
+                .b_acr
+                .clone()
+                .unwrap_or_else(|| Matrix::zeros(artifact.slave_weights.cols(), 1)),
+            last_good: Matrix::zeros(artifact.num_companies(), 1),
+        };
+        let from_artifact = artifact.fallback.clone();
+        let mut engine = Self { artifact, selection, fallback: placeholder };
+        match from_artifact {
+            Some(fb) => engine.fallback = fb,
+            None => {
+                // Pre-fallback artifact: materialize last-good
+                // predictions once, at load time, from the engine's own
+                // batch path at the export-time reference features.
+                let reference = engine.artifact.reference_features.clone();
+                if let Ok(pred) = engine.predict_batch(&reference) {
+                    engine.fallback.last_good = pred;
+                }
+            }
+        }
+        Ok(engine)
+    }
+
+    /// The degraded-mode predictor (never absent; see [`Engine::new`]).
+    pub fn fallback(&self) -> &FallbackModel {
+        &self.fallback
+    }
+
+    /// Score through the fallback ladder. `features` (full-width, may
+    /// be `None` or non-finite) is projected to slave space here; the
+    /// result is always finite — this path cannot fail.
+    pub fn fallback_predict(&self, company: Option<usize>, features: Option<&[f64]>) -> f64 {
+        let slave_row: Option<Vec<f64>> = features.and_then(|f| {
+            if f.len() != self.feature_width() {
+                return None;
+            }
+            Some(match &self.artifact.snapshot.config.slave_cols {
+                Some(cols) => cols.iter().map(|&c| f[c]).collect(),
+                None => f.to_vec(),
+            })
+        });
+        self.fallback.predict(company, slave_row.as_deref())
     }
 
     /// The artifact this engine scores with.
@@ -84,6 +183,23 @@ impl Engine {
             Some(cols) => cols.iter().zip(beta).map(|(&c, &b)| features[c] * b).sum(),
             None => features.iter().zip(beta).map(|(&x, &b)| x * b).sum(),
         };
+        Ok(pred)
+    }
+
+    /// [`Engine::predict_company`] with a typed error: shape problems
+    /// are the caller's fault, a non-finite result is an engine failure
+    /// (finite weights against finite features cannot produce one).
+    pub fn predict_company_checked(
+        &self,
+        company: usize,
+        features: &[f64],
+    ) -> Result<f64, PredictError> {
+        let pred = self.predict_company(company, features).map_err(PredictError::BadRequest)?;
+        if !pred.is_finite() {
+            return Err(PredictError::Engine(format!(
+                "non-finite prediction for company {company}"
+            )));
+        }
         Ok(pred)
     }
 
@@ -131,9 +247,30 @@ impl Engine {
         backend: &dyn Backend,
         ws: &mut Workspace,
     ) -> Result<Matrix, String> {
-        let (pred, beta_v, beta) = self.run(x, backend, ws)?;
+        self.predict_batch_deadline(x, backend, ws, None).map_err(|e| e.to_string())
+    }
+
+    /// [`Engine::predict_batch_with`] with a typed error and an
+    /// optional per-request deadline. The deadline is checked between
+    /// forward-pass stages, so an expired request abandons the
+    /// remaining work instead of finishing late; the output is checked
+    /// finite, so a corrupt artifact reports an engine failure (which
+    /// the server counts against the model's circuit breaker) rather
+    /// than serving NaN.
+    pub fn predict_batch_deadline(
+        &self,
+        x: &Matrix,
+        backend: &dyn Backend,
+        ws: &mut Workspace,
+        deadline: Option<Instant>,
+    ) -> Result<Matrix, PredictError> {
+        let (pred, beta_v, beta) = self.run(x, backend, ws, deadline)?;
         ws.give(beta_v.into_vec());
         ws.give(beta.into_vec());
+        if pred.as_slice().iter().any(|v| !v.is_finite()) {
+            ws.give(pred.into_vec());
+            return Err(PredictError::Engine("non-finite prediction".to_string()));
+        }
         Ok(pred)
     }
 
@@ -141,7 +278,7 @@ impl Engine {
     /// the serving-side counterpart of `AmsModel::slave_weights`.
     pub fn slave_weights_batch(&self, x: &Matrix) -> Result<(Matrix, Matrix), String> {
         let mut ws = Workspace::new();
-        let (pred, beta_v, beta) = self.run(x, &Seq, &mut ws)?;
+        let (pred, beta_v, beta) = self.run(x, &Seq, &mut ws, None).map_err(|e| e.to_string())?;
         ws.give(pred.into_vec());
         Ok((beta, beta_v))
     }
@@ -156,25 +293,25 @@ impl Engine {
         x: &Matrix,
         backend: &dyn Backend,
         ws: &mut Workspace,
-    ) -> Result<(Matrix, Matrix, Matrix), String> {
+        deadline: Option<Instant>,
+    ) -> Result<(Matrix, Matrix, Matrix), PredictError> {
         let snap = &self.artifact.snapshot;
-        let mask = snap
-            .mask
-            .as_ref()
-            .ok_or_else(|| "artifact has no adjacency mask (corrupt snapshot)".to_string())?;
+        let mask = snap.mask.as_ref().ok_or_else(|| {
+            PredictError::Engine("artifact has no adjacency mask (corrupt snapshot)".to_string())
+        })?;
         if x.rows() != mask.rows() {
-            return Err(format!(
+            return Err(PredictError::BadRequest(format!(
                 "batch has {} rows but the model graph has {} nodes",
                 x.rows(),
                 mask.rows()
-            ));
+            )));
         }
         if x.cols() != self.feature_width() {
-            return Err(format!(
+            return Err(PredictError::BadRequest(format!(
                 "feature width {} != model width {}",
                 x.cols(),
                 self.feature_width()
-            ));
+            )));
         }
 
         // Node transform (Eq. 1); dropout is identity at eval time.
@@ -185,6 +322,7 @@ impl Engine {
             ws.give(h.into_vec());
             h = z;
         }
+        check_deadline(deadline)?;
         let nt_out = clone_ws(&h, ws);
         // GAT stack (Eqs. 2–3).
         for layer in &snap.gat {
@@ -192,6 +330,7 @@ impl Engine {
             ws.give(h.into_vec());
             h = next;
         }
+        check_deadline(deadline)?;
         if snap.config.residual {
             let cat = hcat_ws(&h, &nt_out, ws);
             ws.give(h.into_vec());
@@ -208,6 +347,7 @@ impl Engine {
             ws.give(h.into_vec());
             h = z;
         }
+        check_deadline(deadline)?;
         let beta_v = h;
 
         // Model assembly (Eq. 10): β = γ β_v + (1−γ) β_c. The ones·βcᵀ
@@ -536,6 +676,87 @@ mod tests {
         for (w, g) in want.as_slice().iter().zip(got.as_slice()) {
             assert_eq!(w.to_bits(), g.to_bits());
         }
+    }
+
+    #[test]
+    fn fallback_is_rebuilt_for_pre_fallback_artifacts() {
+        let fx = trained_fixture(48);
+        let with = Engine::new(fx.artifact.clone()).unwrap();
+        let mut stripped = fx.artifact.clone();
+        stripped.fallback = None;
+        let without = Engine::new(stripped).unwrap();
+        // Rebuilt last-good predictions equal the exported ones bitwise
+        // (both are the batch path at the reference features).
+        let (a, b) = (&with.fallback().last_good, &without.fallback().last_good);
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn fallback_predict_is_total() {
+        let fx = trained_fixture(48);
+        let engine = Engine::new(fx.artifact).unwrap();
+        let d = engine.feature_width();
+        // Every corner of the ladder yields a finite number.
+        assert!(engine.fallback_predict(Some(0), Some(&vec![0.5; d])).is_finite());
+        assert!(engine.fallback_predict(Some(0), Some(&vec![f64::NAN; d])).is_finite());
+        assert!(engine.fallback_predict(Some(0), Some(&[1.0])).is_finite()); // wrong width
+        assert!(engine.fallback_predict(Some(usize::MAX), None).is_finite());
+        assert!(engine.fallback_predict(None, None).is_finite());
+        // Known company with unusable features serves its last-good.
+        let got = engine.fallback_predict(Some(2), Some(&vec![f64::INFINITY; d]));
+        assert_eq!(got.to_bits(), engine.fallback().last_good[(2, 0)].to_bits());
+    }
+
+    #[test]
+    fn expired_deadline_aborts_between_stages() {
+        let fx = trained_fixture(49);
+        let engine = Engine::new(fx.artifact.clone()).unwrap();
+        let x = &fx.artifact.reference_features;
+        let mut ws = Workspace::new();
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let err = engine.predict_batch_deadline(x, &Seq, &mut ws, Some(past)).unwrap_err();
+        assert_eq!(err, PredictError::DeadlineExceeded);
+        assert!(!err.is_engine_failure(), "a slow request is not a sick model");
+        // A generous deadline does not disturb the result.
+        let far = Instant::now() + std::time::Duration::from_secs(60);
+        let want = engine.predict_batch(x).unwrap();
+        let got = engine.predict_batch_deadline(x, &Seq, &mut ws, Some(far)).unwrap();
+        for (w, g) in want.as_slice().iter().zip(got.as_slice()) {
+            assert_eq!(w.to_bits(), g.to_bits());
+        }
+    }
+
+    #[test]
+    fn typed_errors_classify_caller_vs_engine() {
+        let fx = trained_fixture(49);
+        let engine = Engine::new(fx.artifact).unwrap();
+        let d = engine.feature_width();
+        let err = engine.predict_company_checked(10_000, &vec![0.0; d]).unwrap_err();
+        assert!(matches!(err, PredictError::BadRequest(_)), "{err}");
+        let mut ws = Workspace::new();
+        let err =
+            engine.predict_batch_deadline(&Matrix::zeros(1, d), &Seq, &mut ws, None).unwrap_err();
+        assert!(matches!(err, PredictError::BadRequest(_)), "{err}");
+        assert!(!err.is_engine_failure());
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_an_engine_failure() {
+        let fx = trained_fixture(49);
+        let mut artifact = fx.artifact.clone();
+        // Flip a generator weight to NaN: the forward pass completes
+        // but produces a non-finite prediction.
+        let layer = artifact.snapshot.gen.last_mut().expect("generator layers");
+        layer.w[(0, 0)] = f64::NAN;
+        let engine = Engine::new(artifact).unwrap();
+        let mut ws = Workspace::new();
+        let err = engine
+            .predict_batch_deadline(&fx.artifact.reference_features, &Seq, &mut ws, None)
+            .unwrap_err();
+        assert!(err.is_engine_failure(), "{err}");
     }
 
     #[test]

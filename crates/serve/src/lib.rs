@@ -12,9 +12,14 @@
 //!   exact arithmetic of `AmsModel::predict` on plain matrices, with a
 //!   single-company dot-product fast path;
 //! * [`registry`] — [`Registry`], named + versioned engines with
-//!   atomic hot-swap under live traffic;
+//!   atomic hot-swap under live traffic, checksum-verified file
+//!   publishes, and a per-name circuit breaker;
+//! * [`breaker`] — [`CircuitBreaker`], closed/open/half-open per-model
+//!   protection against deterministic engine failures;
 //! * [`server`] — [`Server`], a `std::net` TCP JSON-lines prediction
-//!   service on a fixed worker pool with graceful shutdown;
+//!   service on a fixed worker pool with graceful shutdown, bounded
+//!   admission (explicit shed), per-request deadlines, and graceful
+//!   degradation to the artifact's fallback predictor;
 //! * [`metrics`] — [`Metrics`], atomic counters and a latency
 //!   histogram exposed through the `stats` request;
 //! * [`demo`] — train-and-export on a seeded synthetic universe (the
@@ -25,14 +30,16 @@
 //! "Serving" section for the wire protocol.
 
 pub mod artifact;
+pub mod breaker;
 pub mod demo;
 pub mod engine;
 pub mod metrics;
 pub mod registry;
 pub mod server;
 
-pub use artifact::{ModelArtifact, Provenance, FORMAT_VERSION};
-pub use engine::Engine;
+pub use artifact::{FallbackModel, ModelArtifact, Provenance, ARTIFACT_MAGIC, FORMAT_VERSION};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use engine::{Engine, PredictError};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use registry::Registry;
 pub use server::{Server, ServerConfig};
@@ -70,7 +77,7 @@ mod tests {
         let registry = Arc::new(Registry::new());
         registry.publish(fx.artifact.clone()).unwrap();
         let server = Server::start(
-            ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, backend: None },
+            ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, ..Default::default() },
             Arc::clone(&registry),
         )
         .unwrap();
@@ -102,9 +109,15 @@ mod tests {
         let weights = resp.get("weights").and_then(serde::Value::as_array).unwrap();
         assert_eq!(weights.len(), fx.artifact.slave_weights.cols());
 
-        // errors come back per-request, connection stays usable.
+        // An unknown company is out-of-domain: answered from the
+        // fallback, tagged degraded — not an error, not a closed
+        // connection.
         let resp = send(&mut conn, r#"{"type":"predict","company":9999,"features":[]}"#);
-        assert_eq!(resp.get("ok").and_then(serde::Value::as_bool), Some(false));
+        assert_eq!(resp.get("ok").and_then(serde::Value::as_bool), Some(true));
+        assert_eq!(resp.get("degraded").and_then(serde::Value::as_bool), Some(true));
+        assert!(resp.get("prediction").and_then(serde::Value::as_f64).unwrap().is_finite());
+
+        // errors come back per-request, connection stays usable.
         let resp = send(&mut conn, "this is not json");
         assert_eq!(resp.get("ok").and_then(serde::Value::as_bool), Some(false));
         let resp = send(&mut conn, r#"{"type":"flarp"}"#);
@@ -117,7 +130,9 @@ mod tests {
         let requests = stats.get("requests").and_then(serde::Value::as_f64).unwrap();
         assert!(requests >= 6.0, "requests = {requests}");
         let errors = stats.get("errors").and_then(serde::Value::as_f64).unwrap();
-        assert!(errors >= 3.0, "errors = {errors}");
+        assert!(errors >= 2.0, "errors = {errors}");
+        let degraded = stats.get("degraded").and_then(serde::Value::as_f64).unwrap();
+        assert!(degraded >= 1.0, "degraded = {degraded}");
 
         drop(conn);
         server.shutdown();
@@ -127,7 +142,7 @@ mod tests {
     fn server_shutdown_joins_cleanly() {
         let registry = Arc::new(Registry::new());
         let server = Server::start(
-            ServerConfig { addr: "127.0.0.1:0".into(), workers: 1, backend: None },
+            ServerConfig { addr: "127.0.0.1:0".into(), workers: 1, ..Default::default() },
             registry,
         )
         .unwrap();

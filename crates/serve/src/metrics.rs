@@ -23,6 +23,18 @@ pub struct Metrics {
     predict: AtomicU64,
     batch_predict: AtomicU64,
     slave_weights: AtomicU64,
+    /// Connections refused by the bounded admission queue.
+    shed: AtomicU64,
+    /// Requests answered by the fallback predictor (`degraded: true`).
+    degraded: AtomicU64,
+    /// Requests rejected because their deadline expired mid-flight.
+    deadline_exceeded: AtomicU64,
+    /// Connections closed by the server for idling past the timeout —
+    /// a distinct kind, not folded into `errors`.
+    idle_disconnects: AtomicU64,
+    /// Socket-configuration failures (e.g. `set_read_timeout` refused)
+    /// that were previously ignored silently.
+    config_errors: AtomicU64,
     /// `buckets[i]` counts latencies in `[BASE·2^(i-1), BASE·2^i)`;
     /// the last bucket is the overflow.
     buckets: [AtomicU64; N_BUCKETS + 1],
@@ -38,6 +50,11 @@ pub struct MetricsSnapshot {
     pub predict: u64,
     pub batch_predict: u64,
     pub slave_weights: u64,
+    pub shed: u64,
+    pub degraded: u64,
+    pub deadline_exceeded: u64,
+    pub idle_disconnects: u64,
+    pub config_errors: u64,
     pub mean_latency_us: f64,
     pub p50_latency_us: f64,
     pub p99_latency_us: f64,
@@ -66,6 +83,31 @@ impl Metrics {
         self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one connection shed by the bounded admission queue.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request answered by the fallback predictor.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request whose deadline expired mid-flight.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one connection the server closed for idling.
+    pub fn record_idle_disconnect(&self) {
+        self.idle_disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one socket-configuration failure.
+    pub fn record_config_error(&self) {
+        self.config_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy out the current values. Buckets are read without a global
     /// lock, so a snapshot taken mid-request may be off by a count —
     /// fine for monitoring.
@@ -84,6 +126,11 @@ impl Metrics {
             predict: self.predict.load(Ordering::Relaxed),
             batch_predict: self.batch_predict.load(Ordering::Relaxed),
             slave_weights: self.slave_weights.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            idle_disconnects: self.idle_disconnects.load(Ordering::Relaxed),
+            config_errors: self.config_errors.load(Ordering::Relaxed),
             mean_latency_us: mean_nanos / 1_000.0,
             p50_latency_us: quantile_nanos(&counts, total, 0.50) / 1_000.0,
             p99_latency_us: quantile_nanos(&counts, total, 0.99) / 1_000.0,
@@ -174,5 +221,25 @@ mod tests {
         let s = Metrics::new().snapshot();
         assert_eq!(s.requests, 0);
         assert_eq!(s.p99_latency_us, 0.0);
+    }
+
+    #[test]
+    fn resilience_counters_are_independent_of_requests() {
+        let m = Metrics::new();
+        m.record_shed();
+        m.record_shed();
+        m.record_degraded();
+        m.record_deadline_exceeded();
+        m.record_idle_disconnect();
+        m.record_config_error();
+        let s = m.snapshot();
+        assert_eq!(s.shed, 2);
+        assert_eq!(s.degraded, 1);
+        assert_eq!(s.deadline_exceeded, 1);
+        assert_eq!(s.idle_disconnects, 1);
+        assert_eq!(s.config_errors, 1);
+        // None of the above are requests or generic errors.
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.errors, 0);
     }
 }

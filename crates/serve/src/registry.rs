@@ -7,6 +7,7 @@
 //! read-copy-update shape, built from `std::sync` only.
 
 use crate::artifact::ModelArtifact;
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::engine::Engine;
 use std::collections::HashMap;
 use std::sync::{Arc, PoisonError, RwLock};
@@ -15,6 +16,12 @@ use std::sync::{Arc, PoisonError, RwLock};
 struct Entry {
     /// Versions in publish order (ascending version number).
     versions: Vec<Arc<Engine>>,
+    /// The name's circuit breaker. Deliberately shared across versions:
+    /// engine health is a property of the *serving path* for this name,
+    /// and a hot-swap should inherit (then quickly clear, via the
+    /// half-open probe) the previous version's state rather than reset
+    /// an open breaker to closed.
+    breaker: Arc<CircuitBreaker>,
 }
 
 impl Entry {
@@ -29,12 +36,36 @@ impl Entry {
 #[derive(Default)]
 pub struct Registry {
     inner: RwLock<HashMap<String, Entry>>,
+    breaker_config: BreakerConfig,
 }
 
 impl Registry {
-    /// Empty registry.
+    /// Empty registry with default breaker tuning.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty registry whose entries trip their breakers per `config`.
+    pub fn with_breaker_config(config: BreakerConfig) -> Self {
+        Self { inner: RwLock::default(), breaker_config: config }
+    }
+
+    /// The circuit breaker guarding `name`'s serving path.
+    pub fn breaker(&self, name: &str) -> Option<Arc<CircuitBreaker>> {
+        let map = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        map.get(name).map(|e| Arc::clone(&e.breaker))
+    }
+
+    /// Health label for `name`, as reported by the `health` endpoint:
+    /// `"open-circuit"` while the breaker rejects engine traffic,
+    /// `"degraded"` under a non-zero failure streak, else `"healthy"`.
+    pub fn health_state(&self, name: &str) -> Option<&'static str> {
+        let breaker = self.breaker(name)?;
+        Some(match breaker.state() {
+            BreakerState::Open | BreakerState::HalfOpen => "open-circuit",
+            BreakerState::Closed if breaker.failure_streak() > 0 => "degraded",
+            BreakerState::Closed => "healthy",
+        })
     }
 
     /// Validate and publish an artifact under its embedded name. The
@@ -50,7 +81,10 @@ impl Registry {
         // single push/drain), so recover the guard rather than
         // cascading the panic through every serving thread.
         let mut map = self.inner.write().unwrap_or_else(PoisonError::into_inner);
-        let entry = map.entry(name).or_insert_with(|| Entry { versions: Vec::new() });
+        let entry = map.entry(name).or_insert_with(|| Entry {
+            versions: Vec::new(),
+            breaker: Arc::new(CircuitBreaker::new(self.breaker_config)),
+        });
         if let Some(latest) = entry.versions.last() {
             let latest_v = latest.artifact().version;
             if version <= latest_v {
@@ -61,6 +95,15 @@ impl Registry {
         }
         entry.versions.push(Arc::clone(&engine));
         Ok(engine)
+    }
+
+    /// Publish an artifact from a checksummed file written by
+    /// [`ModelArtifact::write_file`]. At-rest corruption (torn write,
+    /// bit rot, truncation) fails the checksum and is rejected here —
+    /// the previously published version keeps serving untouched.
+    pub fn publish_file(&self, path: &std::path::Path) -> Result<Arc<Engine>, String> {
+        let artifact = ModelArtifact::read_file(path)?;
+        self.publish(artifact)
     }
 
     /// The active (latest) engine for a name.
@@ -179,5 +222,79 @@ mod tests {
             assert!(r.join().unwrap() > 0);
         }
         assert_eq!(reg.get("ams-demo").unwrap().artifact().version, 5);
+    }
+
+    #[test]
+    fn corrupt_artifact_file_is_rejected_and_previous_version_serves() {
+        let reg = Registry::new();
+        reg.publish(artifact_with_version(56, 1)).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("ams-reg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v2.artifact");
+        artifact_with_version(56, 2).write_file(&path).unwrap();
+
+        // An intact file publishes; roll back to test the corrupt case
+        // at the same version number.
+        let clean = Registry::new();
+        clean.publish_file(&path).unwrap();
+        assert_eq!(clean.get("ams-demo").unwrap().artifact().version, 2);
+
+        ams_fault::bit_flip_file(&path, 8 * 512 + 1).unwrap();
+        let err = reg.publish_file(&path).unwrap_err();
+        assert!(
+            err.contains("checksum") || err.contains("header") || err.contains("magic"),
+            "{err}"
+        );
+        // The registry is untouched: version 1 keeps serving.
+        assert_eq!(reg.get("ams-demo").unwrap().artifact().version, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn breaker_is_per_name_and_survives_hot_swap() {
+        let reg = Registry::new();
+        reg.publish(artifact_with_version(57, 1)).unwrap();
+        let b = reg.breaker("ams-demo").unwrap();
+        assert_eq!(reg.health_state("ams-demo"), Some("healthy"));
+        b.record_failure();
+        assert_eq!(reg.health_state("ams-demo"), Some("degraded"));
+        // A hot-swap publish keeps the same breaker (same Arc).
+        reg.publish(artifact_with_version(57, 2)).unwrap();
+        assert!(Arc::ptr_eq(&b, &reg.breaker("ams-demo").unwrap()));
+        assert_eq!(reg.health_state("ams-demo"), Some("degraded"));
+        b.record_success();
+        assert_eq!(reg.health_state("ams-demo"), Some("healthy"));
+        assert_eq!(reg.health_state("nope"), None);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_and_keeps_serving() {
+        // A worker panicking while holding the registry's write lock
+        // poisons it; every accessor goes through
+        // `PoisonError::into_inner`, so reads AND later publishes must
+        // keep working.
+        let reg = Arc::new(Registry::new());
+        reg.publish(artifact_with_version(58, 1)).unwrap();
+
+        let poisoner = {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                let _guard = reg.inner.write().unwrap();
+                panic!("simulated worker crash mid-publish");
+            })
+        };
+        assert!(poisoner.join().is_err(), "poisoner must panic");
+        assert!(reg.inner.is_poisoned(), "lock must actually be poisoned");
+
+        // Reads still serve the published version…
+        let engine = reg.get("ams-demo").expect("get() recovers from poisoning");
+        assert_eq!(engine.artifact().version, 1);
+        let width = engine.feature_width();
+        engine.predict_company(0, &vec![0.1; width]).expect("resolved engine still scores");
+        // …and the registry still accepts new publishes.
+        reg.publish(artifact_with_version(58, 2)).expect("publish() recovers from poisoning");
+        assert_eq!(reg.get("ams-demo").unwrap().artifact().version, 2);
+        assert_eq!(reg.list(), vec![("ams-demo".to_string(), 2, 2)]);
     }
 }

@@ -7,12 +7,13 @@
 //! bit-for-bit the engine's output.
 //!
 //! Requests (`model` may be omitted when exactly one model is
-//! published; `version` pins an older retained version):
+//! published; `version` pins an older retained version; `deadline_ms`
+//! bounds how long the server may spend on this request):
 //!
 //! ```text
 //! {"type":"predict","model":"ams","company":3,"features":[...]}
 //! {"type":"predict","company":3,"features":[...],"raw":true}
-//! {"type":"batch_predict","features":[[...],[...],...]}
+//! {"type":"batch_predict","features":[[...],[...],...],"deadline_ms":50}
 //! {"type":"slave_weights","company":3}
 //! {"type":"health"}
 //! {"type":"stats"}
@@ -21,19 +22,36 @@
 //! Responses: `{"ok":true,...}` or `{"ok":false,"error":"..."}` — a
 //! bad request gets an error response on its line, never a dropped
 //! connection or a panic.
+//!
+//! ## Overload and degradation
+//!
+//! Admission is bounded: when [`ServerConfig::queue_capacity`]
+//! connections are already waiting, a new connection receives an
+//! explicit `{"ok":false,"shed":true,...}` line and is closed instead
+//! of queueing without bound. Per-model circuit breakers (see
+//! [`crate::breaker`]) trip after consecutive engine failures; while a
+//! breaker is open — and for any out-of-domain input (non-finite
+//! features, unknown company) — predictions are served from the
+//! artifact's fallback predictor and tagged `"degraded":true` with a
+//! `degraded_reason`. The `health` response reports each model as
+//! `healthy`, `degraded`, or `open-circuit`.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, PredictError};
 use crate::metrics::Metrics;
 use crate::registry::Registry;
+use ams_fault::{apply_delay, corrupt_bytes, flip_non_finite, FaultAction, FaultPlan, FaultSite};
 use ams_tensor::runtime::{Backend, BackendChoice, Workspace};
 use serde::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How often a blocked read wakes to check shutdown and idle time.
+const READ_TICK: Duration = Duration::from_millis(100);
 
 /// Server settings.
 pub struct ServerConfig {
@@ -45,12 +63,43 @@ pub struct ServerConfig {
     /// means sequential. All backends produce bit-identical
     /// predictions — this only chooses how the kernels execute.
     pub backend: Option<String>,
+    /// Bounded admission queue: connections beyond this many waiting
+    /// are shed with an explicit response (min 1).
+    pub queue_capacity: usize,
+    /// Close a connection idle for this long, counting it in
+    /// `idle_disconnects`; `0` disables the idle timeout.
+    pub idle_timeout_ms: u64,
+    /// Default per-request deadline; `0` means none. A request's
+    /// `deadline_ms` field overrides it.
+    pub default_deadline_ms: u64,
+    /// Fault-injection plan for chaos testing; `None` (the production
+    /// default) injects nothing.
+    pub faults: Option<Arc<dyn FaultPlan>>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { addr: "127.0.0.1:0".to_string(), workers: 4, backend: None }
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            backend: None,
+            queue_capacity: 64,
+            idle_timeout_ms: 30_000,
+            default_deadline_ms: 0,
+            faults: None,
+        }
     }
+}
+
+/// Everything a worker needs per request, shared across the pool.
+struct Shared {
+    registry: Arc<Registry>,
+    metrics: Arc<Metrics>,
+    backend: Arc<dyn Backend>,
+    shutdown: Arc<AtomicBool>,
+    idle_timeout: Option<Duration>,
+    default_deadline: Option<Duration>,
+    faults: Arc<dyn FaultPlan>,
 }
 
 /// A running prediction server. Dropping without [`Server::shutdown`]
@@ -76,34 +125,50 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(Metrics::new());
+        let shared = Arc::new(Shared {
+            registry,
+            metrics: Arc::clone(&metrics),
+            backend,
+            shutdown: Arc::clone(&shutdown),
+            idle_timeout: match config.idle_timeout_ms {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            },
+            default_deadline: match config.default_deadline_ms {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            },
+            faults: config.faults.unwrap_or_else(|| Arc::new(ams_fault::NoFaults)),
+        });
 
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+        // Bounded admission: the acceptor sheds (with an explicit
+        // response) once this many connections are waiting, so a burst
+        // degrades into fast refusals instead of unbounded memory
+        // growth and unbounded queueing delay.
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            mpsc::sync_channel(config.queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let rx = Arc::clone(&rx);
-                let registry = Arc::clone(&registry);
-                let metrics = Arc::clone(&metrics);
-                let shutdown = Arc::clone(&shutdown);
-                let backend = Arc::clone(&backend);
-                std::thread::spawn(move || {
-                    worker_loop(&rx, &registry, &metrics, &shutdown, &backend)
-                })
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&rx, &shared))
             })
             .collect();
 
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_metrics = Arc::clone(&metrics);
         let accept_handle = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 match stream {
-                    Ok(s) => {
-                        if tx.send(s).is_err() {
-                            break;
-                        }
-                    }
+                    Ok(s) => match tx.try_send(s) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(s)) => shed_connection(s, &accept_metrics),
+                        Err(TrySendError::Disconnected(_)) => break,
+                    },
                     Err(_) => continue,
                 }
             }
@@ -138,13 +203,18 @@ impl Server {
     }
 }
 
-fn worker_loop(
-    rx: &Arc<Mutex<Receiver<TcpStream>>>,
-    registry: &Registry,
-    metrics: &Metrics,
-    shutdown: &AtomicBool,
-    backend: &Arc<dyn Backend>,
-) {
+/// Refuse one connection with an explicit shed line, then close it.
+/// The client sees *why* it was refused instead of a silent hang.
+fn shed_connection(mut stream: TcpStream, metrics: &Metrics) {
+    metrics.record_shed();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.write_all(
+        b"{\"ok\":false,\"shed\":true,\"error\":\"server overloaded: connection shed\"}\n",
+    );
+    let _ = stream.flush();
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, shared: &Shared) {
     // Per-worker scratch arena: request handling borrows it mutably,
     // so buffers recycle across every request this worker serves and
     // the prediction hot path stops allocating once warm.
@@ -160,9 +230,9 @@ fn worker_loop(
             guard.recv_timeout(Duration::from_millis(50))
         };
         match conn {
-            Ok(stream) => handle_connection(stream, registry, metrics, shutdown, backend, &mut ws),
+            Ok(stream) => handle_connection(stream, shared, &mut ws),
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                if shutdown.load(Ordering::SeqCst) {
+                if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
             }
@@ -171,35 +241,42 @@ fn worker_loop(
     }
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    registry: &Registry,
-    metrics: &Metrics,
-    shutdown: &AtomicBool,
-    backend: &Arc<dyn Backend>,
-    ws: &mut Workspace,
-) {
-    let _ = stream.set_nodelay(true);
+fn handle_connection(stream: TcpStream, shared: &Shared, ws: &mut Workspace) {
+    if stream.set_nodelay(true).is_err() {
+        shared.metrics.record_config_error();
+    }
     // A finite read timeout keeps an idle connection from pinning its
-    // worker past shutdown.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    // worker past shutdown (and drives the idle-timeout accounting). A
+    // refused timeout is a real degradation — this connection can now
+    // pin its worker — so it is counted, not ignored.
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        shared.metrics.record_config_error();
+    }
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    let mut idle = Duration::ZERO;
     loop {
         line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => return, // client closed
-            Ok(_) => {}
+            Ok(_) => idle = Duration::ZERO,
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                if shutdown.load(Ordering::SeqCst) {
+                if shared.shutdown.load(Ordering::SeqCst) {
                     return;
+                }
+                idle += READ_TICK;
+                if let Some(limit) = shared.idle_timeout {
+                    if idle >= limit {
+                        shared.metrics.record_idle_disconnect();
+                        return;
+                    }
                 }
                 continue;
             }
@@ -208,18 +285,42 @@ fn handle_connection(
         if line.trim().is_empty() {
             continue;
         }
+        // Injected faults (NoFaults in production — every decide() is
+        // None): a stalled client, corrupted request bytes, a slow
+        // worker. The server must absorb all of them without crashing.
+        if let Some(FaultAction::Stall { millis }) =
+            shared.faults.decide(FaultSite::ConnectionStall)
+        {
+            apply_delay(millis);
+        }
+        if let Some(FaultAction::CorruptBytes { xor_seed, density }) =
+            shared.faults.decide(FaultSite::RequestBytes)
+        {
+            let mut bytes = std::mem::take(&mut line).into_bytes();
+            corrupt_bytes(&mut bytes, xor_seed, density);
+            line = String::from_utf8_lossy(&bytes).into_owned();
+        }
+        if let Some(FaultAction::Delay { millis }) = shared.faults.decide(FaultSite::WorkerDelay) {
+            apply_delay(millis);
+        }
         let started = Instant::now();
-        let (kind, response) = handle_request(line.trim(), registry, metrics, backend, ws);
+        let (kind, response) = handle_request(line.trim(), shared, ws);
         let is_error = matches!(response.get("ok").and_then(Value::as_bool), Some(false) | None);
-        metrics.record(&kind, started.elapsed(), is_error);
+        shared.metrics.record(&kind, started.elapsed(), is_error);
         let mut encoded = serde_json::to_string(&response).unwrap_or_else(|_| {
             r#"{"ok":false,"error":"internal: response serialization failed"}"#.to_string()
         });
+        // ams-lint: allow(no-unbounded-queue-in-serve) — one newline per response
         encoded.push('\n');
+        if let Some(FaultAction::Truncate) = shared.faults.decide(FaultSite::ConnectionTruncate) {
+            // Simulate the connection dying mid-response.
+            let _ = writer.write_all(&encoded.as_bytes()[..encoded.len() / 2]);
+            return;
+        }
         if writer.write_all(encoded.as_bytes()).is_err() || writer.flush().is_err() {
             return;
         }
-        if shutdown.load(Ordering::SeqCst) {
+        if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
     }
@@ -227,27 +328,30 @@ fn handle_connection(
 
 /// Dispatch one request line. Returns `(request kind, response)`;
 /// every failure path becomes an `{"ok":false,...}` response.
-fn handle_request(
-    line: &str,
-    registry: &Registry,
-    metrics: &Metrics,
-    backend: &Arc<dyn Backend>,
-    ws: &mut Workspace,
-) -> (String, Value) {
+fn handle_request(line: &str, shared: &Shared, ws: &mut Workspace) -> (String, Value) {
     let parsed: Result<Value, _> = serde_json::from_str(line);
     let request = match parsed {
         Ok(v) => v,
         Err(e) => return ("invalid".to_string(), error_response(&format!("invalid JSON: {e}"))),
     };
     let kind = request.get("type").and_then(Value::as_str).unwrap_or("missing").to_string();
+    // Per-request deadline: the request's own budget wins over the
+    // server default; the clock starts when handling starts.
+    let deadline = request
+        .get("deadline_ms")
+        .and_then(Value::as_f64)
+        .filter(|&ms| ms > 0.0)
+        .map(|ms| Duration::from_millis(ms as u64))
+        .or(shared.default_deadline)
+        .map(|budget| Instant::now() + budget);
     let response = match kind.as_str() {
-        "predict" => handle_predict(&request, registry),
-        "batch_predict" => handle_batch_predict(&request, registry, backend, ws),
-        "slave_weights" => handle_slave_weights(&request, registry),
-        "health" => Ok(handle_health(registry)),
+        "predict" => handle_predict(&request, shared, deadline),
+        "batch_predict" => handle_batch_predict(&request, shared, ws, deadline),
+        "slave_weights" => handle_slave_weights(&request, &shared.registry),
+        "health" => Ok(handle_health(&shared.registry)),
         "stats" => Ok(Value::Object(vec![
             ("ok".to_string(), Value::Bool(true)),
-            ("stats".to_string(), serde::Serialize::to_value(&metrics.snapshot())),
+            ("stats".to_string(), serde::Serialize::to_value(&shared.metrics.snapshot())),
         ])),
         other => Err(format!("unknown request type `{other}`")),
     };
@@ -298,10 +402,60 @@ fn company_field(request: &Value) -> Result<usize, String> {
     Ok(v as usize)
 }
 
-fn handle_predict(request: &Value, registry: &Registry) -> Result<Value, String> {
-    let engine = resolve_engine(request, registry)?;
+fn deadline_expired(deadline: Option<Instant>) -> bool {
+    matches!(deadline, Some(d) if Instant::now() >= d)
+}
+
+/// Build a degraded (`"degraded":true`) single-company response from
+/// the engine's fallback ladder. Infallible by construction.
+fn degraded_predict(
+    engine: &Engine,
+    company: usize,
+    features: &[f64],
+    standardizer: Option<&ams_data::Standardizer>,
+    reason: &str,
+    metrics: &Metrics,
+) -> Value {
+    metrics.record_degraded();
+    let feats = if features.len() == engine.feature_width() { Some(features) } else { None };
+    let mut prediction = engine.fallback_predict(Some(company), feats);
+    if let Some(st) = standardizer {
+        prediction = st.destandardize_label(prediction);
+    }
+    Value::Object(vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("degraded".to_string(), Value::Bool(true)),
+        ("degraded_reason".to_string(), Value::String(reason.to_string())),
+        ("model".to_string(), Value::String(engine.artifact().name.clone())),
+        ("version".to_string(), Value::Number(engine.artifact().version as f64)),
+        ("company".to_string(), Value::Number(company as f64)),
+        ("prediction".to_string(), Value::Number(prediction)),
+    ])
+}
+
+/// The degradation ladder, in order:
+/// 1. malformed request → error response (no health signal);
+/// 2. out-of-domain input (non-finite features, unknown company) →
+///    fallback, tagged degraded — the *model* is fine;
+/// 3. open circuit → fallback, tagged degraded, engine untouched;
+/// 4. expired deadline → explicit deadline error;
+/// 5. engine failure → breaker takes a failure, request still answered
+///    from the fallback, tagged degraded.
+fn handle_predict(
+    request: &Value,
+    shared: &Shared,
+    deadline: Option<Instant>,
+) -> Result<Value, String> {
+    let engine = resolve_engine(request, &shared.registry)?;
     let company = company_field(request)?;
     let mut features = features_field(request)?;
+    // Injected fault: out-of-domain feature values. Exercises the same
+    // path a poisoned upstream panel would.
+    if let Some(FaultAction::FlipNonFinite { flips, kind_seed }) =
+        shared.faults.decide(FaultSite::Features)
+    {
+        flip_non_finite(&mut features, flips, kind_seed);
+    }
     let raw = request.get("raw").and_then(Value::as_bool).unwrap_or(false);
     // Resolve the standardizer once so raw-space handling has a single
     // fallible step instead of a checked lookup plus a later unwrap.
@@ -319,26 +473,128 @@ fn handle_predict(request: &Value, registry: &Registry) -> Result<Value, String>
         }
         st.transform_row(&mut features);
     }
-    let mut prediction = engine.predict_company(company, &features)?;
-    if let Some(st) = standardizer {
-        prediction = st.destandardize_label(prediction);
+    // Out-of-domain input: degraded answer, no breaker involvement.
+    if company >= engine.num_companies() {
+        return Ok(degraded_predict(
+            &engine,
+            company,
+            &features,
+            standardizer,
+            "unknown company",
+            &shared.metrics,
+        ));
     }
-    Ok(Value::Object(vec![
+    if features.len() != engine.feature_width() {
+        return Err(format!(
+            "feature width {} != model width {}",
+            features.len(),
+            engine.feature_width()
+        ));
+    }
+    if features.iter().any(|v| !v.is_finite()) {
+        return Ok(degraded_predict(
+            &engine,
+            company,
+            &features,
+            standardizer,
+            "non-finite features",
+            &shared.metrics,
+        ));
+    }
+    if deadline_expired(deadline) {
+        shared.metrics.record_deadline_exceeded();
+        return Err("deadline exceeded".to_string());
+    }
+    // All validation passed: from here on, every admitted request
+    // reports a success or a failure back to the breaker.
+    let breaker = shared.registry.breaker(&engine.artifact().name);
+    if let Some(b) = &breaker {
+        if !b.allow() {
+            return Ok(degraded_predict(
+                &engine,
+                company,
+                &features,
+                standardizer,
+                "circuit open",
+                &shared.metrics,
+            ));
+        }
+    }
+    match engine.predict_company_checked(company, &features) {
+        Ok(mut prediction) => {
+            if let Some(b) = &breaker {
+                b.record_success();
+            }
+            if let Some(st) = standardizer {
+                prediction = st.destandardize_label(prediction);
+            }
+            Ok(Value::Object(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                ("model".to_string(), Value::String(engine.artifact().name.clone())),
+                ("version".to_string(), Value::Number(engine.artifact().version as f64)),
+                ("company".to_string(), Value::Number(company as f64)),
+                ("prediction".to_string(), Value::Number(prediction)),
+            ]))
+        }
+        Err(PredictError::Engine(_)) => {
+            if let Some(b) = &breaker {
+                b.record_failure();
+            }
+            Ok(degraded_predict(
+                &engine,
+                company,
+                &features,
+                standardizer,
+                "engine error",
+                &shared.metrics,
+            ))
+        }
+        // Unreachable after the validation above, but classified
+        // defensively: a caller mistake is not an engine failure.
+        Err(e) => {
+            if let Some(b) = &breaker {
+                b.release_probe();
+            }
+            Err(e.to_string())
+        }
+    }
+}
+
+/// Degraded batch answer: every row through the fallback ladder.
+fn degraded_batch(
+    engine: &Engine,
+    x: &ams_tensor::Matrix,
+    standardizer: Option<&ams_data::Standardizer>,
+    reason: &str,
+    metrics: &Metrics,
+) -> Value {
+    metrics.record_degraded();
+    let out: Vec<Value> = (0..x.rows())
+        .map(|i| {
+            let mut p = engine.fallback_predict(Some(i), Some(x.row(i)));
+            if let Some(st) = standardizer {
+                p = st.destandardize_label(p);
+            }
+            Value::Number(p)
+        })
+        .collect();
+    Value::Object(vec![
         ("ok".to_string(), Value::Bool(true)),
+        ("degraded".to_string(), Value::Bool(true)),
+        ("degraded_reason".to_string(), Value::String(reason.to_string())),
         ("model".to_string(), Value::String(engine.artifact().name.clone())),
         ("version".to_string(), Value::Number(engine.artifact().version as f64)),
-        ("company".to_string(), Value::Number(company as f64)),
-        ("prediction".to_string(), Value::Number(prediction)),
-    ]))
+        ("predictions".to_string(), Value::Array(out)),
+    ])
 }
 
 fn handle_batch_predict(
     request: &Value,
-    registry: &Registry,
-    backend: &Arc<dyn Backend>,
+    shared: &Shared,
     ws: &mut Workspace,
+    deadline: Option<Instant>,
 ) -> Result<Value, String> {
-    let engine = resolve_engine(request, registry)?;
+    let engine = resolve_engine(request, &shared.registry)?;
     let rows_value = request.get("features").ok_or_else(|| "missing `features`".to_string())?;
     let rows: Vec<Vec<f64>> =
         serde::Deserialize::from_value(rows_value).map_err(|e| format!("bad `features`: {e}"))?;
@@ -371,12 +627,62 @@ fn handle_batch_predict(
         }
         flat.extend_from_slice(&row);
     }
+    if let Some(FaultAction::FlipNonFinite { flips, kind_seed }) =
+        shared.faults.decide(FaultSite::Features)
+    {
+        flip_non_finite(&mut flat, flips, kind_seed);
+    }
     let x = ams_tensor::Matrix::from_vec(n, d, flat);
-    let pred = match engine.predict_batch_with(&x, backend.as_ref(), ws) {
-        Ok(p) => p,
-        Err(e) => {
+    // Out-of-domain batch: degraded answer, no breaker involvement.
+    if x.as_slice().iter().any(|v| !v.is_finite()) {
+        let resp =
+            degraded_batch(&engine, &x, standardizer, "non-finite features", &shared.metrics);
+        ws.give(x.into_vec());
+        return Ok(resp);
+    }
+    if deadline_expired(deadline) {
+        shared.metrics.record_deadline_exceeded();
+        ws.give(x.into_vec());
+        return Err("deadline exceeded".to_string());
+    }
+    let breaker = shared.registry.breaker(&engine.artifact().name);
+    if let Some(b) = &breaker {
+        if !b.allow() {
+            let resp = degraded_batch(&engine, &x, standardizer, "circuit open", &shared.metrics);
             ws.give(x.into_vec());
-            return Err(e);
+            return Ok(resp);
+        }
+    }
+    let pred = match engine.predict_batch_deadline(&x, shared.backend.as_ref(), ws, deadline) {
+        Ok(p) => {
+            if let Some(b) = &breaker {
+                b.record_success();
+            }
+            p
+        }
+        Err(PredictError::DeadlineExceeded) => {
+            // The probe (if this was one) ended without a verdict.
+            if let Some(b) = &breaker {
+                b.release_probe();
+            }
+            shared.metrics.record_deadline_exceeded();
+            ws.give(x.into_vec());
+            return Err("deadline exceeded".to_string());
+        }
+        Err(PredictError::Engine(_)) => {
+            if let Some(b) = &breaker {
+                b.record_failure();
+            }
+            let resp = degraded_batch(&engine, &x, standardizer, "engine error", &shared.metrics);
+            ws.give(x.into_vec());
+            return Ok(resp);
+        }
+        Err(e @ PredictError::BadRequest(_)) => {
+            if let Some(b) = &breaker {
+                b.release_probe();
+            }
+            ws.give(x.into_vec());
+            return Err(e.to_string());
         }
     };
     ws.give(x.into_vec());
@@ -412,14 +718,18 @@ fn handle_slave_weights(request: &Value, registry: &Registry) -> Result<Value, S
 }
 
 fn handle_health(registry: &Registry) -> Value {
+    let mut all_healthy = true;
     let models: Vec<Value> = registry
         .list()
         .into_iter()
         .map(|(name, version, retained)| {
+            let state = registry.health_state(&name).unwrap_or("healthy");
+            all_healthy &= state == "healthy";
             let mut fields = vec![
                 ("name".to_string(), Value::String(name.clone())),
                 ("version".to_string(), Value::Number(version as f64)),
                 ("retained_versions".to_string(), Value::Number(retained as f64)),
+                ("state".to_string(), Value::String(state.to_string())),
             ];
             if let Some(engine) = registry.get(&name) {
                 fields
@@ -432,9 +742,10 @@ fn handle_health(registry: &Registry) -> Value {
             Value::Object(fields)
         })
         .collect();
+    let status = if all_healthy { "healthy" } else { "degraded" };
     Value::Object(vec![
         ("ok".to_string(), Value::Bool(true)),
-        ("status".to_string(), Value::String("healthy".to_string())),
+        ("status".to_string(), Value::String(status.to_string())),
         ("models".to_string(), Value::Array(models)),
     ])
 }

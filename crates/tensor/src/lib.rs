@@ -34,5 +34,5 @@ pub use ams_runtime::{Backend, BackendChoice, RuntimeError, Workspace};
 pub use graph::{Gradients, Graph, Var};
 pub use linalg::{cholesky, ridge_solve, solve_lu, solve_spd, LinalgError};
 pub use matrix::Matrix;
-pub use optim::{Adam, Sgd};
+pub use optim::{Adam, AdamState, Sgd};
 pub use plan::{Plan, PlanNode, PlanOp};

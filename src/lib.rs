@@ -18,7 +18,10 @@
 //!   server (see README "Serving");
 //! * [`analyze`] — static analysis: symbolic shape/gradient checks
 //!   over the tape IR and the repo lint engine behind `ams-check`
-//!   (see README "Static analysis").
+//!   (see README "Static analysis");
+//! * [`fault`] — deterministic fault injection and resilience
+//!   primitives: seedable fault plans, corruption injectors, and
+//!   checksummed atomic file framing (see README "Resilience").
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -27,6 +30,7 @@ pub use ams_backtest as backtest;
 pub use ams_core as model;
 pub use ams_data as data;
 pub use ams_eval as eval;
+pub use ams_fault as fault;
 pub use ams_graph as graph;
 pub use ams_models as models;
 pub use ams_runtime as runtime;

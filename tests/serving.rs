@@ -35,7 +35,12 @@ fn served_predictions_match_in_process_model() {
     let registry = Arc::new(Registry::new());
     registry.publish(reloaded).unwrap();
     let server = Server::start(
-        ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, backend: Some("par:2".into()) },
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            backend: Some("par:2".into()),
+            ..Default::default()
+        },
         Arc::clone(&registry),
     )
     .unwrap();
