@@ -1,0 +1,19 @@
+//! Seeded defect fixture: a mutex guard held across blocking socket
+//! I/O. While one connection's write stalls, every other thread
+//! touching `out` stalls with it. `ams-check conc` must report
+//! `no-lock-across-io` at the `write_all` line, naming the held lock.
+//! Not compiled into any crate — read by the binary smoke test only.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub struct Conn {
+    out: Mutex<Vec<u8>>,
+}
+
+pub fn respond(conn: &Conn, stream: &mut TcpStream) -> std::io::Result<()> {
+    let buffered = conn.out.lock().unwrap();
+    stream.write_all(&buffered)?;
+    stream.flush()
+}

@@ -1,0 +1,27 @@
+//! Seeded defect fixture: a classic AB/BA lock inversion.
+//!
+//! `transfer` takes `ledger` before `audit`; `reconcile` takes them in
+//! the opposite order. Two threads running one function each can
+//! deadlock. `ams-check conc` must report a `lock-order-cycle` naming
+//! both locks and both functions. Not compiled into any crate — read
+//! by the binary smoke test only.
+
+use std::sync::Mutex;
+
+pub struct Bank {
+    ledger: Mutex<Vec<i64>>,
+    audit: Mutex<Vec<String>>,
+}
+
+pub fn transfer(bank: &Bank, amount: i64) {
+    let mut ledger = bank.ledger.lock().unwrap();
+    let mut audit = bank.audit.lock().unwrap();
+    ledger.push(amount);
+    audit.push(format!("transfer {amount}"));
+}
+
+pub fn reconcile(bank: &Bank) {
+    let mut audit = bank.audit.lock().unwrap();
+    let ledger = bank.ledger.lock().unwrap();
+    audit.push(format!("reconcile {} entries", ledger.len()));
+}

@@ -2,21 +2,30 @@
 //!
 //! ```text
 //! ams-check [--root DIR] [--format text|json]          lint the workspace
+//! ams-check [--conc] [--root DIR]                      lint + lock-order pass
 //! ams-check lint [PATHS...] [--format text|json]       lint specific files
+//! ams-check conc [PATHS...] [--format text|json]       lock-order analysis
 //! ams-check plan FILE... [--format text|json]          audit JSON plan specs
 //! ```
+//!
+//! `conc` with no paths analyzes the workspace concurrency surface
+//! (`crates/serve/src`, `crates/runtime/src`); with paths it analyzes
+//! exactly those files. `--conc` appends the same workspace pass to
+//! the default lint run.
 //!
 //! Exit codes (stable, documented in README):
 //!   0  clean, or warnings/infos only
 //!   1  at least one error-severity diagnostic
 //!   2  internal failure: bad arguments, unreadable file, invalid spec
 
+use ams_analyze::conc::lockorder;
 use ams_analyze::{lint, plan_io, Report};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: ams-check [--root DIR] [--format text|json]
+const USAGE: &str = "usage: ams-check [--conc] [--root DIR] [--format text|json]
        ams-check lint [PATHS...] [--format text|json]
+       ams-check conc [PATHS...] [--format text|json]
        ams-check plan FILE... [--format text|json]";
 
 enum Format {
@@ -28,17 +37,22 @@ struct Cli {
     command: Command,
     format: Format,
     root: PathBuf,
+    /// `--conc`: also run the lock-order pass after a workspace lint.
+    conc: bool,
 }
 
 enum Command {
     LintWorkspace,
     LintPaths(Vec<PathBuf>),
+    ConcWorkspace,
+    ConcPaths(Vec<PathBuf>),
     Plan(Vec<PathBuf>),
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
+    let mut conc = false;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -52,6 +66,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return Err("--root expects a directory".to_string()),
             },
+            "--conc" => conc = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             other => positional.push(other.to_string()),
@@ -62,12 +77,19 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         Some((cmd, rest)) => match cmd.as_str() {
             "lint" if rest.is_empty() => Command::LintWorkspace,
             "lint" => Command::LintPaths(rest.iter().map(PathBuf::from).collect()),
+            "conc" if rest.is_empty() => Command::ConcWorkspace,
+            "conc" => Command::ConcPaths(rest.iter().map(PathBuf::from).collect()),
             "plan" if rest.is_empty() => return Err("plan: expected at least one FILE".to_string()),
             "plan" => Command::Plan(rest.iter().map(PathBuf::from).collect()),
             other => return Err(format!("unknown command `{other}`\n{USAGE}")),
         },
     };
-    Ok(Cli { command, format, root: root.unwrap_or_else(|| PathBuf::from(".")) })
+    if conc && !matches!(command, Command::LintWorkspace) {
+        return Err("--conc only applies to the default workspace lint; \
+                    use the `conc` subcommand for explicit paths"
+            .to_string());
+    }
+    Ok(Cli { command, format, root: root.unwrap_or_else(|| PathBuf::from(".")), conc })
 }
 
 fn run(cli: &Cli) -> Result<Report, String> {
@@ -75,12 +97,21 @@ fn run(cli: &Cli) -> Result<Report, String> {
     match &cli.command {
         Command::LintWorkspace => {
             report.extend(lint::lint_workspace(&cli.root)?);
+            if cli.conc {
+                report.extend(lockorder::check_workspace(&cli.root)?);
+            }
         }
         Command::LintPaths(paths) => {
             for path in paths {
                 let label = path.to_string_lossy().replace('\\', "/");
                 report.extend(lint::lint_file(path, &label)?);
             }
+        }
+        Command::ConcWorkspace => {
+            report.extend(lockorder::check_workspace(&cli.root)?);
+        }
+        Command::ConcPaths(paths) => {
+            report.extend(lockorder::check_files(&cli.root, paths)?);
         }
         Command::Plan(files) => {
             for file in files {
@@ -111,8 +142,15 @@ fn emit(report: &Report, format: &Format, checked: &str) {
 
 fn describe(cli: &Cli) -> String {
     match &cli.command {
+        Command::LintWorkspace if cli.conc => {
+            format!("workspace at {} (+ lock-order)", cli.root.display())
+        }
         Command::LintWorkspace => format!("workspace at {}", cli.root.display()),
         Command::LintPaths(paths) => format!("{} file(s)", paths.len()),
+        Command::ConcWorkspace => {
+            format!("concurrency surface of workspace at {}", cli.root.display())
+        }
+        Command::ConcPaths(paths) => format!("{} file(s) (lock-order)", paths.len()),
         Command::Plan(files) => format!("{} plan spec(s)", files.len()),
     }
 }
@@ -127,7 +165,9 @@ fn main() -> ExitCode {
         }
     };
     // Sanity-check the root early so a typo'd --root is a clean 2.
-    if matches!(cli.command, Command::LintWorkspace) && !Path::new(&cli.root).is_dir() {
+    if matches!(cli.command, Command::LintWorkspace | Command::ConcWorkspace)
+        && !Path::new(&cli.root).is_dir()
+    {
         eprintln!("ams-check: --root {} is not a directory", cli.root.display());
         return ExitCode::from(2);
     }

@@ -1,0 +1,1000 @@
+//! Static lock-order analysis over the serving/runtime concurrency
+//! surface.
+//!
+//! Same philosophy as [`crate::lint`]: no `syn`, no parsing — a
+//! line/token extractor that leans on the conventions rustfmt enforces
+//! throughout this repo (indentation tracks block structure, one
+//! statement per line, `#[cfg(test)]` modules close each file). From
+//! each function in the analyzed set it extracts which `Mutex` /
+//! `RwLock` objects are acquired and in what nesting order, then:
+//!
+//! * builds the global acquisition-order graph (an edge `A → B` means
+//!   some function acquires `B` while holding `A`) and reports every
+//!   cycle as a `lock-order-cycle` error — two functions taking the
+//!   same pair of locks in opposite orders is the classic deadlock;
+//! * reports a guard held across a blocking I/O call
+//!   (`no-lock-across-io`): a stalled peer must never pin a lock.
+//!
+//! What counts as a lock object: a struct field of `Mutex`/`RwLock`
+//! type (identified as `Struct.field`), or a function parameter whose
+//! type mentions `Mutex<`/`RwLock<` (identified as `fn.param`).
+//! Acquisitions recognized: `chain.lock()`, `chain.read()` /
+//! `chain.write()` when the chain resolves to a declared `RwLock`
+//! field, a call to a same-file guard-returning helper (the
+//! `fn lock(&self) -> MutexGuard<…>` pattern of `serve::breaker`, or
+//! the free `lock(&mutex)` wrapper of `runtime::pool`), and — one call
+//! level deep — a same-file helper that acquires internally.
+//!
+//! Guard liveness is indentation-scoped: a `let`-bound guard lives
+//! until the surrounding block dedents below its binding, a
+//! block-opening acquisition (`match x.lock() {`) until its block
+//! closes, anything else for its own statement; `drop(guard)` ends a
+//! binding early. Receivers that cannot be resolved to a declared lock
+//! are skipped (conservative: this pass under-reports rather than
+//! inventing edges). Findings are suppressed by `// ams-lint:
+//! allow(rule)` on the line or the line above, exactly like the lint
+//! engine.
+
+use crate::diagnostic::{Diagnostic, Location};
+use crate::lint::{allowed_rules, code_part, workspace_sources};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fs;
+use std::path::Path;
+
+/// Blocking I/O calls a live guard must not span. `.read()`/`.write()`
+/// are deliberately absent (they are RwLock acquisitions here);
+/// `recv_timeout` is excluded because a *bounded* wait under the queue
+/// lock is the pool's designed dequeue idiom.
+const IO_CALLS: [&str; 10] = [
+    ".read_line(",
+    ".read_to_string(",
+    ".read_exact(",
+    ".read_until(",
+    ".write_all(",
+    ".write_fmt(",
+    ".flush()",
+    ".accept()",
+    ".connect(",
+    ".recv()",
+];
+
+/// Kind of a declared lock object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    Mutex,
+    RwLock,
+}
+
+/// One acquisition-order observation: `to` acquired while `from` held.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    pub from: String,
+    pub to: String,
+    pub file: String,
+    pub line: usize,
+    pub function: String,
+    /// An `ams-lint: allow(lock-order-cycle)` sat on the acquisition
+    /// line; the edge is kept for provenance but removed from the
+    /// cycle graph.
+    pub suppressed: bool,
+}
+
+/// A function parameter that is itself a lock object.
+#[derive(Debug, Clone)]
+struct ParamLock {
+    name: String,
+    kind: LockKind,
+}
+
+#[derive(Debug, Clone)]
+struct BodyLine {
+    line_no: usize,
+    indent: usize,
+    code: String,
+    allowed: HashSet<String>,
+}
+
+#[derive(Debug, Clone)]
+struct FnModel {
+    name: String,
+    impl_type: Option<String>,
+    params: Vec<ParamLock>,
+    /// Return type mentions a guard — calling this helper acquires.
+    guard_returning: bool,
+    body: Vec<BodyLine>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FileModel {
+    label: String,
+    fns: Vec<FnModel>,
+}
+
+/// Declared lock fields across the analyzed set: field name → every
+/// `(struct, kind)` declaring it. BTreeMap for deterministic output.
+type Decls = BTreeMap<String, Vec<(String, LockKind)>>;
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// The `a.b.c` receiver chain ending just before byte `end` of `code`.
+fn chain_before(code: &str, end: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut start = end;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        if is_ident_char(c) || c == '.' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    code[start..end].trim_matches('.').to_string()
+}
+
+/// Parse one file into lock declarations and function models. Stops at
+/// `#[cfg(test)` — test modules close each file in this repo.
+fn parse_file(label: &str, content: &str, decls: &mut Decls) -> FileModel {
+    let mut model = FileModel { label: label.to_string(), fns: Vec::new() };
+    let mut struct_ctx: Option<(String, usize)> = None;
+    let mut impl_ctx: Option<(String, usize)> = None;
+    let mut fn_ctx: Option<(FnModel, usize)> = None;
+    let mut sig: Option<(String, usize)> = None; // accumulating signature
+    let mut prev_allowed: HashSet<String> = HashSet::new();
+
+    for (idx, raw) in content.lines().enumerate() {
+        let line_no = idx + 1;
+        if raw.trim_start().starts_with("#[cfg(test)") {
+            break;
+        }
+        let mut allowed = allowed_rules(raw);
+        allowed.extend(prev_allowed.drain());
+        prev_allowed = allowed_rules(raw);
+        let code = code_part(raw);
+        let trimmed = code.trim_start();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let indent = code.len() - trimmed.len();
+        let trimmed = trimmed.trim_end();
+
+        if let Some((text, fn_indent)) = &mut sig {
+            text.push(' ');
+            text.push_str(trimmed);
+            if trimmed.contains('{') {
+                let f = finish_signature(text, impl_ctx.as_ref().map(|(t, _)| t.clone()));
+                fn_ctx = Some((f, *fn_indent));
+                sig = None;
+            } else if trimmed.ends_with(';') {
+                sig = None; // trait method declaration — no body
+            }
+            continue;
+        }
+
+        if let Some((f, fn_indent)) = &mut fn_ctx {
+            if trimmed == "}" && indent == *fn_indent {
+                model.fns.push(fn_ctx.take().expect("fn context").0);
+            } else {
+                f.body.push(BodyLine {
+                    line_no,
+                    indent,
+                    code: code.to_string(),
+                    allowed: allowed.clone(),
+                });
+            }
+            continue;
+        }
+
+        if let Some((_, s_indent)) = &struct_ctx {
+            if trimmed == "}" && indent == *s_indent {
+                struct_ctx = None;
+                continue;
+            }
+        }
+        if let Some((_, i_indent)) = &impl_ctx {
+            if trimmed == "}" && indent == *i_indent {
+                impl_ctx = None;
+                continue;
+            }
+        }
+
+        if let Some(rest) = fn_decl(trimmed) {
+            if rest.contains('{') {
+                let f = finish_signature(rest, impl_ctx.as_ref().map(|(t, _)| t.clone()));
+                fn_ctx = Some((f, indent));
+            } else if !rest.ends_with(';') {
+                sig = Some((rest.to_string(), indent));
+            }
+            continue;
+        }
+
+        if let Some(name) = struct_decl(trimmed) {
+            if trimmed.ends_with('{') {
+                struct_ctx = Some((name, indent));
+            }
+            continue;
+        }
+        if let Some(name) = impl_decl(trimmed) {
+            impl_ctx = Some((name, indent));
+            continue;
+        }
+
+        if let Some((s_name, _)) = &struct_ctx {
+            if let Some((field, kind)) = field_lock(trimmed) {
+                decls.entry(field).or_default().push((s_name.clone(), kind));
+            }
+        }
+    }
+    if let Some((f, _)) = fn_ctx {
+        model.fns.push(f);
+    }
+    model
+}
+
+/// The signature text from `fn` onward, if this line starts a fn item.
+fn fn_decl(trimmed: &str) -> Option<&str> {
+    let pos = trimmed.find("fn ")?;
+    if pos > 0 {
+        let before = &trimmed[..pos];
+        let all_qualifier =
+            before.chars().all(|c| c.is_ascii_alphabetic() || c == ' ' || c == '(' || c == ')');
+        if is_ident_char(before.chars().next_back().unwrap_or(' ')) || !all_qualifier {
+            return None; // not a leading `pub`/`pub(crate)`/`const`/`unsafe` chain
+        }
+    }
+    Some(&trimmed[pos..])
+}
+
+fn struct_decl(trimmed: &str) -> Option<String> {
+    let pos = trimmed.find("struct ")?;
+    if !trimmed[..pos].chars().all(|c| c.is_ascii_alphabetic() || c == ' ' || c == '(' || c == ')')
+    {
+        return None;
+    }
+    let rest = &trimmed[pos + "struct ".len()..];
+    let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+    (!name.is_empty()).then_some(name)
+}
+
+fn impl_decl(trimmed: &str) -> Option<String> {
+    let rest = trimmed.strip_prefix("impl")?;
+    let rest = rest.trim_start_matches(|c| c != ' ').trim_start(); // skip `<…>` generics
+                                                                   // `impl Trait for Type {` names the type; `impl Type {` does too.
+    let rest = match rest.find(" for ") {
+        Some(pos) => &rest[pos + " for ".len()..],
+        None => rest,
+    };
+    let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// `name: …Mutex<…>` / `…RwLock<…>` struct field.
+fn field_lock(trimmed: &str) -> Option<(String, LockKind)> {
+    let body = trimmed.strip_prefix("pub ").unwrap_or(trimmed);
+    let colon = body.find(':')?;
+    let name = body[..colon].trim();
+    if name.is_empty() || !name.chars().all(is_ident_char) {
+        return None;
+    }
+    let ty = &body[colon + 1..];
+    let kind = lock_kind(ty)?;
+    Some((name.to_string(), kind))
+}
+
+fn lock_kind(ty: &str) -> Option<LockKind> {
+    // RwLock first: `RwLock<…>` contains no `Mutex<`, but check
+    // explicitly so an exotic `Mutex<RwLock<…>>` maps to the outer.
+    let m = ty.find("Mutex<");
+    let r = ty.find("RwLock<");
+    match (m, r) {
+        (Some(mp), Some(rp)) => Some(if mp < rp { LockKind::Mutex } else { LockKind::RwLock }),
+        (Some(_), None) => Some(LockKind::Mutex),
+        (None, Some(_)) => Some(LockKind::RwLock),
+        (None, None) => None,
+    }
+}
+
+/// Build a [`FnModel`] from an accumulated signature (`fn …` through
+/// the opening `{`).
+fn finish_signature(sig: &str, impl_type: Option<String>) -> FnModel {
+    let after_fn = sig.trim_start_matches("fn").trim_start();
+    let name: String = after_fn.chars().take_while(|&c| is_ident_char(c)).collect();
+    let params = signature_params(sig)
+        .into_iter()
+        .filter_map(|p| {
+            let colon = p.find(':')?;
+            let pname = p[..colon].trim().trim_start_matches("mut ").trim();
+            let kind = lock_kind(&p[colon + 1..])?;
+            pname.chars().all(is_ident_char).then(|| ParamLock { name: pname.to_string(), kind })
+        })
+        .collect();
+    let guard_returning = match sig.rfind("->") {
+        Some(pos) => sig[pos..].contains("Guard"),
+        None => false,
+    };
+    FnModel { name, impl_type, params, guard_returning, body: Vec::new() }
+}
+
+/// Split a signature's parameter list on top-level commas.
+fn signature_params(sig: &str) -> Vec<String> {
+    let open = match sig.find('(') {
+        Some(p) => p,
+        None => return Vec::new(),
+    };
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0i32;
+    for c in sig[open + 1..].chars() {
+        match c {
+            '(' | '<' | '[' => depth += 1,
+            ')' | '>' | ']' => {
+                if c == ')' && depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Resolve a receiver chain to a lock id, or `None` (conservative).
+fn resolve_chain(chain: &str, f: &FnModel, decls: &Decls) -> Option<String> {
+    if chain.is_empty() || chain == "self" {
+        return None;
+    }
+    let segments: Vec<&str> = chain.split('.').collect();
+    let last = *segments.last()?;
+    if segments.len() == 1 && f.params.iter().any(|p| p.name == last) {
+        return Some(format!("{}.{last}", f.name));
+    }
+    let candidates = decls.get(last)?;
+    if segments.first() == Some(&"self") {
+        if let Some(t) = &f.impl_type {
+            if candidates.iter().any(|(s, _)| s == t) {
+                return Some(format!("{t}.{last}"));
+            }
+        }
+    }
+    match candidates.as_slice() {
+        [(s, _)] => Some(format!("{s}.{last}")),
+        _ => None, // ambiguous across structs: skip rather than guess
+    }
+}
+
+/// One acquisition found on a line: the lock and where the match ends
+/// (used to order multiple acquisitions left to right).
+struct Acq {
+    lock: String,
+    at: usize,
+}
+
+/// Direct acquisitions of `f` (no helper propagation) — the summary
+/// one-level call propagation consumes.
+fn direct_locks(f: &FnModel, decls: &Decls, file: &FileModel) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in &f.body {
+        for acq in line_acquisitions(&line.code, f, decls, file, false) {
+            out.insert(acq.lock);
+        }
+    }
+    out
+}
+
+/// Every acquisition on `code`, left to right. With `with_helpers` the
+/// guard-returning same-file helpers count too (used by the full
+/// replay; the direct pass leaves them out to stay one level deep).
+fn line_acquisitions(
+    code: &str,
+    f: &FnModel,
+    decls: &Decls,
+    file: &FileModel,
+    with_helpers: bool,
+) -> Vec<Acq> {
+    let mut out = Vec::new();
+    for (needle, rw_only) in [(".lock()", false), (".read()", true), (".write()", true)] {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(needle) {
+            let at = from + pos;
+            let chain = chain_before(code, at);
+            if let Some(lock) = resolve_chain(&chain, f, decls) {
+                let is_rw = lock_id_kind(&lock, f, decls) == Some(LockKind::RwLock);
+                if !rw_only || is_rw {
+                    out.push(Acq { lock, at });
+                }
+            } else if with_helpers && chain == "self" && needle == ".lock()" {
+                // `self.lock()` → a guard-returning helper method.
+                out.extend(helper_locks(file, "lock", at, decls));
+            }
+            from = at + needle.len();
+        }
+    }
+    if with_helpers {
+        // Free guard-returning wrapper: `lock(&chain)` and friends.
+        for helper in file.fns.iter().filter(|h| h.guard_returning && h.name != f.name) {
+            let pat = format!("{}(&", helper.name);
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(&pat) {
+                let at = from + pos;
+                let pre_ok = at == 0 || {
+                    let c = code.as_bytes()[at - 1] as char;
+                    !is_ident_char(c) && c != '.'
+                };
+                if pre_ok {
+                    let arg_start = at + pat.len();
+                    let arg: String = code[arg_start..]
+                        .chars()
+                        .take_while(|&c| is_ident_char(c) || c == '.')
+                        .collect();
+                    if let Some(lock) = resolve_chain(&arg, f, decls) {
+                        out.push(Acq { lock, at });
+                    }
+                }
+                from = at + pat.len();
+            }
+        }
+    }
+    out.sort_by_key(|a| a.at);
+    out
+}
+
+/// Locks acquired by the same-file guard-returning method `name`.
+fn helper_locks(file: &FileModel, name: &str, at: usize, decls: &Decls) -> Vec<Acq> {
+    file.fns
+        .iter()
+        .filter(|h| h.name == name && h.guard_returning)
+        .flat_map(|h| direct_locks(h, decls, file))
+        .map(|lock| Acq { lock, at })
+        .collect()
+}
+
+fn lock_id_kind(lock: &str, f: &FnModel, decls: &Decls) -> Option<LockKind> {
+    let (owner, field) = lock.split_once('.')?;
+    if owner == f.name {
+        return f.params.iter().find(|p| p.name == field).map(|p| p.kind);
+    }
+    decls.get(field)?.iter().find(|(s, _)| s == owner).map(|(_, k)| *k)
+}
+
+/// A guard currently live during the replay of one function body.
+struct Held {
+    lock: String,
+    /// The guard dies when a line's indent drops below this.
+    kill_below: usize,
+    binding: Option<String>,
+    line: usize,
+}
+
+/// Replay one function body, emitting order edges and guard-across-io
+/// findings.
+fn replay_fn(
+    f: &FnModel,
+    file: &FileModel,
+    decls: &Decls,
+    summaries: &HashMap<String, BTreeSet<String>>,
+    edges: &mut Vec<Edge>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut held: Vec<Held> = Vec::new();
+    for line in &f.body {
+        held.retain(|h| line.indent >= h.kill_below);
+        if let Some(rest) = line.code.trim_start().strip_prefix("drop(") {
+            let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+            held.retain(|h| h.binding.as_deref() != Some(name.as_str()));
+        }
+        let suppressed = line.allowed.contains("lock-order-cycle");
+        let acqs = line_acquisitions(&line.code, f, decls, file, true);
+        let lets_bind = line.code.trim_start().starts_with("let ");
+        let opens_block = line.code.trim_end().ends_with('{');
+        for acq in &acqs {
+            // A self-edge (re-acquiring a held lock) is kept: it forms
+            // a length-1 cycle, which is exactly what re-entrant
+            // `lock()` on a std Mutex is — a guaranteed deadlock.
+            for h in &held {
+                edges.push(Edge {
+                    from: h.lock.clone(),
+                    to: acq.lock.clone(),
+                    file: file.label.clone(),
+                    line: line.line_no,
+                    function: f.name.clone(),
+                    suppressed,
+                });
+            }
+            let kill_below = if lets_bind {
+                Some(line.indent)
+            } else if opens_block {
+                Some(line.indent + 1)
+            } else {
+                None // transient: acquired and released within the statement
+            };
+            if let Some(kill_below) = kill_below {
+                held.push(Held {
+                    lock: acq.lock.clone(),
+                    kill_below,
+                    binding: lets_bind.then(|| let_binding(&line.code)).flatten(),
+                    line: line.line_no,
+                });
+            }
+        }
+        // One-level call propagation: a same-file helper that acquires
+        // internally (and releases before returning) still orders its
+        // locks after everything held at the call site.
+        for (callee, locks) in summaries {
+            if callee == &f.name || locks.is_empty() {
+                continue;
+            }
+            for pat in [format!("self.{callee}("), format!(" {callee}(")] {
+                if line.code.contains(&pat) {
+                    for h in &held {
+                        for lock in locks {
+                            if acqs.iter().any(|a| &a.lock == lock) {
+                                continue; // already counted as a direct acquisition
+                            }
+                            edges.push(Edge {
+                                from: h.lock.clone(),
+                                to: lock.clone(),
+                                file: file.label.clone(),
+                                line: line.line_no,
+                                function: f.name.clone(),
+                                suppressed,
+                            });
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        if !held.is_empty() && !line.allowed.contains("no-lock-across-io") {
+            for io in IO_CALLS {
+                if let Some(col) = line.code.find(io) {
+                    let h = held.last().expect("held non-empty");
+                    diags.push(
+                        Diagnostic::error(
+                            "no-lock-across-io",
+                            Location::Source {
+                                file: file.label.clone(),
+                                line: line.line_no,
+                                col: col + 1,
+                            },
+                            format!(
+                                "guard on `{}` (taken line {}) is live across blocking `{}` — \
+                                 a stalled peer pins the lock",
+                                h.lock,
+                                h.line,
+                                io.trim_end_matches('(')
+                            ),
+                        )
+                        .with_hint(
+                            "scope the guard (inner block or `drop(guard)`) so it is released \
+                             before any socket/file operation"
+                                .to_string(),
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn let_binding(code: &str) -> Option<String> {
+    let rest = code.trim_start().strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+    let after = rest[name.len()..].trim_start();
+    (!name.is_empty() && (after.starts_with('=') || after.starts_with(':'))).then_some(name)
+}
+
+/// Extract the global acquisition-order graph and guard-across-io
+/// findings from `(label, content)` sources.
+pub fn extract_edges(files: &[(String, String)]) -> (Vec<Edge>, Vec<Diagnostic>) {
+    let mut decls = Decls::new();
+    let models: Vec<FileModel> =
+        files.iter().map(|(label, content)| parse_file(label, content, &mut decls)).collect();
+    let mut edges = Vec::new();
+    let mut diags = Vec::new();
+    for file in &models {
+        let summaries: HashMap<String, BTreeSet<String>> = file
+            .fns
+            .iter()
+            .filter(|f| !f.guard_returning)
+            .map(|f| (f.name.clone(), direct_locks(f, &decls, file)))
+            .collect();
+        for f in &file.fns {
+            replay_fn(f, file, &decls, &summaries, &mut edges, &mut diags);
+        }
+    }
+    (edges, diags)
+}
+
+/// Cycles in the acquisition-order graph, as node lists (`[A, B]`
+/// means `A → B → A`). One cycle is reported per back edge found by a
+/// deterministic DFS — enough to make any cyclic graph non-silent,
+/// and exactly the planted cycle when there is only one.
+pub fn find_cycles(edges: &[Edge]) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+        adj.entry(&e.to).or_default();
+    }
+    fn dfs<'a>(
+        node: &'a str,
+        adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+        gray: &mut Vec<&'a str>,
+        black: &mut HashSet<&'a str>,
+        found: &mut BTreeSet<Vec<String>>,
+    ) {
+        gray.push(node);
+        for &next in adj.get(node).into_iter().flatten() {
+            if let Some(pos) = gray.iter().position(|&g| g == next) {
+                let cycle: Vec<String> = gray[pos..].iter().map(|s| s.to_string()).collect();
+                found.insert(canonical(cycle));
+            } else if !black.contains(next) {
+                dfs(next, adj, gray, black, found);
+            }
+        }
+        gray.pop();
+        black.insert(node);
+    }
+    let mut found = BTreeSet::new();
+    let mut black = HashSet::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for node in nodes {
+        if !black.contains(node) {
+            dfs(node, &adj, &mut Vec::new(), &mut black, &mut found);
+        }
+    }
+    found.into_iter().collect()
+}
+
+/// Rotate a cycle so its smallest node comes first (dedup form).
+fn canonical(cycle: Vec<String>) -> Vec<String> {
+    let min = cycle.iter().enumerate().min_by_key(|&(_, s)| s).map(|(i, _)| i).unwrap_or(0);
+    let mut out = cycle[min..].to_vec();
+    out.extend_from_slice(&cycle[..min]);
+    out
+}
+
+/// Render the cycle set of the (unsuppressed) graph as diagnostics,
+/// each naming the full cycle and every acquisition site on it.
+pub fn cycle_diagnostics(edges: &[Edge]) -> Vec<Diagnostic> {
+    let live: Vec<Edge> = edges.iter().filter(|e| !e.suppressed).cloned().collect();
+    let mut out = Vec::new();
+    for cycle in find_cycles(&live) {
+        let mut sites = Vec::new();
+        let mut first: Option<&Edge> = None;
+        for (i, from) in cycle.iter().enumerate() {
+            let to = &cycle[(i + 1) % cycle.len()];
+            if let Some(e) = live.iter().find(|e| &e.from == from && &e.to == to) {
+                sites.push(format!(
+                    "{} → {} at {}:{} (in `{}`)",
+                    e.from, e.to, e.file, e.line, e.function
+                ));
+                first.get_or_insert(e);
+            }
+        }
+        let Some(first) = first else { continue };
+        let mut chain = cycle.clone();
+        chain.push(cycle[0].clone());
+        out.push(
+            Diagnostic::error(
+                "lock-order-cycle",
+                Location::Source { file: first.file.clone(), line: first.line, col: 1 },
+                format!("lock acquisition order cycle: {}", chain.join(" → ")),
+            )
+            .with_hint(format!(
+                "two paths take these locks in conflicting orders — a deadlock window; \
+                 pick one global order. Sites: {}",
+                sites.join("; ")
+            )),
+        );
+    }
+    out
+}
+
+/// Run the full pass over in-memory sources: order cycles plus
+/// guard-across-io findings, sorted for stable output.
+pub fn analyze_files(files: &[(String, String)]) -> Vec<Diagnostic> {
+    let (edges, mut diags) = extract_edges(files);
+    diags.extend(cycle_diagnostics(&edges));
+    diags
+}
+
+/// Run the pass over source files on disk, labelled root-relative.
+pub fn check_files(root: &Path, paths: &[std::path::PathBuf]) -> Result<Vec<Diagnostic>, String> {
+    let mut files = Vec::new();
+    for path in paths {
+        let content =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let label = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        files.push((label, content));
+    }
+    Ok(analyze_files(&files))
+}
+
+/// The default surface: every source under `crates/serve/src` and
+/// `crates/runtime/src` of the workspace at `root`.
+pub fn check_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let paths: Vec<std::path::PathBuf> = workspace_sources(root)?
+        .into_iter()
+        .filter(|p| {
+            let s = p.to_string_lossy().replace('\\', "/");
+            s.contains("serve/src/") || s.contains("runtime/src/")
+        })
+        .collect();
+    check_files(root, &paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(label: &str, src: &str) -> Vec<(String, String)> {
+        vec![(label.to_string(), src.to_string())]
+    }
+
+    const INVERSION: &str = "pub struct Pair {\n\
+                             \x20   a: Mutex<u64>,\n\
+                             \x20   b: Mutex<u64>,\n\
+                             }\n\
+                             pub fn forward(p: &Pair) {\n\
+                             \x20   let ga = p.a.lock().unwrap();\n\
+                             \x20   let gb = p.b.lock().unwrap();\n\
+                             \x20   *gb += *ga;\n\
+                             }\n\
+                             fn backward(p: &Pair) {\n\
+                             \x20   let gb = p.b.lock().unwrap();\n\
+                             \x20   let ga = p.a.lock().unwrap();\n\
+                             \x20   *ga += *gb;\n\
+                             }\n";
+
+    #[test]
+    fn inversion_pair_yields_a_named_cycle() {
+        let diags = analyze_files(&one("crates/x/src/inv.rs", INVERSION));
+        let cycles: Vec<_> = diags.iter().filter(|d| d.rule == "lock-order-cycle").collect();
+        assert_eq!(cycles.len(), 1, "{diags:?}");
+        assert!(cycles[0].message.contains("Pair.a"), "{}", cycles[0].message);
+        assert!(cycles[0].message.contains("Pair.b"), "{}", cycles[0].message);
+        let hint = cycles[0].hint.as_deref().unwrap_or("");
+        assert!(hint.contains("`forward`") && hint.contains("`backward`"), "{hint}");
+    }
+
+    #[test]
+    fn consistent_order_and_scoped_guards_are_clean() {
+        let src = "struct Pair {\n\
+                   \x20   a: Mutex<u64>,\n\
+                   \x20   b: Mutex<u64>,\n\
+                   }\n\
+                   fn forward(p: &Pair) {\n\
+                   \x20   let ga = p.a.lock().unwrap();\n\
+                   \x20   let gb = p.b.lock().unwrap();\n\
+                   \x20   *gb += *ga;\n\
+                   }\n\
+                   fn also_forward(p: &Pair) {\n\
+                   \x20   {\n\
+                   \x20       let ga = p.a.lock().unwrap();\n\
+                   \x20       *ga += 1;\n\
+                   \x20   }\n\
+                   \x20   let gb = p.b.lock().unwrap();\n\
+                   \x20   let ga = p.a.lock().unwrap();\n\
+                   \x20   *gb += *ga;\n\
+                   }\n";
+        // `also_forward` scopes its first `a` guard, so only the
+        // b→a edge inside it exists… which inverts forward's a→b.
+        let diags = analyze_files(&one("crates/x/src/fwd.rs", src));
+        assert_eq!(diags.iter().filter(|d| d.rule == "lock-order-cycle").count(), 1);
+        // With the second function taking them in the same order, the
+        // graph is a DAG: clean.
+        let same = src.replace(
+            "let gb = p.b.lock().unwrap();\n\
+             \x20   let ga = p.a.lock().unwrap();",
+            "let ga = p.a.lock().unwrap();\n\
+             \x20   let gb = p.b.lock().unwrap();",
+        );
+        assert!(analyze_files(&one("crates/x/src/fwd.rs", &same)).is_empty());
+    }
+
+    #[test]
+    fn suppression_marker_removes_the_cycle() {
+        let suppressed = INVERSION.replace(
+            "fn backward(p: &Pair) {\n\x20   let gb",
+            "fn backward(p: &Pair) {\n\
+             \x20   // ams-lint: allow(lock-order-cycle) — fixture-documented exception\n\
+             \x20   let gb",
+        );
+        // The allow sits above b's acquisition; the a-acquisition edge
+        // (b → a) one line below is the one that closes the cycle.
+        let suppressed = suppressed.replace(
+            "\x20   let ga = p.a.lock().unwrap();\n\x20   *ga += *gb;",
+            "\x20   // ams-lint: allow(lock-order-cycle)\n\
+             \x20   let ga = p.a.lock().unwrap();\n\x20   *ga += *gb;",
+        );
+        let diags = analyze_files(&one("crates/x/src/inv.rs", &suppressed));
+        assert!(
+            diags.iter().all(|d| d.rule != "lock-order-cycle"),
+            "suppressed edges must not report: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn guard_returning_helper_and_wrapper_resolve() {
+        // The breaker shape: a `self.lock()` helper returning a guard.
+        let helper = "struct Breaker {\n\
+                      \x20   inner: Mutex<u32>,\n\
+                      }\n\
+                      struct Other {\n\
+                      \x20   extra: Mutex<u32>,\n\
+                      }\n\
+                      impl Breaker {\n\
+                      \x20   fn lock(&self) -> std::sync::MutexGuard<'_, u32> {\n\
+                      \x20       self.inner.lock().unwrap()\n\
+                      \x20   }\n\
+                      \x20   fn cross(&self, o: &Other) {\n\
+                      \x20       let g = self.lock();\n\
+                      \x20       let e = o.extra.lock().unwrap();\n\
+                      \x20       let _ = (*g, *e);\n\
+                      \x20   }\n\
+                      }\n";
+        let (edges, _) = extract_edges(&one("crates/x/src/b.rs", helper));
+        assert!(
+            edges.iter().any(|e| e.from == "Breaker.inner" && e.to == "Other.extra"),
+            "helper acquisition must register as holding Breaker.inner: {edges:?}"
+        );
+        // The pool shape: a free `lock(&mutex)` guard-returning wrapper.
+        let wrapper = "struct Shared {\n\
+                       \x20   queue: Mutex<u32>,\n\
+                       }\n\
+                       struct Batch {\n\
+                       \x20   done: Mutex<bool>,\n\
+                       }\n\
+                       fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {\n\
+                       \x20   m.lock().unwrap()\n\
+                       }\n\
+                       fn nested(s: &Shared, b: &Batch) {\n\
+                       \x20   let q = lock(&s.queue);\n\
+                       \x20   let d = lock(&b.done);\n\
+                       \x20   let _ = (*q, *d);\n\
+                       }\n";
+        let (edges, _) = extract_edges(&one("crates/x/src/p.rs", wrapper));
+        assert!(
+            edges.iter().any(|e| e.from == "Shared.queue" && e.to == "Batch.done"),
+            "wrapper acquisitions must resolve through the argument chain: {edges:?}"
+        );
+    }
+
+    #[test]
+    fn rwlock_reads_count_only_for_declared_rwlocks() {
+        // `.read()` on a BufReader-ish receiver must not register; on a
+        // declared RwLock field it must.
+        let src = "struct Reg {\n\
+                   \x20   map: RwLock<u32>,\n\
+                   \x20   gate: Mutex<u32>,\n\
+                   }\n\
+                   fn readers(r: &Reg, sock: &mut TcpStream) {\n\
+                   \x20   let g = r.gate.lock().unwrap();\n\
+                   \x20   let m = r.map.read().unwrap();\n\
+                   \x20   let _ = sock.read();\n\
+                   \x20   let _ = (*g, *m);\n\
+                   }\n";
+        let (edges, _) = extract_edges(&one("crates/x/src/r.rs", src));
+        assert!(edges.iter().any(|e| e.from == "Reg.gate" && e.to == "Reg.map"), "{edges:?}");
+        assert!(
+            edges.iter().all(|e| !e.to.contains("sock") && !e.from.contains("sock")),
+            "an unresolvable receiver must not become a lock: {edges:?}"
+        );
+    }
+
+    #[test]
+    fn guard_across_io_flagged_and_scoping_clears_it() {
+        let bad = "struct Conn {\n\
+                   \x20   out: Mutex<Vec<u8>>,\n\
+                   }\n\
+                   fn respond(c: &Conn, stream: &mut TcpStream) {\n\
+                   \x20   let g = c.out.lock().unwrap();\n\
+                   \x20   stream.write_all(&g).unwrap();\n\
+                   }\n";
+        let diags = analyze_files(&one("crates/serve/src/conn.rs", bad));
+        let hits: Vec<_> = diags.iter().filter(|d| d.rule == "no-lock-across-io").collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert!(hits[0].message.contains("Conn.out"), "{}", hits[0].message);
+
+        let good = "struct Conn {\n\
+                    \x20   out: Mutex<Vec<u8>>,\n\
+                    }\n\
+                    fn respond(c: &Conn, stream: &mut TcpStream) {\n\
+                    \x20   let bytes = {\n\
+                    \x20       let g = c.out.lock().unwrap();\n\
+                    \x20       g.clone()\n\
+                    \x20   };\n\
+                    \x20   stream.write_all(&bytes).unwrap();\n\
+                    }\n";
+        assert!(analyze_files(&one("crates/serve/src/conn.rs", good)).is_empty());
+
+        let dropped =
+            bad.replace("\x20   stream.write_all", "\x20   drop(g);\n\x20   stream.write_all");
+        assert!(analyze_files(&one("crates/serve/src/conn.rs", &dropped)).is_empty());
+    }
+
+    #[test]
+    fn param_locks_and_bounded_recv_are_clean() {
+        // The server worker_loop shape: the queue lock is a parameter,
+        // held only across a *bounded* recv_timeout.
+        let src = "fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, n: &u32) {\n\
+                   \x20   loop {\n\
+                   \x20       let conn = {\n\
+                   \x20           let guard = rx.lock().unwrap();\n\
+                   \x20           guard.recv_timeout(TICK)\n\
+                   \x20       };\n\
+                   \x20       drop(conn);\n\
+                   \x20   }\n\
+                   }\n";
+        assert!(analyze_files(&one("crates/serve/src/server.rs", src)).is_empty());
+        // An unbounded `.recv()` under the same guard is flagged.
+        let blocking = src.replace("guard.recv_timeout(TICK)", "guard.recv()");
+        let diags = analyze_files(&one("crates/serve/src/server.rs", &blocking));
+        assert_eq!(diags.iter().filter(|d| d.rule == "no-lock-across-io").count(), 1);
+        assert!(diags[0].message.contains("worker_loop.rx"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "struct Pair {\n\
+                   \x20   a: Mutex<u64>,\n\
+                   \x20   b: Mutex<u64>,\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   fn t(p: &Pair) {\n\
+                   \x20       let gb = p.b.lock().unwrap();\n\
+                   \x20       let ga = p.a.lock().unwrap();\n\
+                   \x20   }\n\
+                   }\n";
+        let (edges, diags) = extract_edges(&one("crates/x/src/t.rs", src));
+        assert!(edges.is_empty(), "{edges:?}");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn planted_self_edge_is_a_length_one_cycle() {
+        let src = "struct S {\n\
+                   \x20   m: Mutex<u64>,\n\
+                   }\n\
+                   fn reenter(s: &S) {\n\
+                   \x20   let g1 = s.m.lock().unwrap();\n\
+                   \x20   let g2 = s.m.lock().unwrap();\n\
+                   \x20   let _ = (*g1, *g2);\n\
+                   }\n";
+        let diags = analyze_files(&one("crates/x/src/s.rs", src));
+        let cycles: Vec<_> = diags.iter().filter(|d| d.rule == "lock-order-cycle").collect();
+        assert_eq!(cycles.len(), 1, "{diags:?}");
+        assert!(cycles[0].message.contains("S.m → S.m"), "{}", cycles[0].message);
+    }
+
+    #[test]
+    fn cycle_finder_handles_dags_and_long_cycles() {
+        let edge = |from: &str, to: &str| Edge {
+            from: from.to_string(),
+            to: to.to_string(),
+            file: "synthetic.rs".to_string(),
+            line: 1,
+            function: "f".to_string(),
+            suppressed: false,
+        };
+        let dag = [edge("a", "b"), edge("b", "c"), edge("a", "c"), edge("d", "a")];
+        assert!(find_cycles(&dag).is_empty());
+        let ring = [edge("a", "b"), edge("b", "c"), edge("c", "a"), edge("c", "d")];
+        let cycles = find_cycles(&ring);
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        assert_eq!(cycles[0], vec!["a".to_string(), "b".to_string(), "c".to_string()]);
+    }
+}

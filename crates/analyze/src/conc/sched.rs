@@ -1,0 +1,623 @@
+//! Deterministic interleaving explorer (a miniature loom).
+//!
+//! [`explore`] runs a model closure many times, each time under a
+//! different thread interleaving, until every schedule reachable
+//! within the configured bound has been tried. Model code uses the
+//! shim primitives of [`crate::conc::shim`] and [`spawn`]; every shim
+//! operation is a *schedule point* where exactly one runnable model
+//! thread is allowed to take its next step. The explorer drives a
+//! depth-first search over those decisions: an execution records the
+//! choice made at each point, and backtracking re-runs the model with
+//! the deepest undone choice advanced.
+//!
+//! Model threads are real OS threads, but only one ever executes model
+//! code at a time — the rest sit in a condvar wait inside the
+//! scheduler — so executions are fully deterministic given the
+//! decision sequence, which is what makes replay (and the DFS) sound.
+//! Models must therefore be deterministic apart from scheduling: no
+//! wall clocks, no ambient randomness, no real I/O.
+//!
+//! The search is **bounded-exhaustive** in the CHESS style: schedules
+//! with more than [`Config::preemptions`] pre-emptive context switches
+//! (switching away from a thread that could have continued) are not
+//! explored. Empirically almost all real concurrency bugs manifest
+//! within two pre-emptions; the bound is what keeps model state spaces
+//! tractable. Blocking switches (the running thread cannot proceed)
+//! are always free. `preemptions: None` removes the bound.
+//!
+//! Failures surface as a [`Violation`]: a deadlock (no runnable thread
+//! while some are blocked — this is also how lost wakeups show up), a
+//! data race flagged by the vector-clock checker, a model panic
+//! (assertion failure), or a blown step bound (livelock). The
+//! violation carries the full step trace of the failing schedule.
+
+use super::vclock::VClock;
+use std::cell::RefCell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Exploration bounds. All defaults are documented in DESIGN §11.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Maximum pre-emptive context switches per schedule (CHESS-style
+    /// bound); `None` explores every interleaving.
+    pub preemptions: Option<usize>,
+    /// Safety cap on explored schedules; hitting it yields
+    /// `Stats::complete == false` rather than an error.
+    pub max_schedules: usize,
+    /// Per-execution step cap — a tripwire for livelocks.
+    pub max_steps: usize,
+    /// Optional seed permuting choice order at each depth. Exhaustive
+    /// runs visit the same set of schedules in a different order;
+    /// capped runs sample a different neighborhood.
+    pub seed: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { preemptions: Some(2), max_schedules: 50_000, max_steps: 5_000, seed: None }
+    }
+}
+
+impl Config {
+    /// The bound the in-tree protocol models run at in debug CI: two
+    /// pre-emptions, which keeps the suites under a second while still
+    /// covering the classic atomicity-violation shapes.
+    pub fn ci() -> Self {
+        Self::default()
+    }
+
+    /// Unbounded pre-emptions (full exhaustive search) with a higher
+    /// schedule cap; release-mode CI runs the smaller models this way.
+    pub fn exhaustive() -> Self {
+        Self { preemptions: None, max_schedules: 500_000, max_steps: 5_000, seed: None }
+    }
+}
+
+/// What a failing schedule did wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// No runnable thread, at least one blocked (includes lost wakeups).
+    Deadlock,
+    /// Unsynchronized conflicting accesses to a `RaceCell`.
+    DataRace,
+    /// A model thread panicked (e.g. an `assert!` failed).
+    Panic,
+    /// `max_steps` exceeded — the schedule livelocked.
+    StepBound,
+    /// The model took different options on replay; models must be
+    /// deterministic apart from scheduling.
+    Nondeterminism,
+}
+
+/// A concurrency bug found by the explorer, with the schedule that
+/// exposes it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub kind: ViolationKind,
+    pub message: String,
+    /// 1-based index of the failing schedule.
+    pub schedule: usize,
+    /// Every step of the failing schedule, oldest first (capped).
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:?} in schedule #{}: {}", self.kind, self.schedule, self.message)?;
+        for step in &self.trace {
+            writeln!(f, "  {step}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of a completed exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// True when the bounded search space was fully explored (the
+    /// schedule cap was not the stopping reason).
+    pub complete: bool,
+    /// Deepest decision sequence seen.
+    pub max_depth: usize,
+}
+
+/// One decision in the DFS path: which of `options` runnable threads
+/// was scheduled.
+#[derive(Debug, Clone, Copy)]
+struct ChoicePoint {
+    chosen: usize,
+    options: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    Blocked { obj: usize, why: String },
+    Finished,
+}
+
+/// Cap on recorded trace steps; schedules deeper than this keep
+/// running but stop appending (violations still carry the prefix).
+const TRACE_CAP: usize = 512;
+
+/// Object-id space for thread-join waits, disjoint from shim ids.
+fn join_obj(tid: usize) -> usize {
+    usize::MAX - tid
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<TState>,
+    pub(crate) clocks: Vec<VClock>,
+    active: usize,
+    preemptions_used: usize,
+    steps: usize,
+    depth: usize,
+    path: Vec<ChoicePoint>,
+    trace: Vec<String>,
+    violation: Option<Violation>,
+    next_obj: usize,
+    schedule_index: usize,
+    preemption_bound: Option<usize>,
+    max_steps: usize,
+    seed: Option<u64>,
+}
+
+impl ExecState {
+    /// Record a violation (first one wins) and capture the trace.
+    pub(crate) fn report(&mut self, kind: ViolationKind, message: String) {
+        if self.violation.is_none() {
+            self.violation = Some(Violation {
+                kind,
+                message,
+                schedule: self.schedule_index,
+                trace: self.trace.clone(),
+            });
+        }
+    }
+
+    /// Mark every thread blocked on `obj` runnable again.
+    pub(crate) fn wake(&mut self, obj: usize) {
+        for t in &mut self.threads {
+            if matches!(t, TState::Blocked { obj: o, .. } if *o == obj) {
+                *t = TState::Runnable;
+            }
+        }
+    }
+
+    /// The calling thread's vector clock.
+    pub(crate) fn clock_mut(&mut self, tid: usize) -> &mut VClock {
+        &mut self.clocks[tid]
+    }
+
+    pub(crate) fn clock(&self, tid: usize) -> &VClock {
+        &self.clocks[tid]
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.threads.len()).filter(|&t| self.threads[t] == TState::Runnable).collect()
+    }
+}
+
+/// What a shim operation decided at a schedule point.
+pub(crate) enum Outcome {
+    /// The operation completed.
+    Done,
+    /// The operation cannot proceed; block on `obj` until woken.
+    Blocked(usize, String),
+}
+
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Sentinel panic payload used to unwind model threads out of an
+/// aborted execution; the thread wrapper swallows it.
+struct Aborted;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with the current execution context. Panics (with a clear
+/// message) when called outside a model — shims only work under
+/// [`explore`].
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Execution>, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        let (ex, me) =
+            borrow.as_ref().expect("conc primitives may only be used inside conc::explore()");
+        f(ex, *me)
+    })
+}
+
+fn lock_state(ex: &Execution) -> std::sync::MutexGuard<'_, ExecState> {
+    ex.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// SplitMix64 finalizer — the same mixer `ams-fault` uses; inlined
+/// here so `ams-analyze` keeps its dependency-free build.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Execution {
+    fn new(cfg: &Config, path: Vec<ChoicePoint>, schedule_index: usize) -> Self {
+        Self {
+            state: Mutex::new(ExecState {
+                threads: Vec::new(),
+                clocks: Vec::new(),
+                active: 0,
+                preemptions_used: 0,
+                steps: 0,
+                depth: 0,
+                path,
+                trace: Vec::new(),
+                violation: None,
+                next_obj: 0,
+                schedule_index,
+                preemption_bound: cfg.preemptions,
+                max_steps: cfg.max_steps,
+                seed: cfg.seed,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Allocate a fresh shim object id (no schedule point).
+    pub(crate) fn alloc_obj(&self) -> usize {
+        let mut st = lock_state(self);
+        let id = st.next_obj;
+        st.next_obj += 1;
+        id
+    }
+
+    /// Execute one shim operation atomically as thread `me`, then hand
+    /// the schedule to the chosen next thread. `op` runs with the
+    /// scheduler lock held and must not block; it returns the step's
+    /// outcome plus the operation's value once complete. Blocking
+    /// operations return `(Blocked, None)` and are retried (the
+    /// closure runs again) every time the thread is woken and
+    /// rescheduled, so `op` must be written as a test-and-proceed.
+    pub(crate) fn step<R>(
+        self: &Arc<Self>,
+        me: usize,
+        label: &str,
+        mut op: impl FnMut(&mut ExecState) -> (Outcome, Option<R>),
+    ) -> R {
+        loop {
+            let mut st = lock_state(self);
+            if st.violation.is_some() {
+                drop(st);
+                self.abort_unwind();
+            }
+            debug_assert_eq!(st.active, me, "a non-active thread reached a schedule point");
+            st.steps += 1;
+            if st.steps > st.max_steps {
+                let msg = format!("step bound {} exceeded at `{label}`", st.max_steps);
+                st.report(ViolationKind::StepBound, msg);
+                self.cv.notify_all();
+                drop(st);
+                self.abort_unwind();
+            }
+            st.clocks[me].tick(me);
+            if st.trace.len() < TRACE_CAP {
+                st.trace.push(format!("t{me}: {label}"));
+            }
+            let (outcome, value) = op(&mut st);
+            if st.violation.is_some() {
+                // The op itself found a violation (e.g. a data race).
+                self.cv.notify_all();
+                drop(st);
+                self.abort_unwind();
+            }
+            match outcome {
+                Outcome::Done => {}
+                Outcome::Blocked(obj, why) => {
+                    st.threads[me] = TState::Blocked { obj, why };
+                }
+            }
+            self.reschedule(&mut st, me);
+            self.wait_turn(st, me);
+            if let Some(v) = value {
+                return v;
+            }
+        }
+    }
+
+    /// Final step of a model thread: mark finished, wake joiners, pick
+    /// a successor, and return without waiting for another turn.
+    fn finish_step(self: &Arc<Self>, me: usize) {
+        let mut st = lock_state(self);
+        if st.violation.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        st.clocks[me].tick(me);
+        if st.trace.len() < TRACE_CAP {
+            st.trace.push(format!("t{me}: exit"));
+        }
+        st.threads[me] = TState::Finished;
+        st.wake(join_obj(me));
+        self.reschedule(&mut st, me);
+    }
+
+    /// Pick the next active thread per the DFS path, recording a new
+    /// choice point when past the replayed prefix.
+    fn reschedule(&self, st: &mut ExecState, me: usize) {
+        let runnable = st.runnable();
+        if runnable.is_empty() {
+            if st.threads.iter().any(|t| matches!(t, TState::Blocked { .. })) {
+                let stuck: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(t, s)| match s {
+                        TState::Blocked { why, .. } => Some(format!("t{t} {why}")),
+                        _ => None,
+                    })
+                    .collect();
+                let msg = format!("deadlock: every live thread is blocked ({})", stuck.join("; "));
+                st.report(ViolationKind::Deadlock, msg);
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let me_runnable = st.threads[me] == TState::Runnable;
+        let budget_spent = st.preemption_bound.is_some_and(|bound| st.preemptions_used >= bound);
+        let options: Vec<usize> = if me_runnable && budget_spent { vec![me] } else { runnable };
+        let depth = st.depth;
+        st.depth += 1;
+        let chosen = if depth < st.path.len() {
+            if st.path[depth].options != options.len() {
+                let msg = format!(
+                    "replay divergence at depth {depth}: {} options now, {} when first explored",
+                    options.len(),
+                    st.path[depth].options
+                );
+                st.report(ViolationKind::Nondeterminism, msg);
+                self.cv.notify_all();
+                return;
+            }
+            st.path[depth].chosen
+        } else {
+            st.path.push(ChoicePoint { chosen: 0, options: options.len() });
+            0
+        };
+        let rot = match st.seed {
+            Some(seed) => (mix64(seed ^ depth as u64) as usize) % options.len(),
+            None => 0,
+        };
+        let next = options[(chosen + rot) % options.len()];
+        if me_runnable && next != me {
+            st.preemptions_used += 1;
+        }
+        st.active = next;
+        self.cv.notify_all();
+    }
+
+    /// Block until this thread is both runnable and scheduled, or the
+    /// execution aborts.
+    fn wait_turn(self: &Arc<Self>, mut st: std::sync::MutexGuard<'_, ExecState>, me: usize) {
+        loop {
+            if st.violation.is_some() {
+                drop(st);
+                self.abort_unwind();
+            }
+            if st.active == me && st.threads[me] == TState::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Unwind the calling model thread out of an aborted execution.
+    fn abort_unwind(&self) -> ! {
+        std::panic::panic_any(Aborted)
+    }
+}
+
+/// Spawn a model thread. Must be called from inside a model; the
+/// returned handle joins with happens-before (the joiner inherits the
+/// child's clock).
+pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> JoinHandle {
+    with_current(|ex, me| {
+        let tid = {
+            let mut st = lock_state(ex);
+            let tid = st.threads.len();
+            st.threads.push(TState::Runnable);
+            let mut child = st.clocks[me].clone();
+            child.tick(tid);
+            st.clocks.push(child);
+            tid
+        };
+        let ex2 = Arc::clone(ex);
+        let handle = std::thread::spawn(move || thread_main(&ex2, tid, f));
+        ex.handles.lock().unwrap_or_else(PoisonError::into_inner).push(handle);
+        ex.step(me, &format!("spawn t{tid}"), |_| (Outcome::Done, Some(())));
+        JoinHandle { tid }
+    })
+}
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle {
+    tid: usize,
+}
+
+impl JoinHandle {
+    /// Wait for the thread to finish. Blocking, explored like any
+    /// other schedule point.
+    pub fn join(self) {
+        with_current(|ex, me| {
+            let tid = self.tid;
+            ex.step(me, &format!("join t{tid}"), |st| {
+                if st.threads[tid] == TState::Finished {
+                    let other = st.clocks[tid].clone();
+                    st.clocks[me].join(&other);
+                    (Outcome::Done, Some(()))
+                } else {
+                    (Outcome::Blocked(join_obj(tid), format!("joining t{tid}")), None)
+                }
+            })
+        })
+    }
+}
+
+fn thread_main<F: FnOnce()>(ex: &Arc<Execution>, me: usize, f: F) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(ex), me)));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let st = lock_state(ex);
+        ex.wait_turn(st, me);
+        f();
+    }));
+    match result {
+        Ok(()) => ex.finish_step(me),
+        Err(payload) => {
+            let mut st = lock_state(ex);
+            if !payload.is::<Aborted>() {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "model thread panicked".to_string());
+                st.report(ViolationKind::Panic, format!("t{me} panicked: {msg}"));
+            }
+            st.threads[me] = TState::Finished;
+            st.wake(join_obj(me));
+            ex.cv.notify_all();
+        }
+    }
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Explore every interleaving of `body` reachable within `cfg`'s
+/// bounds. Returns the first [`Violation`] found, or [`Stats`] when
+/// every explored schedule passed.
+///
+/// `body` is run once per schedule and must build all of its shims and
+/// threads fresh each time; it runs as model thread `t0`.
+pub fn explore<F>(cfg: Config, body: F) -> Result<Stats, Box<Violation>>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    let mut path: Vec<ChoicePoint> = Vec::new();
+    let mut schedules = 0usize;
+    let mut max_depth = 0usize;
+    loop {
+        schedules += 1;
+        let ex = Arc::new(Execution::new(&cfg, std::mem::take(&mut path), schedules));
+        {
+            let mut st = lock_state(&ex);
+            st.threads.push(TState::Runnable);
+            st.clocks.push(VClock::new());
+            st.active = 0;
+        }
+        let ex0 = Arc::clone(&ex);
+        let body0 = Arc::clone(&body);
+        let h0 = std::thread::spawn(move || thread_main(&ex0, 0, move || body0()));
+        ex.handles.lock().unwrap_or_else(PoisonError::into_inner).push(h0);
+        // Join every real thread; the list can grow while we drain it.
+        loop {
+            let next = ex.handles.lock().unwrap_or_else(PoisonError::into_inner).pop();
+            match next {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        let mut st = lock_state(&ex);
+        if let Some(v) = st.violation.take() {
+            return Err(Box::new(v));
+        }
+        max_depth = max_depth.max(st.depth);
+        path = std::mem::take(&mut st.path);
+        drop(st);
+        // Backtrack: advance the deepest choice point with untried
+        // options; a fully-drained path means the space is explored.
+        loop {
+            match path.last_mut() {
+                None => return Ok(Stats { schedules, complete: true, max_depth }),
+                Some(cp) if cp.chosen + 1 < cp.options => {
+                    cp.chosen += 1;
+                    break;
+                }
+                Some(_) => {
+                    path.pop();
+                }
+            }
+        }
+        if schedules >= cfg.max_schedules {
+            return Ok(Stats { schedules, complete: false, max_depth });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_thread_model_explores_one_schedule() {
+        let stats = explore(Config::default(), || {}).expect("no violation");
+        assert_eq!(stats.schedules, 1);
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn two_independent_threads_explore_both_orders() {
+        // Two spawned threads each take one no-op step (the exit step);
+        // the explorer must try more than one ordering.
+        let runs = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&runs);
+        let stats = explore(Config::exhaustive(), move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+            let a = spawn(|| {});
+            let b = spawn(|| {});
+            a.join();
+            b.join();
+        })
+        .expect("no violation");
+        assert!(stats.complete);
+        assert!(stats.schedules > 1, "expected multiple schedules, got {}", stats.schedules);
+        assert_eq!(runs.load(Ordering::SeqCst), stats.schedules);
+    }
+
+    #[test]
+    fn model_panic_is_reported_with_schedule_and_trace() {
+        let err = explore(Config::default(), || {
+            let t = spawn(|| panic!("seeded model bug"));
+            t.join();
+        })
+        .expect_err("must fail");
+        assert_eq!(err.kind, ViolationKind::Panic);
+        assert!(err.message.contains("seeded model bug"), "{err}");
+        assert!(!err.trace.is_empty());
+    }
+
+    #[test]
+    fn seeded_exploration_matches_unseeded_verdict() {
+        let clean = |_seed: Option<u64>| {
+            move || {
+                let t = spawn(|| {});
+                t.join();
+            }
+        };
+        let a = explore(Config { seed: None, ..Config::exhaustive() }, clean(None))
+            .expect("clean model");
+        let b = explore(Config { seed: Some(7), ..Config::exhaustive() }, clean(Some(7)))
+            .expect("clean model");
+        assert_eq!(a.schedules, b.schedules, "seed permutes order, not the explored set");
+    }
+}

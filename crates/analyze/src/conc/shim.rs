@@ -1,0 +1,716 @@
+//! Instrumented synchronization shims for the interleaving explorer.
+//!
+//! These mirror the `std::sync` API shape the serving/runtime code
+//! uses — [`Mutex`], [`RwLock`], [`Condvar`], [`sync_channel`] — but
+//! every operation is a schedule point of the active
+//! [`super::sched::explore`] run: the scheduler decides who proceeds,
+//! blocking is modeled (and explored) rather than real, and each
+//! acquire/release moves vector clocks so the happens-before checker
+//! can reason about the schedule.
+//!
+//! Clock protocol: an acquire-style op (lock, read, write, recv,
+//! condvar wake) joins the object's clock into the thread's; a
+//! release-style op (unlock, send, notify) publishes the thread's
+//! clock into the object's. [`RaceCell`] is the *unsynchronized*
+//! counterpart: it carries no clock of its own and instead checks, via
+//! the FastTrack epoch test, that conflicting accesses are ordered by
+//! the clocks the synchronized shims built. An unordered
+//! write/write or read/write pair is reported as a data race.
+//!
+//! The shims are entirely safe code: exclusivity is granted by
+//! shim-level state under the scheduler's own lock, and the protected
+//! value lives in a real `std` lock that is only ever taken *after*
+//! the grant (so it never contends). None of this is for production
+//! use — the shims exist so tests can model protocols from
+//! `crates/serve` and `crates/runtime` and explore their schedules.
+
+use super::sched::{with_current, Outcome};
+use super::vclock::{Epoch, VClock};
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Mutex as StdMutex, PoisonError, RwLock as StdRwLock};
+
+fn unpoison<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+struct MutexState {
+    locked: bool,
+    clock: VClock,
+}
+
+/// A mutual-exclusion lock whose acquisition order is explored.
+pub struct Mutex<T> {
+    obj: usize,
+    state: StdMutex<MutexState>,
+    data: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex. Must be called inside a model.
+    pub fn new(value: T) -> Self {
+        let obj = with_current(|ex, _| ex.alloc_obj());
+        Self {
+            obj,
+            state: StdMutex::new(MutexState { locked: false, clock: VClock::new() }),
+            data: StdMutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, blocking (in model time) until free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        with_current(|ex, me| {
+            ex.step(me, &format!("lock mutex#{}", self.obj), |st| {
+                let mut s = unpoison(self.state.lock());
+                if s.locked {
+                    (Outcome::Blocked(self.obj, format!("waiting for mutex#{}", self.obj)), None)
+                } else {
+                    s.locked = true;
+                    let published = s.clock.clone();
+                    st.clock_mut(me).join(&published);
+                    (Outcome::Done, Some(()))
+                }
+            });
+        });
+        MutexGuard { lock: self, data: Some(unpoison(self.data.lock())), released: false }
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing is itself a schedule point.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    data: Option<std::sync::MutexGuard<'a, T>>,
+    released: bool,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.data.as_deref().expect("guard accessed after release")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.data.as_deref_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.released {
+            return;
+        }
+        self.released = true;
+        self.data = None;
+        if std::thread::panicking() {
+            // Aborted execution: clear the grant without scheduling so
+            // the unwind cannot wedge other model threads.
+            unpoison(self.lock.state.lock()).locked = false;
+            return;
+        }
+        with_current(|ex, me| {
+            ex.step(me, &format!("unlock mutex#{}", self.lock.obj), |st| {
+                let mut s = unpoison(self.lock.state.lock());
+                s.locked = false;
+                s.clock = st.clock(me).clone();
+                st.wake(self.lock.obj);
+                (Outcome::Done, Some(()))
+            })
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+struct RwState {
+    readers: usize,
+    writer: bool,
+    clock: VClock,
+}
+
+/// A readers-writer lock whose acquisition order is explored.
+///
+/// The happens-before model is deliberately conservative: one clock
+/// covers both modes, so even read-release → read-acquire publishes an
+/// ordering edge. That can hide races behind reader-reader handoffs
+/// (false negatives, documented in DESIGN §11) but never invents one.
+pub struct RwLock<T> {
+    obj: usize,
+    state: StdMutex<RwState>,
+    data: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a rwlock. Must be called inside a model.
+    pub fn new(value: T) -> Self {
+        let obj = with_current(|ex, _| ex.alloc_obj());
+        Self {
+            obj,
+            state: StdMutex::new(RwState { readers: 0, writer: false, clock: VClock::new() }),
+            data: StdRwLock::new(value),
+        }
+    }
+
+    /// Acquire shared access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        with_current(|ex, me| {
+            ex.step(me, &format!("read rwlock#{}", self.obj), |st| {
+                let mut s = unpoison(self.state.lock());
+                if s.writer {
+                    (
+                        Outcome::Blocked(self.obj, format!("waiting to read rwlock#{}", self.obj)),
+                        None,
+                    )
+                } else {
+                    s.readers += 1;
+                    let published = s.clock.clone();
+                    st.clock_mut(me).join(&published);
+                    (Outcome::Done, Some(()))
+                }
+            });
+        });
+        RwLockReadGuard { lock: self, data: Some(unpoison(self.data.read())), released: false }
+    }
+
+    /// Acquire exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        with_current(|ex, me| {
+            ex.step(me, &format!("write rwlock#{}", self.obj), |st| {
+                let mut s = unpoison(self.state.lock());
+                if s.writer || s.readers > 0 {
+                    (
+                        Outcome::Blocked(self.obj, format!("waiting to write rwlock#{}", self.obj)),
+                        None,
+                    )
+                } else {
+                    s.writer = true;
+                    let published = s.clock.clone();
+                    st.clock_mut(me).join(&published);
+                    (Outcome::Done, Some(()))
+                }
+            });
+        });
+        RwLockWriteGuard { lock: self, data: Some(unpoison(self.data.write())), released: false }
+    }
+}
+
+/// Shared-access guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    data: Option<std::sync::RwLockReadGuard<'a, T>>,
+    released: bool,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.data.as_deref().expect("guard accessed after release")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.released {
+            return;
+        }
+        self.released = true;
+        self.data = None;
+        if std::thread::panicking() {
+            let mut s = unpoison(self.lock.state.lock());
+            s.readers = s.readers.saturating_sub(1);
+            return;
+        }
+        with_current(|ex, me| {
+            ex.step(me, &format!("unread rwlock#{}", self.lock.obj), |st| {
+                let mut s = unpoison(self.lock.state.lock());
+                s.readers = s.readers.saturating_sub(1);
+                let mine = st.clock(me).clone();
+                s.clock.join(&mine);
+                st.wake(self.lock.obj);
+                (Outcome::Done, Some(()))
+            })
+        });
+    }
+}
+
+/// Exclusive-access guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    data: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    released: bool,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.data.as_deref().expect("guard accessed after release")
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.data.as_deref_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.released {
+            return;
+        }
+        self.released = true;
+        self.data = None;
+        if std::thread::panicking() {
+            unpoison(self.lock.state.lock()).writer = false;
+            return;
+        }
+        with_current(|ex, me| {
+            ex.step(me, &format!("unwrite rwlock#{}", self.lock.obj), |st| {
+                let mut s = unpoison(self.lock.state.lock());
+                s.writer = false;
+                s.clock = st.clock(me).clone();
+                st.wake(self.lock.obj);
+                (Outcome::Done, Some(()))
+            })
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// A condition variable with real lost-wakeup semantics: a `notify`
+/// only wakes threads already waiting, so a model that waits without
+/// re-checking its predicate deadlocks — and the explorer reports it.
+pub struct Condvar {
+    obj: usize,
+    clock: StdMutex<VClock>,
+}
+
+impl Condvar {
+    /// Create a condvar. Must be called inside a model.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let obj = with_current(|ex, _| ex.alloc_obj());
+        Self { obj, clock: StdMutex::new(VClock::new()) }
+    }
+
+    /// Atomically release `guard` and wait for a notification, then
+    /// reacquire the lock.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let lock = guard.lock;
+        with_current(|ex, me| {
+            let mut parked = false;
+            ex.step(me, &format!("wait cv#{}", self.obj), |st| {
+                if !parked {
+                    parked = true;
+                    guard.released = true;
+                    guard.data = None;
+                    let mut s = unpoison(lock.state.lock());
+                    s.locked = false;
+                    s.clock = st.clock(me).clone();
+                    st.wake(lock.obj);
+                    (Outcome::Blocked(self.obj, format!("waiting on cv#{}", self.obj)), None)
+                } else {
+                    let published = unpoison(self.clock.lock()).clone();
+                    st.clock_mut(me).join(&published);
+                    (Outcome::Done, Some(()))
+                }
+            });
+        });
+        drop(guard);
+        lock.lock()
+    }
+
+    /// Wake every thread currently waiting on this condvar.
+    pub fn notify_all(&self) {
+        with_current(|ex, me| {
+            ex.step(me, &format!("notify cv#{}", self.obj), |st| {
+                let mine = st.clock(me).clone();
+                unpoison(self.clock.lock()).join(&mine);
+                st.wake(self.obj);
+                (Outcome::Done, Some(()))
+            })
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded channel
+// ---------------------------------------------------------------------------
+
+struct ChanState<T> {
+    queue: VecDeque<(T, VClock)>,
+    capacity: usize,
+}
+
+/// Shared endpoint state; `Sender`/`Receiver` clone an `Arc` in real
+/// code, here both sides borrow the channel.
+pub struct SyncChannel<T> {
+    obj: usize,
+    state: StdMutex<ChanState<T>>,
+}
+
+/// Create a bounded channel mirroring `std::sync::mpsc::sync_channel`.
+/// Must be called inside a model.
+pub fn sync_channel<T>(capacity: usize) -> SyncChannel<T> {
+    let obj = with_current(|ex, _| ex.alloc_obj());
+    SyncChannel { obj, state: StdMutex::new(ChanState { queue: VecDeque::new(), capacity }) }
+}
+
+impl<T> SyncChannel<T> {
+    /// Blocking send: waits (in model time) for queue space.
+    pub fn send(&self, value: T) {
+        let mut item = Some(value);
+        with_current(|ex, me| {
+            ex.step(me, &format!("send chan#{}", self.obj), |st| {
+                let mut s = unpoison(self.state.lock());
+                if s.queue.len() >= s.capacity {
+                    (Outcome::Blocked(self.obj, format!("chan#{} full", self.obj)), None)
+                } else {
+                    let v = item.take().expect("send retried after completing");
+                    s.queue.push_back((v, st.clock(me).clone()));
+                    st.wake(self.obj);
+                    (Outcome::Done, Some(()))
+                }
+            })
+        });
+    }
+
+    /// Non-blocking send: `Err(value)` back when the queue is full —
+    /// the admission-shed path of `serve::server`.
+    pub fn try_send(&self, value: T) -> Result<(), T> {
+        let mut item = Some(value);
+        let sent = with_current(|ex, me| {
+            ex.step(me, &format!("try_send chan#{}", self.obj), |st| {
+                let mut s = unpoison(self.state.lock());
+                if s.queue.len() >= s.capacity {
+                    (Outcome::Done, Some(false))
+                } else {
+                    let v = item.take().expect("try_send ran twice");
+                    s.queue.push_back((v, st.clock(me).clone()));
+                    st.wake(self.obj);
+                    (Outcome::Done, Some(true))
+                }
+            })
+        });
+        if sent {
+            Ok(())
+        } else {
+            Err(item.take().expect("shed value missing"))
+        }
+    }
+
+    /// Blocking receive: waits (in model time) for a message. Joins
+    /// the sender's clock — receiving is an acquire.
+    pub fn recv(&self) -> T {
+        with_current(|ex, me| {
+            ex.step(me, &format!("recv chan#{}", self.obj), |st| {
+                let mut s = unpoison(self.state.lock());
+                match s.queue.pop_front() {
+                    None => (Outcome::Blocked(self.obj, format!("chan#{} empty", self.obj)), None),
+                    Some((v, clock)) => {
+                        st.clock_mut(me).join(&clock);
+                        st.wake(self.obj);
+                        (Outcome::Done, Some(v))
+                    }
+                }
+            })
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        with_current(|ex, me| {
+            ex.step(me, &format!("try_recv chan#{}", self.obj), |st| {
+                let mut s = unpoison(self.state.lock());
+                match s.queue.pop_front() {
+                    None => (Outcome::Done, Some(None)),
+                    Some((v, clock)) => {
+                        st.clock_mut(me).join(&clock);
+                        st.wake(self.obj);
+                        (Outcome::Done, Some(Some(v)))
+                    }
+                }
+            })
+        })
+    }
+
+    /// Current queue depth (a schedule point like any other read).
+    pub fn len(&self) -> usize {
+        with_current(|ex, me| {
+            ex.step(me, &format!("len chan#{}", self.obj), |_| {
+                let s = unpoison(self.state.lock());
+                (Outcome::Done, Some(s.queue.len()))
+            })
+        })
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RaceCell — the happens-before probe
+// ---------------------------------------------------------------------------
+
+struct CellState<T> {
+    value: T,
+    last_write: Option<Epoch>,
+    reads: Vec<Epoch>,
+}
+
+/// Plain shared data with **no** synchronization of its own. Every
+/// access is checked against the vector clocks built by the shims:
+/// a write racing a prior write or read, or a read racing a prior
+/// write, is reported as a [`super::sched::ViolationKind::DataRace`].
+/// Use it to mark the state a protocol claims to protect.
+pub struct RaceCell<T: Copy> {
+    obj: usize,
+    state: StdMutex<CellState<T>>,
+}
+
+impl<T: Copy> RaceCell<T> {
+    /// Create a cell. Must be called inside a model.
+    pub fn new(value: T) -> Self {
+        let obj = with_current(|ex, _| ex.alloc_obj());
+        Self { obj, state: StdMutex::new(CellState { value, last_write: None, reads: Vec::new() }) }
+    }
+
+    /// Read the value, checking the access is ordered after the last
+    /// write.
+    pub fn get(&self) -> T {
+        with_current(|ex, me| {
+            ex.step(me, &format!("get cell#{}", self.obj), |st| {
+                let mut s = unpoison(self.state.lock());
+                if let Some(w) = s.last_write {
+                    if !st.clock(me).dominates(&w) {
+                        let msg = format!(
+                            "data race on cell#{}: read by t{me} is unordered with write by t{}",
+                            self.obj, w.thread
+                        );
+                        st.report(super::sched::ViolationKind::DataRace, msg);
+                        return (Outcome::Done, Some(s.value));
+                    }
+                }
+                let epoch = st.clock(me).epoch(me);
+                s.reads.retain(|r| r.thread != me);
+                s.reads.push(epoch);
+                (Outcome::Done, Some(s.value))
+            })
+        })
+    }
+
+    /// Write the value, checking the access is ordered after the last
+    /// write and every read since it.
+    pub fn set(&self, value: T) {
+        with_current(|ex, me| {
+            ex.step(me, &format!("set cell#{}", self.obj), |st| {
+                let mut s = unpoison(self.state.lock());
+                if let Some(w) = s.last_write {
+                    if !st.clock(me).dominates(&w) {
+                        let msg = format!(
+                            "data race on cell#{}: write by t{me} is unordered with write by t{}",
+                            self.obj, w.thread
+                        );
+                        st.report(super::sched::ViolationKind::DataRace, msg);
+                        return (Outcome::Done, Some(()));
+                    }
+                }
+                if let Some(r) = s.reads.iter().find(|r| !st.clock(me).dominates(r)) {
+                    let msg = format!(
+                        "data race on cell#{}: write by t{me} is unordered with read by t{}",
+                        self.obj, r.thread
+                    );
+                    st.report(super::sched::ViolationKind::DataRace, msg);
+                    return (Outcome::Done, Some(()));
+                }
+                s.value = value;
+                s.last_write = Some(st.clock(me).epoch(me));
+                s.reads.clear();
+                (Outcome::Done, Some(()))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::sched::{explore, spawn, Config, ViolationKind};
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_protected_increments_are_race_free() {
+        explore(Config::exhaustive(), || {
+            let m = Arc::new(Mutex::new(0u32));
+            let cell = Arc::new(RaceCell::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    let cell = Arc::clone(&cell);
+                    spawn(move || {
+                        let mut g = m.lock();
+                        let v = cell.get();
+                        cell.set(v + 1);
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+        })
+        .expect("mutex-protected accesses must not race");
+    }
+
+    #[test]
+    fn unprotected_writes_are_reported_as_a_race() {
+        let err = explore(Config::exhaustive(), || {
+            let cell = Arc::new(RaceCell::new(0u32));
+            let c1 = Arc::clone(&cell);
+            let c2 = Arc::clone(&cell);
+            let a = spawn(move || c1.set(1));
+            let b = spawn(move || c2.set(2));
+            a.join();
+            b.join();
+        })
+        .expect_err("unsynchronized writes must race");
+        assert_eq!(err.kind, ViolationKind::DataRace);
+    }
+
+    #[test]
+    fn classic_ab_ba_lock_inversion_deadlocks() {
+        let err = explore(Config::exhaustive(), || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t1 = spawn(move || {
+                let _ga = a1.lock();
+                let _gb = b1.lock();
+            });
+            let t2 = spawn(move || {
+                let _gb = b2.lock();
+                let _ga = a2.lock();
+            });
+            t1.join();
+            t2.join();
+        })
+        .expect_err("AB/BA ordering must deadlock in some schedule");
+        assert_eq!(err.kind, ViolationKind::Deadlock);
+        assert!(err.message.contains("deadlock"), "{err}");
+    }
+
+    #[test]
+    fn consistent_lock_order_never_deadlocks() {
+        let stats = explore(Config::exhaustive(), || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    let b = Arc::clone(&b);
+                    spawn(move || {
+                        let _ga = a.lock();
+                        let _gb = b.lock();
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+        })
+        .expect("consistent ordering cannot deadlock");
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn channel_send_establishes_happens_before() {
+        explore(Config::exhaustive(), || {
+            let chan = Arc::new(sync_channel::<u32>(1));
+            let cell = Arc::new(RaceCell::new(0u32));
+            let (tx_chan, tx_cell) = (Arc::clone(&chan), Arc::clone(&cell));
+            let producer = spawn(move || {
+                tx_cell.set(41);
+                tx_chan.send(7);
+            });
+            let v = chan.recv();
+            assert_eq!(v, 7);
+            assert_eq!(cell.get(), 41);
+            producer.join();
+        })
+        .expect("recv must order the consumer after the producer");
+    }
+
+    #[test]
+    fn try_send_returns_the_value_when_full() {
+        explore(Config::default(), || {
+            let chan = sync_channel::<u32>(1);
+            assert!(chan.try_send(1).is_ok());
+            assert_eq!(chan.try_send(2), Err(2));
+            assert_eq!(chan.recv(), 1);
+            assert_eq!(chan.try_recv(), None);
+        })
+        .expect("single-threaded channel use is schedule-independent");
+    }
+
+    #[test]
+    fn condvar_wait_without_notify_is_a_lost_wakeup_deadlock() {
+        let err = explore(Config::default(), || {
+            let m = Arc::new(Mutex::new(false));
+            let cv = Arc::new(Condvar::new());
+            let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+            // Waiting without checking the flag first: in schedules
+            // where the notifier finishes before the waiter parks, the
+            // wakeup is lost for good.
+            let waiter = spawn(move || {
+                let g = m2.lock();
+                let _g = cv2.wait(g);
+            });
+            {
+                let mut g = m.lock();
+                *g = true;
+            }
+            cv.notify_all();
+            waiter.join();
+        })
+        .expect_err("a schedule where notify precedes wait must deadlock");
+        assert_eq!(err.kind, ViolationKind::Deadlock);
+    }
+
+    #[test]
+    fn rwlock_writers_exclude_readers() {
+        explore(Config::ci(), || {
+            let rw = Arc::new(RwLock::new(0u32));
+            let cell = Arc::new(RaceCell::new(0u32));
+            let (rw_w, cell_w) = (Arc::clone(&rw), Arc::clone(&cell));
+            let writer = spawn(move || {
+                let mut g = rw_w.write();
+                cell_w.set(5);
+                *g = 5;
+            });
+            let reader = {
+                let rw = Arc::clone(&rw);
+                let cell = Arc::clone(&cell);
+                spawn(move || {
+                    let g = rw.read();
+                    assert_eq!(cell.get(), *g);
+                })
+            };
+            writer.join();
+            reader.join();
+        })
+        .expect("rwlock must order writers against readers");
+    }
+}

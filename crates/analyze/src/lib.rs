@@ -1,6 +1,6 @@
 //! # ams-analyze — static analysis for the AMS stack
 //!
-//! Two layers behind one structured [`Diagnostic`] type and one
+//! Three layers behind one structured [`Diagnostic`] type and one
 //! binary (`ams-check`):
 //!
 //! 1. **Tape-IR analysis** — replays a recorded [`Plan`]
@@ -12,12 +12,17 @@
 //!    line/token linter ([`lint`]) with repo-specific rules such as
 //!    `no-unwrap-in-serve`, inline `// ams-lint: allow(rule)`
 //!    suppressions, and `--format json` output.
+//! 3. **Concurrency layer** ([`conc`]) — static lock-order analysis
+//!    over the serving/runtime concurrency surface (`ams-check
+//!    --conc`) plus a deterministic interleaving explorer with
+//!    vector-clock race checking for protocol models.
 //!
 //! CI runs `ams-check` and fails on any `error`-severity finding;
 //! `warn`/`info` are reported but do not gate. Exit codes are stable:
 //! 0 clean (or warnings only), 1 at least one error diagnostic,
 //! 2 internal failure (bad arguments, unreadable file, invalid plan).
 
+pub mod conc;
 pub mod diagnostic;
 pub mod lint;
 pub mod numeric;

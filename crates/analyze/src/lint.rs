@@ -71,8 +71,8 @@ fn in_runtime_scope(path: &str) -> bool {
 }
 
 /// Rules named by a `// ams-lint: allow(a, b)` marker, if the line
-/// carries one.
-fn allowed_rules(line: &str) -> HashSet<String> {
+/// carries one. Shared with the `conc::lockorder` pass.
+pub(crate) fn allowed_rules(line: &str) -> HashSet<String> {
     let mut out = HashSet::new();
     if let Some(pos) = line.find("ams-lint: allow(") {
         let rest = &line[pos + "ams-lint: allow(".len()..];
@@ -87,8 +87,8 @@ fn allowed_rules(line: &str) -> HashSet<String> {
 
 /// The code portion of a line: everything before a `//` comment.
 /// Naive about `//` inside string literals, which this repo's rules
-/// never need to distinguish.
-fn code_part(line: &str) -> &str {
+/// never need to distinguish. Shared with the `conc::lockorder` pass.
+pub(crate) fn code_part(line: &str) -> &str {
     match line.find("//") {
         Some(pos) => &line[..pos],
         None => line,

@@ -1,7 +1,7 @@
 //! End-to-end smoke tests for the `ams-check` binary: every seeded
-//! defect fixture must be detected with the right rule id and
-//! location, and the documented exit codes (0 clean, 1 lint errors,
-//! 2 internal failure) must be stable.
+//! defect fixture (tape-IR, lint, and lock-order) must be detected
+//! with the right rule id and location, and the documented exit codes
+//! (0 clean, 1 errors, 2 internal failure) must be stable.
 
 use serde_json::Value;
 use std::path::{Path, PathBuf};
@@ -84,6 +84,58 @@ fn planted_unwrap_fixture_is_detected_with_file_and_line() {
     // suppressed unwrap must NOT appear.
     assert!(diags.iter().any(|d| rule_of(d) == "no-panic-in-inference"), "{report:?}");
     assert_eq!(report.get("errors").and_then(Value::as_f64), Some(2.0), "{report:?}");
+}
+
+#[test]
+fn lock_inversion_fixture_yields_a_named_cycle() {
+    let planted = fixture("conc/lock_inversion.rs");
+    let out = run(&["conc", planted.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let report = json_report(&out);
+    let cycles: Vec<Value> =
+        diagnostics(&report).into_iter().filter(|d| rule_of(d) == "lock-order-cycle").collect();
+    assert_eq!(cycles.len(), 1, "{report:?}");
+    let msg = cycles[0].get("message").and_then(Value::as_str).unwrap();
+    assert!(msg.contains("Bank.ledger") && msg.contains("Bank.audit"), "{msg}");
+    let hint = cycles[0].get("hint").and_then(Value::as_str).unwrap();
+    assert!(hint.contains("`transfer`") && hint.contains("`reconcile`"), "{hint}");
+}
+
+#[test]
+fn guard_across_io_fixture_is_detected_at_the_write() {
+    let planted = fixture("conc/guard_across_io.rs");
+    let out = run(&["conc", planted.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let report = json_report(&out);
+    let hits: Vec<Value> =
+        diagnostics(&report).into_iter().filter(|d| rule_of(d) == "no-lock-across-io").collect();
+    // One per blocking call under the guard: write_all, then flush.
+    assert_eq!(hits.len(), 2, "{report:?}");
+    let msg = hits[0].get("message").and_then(Value::as_str).unwrap();
+    assert!(msg.contains("Conn.out") && msg.contains("write_all"), "{msg}");
+    let file = hits[0].get("file").and_then(Value::as_str).unwrap();
+    assert!(file.ends_with("conc/guard_across_io.rs"), "{file}");
+}
+
+#[test]
+fn workspace_conc_surface_is_clean_and_exits_zero() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    for args in [
+        vec!["conc", "--root", repo_root.to_str().unwrap(), "--format", "json"],
+        vec!["--conc", "--root", repo_root.to_str().unwrap(), "--format", "json"],
+    ] {
+        let out = run(&args);
+        let report = json_report(&out);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{args:?} found errors: {}",
+            serde_json::to_string(&report).unwrap()
+        );
+        assert_eq!(report.get("errors").and_then(Value::as_f64), Some(0.0));
+    }
+    // --conc is a workspace-lint modifier only.
+    assert_eq!(run(&["--conc", "plan", "x.json"]).status.code(), Some(2));
 }
 
 #[test]

@@ -1,0 +1,62 @@
+//! Regression suite for the serving-protocol models under the
+//! deterministic interleaving explorer (`ams::analyze::conc`).
+//!
+//! CI runs this in release mode (the `conc` job). Each correct model
+//! must pass *exhaustively* at the documented CI bound — two
+//! pre-emptions, the CHESS result's sweet spot — and the two
+//! two-thread protocols must also pass with the pre-emption bound
+//! removed, which makes the run a proof over every interleaving up to
+//! the schedule cap rather than a sample.
+
+use ams::analyze::conc::models;
+use ams::analyze::conc::Config;
+
+#[test]
+fn registry_hot_swap_passes_exhaustively_at_the_ci_bound() {
+    let stats = models::registry_hot_swap(Config::ci()).expect("hot swap must be clean");
+    assert!(stats.complete, "schedule space must be exhausted, not sampled");
+    assert!(stats.schedules > 1, "a racy model must have more than one schedule");
+}
+
+#[test]
+fn registry_hot_swap_passes_above_the_ci_bound() {
+    // Four threads make the unbounded space too large for a test-suite
+    // budget; three pre-emptions (one above CI) is still exhaustive
+    // within its bound and covers every bug a 3-switch window can show.
+    let cfg = Config { preemptions: Some(3), ..Config::ci() };
+    let stats = models::registry_hot_swap(cfg).expect("hot swap must be clean at bound 3");
+    assert!(stats.complete, "schedule space at bound 3 must be exhausted");
+}
+
+#[test]
+fn breaker_half_open_passes_exhaustively_at_the_ci_bound() {
+    let stats = models::breaker_half_open(Config::ci()).expect("single probe must hold");
+    assert!(stats.complete);
+    assert!(stats.schedules > 1);
+}
+
+#[test]
+fn breaker_half_open_passes_with_the_preemption_bound_removed() {
+    let stats = models::breaker_half_open(Config::exhaustive())
+        .expect("single probe must hold under full exploration");
+    assert!(stats.complete);
+}
+
+#[test]
+fn shed_queue_passes_exhaustively_at_the_ci_bound() {
+    let stats = models::shed_queue(Config::ci()).expect("admission/drain must be clean");
+    assert!(stats.complete);
+    assert!(stats.schedules > 1);
+}
+
+#[test]
+fn seeded_exploration_finds_the_same_violations() {
+    // The seed rotates scheduling choices but must not change verdicts:
+    // correct models stay clean, buggy ones stay caught.
+    for seed in [1u64, 42, 0xdead_beef] {
+        let cfg = Config { seed: Some(seed), ..Config::ci() };
+        models::breaker_half_open(cfg).expect("clean regardless of seed");
+        models::breaker_double_probe(cfg).expect_err("caught regardless of seed");
+        models::registry_hot_swap_lost_update(cfg).expect_err("caught regardless of seed");
+    }
+}
