@@ -62,6 +62,10 @@ fn in_serve_scope(path: &str) -> bool {
     normalized(path).contains("serve/src/")
 }
 
+fn in_store_scope(path: &str) -> bool {
+    normalized(path).contains("store/src/")
+}
+
 fn in_tensor_scope(path: &str) -> bool {
     normalized(path).contains("tensor/src/")
 }
@@ -279,6 +283,49 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Diagnostic> {
             }
         }
 
+        // The store's decoders run on untrusted on-disk bytes: a
+        // malformed segment must surface as a `StoreError`, never take
+        // the process down. Same unwrap/panic discipline as the
+        // serving hot path, under store-specific rule names.
+        if in_store_scope(path) && !allowed.contains("no-unwrap-in-store") {
+            for needle in [".unwrap()", ".expect("] {
+                if let Some(col) = code.find(needle) {
+                    out.push(finding(
+                        true,
+                        "no-unwrap-in-store",
+                        path,
+                        line_no,
+                        col + 1,
+                        format!(
+                            "`{}` in the feature store: decoders consume untrusted bytes",
+                            needle.trim_end_matches('(')
+                        ),
+                        "return a StoreError so corrupt files are rejected, not fatal",
+                    ));
+                }
+            }
+        }
+        if in_store_scope(path) && !allowed.contains("no-panic-in-store") {
+            for needle in PANIC_MACROS {
+                if let Some(col) = code.find(needle) {
+                    let pre_ok = col == 0
+                        || !code.as_bytes()[col - 1].is_ascii_alphanumeric()
+                            && code.as_bytes()[col - 1] != b'_';
+                    if pre_ok {
+                        out.push(finding(
+                            true,
+                            "no-panic-in-store",
+                            path,
+                            line_no,
+                            col + 1,
+                            format!("`{}...)` in the feature store", needle.trim_end_matches('(')),
+                            "return a StoreError variant instead of panicking on bad data",
+                        ));
+                    }
+                }
+            }
+        }
+
         if in_serve_scope(path) && !allowed.contains("no-panic-in-inference") {
             for needle in PANIC_MACROS {
                 if let Some(col) = code.find(needle) {
@@ -382,6 +429,23 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn store_decoders_cannot_unwrap_or_panic() {
+        let src = "fn f() {\n    let x = y.unwrap();\n    panic!(\"bad block\");\n}\n";
+        let diags = lint_source("crates/store/src/encoding.rs", src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!(diags[0].rule, "no-unwrap-in-store");
+        assert_eq!(diags[1].rule, "no-panic-in-store");
+        // Tests inside the store crate keep their unwraps.
+        let in_tests = "#[cfg(test)]\nmod tests {\nfn t() { z.unwrap(); panic!(\"fine\"); }\n}\n";
+        assert!(lint_source("crates/store/src/reader.rs", in_tests).is_empty());
+        // Suppression markers work per line.
+        let allowed = "let v = x.unwrap(); // ams-lint: allow(no-unwrap-in-store)\n";
+        assert!(lint_source("crates/store/src/writer.rs", allowed).is_empty());
+        // assert!/debug_assert! stay allowed.
+        assert!(lint_source("crates/store/src/skeleton.rs", "assert!(ok);\n").is_empty());
+    }
 
     #[test]
     fn unwrap_denied_only_in_serve_hot_paths() {

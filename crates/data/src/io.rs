@@ -183,11 +183,76 @@ pub fn write_csv(panel: &Panel, path: &Path) -> Result<(), PanelIoError> {
     Ok(())
 }
 
-/// Parse a panel from CSV text. Rows may appear in any order but every
-/// company must cover the same consecutive quarter range.
-pub fn from_csv(text: &str) -> Result<Panel, PanelIoError> {
-    let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().ok_or_else(|| parse_err(1, "empty file"))?;
+/// Stream a [`PanelSource`] to a CSV file without materializing the
+/// panel: each batch of company histories is formatted and flushed
+/// through a `BufWriter`, so memory stays bounded by the batch size
+/// even for universes of hundreds of thousands of companies. The row
+/// format is identical to [`to_csv`], so `read_csv` round-trips the
+/// output.
+pub fn write_csv_source(
+    source: &mut dyn crate::source::PanelSource,
+    path: &Path,
+) -> Result<(), PanelIoError> {
+    use std::io::Write;
+
+    let quarters = source.quarters().to_vec();
+    let alt_names = source.alt_names().to_vec();
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+
+    let mut header = FIXED_COLS.join(",");
+    for a in &alt_names {
+        header.push(',');
+        header.push_str(&csv_field(a));
+    }
+    writeln!(w, "{header}")?;
+
+    loop {
+        let batch = source
+            .next_batch(256)
+            .map_err(|e| parse_err(0, format!("panel source failed: {e}")))?;
+        if batch.is_empty() {
+            break;
+        }
+        for h in &batch {
+            let company = &h.company;
+            for (q, o) in quarters.iter().zip(&h.obs) {
+                write!(
+                    w,
+                    "{},{},{},{},{},{},{},{},{},{}",
+                    company.id,
+                    csv_field(&company.name),
+                    company.sector.name(),
+                    company.market_cap,
+                    company.fiscal_offset,
+                    q,
+                    o.revenue,
+                    o.consensus,
+                    o.low_est,
+                    o.high_est,
+                )?;
+                for a in &o.alt {
+                    write!(w, ",{a}")?;
+                }
+                writeln!(w)?;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// One parsed observation row, before panel assembly.
+struct Row {
+    company: usize,
+    quarter: Quarter,
+    obs: Observation,
+    meta: Company,
+}
+
+/// Validate the header record and return the alternative-channel names
+/// (every column after the fixed prefix).
+fn parse_header_record(header: &str) -> Result<Vec<String>, PanelIoError> {
     let cols: Vec<String> = split_record(header, 1)?;
     if cols.len() < FIXED_COLS.len() {
         return Err(parse_err(1, format!("expected at least {} columns", FIXED_COLS.len())));
@@ -200,65 +265,85 @@ pub fn from_csv(text: &str) -> Result<Panel, PanelIoError> {
             ));
         }
     }
-    let alt_names: Vec<String> = cols[FIXED_COLS.len()..].to_vec();
-    let n_alt = alt_names.len();
+    Ok(cols[FIXED_COLS.len()..].to_vec())
+}
 
-    struct Row {
-        company: usize,
-        quarter: Quarter,
-        obs: Observation,
-        meta: Company,
+/// Parse one data record (`None` for a blank line). The row parser is
+/// shared by the in-memory [`from_csv`] and the streaming [`read_csv`].
+fn parse_row(raw: &str, line_no: usize, alt_names: &[String]) -> Result<Option<Row>, PanelIoError> {
+    if raw.trim().is_empty() {
+        return Ok(None);
     }
+    let n_alt = alt_names.len();
+    let f: Vec<String> = split_record(raw, line_no)?;
+    if f.len() != FIXED_COLS.len() + n_alt {
+        return Err(parse_err(
+            line_no,
+            format!("expected {} fields, got {}", FIXED_COLS.len() + n_alt, f.len()),
+        ));
+    }
+    let num = |i: usize, what: &str| -> Result<f64, PanelIoError> {
+        f[i].parse::<f64>().map_err(|_| parse_err(line_no, format!("bad {what}: {:?}", f[i])))
+    };
+    let company: usize =
+        f[0].parse().map_err(|_| parse_err(line_no, format!("bad company id {:?}", f[0])))?;
+    let sector = sector_from_name(&f[2])
+        .ok_or_else(|| parse_err(line_no, format!("unknown sector {:?}", f[2])))?;
+    let quarter = Quarter::from_str(&f[5]).map_err(|e| parse_err(line_no, e.to_string()))?;
+    let mut alt = Vec::with_capacity(n_alt);
+    for (k, name) in alt_names.iter().enumerate() {
+        alt.push(num(FIXED_COLS.len() + k, name)?);
+    }
+    Ok(Some(Row {
+        company,
+        quarter,
+        obs: Observation {
+            revenue: num(6, "revenue")?,
+            consensus: num(7, "consensus")?,
+            low_est: num(8, "low_est")?,
+            high_est: num(9, "high_est")?,
+            alt,
+        },
+        meta: Company {
+            id: company,
+            name: f[1].to_string(),
+            sector,
+            market_cap: num(3, "market_cap")?,
+            fiscal_offset: f[4]
+                .parse()
+                .map_err(|_| parse_err(line_no, format!("bad fiscal_offset {:?}", f[4])))?,
+        },
+    }))
+}
+
+/// Parse a panel from a stream of lines. The full file text is never
+/// held in memory — only the parsed rows (which any assembly needs) —
+/// so ingestion memory is bounded by the panel, not by the CSV's text
+/// encoding of it.
+fn from_lines<L, I>(mut lines: I) -> Result<Panel, PanelIoError>
+where
+    L: AsRef<str>,
+    I: Iterator<Item = Result<L, std::io::Error>>,
+{
+    let header = lines.next().ok_or_else(|| parse_err(1, "empty file"))??;
+    let alt_names = parse_header_record(header.as_ref())?;
+
     let mut rows: Vec<Row> = Vec::new();
-    for (idx, raw) in lines {
-        let line_no = idx + 1;
-        if raw.trim().is_empty() {
-            continue;
+    for (idx, raw) in lines.enumerate() {
+        let line_no = idx + 2;
+        if let Some(row) = parse_row(raw?.as_ref(), line_no, &alt_names)? {
+            rows.push(row);
         }
-        let f: Vec<String> = split_record(raw, line_no)?;
-        if f.len() != FIXED_COLS.len() + n_alt {
-            return Err(parse_err(
-                line_no,
-                format!("expected {} fields, got {}", FIXED_COLS.len() + n_alt, f.len()),
-            ));
-        }
-        let num = |i: usize, what: &str| -> Result<f64, PanelIoError> {
-            f[i].parse::<f64>().map_err(|_| parse_err(line_no, format!("bad {what}: {:?}", f[i])))
-        };
-        let company: usize =
-            f[0].parse().map_err(|_| parse_err(line_no, format!("bad company id {:?}", f[0])))?;
-        let sector = sector_from_name(&f[2])
-            .ok_or_else(|| parse_err(line_no, format!("unknown sector {:?}", f[2])))?;
-        let quarter = Quarter::from_str(&f[5]).map_err(|e| parse_err(line_no, e.to_string()))?;
-        let mut alt = Vec::with_capacity(n_alt);
-        for (k, name) in alt_names.iter().enumerate() {
-            alt.push(num(FIXED_COLS.len() + k, name)?);
-        }
-        rows.push(Row {
-            company,
-            quarter,
-            obs: Observation {
-                revenue: num(6, "revenue")?,
-                consensus: num(7, "consensus")?,
-                low_est: num(8, "low_est")?,
-                high_est: num(9, "high_est")?,
-                alt,
-            },
-            meta: Company {
-                id: company,
-                name: f[1].to_string(),
-                sector,
-                market_cap: num(3, "market_cap")?,
-                fiscal_offset: f[4]
-                    .parse()
-                    .map_err(|_| parse_err(line_no, format!("bad fiscal_offset {:?}", f[4])))?,
-            },
-        });
     }
     if rows.is_empty() {
         return Err(parse_err(2, "no observation rows"));
     }
+    assemble(alt_names, rows)
+}
 
+/// Assemble parsed rows (any order) into a dense panel. Every company
+/// must cover the same consecutive quarter range.
+fn assemble(alt_names: Vec<String>, rows: Vec<Row>) -> Result<Panel, PanelIoError> {
     // Determine shape.
     let n_companies = rows.iter().map(|r| r.company).max().expect("nonempty") + 1;
     let first = rows.iter().map(|r| r.quarter).min().expect("nonempty");
@@ -311,9 +396,21 @@ pub fn from_csv(text: &str) -> Result<Panel, PanelIoError> {
     Ok(Panel::new(companies, quarters, alt_names, obs))
 }
 
-/// Read a panel from a CSV file.
+/// Parse a panel from CSV text already in memory. Rows may appear in
+/// any order but every company must cover the same consecutive quarter
+/// range.
+pub fn from_csv(text: &str) -> Result<Panel, PanelIoError> {
+    from_lines(text.lines().map(Ok::<&str, std::io::Error>))
+}
+
+/// Read a panel from a CSV file, streaming line-by-line over a
+/// [`BufRead`](std::io::BufRead) — the file text is never materialized
+/// as one `String`, so a 100k-company CSV parses in memory bounded by
+/// the panel itself.
 pub fn read_csv(path: &Path) -> Result<Panel, PanelIoError> {
-    from_csv(&std::fs::read_to_string(path)?)
+    use std::io::BufRead;
+    let file = std::fs::File::open(path)?;
+    from_lines(std::io::BufReader::new(file).lines())
 }
 
 #[cfg(test)]

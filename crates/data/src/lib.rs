@@ -9,7 +9,10 @@
 //! * [`quarters`] — fiscal-quarter calendar ([`Quarter`]);
 //! * [`universe`] — companies, sectors, market-cap tiers;
 //! * [`panel`] — quarterly observations ([`Panel`], [`Observation`]);
-//! * [`synth`] — the structural generator ([`synth::generate`]);
+//! * [`synth`] — the structural generator ([`synth::generate`]) and
+//!   the bounded-memory streaming variant ([`synth::SynthStream`]);
+//! * [`source`] — pull-based [`source::PanelSource`] abstraction over
+//!   panels, streams and the `ams-store` feature store;
 //! * [`features`] — Definition II.3 feature assembly ([`FeatureSet`])
 //!   and train-split standardization ([`Standardizer`]);
 //! * [`cv`] — the Figure 5 expanding-window schedule ([`CvSchedule`]);
@@ -21,6 +24,7 @@ pub mod features;
 pub mod io;
 pub mod panel;
 pub mod quarters;
+pub mod source;
 pub mod synth;
 pub mod universe;
 
@@ -28,5 +32,6 @@ pub use cv::{CvSchedule, Fold};
 pub use features::{FeatureSet, Sample, Standardizer};
 pub use panel::{Observation, Panel};
 pub use quarters::Quarter;
-pub use synth::{generate, AltChannel, SynthConfig, SynthPanel};
+pub use source::{materialize, CompanyHistory, PanelCursor, PanelSource, SourceError};
+pub use synth::{generate, AltChannel, SynthConfig, SynthPanel, SynthStream};
 pub use universe::{CapTier, Company, Sector};

@@ -1,0 +1,276 @@
+//! Pull-based panel sources.
+//!
+//! A [`PanelSource`] abstracts "where a panel comes from": an in-memory
+//! [`Panel`], the streaming synthetic generator
+//! ([`SynthStream`](crate::synth::SynthStream)), or the `ams-store`
+//! columnar feature store. Consumers pull batches of complete
+//! company histories, so a fit/eval pipeline — or a store writer —
+//! never needs the whole universe resident at once.
+//!
+//! The contract every source upholds:
+//!
+//! * company ids are dense `0..num_companies()` and batches arrive in
+//!   ascending id order without gaps or overlap;
+//! * every company covers the same consecutive [`Quarter`] axis, with
+//!   observations in quarter order;
+//! * [`reset`](PanelSource::reset) rewinds to company 0, so a source
+//!   can be consumed more than once (e.g. one pass to build the
+//!   correlation graph, one to fit).
+
+use crate::panel::{Observation, Panel};
+use crate::quarters::Quarter;
+use crate::universe::Company;
+
+/// Errors a panel source can surface while pulling batches.
+#[derive(Debug)]
+pub enum SourceError {
+    /// Underlying I/O failed (store files, CSV, ...).
+    Io(std::io::Error),
+    /// The source's data violates the panel contract (non-dense ids,
+    /// wrong quarter count, checksum mismatch, ...).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceError::Io(e) => write!(f, "panel source I/O error: {e}"),
+            SourceError::Invalid(msg) => write!(f, "panel source invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SourceError::Io(e) => Some(e),
+            SourceError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SourceError {
+    fn from(e: std::io::Error) -> Self {
+        SourceError::Io(e)
+    }
+}
+
+/// One company's complete history: its metadata plus one observation
+/// per quarter of the source's quarter axis, in quarter order.
+#[derive(Debug, Clone)]
+pub struct CompanyHistory {
+    /// The company.
+    pub company: Company,
+    /// `obs.len() == source.quarters().len()`.
+    pub obs: Vec<Observation>,
+}
+
+/// A pull-based producer of company histories. See the module docs for
+/// the ordering/density contract.
+pub trait PanelSource {
+    /// Total number of companies this source will emit.
+    fn num_companies(&self) -> usize;
+
+    /// The consecutive quarter axis shared by every company.
+    fn quarters(&self) -> &[Quarter];
+
+    /// Alternative-channel names, in `Observation::alt` order.
+    fn alt_names(&self) -> &[String];
+
+    /// Pull up to `max_companies` next histories. An empty vec means
+    /// the source is exhausted (and only then).
+    fn next_batch(&mut self, max_companies: usize) -> Result<Vec<CompanyHistory>, SourceError>;
+
+    /// Rewind to company 0.
+    fn reset(&mut self);
+}
+
+/// Drain a source into an in-memory [`Panel`], validating the density
+/// contract. Intended for paper-scale universes; for 100k+ companies
+/// consume batches directly instead.
+pub fn materialize(source: &mut dyn PanelSource) -> Result<Panel, SourceError> {
+    let quarters = source.quarters().to_vec();
+    let alt_names = source.alt_names().to_vec();
+    let n = source.num_companies();
+    let nq = quarters.len();
+    let mut companies = Vec::with_capacity(n);
+    let mut obs = Vec::with_capacity(n * nq);
+    loop {
+        let batch = source.next_batch(1024)?;
+        if batch.is_empty() {
+            break;
+        }
+        for h in batch {
+            if h.company.id != companies.len() {
+                return Err(SourceError::Invalid(format!(
+                    "expected company id {}, got {}",
+                    companies.len(),
+                    h.company.id
+                )));
+            }
+            if h.obs.len() != nq {
+                return Err(SourceError::Invalid(format!(
+                    "company {} has {} observations, expected {nq}",
+                    h.company.id,
+                    h.obs.len()
+                )));
+            }
+            companies.push(h.company);
+            obs.extend(h.obs);
+        }
+    }
+    if companies.len() != n {
+        return Err(SourceError::Invalid(format!(
+            "source announced {n} companies but emitted {}",
+            companies.len()
+        )));
+    }
+    Ok(Panel::new(companies, quarters, alt_names, obs))
+}
+
+/// A cursor over an in-memory [`Panel`] — the trivial [`PanelSource`],
+/// and the adapter that lets panel-based tests drive source-based
+/// pipelines.
+#[derive(Debug)]
+pub struct PanelCursor<'a> {
+    panel: &'a Panel,
+    next_id: usize,
+}
+
+impl<'a> PanelCursor<'a> {
+    /// A cursor positioned at company 0.
+    pub fn new(panel: &'a Panel) -> Self {
+        Self { panel, next_id: 0 }
+    }
+}
+
+impl PanelSource for PanelCursor<'_> {
+    fn num_companies(&self) -> usize {
+        self.panel.num_companies()
+    }
+
+    fn quarters(&self) -> &[Quarter] {
+        &self.panel.quarters
+    }
+
+    fn alt_names(&self) -> &[String] {
+        &self.panel.alt_names
+    }
+
+    fn next_batch(&mut self, max_companies: usize) -> Result<Vec<CompanyHistory>, SourceError> {
+        let end = (self.next_id + max_companies).min(self.panel.num_companies());
+        let nq = self.panel.num_quarters();
+        let mut out = Vec::with_capacity(end.saturating_sub(self.next_id));
+        for c in self.next_id..end {
+            let obs = (0..nq).map(|t| self.panel.get(c, t).clone()).collect();
+            out.push(CompanyHistory { company: self.panel.companies[c].clone(), obs });
+        }
+        self.next_id = end;
+        Ok(out)
+    }
+
+    fn reset(&mut self) {
+        self.next_id = 0;
+    }
+}
+
+impl crate::synth::SynthStream {
+    /// View the stream as a [`PanelSource`] batch puller.
+    pub fn as_source(&mut self) -> SynthSource<'_> {
+        SynthSource { stream: self }
+    }
+}
+
+/// [`PanelSource`] adapter over [`SynthStream`](crate::synth::SynthStream).
+#[derive(Debug)]
+pub struct SynthSource<'a> {
+    stream: &'a mut crate::synth::SynthStream,
+}
+
+impl PanelSource for SynthSource<'_> {
+    fn num_companies(&self) -> usize {
+        self.stream.num_companies()
+    }
+
+    fn quarters(&self) -> &[Quarter] {
+        self.stream.quarters()
+    }
+
+    fn alt_names(&self) -> &[String] {
+        self.stream.alt_names()
+    }
+
+    fn next_batch(&mut self, max_companies: usize) -> Result<Vec<CompanyHistory>, SourceError> {
+        let nq = self.stream.quarters().len();
+        match self.stream.next_block(max_companies) {
+            None => Ok(Vec::new()),
+            Some((companies, obs)) => {
+                let mut out = Vec::with_capacity(companies.len());
+                let mut obs = obs.into_iter();
+                for company in companies {
+                    out.push(CompanyHistory { company, obs: obs.by_ref().take(nq).collect() });
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.stream.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig, SynthStream};
+
+    #[test]
+    fn panel_cursor_round_trips() {
+        let panel = generate(&SynthConfig::tiny(21)).panel;
+        let mut cur = PanelCursor::new(&panel);
+        let back = materialize(&mut cur).expect("materialize");
+        assert_eq!(back.num_companies(), panel.num_companies());
+        assert_eq!(back.quarters, panel.quarters);
+        assert_eq!(back.alt_names, panel.alt_names);
+        for c in 0..panel.num_companies() {
+            for t in 0..panel.num_quarters() {
+                assert_eq!(back.get(c, t).revenue.to_bits(), panel.get(c, t).revenue.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn panel_cursor_batches_in_id_order() {
+        let panel = generate(&SynthConfig::tiny(22)).panel;
+        let mut cur = PanelCursor::new(&panel);
+        let mut seen = Vec::new();
+        loop {
+            let batch = cur.next_batch(5).expect("batch");
+            if batch.is_empty() {
+                break;
+            }
+            seen.extend(batch.into_iter().map(|h| h.company.id));
+        }
+        assert_eq!(seen, (0..panel.num_companies()).collect::<Vec<_>>());
+        cur.reset();
+        assert_eq!(cur.next_batch(1).expect("batch")[0].company.id, 0);
+    }
+
+    #[test]
+    fn synth_stream_source_materializes() {
+        let cfg = SynthConfig::tiny(23);
+        let mut stream = SynthStream::new(&cfg);
+        let panel = materialize(&mut stream.as_source()).expect("materialize");
+        assert_eq!(panel.num_companies(), cfg.n_companies);
+        assert_eq!(panel.num_quarters(), cfg.n_quarters);
+        // Same stream, second pass after reset: identical bits.
+        let mut stream2 = SynthStream::new(&cfg);
+        let mut src = stream2.as_source();
+        let first = materialize(&mut src).expect("materialize");
+        src.reset();
+        let second = materialize(&mut src).expect("materialize");
+        assert_eq!(first.get(3, 2).revenue.to_bits(), second.get(3, 2).revenue.to_bits());
+        assert_eq!(panel.get(3, 2).revenue.to_bits(), first.get(3, 2).revenue.to_bits());
+    }
+}

@@ -31,7 +31,7 @@ use ams_stats::mean;
 
 use crate::panel::{Observation, Panel};
 use crate::quarters::Quarter;
-use crate::universe::{random_universe, Sector};
+use crate::universe::{random_universe, Company, Sector};
 
 /// Which alternative-data product to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,21 +200,29 @@ pub struct SynthPanel {
     pub shocks: Vec<Vec<f64>>,
 }
 
-/// Generate a panel according to `config`.
-pub fn generate(config: &SynthConfig) -> SynthPanel {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let companies = random_universe(config.n_companies, &mut rng);
-    let quarters: Vec<Quarter> =
-        (0..config.n_quarters as i64).map(|i| config.start.add(i)).collect();
-    let nq = config.n_quarters;
+/// Sector-level latent state shared by every company of a panel: the
+/// demand-factor paths, κ sector means, subgroup factors, and the
+/// sector coverage/inversion traits. Drawn once per panel (or once per
+/// stream) before any company is generated.
+struct SectorState {
+    sector_factor: Vec<Vec<f64>>,
+    kappa_sector: Vec<f64>,
+    subgroup_factor: Vec<Vec<Vec<f64>>>,
+    poor_sector: Vec<bool>,
+    sector_inverted: Vec<bool>,
+}
 
+/// Draw the sector-level state. The draw order here is frozen: it is
+/// part of the per-seed byte-reproducibility contract of [`generate`].
+fn draw_sector_state(config: &SynthConfig, rng: &mut impl Rng) -> SectorState {
+    let nq = config.n_quarters;
     // Sector factor paths: AR(1) in log space.
     let n_sectors = Sector::ALL.len();
     let mut sector_factor = vec![vec![0.0; nq]; n_sectors];
     for path in &mut sector_factor {
         let mut f = 0.0;
         for v in path.iter_mut() {
-            f = 0.6 * f + 0.035 * normal(&mut rng);
+            f = 0.6 * f + 0.035 * normal(rng);
             *v = f;
         }
     }
@@ -222,7 +230,7 @@ pub fn generate(config: &SynthConfig) -> SynthPanel {
     // Sector-level mean sensitivity κ_s (what makes the correlation
     // graph informative about a company's calibration).
     let kappa_sector: Vec<f64> =
-        (0..n_sectors).map(|_| 1.0 + config.kappa_sector_std * normal(&mut rng)).collect();
+        (0..n_sectors).map(|_| 1.0 + config.kappa_sector_std * normal(rng)).collect();
     // Sector-level probability that a member company's alternative
     // channel has poor coverage — clustered so the correlation graph
     // carries information about channel quality.
@@ -239,7 +247,7 @@ pub fn generate(config: &SynthConfig) -> SynthPanel {
         for path in sector_paths.iter_mut() {
             let mut f = 0.0;
             for v in path.iter_mut() {
-                f = 0.5 * f + 0.045 * normal(&mut rng);
+                f = 0.5 * f + 0.045 * normal(rng);
                 *v = f;
             }
         }
@@ -252,117 +260,248 @@ pub fn generate(config: &SynthConfig) -> SynthPanel {
     // the information an adaptive model needs to flip the slope.
     let sector_inverted: Vec<bool> =
         (0..n_sectors).map(|_| rng.gen::<f64>() < config.inverted_prob).collect();
+    SectorState { sector_factor, kappa_sector, subgroup_factor, poor_sector, sector_inverted }
+}
+
+/// Generate one company's latents, demand shocks, and observations.
+/// Every random decision comes from `rng`, so the caller chooses the
+/// determinism granularity: [`generate`] threads one shared RNG through
+/// all companies (frozen draw order), the streaming generator hands
+/// each company its own id-derived RNG.
+fn company_series(
+    config: &SynthConfig,
+    st: &SectorState,
+    company: &Company,
+    quarters: &[Quarter],
+    rng: &mut impl Rng,
+) -> (LatentCompany, Vec<f64>, Vec<Observation>) {
+    let nq = quarters.len();
+    let sector = company.sector;
+    // Base scale tied to market cap (revenue in millions/quarter).
+    let log_level = (150.0 * company.market_cap.max(0.05)).ln() + 0.3 * normal(rng);
+    let growth = 0.010 + 0.012 * normal(rng);
+    let kappa = st.kappa_sector[sector.index()] + config.kappa_company_std * normal(rng);
+    // Keep sensitivity bounded away from zero so ratios stay informative.
+    let mut kappa = kappa.clamp(0.4, 1.8);
+    let subgroup = rng.gen_range(0..2usize);
+    let poor_coverage = st.poor_sector[sector.index()] == (rng.gen::<f64>() < 0.97);
+    let noise_mult = if poor_coverage { config.poor_noise_mult } else { 1.0 };
+    if poor_coverage {
+        kappa *= config.poor_kappa_mult;
+    }
+    let follows_sector = rng.gen::<f64>() < 0.98;
+    let inverted = st.sector_inverted[sector.index()] == follows_sector;
+    if inverted {
+        kappa *= -0.8;
+    }
+    let factor_loading = 0.8 + 0.3 * rng.gen::<f64>();
+    let latent = LatentCompany {
+        log_level,
+        growth,
+        kappa,
+        factor_loading,
+        poor_coverage,
+        inverted,
+        subgroup,
+    };
+
+    // Company AR(1) demand wedge and channel-specific drifts.
+    let mut idio = 0.0;
+    let mut analyst_bias = config.analyst_bias_std * normal(rng);
+    let mut log_coverage = (0.05 + 0.25 * rng.gen::<f64>()).ln();
+    let mut conv_wedge = 0.0;
+    let store_scale = (2.0 + 8.0 * rng.gen::<f64>()).ln();
+    let parking_scale = (0.5 + 3.0 * rng.gen::<f64>()).ln();
+    let n_analysts = rng.gen_range(config.analysts_per_company.0..=config.analysts_per_company.1);
+
+    let mut company_shocks = Vec::with_capacity(nq);
+    let mut obs = Vec::with_capacity(nq);
+    for (t, q) in quarters.iter().enumerate() {
+        idio = 0.5 * idio + 0.03 * normal(rng);
+        let season = sector.seasonal_shape(q.q()).ln();
+        let predictable = log_level
+            + growth * t as f64
+            + season
+            + factor_loading * st.sector_factor[sector.index()][t]
+            + st.subgroup_factor[sector.index()][subgroup][t]
+            + idio;
+        let eps = config.demand_shock_std * normal(rng);
+        company_shocks.push(eps);
+        let log_revenue = predictable + eps;
+        let revenue = log_revenue.exp();
+
+        // Analyst panel: consensus target under-reacts to ε and
+        // carries the slowly moving company-level bias.
+        analyst_bias = 0.95 * analyst_bias
+            + config.analyst_bias_std * (1.0f64 - 0.95 * 0.95).sqrt() * normal(rng);
+        let log_consensus_target = predictable
+            + config.analyst_reaction * eps
+            + analyst_bias
+            + config.consensus_noise_std * normal(rng);
+        let estimates: Vec<f64> = (0..n_analysts)
+            .map(|_| (log_consensus_target + config.analyst_dispersion * normal(rng)).exp())
+            .collect();
+        let consensus = mean(&estimates);
+        let low = estimates.iter().copied().fold(f64::INFINITY, f64::min);
+        let high = estimates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+        // Alternative channel(s).
+        log_coverage += config.coverage_drift_std * normal(rng);
+        let alt = match config.channel {
+            AltChannel::TransactionAmount => {
+                let log_a = log_coverage
+                    + kappa * log_revenue
+                    + noise_mult * config.txn_noise_std * normal(rng);
+                // Scale down so magnitudes look like "sum of online
+                // transactions" rather than total revenue.
+                vec![(log_a * 0.999).exp()]
+            }
+            AltChannel::MapQuery => {
+                conv_wedge =
+                    0.55 * conv_wedge + noise_mult * config.conversion_drift_std * normal(rng);
+                let log_visits = kappa * log_revenue + conv_wedge;
+                let store =
+                    (store_scale + log_visits + noise_mult * config.store_noise_std * normal(rng))
+                        .exp();
+                let parking = (parking_scale
+                    + log_visits
+                    + noise_mult * config.parking_noise_std * normal(rng))
+                .exp();
+                vec![store, parking]
+            }
+        };
+
+        obs.push(Observation { revenue, consensus, low_est: low, high_est: high, alt });
+    }
+    (latent, company_shocks, obs)
+}
+
+/// Generate a panel according to `config`.
+pub fn generate(config: &SynthConfig) -> SynthPanel {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let companies = random_universe(config.n_companies, &mut rng);
+    let quarters: Vec<Quarter> =
+        (0..config.n_quarters as i64).map(|i| config.start.add(i)).collect();
+    let st = draw_sector_state(config, &mut rng);
 
     let mut latents = Vec::with_capacity(companies.len());
     let mut shocks: Vec<Vec<f64>> = Vec::with_capacity(companies.len());
-    let mut obs: Vec<Observation> = Vec::with_capacity(companies.len() * nq);
-
+    let mut obs: Vec<Observation> = Vec::with_capacity(companies.len() * config.n_quarters);
     for company in &companies {
-        let sector = company.sector;
-        // Base scale tied to market cap (revenue in millions/quarter).
-        let log_level = (150.0 * company.market_cap.max(0.05)).ln() + 0.3 * normal(&mut rng);
-        let growth = 0.010 + 0.012 * normal(&mut rng);
-        let kappa = kappa_sector[sector.index()] + config.kappa_company_std * normal(&mut rng);
-        // Keep sensitivity bounded away from zero so ratios stay informative.
-        let mut kappa = kappa.clamp(0.4, 1.8);
-        let subgroup = rng.gen_range(0..2usize);
-        let poor_coverage = poor_sector[sector.index()] == (rng.gen::<f64>() < 0.97);
-        let noise_mult = if poor_coverage { config.poor_noise_mult } else { 1.0 };
-        if poor_coverage {
-            kappa *= config.poor_kappa_mult;
-        }
-        let follows_sector = rng.gen::<f64>() < 0.98;
-        let inverted = sector_inverted[sector.index()] == follows_sector;
-        if inverted {
-            kappa *= -0.8;
-        }
-        let factor_loading = 0.8 + 0.3 * rng.gen::<f64>();
-        latents.push(LatentCompany {
-            log_level,
-            growth,
-            kappa,
-            factor_loading,
-            poor_coverage,
-            inverted,
-            subgroup,
-        });
-
-        // Company AR(1) demand wedge and channel-specific drifts.
-        let mut idio = 0.0;
-        let mut analyst_bias = config.analyst_bias_std * normal(&mut rng);
-        let mut log_coverage = (0.05 + 0.25 * rng.gen::<f64>()).ln();
-        let mut conv_wedge = 0.0;
-        let store_scale = (2.0 + 8.0 * rng.gen::<f64>()).ln();
-        let parking_scale = (0.5 + 3.0 * rng.gen::<f64>()).ln();
-        let n_analysts =
-            rng.gen_range(config.analysts_per_company.0..=config.analysts_per_company.1);
-
-        let mut company_shocks = Vec::with_capacity(nq);
-        for (t, q) in quarters.iter().enumerate() {
-            idio = 0.5 * idio + 0.03 * normal(&mut rng);
-            let season = sector.seasonal_shape(q.q()).ln();
-            let predictable = log_level
-                + growth * t as f64
-                + season
-                + factor_loading * sector_factor[sector.index()][t]
-                + subgroup_factor[sector.index()][subgroup][t]
-                + idio;
-            let eps = config.demand_shock_std * normal(&mut rng);
-            company_shocks.push(eps);
-            let log_revenue = predictable + eps;
-            let revenue = log_revenue.exp();
-
-            // Analyst panel: consensus target under-reacts to ε and
-            // carries the slowly moving company-level bias.
-            analyst_bias = 0.95 * analyst_bias
-                + config.analyst_bias_std * (1.0f64 - 0.95 * 0.95).sqrt() * normal(&mut rng);
-            let log_consensus_target = predictable
-                + config.analyst_reaction * eps
-                + analyst_bias
-                + config.consensus_noise_std * normal(&mut rng);
-            let estimates: Vec<f64> = (0..n_analysts)
-                .map(|_| {
-                    (log_consensus_target + config.analyst_dispersion * normal(&mut rng)).exp()
-                })
-                .collect();
-            let consensus = mean(&estimates);
-            let low = estimates.iter().copied().fold(f64::INFINITY, f64::min);
-            let high = estimates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-
-            // Alternative channel(s).
-            log_coverage += config.coverage_drift_std * normal(&mut rng);
-            let alt = match config.channel {
-                AltChannel::TransactionAmount => {
-                    let log_a = log_coverage
-                        + kappa * log_revenue
-                        + noise_mult * config.txn_noise_std * normal(&mut rng);
-                    // Scale down so magnitudes look like "sum of online
-                    // transactions" rather than total revenue.
-                    vec![(log_a * 0.999).exp()]
-                }
-                AltChannel::MapQuery => {
-                    conv_wedge = 0.55 * conv_wedge
-                        + noise_mult * config.conversion_drift_std * normal(&mut rng);
-                    let log_visits = kappa * log_revenue + conv_wedge;
-                    let store = (store_scale
-                        + log_visits
-                        + noise_mult * config.store_noise_std * normal(&mut rng))
-                    .exp();
-                    let parking = (parking_scale
-                        + log_visits
-                        + noise_mult * config.parking_noise_std * normal(&mut rng))
-                    .exp();
-                    vec![store, parking]
-                }
-            };
-
-            obs.push(Observation { revenue, consensus, low_est: low, high_est: high, alt });
-        }
+        let (latent, company_shocks, company_obs) =
+            company_series(config, &st, company, &quarters, &mut rng);
+        latents.push(latent);
         shocks.push(company_shocks);
+        obs.extend(company_obs);
     }
 
     let panel = Panel::new(companies, quarters, config.channel.names(), obs);
     SynthPanel { panel, latents, shocks }
+}
+
+/// SplitMix64 finalizer, used to derive independent per-company RNG
+/// seeds for the streaming generator (kept local so `ams-data` stays
+/// dependency-light; the same mixer lives in `ams-fault` for fault
+/// plans).
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A streaming synthetic-panel generator: emits companies block-by-
+/// block in bounded memory, so 100k–1M-company universes can be written
+/// straight into the `ams-store` columnar format without ever holding a
+/// full [`Panel`].
+///
+/// Each company's metadata and series are drawn from an RNG seeded by
+/// `(seed, company id)`, and the sector-level state from a dedicated
+/// stream of the seed — so the output is a pure function of
+/// `(config, company id)`, independent of how callers batch the pull.
+/// The stream deliberately does *not* reproduce [`generate`]'s exact
+/// values (that path threads one RNG through all companies and its
+/// draw order is frozen by golden tests); it reproduces the same
+/// statistical structure at scales `generate` cannot reach.
+#[derive(Debug)]
+pub struct SynthStream {
+    config: SynthConfig,
+    state: SectorState,
+    quarters: Vec<Quarter>,
+    alt_names: Vec<String>,
+    next_id: usize,
+}
+
+// SectorState carries no Debug derive; keep the stream's Debug output
+// to the part that identifies it.
+impl std::fmt::Debug for SectorState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SectorState").finish_non_exhaustive()
+    }
+}
+
+impl SynthStream {
+    /// Start a stream over `config.n_companies` companies.
+    pub fn new(config: &SynthConfig) -> Self {
+        // A dedicated seed stream for the sector state, so it matches
+        // across blocks and across differently-sized universes.
+        let mut rng = StdRng::seed_from_u64(splitmix(config.seed ^ 0x5EC7_0257_A7E5_7A7E));
+        let state = draw_sector_state(config, &mut rng);
+        let quarters: Vec<Quarter> =
+            (0..config.n_quarters as i64).map(|i| config.start.add(i)).collect();
+        Self {
+            config: config.clone(),
+            state,
+            quarters,
+            alt_names: config.channel.names(),
+            next_id: 0,
+        }
+    }
+
+    /// Total number of companies the stream will emit.
+    pub fn num_companies(&self) -> usize {
+        self.config.n_companies
+    }
+
+    /// The (consecutive) quarters every company covers.
+    pub fn quarters(&self) -> &[Quarter] {
+        &self.quarters
+    }
+
+    /// Alternative-channel names, in panel column order.
+    pub fn alt_names(&self) -> &[String] {
+        &self.alt_names
+    }
+
+    /// Rewind to company 0 (streams are cheaply replayable: all state
+    /// is derived from the seed).
+    pub fn reset(&mut self) {
+        self.next_id = 0;
+    }
+
+    /// Emit the next block of up to `max_companies` companies (ids are
+    /// dense and ascending across calls). Observations are company-
+    /// major: `obs[c * n_quarters + t]`. Returns `None` when exhausted.
+    pub fn next_block(&mut self, max_companies: usize) -> Option<(Vec<Company>, Vec<Observation>)> {
+        if self.next_id >= self.config.n_companies || max_companies == 0 {
+            return None;
+        }
+        let end = (self.next_id + max_companies).min(self.config.n_companies);
+        let n = end - self.next_id;
+        let mut companies = Vec::with_capacity(n);
+        let mut obs = Vec::with_capacity(n * self.quarters.len());
+        for id in self.next_id..end {
+            let mut rng =
+                StdRng::seed_from_u64(splitmix(self.config.seed ^ splitmix(id as u64 ^ 0xC0)));
+            let company = crate::universe::random_company(id, &mut rng);
+            let (_latent, _shocks, company_obs) =
+                company_series(&self.config, &self.state, &company, &self.quarters, &mut rng);
+            companies.push(company);
+            obs.extend(company_obs);
+        }
+        self.next_id = end;
+        Some((companies, obs))
+    }
 }
 
 fn normal(rng: &mut impl Rng) -> f64 {
@@ -515,6 +654,95 @@ mod tests {
             acc / n
         };
         assert!(within_var < total_var, "within {within_var} vs total {total_var}");
+    }
+
+    #[test]
+    fn stream_is_block_size_independent() {
+        let cfg = SynthConfig::tiny(11);
+        let drain = |block: usize| {
+            let mut s = SynthStream::new(&cfg);
+            let mut companies = Vec::new();
+            let mut obs = Vec::new();
+            while let Some((c, o)) = s.next_block(block) {
+                companies.extend(c);
+                obs.extend(o);
+            }
+            (companies, obs)
+        };
+        let (c1, o1) = drain(1);
+        let (c7, o7) = drain(7);
+        let (call, oall) = drain(usize::MAX);
+        assert_eq!(c1.len(), cfg.n_companies);
+        assert_eq!(o1.len(), cfg.n_companies * cfg.n_quarters);
+        for (a, b) in c1.iter().zip(&c7).chain(c1.iter().zip(&call)) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.sector, b.sector);
+            assert_eq!(a.market_cap.to_bits(), b.market_cap.to_bits());
+        }
+        for (a, b) in o1.iter().zip(&o7).chain(o1.iter().zip(&oall)) {
+            assert_eq!(a.revenue.to_bits(), b.revenue.to_bits());
+            assert_eq!(a.consensus.to_bits(), b.consensus.to_bits());
+        }
+    }
+
+    #[test]
+    fn stream_prefix_is_universe_size_independent() {
+        // Growing the universe must not disturb already-emitted
+        // companies: company k is a pure function of (seed, k).
+        let small = SynthConfig { n_companies: 5, ..SynthConfig::tiny(3) };
+        let large = SynthConfig { n_companies: 40, ..SynthConfig::tiny(3) };
+        let (cs, os) = SynthStream::new(&small).next_block(usize::MAX).expect("block");
+        let (cl, ol) = SynthStream::new(&large).next_block(usize::MAX).expect("block");
+        for (a, b) in cs.iter().zip(&cl) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.market_cap.to_bits(), b.market_cap.to_bits());
+        }
+        for (a, b) in os.iter().zip(&ol) {
+            assert_eq!(a.revenue.to_bits(), b.revenue.to_bits());
+        }
+    }
+
+    #[test]
+    fn stream_resets_and_respects_seed() {
+        let mut s = SynthStream::new(&SynthConfig::tiny(5));
+        let (a, _) = s.next_block(3).expect("block");
+        s.reset();
+        let (b, _) = s.next_block(3).expect("block");
+        assert_eq!(a[0].name, b[0].name);
+        assert_eq!(a[2].market_cap.to_bits(), b[2].market_cap.to_bits());
+        let (c, _) = SynthStream::new(&SynthConfig::tiny(6)).next_block(3).expect("block");
+        assert_ne!(a[0].market_cap.to_bits(), c[0].market_cap.to_bits());
+    }
+
+    #[test]
+    fn stream_has_paper_like_structure() {
+        // The stream need not reproduce `generate`'s bits, but it must
+        // reproduce its *structure*: positive finite revenues, ordered
+        // analyst bands, and the alt-channel UR signal.
+        let cfg = SynthConfig::transaction_paper(9);
+        let mut s = SynthStream::new(&cfg);
+        assert_eq!(s.num_companies(), 71);
+        assert_eq!(s.quarters().len(), 16);
+        assert_eq!(s.alt_names(), cfg.channel.names().as_slice());
+        let (companies, obs) = s.next_block(usize::MAX).expect("block");
+        assert!(s.next_block(1).is_none());
+        let nq = cfg.n_quarters;
+        for o in &obs {
+            assert!(o.revenue > 0.0 && o.revenue.is_finite());
+            assert!(o.low_est <= o.consensus && o.consensus <= o.high_est);
+        }
+        let mut ur = Vec::new();
+        let mut alt = Vec::new();
+        for (c, _) in companies.iter().enumerate() {
+            for t in 4..nq {
+                let o = &obs[c * nq + t];
+                let prev = &obs[c * nq + t - 4];
+                ur.push((o.revenue - o.consensus) / prev.revenue);
+                alt.push(o.alt[0] / prev.alt[0] - o.consensus / prev.revenue);
+            }
+        }
+        assert!(pearson(&ur, &alt) > 0.1, "streamed alt data should carry UR signal");
     }
 
     #[test]

@@ -146,27 +146,28 @@ impl Company {
     }
 }
 
+/// Draw one company with the universe's sector/cap/fiscal distributions.
+/// [`random_universe`] is this applied over a shared RNG; the streaming
+/// synthetic generator applies it with one RNG per company id so a
+/// company's identity is independent of how the stream is batched.
+pub fn random_company(id: usize, rng: &mut impl Rng) -> Company {
+    let sector = Sector::ALL[rng.gen_range(0..Sector::ALL.len())];
+    // Log-normal-ish caps: most small/mid, a few mega-caps.
+    let cap = (0.2 + rng.gen::<f64>() * 2.0).powf(3.0);
+    let initial = sector.name().chars().next().unwrap_or('X').to_ascii_uppercase();
+    Company {
+        id,
+        name: format!("{initial}{id:03}"),
+        sector,
+        market_cap: cap,
+        fiscal_offset: rng.gen_range(0..3),
+    }
+}
+
 /// Draw a universe of `n` companies with sector clustering and a heavy-
 /// tailed cap distribution resembling a consumer-stock cross-section.
 pub fn random_universe(n: usize, rng: &mut impl Rng) -> Vec<Company> {
-    (0..n)
-        .map(|id| {
-            let sector = Sector::ALL[rng.gen_range(0..Sector::ALL.len())];
-            // Log-normal-ish caps: most small/mid, a few mega-caps.
-            let cap = (0.2 + rng.gen::<f64>() * 2.0).powf(3.0);
-            Company {
-                id,
-                name: format!(
-                    "{}{:03}",
-                    sector.name().chars().next().unwrap().to_ascii_uppercase(),
-                    id
-                ),
-                sector,
-                market_cap: cap,
-                fiscal_offset: rng.gen_range(0..3),
-            }
-        })
-        .collect()
+    (0..n).map(|id| random_company(id, rng)).collect()
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! from revenue history strictly before the test quarter.
 
 use ams_core::{AmsConfig, AmsModel, QuarterBatch};
-use ams_data::{CvSchedule, FeatureSet, Panel, Quarter, Standardizer};
+use ams_data::{CvSchedule, FeatureSet, Panel, PanelSource, Quarter, SourceError, Standardizer};
 use ams_graph::{CompanyGraph, GraphConfig};
 use ams_models::{
     Arima, ArimaConfig, ElasticNet, Gbdt, GbdtConfig, Mlp, MlpConfig, NaiveRule, Regressor, Rnn,
@@ -222,6 +222,22 @@ pub fn run_model(panel: &Panel, kind: &ModelKind, opts: &EvalOptions) -> CvResul
         });
     }
     CvResult { model: kind.name(), per_quarter }
+}
+
+/// Run one model through the paper's CV schedule on any
+/// [`PanelSource`] — an in-memory panel cursor, the streaming
+/// synthetic generator, or an `ams-store` [`StoreReader`]. The source
+/// is drained into a panel first (the CV schedule needs all quarters
+/// of every company); at paper scale that is a few hundred kilobytes.
+/// Callers at vendor scale should window the source before handing it
+/// here.
+pub fn run_model_source(
+    source: &mut dyn PanelSource,
+    kind: &ModelKind,
+    opts: &EvalOptions,
+) -> Result<CvResult, SourceError> {
+    let panel = ams_data::materialize(source)?;
+    Ok(run_model(&panel, kind, opts))
 }
 
 fn design_matrix(fs: &FeatureSet, ids: &[usize]) -> (Matrix, Matrix) {
@@ -568,6 +584,23 @@ mod tests {
         // Two channels → 13 rows (paper's map-query table shows two
         // YoY/QoQ lines).
         assert_eq!(ModelKind::paper_lineup(2, 0).len(), 13);
+    }
+
+    #[test]
+    fn source_path_matches_panel_path() {
+        // Evaluating through a PanelSource must give the same numbers
+        // as evaluating the panel directly.
+        let p = small_panel();
+        let direct = run_model(&p, &ModelKind::Ridge { lambda: 1.0 }, &fast_opts());
+        let mut cursor = ams_data::PanelCursor::new(&p);
+        let via_source =
+            run_model_source(&mut cursor, &ModelKind::Ridge { lambda: 1.0 }, &fast_opts())
+                .expect("source eval");
+        assert_eq!(direct.per_quarter.len(), via_source.per_quarter.len());
+        for (a, b) in direct.per_quarter.iter().zip(&via_source.per_quarter) {
+            assert_eq!(a.ba.to_bits(), b.ba.to_bits());
+            assert_eq!(a.sr.to_bits(), b.sr.to_bits());
+        }
     }
 
     #[test]

@@ -13,5 +13,7 @@ pub mod metrics;
 pub mod report;
 pub mod tuning;
 
-pub use harness::{run_model, CvResult, EvalOptions, ModelKind, PredRecord, QuarterResult};
+pub use harness::{
+    run_model, run_model_source, CvResult, EvalOptions, ModelKind, PredRecord, QuarterResult,
+};
 pub use metrics::{bounded_accuracy, bounded_correction, mean_surprise_ratio, surprise_ratio};

@@ -13,7 +13,23 @@
 //!    so a bit-flipped model or checkpoint fails loudly at load time
 //!    instead of silently mis-scoring.
 //!
-//! The body is opaque to this module (in practice: one JSON document).
+//! The body is opaque to this module (in practice: one JSON document,
+//! or — for the `ams-store` columnar format — a JSON skeleton followed
+//! by binary column blocks that carry their own per-block CRCs).
+//!
+//! **The on-disk header layout is frozen.** The first line of every
+//! framed file is exactly
+//!
+//! ```text
+//! MAGIC v1 crc32=XXXXXXXX len=M\n
+//! ```
+//!
+//! — four space-separated tokens: caller-chosen magic, literal format
+//! version `v1`, lowercase-hex CRC-32 (IEEE 802.3, reflected) of the
+//! `M` body bytes, and the body length in bytes. Files written by any
+//! past version of this repo must keep verifying, so changes here may
+//! only add *new* magics or bump [`FRAME_VERSION`] alongside a
+//! migration path — never reinterpret these four tokens.
 
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
@@ -81,45 +97,20 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// Render the header line for a body.
-fn header(magic: &str, body: &[u8]) -> String {
+/// Render the (frozen-layout) header line for a body: the caller's
+/// magic, the format version, and the body's CRC-32 and length.
+#[must_use]
+pub fn header_line(magic: &str, body: &[u8]) -> String {
+    debug_assert!(!magic.contains(' '), "magic must be a single token");
     format!("{magic} v{FRAME_VERSION} crc32={:08x} len={}\n", crc32(body), body.len())
 }
 
-/// Atomically publish `body` at `path` under a checksummed header:
-/// write `path.tmp`, fsync, rename over `path`. `magic` is a short
-/// identifier (no spaces) naming the payload kind, e.g. `AMS-CKPT`.
-pub fn write_atomic(path: &Path, magic: &str, body: &str) -> io::Result<()> {
-    debug_assert!(!magic.contains(' '), "magic must be a single token");
-    let tmp: PathBuf = {
-        let mut name = path.as_os_str().to_os_string();
-        name.push(".tmp");
-        PathBuf::from(name)
-    };
-    {
-        let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
-        f.write_all(header(magic, body.as_bytes()).as_bytes())?;
-        f.write_all(body.as_bytes())?;
-        f.sync_all()?;
-    }
-    fs::rename(&tmp, path)?;
-    // Fsync the directory so the rename itself is durable; best-effort
-    // (some filesystems reject directory handles).
-    if let Some(dir) = path.parent() {
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
-}
-
-/// Read a framed file, verify magic + length + checksum, return the
-/// body. Any verification failure is an error — corrupt data is
-/// rejected, never returned.
-pub fn read_verified(path: &Path, magic: &str) -> Result<String, FrameError> {
-    let raw = fs::read_to_string(path)?;
-    let (head, body) =
-        raw.split_once('\n').ok_or_else(|| FrameError::BadHeader("no header line".to_string()))?;
+/// Parse and verify a header line (without its trailing newline)
+/// against an expected magic; returns the declared `(crc32, len)` of
+/// the body. Shared by [`read_verified`] and the `ams-store` reader,
+/// which verifies its skeleton through this and its blocks through
+/// per-block CRCs.
+pub fn parse_header(head: &str, magic: &str) -> Result<(u32, usize), FrameError> {
     let fields: Vec<&str> = head.split(' ').collect();
     if fields.len() != 4 {
         return Err(FrameError::BadHeader(head.to_string()));
@@ -141,6 +132,58 @@ pub fn read_verified(path: &Path, magic: &str) -> Result<String, FrameError> {
         .strip_prefix("len=")
         .and_then(|n| n.parse::<usize>().ok())
         .ok_or_else(|| FrameError::BadHeader(head.to_string()))?;
+    Ok((expected_crc, expected_len))
+}
+
+/// Atomically publish a file at `path`: a closure streams the content
+/// into `path.tmp`, which is fsynced and renamed over the target. A
+/// crash mid-write leaves either the old file or a stray `.tmp`, never
+/// a half-written target. This is the publication idiom under
+/// [`write_atomic`], exposed so callers with large or binary payloads
+/// (the columnar store) can stream instead of buffering a `String`.
+pub fn publish_atomic<F>(path: &Path, write_content: F) -> io::Result<()>
+where
+    F: FnOnce(&mut File) -> io::Result<()>,
+{
+    let tmp: PathBuf = {
+        let mut name = path.as_os_str().to_os_string();
+        name.push(".tmp");
+        PathBuf::from(name)
+    };
+    {
+        let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        write_content(&mut f)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Fsync the directory so the rename itself is durable; best-effort
+    // (some filesystems reject directory handles).
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Atomically publish `body` at `path` under a checksummed header:
+/// write `path.tmp`, fsync, rename over `path`. `magic` is a short
+/// identifier (no spaces) naming the payload kind, e.g. `AMS-CKPT`.
+pub fn write_atomic(path: &Path, magic: &str, body: &str) -> io::Result<()> {
+    publish_atomic(path, |f| {
+        f.write_all(header_line(magic, body.as_bytes()).as_bytes())?;
+        f.write_all(body.as_bytes())
+    })
+}
+
+/// Read a framed file, verify magic + length + checksum, return the
+/// body. Any verification failure is an error — corrupt data is
+/// rejected, never returned.
+pub fn read_verified(path: &Path, magic: &str) -> Result<String, FrameError> {
+    let raw = fs::read_to_string(path)?;
+    let (head, body) =
+        raw.split_once('\n').ok_or_else(|| FrameError::BadHeader("no header line".to_string()))?;
+    let (expected_crc, expected_len) = parse_header(head, magic)?;
     if body.len() != expected_len {
         return Err(FrameError::LengthMismatch { expected: expected_len, actual: body.len() });
     }
@@ -149,6 +192,22 @@ pub fn read_verified(path: &Path, magic: &str) -> Result<String, FrameError> {
         return Err(FrameError::ChecksumMismatch { expected: expected_crc, actual });
     }
     Ok(body.to_string())
+}
+
+/// Flip one bit of the file at `path` in place (bit index `bit` modulo
+/// the file's length in bits). Returns the absolute bit index flipped.
+/// Deliberately *not* atomic — this simulates at-rest corruption, the
+/// exact failure [`read_verified`] (and the store's per-block CRCs)
+/// must detect.
+pub fn bit_flip_file(path: &Path, bit: u64) -> std::io::Result<u64> {
+    let mut bytes = fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "empty file"));
+    }
+    let at = bit % (bytes.len() as u64 * 8);
+    bytes[(at / 8) as usize] ^= 1 << (at % 8);
+    fs::write(path, bytes)?;
+    Ok(at)
 }
 
 #[cfg(test)]
@@ -210,6 +269,47 @@ mod tests {
         assert!(matches!(read_verified(&path, "AMS-OTHER"), Err(FrameError::WrongMagic { .. })));
         fs::write(&path, "garbage with no header structure").unwrap();
         assert!(read_verified(&path, "AMS-TEST").is_err());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_file_round_trip() {
+        let path = temp_path("bitflip-helper");
+        fs::write(&path, b"hello world").unwrap();
+        let at = bit_flip_file(&path, 1234567).unwrap();
+        let after = fs::read(&path).unwrap();
+        assert_ne!(after, b"hello world");
+        // Flipping the same bit again restores the original.
+        bit_flip_file(&path, at).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"hello world");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_line_and_parse_header_round_trip() {
+        let body = b"binary\x00body";
+        let line = header_line("AMS-STORE", body);
+        let head = line.strip_suffix('\n').unwrap();
+        let (crc, len) = parse_header(head, "AMS-STORE").unwrap();
+        assert_eq!(crc, crc32(body));
+        assert_eq!(len, body.len());
+        assert!(matches!(parse_header(head, "AMS-CKPT"), Err(FrameError::WrongMagic { .. })));
+        assert!(parse_header("AMS-STORE v1 crc32=zz len=3", "AMS-STORE").is_err());
+        assert!(parse_header("AMS-STORE v9 crc32=00000000 len=3", "AMS-STORE").is_err());
+    }
+
+    #[test]
+    fn publish_atomic_streams_and_leaves_no_tmp() {
+        let path = temp_path("publish");
+        publish_atomic(&path, |f| {
+            f.write_all(b"part one, ")?;
+            f.write_all(b"part two")
+        })
+        .unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"part one, part two");
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        assert!(!Path::new(&tmp).exists());
         fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,399 @@
+//! Fault-*injection* machinery: seeded plans, named sites, and the
+//! corruption injectors. Everything in this module is behind the
+//! `inject` cargo feature (on by default) so that consumers that only
+//! need the [`crate::framed`] detection layer — the feature store, or
+//! any tool that reads checksummed files — can depend on
+//! `ams-fault` with `default-features = false` and build none of it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Named injection points threaded through the stack. Each site has a
+/// natural fault family (see [`FaultAction`]); a [`SeededFaults`] rule
+/// is scoped to one site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Request bytes on the wire (client → server).
+    RequestBytes,
+    /// A connection that dies mid-line.
+    ConnectionTruncate,
+    /// A connection that stalls (opens, then sends nothing).
+    ConnectionStall,
+    /// Feature values after request validation (simulated internal
+    /// corruption: an upstream transform bug, a bad cache line).
+    Features,
+    /// Worker thread dispatch (simulated scheduling delay / hang).
+    WorkerDelay,
+    /// Registry publication (panic while holding the write lock).
+    RegistryPublish,
+    /// Model artifact bytes at rest.
+    ArtifactBytes,
+    /// A training process crash between epochs.
+    CheckpointCrash,
+}
+
+/// All sites, for iteration and for the per-site counter index.
+pub const ALL_SITES: [FaultSite; 8] = [
+    FaultSite::RequestBytes,
+    FaultSite::ConnectionTruncate,
+    FaultSite::ConnectionStall,
+    FaultSite::Features,
+    FaultSite::WorkerDelay,
+    FaultSite::RegistryPublish,
+    FaultSite::ArtifactBytes,
+    FaultSite::CheckpointCrash,
+];
+
+impl FaultSite {
+    fn index(self) -> usize {
+        match self {
+            FaultSite::RequestBytes => 0,
+            FaultSite::ConnectionTruncate => 1,
+            FaultSite::ConnectionStall => 2,
+            FaultSite::Features => 3,
+            FaultSite::WorkerDelay => 4,
+            FaultSite::RegistryPublish => 5,
+            FaultSite::ArtifactBytes => 6,
+            FaultSite::CheckpointCrash => 7,
+        }
+    }
+
+    /// Stable name used in diagnostics and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::RequestBytes => "request-bytes",
+            FaultSite::ConnectionTruncate => "connection-truncate",
+            FaultSite::ConnectionStall => "connection-stall",
+            FaultSite::Features => "features",
+            FaultSite::WorkerDelay => "worker-delay",
+            FaultSite::RegistryPublish => "registry-publish",
+            FaultSite::ArtifactBytes => "artifact-bytes",
+            FaultSite::CheckpointCrash => "checkpoint-crash",
+        }
+    }
+}
+
+/// What to inject at a site. Parameters are drawn deterministically by
+/// the plan; applying the action is the caller's (or an injector
+/// helper's) job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// XOR-corrupt a fraction of a byte buffer ([`corrupt_bytes`]).
+    CorruptBytes {
+        /// Seed for the corruption pattern.
+        xor_seed: u64,
+        /// Fraction of bytes flipped, in `(0, 1]`.
+        density: f64,
+    },
+    /// Close the connection mid-message.
+    Truncate,
+    /// Hold the connection open without sending anything.
+    Stall {
+        /// How long to stall.
+        millis: u64,
+    },
+    /// Overwrite values with NaN/±inf ([`flip_non_finite`]).
+    FlipNonFinite {
+        /// How many entries to flip.
+        flips: usize,
+        /// Seed choosing positions and the NaN/+inf/−inf kind.
+        kind_seed: u64,
+    },
+    /// Sleep before doing the work.
+    Delay {
+        /// How long to sleep.
+        millis: u64,
+    },
+    /// Panic while holding the lock (poisons it for every other
+    /// thread).
+    PoisonLock,
+    /// Flip one bit of a file ([`bit_flip_file`](crate::framed::bit_flip_file)).
+    BitFlip {
+        /// Which bit of the file to flip (mod file length).
+        bit: u64,
+    },
+    /// Kill the process-equivalent: abandon the work mid-flight.
+    Crash,
+}
+
+/// A fault-injection policy. Implementations must be deterministic:
+/// the n-th `decide` call for a given site always returns the same
+/// answer for the same plan state.
+pub trait FaultPlan: Send + Sync + std::fmt::Debug {
+    /// The action to inject at this occurrence of `site`, if any.
+    fn decide(&self, site: FaultSite) -> Option<FaultAction>;
+}
+
+/// The production default: never injects anything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultPlan for NoFaults {
+    fn decide(&self, _site: FaultSite) -> Option<FaultAction> {
+        None
+    }
+}
+
+/// One site's injection rule inside a [`SeededFaults`] plan.
+#[derive(Debug, Clone, Copy)]
+struct Rule {
+    site: FaultSite,
+    /// Probability an occurrence fires, in `[0, 1]`.
+    rate: f64,
+    /// Maximum number of firings (`u64::MAX` = unlimited). A budget
+    /// makes "fail the first K engine calls, then recover" scenarios
+    /// deterministic — exactly what circuit-breaker tests need.
+    budget: u64,
+}
+
+/// A deterministic fault plan: every decision is a pure function of
+/// `(seed, site, occurrence number)`, so a chaos run replays
+/// byte-identically from its seed. Thread-safe; the per-site
+/// occurrence counters are the only mutable state.
+#[derive(Debug)]
+pub struct SeededFaults {
+    seed: u64,
+    rules: Vec<Rule>,
+    /// Per-site occurrence counter (how many times `decide` was asked).
+    asked: [AtomicU64; ALL_SITES.len()],
+    /// Per-site firing counter (how many times an action was returned).
+    fired: [AtomicU64; ALL_SITES.len()],
+}
+
+impl SeededFaults {
+    /// A plan with no rules (fires nothing until rules are added).
+    pub fn new(seed: u64) -> Self {
+        Self { seed, rules: Vec::new(), asked: Default::default(), fired: Default::default() }
+    }
+
+    /// Add a rule: fire at `site` with probability `rate`, at most
+    /// `budget` times. Builder-style.
+    pub fn with_rule(mut self, site: FaultSite, rate: f64, budget: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate {rate} outside [0,1]");
+        self.rules.push(Rule { site, rate, budget });
+        self
+    }
+
+    /// How many times `site` actually fired so far.
+    pub fn fired(&self, site: FaultSite) -> u64 {
+        self.fired[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// The action template for a site, with parameters drawn from `h`.
+    fn action_for(site: FaultSite, h: u64) -> FaultAction {
+        match site {
+            FaultSite::RequestBytes => FaultAction::CorruptBytes {
+                xor_seed: mix64(h ^ 0xC0DE),
+                // 5%–40% of bytes flipped: enough to break JSON, not
+                // enough to look like an empty line.
+                density: 0.05 + 0.35 * unit(mix64(h ^ 0xD0)),
+            },
+            FaultSite::ConnectionTruncate => FaultAction::Truncate,
+            FaultSite::ConnectionStall => {
+                FaultAction::Stall { millis: 5 + mix64(h ^ 0x57A11) % 45 }
+            }
+            FaultSite::Features => FaultAction::FlipNonFinite {
+                flips: 1 + (mix64(h ^ 0xF11F) % 3) as usize,
+                kind_seed: mix64(h ^ 0xBEEF),
+            },
+            FaultSite::WorkerDelay => FaultAction::Delay { millis: 1 + mix64(h ^ 0xDE1A) % 20 },
+            FaultSite::RegistryPublish => FaultAction::PoisonLock,
+            FaultSite::ArtifactBytes => FaultAction::BitFlip { bit: mix64(h ^ 0xB17) },
+            FaultSite::CheckpointCrash => FaultAction::Crash,
+        }
+    }
+}
+
+impl FaultPlan for SeededFaults {
+    fn decide(&self, site: FaultSite) -> Option<FaultAction> {
+        let rule = self.rules.iter().find(|r| r.site == site)?;
+        let k = self.asked[site.index()].fetch_add(1, Ordering::Relaxed);
+        let h = mix64(self.seed ^ mix64((site.index() as u64) << 32 | k));
+        if unit(h) >= rule.rate {
+            return None;
+        }
+        // Budget check *after* the roll so the firing sequence for a
+        // given (seed, rate) is a stable prefix regardless of budget.
+        let n = self.fired[site.index()].fetch_add(1, Ordering::Relaxed);
+        if n >= rule.budget {
+            self.fired[site.index()].fetch_sub(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(Self::action_for(site, mix64(h ^ 0xACE)))
+    }
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function. This is
+/// the single primitive every deterministic decision in this crate is
+/// built from.
+#[must_use]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a mixed word to a uniform float in `[0, 1)`.
+#[must_use]
+pub fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A tiny deterministic stream over [`mix64`], for call sites that need
+/// several draws (jittered backoff, corruption patterns) without
+/// depending on the `rand` crate.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Stream seeded from a word.
+    pub fn new(seed: u64) -> Self {
+        Self { state: mix64(seed) }
+    }
+
+    /// Next 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state)
+    }
+
+    /// Next uniform float in `[0, 1)`.
+    pub fn next_unit(&mut self) -> f64 {
+        unit(self.next_u64())
+    }
+
+    /// Uniform integer in `[0, n)` (`n` must be nonzero).
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// XOR-corrupt ~`density` of `buf` deterministically from `xor_seed`.
+/// Newline bytes are never produced or destroyed, so a corrupted
+/// JSON-lines request is still exactly one (garbage) line — the wire
+/// framing survives, the payload does not, which is the realistic
+/// single-request corruption mode.
+pub fn corrupt_bytes(buf: &mut [u8], xor_seed: u64, density: f64) {
+    let mut rng = FaultRng::new(xor_seed);
+    for b in buf.iter_mut() {
+        if *b == b'\n' {
+            continue;
+        }
+        if rng.next_unit() < density {
+            let mut flipped = *b ^ (rng.next_u64() as u8 | 1);
+            if flipped == b'\n' {
+                flipped ^= 0x40;
+            }
+            *b = flipped;
+        }
+    }
+}
+
+/// Overwrite `flips` entries of `values` with NaN / +inf / −inf at
+/// deterministic positions. No-op on an empty slice.
+pub fn flip_non_finite(values: &mut [f64], flips: usize, kind_seed: u64) {
+    if values.is_empty() {
+        return;
+    }
+    let mut rng = FaultRng::new(kind_seed);
+    for _ in 0..flips {
+        let at = rng.next_below(values.len() as u64) as usize;
+        values[at] = match rng.next_below(3) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+    }
+}
+
+/// Sleep helper for `Delay`/`Stall` actions.
+pub fn apply_delay(millis: u64) {
+    std::thread::sleep(Duration::from_millis(millis));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plan_is_deterministic() {
+        let mk = || SeededFaults::new(42).with_rule(FaultSite::RequestBytes, 0.5, u64::MAX);
+        let (a, b) = (mk(), mk());
+        let sa: Vec<_> = (0..64).map(|_| a.decide(FaultSite::RequestBytes)).collect();
+        let sb: Vec<_> = (0..64).map(|_| b.decide(FaultSite::RequestBytes)).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.iter().any(Option::is_some));
+        assert!(sa.iter().any(Option::is_none));
+        // A different seed produces a different firing pattern.
+        let c = SeededFaults::new(43).with_rule(FaultSite::RequestBytes, 0.5, u64::MAX);
+        let sc: Vec<_> = (0..64).map(|_| c.decide(FaultSite::RequestBytes)).collect();
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn rules_are_site_scoped_and_budgeted() {
+        let plan = SeededFaults::new(7).with_rule(FaultSite::Features, 1.0, 3);
+        // Unruled sites never fire.
+        assert_eq!(plan.decide(FaultSite::WorkerDelay), None);
+        // Rate-1 rule fires exactly `budget` times, then goes quiet.
+        let fired = (0..10).filter(|_| plan.decide(FaultSite::Features).is_some()).count();
+        assert_eq!(fired, 3);
+        assert_eq!(plan.fired(FaultSite::Features), 3);
+    }
+
+    #[test]
+    fn rate_zero_and_rate_one() {
+        let never = SeededFaults::new(1).with_rule(FaultSite::WorkerDelay, 0.0, u64::MAX);
+        assert!((0..100).all(|_| never.decide(FaultSite::WorkerDelay).is_none()));
+        let always = SeededFaults::new(1).with_rule(FaultSite::WorkerDelay, 1.0, u64::MAX);
+        assert!((0..100).all(|_| always.decide(FaultSite::WorkerDelay).is_some()));
+    }
+
+    #[test]
+    fn no_faults_is_silent() {
+        for site in ALL_SITES {
+            assert_eq!(NoFaults.decide(site), None);
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_is_deterministic_and_preserves_framing() {
+        let original = br#"{"type":"predict","company":3,"features":[0.1,0.2]}"#.to_vec();
+        let mut a = original.clone();
+        let mut b = original.clone();
+        corrupt_bytes(&mut a, 99, 0.3);
+        corrupt_bytes(&mut b, 99, 0.3);
+        assert_eq!(a, b);
+        assert_ne!(a, original, "density 0.3 over 50 bytes must corrupt something");
+        assert!(!a.contains(&b'\n'), "corruption must not invent newlines");
+    }
+
+    #[test]
+    fn flip_non_finite_plants_non_finite_values() {
+        let mut v = vec![1.0; 16];
+        flip_non_finite(&mut v, 4, 5);
+        let bad = v.iter().filter(|x| !x.is_finite()).count();
+        assert!((1..=4).contains(&bad), "{bad} non-finite entries");
+        let mut w = vec![1.0; 16];
+        flip_non_finite(&mut w, 4, 5);
+        assert_eq!(
+            v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            w.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        flip_non_finite(&mut [], 4, 5); // empty slice: no panic
+    }
+
+    #[test]
+    fn mix64_and_unit_are_stable() {
+        // Pin a few values: these feed every seeded decision in the
+        // repo, so silent changes would invalidate recorded chaos runs.
+        assert_eq!(mix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(mix64(1), 0x910A_2DEC_8902_5CC1);
+        let u = unit(mix64(7));
+        assert!((0.0..1.0).contains(&u));
+    }
+}

@@ -1,0 +1,761 @@
+//! Per-column value encodings.
+//!
+//! Every value segment of a store file is one [`Column`] run through
+//! one [`ColumnEncoding`]. Encodings are self-contained: `decode`
+//! needs only the bytes and the value count (both recorded in the
+//! block directory), never global state. Decoders treat their input as
+//! untrusted — any malformed byte stream yields an error, never a
+//! panic — because segment bytes arrive from disk *after* CRC
+//! verification but the CRC guards against accidental corruption, not
+//! against logic errors in a writer.
+//!
+//! The available encodings (tags are part of the on-disk format; add
+//! new ones, never renumber):
+//!
+//! | tag | name            | for                                      |
+//! |-----|-----------------|------------------------------------------|
+//! | 0   | `raw-f64`       | f64 columns, little-endian, 8 B/value    |
+//! | 1   | `shuffle-rle-f64` | f64 columns: byte-shuffled into 8 planes, each plane run-length encoded |
+//! | 2   | `delta-varint-i64` | sorted-ish ints (quarter axes, ids): zigzag varint of consecutive deltas |
+//! | 3   | `bitpack-i64`   | small-domain ints (fiscal offsets, subgroup flags): min + fixed bit width |
+//! | 4   | `dict-str`      | low-cardinality strings (sector labels) and names |
+
+use crate::StoreError;
+
+/// A decoded column of values, the unit every encoding consumes and
+/// produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Signed integers (ids, quarter indexes, small enums).
+    I64(Vec<i64>),
+    /// Floating-point feature values. Round-trips are bit-exact,
+    /// including NaN payloads and ±∞.
+    F64(Vec<f64>),
+    /// Strings (names, sector labels).
+    Str(Vec<String>),
+}
+
+impl Column {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I64(v) => v.len(),
+            Column::F64(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// True when the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn as_i64(&self) -> Result<&[i64], StoreError> {
+        match self {
+            Column::I64(v) => Ok(v),
+            other => Err(StoreError::Invalid(format!("expected i64 column, got {other:?}"))),
+        }
+    }
+
+    fn as_f64(&self) -> Result<&[f64], StoreError> {
+        match self {
+            Column::F64(v) => Ok(v),
+            other => Err(StoreError::Invalid(format!("expected f64 column, got {other:?}"))),
+        }
+    }
+
+    fn as_str_col(&self) -> Result<&[String], StoreError> {
+        match self {
+            Column::Str(v) => Ok(v),
+            other => Err(StoreError::Invalid(format!("expected str column, got {other:?}"))),
+        }
+    }
+}
+
+/// Stable on-disk identifier of an encoding. Serialized by name in the
+/// skeleton so directories stay human-readable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodingTag {
+    /// Little-endian 8-byte floats.
+    RawF64,
+    /// Byte-shuffled f64 with per-plane run-length encoding.
+    ShuffleRleF64,
+    /// Zigzag varint deltas between consecutive i64 values.
+    DeltaVarintI64,
+    /// Minimum + fixed-width bit packing for i64.
+    BitPackI64,
+    /// First-appearance dictionary + varint indexes for strings.
+    DictStr,
+}
+
+impl EncodingTag {
+    /// All tags, for iteration in tests.
+    pub const ALL: [EncodingTag; 5] = [
+        EncodingTag::RawF64,
+        EncodingTag::ShuffleRleF64,
+        EncodingTag::DeltaVarintI64,
+        EncodingTag::BitPackI64,
+        EncodingTag::DictStr,
+    ];
+
+    /// The on-disk name (frozen).
+    pub fn name(self) -> &'static str {
+        match self {
+            EncodingTag::RawF64 => "raw-f64",
+            EncodingTag::ShuffleRleF64 => "shuffle-rle-f64",
+            EncodingTag::DeltaVarintI64 => "delta-varint-i64",
+            EncodingTag::BitPackI64 => "bitpack-i64",
+            EncodingTag::DictStr => "dict-str",
+        }
+    }
+
+    /// Parse an on-disk name.
+    pub fn from_name(name: &str) -> Option<EncodingTag> {
+        EncodingTag::ALL.into_iter().find(|t| t.name() == name)
+    }
+}
+
+/// One value encoding: a pure `Column` ⇄ bytes transform.
+pub trait ColumnEncoding {
+    /// This encoding's stable tag.
+    fn tag(&self) -> EncodingTag;
+
+    /// Encode `col` into bytes. Fails only on a column-kind mismatch.
+    fn encode(&self, col: &Column) -> Result<Vec<u8>, StoreError>;
+
+    /// Decode exactly `n` values from `bytes`. Malformed input is an
+    /// error; this must never panic on arbitrary bytes.
+    fn decode(&self, bytes: &[u8], n: usize) -> Result<Column, StoreError>;
+}
+
+/// The codec for a tag.
+pub fn codec(tag: EncodingTag) -> &'static dyn ColumnEncoding {
+    match tag {
+        EncodingTag::RawF64 => &RawF64,
+        EncodingTag::ShuffleRleF64 => &ShuffleRleF64,
+        EncodingTag::DeltaVarintI64 => &DeltaVarintI64,
+        EncodingTag::BitPackI64 => &BitPackI64,
+        EncodingTag::DictStr => &DictStr,
+    }
+}
+
+// ---------------------------------------------------------------------
+// varint / zigzag primitives
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+fn push_varint(out: &mut Vec<u8>, mut u: u64) {
+    loop {
+        let byte = (u & 0x7f) as u8;
+        u >>= 7;
+        if u == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// A bounds-checked reader over untrusted segment bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn corrupt(&self, what: &str) -> StoreError {
+        StoreError::Invalid(format!("{what} at byte {} of {}", self.pos, self.bytes.len()))
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        let b = *self.bytes.get(self.pos).ok_or_else(|| self.corrupt("truncated segment"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| self.corrupt("truncated segment"))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64, StoreError> {
+        let mut u: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            u |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                // Reject non-canonical overlong encodings that would
+                // drop bits at the top of the u64.
+                if shift == 63 && byte > 1 {
+                    return Err(self.corrupt("varint overflow"));
+                }
+                return Ok(u);
+            }
+        }
+        Err(self.corrupt("unterminated varint"))
+    }
+
+    fn done(&self) -> Result<(), StoreError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(StoreError::Invalid(format!(
+                "trailing garbage: {} of {} bytes unconsumed",
+                self.bytes.len() - self.pos,
+                self.bytes.len()
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// raw-f64
+
+/// Little-endian 8-byte floats: the baseline f64 encoding, and the
+/// fallback when shuffling does not pay.
+pub struct RawF64;
+
+impl ColumnEncoding for RawF64 {
+    fn tag(&self) -> EncodingTag {
+        EncodingTag::RawF64
+    }
+
+    fn encode(&self, col: &Column) -> Result<Vec<u8>, StoreError> {
+        let vals = col.as_f64()?;
+        let mut out = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Ok(out)
+    }
+
+    fn decode(&self, bytes: &[u8], n: usize) -> Result<Column, StoreError> {
+        if bytes.len() != n * 8 {
+            return Err(StoreError::Invalid(format!(
+                "raw-f64: {} bytes for {n} values",
+                bytes.len()
+            )));
+        }
+        let vals = bytes
+            .chunks_exact(8)
+            .map(|c| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(c);
+                f64::from_le_bytes(b)
+            })
+            .collect();
+        Ok(Column::F64(vals))
+    }
+}
+
+// ---------------------------------------------------------------------
+// shuffle-rle-f64
+
+/// Byte-shuffle + run-length encoding for f64.
+///
+/// The eight bytes of each float are split into eight planes (all
+/// first bytes, all second bytes, ...). High-order planes of
+/// similarly-scaled values are near-constant, so a simple `(run,
+/// byte)` RLE collapses them; low-order mantissa planes stay
+/// incompressible and cost one extra byte per 255 values. The writer
+/// keeps whichever of raw/shuffled is smaller per segment.
+pub struct ShuffleRleF64;
+
+impl ColumnEncoding for ShuffleRleF64 {
+    fn tag(&self) -> EncodingTag {
+        EncodingTag::ShuffleRleF64
+    }
+
+    fn encode(&self, col: &Column) -> Result<Vec<u8>, StoreError> {
+        let vals = col.as_f64()?;
+        let mut out = Vec::new();
+        for plane in 0..8 {
+            let mut i = 0;
+            while i < vals.len() {
+                let byte = vals[i].to_le_bytes()[plane];
+                let mut run = 1usize;
+                while run < 255
+                    && i + run < vals.len()
+                    && vals[i + run].to_le_bytes()[plane] == byte
+                {
+                    run += 1;
+                }
+                out.push(run as u8);
+                out.push(byte);
+                i += run;
+            }
+        }
+        Ok(out)
+    }
+
+    fn decode(&self, bytes: &[u8], n: usize) -> Result<Column, StoreError> {
+        let mut r = Reader::new(bytes);
+        let mut planes = vec![0u8; n * 8];
+        for plane in 0..8 {
+            let mut filled = 0usize;
+            while filled < n {
+                let run = r.u8()? as usize;
+                let byte = r.u8()?;
+                if run == 0 || filled + run > n {
+                    return Err(r.corrupt("rle run out of range"));
+                }
+                for slot in 0..run {
+                    planes[(filled + slot) * 8 + plane] = byte;
+                }
+                filled += run;
+            }
+        }
+        r.done()?;
+        let vals = planes
+            .chunks_exact(8)
+            .map(|c| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(c);
+                f64::from_le_bytes(b)
+            })
+            .collect();
+        Ok(Column::F64(vals))
+    }
+}
+
+// ---------------------------------------------------------------------
+// delta-varint-i64
+
+/// Zigzag varint of consecutive deltas: tiny for sorted or slowly
+/// moving integer columns (company ids, repeating quarter axes).
+/// Deltas wrap on i64 overflow, so every `Vec<i64>` round-trips.
+pub struct DeltaVarintI64;
+
+impl ColumnEncoding for DeltaVarintI64 {
+    fn tag(&self) -> EncodingTag {
+        EncodingTag::DeltaVarintI64
+    }
+
+    fn encode(&self, col: &Column) -> Result<Vec<u8>, StoreError> {
+        let vals = col.as_i64()?;
+        let mut out = Vec::with_capacity(vals.len());
+        let mut prev = 0i64;
+        for &v in vals {
+            push_varint(&mut out, zigzag(v.wrapping_sub(prev)));
+            prev = v;
+        }
+        Ok(out)
+    }
+
+    fn decode(&self, bytes: &[u8], n: usize) -> Result<Column, StoreError> {
+        let mut r = Reader::new(bytes);
+        let mut vals = Vec::with_capacity(n);
+        let mut prev = 0i64;
+        for _ in 0..n {
+            prev = prev.wrapping_add(unzigzag(r.varint()?));
+            vals.push(prev);
+        }
+        r.done()?;
+        Ok(Column::I64(vals))
+    }
+}
+
+// ---------------------------------------------------------------------
+// bitpack-i64
+
+/// Minimum + fixed-width bit packing (LSB-first): near-optimal for
+/// small-domain columns like fiscal offsets (2 bits/value).
+pub struct BitPackI64;
+
+impl ColumnEncoding for BitPackI64 {
+    fn tag(&self) -> EncodingTag {
+        EncodingTag::BitPackI64
+    }
+
+    fn encode(&self, col: &Column) -> Result<Vec<u8>, StoreError> {
+        let vals = col.as_i64()?;
+        if vals.is_empty() {
+            return Ok(Vec::new());
+        }
+        let min = vals.iter().copied().min().unwrap_or(0);
+        let max = vals.iter().copied().max().unwrap_or(0);
+        let range = max.wrapping_sub(min) as u64;
+        let width = (64 - range.leading_zeros()) as u8;
+        let mut out = Vec::new();
+        push_varint(&mut out, zigzag(min));
+        out.push(width);
+        // u128 accumulator: residual (≤7) + width (≤64) bits always fit.
+        let mut acc: u128 = 0;
+        let mut nbits: u32 = 0;
+        for &v in vals {
+            let u = v.wrapping_sub(min) as u64;
+            acc |= u128::from(u) << nbits;
+            nbits += u32::from(width);
+            while nbits >= 8 {
+                out.push((acc & 0xff) as u8);
+                acc >>= 8;
+                nbits -= 8;
+            }
+        }
+        if nbits > 0 {
+            out.push((acc & 0xff) as u8);
+        }
+        Ok(out)
+    }
+
+    fn decode(&self, bytes: &[u8], n: usize) -> Result<Column, StoreError> {
+        if n == 0 {
+            return if bytes.is_empty() {
+                Ok(Column::I64(Vec::new()))
+            } else {
+                Err(StoreError::Invalid("bitpack-i64: bytes for empty column".to_string()))
+            };
+        }
+        let mut r = Reader::new(bytes);
+        let min = unzigzag(r.varint()?);
+        let width = r.u8()?;
+        if width > 64 {
+            return Err(r.corrupt("bitpack width > 64"));
+        }
+        let total_bits = (n as u64)
+            .checked_mul(u64::from(width))
+            .ok_or_else(|| r.corrupt("bitpack size overflow"))?;
+        let packed = r.take(total_bits.div_ceil(8) as usize)?;
+        r.done()?;
+        let mut vals = Vec::with_capacity(n);
+        let mut bitpos: u64 = 0;
+        for _ in 0..n {
+            let mut u: u64 = 0;
+            for k in 0..u64::from(width) {
+                let bit = bitpos + k;
+                if packed[(bit / 8) as usize] >> (bit % 8) & 1 == 1 {
+                    u |= 1 << k;
+                }
+            }
+            bitpos += u64::from(width);
+            vals.push(min.wrapping_add(u as i64));
+        }
+        Ok(Column::I64(vals))
+    }
+}
+
+// ---------------------------------------------------------------------
+// dict-str
+
+/// First-appearance dictionary + varint indexes: sector labels repeat
+/// across a block's companies, names mostly don't — both stay correct,
+/// the former gets small.
+pub struct DictStr;
+
+impl ColumnEncoding for DictStr {
+    fn tag(&self) -> EncodingTag {
+        EncodingTag::DictStr
+    }
+
+    fn encode(&self, col: &Column) -> Result<Vec<u8>, StoreError> {
+        let vals = col.as_str_col()?;
+        let mut dict: Vec<&str> = Vec::new();
+        let mut indexes = Vec::with_capacity(vals.len());
+        for v in vals {
+            let idx = match dict.iter().position(|d| d == v) {
+                Some(i) => i,
+                None => {
+                    dict.push(v);
+                    dict.len() - 1
+                }
+            };
+            indexes.push(idx as u64);
+        }
+        let mut out = Vec::new();
+        push_varint(&mut out, dict.len() as u64);
+        for entry in &dict {
+            push_varint(&mut out, entry.len() as u64);
+            out.extend_from_slice(entry.as_bytes());
+        }
+        for idx in indexes {
+            push_varint(&mut out, idx);
+        }
+        Ok(out)
+    }
+
+    fn decode(&self, bytes: &[u8], n: usize) -> Result<Column, StoreError> {
+        let mut r = Reader::new(bytes);
+        let dict_len = r.varint()? as usize;
+        if dict_len > bytes.len() {
+            // A dictionary cannot have more entries than input bytes.
+            return Err(r.corrupt("dictionary length exceeds segment"));
+        }
+        let mut dict = Vec::with_capacity(dict_len);
+        for _ in 0..dict_len {
+            let len = r.varint()? as usize;
+            let raw = r.take(len)?;
+            let s = std::str::from_utf8(raw)
+                .map_err(|_| StoreError::Invalid("dict-str: invalid utf-8".to_string()))?;
+            dict.push(s.to_string());
+        }
+        let mut vals = Vec::with_capacity(n);
+        for _ in 0..n {
+            let idx = r.varint()? as usize;
+            let s = dict
+                .get(idx)
+                .ok_or_else(|| StoreError::Invalid(format!("dict index {idx} of {dict_len}")))?;
+            vals.push(s.clone());
+        }
+        r.done()?;
+        Ok(Column::Str(vals))
+    }
+}
+
+/// Encode an f64 column with whichever of [`RawF64`] /
+/// [`ShuffleRleF64`] is smaller — the writer's per-segment choice.
+pub fn encode_f64_best(col: &Column) -> Result<(EncodingTag, Vec<u8>), StoreError> {
+    let raw = RawF64.encode(col)?;
+    let shuffled = ShuffleRleF64.encode(col)?;
+    if shuffled.len() < raw.len() {
+        Ok((EncodingTag::ShuffleRleF64, shuffled))
+    } else {
+        Ok((EncodingTag::RawF64, raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(tag: EncodingTag, col: &Column) -> Column {
+        let c = codec(tag);
+        assert_eq!(c.tag(), tag);
+        let bytes = c.encode(col).expect("encode");
+        c.decode(&bytes, col.len()).expect("decode")
+    }
+
+    fn assert_f64_bits_eq(a: &Column, b: &Column) {
+        match (a, b) {
+            (Column::F64(x), Column::F64(y)) => {
+                assert_eq!(x.len(), y.len());
+                for (u, v) in x.iter().zip(y) {
+                    assert_eq!(u.to_bits(), v.to_bits(), "{u} vs {v}");
+                }
+            }
+            _ => panic!("expected f64 columns"),
+        }
+    }
+
+    #[test]
+    fn tag_names_round_trip() {
+        for tag in EncodingTag::ALL {
+            assert_eq!(EncodingTag::from_name(tag.name()), Some(tag));
+        }
+        assert_eq!(EncodingTag::from_name("no-such-encoding"), None);
+    }
+
+    #[test]
+    fn empty_columns_round_trip() {
+        for tag in [EncodingTag::RawF64, EncodingTag::ShuffleRleF64] {
+            assert_eq!(round_trip(tag, &Column::F64(vec![])), Column::F64(vec![]));
+        }
+        for tag in [EncodingTag::DeltaVarintI64, EncodingTag::BitPackI64] {
+            assert_eq!(round_trip(tag, &Column::I64(vec![])), Column::I64(vec![]));
+        }
+        assert_eq!(round_trip(EncodingTag::DictStr, &Column::Str(vec![])), Column::Str(vec![]));
+    }
+
+    #[test]
+    fn single_value_columns_round_trip() {
+        let f = Column::F64(vec![std::f64::consts::PI]);
+        assert_f64_bits_eq(&round_trip(EncodingTag::RawF64, &f), &f);
+        assert_f64_bits_eq(&round_trip(EncodingTag::ShuffleRleF64, &f), &f);
+        let i = Column::I64(vec![-42]);
+        assert_eq!(round_trip(EncodingTag::DeltaVarintI64, &i), i);
+        assert_eq!(round_trip(EncodingTag::BitPackI64, &i), i);
+        let s = Column::Str(vec!["retail".to_string()]);
+        assert_eq!(round_trip(EncodingTag::DictStr, &s), s);
+    }
+
+    #[test]
+    fn non_finite_f64_round_trips_bit_exact() {
+        let col = Column::F64(vec![
+            f64::NAN,
+            -f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f64::MIN_POSITIVE,
+            f64::from_bits(0x7ff8_0000_dead_beef), // NaN with payload
+            f64::MAX,
+        ]);
+        assert_f64_bits_eq(&round_trip(EncodingTag::RawF64, &col), &col);
+        assert_f64_bits_eq(&round_trip(EncodingTag::ShuffleRleF64, &col), &col);
+    }
+
+    #[test]
+    fn extreme_deltas_round_trip() {
+        // Max-magnitude jumps: every delta needs the full 10-byte
+        // varint and wraps i64 arithmetic.
+        let col = Column::I64(vec![i64::MIN, i64::MAX, i64::MIN, 0, i64::MAX, -1, 1]);
+        assert_eq!(round_trip(EncodingTag::DeltaVarintI64, &col), col);
+        assert_eq!(round_trip(EncodingTag::BitPackI64, &col), col);
+    }
+
+    #[test]
+    fn quarter_axis_is_tiny_under_delta_varint() {
+        // A repeating quarter axis (the store's obs-quarter column):
+        // 16 quarters × many companies, deltas of 1 with a jump back.
+        let axis: Vec<i64> = (0..100).flat_map(|_| 8170..8186).collect();
+        let col = Column::I64(axis);
+        let bytes = DeltaVarintI64.encode(&col).expect("encode");
+        assert!(bytes.len() < col.len() * 2, "{} bytes for {} values", bytes.len(), col.len());
+        assert_eq!(round_trip(EncodingTag::DeltaVarintI64, &col), col);
+    }
+
+    #[test]
+    fn small_domain_ints_pack_small() {
+        let col = Column::I64((0..1000).map(|i| i % 3).collect());
+        let bytes = BitPackI64.encode(&col).expect("encode");
+        // 2 bits per value + small header.
+        assert!(bytes.len() <= 1000 / 4 + 16, "{} bytes", bytes.len());
+        assert_eq!(round_trip(EncodingTag::BitPackI64, &col), col);
+    }
+
+    #[test]
+    fn dict_str_compresses_repeats_and_keeps_order() {
+        let vals: Vec<String> =
+            (0..500).map(|i| ["retail", "travel", "grocery"][i % 3].to_string()).collect();
+        let col = Column::Str(vals);
+        let bytes = DictStr.encode(&col).expect("encode");
+        assert!(bytes.len() < 600, "{} bytes", bytes.len());
+        assert_eq!(round_trip(EncodingTag::DictStr, &col), col);
+        // Unicode and empty strings survive.
+        let odd = Column::Str(vec!["".into(), "café ☕".into(), "".into(), "x".into()]);
+        assert_eq!(round_trip(EncodingTag::DictStr, &odd), odd);
+    }
+
+    #[test]
+    fn kind_mismatch_is_an_error() {
+        assert!(RawF64.encode(&Column::I64(vec![1])).is_err());
+        assert!(DeltaVarintI64.encode(&Column::F64(vec![1.0])).is_err());
+        assert!(DictStr.encode(&Column::F64(vec![1.0])).is_err());
+    }
+
+    #[test]
+    fn decoders_reject_malformed_bytes() {
+        // Truncations, trailing garbage, out-of-range runs/indexes —
+        // all errors, never panics.
+        for tag in EncodingTag::ALL {
+            let c = codec(tag);
+            assert!(c.decode(&[0x80], 1).is_err(), "{tag:?}: lone continuation byte");
+            assert!(c.decode(&[], 3).is_err(), "{tag:?}: empty bytes for 3 values");
+        }
+        // Overlong varint (11 continuation bytes).
+        assert!(DeltaVarintI64.decode(&[0xff; 11], 1).is_err());
+        // RLE run past n.
+        assert!(ShuffleRleF64.decode(&[10, 0xAA], 2).is_err());
+        // Bitpack width over 64.
+        assert!(BitPackI64.decode(&[0, 200, 0], 1).is_err());
+        // Dict index out of range.
+        let mut bytes = Vec::new();
+        push_varint(&mut bytes, 1);
+        push_varint(&mut bytes, 1);
+        bytes.push(b'a');
+        push_varint(&mut bytes, 9); // index 9 into 1-entry dict
+        assert!(DictStr.decode(&bytes, 1).is_err());
+        // Trailing garbage after a complete decode.
+        let good = DeltaVarintI64.encode(&Column::I64(vec![5])).expect("encode");
+        let mut padded = good;
+        padded.push(0);
+        assert!(DeltaVarintI64.decode(&padded, 1).is_err());
+    }
+
+    #[test]
+    fn best_f64_choice_never_loses() {
+        // Near-constant column: shuffle wins big.
+        let flat = Column::F64(vec![1.0; 512]);
+        let (tag, bytes) = encode_f64_best(&flat).expect("encode");
+        assert_eq!(tag, EncodingTag::ShuffleRleF64);
+        assert!(bytes.len() < 512);
+        // Incompressible bits in every byte plane: raw wins (RLE
+        // overhead would double the shuffled size).
+        let noisy = Column::F64(
+            (1u64..513).map(|i| f64::from_bits(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))).collect(),
+        );
+        let (tag, bytes) = encode_f64_best(&noisy).expect("encode");
+        assert_eq!(tag, EncodingTag::RawF64);
+        assert_eq!(bytes.len(), 512 * 8);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_f64_round_trips_bit_exact(
+            raw in prop::collection::vec(0u64..u64::MAX, 0..64),
+        ) {
+            // Arbitrary bit patterns — includes NaNs, infinities,
+            // subnormals — must round-trip exactly under both codecs.
+            let col = Column::F64(raw.iter().map(|&b| f64::from_bits(b)).collect());
+            for tag in [EncodingTag::RawF64, EncodingTag::ShuffleRleF64] {
+                let bytes = codec(tag).encode(&col).map_err(|e| e.to_string())?;
+                let back = codec(tag).decode(&bytes, col.len()).map_err(|e| e.to_string())?;
+                match (&col, &back) {
+                    (Column::F64(x), Column::F64(y)) => {
+                        for (u, v) in x.iter().zip(y) {
+                            prop_assert_eq!(u.to_bits(), v.to_bits());
+                        }
+                    }
+                    _ => prop_assert!(false, "wrong column kind"),
+                }
+            }
+        }
+
+        #[test]
+        fn prop_i64_round_trips(
+            vals in prop::collection::vec(i64::MIN..i64::MAX, 0..64),
+        ) {
+            let col = Column::I64(vals);
+            for tag in [EncodingTag::DeltaVarintI64, EncodingTag::BitPackI64] {
+                let bytes = codec(tag).encode(&col).map_err(|e| e.to_string())?;
+                let back = codec(tag).decode(&bytes, col.len()).map_err(|e| e.to_string())?;
+                prop_assert_eq!(&back, &col);
+            }
+        }
+
+        #[test]
+        fn prop_str_round_trips(
+            raw in prop::collection::vec(prop::collection::vec(0u8..128, 0..12), 0..48),
+        ) {
+            let vals: Vec<String> = raw
+                .into_iter()
+                .map(|b| b.into_iter().map(|c| c as char).collect())
+                .collect();
+            let col = Column::Str(vals);
+            let bytes = DictStr.encode(&col).map_err(|e| e.to_string())?;
+            let back = DictStr.decode(&bytes, col.len()).map_err(|e| e.to_string())?;
+            prop_assert_eq!(&back, &col);
+        }
+
+        #[test]
+        fn prop_decode_never_panics_on_garbage(
+            junk in prop::collection::vec(0u8..255, 0..96),
+            n in 0usize..48,
+        ) {
+            // Any byte soup → Ok or Err, never a panic. (Runs under
+            // the same process; a panic fails the test.)
+            for tag in EncodingTag::ALL {
+                let _ = codec(tag).decode(&junk, n);
+            }
+        }
+    }
+}

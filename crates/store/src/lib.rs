@@ -1,0 +1,117 @@
+//! # ams-store — a columnar compressed feature store
+//!
+//! Panels at paper scale (≈70 companies × 16 quarters) fit in memory
+//! and in CSV. Panels at alternative-data-vendor scale (100k–1M
+//! companies) do not: a full CSV scan to fetch one company's history is
+//! O(file), and a `Panel` of a million companies is gigabytes of
+//! `String`-laden structs. This crate stores a panel as a single
+//! columnar file with **block-indexed random access**:
+//!
+//! * The file opens with the frozen [`ams_fault::framed`] header
+//!   (`AMS-STORE v1 crc32=… len=M`) whose CRC covers only the
+//!   **skeleton** — a small JSON document holding the schema, the
+//!   quarter axis, and the block directory. Opening a store reads and
+//!   verifies the skeleton and nothing else.
+//! * Values live after the skeleton as contiguous per-column
+//!   **segments**, grouped into blocks of consecutive company ids.
+//!   Each segment records its own byte range, encoding and CRC-32 in
+//!   the directory, so a reader seeks straight to the segments of one
+//!   block and verifies exactly what it reads.
+//! * Each column picks an encoding behind the [`ColumnEncoding`]
+//!   trait: delta + zigzag varint for quarter columns, dictionaries
+//!   for sector labels and names, bit-packing for small-domain ints,
+//!   and raw or byte-shuffled+RLE little-endian bytes for f64 feature
+//!   values (whichever is smaller, per segment).
+//!
+//! The block directory is keyed by company-id range, so
+//! [`StoreReader::company_history`] reads only the blocks containing
+//! that company — the file-format analogue of an index seek. For full
+//! scans, [`StoreReader`] implements [`ams_data::PanelSource`], so
+//! fit/eval pipelines stream (company, quarter-window) batches without
+//! materializing the universe; [`write_source`] converts any
+//! `PanelSource` (an in-memory [`Panel`](ams_data::Panel), the
+//! streaming synthetic generator) into a store file in bounded memory,
+//! published atomically (write-temp → fsync → rename).
+
+pub mod encoding;
+pub mod reader;
+pub mod skeleton;
+pub mod writer;
+
+pub use encoding::{codec, Column, ColumnEncoding, EncodingTag};
+pub use reader::StoreReader;
+pub use skeleton::{
+    BlockEntry, ColumnDesc, ColumnKind, SegmentEntry, Skeleton, STORE_FORMAT_VERSION,
+};
+pub use writer::{write_panel, write_source, StoreWriter};
+
+use ams_fault::framed::FrameError;
+
+/// Magic token of the store's framed header.
+pub const STORE_MAGIC: &str = "AMS-STORE";
+
+/// Why a store operation failed. As with [`FrameError`], every variant
+/// other than `Io` means the file exists but must not be trusted.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The framed skeleton header failed verification.
+    Frame(FrameError),
+    /// The skeleton parsed but violates the format contract (unknown
+    /// version, non-dense blocks, segment ranges out of bounds, ...).
+    Invalid(String),
+    /// A value segment failed its CRC or could not be decoded. Carries
+    /// the block index so callers can report *which* data is bad —
+    /// other blocks remain readable.
+    Corrupt {
+        /// Index of the affected block in the directory.
+        block: usize,
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Frame(e) => write!(f, "store skeleton rejected: {e}"),
+            StoreError::Invalid(msg) => write!(f, "invalid store file: {msg}"),
+            StoreError::Corrupt { block, detail } => {
+                write!(f, "corrupt store block {block}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<FrameError> for StoreError {
+    fn from(e: FrameError) -> Self {
+        StoreError::Frame(e)
+    }
+}
+
+impl From<StoreError> for ams_data::SourceError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(io) => ams_data::SourceError::Io(io),
+            other => ams_data::SourceError::Invalid(other.to_string()),
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Reading store files.
+//!
+//! [`StoreReader::open`] reads and verifies *only* the framed header
+//! and the skeleton JSON; value segments are fetched on demand with
+//! `seek` + `read_exact` and verified against their directory CRC as
+//! they arrive. The reader counts every logical byte it requests
+//! ([`StoreReader::bytes_read`]), which is how tests *prove* the
+//! random-access claim: a point lookup's byte count is the skeleton
+//! plus one block, not the file.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+use ams_data::source::{CompanyHistory, SourceError};
+use ams_data::{Company, Observation, Panel, PanelSource, Quarter, Sector};
+use ams_fault::framed::{crc32, parse_header, FrameError};
+
+use crate::encoding::Column;
+use crate::skeleton::{BlockEntry, ColumnKind, Skeleton};
+use crate::{StoreError, STORE_MAGIC};
+
+/// Longest header line we accept: magic + version + crc + a 20-digit
+/// length, with slack.
+const MAX_HEADER_LINE: usize = 96;
+
+/// Random-access store reader; also a [`PanelSource`] for full scans.
+#[derive(Debug)]
+pub struct StoreReader {
+    file: File,
+    skeleton: Skeleton,
+    data_start: u64,
+    bytes_read: u64,
+    cursor_block: usize,
+    buffer: VecDeque<CompanyHistory>,
+}
+
+impl StoreReader {
+    /// Open a store: verify the framed header, load and validate the
+    /// skeleton. No value segment is touched.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+
+        let mut head_buf = vec![0u8; MAX_HEADER_LINE.min(file_len as usize)];
+        file.read_exact(&mut head_buf)?;
+        let nl = head_buf
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| FrameError::BadHeader("no header line".to_string()))?;
+        let head = std::str::from_utf8(&head_buf[..nl])
+            .map_err(|_| FrameError::BadHeader("non-utf8 header".to_string()))?;
+        let (expected_crc, skeleton_len) = parse_header(head, STORE_MAGIC)?;
+
+        let header_len = nl as u64 + 1;
+        let data_start = header_len + skeleton_len as u64;
+        if data_start > file_len {
+            return Err(FrameError::LengthMismatch {
+                expected: skeleton_len,
+                actual: file_len.saturating_sub(header_len) as usize,
+            }
+            .into());
+        }
+        file.seek(SeekFrom::Start(header_len))?;
+        let mut body = vec![0u8; skeleton_len];
+        file.read_exact(&mut body)?;
+        let actual = crc32(&body);
+        if actual != expected_crc {
+            return Err(FrameError::ChecksumMismatch { expected: expected_crc, actual }.into());
+        }
+        let body = String::from_utf8(body)
+            .map_err(|_| StoreError::Invalid("skeleton is not utf-8".to_string()))?;
+        let skeleton: Skeleton = serde_json::from_str(&body)
+            .map_err(|e| StoreError::Invalid(format!("skeleton parse: {e}")))?;
+        skeleton.validate(file_len - data_start)?;
+
+        Ok(Self {
+            file,
+            skeleton,
+            data_start,
+            bytes_read: data_start,
+            cursor_block: 0,
+            buffer: VecDeque::new(),
+        })
+    }
+
+    /// The validated skeleton (schema + block directory).
+    pub fn skeleton(&self) -> &Skeleton {
+        &self.skeleton
+    }
+
+    /// Absolute file offset of the value section — segment offsets in
+    /// the directory are relative to this.
+    pub fn data_start(&self) -> u64 {
+        self.data_start
+    }
+
+    /// Logical bytes requested from the file so far (header plus
+    /// skeleton plus every segment read). The random-access acceptance
+    /// tests assert on this.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Directory index of the block holding company `id`.
+    pub fn block_for_company(&self, id: u64) -> Option<usize> {
+        self.skeleton.block_for_company(id)
+    }
+
+    /// Fetch one segment's bytes and verify its CRC.
+    fn read_seg(
+        &mut self,
+        block: usize,
+        seg: &crate::skeleton::SegmentEntry,
+    ) -> Result<Vec<u8>, StoreError> {
+        self.file.seek(SeekFrom::Start(self.data_start + seg.offset))?;
+        let mut bytes = vec![0u8; seg.len as usize];
+        self.file.read_exact(&mut bytes)?;
+        self.bytes_read += seg.len;
+        let actual = crc32(&bytes);
+        if actual != seg.crc32 {
+            return Err(StoreError::Corrupt {
+                block,
+                detail: format!("segment crc {actual:08x}, directory says {:08x}", seg.crc32),
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// Read, verify and decode every segment of block `idx` into
+    /// companies plus company-major observations.
+    pub fn read_block(
+        &mut self,
+        idx: usize,
+    ) -> Result<(Vec<Company>, Vec<Observation>), StoreError> {
+        let entry: BlockEntry = self
+            .skeleton
+            .blocks
+            .get(idx)
+            .cloned()
+            .ok_or_else(|| StoreError::Invalid(format!("no block {idx}")))?;
+        let n = entry.n_companies as usize;
+        let nq = self.skeleton.quarters.len();
+        let corrupt = |detail: String| StoreError::Corrupt { block: idx, detail };
+
+        let mut company_cols = Vec::with_capacity(entry.company_segs.len());
+        for (desc, seg) in self.skeleton.company_cols.clone().iter().zip(&entry.company_segs) {
+            company_cols.push(self.decode_seg(idx, desc.kind, seg, n)?);
+        }
+        let mut obs_cols = Vec::with_capacity(entry.obs_segs.len());
+        for (desc, seg) in self.skeleton.obs_cols.clone().iter().zip(&entry.obs_segs) {
+            obs_cols.push(self.decode_seg(idx, desc.kind, seg, n * nq)?);
+        }
+
+        // Reassemble rows from the fixed schema (see writer.rs).
+        let (ids, names, sectors, caps, offsets) = match (
+            company_cols.first(),
+            company_cols.get(1),
+            company_cols.get(2),
+            company_cols.get(3),
+            company_cols.get(4),
+        ) {
+            (
+                Some(Column::I64(ids)),
+                Some(Column::Str(names)),
+                Some(Column::Str(sectors)),
+                Some(Column::F64(caps)),
+                Some(Column::I64(offsets)),
+            ) => (ids, names, sectors, caps, offsets),
+            _ => return Err(corrupt("company column group malformed".to_string())),
+        };
+        let mut companies = Vec::with_capacity(n);
+        for k in 0..n {
+            let expected = entry.first_id + k as u64;
+            if ids[k] != expected as i64 {
+                return Err(corrupt(format!("id column has {} where {expected} expected", ids[k])));
+            }
+            let sector = Sector::ALL
+                .into_iter()
+                .find(|s| s.name() == sectors[k])
+                .ok_or_else(|| corrupt(format!("unknown sector `{}`", sectors[k])))?;
+            let fiscal_offset = u8::try_from(offsets[k])
+                .map_err(|_| corrupt(format!("fiscal offset {} out of range", offsets[k])))?;
+            companies.push(Company {
+                id: expected as usize,
+                name: names[k].clone(),
+                sector,
+                market_cap: caps[k],
+                fiscal_offset,
+            });
+        }
+
+        let quarter_col = match obs_cols.first() {
+            Some(Column::I64(q)) => q,
+            _ => return Err(corrupt("quarter column malformed".to_string())),
+        };
+        for (i, &q) in quarter_col.iter().enumerate() {
+            let expected = self.skeleton.quarters[i % nq].index();
+            if q != expected {
+                return Err(corrupt(format!(
+                    "quarter column value {q} at row {i}, axis says {expected}"
+                )));
+            }
+        }
+        let fcol = |slot: usize| -> Result<&Vec<f64>, StoreError> {
+            match obs_cols.get(slot) {
+                Some(Column::F64(v)) => Ok(v),
+                _ => Err(StoreError::Corrupt {
+                    block: idx,
+                    detail: format!("observation column {slot} malformed"),
+                }),
+            }
+        };
+        let revenue = fcol(1)?;
+        let consensus = fcol(2)?;
+        let low_est = fcol(3)?;
+        let high_est = fcol(4)?;
+        let n_alt = self.skeleton.alt_names.len();
+        let mut alts = Vec::with_capacity(n_alt);
+        for k in 0..n_alt {
+            alts.push(fcol(5 + k)?);
+        }
+        let mut obs = Vec::with_capacity(n * nq);
+        for i in 0..n * nq {
+            obs.push(Observation {
+                revenue: revenue[i],
+                consensus: consensus[i],
+                low_est: low_est[i],
+                high_est: high_est[i],
+                alt: alts.iter().map(|col| col[i]).collect(),
+            });
+        }
+        Ok((companies, obs))
+    }
+
+    /// Decode one segment, checking the value count and column kind.
+    fn decode_seg(
+        &mut self,
+        block: usize,
+        kind: ColumnKind,
+        seg: &crate::skeleton::SegmentEntry,
+        n: usize,
+    ) -> Result<Column, StoreError> {
+        let tag = seg.encoding()?;
+        let bytes = self.read_seg(block, seg)?;
+        let col = crate::encoding::codec(tag)
+            .decode(&bytes, n)
+            .map_err(|e| StoreError::Corrupt { block, detail: format!("segment decode: {e}") })?;
+        let ok = matches!(
+            (&col, kind),
+            (Column::I64(_), ColumnKind::I64)
+                | (Column::F64(_), ColumnKind::F64)
+                | (Column::Str(_), ColumnKind::Str)
+        );
+        if !ok {
+            return Err(StoreError::Corrupt {
+                block,
+                detail: format!("segment decoded to wrong kind (schema says {kind:?})"),
+            });
+        }
+        Ok(col)
+    }
+
+    /// Point lookup: one company's full history, reading only the
+    /// block that contains it.
+    pub fn company_history(&mut self, id: u64) -> Result<CompanyHistory, StoreError> {
+        let block = self
+            .skeleton
+            .block_for_company(id)
+            .ok_or_else(|| StoreError::Invalid(format!("no company {id} in store")))?;
+        let (companies, obs) = self.read_block(block)?;
+        let nq = self.skeleton.quarters.len();
+        let first = self.skeleton.blocks[block].first_id;
+        let k = (id - first) as usize;
+        let company = companies.into_iter().nth(k).ok_or_else(|| StoreError::Corrupt {
+            block,
+            detail: format!("block shorter than directory claims at company {id}"),
+        })?;
+        Ok(CompanyHistory { company, obs: obs[k * nq..(k + 1) * nq].to_vec() })
+    }
+
+    /// Full scan into an in-memory [`Panel`]. Paper-scale only; at
+    /// vendor scale, consume the reader as a [`PanelSource`] instead.
+    pub fn read_panel(&mut self) -> Result<Panel, StoreError> {
+        let mut companies = Vec::with_capacity(self.skeleton.n_companies as usize);
+        let mut obs =
+            Vec::with_capacity(self.skeleton.n_companies as usize * self.skeleton.quarters.len());
+        for idx in 0..self.skeleton.blocks.len() {
+            let (c, o) = self.read_block(idx)?;
+            companies.extend(c);
+            obs.extend(o);
+        }
+        Ok(Panel::new(
+            companies,
+            self.skeleton.quarters.clone(),
+            self.skeleton.alt_names.clone(),
+            obs,
+        ))
+    }
+}
+
+impl PanelSource for StoreReader {
+    fn num_companies(&self) -> usize {
+        self.skeleton.n_companies as usize
+    }
+
+    fn quarters(&self) -> &[Quarter] {
+        &self.skeleton.quarters
+    }
+
+    fn alt_names(&self) -> &[String] {
+        &self.skeleton.alt_names
+    }
+
+    fn next_batch(&mut self, max_companies: usize) -> Result<Vec<CompanyHistory>, SourceError> {
+        let nq = self.skeleton.quarters.len();
+        while self.buffer.len() < max_companies && self.cursor_block < self.skeleton.blocks.len() {
+            let idx = self.cursor_block;
+            let (companies, mut obs) = self.read_block(idx)?;
+            self.cursor_block += 1;
+            for (k, company) in companies.into_iter().enumerate() {
+                let rest = obs.split_off(nq.min(obs.len()));
+                let history = std::mem::replace(&mut obs, rest);
+                if history.len() != nq {
+                    return Err(SourceError::Invalid(format!(
+                        "block {idx} ran out of observations at company {k}"
+                    )));
+                }
+                self.buffer.push_back(CompanyHistory { company, obs: history });
+            }
+        }
+        let take = max_companies.min(self.buffer.len());
+        Ok(self.buffer.drain(..take).collect())
+    }
+
+    fn reset(&mut self) {
+        self.cursor_block = 0;
+        self.buffer.clear();
+    }
+}

@@ -1,0 +1,265 @@
+//! The store skeleton: schema + block directory, separated from values.
+//!
+//! A store file is `framed header → skeleton JSON → value segments`.
+//! The skeleton is everything a reader needs to *navigate* the file —
+//! column schema, quarter axis, and for every block the byte range,
+//! encoding and CRC of each column segment — while the values
+//! themselves stay out of it. Opening a store parses only the
+//! skeleton; each segment is then verified independently against its
+//! directory CRC when (and only when) it is read.
+//!
+//! Segment offsets are relative to the **data start** (first byte
+//! after the skeleton), so the skeleton's own serialized length never
+//! feeds back into the offsets it records — the writer can lay out
+//! blocks before the directory is complete.
+
+use crate::encoding::EncodingTag;
+use crate::StoreError;
+use ams_data::Quarter;
+
+/// Store format version, serialized in the skeleton. Distinct from the
+/// outer frame version: the frame freezes the header line, this
+/// freezes the skeleton schema and segment layout.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// Logical kind of a column, fixing which [`Column`](crate::Column)
+/// variant its segments decode to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ColumnKind {
+    /// Decodes to `Column::I64`.
+    I64,
+    /// Decodes to `Column::F64`.
+    F64,
+    /// Decodes to `Column::Str`.
+    Str,
+}
+
+/// One column of the schema. The store has two column groups: the
+/// *company* group with one value per company, and the *observation*
+/// group with one value per (company, quarter) in company-major order.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ColumnDesc {
+    /// Column name, e.g. `sector` or `alt:txn_amount`.
+    pub name: String,
+    /// Logical kind its segments decode to.
+    pub kind: ColumnKind,
+}
+
+/// One encoded column segment of one block.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SegmentEntry {
+    /// Encoding name (an [`EncodingTag`] name; see
+    /// [`SegmentEntry::encoding`]).
+    pub encoding: String,
+    /// Byte offset relative to the data start.
+    pub offset: u64,
+    /// Encoded length in bytes.
+    pub len: u64,
+    /// CRC-32 of the encoded bytes.
+    pub crc32: u32,
+}
+
+impl SegmentEntry {
+    /// The parsed encoding tag.
+    pub fn encoding(&self) -> Result<EncodingTag, StoreError> {
+        EncodingTag::from_name(&self.encoding)
+            .ok_or_else(|| StoreError::Invalid(format!("unknown encoding `{}`", self.encoding)))
+    }
+}
+
+/// One block: a run of consecutive company ids with one segment per
+/// schema column (company-group segments first, then obs-group, in
+/// schema order).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct BlockEntry {
+    /// First company id in the block.
+    pub first_id: u64,
+    /// Number of companies in the block.
+    pub n_companies: u64,
+    /// Company-group segments, parallel to `Skeleton::company_cols`.
+    pub company_segs: Vec<SegmentEntry>,
+    /// Observation-group segments, parallel to `Skeleton::obs_cols`.
+    pub obs_segs: Vec<SegmentEntry>,
+}
+
+impl BlockEntry {
+    /// Total encoded bytes of this block's segments.
+    pub fn encoded_len(&self) -> u64 {
+        self.company_segs.iter().chain(&self.obs_segs).map(|s| s.len).sum()
+    }
+}
+
+/// The store skeleton: schema, quarter axis, block directory.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Skeleton {
+    /// Skeleton schema version ([`STORE_FORMAT_VERSION`]).
+    pub format: u32,
+    /// Total companies across all blocks (ids are dense `0..n`).
+    pub n_companies: u64,
+    /// The consecutive quarter axis every company covers.
+    pub quarters: Vec<Quarter>,
+    /// Alternative-channel names, in `Observation::alt` order.
+    pub alt_names: Vec<String>,
+    /// Company-group schema.
+    pub company_cols: Vec<ColumnDesc>,
+    /// Observation-group schema.
+    pub obs_cols: Vec<ColumnDesc>,
+    /// Block directory, ascending and dense in company id.
+    pub blocks: Vec<BlockEntry>,
+}
+
+impl Skeleton {
+    /// Validate the structural invariants a reader relies on: version,
+    /// dense ascending blocks covering exactly `0..n_companies`,
+    /// segment counts matching the schema, and in-bounds segment
+    /// ranges given `data_len` (the byte length of the value section).
+    pub fn validate(&self, data_len: u64) -> Result<(), StoreError> {
+        if self.format != STORE_FORMAT_VERSION {
+            return Err(StoreError::Invalid(format!(
+                "unsupported store format {} (this build reads {STORE_FORMAT_VERSION})",
+                self.format
+            )));
+        }
+        let mut next_id = 0u64;
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.first_id != next_id {
+                return Err(StoreError::Invalid(format!(
+                    "block {i} starts at id {} but {} expected",
+                    b.first_id, next_id
+                )));
+            }
+            if b.n_companies == 0 {
+                return Err(StoreError::Invalid(format!("block {i} is empty")));
+            }
+            next_id = next_id.saturating_add(b.n_companies);
+            if b.company_segs.len() != self.company_cols.len()
+                || b.obs_segs.len() != self.obs_cols.len()
+            {
+                return Err(StoreError::Invalid(format!(
+                    "block {i} has {}+{} segments for a {}+{} column schema",
+                    b.company_segs.len(),
+                    b.obs_segs.len(),
+                    self.company_cols.len(),
+                    self.obs_cols.len()
+                )));
+            }
+            for s in b.company_segs.iter().chain(&b.obs_segs) {
+                s.encoding()?;
+                let end = s.offset.checked_add(s.len).ok_or_else(|| {
+                    StoreError::Invalid(format!("block {i}: segment range overflows"))
+                })?;
+                if end > data_len {
+                    return Err(StoreError::Invalid(format!(
+                        "block {i}: segment [{}, {end}) outside {data_len}-byte data section",
+                        s.offset
+                    )));
+                }
+            }
+        }
+        if next_id != self.n_companies {
+            return Err(StoreError::Invalid(format!(
+                "blocks cover {} companies, header says {}",
+                next_id, self.n_companies
+            )));
+        }
+        for w in self.quarters.windows(2) {
+            if w[1] != w[0].next() {
+                return Err(StoreError::Invalid("quarter axis not consecutive".to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Index of the block containing company `id`, if any (binary
+    /// search over the dense directory).
+    pub fn block_for_company(&self, id: u64) -> Option<usize> {
+        if id >= self.n_companies {
+            return None;
+        }
+        let idx = self.blocks.partition_point(|b| b.first_id + b.n_companies <= id);
+        (idx < self.blocks.len()).then_some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(offset: u64, len: u64) -> SegmentEntry {
+        SegmentEntry { encoding: "raw-f64".to_string(), offset, len, crc32: 0 }
+    }
+
+    fn tiny_skeleton() -> Skeleton {
+        Skeleton {
+            format: STORE_FORMAT_VERSION,
+            n_companies: 5,
+            quarters: vec![Quarter::new(2015, 1), Quarter::new(2015, 2)],
+            alt_names: vec!["txn_amount".to_string()],
+            company_cols: vec![ColumnDesc { name: "cap".to_string(), kind: ColumnKind::F64 }],
+            obs_cols: vec![ColumnDesc { name: "revenue".to_string(), kind: ColumnKind::F64 }],
+            blocks: vec![
+                BlockEntry {
+                    first_id: 0,
+                    n_companies: 3,
+                    company_segs: vec![seg(0, 24)],
+                    obs_segs: vec![seg(24, 48)],
+                },
+                BlockEntry {
+                    first_id: 3,
+                    n_companies: 2,
+                    company_segs: vec![seg(72, 16)],
+                    obs_segs: vec![seg(88, 32)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_skeleton_passes_and_serializes() {
+        let sk = tiny_skeleton();
+        sk.validate(120).expect("valid");
+        let json = serde_json::to_string(&sk).expect("serialize");
+        let back: Skeleton = serde_json::from_str(&json).expect("deserialize");
+        back.validate(120).expect("still valid");
+        assert_eq!(back.blocks.len(), 2);
+        assert_eq!(back.blocks[1].first_id, 3);
+        assert_eq!(back.blocks[0].encoded_len(), 72);
+    }
+
+    #[test]
+    fn block_lookup_is_by_id_range() {
+        let sk = tiny_skeleton();
+        assert_eq!(sk.block_for_company(0), Some(0));
+        assert_eq!(sk.block_for_company(2), Some(0));
+        assert_eq!(sk.block_for_company(3), Some(1));
+        assert_eq!(sk.block_for_company(4), Some(1));
+        assert_eq!(sk.block_for_company(5), None);
+    }
+
+    #[test]
+    fn structural_violations_are_rejected() {
+        let mut gap = tiny_skeleton();
+        gap.blocks[1].first_id = 4;
+        assert!(gap.validate(120).is_err());
+
+        let mut short = tiny_skeleton();
+        short.n_companies = 6;
+        assert!(short.validate(120).is_err());
+
+        let mut out_of_bounds = tiny_skeleton();
+        out_of_bounds.blocks[1].obs_segs[0].len = 1000;
+        assert!(out_of_bounds.validate(120).is_err());
+
+        let mut bad_encoding = tiny_skeleton();
+        bad_encoding.blocks[0].company_segs[0].encoding = "zstd".to_string();
+        assert!(bad_encoding.validate(120).is_err());
+
+        let mut wrong_version = tiny_skeleton();
+        wrong_version.format = 99;
+        assert!(wrong_version.validate(120).is_err());
+
+        let mut bad_axis = tiny_skeleton();
+        bad_axis.quarters[1] = Quarter::new(2019, 1);
+        assert!(bad_axis.validate(120).is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! Writing store files.
+//!
+//! [`StoreWriter`] is append-oriented and bounded-memory: callers feed
+//! companies (with their full observation histories) in id order, the
+//! writer buffers one block's worth, encodes it column-by-column into
+//! a `*.data.tmp` sibling, and keeps only the small directory entry in
+//! memory. [`StoreWriter::finish`] assembles the skeleton and
+//! publishes the final file atomically (temp → fsync → rename via
+//! [`ams_fault::framed::publish_atomic`]), so readers never observe a
+//! torn store and a crash mid-write leaves the previous file intact.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use ams_data::{Company, Observation, Panel, PanelCursor, PanelSource, Quarter};
+use ams_fault::framed::{crc32, header_line, publish_atomic};
+
+use crate::encoding::{codec, encode_f64_best, Column, EncodingTag};
+use crate::skeleton::{BlockEntry, ColumnDesc, ColumnKind, SegmentEntry, Skeleton};
+use crate::{StoreError, STORE_FORMAT_VERSION, STORE_MAGIC};
+
+/// Fixed company-group schema (order is part of the format).
+fn company_schema() -> Vec<ColumnDesc> {
+    [
+        ("id", ColumnKind::I64),
+        ("name", ColumnKind::Str),
+        ("sector", ColumnKind::Str),
+        ("market_cap", ColumnKind::F64),
+        ("fiscal_offset", ColumnKind::I64),
+    ]
+    .into_iter()
+    .map(|(name, kind)| ColumnDesc { name: name.to_string(), kind })
+    .collect()
+}
+
+/// Fixed observation-group schema prefix; alt channels follow as
+/// `alt:<name>` f64 columns.
+fn obs_schema(alt_names: &[String]) -> Vec<ColumnDesc> {
+    let mut cols: Vec<ColumnDesc> = [
+        ("quarter", ColumnKind::I64),
+        ("revenue", ColumnKind::F64),
+        ("consensus", ColumnKind::F64),
+        ("low_est", ColumnKind::F64),
+        ("high_est", ColumnKind::F64),
+    ]
+    .into_iter()
+    .map(|(name, kind)| ColumnDesc { name: name.to_string(), kind })
+    .collect();
+    for alt in alt_names {
+        cols.push(ColumnDesc { name: format!("alt:{alt}"), kind: ColumnKind::F64 });
+    }
+    cols
+}
+
+/// What [`StoreWriter::finish`] reports: sizes for benches and logs.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreSummary {
+    /// Companies written.
+    pub n_companies: u64,
+    /// Blocks in the directory.
+    pub n_blocks: usize,
+    /// Serialized skeleton length in bytes.
+    pub skeleton_bytes: u64,
+    /// Value-section length in bytes.
+    pub data_bytes: u64,
+}
+
+/// Streaming store writer; see the module docs for the protocol.
+#[derive(Debug)]
+pub struct StoreWriter {
+    path: PathBuf,
+    data_tmp: PathBuf,
+    data: BufWriter<File>,
+    data_len: u64,
+    quarters: Vec<Quarter>,
+    alt_names: Vec<String>,
+    block_size: usize,
+    pending_companies: Vec<Company>,
+    pending_obs: Vec<Observation>,
+    blocks: Vec<BlockEntry>,
+    next_id: u64,
+    finished: bool,
+}
+
+impl StoreWriter {
+    /// Open a writer targeting `path`. `block_size` companies per
+    /// block bounds both writer memory and the unit of random access.
+    pub fn create(
+        path: &Path,
+        quarters: Vec<Quarter>,
+        alt_names: Vec<String>,
+        block_size: usize,
+    ) -> Result<Self, StoreError> {
+        if block_size == 0 {
+            return Err(StoreError::Invalid("block_size must be positive".to_string()));
+        }
+        if quarters.is_empty() {
+            return Err(StoreError::Invalid("empty quarter axis".to_string()));
+        }
+        for w in quarters.windows(2) {
+            if w[1] != w[0].next() {
+                return Err(StoreError::Invalid("quarter axis not consecutive".to_string()));
+            }
+        }
+        let data_tmp: PathBuf = {
+            let mut name = path.as_os_str().to_os_string();
+            name.push(".data.tmp");
+            PathBuf::from(name)
+        };
+        let file = OpenOptions::new().write(true).create(true).truncate(true).open(&data_tmp)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            data_tmp,
+            data: BufWriter::new(file),
+            data_len: 0,
+            quarters,
+            alt_names,
+            block_size,
+            pending_companies: Vec::new(),
+            pending_obs: Vec::new(),
+            blocks: Vec::new(),
+            next_id: 0,
+            finished: false,
+        })
+    }
+
+    /// Append companies with their company-major observations
+    /// (`obs[c * n_quarters + t]`). Ids must continue densely from the
+    /// previous append. Full blocks are encoded and flushed to disk
+    /// immediately.
+    pub fn append(&mut self, companies: &[Company], obs: &[Observation]) -> Result<(), StoreError> {
+        let nq = self.quarters.len();
+        if obs.len() != companies.len() * nq {
+            return Err(StoreError::Invalid(format!(
+                "{} observations for {} companies × {nq} quarters",
+                obs.len(),
+                companies.len()
+            )));
+        }
+        for (k, c) in companies.iter().enumerate() {
+            let expected = self.next_id + self.pending_companies.len() as u64 + k as u64;
+            if c.id as u64 != expected {
+                return Err(StoreError::Invalid(format!(
+                    "company id {} appended where {expected} expected (ids must be dense)",
+                    c.id
+                )));
+            }
+        }
+        for o in obs {
+            if o.alt.len() != self.alt_names.len() {
+                return Err(StoreError::Invalid(format!(
+                    "observation has {} alt channels, schema has {}",
+                    o.alt.len(),
+                    self.alt_names.len()
+                )));
+            }
+        }
+        self.pending_companies.extend_from_slice(companies);
+        self.pending_obs.extend_from_slice(obs);
+        while self.pending_companies.len() >= self.block_size {
+            self.flush_block(self.block_size)?;
+        }
+        Ok(())
+    }
+
+    /// Encode and write the first `n` pending companies as one block.
+    fn flush_block(&mut self, n: usize) -> Result<(), StoreError> {
+        let nq = self.quarters.len();
+        let companies: Vec<Company> = self.pending_companies.drain(..n).collect();
+        let obs: Vec<Observation> = self.pending_obs.drain(..n * nq).collect();
+
+        let company_segs = vec![
+            self.write_col(
+                EncodingTag::DeltaVarintI64,
+                &Column::I64(companies.iter().map(|c| c.id as i64).collect()),
+            )?,
+            self.write_col(
+                EncodingTag::DictStr,
+                &Column::Str(companies.iter().map(|c| c.name.clone()).collect()),
+            )?,
+            self.write_col(
+                EncodingTag::DictStr,
+                &Column::Str(companies.iter().map(|c| c.sector.name().to_string()).collect()),
+            )?,
+            self.write_f64(&Column::F64(companies.iter().map(|c| c.market_cap).collect()))?,
+            self.write_col(
+                EncodingTag::BitPackI64,
+                &Column::I64(companies.iter().map(|c| i64::from(c.fiscal_offset)).collect()),
+            )?,
+        ];
+
+        let axis: Vec<i64> = self.quarters.iter().map(|q| q.index()).collect();
+        let quarter_col: Vec<i64> =
+            (0..companies.len()).flat_map(|_| axis.iter().copied()).collect();
+        let mut obs_segs = Vec::with_capacity(5 + self.alt_names.len());
+        obs_segs.push(self.write_col(EncodingTag::DeltaVarintI64, &Column::I64(quarter_col))?);
+        obs_segs.push(self.write_f64(&Column::F64(obs.iter().map(|o| o.revenue).collect()))?);
+        obs_segs.push(self.write_f64(&Column::F64(obs.iter().map(|o| o.consensus).collect()))?);
+        obs_segs.push(self.write_f64(&Column::F64(obs.iter().map(|o| o.low_est).collect()))?);
+        obs_segs.push(self.write_f64(&Column::F64(obs.iter().map(|o| o.high_est).collect()))?);
+        for k in 0..self.alt_names.len() {
+            obs_segs.push(self.write_f64(&Column::F64(obs.iter().map(|o| o.alt[k]).collect()))?);
+        }
+
+        self.blocks.push(BlockEntry {
+            first_id: self.next_id,
+            n_companies: companies.len() as u64,
+            company_segs,
+            obs_segs,
+        });
+        self.next_id += companies.len() as u64;
+        Ok(())
+    }
+
+    /// Encode `col` with `tag` and write it as the next segment.
+    fn write_col(&mut self, tag: EncodingTag, col: &Column) -> Result<SegmentEntry, StoreError> {
+        let bytes = codec(tag).encode(col)?;
+        self.write_seg(tag, &bytes)
+    }
+
+    /// Encode an f64 column with the smaller of raw/shuffled.
+    fn write_f64(&mut self, col: &Column) -> Result<SegmentEntry, StoreError> {
+        let (tag, bytes) = encode_f64_best(col)?;
+        self.write_seg(tag, &bytes)
+    }
+
+    fn write_seg(&mut self, tag: EncodingTag, bytes: &[u8]) -> Result<SegmentEntry, StoreError> {
+        self.data.write_all(bytes)?;
+        let entry = SegmentEntry {
+            encoding: tag.name().to_string(),
+            offset: self.data_len,
+            len: bytes.len() as u64,
+            crc32: crc32(bytes),
+        };
+        self.data_len += bytes.len() as u64;
+        Ok(entry)
+    }
+
+    /// Flush any partial block, assemble the skeleton, and publish the
+    /// store file atomically. Consumes the writer.
+    pub fn finish(mut self) -> Result<StoreSummary, StoreError> {
+        let n = self.pending_companies.len();
+        if n > 0 {
+            self.flush_block(n)?;
+        }
+        self.data.flush()?;
+        self.data.get_ref().sync_all()?;
+        self.finished = true;
+
+        let skeleton = Skeleton {
+            format: STORE_FORMAT_VERSION,
+            n_companies: self.next_id,
+            quarters: self.quarters.clone(),
+            alt_names: self.alt_names.clone(),
+            company_cols: company_schema(),
+            obs_cols: obs_schema(&self.alt_names),
+            blocks: std::mem::take(&mut self.blocks),
+        };
+        skeleton.validate(self.data_len)?;
+        let body = serde_json::to_string(&skeleton)
+            .map_err(|e| StoreError::Invalid(format!("skeleton serialization: {e}")))?;
+
+        let summary = StoreSummary {
+            n_companies: skeleton.n_companies,
+            n_blocks: skeleton.blocks.len(),
+            skeleton_bytes: body.len() as u64,
+            data_bytes: self.data_len,
+        };
+        let data_tmp = self.data_tmp.clone();
+        publish_atomic(&self.path, |f| {
+            f.write_all(header_line(STORE_MAGIC, body.as_bytes()).as_bytes())?;
+            f.write_all(body.as_bytes())?;
+            let mut data = File::open(&data_tmp)?;
+            data.seek(SeekFrom::Start(0))?;
+            io::copy(&mut data, f)?;
+            Ok(())
+        })?;
+        fs::remove_file(&self.data_tmp)?;
+        Ok(summary)
+    }
+}
+
+impl Drop for StoreWriter {
+    fn drop(&mut self) {
+        // An abandoned writer must not leave its data temp behind.
+        if !self.finished {
+            let _ = fs::remove_file(&self.data_tmp);
+        }
+    }
+}
+
+/// Write an in-memory [`Panel`] as a store file.
+pub fn write_panel(
+    path: &Path,
+    panel: &Panel,
+    block_size: usize,
+) -> Result<StoreSummary, StoreError> {
+    write_source(path, &mut PanelCursor::new(panel), block_size)
+}
+
+/// Drain any [`PanelSource`] into a store file in bounded memory —
+/// the conversion path for both panels and the streaming synthetic
+/// generator.
+pub fn write_source(
+    path: &Path,
+    source: &mut dyn PanelSource,
+    block_size: usize,
+) -> Result<StoreSummary, StoreError> {
+    let mut writer = StoreWriter::create(
+        path,
+        source.quarters().to_vec(),
+        source.alt_names().to_vec(),
+        block_size,
+    )?;
+    loop {
+        let batch = source
+            .next_batch(block_size)
+            .map_err(|e| StoreError::Invalid(format!("source failed: {e}")))?;
+        if batch.is_empty() {
+            break;
+        }
+        let mut companies = Vec::with_capacity(batch.len());
+        let mut obs = Vec::with_capacity(batch.len() * source.quarters().len());
+        for h in batch {
+            companies.push(h.company);
+            obs.extend(h.obs);
+        }
+        writer.append(&companies, &obs)?;
+    }
+    writer.finish()
+}

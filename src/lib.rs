@@ -21,7 +21,10 @@
 //!   (see README "Static analysis");
 //! * [`fault`] — deterministic fault injection and resilience
 //!   primitives: seedable fault plans, corruption injectors, and
-//!   checksummed atomic file framing (see README "Resilience").
+//!   checksummed atomic file framing (see README "Resilience");
+//! * [`store`] — the columnar compressed feature store with
+//!   block-indexed random access (see README "Feature store"), built
+//!   on the always-on [`framed`] layer of `ams-fault`.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -31,9 +34,14 @@ pub use ams_core as model;
 pub use ams_data as data;
 pub use ams_eval as eval;
 pub use ams_fault as fault;
+/// The checksummed framed-file layer, re-exported at the top level:
+/// it is the on-disk foundation shared by checkpoints, serving
+/// artifacts and the feature store.
+pub use ams_fault::framed;
 pub use ams_graph as graph;
 pub use ams_models as models;
 pub use ams_runtime as runtime;
 pub use ams_serve as serve;
 pub use ams_stats as stats;
+pub use ams_store as store;
 pub use ams_tensor as tensor;

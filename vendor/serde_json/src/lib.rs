@@ -284,12 +284,18 @@ impl<'a> Parser<'a> {
                     }
                 }
                 _ => {
-                    // Copy a full UTF-8 scalar.
-                    let s = std::str::from_utf8(rest)
+                    // Copy the longest run of plain bytes in one shot.
+                    // Validating UTF-8 on the whole remaining input per
+                    // scalar would make string parsing quadratic in the
+                    // document size.
+                    let mut end = 1;
+                    while end < rest.len() && rest[end] != b'"' && rest[end] != b'\\' {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&rest[..end])
                         .map_err(|e| Error::custom(format!("invalid utf-8 in string: {e}")))?;
-                    let c = s.chars().next().expect("nonempty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(s);
+                    self.pos += end;
                 }
             }
         }
