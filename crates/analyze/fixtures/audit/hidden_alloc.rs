@@ -1,0 +1,22 @@
+//! Seeded defect: `Scorer::score` is declared alloc-free, but the
+//! helper chain score → dot → scaled materializes a scaled copy of
+//! the weights with `.collect()` on every call.
+
+pub struct Scorer {
+    pub weights: Vec<f64>,
+}
+
+impl Scorer {
+    pub fn score(&self, xs: &[f64]) -> f64 {
+        self.dot(xs)
+    }
+
+    fn dot(&self, xs: &[f64]) -> f64 {
+        let w = scaled(&self.weights, 2.0);
+        w.iter().zip(xs).map(|(a, b)| a * b).sum()
+    }
+}
+
+fn scaled(ws: &[f64], k: f64) -> Vec<f64> {
+    ws.iter().map(|w| w * k).collect()
+}

@@ -1,0 +1,21 @@
+//! Seeded defect: `kernel_axpy` is declared block-free, but its
+//! `checkpoint` helper takes a mutex on every invocation — a lock
+//! acquisition buried one call below the kernel boundary.
+
+use std::sync::Mutex;
+
+pub struct Stats {
+    pub calls: Mutex<u64>,
+}
+
+pub fn kernel_axpy(y: &mut [f64], x: &[f64], alpha: f64, stats: &Stats) {
+    checkpoint(stats);
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+fn checkpoint(stats: &Stats) {
+    let mut calls = stats.calls.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *calls += 1;
+}

@@ -1,0 +1,25 @@
+//! Seeded defect: the declared root `Engine::serve` is panic-free at
+//! the top, but two hops down `head` unwraps an Option — the audit
+//! must surface the full serve → total → head chain.
+
+pub struct Engine {
+    pub scale: f64,
+}
+
+impl Engine {
+    pub fn serve(&self, xs: &[f64]) -> f64 {
+        self.total(xs) * self.scale
+    }
+
+    fn total(&self, xs: &[f64]) -> f64 {
+        head(xs) + 1.0
+    }
+}
+
+fn head(xs: &[f64]) -> f64 {
+    first(xs).unwrap()
+}
+
+fn first(xs: &[f64]) -> Option<f64> {
+    xs.first().copied()
+}

@@ -1,0 +1,788 @@
+//! Per-function workspace model for the whole-program audit.
+//!
+//! The same dependency-free scanner idiom as [`crate::lint`] and
+//! [`crate::conc::lockorder`]: no `syn`, just the conventions rustfmt
+//! enforces throughout this repo — indentation tracks block structure,
+//! one statement per line (long statements continue with unbalanced
+//! parens), `#[cfg(test)]` modules close each file. On top of the
+//! lockorder scanner this model additionally records:
+//!
+//! * trait declarations with their method names (for dispatch and the
+//!   one-level trait fallback in [`super::graph`]);
+//! * `impl Trait for Type` pairs (which type implements which trait);
+//! * struct field types and typed fn parameters / `let` bindings, so
+//!   receiver chains like `self.artifact.slave_weights` resolve;
+//! * statement units (lines grouped by paren/bracket balance), so a
+//!   multi-line `return Err(format!(…))` is recognized as one cold
+//!   error-construction statement;
+//! * `// ams-audit: allow(fact): justification` suppression marks.
+//!
+//! Conservatism contract: when the scanner cannot classify something
+//! it records *less* (an unresolved call, an unknown type), never
+//! more — the call graph under-approximates edges for unknown
+//! receivers but the token detectors in [`super::facts`] still see
+//! every line of every function body, so intrinsic sites are never
+//! lost, only their interprocedural reach.
+
+use super::facts::{detect_sites, first_cold_marker, Site};
+use crate::lint::code_part;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A typed fn parameter (`name: Type`), with the outermost useful
+/// type identifier extracted (`&dyn Backend` → `Backend`,
+/// `Option<Matrix>` → `Matrix`).
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    pub ty: Option<String>,
+}
+
+/// One body line: 1-based source line and comment/string-stripped code.
+#[derive(Debug, Clone)]
+pub struct BodyLine {
+    pub line_no: usize,
+    pub code: String,
+    /// `(line, byte-col)` of the enclosing statement's first
+    /// error-construction marker, if any: alloc tokens and call
+    /// sites positioned after it are cold.
+    pub cold_from: Option<(usize, usize)>,
+}
+
+/// One function (free fn, inherent/trait-impl method, or trait
+/// default method).
+#[derive(Debug, Clone)]
+pub struct FnModel {
+    pub name: String,
+    /// Enclosing `impl` type, or the trait name for a default method.
+    pub impl_type: Option<String>,
+    /// `impl Trait for Type`: the trait.
+    pub trait_impl: Option<String>,
+    /// Default method body declared inside `trait T { … }`.
+    pub is_trait_default: bool,
+    /// Diagnostic label of the file (repo-relative path).
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub decl_line: usize,
+    pub params: Vec<Param>,
+    pub body: Vec<BodyLine>,
+    /// Intrinsic fact sites detected in the body.
+    pub sites: Vec<Site>,
+    /// `let`-bound locals with an inferable type (`let x = T::new()`,
+    /// `let x: T = …`).
+    pub locals: BTreeMap<String, String>,
+}
+
+impl FnModel {
+    /// `Type::name` for methods, bare `name` for free fns.
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One `// ams-audit: allow(fact, …)` marker occurrence.
+#[derive(Debug, Clone)]
+pub struct AllowMark {
+    pub fact_names: Vec<String>,
+    /// Non-empty justification text followed the closing paren.
+    pub justified: bool,
+    pub file: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// The parsed workspace: functions plus the indexes resolution needs.
+#[derive(Debug, Default)]
+pub struct WorkspaceModel {
+    pub fns: Vec<FnModel>,
+    /// Trait name → declared method names (including defaults).
+    pub traits: BTreeMap<String, BTreeSet<String>>,
+    /// Trait name → implementing type names.
+    pub trait_impls: BTreeMap<String, Vec<String>>,
+    /// Struct name → field name → field type identifier.
+    pub fields: BTreeMap<String, BTreeMap<String, String>>,
+    /// Every `ams-audit: allow` marker seen, for the justification
+    /// audit.
+    pub marks: Vec<AllowMark>,
+    /// Files parsed.
+    pub files: usize,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Replace string/char-literal contents with spaces so paren counting
+/// and token matching never see quoted text. Length-preserving, so
+/// columns stay valid. Lifetimes (`'a`) are left alone.
+pub fn strip_strings(code: &str) -> String {
+    let bytes = code.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                out[i] = b'"';
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if bytes[i] == b'"' {
+                        out[i] = b'"';
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // A char literal is `'x'` or `'\x'`; anything else
+                // (lifetime) is kept verbatim.
+                let close = if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
+                    (bytes.get(i + 3) == Some(&b'\'')).then_some(i + 3)
+                } else {
+                    (bytes.get(i + 2) == Some(&b'\'')).then_some(i + 2)
+                };
+                match close {
+                    Some(c) => {
+                        out[i] = b'\'';
+                        out[c] = b'\'';
+                        i = c + 1;
+                    }
+                    None => {
+                        out[i] = bytes[i];
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out[i] = b;
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// Parse `// ams-audit: allow(fact, …): justification` from a raw
+/// line. The justification is everything after the closing paren,
+/// with leading `:`/`—`/`-`/space stripped; empty means unjustified.
+pub fn allow_marks(raw: &str, file: &str, line_no: usize) -> Option<AllowMark> {
+    const NEEDLE: &str = "ams-audit: allow(";
+    let pos = raw.find(NEEDLE)?;
+    let rest = &raw[pos + NEEDLE.len()..];
+    let end = rest.find(')')?;
+    let fact_names: Vec<String> =
+        rest[..end].split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+    let justification =
+        rest[end + 1..].trim_start_matches([':', ' ', '\u{2014}', '-']).trim().to_string();
+    Some(AllowMark {
+        fact_names,
+        justified: !justification.is_empty(),
+        file: file.to_string(),
+        line: line_no,
+        col: pos + 1,
+    })
+}
+
+/// The signature text from `fn` onward, if this line starts a fn item.
+fn fn_decl(trimmed: &str) -> Option<&str> {
+    let pos = trimmed.find("fn ")?;
+    if pos > 0 {
+        let before = &trimmed[..pos];
+        let all_qualifier =
+            before.chars().all(|c| c.is_ascii_alphabetic() || c == ' ' || c == '(' || c == ')');
+        if is_ident_char(before.chars().next_back().unwrap_or(' ')) || !all_qualifier {
+            return None; // not a leading `pub`/`pub(crate)`/`const`/`unsafe` chain
+        }
+    }
+    Some(&trimmed[pos..])
+}
+
+fn ident_prefix(s: &str) -> String {
+    s.chars().take_while(|&c| is_ident_char(c)).collect()
+}
+
+/// `struct Name` with only visibility qualifiers before it.
+fn struct_decl(trimmed: &str) -> Option<String> {
+    let pos = trimmed.find("struct ")?;
+    if !trimmed[..pos].chars().all(|c| c.is_ascii_alphabetic() || c == ' ' || c == '(' || c == ')')
+    {
+        return None;
+    }
+    let name = ident_prefix(&trimmed[pos + "struct ".len()..]);
+    (!name.is_empty()).then_some(name)
+}
+
+/// `trait Name` with only visibility qualifiers before it.
+fn trait_decl(trimmed: &str) -> Option<String> {
+    let pos = trimmed.find("trait ")?;
+    if !trimmed[..pos].chars().all(|c| c.is_ascii_alphabetic() || c == ' ') {
+        return None;
+    }
+    let name = ident_prefix(&trimmed[pos + "trait ".len()..]);
+    (!name.is_empty()).then_some(name)
+}
+
+/// `impl Type {` / `impl Trait for Type {` → `(type, trait)`. Path
+/// qualifiers keep their last segment (`std::fmt::Display` →
+/// `Display`).
+fn impl_decl(trimmed: &str) -> Option<(String, Option<String>)> {
+    let rest = trimmed.strip_prefix("impl")?;
+    let rest = if rest.starts_with('<') {
+        // Skip the generic parameter list `<…>` (depth-matched).
+        let mut depth = 0usize;
+        let mut cut = rest.len();
+        for (i, c) in rest.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        &rest[cut..]
+    } else {
+        rest
+    };
+    let rest = rest.trim_start();
+    let last_segment = |s: &str| {
+        let head = s.split([' ', '<', '{']).next().unwrap_or("");
+        ident_prefix(head.rsplit("::").next().unwrap_or(""))
+    };
+    match rest.find(" for ") {
+        Some(pos) => {
+            let tr = last_segment(&rest[..pos]);
+            let ty = last_segment(&rest[pos + " for ".len()..]);
+            (!ty.is_empty()).then_some((ty, (!tr.is_empty()).then_some(tr)))
+        }
+        None => {
+            let ty = last_segment(rest);
+            (!ty.is_empty()).then_some((ty, None))
+        }
+    }
+}
+
+/// Wrapper types whose first generic argument is the interesting type
+/// for receiver resolution.
+const TYPE_WRAPPERS: [&str; 8] =
+    ["Option", "Arc", "Rc", "Box", "Mutex", "RwLock", "RefCell", "Cell"];
+
+/// Extract the resolution-relevant type identifier from a type
+/// expression: strip references/`mut`/`dyn`/`impl` and lifetimes,
+/// unwrap smart-pointer wrappers one level at a time.
+pub fn type_ident(ty: &str) -> Option<String> {
+    let mut s = ty.trim();
+    loop {
+        s = s.trim_start();
+        if let Some(r) = s.strip_prefix('&') {
+            s = r;
+            continue;
+        }
+        if let Some(r) = s.strip_prefix("'") {
+            s = r.trim_start_matches(is_ident_char);
+            continue;
+        }
+        for kw in ["mut ", "dyn ", "impl "] {
+            if let Some(r) = s.strip_prefix(kw) {
+                s = r;
+            }
+        }
+        break;
+    }
+    let head = ident_prefix(s.rsplit("::").next().map_or(s, |last| {
+        // `a::b::C<T>` — take the last path segment before generics.
+        let prefix = s.split('<').next().unwrap_or(s);
+        prefix.rsplit("::").next().unwrap_or(last)
+    }));
+    if head.is_empty() {
+        return None;
+    }
+    if TYPE_WRAPPERS.contains(&head.as_str()) {
+        if let Some(open) = s.find('<') {
+            let inner = &s[open + 1..];
+            let cut = inner.find([',', '>']).unwrap_or(inner.len());
+            return type_ident(&inner[..cut]);
+        }
+    }
+    Some(head)
+}
+
+/// Split a signature's parameter list on top-level commas.
+fn signature_params(sig: &str) -> Vec<String> {
+    let open = match sig.find('(') {
+        Some(p) => p,
+        None => return Vec::new(),
+    };
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0i32;
+    for c in sig[open + 1..].chars() {
+        match c {
+            '(' | '<' | '[' => depth += 1,
+            ')' | '>' | ']' => {
+                if c == ')' && depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Build a [`FnModel`] from an accumulated signature (`fn …` through
+/// the opening `{` or trailing `;`).
+fn finish_signature(
+    sig: &str,
+    impl_type: Option<String>,
+    trait_impl: Option<String>,
+    is_trait_default: bool,
+    file: &str,
+    decl_line: usize,
+) -> FnModel {
+    let after_fn = sig.trim_start_matches("fn").trim_start();
+    let name = ident_prefix(after_fn);
+    let params = signature_params(sig)
+        .into_iter()
+        .filter_map(|p| {
+            let colon = p.find(':')?;
+            let pname = p[..colon].trim().trim_start_matches("mut ").trim();
+            pname
+                .chars()
+                .all(is_ident_char)
+                .then(|| Param { name: pname.to_string(), ty: type_ident(&p[colon + 1..]) })
+        })
+        .collect();
+    FnModel {
+        name,
+        impl_type,
+        trait_impl,
+        is_trait_default,
+        file: file.to_string(),
+        decl_line,
+        params,
+        body: Vec::new(),
+        sites: Vec::new(),
+        locals: BTreeMap::new(),
+    }
+}
+
+/// Infer a `let` binding's type: `let x: T = …` or `let x = T::ctor(…)`
+/// or `let x = T { … }`.
+fn let_binding(code: &str) -> Option<(String, String)> {
+    let rest = code.trim_start().strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name = ident_prefix(rest);
+    if name.is_empty() {
+        return None;
+    }
+    let after = rest[name.len()..].trim_start();
+    if let Some(annot) = after.strip_prefix(':') {
+        let ty_text = annot.split('=').next().unwrap_or(annot);
+        return type_ident(ty_text).map(|t| (name, t));
+    }
+    let rhs = after.strip_prefix('=')?.trim_start();
+    let head = ident_prefix(rhs);
+    if head.is_empty() || !head.starts_with(|c: char| c.is_ascii_uppercase()) {
+        return None;
+    }
+    let tail = &rhs[head.len()..];
+    (tail.starts_with("::") || tail.trim_start().starts_with('{')).then_some((name, head))
+}
+
+/// `name: Type,` struct field (optionally `pub`).
+fn field_decl(trimmed: &str) -> Option<(String, String)> {
+    let body = trimmed.strip_prefix("pub ").unwrap_or(trimmed);
+    let colon = body.find(':')?;
+    let name = body[..colon].trim();
+    if name.is_empty() || !name.chars().all(is_ident_char) {
+        return None;
+    }
+    let ty = type_ident(body[colon + 1..].trim_end_matches(['{', ','].as_ref()))?;
+    Some((name.to_string(), ty))
+}
+
+/// Group body lines into statement units by paren/bracket balance and
+/// mark cold (error-construction) units, then run the site detectors.
+fn finalize_fn(f: &mut FnModel, allow_lines: &BTreeMap<usize, &AllowMark>) {
+    // Unit assembly: a unit starts at depth 0 and extends while
+    // `(`/`[` depth stays positive (braces open blocks, not
+    // statements, and are ignored).
+    let mut units: Vec<(usize, usize)> = Vec::new(); // [start, end] body indices
+    let mut depth = 0i64;
+    let mut start = 0usize;
+    for (i, bl) in f.body.iter().enumerate() {
+        if depth == 0 {
+            start = i;
+        }
+        for b in bl.code.bytes() {
+            match b {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth <= 0 {
+            depth = 0;
+            units.push((start, i));
+        }
+    }
+    if depth > 0 {
+        units.push((start, f.body.len().saturating_sub(1)));
+    }
+    for &(lo, hi) in &units {
+        let marker = f.body[lo..=hi]
+            .iter()
+            .filter_map(|b| first_cold_marker(&b.code).map(|pos| (b.line_no, pos)))
+            .min();
+        if marker.is_some() {
+            for bl in &mut f.body[lo..=hi] {
+                bl.cold_from = marker;
+            }
+        }
+    }
+    for bl in &f.body {
+        if let Some((name, ty)) = let_binding(&bl.code) {
+            f.locals.entry(name).or_insert(ty);
+        }
+        let mut sites = detect_sites(&bl.code, bl.line_no, bl.cold_from);
+        for s in &mut sites {
+            let covered = [s.line, s.line.saturating_sub(1)].iter().any(|ln| {
+                allow_lines.get(ln).is_some_and(|m| {
+                    m.justified && m.fact_names.iter().any(|n| n == s.fact.as_str())
+                })
+            });
+            s.suppressed = covered;
+        }
+        f.sites.extend(sites);
+    }
+}
+
+/// Parse one file into the workspace model. Stops at `#[cfg(test)` —
+/// test modules close each file in this repo.
+pub fn parse_file(label: &str, content: &str, model: &mut WorkspaceModel) {
+    model.files += 1;
+    // Pass 1: collect every ams-audit allow marker with its line.
+    let mut file_marks: Vec<AllowMark> = Vec::new();
+    for (idx, raw) in content.lines().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)") {
+            break;
+        }
+        if let Some(mark) = allow_marks(raw, label, idx + 1) {
+            file_marks.push(mark);
+        }
+    }
+    let allow_lines: BTreeMap<usize, &AllowMark> = file_marks.iter().map(|m| (m.line, m)).collect();
+
+    let mut struct_ctx: Option<(String, usize)> = None;
+    let mut impl_ctx: Option<((String, Option<String>), usize)> = None;
+    let mut trait_ctx: Option<(String, usize)> = None;
+    let mut fn_ctx: Option<(FnModel, usize)> = None;
+    let mut sig: Option<(String, usize, usize)> = None; // text, indent, decl line
+
+    for (idx, raw) in content.lines().enumerate() {
+        let line_no = idx + 1;
+        if raw.trim_start().starts_with("#[cfg(test)") {
+            break;
+        }
+        let code = strip_strings(code_part(raw));
+        let trimmed = code.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with("#[") {
+            continue;
+        }
+        let indent = code.len() - trimmed.len();
+        let trimmed = trimmed.trim_end();
+
+        // Accumulating a multi-line signature.
+        if let Some((text, fn_indent, decl_line)) = &mut sig {
+            text.push(' ');
+            text.push_str(trimmed);
+            if trimmed.contains('{') {
+                let (it, ti, td) = owner_of(&impl_ctx, &trait_ctx);
+                let f = finish_signature(text, it, ti, td, label, *decl_line);
+                register_trait_method(model, &trait_ctx, &f.name);
+                fn_ctx = Some((f, *fn_indent));
+                sig = None;
+            } else if trimmed.ends_with(';') {
+                // Trait method declaration without a body.
+                let name = ident_prefix(text.trim_start_matches("fn").trim_start());
+                register_trait_method(model, &trait_ctx, &name);
+                sig = None;
+            }
+            continue;
+        }
+
+        // Inside a fn body.
+        if let Some((f, fn_indent)) = &mut fn_ctx {
+            if trimmed == "}" && indent == *fn_indent {
+                let (mut f, _) = fn_ctx.take().expect("fn context");
+                finalize_fn(&mut f, &allow_lines);
+                model.fns.push(f);
+            } else {
+                f.body.push(BodyLine { line_no, code: code.clone(), cold_from: None });
+            }
+            continue;
+        }
+
+        // Closing braces of item contexts.
+        if let Some((_, s_indent)) = &struct_ctx {
+            if trimmed == "}" && indent == *s_indent {
+                struct_ctx = None;
+                continue;
+            }
+        }
+        if let Some((_, i_indent)) = &impl_ctx {
+            if trimmed == "}" && indent == *i_indent {
+                impl_ctx = None;
+                continue;
+            }
+        }
+        if let Some((_, t_indent)) = &trait_ctx {
+            if trimmed == "}" && indent == *t_indent {
+                trait_ctx = None;
+                continue;
+            }
+        }
+
+        if let Some(rest) = fn_decl(trimmed) {
+            if rest.contains('{') {
+                let (it, ti, td) = owner_of(&impl_ctx, &trait_ctx);
+                let mut f = finish_signature(rest, it, ti, td, label, line_no);
+                register_trait_method(model, &trait_ctx, &f.name);
+                // Single-line body (`fn f() -> T { expr }`): braces
+                // balance on the decl line, so the fn is complete.
+                let net: i64 = rest
+                    .bytes()
+                    .map(|b| match b {
+                        b'{' => 1,
+                        b'}' => -1,
+                        _ => 0,
+                    })
+                    .sum();
+                if net == 0 {
+                    if let Some(open) = rest.find('{') {
+                        let body = rest[open + 1..].trim_end_matches('}');
+                        f.body.push(BodyLine { line_no, code: body.to_string(), cold_from: None });
+                    }
+                    finalize_fn(&mut f, &allow_lines);
+                    model.fns.push(f);
+                } else {
+                    fn_ctx = Some((f, indent));
+                }
+            } else if rest.ends_with(';') {
+                let name = ident_prefix(rest.trim_start_matches("fn").trim_start());
+                register_trait_method(model, &trait_ctx, &name);
+            } else {
+                sig = Some((rest.to_string(), indent, line_no));
+            }
+            continue;
+        }
+
+        if let Some(name) = struct_decl(trimmed) {
+            if trimmed.ends_with('{') {
+                struct_ctx = Some((name, indent));
+            }
+            continue;
+        }
+        if let Some(name) = trait_decl(trimmed) {
+            model.traits.entry(name.clone()).or_default();
+            if trimmed.ends_with('{') {
+                trait_ctx = Some((name, indent));
+            }
+            continue;
+        }
+        if let Some((ty, tr)) = impl_decl(trimmed) {
+            if let Some(tr) = &tr {
+                model.trait_impls.entry(tr.clone()).or_default().push(ty.clone());
+            }
+            impl_ctx = Some(((ty, tr), indent));
+            continue;
+        }
+
+        if let Some((s_name, _)) = &struct_ctx {
+            if let Some((field, ty)) = field_decl(trimmed) {
+                model.fields.entry(s_name.clone()).or_default().insert(field, ty);
+            }
+        }
+    }
+    if let Some((mut f, _)) = fn_ctx {
+        finalize_fn(&mut f, &allow_lines);
+        model.fns.push(f);
+    }
+    model.marks.extend(file_marks);
+}
+
+/// The `(impl_type, trait_impl, is_trait_default)` triple for a fn
+/// declared under the current impl/trait context.
+fn owner_of(
+    impl_ctx: &Option<((String, Option<String>), usize)>,
+    trait_ctx: &Option<(String, usize)>,
+) -> (Option<String>, Option<String>, bool) {
+    if let Some(((ty, tr), _)) = impl_ctx {
+        return (Some(ty.clone()), tr.clone(), false);
+    }
+    if let Some((tr, _)) = trait_ctx {
+        return (Some(tr.clone()), None, true);
+    }
+    (None, None, false)
+}
+
+fn register_trait_method(
+    model: &mut WorkspaceModel,
+    trait_ctx: &Option<(String, usize)>,
+    name: &str,
+) {
+    if let Some((tr, _)) = trait_ctx {
+        if !name.is_empty() {
+            model.traits.entry(tr.clone()).or_default().insert(name.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::facts::{Fact, Tier};
+
+    fn parse(src: &str) -> WorkspaceModel {
+        let mut m = WorkspaceModel::default();
+        parse_file("test.rs", src, &mut m);
+        m
+    }
+
+    #[test]
+    fn traits_impls_and_fields_are_indexed() {
+        let src = "pub trait Backend: Send {\n\
+                   \x20   fn name(&self) -> String;\n\
+                   \x20   fn matmul(&self, a: &[f64]) {\n\
+                   \x20       helper(a);\n\
+                   \x20   }\n\
+                   }\n\
+                   pub struct Seq;\n\
+                   impl Backend for Seq {\n\
+                   \x20   fn name(&self) -> String {\n\
+                   \x20       heat()\n\
+                   \x20   }\n\
+                   }\n\
+                   pub struct Engine {\n\
+                   \x20   pub artifact: ModelArtifact,\n\
+                   }\n";
+        let m = parse(src);
+        assert!(m.traits["Backend"].contains("name") && m.traits["Backend"].contains("matmul"));
+        assert_eq!(m.trait_impls["Backend"], vec!["Seq".to_string()]);
+        assert_eq!(m.fields["Engine"]["artifact"], "ModelArtifact");
+        let default = m.fns.iter().find(|f| f.name == "matmul").unwrap();
+        assert!(default.is_trait_default);
+        assert_eq!(default.impl_type.as_deref(), Some("Backend"));
+        let ovr = m.fns.iter().find(|f| f.name == "name").unwrap();
+        assert_eq!(ovr.impl_type.as_deref(), Some("Seq"));
+        assert_eq!(ovr.trait_impl.as_deref(), Some("Backend"));
+    }
+
+    #[test]
+    fn type_idents_unwrap_references_and_wrappers() {
+        assert_eq!(type_ident("&dyn Backend").as_deref(), Some("Backend"));
+        assert_eq!(type_ident("&mut Workspace").as_deref(), Some("Workspace"));
+        assert_eq!(type_ident("Option<Matrix>").as_deref(), Some("Matrix"));
+        assert_eq!(type_ident("Arc<Mutex<Registry>>").as_deref(), Some("Registry"));
+        assert_eq!(type_ident("&'a [f64]").as_deref(), None);
+        assert_eq!(type_ident("crate::skeleton::SegmentEntry").as_deref(), Some("SegmentEntry"));
+        assert_eq!(type_ident("Vec<Vec<f64>>").as_deref(), Some("Vec"));
+    }
+
+    #[test]
+    fn multi_line_err_statement_is_one_cold_unit() {
+        let src = "fn f(x: usize) -> Result<(), String> {\n\
+                   \x20   if x > 3 {\n\
+                   \x20       return Err(format!(\n\
+                   \x20           \"too big: {}\",\n\
+                   \x20           x.to_string()\n\
+                   \x20       ));\n\
+                   \x20   }\n\
+                   \x20   let hot = format!(\"{x}\");\n\
+                   \x20   Ok(())\n\
+                   }\n";
+        let m = parse(src);
+        let f = &m.fns[0];
+        let allocs: Vec<(&Tier, usize)> =
+            f.sites.iter().filter(|s| s.fact == Fact::Alloc).map(|s| (&s.tier, s.line)).collect();
+        // format! + to_string inside the Err statement are cold; the
+        // later format! is hot.
+        assert!(allocs.contains(&(&Tier::Guarded, 3)), "{allocs:?}");
+        assert!(allocs.contains(&(&Tier::Guarded, 5)), "{allocs:?}");
+        assert!(allocs.contains(&(&Tier::May, 8)), "{allocs:?}");
+    }
+
+    #[test]
+    fn justified_allows_suppress_adjacent_sites_only() {
+        let src = "fn f(ws: &mut Pool) {\n\
+                   \x20   // ams-audit: allow(alloc): arena warm-up, steady state counter-tested\n\
+                   \x20   let v = vec![0.0; 8];\n\
+                   \x20   let w = vec![0.0; 8];\n\
+                   \x20   // ams-audit: allow(alloc)\n\
+                   \x20   let u = vec![0.0; 8];\n\
+                   }\n";
+        let m = parse(src);
+        let f = &m.fns[0];
+        let by_line: BTreeMap<usize, bool> = f
+            .sites
+            .iter()
+            .filter(|s| s.fact == Fact::Alloc)
+            .map(|s| (s.line, s.suppressed))
+            .collect();
+        assert!(by_line[&3], "{by_line:?}");
+        assert!(!by_line[&4]);
+        // The bare allow carries no justification: it must NOT suppress.
+        assert!(!by_line[&6]);
+        assert_eq!(m.marks.len(), 2);
+        assert!(m.marks.iter().any(|mk| !mk.justified));
+    }
+
+    #[test]
+    fn single_line_fn_bodies_are_captured() {
+        let src = "fn tiny(x: usize) -> usize { x + 1 }\n\
+                   fn after() {\n\
+                   \x20   tiny(2);\n\
+                   }\n";
+        let m = parse(src);
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[0].name, "tiny");
+        assert_eq!(m.fns[1].name, "after");
+        assert_eq!(m.fns[1].body.len(), 1);
+    }
+
+    #[test]
+    fn let_bindings_and_params_type_locals() {
+        let src = "fn f(backend: &dyn Backend, ws: &mut Workspace) {\n\
+                   \x20   let snap: Snapshot = load();\n\
+                   \x20   let m = Matrix::zeros(2, 2);\n\
+                   \x20   let unknown = helper();\n\
+                   }\n";
+        let m = parse(src);
+        let f = &m.fns[0];
+        assert_eq!(f.params[0].ty.as_deref(), Some("Backend"));
+        assert_eq!(f.params[1].ty.as_deref(), Some("Workspace"));
+        assert_eq!(f.locals.get("snap").map(String::as_str), Some("Snapshot"));
+        assert_eq!(f.locals.get("m").map(String::as_str), Some("Matrix"));
+        assert!(!f.locals.contains_key("unknown"));
+    }
+}

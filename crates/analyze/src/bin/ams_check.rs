@@ -6,6 +6,8 @@
 //! ams-check lint [PATHS...] [--format text|json]       lint specific files
 //! ams-check conc [PATHS...] [--format text|json]       lock-order analysis
 //! ams-check plan FILE... [--format text|json]          audit JSON plan specs
+//! ams-check audit [PATHS...] [--config FILE] [--bench FILE]
+//!                                                      whole-program hot-path audit
 //! ```
 //!
 //! `conc` with no paths analyzes the workspace concurrency surface
@@ -13,20 +15,28 @@
 //! exactly those files. `--conc` appends the same workspace pass to
 //! the default lint run.
 //!
+//! `audit` with no paths parses every workspace source under `--root`
+//! and checks the hot-path roots declared in `<root>/audit.toml`
+//! (override with `--config`); with paths it audits exactly those
+//! files, and `--config` is required. `--bench FILE` additionally
+//! writes wall-time and graph-size statistics as JSON.
+//!
 //! Exit codes (stable, documented in README):
 //!   0  clean, or warnings/infos only
 //!   1  at least one error-severity diagnostic
 //!   2  internal failure: bad arguments, unreadable file, invalid spec
 
 use ams_analyze::conc::lockorder;
-use ams_analyze::{lint, plan_io, Report};
+use ams_analyze::{audit, lint, plan_io, Report};
+use serde::Value;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: ams-check [--conc] [--root DIR] [--format text|json]
        ams-check lint [PATHS...] [--format text|json]
        ams-check conc [PATHS...] [--format text|json]
-       ams-check plan FILE... [--format text|json]";
+       ams-check plan FILE... [--format text|json]
+       ams-check audit [PATHS...] [--config FILE] [--bench FILE] [--format text|json]";
 
 enum Format {
     Text,
@@ -39,6 +49,10 @@ struct Cli {
     root: PathBuf,
     /// `--conc`: also run the lock-order pass after a workspace lint.
     conc: bool,
+    /// `--config`: audit.toml location (audit only).
+    config: Option<PathBuf>,
+    /// `--bench`: write audit wall-time / graph-size stats here.
+    bench: Option<PathBuf>,
 }
 
 enum Command {
@@ -47,12 +61,16 @@ enum Command {
     ConcWorkspace,
     ConcPaths(Vec<PathBuf>),
     Plan(Vec<PathBuf>),
+    AuditWorkspace,
+    AuditPaths(Vec<PathBuf>),
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
     let mut conc = false;
+    let mut config: Option<PathBuf> = None;
+    let mut bench: Option<PathBuf> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -65,6 +83,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return Err("--root expects a directory".to_string()),
+            },
+            "--config" => match it.next() {
+                Some(file) => config = Some(PathBuf::from(file)),
+                None => return Err("--config expects a file".to_string()),
+            },
+            "--bench" => match it.next() {
+                Some(file) => bench = Some(PathBuf::from(file)),
+                None => return Err("--bench expects a file".to_string()),
             },
             "--conc" => conc = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -81,6 +107,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "conc" => Command::ConcPaths(rest.iter().map(PathBuf::from).collect()),
             "plan" if rest.is_empty() => return Err("plan: expected at least one FILE".to_string()),
             "plan" => Command::Plan(rest.iter().map(PathBuf::from).collect()),
+            "audit" if rest.is_empty() => Command::AuditWorkspace,
+            "audit" => Command::AuditPaths(rest.iter().map(PathBuf::from).collect()),
             other => return Err(format!("unknown command `{other}`\n{USAGE}")),
         },
     };
@@ -89,7 +117,58 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     use the `conc` subcommand for explicit paths"
             .to_string());
     }
-    Ok(Cli { command, format, root: root.unwrap_or_else(|| PathBuf::from(".")), conc })
+    if config.is_some() && !matches!(command, Command::AuditWorkspace | Command::AuditPaths(_)) {
+        return Err("--config only applies to the `audit` subcommand".to_string());
+    }
+    if bench.is_some() && !matches!(command, Command::AuditWorkspace | Command::AuditPaths(_)) {
+        return Err("--bench only applies to the `audit` subcommand".to_string());
+    }
+    if config.is_none() && matches!(command, Command::AuditPaths(_)) {
+        return Err("audit with explicit paths needs --config FILE".to_string());
+    }
+    Ok(Cli {
+        command,
+        format,
+        root: root.unwrap_or_else(|| PathBuf::from(".")),
+        conc,
+        config,
+        bench,
+    })
+}
+
+/// Run the audit, optionally recording wall-time and graph-size
+/// stats (`--bench`) for `results/BENCH_check.json`.
+fn run_audit(cli: &Cli) -> Result<Report, String> {
+    let config = match &cli.config {
+        Some(c) => c.clone(),
+        None => cli.root.join("audit.toml"),
+    };
+    let started = std::time::Instant::now();
+    let (report, stats) = match &cli.command {
+        Command::AuditPaths(paths) => {
+            let text = std::fs::read_to_string(&config)
+                .map_err(|e| format!("cannot read {}: {e}", config.display()))?;
+            let roots = audit::config::parse(&text)?;
+            audit::audit_files(&cli.root, paths, &roots)?
+        }
+        _ => audit::audit_workspace(&cli.root, &config)?,
+    };
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    if let Some(bench) = &cli.bench {
+        let json = Value::Object(vec![
+            ("tool".to_string(), Value::String("ams-check audit".to_string())),
+            ("wall_ms".to_string(), Value::Number((wall_ms * 1e3).round() / 1e3)),
+            ("files".to_string(), Value::Number(stats.files as f64)),
+            ("functions".to_string(), Value::Number(stats.functions as f64)),
+            ("edges".to_string(), Value::Number(stats.edges as f64)),
+            ("roots".to_string(), Value::Number(stats.roots as f64)),
+            ("violations".to_string(), Value::Number(stats.violations as f64)),
+        ]);
+        let rendered = serde_json::to_string(&json).map_err(|e| format!("bench JSON: {e:?}"))?;
+        std::fs::write(bench, rendered + "\n")
+            .map_err(|e| format!("cannot write {}: {e}", bench.display()))?;
+    }
+    Ok(report)
 }
 
 fn run(cli: &Cli) -> Result<Report, String> {
@@ -122,6 +201,9 @@ fn run(cli: &Cli) -> Result<Report, String> {
                 report.extend(ams_analyze::analyze(&audit).diagnostics);
             }
         }
+        Command::AuditWorkspace | Command::AuditPaths(_) => {
+            report = run_audit(cli)?;
+        }
     }
     report.sort();
     Ok(report)
@@ -152,6 +234,8 @@ fn describe(cli: &Cli) -> String {
         }
         Command::ConcPaths(paths) => format!("{} file(s) (lock-order)", paths.len()),
         Command::Plan(files) => format!("{} plan spec(s)", files.len()),
+        Command::AuditWorkspace => format!("hot-path audit of workspace at {}", cli.root.display()),
+        Command::AuditPaths(paths) => format!("{} file(s) (hot-path audit)", paths.len()),
     }
 }
 
@@ -165,8 +249,10 @@ fn main() -> ExitCode {
         }
     };
     // Sanity-check the root early so a typo'd --root is a clean 2.
-    if matches!(cli.command, Command::LintWorkspace | Command::ConcWorkspace)
-        && !Path::new(&cli.root).is_dir()
+    if matches!(
+        cli.command,
+        Command::LintWorkspace | Command::ConcWorkspace | Command::AuditWorkspace
+    ) && !Path::new(&cli.root).is_dir()
     {
         eprintln!("ams-check: --root {} is not a directory", cli.root.display());
         return ExitCode::from(2);

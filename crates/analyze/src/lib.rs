@@ -16,12 +16,17 @@
 //!    over the serving/runtime concurrency surface (`ams-check
 //!    --conc`) plus a deterministic interleaving explorer with
 //!    vector-clock race checking for protocol models.
+//! 4. **Whole-program audit** ([`audit`]) — interprocedural
+//!    panic/alloc/block propagation over a workspace call graph
+//!    (`ams-check audit`), gating the declared hot-path roots of
+//!    `audit.toml` with full root-to-site call-chain provenance.
 //!
 //! CI runs `ams-check` and fails on any `error`-severity finding;
 //! `warn`/`info` are reported but do not gate. Exit codes are stable:
 //! 0 clean (or warnings only), 1 at least one error diagnostic,
 //! 2 internal failure (bad arguments, unreadable file, invalid plan).
 
+pub mod audit;
 pub mod conc;
 pub mod diagnostic;
 pub mod lint;

@@ -26,6 +26,64 @@ const NO_UNWRAP_FILES: [&str; 3] =
 /// Panic-family macros denied anywhere under `serve/src/`.
 const PANIC_MACROS: [&str; 4] = ["panic!(", "todo!(", "unimplemented!(", "unreachable!("];
 
+/// Unwrap-family method calls denied on hot and untrusted-input paths.
+const UNWRAP_NEEDLES: [&str; 2] = [".unwrap()", ".expect("];
+
+/// One parameterized token-deny rule: the same matcher drives all
+/// four per-crate unwrap/panic policies, which used to be four
+/// copy-pasted blocks. `macro_family` switches on the
+/// identifier-boundary check (so `debug_assert!` never matches
+/// `assert!`-like needles) and the `…)` ellipsis in the message.
+struct DenyRule {
+    rule: &'static str,
+    in_scope: fn(&str) -> bool,
+    needles: &'static [&'static str],
+    macro_family: bool,
+    /// Message context after the backquoted token.
+    context: &'static str,
+    hint: &'static str,
+}
+
+/// Deny-rule table, in output order per line.
+static DENY_RULES: [DenyRule; 4] = [
+    DenyRule {
+        rule: "no-unwrap-in-serve",
+        in_scope: in_no_unwrap_scope,
+        needles: &UNWRAP_NEEDLES,
+        macro_family: false,
+        context: "in a serving hot path: a panic here kills a worker mid-request",
+        hint: "propagate a Result (or recover, e.g. PoisonError::into_inner for locks)",
+    },
+    // The store's decoders run on untrusted on-disk bytes: a
+    // malformed segment must surface as a `StoreError`, never take
+    // the process down. Same unwrap/panic discipline as the serving
+    // hot path, under store-specific rule names.
+    DenyRule {
+        rule: "no-unwrap-in-store",
+        in_scope: in_store_scope,
+        needles: &UNWRAP_NEEDLES,
+        macro_family: false,
+        context: "in the feature store: decoders consume untrusted bytes",
+        hint: "return a StoreError so corrupt files are rejected, not fatal",
+    },
+    DenyRule {
+        rule: "no-panic-in-store",
+        in_scope: in_store_scope,
+        needles: &PANIC_MACROS,
+        macro_family: true,
+        context: "in the feature store",
+        hint: "return a StoreError variant instead of panicking on bad data",
+    },
+    DenyRule {
+        rule: "no-panic-in-inference",
+        in_scope: in_serve_scope,
+        needles: &PANIC_MACROS,
+        macro_family: true,
+        context: "on an inference path",
+        hint: "return an error variant instead of panicking in the serving stack",
+    },
+];
+
 /// Integer target types for the float-truncation rule.
 const INT_CASTS: [&str; 8] =
     ["as usize", "as isize", "as i32", "as i64", "as u32", "as u64", "as u8", "as u16"];
@@ -264,88 +322,30 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Diagnostic> {
             }
         }
 
-        if in_no_unwrap_scope(path) && !allowed.contains("no-unwrap-in-serve") {
-            for needle in [".unwrap()", ".expect("] {
-                if let Some(col) = code.find(needle) {
-                    out.push(finding(
-                        true,
-                        "no-unwrap-in-serve",
-                        path,
-                        line_no,
-                        col + 1,
-                        format!(
-                            "`{}` in a serving hot path: a panic here kills a worker mid-request",
-                            needle.trim_end_matches('(')
-                        ),
-                        "propagate a Result (or recover, e.g. PoisonError::into_inner for locks)",
-                    ));
-                }
+        for dr in &DENY_RULES {
+            if !(dr.in_scope)(path) || allowed.contains(dr.rule) {
+                continue;
             }
-        }
-
-        // The store's decoders run on untrusted on-disk bytes: a
-        // malformed segment must surface as a `StoreError`, never take
-        // the process down. Same unwrap/panic discipline as the
-        // serving hot path, under store-specific rule names.
-        if in_store_scope(path) && !allowed.contains("no-unwrap-in-store") {
-            for needle in [".unwrap()", ".expect("] {
+            for needle in dr.needles {
                 if let Some(col) = code.find(needle) {
-                    out.push(finding(
-                        true,
-                        "no-unwrap-in-store",
-                        path,
-                        line_no,
-                        col + 1,
-                        format!(
-                            "`{}` in the feature store: decoders consume untrusted bytes",
-                            needle.trim_end_matches('(')
-                        ),
-                        "return a StoreError so corrupt files are rejected, not fatal",
-                    ));
-                }
-            }
-        }
-        if in_store_scope(path) && !allowed.contains("no-panic-in-store") {
-            for needle in PANIC_MACROS {
-                if let Some(col) = code.find(needle) {
-                    let pre_ok = col == 0
-                        || !code.as_bytes()[col - 1].is_ascii_alphanumeric()
-                            && code.as_bytes()[col - 1] != b'_';
-                    if pre_ok {
-                        out.push(finding(
-                            true,
-                            "no-panic-in-store",
-                            path,
-                            line_no,
-                            col + 1,
-                            format!("`{}...)` in the feature store", needle.trim_end_matches('(')),
-                            "return a StoreError variant instead of panicking on bad data",
-                        ));
+                    // For macro needles, make sure the match is the
+                    // macro itself (`panic!`), not a suffix of a
+                    // longer identifier — `debug_assert!` stays fine.
+                    if dr.macro_family {
+                        let pre_ok = col == 0
+                            || !code.as_bytes()[col - 1].is_ascii_alphanumeric()
+                                && code.as_bytes()[col - 1] != b'_';
+                        if !pre_ok {
+                            continue;
+                        }
                     }
-                }
-            }
-        }
-
-        if in_serve_scope(path) && !allowed.contains("no-panic-in-inference") {
-            for needle in PANIC_MACROS {
-                if let Some(col) = code.find(needle) {
-                    // `debug_assert!`/`assert!` are fine; make sure the
-                    // match is the macro itself, not a suffix of a
-                    // longer identifier.
-                    let pre_ok = col == 0
-                        || !code.as_bytes()[col - 1].is_ascii_alphanumeric()
-                            && code.as_bytes()[col - 1] != b'_';
-                    if pre_ok {
-                        out.push(finding(
-                            true,
-                            "no-panic-in-inference",
-                            path,
-                            line_no,
-                            col + 1,
-                            format!("`{}...)` on an inference path", needle.trim_end_matches('(')),
-                            "return an error variant instead of panicking in the serving stack",
-                        ));
-                    }
+                    let token = needle.trim_end_matches('(');
+                    let message = if dr.macro_family {
+                        format!("`{token}...)` {}", dr.context)
+                    } else {
+                        format!("`{token}` {}", dr.context)
+                    };
+                    out.push(finding(true, dr.rule, path, line_no, col + 1, message, dr.hint));
                 }
             }
         }

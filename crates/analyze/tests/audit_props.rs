@@ -1,0 +1,189 @@
+//! Property tests for the audit call-graph algorithms: Tarjan SCC
+//! condensation must agree with a naive mutual-reachability oracle on
+//! arbitrary digraphs, and bottom-up fact propagation must mark
+//! exactly the ancestors of planted panic sites — on DAGs and on
+//! cyclic graphs alike.
+
+use ams_analyze::audit::facts::{Fact, Tier};
+use ams_analyze::audit::graph::{condense, fact_index, propagate, CallSite, Levels};
+use proptest::prelude::*;
+
+const MAX_N: usize = 12;
+
+/// Decode drawn codes into a digraph on `n` nodes: each code picks an
+/// ordered pair (self-loops and duplicates allowed — the algorithms
+/// must tolerate both).
+fn decode_edges(n: usize, codes: &[usize]) -> Vec<(usize, usize)> {
+    codes.iter().map(|&c| ((c / MAX_N) % n, c % n)).collect()
+}
+
+/// Adjacency list from an edge set, deduplicated.
+fn adjacency(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        if !adj[u].contains(&v) {
+            adj[u].push(v);
+        }
+    }
+    adj
+}
+
+/// Naive reachability closure: `reach[u][v]` iff a path u →* v exists
+/// (with u reaching itself trivially).
+fn reachability(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<bool>> {
+    let mut reach = vec![vec![false; n]; n];
+    for (start, row) in reach.iter_mut().enumerate() {
+        let mut stack = vec![start];
+        row[start] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !row[v] {
+                    row[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    reach
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Two nodes share an SCC exactly when each reaches the other.
+    #[test]
+    fn condensation_agrees_with_mutual_reachability(
+        n in 2usize..MAX_N,
+        codes in prop::collection::vec(0usize..MAX_N * MAX_N, 0..36),
+    ) {
+        let edges = decode_edges(n, &codes);
+        let adj = adjacency(n, &edges);
+        let (comp_of, comps) = condense(n, &adj);
+        let reach = reachability(n, &adj);
+        for u in 0..n {
+            for v in 0..n {
+                let together = comp_of[u] == comp_of[v];
+                let mutual = reach[u][v] && reach[v][u];
+                prop_assert_eq!(
+                    together, mutual,
+                    "nodes {} and {}: same-SCC={} mutual-reach={}", u, v, together, mutual
+                );
+            }
+        }
+        // Every node appears in exactly one emitted component.
+        let mut seen = vec![0usize; n];
+        for comp in &comps {
+            for &u in comp {
+                seen[u] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    /// Components are emitted callees-first: a cross-component edge
+    /// always points at an earlier component in the emission order.
+    #[test]
+    fn condensation_emits_callees_before_callers(
+        n in 2usize..MAX_N,
+        codes in prop::collection::vec(0usize..MAX_N * MAX_N, 0..36),
+    ) {
+        let edges = decode_edges(n, &codes);
+        let adj = adjacency(n, &edges);
+        let (comp_of, comps) = condense(n, &adj);
+        let mut order = vec![0usize; comps.len()];
+        for (pos, comp) in comps.iter().enumerate() {
+            order[comp_of[comp[0]]] = pos;
+        }
+        for &(u, v) in &edges {
+            if comp_of[u] != comp_of[v] {
+                prop_assert!(
+                    order[comp_of[v]] < order[comp_of[u]],
+                    "edge {}→{} but callee component emitted later", u, v
+                );
+            }
+        }
+    }
+
+    /// With panic sites planted at a subset of nodes, propagation
+    /// marks exactly the nodes that can reach a planted site — no
+    /// false positives, no misses, cycles included.
+    #[test]
+    fn propagation_marks_exactly_the_ancestors_of_planted_sites(
+        n in 2usize..MAX_N,
+        codes in prop::collection::vec(0usize..MAX_N * MAX_N, 0..30),
+        plant_codes in prop::collection::vec(0usize..MAX_N, 1..4),
+    ) {
+        let edges = decode_edges(n, &codes);
+        let adj = adjacency(n, &edges);
+        let planted: Vec<usize> = plant_codes.iter().map(|&c| c % n).collect();
+        let k = fact_index(Fact::Panic);
+        let mut intrinsic = vec![Levels::default(); n];
+        for &p in &planted {
+            intrinsic[p][k] = Tier::May;
+        }
+        let call_edges: Vec<Vec<CallSite>> = adj
+            .iter()
+            .map(|cs| {
+                cs.iter().map(|&v| CallSite { callee: v, line: 1, cold: false }).collect()
+            })
+            .collect();
+        let levels = propagate(&intrinsic, &call_edges);
+        let reach = reachability(n, &adj);
+        for u in 0..n {
+            let expected = planted.iter().any(|&p| reach[u][p]);
+            prop_assert_eq!(
+                levels[u][k] == Tier::May,
+                expected,
+                "node {}: propagated {:?}, ancestor-of-planted {}", u, levels[u][k], expected
+            );
+        }
+    }
+
+    /// On a random DAG with one allocating sink, a node is May exactly
+    /// when a path of exclusively hot edges reaches the sink; a node
+    /// whose only routes cross a cold edge is capped at Guarded.
+    #[test]
+    fn cold_edges_cap_alloc_on_random_dags(
+        n in 3usize..10,
+        edge_codes in prop::collection::vec(0usize..2, 45),
+        cold_codes in prop::collection::vec(0usize..2, 45),
+    ) {
+        // DAG by construction: only pairs u → v with u < v.
+        let mut pairs = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                pairs.push((u, v));
+            }
+        }
+        let k = fact_index(Fact::Alloc);
+        let mut intrinsic = vec![Levels::default(); n];
+        intrinsic[n - 1][k] = Tier::May; // sink allocates
+        let call_edges: Vec<Vec<CallSite>> = (0..n)
+            .map(|u| {
+                pairs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &(a, _))| a == u && edge_codes[i] == 1)
+                    .map(|(i, &(_, v))| CallSite { callee: v, line: 1, cold: cold_codes[i] == 1 })
+                    .collect()
+            })
+            .collect();
+        let levels = propagate(&intrinsic, &call_edges);
+        let hot_adj: Vec<Vec<usize>> = call_edges
+            .iter()
+            .map(|es| es.iter().filter(|e| !e.cold).map(|e| e.callee).collect())
+            .collect();
+        let hot_reach = reachability(n, &hot_adj);
+        let any_adj: Vec<Vec<usize>> =
+            call_edges.iter().map(|es| es.iter().map(|e| e.callee).collect()).collect();
+        let any_reach = reachability(n, &any_adj);
+        for u in 0..n {
+            let may = levels[u][k] == Tier::May;
+            prop_assert_eq!(may, hot_reach[u][n - 1], "node {} hot-path oracle", u);
+            // A cold-only route still surfaces as Guarded, never Free.
+            if !may && any_reach[u][n - 1] {
+                prop_assert_eq!(levels[u][k], Tier::Guarded, "node {} cold route", u);
+            }
+        }
+    }
+}

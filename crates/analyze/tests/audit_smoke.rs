@@ -1,0 +1,216 @@
+//! End-to-end smoke tests for `ams-check audit`: every seeded defect
+//! fixture must be caught with its full root-to-site call chain, the
+//! real workspace roots must verify clean, and the documented exit
+//! codes (0 clean, 1 violations, 2 internal failure) must hold.
+
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join("audit").join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ams-check"))
+        .args(args)
+        .output()
+        .expect("ams-check binary runs")
+}
+
+fn run_fixture_audit(extra: &[&str]) -> Output {
+    let config = fixture("audit.toml");
+    let files = ["transitive_unwrap.rs", "hidden_alloc.rs", "lock_in_kernel.rs"].map(fixture);
+    let mut args: Vec<String> = vec!["audit".into()];
+    args.extend(files.iter().map(|p| p.to_str().unwrap().to_string()));
+    args.push("--config".into());
+    args.push(config.to_str().unwrap().to_string());
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    run(&arg_refs)
+}
+
+fn json_report(out: &Output) -> Value {
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    serde_json::from_str(stdout.trim()).unwrap_or_else(|e| panic!("bad JSON {e:?}: {stdout}"))
+}
+
+fn diagnostics(report: &Value) -> Vec<Value> {
+    report.get("diagnostics").and_then(Value::as_array).expect("diagnostics array").to_vec()
+}
+
+fn with_rule<'a>(diags: &'a [Value], rule: &str) -> Vec<&'a Value> {
+    diags.iter().filter(|d| d.get("rule").and_then(Value::as_str) == Some(rule)).collect()
+}
+
+fn message(d: &Value) -> &str {
+    d.get("message").and_then(Value::as_str).unwrap_or("")
+}
+
+#[test]
+fn transitive_unwrap_is_caught_with_the_full_chain() {
+    let out = run_fixture_audit(&["--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let diags = diagnostics(&json_report(&out));
+    let hits = with_rule(&diags, "hot-path-panic");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    let d = hits[0];
+    assert_eq!(d.get("severity").and_then(Value::as_str), Some("error"));
+    assert_eq!(d.get("line").and_then(Value::as_f64), Some(20.0), "site is head's unwrap");
+    let msg = message(d);
+    assert!(msg.contains("`Engine::serve` may panic"), "{msg}");
+    assert!(msg.contains("`.unwrap()`"), "{msg}");
+    // Full provenance: every hop of serve → total → head, in order.
+    let serve = msg.find("serve (").expect("serve hop");
+    let total = msg.find("total (").expect("total hop");
+    let head = msg.find("head (").expect("head hop");
+    assert!(serve < total && total < head, "chain out of order: {msg}");
+    assert_eq!(msg.matches(" \u{2192} ").count(), 2, "two arrows for three hops: {msg}");
+}
+
+#[test]
+fn hidden_alloc_is_caught_through_the_helper_chain() {
+    let out = run_fixture_audit(&["--format", "json"]);
+    let diags = diagnostics(&json_report(&out));
+    let hits = with_rule(&diags, "hot-path-alloc");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    let msg = message(hits[0]);
+    assert!(msg.contains("`Scorer::score` may alloc"), "{msg}");
+    assert!(msg.contains("`.collect()`"), "{msg}");
+    for hop in ["score (", "dot (", "scaled ("] {
+        assert!(msg.contains(hop), "missing hop {hop}: {msg}");
+    }
+}
+
+#[test]
+fn lock_in_kernel_is_caught_below_the_kernel_boundary() {
+    let out = run_fixture_audit(&["--format", "json"]);
+    let diags = diagnostics(&json_report(&out));
+    let hits = with_rule(&diags, "hot-path-block");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    let msg = message(hits[0]);
+    assert!(msg.contains("`kernel_axpy` may block"), "{msg}");
+    assert!(msg.contains("`.lock()`"), "{msg}");
+    assert!(msg.contains("kernel_axpy (") && msg.contains("checkpoint ("), "{msg}");
+}
+
+#[test]
+fn text_output_renders_all_three_violations() {
+    let out = run_fixture_audit(&[]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for rule in ["hot-path-panic", "hot-path-alloc", "hot-path-block"] {
+        assert!(text.contains(rule), "missing {rule} in:\n{text}");
+    }
+    assert!(text.contains("3 error(s)"), "{text}");
+}
+
+#[test]
+fn real_workspace_roots_verify_clean() {
+    let root = workspace_root();
+    let out = run(&["audit", "--root", root.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace audit must be clean\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = json_report(&out);
+    assert_eq!(report.get("errors").and_then(Value::as_f64), Some(0.0));
+    let diags = diagnostics(&report);
+    let clean = with_rule(&diags, "audit-root-clean");
+    assert!(clean.len() >= 10, "expected every declared root verified, got {}", clean.len());
+    let serve_root = clean
+        .iter()
+        .find(|d| message(d).contains("serve-batch-hot-path"))
+        .expect("serve-batch-hot-path verified");
+    let msg = message(serve_root);
+    assert!(msg.contains("panic-free") && msg.contains("alloc-free"), "{msg}");
+}
+
+#[test]
+fn missing_config_is_an_internal_failure() {
+    let out = run(&["audit", "--config", "/nonexistent/audit.toml"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("audit"), "names the failing step");
+}
+
+#[test]
+fn unjustified_suppression_is_rejected() {
+    let dir = std::env::temp_dir().join("ams_audit_smoke_suppression");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("bare_allow.rs");
+    let config = dir.join("audit.toml");
+    std::fs::write(
+        &src,
+        "pub fn hot() -> u64 {\n    // ams-audit: allow(panic)\n    maybe().unwrap()\n}\n\nfn maybe() -> Option<u64> {\n    Some(1)\n}\n",
+    )
+    .unwrap();
+    std::fs::write(&config, "[[root]]\nname = \"r\"\nfunction = \"hot\"\ndeny = [\"panic\"]\n")
+        .unwrap();
+    let out = run(&[
+        "audit",
+        src.to_str().unwrap(),
+        "--config",
+        config.to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let diags = diagnostics(&json_report(&out));
+    let bad = with_rule(&diags, "audit-bad-suppression");
+    assert_eq!(bad.len(), 1, "{diags:?}");
+    assert!(message(bad[0]).contains("without a justification"), "{:?}", bad[0]);
+    // A bare allow suppresses nothing: the unwrap still propagates.
+    assert_eq!(with_rule(&diags, "hot-path-panic").len(), 1, "{diags:?}");
+}
+
+#[test]
+fn justified_suppression_silences_the_violation() {
+    let dir = std::env::temp_dir().join("ams_audit_smoke_justified");
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("justified.rs");
+    let config = dir.join("audit.toml");
+    std::fs::write(
+        &src,
+        "pub fn hot() -> u64 {\n    // ams-audit: allow(panic): maybe() is Some by construction\n    maybe().unwrap()\n}\n\nfn maybe() -> Option<u64> {\n    Some(1)\n}\n",
+    )
+    .unwrap();
+    std::fs::write(&config, "[[root]]\nname = \"r\"\nfunction = \"hot\"\ndeny = [\"panic\"]\n")
+        .unwrap();
+    let out = run(&[
+        "audit",
+        src.to_str().unwrap(),
+        "--config",
+        config.to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let diags = diagnostics(&json_report(&out));
+    assert_eq!(with_rule(&diags, "audit-root-clean").len(), 1, "{diags:?}");
+}
+
+#[test]
+fn bench_flag_records_wall_time_and_graph_size() {
+    let dir = std::env::temp_dir().join("ams_audit_smoke_bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bench = dir.join("BENCH_check.json");
+    let root = workspace_root();
+    let out = run(&["audit", "--root", root.to_str().unwrap(), "--bench", bench.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = std::fs::read_to_string(&bench).expect("bench file written");
+    let v: Value = serde_json::from_str(&text).expect("bench JSON parses");
+    assert_eq!(v.get("tool").and_then(Value::as_str), Some("ams-check audit"));
+    for key in ["wall_ms", "files", "functions", "edges", "roots", "violations"] {
+        assert!(v.get(key).and_then(Value::as_f64).is_some(), "missing {key}: {text}");
+    }
+    assert!(v.get("functions").and_then(Value::as_f64).unwrap() > 100.0, "{text}");
+    assert!(v.get("edges").and_then(Value::as_f64).unwrap() > 100.0, "{text}");
+    assert_eq!(v.get("violations").and_then(Value::as_f64), Some(0.0), "{text}");
+}

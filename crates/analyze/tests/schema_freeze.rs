@@ -1,0 +1,88 @@
+//! The diagnostic JSON schema is frozen: CI, editor integrations and
+//! the bench recorder all parse it, so field names, field order and
+//! the report envelope may not drift. These tests pin the exact
+//! serialized bytes for every location variant and round-trip the
+//! result. If a test here fails, the schema changed — that is a
+//! breaking change and needs a deliberate migration, not a quick fix.
+//!
+//! The frozen shape (documented in DESIGN.md §13):
+//!
+//! ```text
+//! report   = {"errors":N,"warnings":N,"infos":N,"diagnostics":[diag…]}
+//! diag     = {"severity":S,"rule":R,"message":M, <location>, "hint"?:H}
+//! location = "file":F,"line":L,"col":C          (source-anchored)
+//!          | "node":N,"op":O,"chain":Ch         (tape-anchored)
+//!          | <nothing>                          (global)
+//! ```
+
+use ams_analyze::{Diagnostic, Location, Report};
+use serde_json::Value;
+
+fn sample_report() -> Report {
+    let mut r = Report::new();
+    r.extend(vec![
+        Diagnostic::error(
+            "hot-path-panic",
+            Location::Source { file: "crates/serve/src/engine.rs".into(), line: 250, col: 9 },
+            "root `serve`: `Engine::predict` may panic".into(),
+        )
+        .with_hint("fix the chain"),
+        Diagnostic::warn(
+            "numeric-range",
+            Location::Node { node: 7, op: "exp".into(), chain: "#7 exp <- #1 leaf".into() },
+            "exponent may overflow".into(),
+        ),
+        Diagnostic::info("audit-root-clean", Location::Global, "all roots verified".into()),
+    ]);
+    r
+}
+
+#[test]
+fn report_envelope_and_field_order_are_frozen() {
+    let got = serde_json::to_string(&sample_report().to_json()).unwrap();
+    let want = concat!(
+        r##"{"errors":1,"warnings":1,"infos":1,"diagnostics":["##,
+        r##"{"severity":"error","rule":"hot-path-panic","message":"root `serve`: `Engine::predict` may panic","file":"crates/serve/src/engine.rs","line":250,"col":9,"hint":"fix the chain"},"##,
+        r##"{"severity":"warn","rule":"numeric-range","message":"exponent may overflow","node":7,"op":"exp","chain":"#7 exp <- #1 leaf"},"##,
+        r##"{"severity":"info","rule":"audit-root-clean","message":"all roots verified"}"##,
+        r##"]}"##,
+    );
+    assert_eq!(got, want, "diagnostic JSON schema drifted");
+}
+
+#[test]
+fn frozen_schema_round_trips() {
+    let report = sample_report();
+    let s = serde_json::to_string(&report.to_json()).unwrap();
+    let back: Value = serde_json::from_str(&s).unwrap();
+    assert_eq!(back.get("errors").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(back.get("warnings").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(back.get("infos").and_then(Value::as_f64), Some(1.0));
+    let diags = back.get("diagnostics").and_then(Value::as_array).unwrap();
+    assert_eq!(diags.len(), 3);
+    // Source anchor.
+    assert_eq!(diags[0].get("file").and_then(Value::as_str), Some("crates/serve/src/engine.rs"));
+    assert_eq!(diags[0].get("line").and_then(Value::as_f64), Some(250.0));
+    assert_eq!(diags[0].get("col").and_then(Value::as_f64), Some(9.0));
+    assert_eq!(diags[0].get("hint").and_then(Value::as_str), Some("fix the chain"));
+    // Node anchor.
+    assert_eq!(diags[1].get("node").and_then(Value::as_f64), Some(7.0));
+    assert_eq!(diags[1].get("op").and_then(Value::as_str), Some("exp"));
+    assert!(diags[1].get("file").is_none(), "node anchor must not carry source fields");
+    // Global anchor carries neither.
+    for key in ["file", "line", "col", "node", "op", "chain", "hint"] {
+        assert!(diags[2].get(key).is_none(), "global diagnostic leaked field {key}");
+    }
+}
+
+#[test]
+fn severity_strings_are_frozen() {
+    for (d, want) in [
+        (Diagnostic::error("r", Location::Global, "m".into()), "error"),
+        (Diagnostic::warn("r", Location::Global, "m".into()), "warn"),
+        (Diagnostic::info("r", Location::Global, "m".into()), "info"),
+    ] {
+        let v = d.to_json();
+        assert_eq!(v.get("severity").and_then(Value::as_str), Some(want));
+    }
+}
