@@ -88,8 +88,13 @@ const KEYWORDS: [&str; 14] = [
 /// Pre-built name indexes over the function list.
 struct Indexes<'m> {
     model: &'m WorkspaceModel,
-    /// (impl type or trait, method name) → fn index.
-    by_impl: BTreeMap<(String, String), usize>,
+    /// (impl type or trait, method name) → fn indices. A Vec because
+    /// one type can implement the same generic trait at several
+    /// parameters (`impl Backend<f64> for SimdSeq` and
+    /// `impl Backend<f32> for SimdSeq` both define `matmul`); the
+    /// scanner strips generics, so both land under the same key and a
+    /// sound resolver must keep every candidate, not the first one.
+    by_impl: BTreeMap<(String, String), Vec<usize>>,
     /// Free-fn name → indices.
     free_by_name: BTreeMap<String, Vec<usize>>,
     /// Any fn name → indices.
@@ -102,13 +107,13 @@ struct Indexes<'m> {
 
 impl<'m> Indexes<'m> {
     fn build(model: &'m WorkspaceModel) -> Self {
-        let mut by_impl = BTreeMap::new();
+        let mut by_impl: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
         let mut free_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         let mut stems = Vec::with_capacity(model.fns.len());
         for (i, f) in model.fns.iter().enumerate() {
             if let Some(ty) = &f.impl_type {
-                by_impl.entry((ty.clone(), f.name.clone())).or_insert(i);
+                by_impl.entry((ty.clone(), f.name.clone())).or_default().push(i);
             } else {
                 free_by_name.entry(f.name.clone()).or_default().push(i);
             }
@@ -130,26 +135,27 @@ impl<'m> Indexes<'m> {
     /// trait default body for implementors without one. `bind`
     /// devirtualizes to a single implementor.
     fn dispatch(&self, tr: &str, name: &str, bind: &BTreeMap<String, String>) -> Vec<usize> {
-        let default = self.by_impl.get(&(tr.to_string(), name.to_string())).copied();
+        let default = self.by_impl.get(&(tr.to_string(), name.to_string()));
+        let defaults = default.map(Vec::as_slice).unwrap_or(&[]);
         if let Some(ty) = bind.get(tr) {
-            return self
-                .by_impl
-                .get(&(ty.clone(), name.to_string()))
-                .copied()
-                .or(default)
-                .into_iter()
-                .collect();
+            let mut out = match self.by_impl.get(&(ty.clone(), name.to_string())) {
+                Some(v) => v.clone(),
+                None => defaults.to_vec(),
+            };
+            out.sort_unstable();
+            out.dedup();
+            return out;
         }
         let mut out = Vec::new();
         let impls = self.model.trait_impls.get(tr).map(Vec::as_slice).unwrap_or(&[]);
         for ty in impls {
             match self.by_impl.get(&(ty.clone(), name.to_string())) {
-                Some(&i) => out.push(i),
-                None => out.extend(default),
+                Some(v) => out.extend_from_slice(v),
+                None => out.extend_from_slice(defaults),
             }
         }
         if impls.is_empty() {
-            out.extend(default);
+            out.extend_from_slice(defaults);
         }
         out.sort_unstable();
         out.dedup();
@@ -161,8 +167,8 @@ impl<'m> Indexes<'m> {
         if self.model.traits.contains_key(ty) {
             return self.dispatch(ty, name, bind);
         }
-        if let Some(&i) = self.by_impl.get(&(ty.to_string(), name.to_string())) {
-            return vec![i];
+        if let Some(v) = self.by_impl.get(&(ty.to_string(), name.to_string())) {
+            return v.clone();
         }
         // One-level trait fallback: `ty` implements a trait that
         // declares `name` → the trait's default body.
@@ -170,8 +176,8 @@ impl<'m> Indexes<'m> {
             if impls.iter().any(|t| t == ty) {
                 if let Some(methods) = self.model.traits.get(tr) {
                     if methods.contains(name) {
-                        if let Some(&i) = self.by_impl.get(&(tr.clone(), name.to_string())) {
-                            return vec![i];
+                        if let Some(v) = self.by_impl.get(&(tr.clone(), name.to_string())) {
+                            return v.clone();
                         }
                     }
                 }
@@ -631,6 +637,61 @@ mod tests {
         // Seq has no override → the trait default body only.
         let default = m.fns.iter().position(|f| f.name == "run" && f.is_trait_default).unwrap();
         assert_eq!(callees, vec![default]);
+    }
+
+    #[test]
+    fn multi_impl_type_resolves_every_candidate() {
+        // One type implementing the same generic trait at two
+        // parameters: the scanner strips generics, so both `run`
+        // methods share the `(SimdSeq, run)` key. Dispatch — bound or
+        // unbound — and typed-receiver resolution must see *both*
+        // bodies, or facts in the second impl are silently missed.
+        let src = "pub trait Backend {\n\
+                   \x20   fn run(&self) -> usize;\n\
+                   }\n\
+                   pub struct SimdSeq;\n\
+                   impl Backend<f64> for SimdSeq {\n\
+                   \x20   fn run(&self) -> usize {\n\
+                   \x20       wide()\n\
+                   \x20   }\n\
+                   }\n\
+                   impl Backend<f32> for SimdSeq {\n\
+                   \x20   fn run(&self) -> usize {\n\
+                   \x20       narrow()\n\
+                   \x20   }\n\
+                   }\n\
+                   fn wide() -> usize {\n\
+                   \x20   1\n\
+                   }\n\
+                   fn narrow() -> usize {\n\
+                   \x20   2\n\
+                   }\n\
+                   fn drive(b: &dyn Backend) -> usize {\n\
+                   \x20   b.run()\n\
+                   }\n\
+                   fn drive_typed(b: SimdSeq) -> usize {\n\
+                   \x20   b.run()\n\
+                   }\n";
+        let m = model_of(src);
+        let runs: Vec<usize> = m
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.name == "run" && f.impl_type.as_deref() == Some("SimdSeq"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(runs.len(), 2, "fixture should parse two run impls");
+        for (fun, bind) in [
+            ("drive", BTreeMap::new()),
+            ("drive_typed", BTreeMap::new()),
+            ("drive", BTreeMap::from([("Backend".to_string(), "SimdSeq".to_string())])),
+        ] {
+            let g = build(&m, &bind);
+            let callees: Vec<usize> = g.edges[idx_of(&m, fun)].iter().map(|e| e.callee).collect();
+            for &r in &runs {
+                assert!(callees.contains(&r), "{fun} with bind {bind:?} missed impl {r}");
+            }
+        }
     }
 
     #[test]

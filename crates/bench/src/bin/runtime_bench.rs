@@ -16,7 +16,7 @@ use ams_graph::CompanyGraph;
 use ams_serve::demo::train_demo;
 use ams_serve::Engine;
 use ams_tensor::init::standard_normal;
-use ams_tensor::runtime::{seq, Backend, Par, Workspace};
+use ams_tensor::runtime::{seq, Backend, Par, SimdSeq, Workspace};
 use ams_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -99,25 +99,53 @@ fn serve_latencies(engine: &Engine, x: &Matrix, backend: &dyn Backend) -> (f64, 
     (percentile(&lat, 0.5), percentile(&lat, 0.99))
 }
 
+/// Warm quantized-path latency (µs): the f32 plan on the vectorized
+/// backend, with both precision arenas persistent as in a worker.
+fn serve_latencies_f32(engine: &Engine, x: &Matrix) -> (f64, f64) {
+    let backend = SimdSeq;
+    let mut ws32: Workspace<f32> = Workspace::new();
+    let mut ws = Workspace::new();
+    let mut lat = Vec::with_capacity(SERVE_ITERS);
+    for i in 0..SERVE_ITERS + 10 {
+        let t = Instant::now();
+        let pred = engine
+            .predict_batch_f32_deadline(x, &backend, &mut ws32, &mut ws, None)
+            .expect("predict f32");
+        let dt = t.elapsed().as_secs_f64() * 1e6;
+        ws.give(pred.into_vec());
+        if i >= 10 {
+            lat.push(dt);
+        }
+    }
+    lat.sort_by(f64::total_cmp);
+    (percentile(&lat, 0.5), percentile(&lat, 0.99))
+}
+
 fn main() {
     let cpus = std::thread::available_parallelism().map_or(1, usize::from);
     let par: Arc<dyn Backend> = Arc::new(Par::new(cpus.max(2)));
     let seq = seq();
     println!("runtime bench: {cpus} hardware thread(s), par backend = {}", par.name());
 
+    let simd = SimdSeq;
+    println!("  simd backend: accelerated = {}", ams_tensor::runtime::simd::accelerated());
+
     let mut rng = StdRng::seed_from_u64(9);
     let mut matmul_rows = Vec::new();
     for n in MATMUL_SIZES {
         let gs = matmul_gflops(seq.as_ref(), n, &mut rng);
         let gp = matmul_gflops(par.as_ref(), n, &mut rng);
+        let gv = matmul_gflops(&simd, n, &mut rng);
         println!(
-            "  matmul {n:>3}: seq {gs:>6.2} GFLOP/s   par {gp:>6.2} GFLOP/s   x{:.2}",
-            gp / gs
+            "  matmul {n:>3}: seq {gs:>6.2} GFLOP/s   par {gp:>6.2} GFLOP/s   \
+             simd {gv:>6.2} GFLOP/s   x{:.2}",
+            gv / gs
         );
         matmul_rows.push(format!(
             "    {{\"n\": {n}, \"seq_gflops\": {gs:.3}, \"par_gflops\": {gp:.3}, \
-             \"speedup\": {:.3}}}",
-            gp / gs
+             \"simd_gflops\": {gv:.3}, \"speedup\": {:.3}, \"simd_speedup\": {:.3}}}",
+            gp / gs,
+            gv / gs
         ));
     }
 
@@ -129,17 +157,24 @@ fn main() {
     let engine = Engine::new(bundle.artifact).expect("demo engine");
     let (s50, s99) = serve_latencies(&engine, &bundle.test_x, seq.as_ref());
     let (p50, p99) = serve_latencies(&engine, &bundle.test_x, par.as_ref());
+    let (f50, f99) = serve_latencies_f32(&engine, &bundle.test_x);
     println!("  serve ({} rows): seq p50 {s50:.0}us p99 {s99:.0}us", bundle.test_x.rows());
     println!("  serve ({} rows): par p50 {p50:.0}us p99 {p99:.0}us", bundle.test_x.rows());
+    println!("  serve ({} rows): f32 p50 {f50:.0}us p99 {f99:.0}us", bundle.test_x.rows());
 
     let json = format!(
-        "{{\n  \"cpus\": {cpus},\n  \"par_backend\": \"{}\",\n  \"matmul\": [\n{}\n  ],\n  \
+        "{{\n  \"cpus\": {cpus},\n  \"par_backend\": \"{}\",\n  \"simd_accelerated\": {},\n  \
+         \"matmul\": [\n{}\n  ],\n  \
          \"fit\": {{\"epochs\": {FIT_EPOCHS}, \"seq_sec_per_epoch\": {fit_seq:.6}, \
          \"par_sec_per_epoch\": {fit_par:.6}}},\n  \"serve\": {{\"batch_rows\": {}, \
          \"iters\": {SERVE_ITERS}, \"seq_p50_us\": {s50:.1}, \"seq_p99_us\": {s99:.1}, \
-         \"par_p50_us\": {p50:.1}, \"par_p99_us\": {p99:.1}}},\n  \"note\": \"all backends are \
-         bit-identical; par speedup is bounded by the hardware threads recorded in cpus\"\n}}\n",
+         \"par_p50_us\": {p50:.1}, \"par_p99_us\": {p99:.1}, \
+         \"f32_p50_us\": {f50:.1}, \"f32_p99_us\": {f99:.1}}},\n  \"note\": \"seq and par are \
+         bit-identical; simd f64 and the quantized f32 serve row are within the documented \
+         epsilon-oracle bounds (DESIGN 14); par speedup is bounded by the hardware threads \
+         recorded in cpus\"\n}}\n",
         par.name(),
+        ams_tensor::runtime::simd::accelerated(),
         matmul_rows.join(",\n"),
         bundle.test_x.rows(),
     );

@@ -10,9 +10,20 @@
 //! bit-identical to `Seq` — run-to-run and across thread counts. That
 //! guarantee is what lets training, inference and serving choose a
 //! backend freely without perturbing a single ulp.
+//!
+//! The trait is generic over the scalar ([`Element`]) with `f64` as
+//! the default type parameter, so `dyn Backend` everywhere in the
+//! codebase still means the bit-reproducible double-precision policy.
+//! `Seq` and `Par` implement `Backend<E>` for every element type with
+//! the same generic kernels — same ops, same order — while the
+//! vectorized [`crate::SimdSeq`] implements `Backend<f64>` and
+//! `Backend<f32>` separately and is held to an epsilon oracle rather
+//! than a bit oracle (see [`crate::simd`]).
 
+use crate::element::Element;
 use crate::kernels;
 use crate::pool::{partition, ThreadPool};
+use crate::simd::SimdSeq;
 use crate::RuntimeError;
 use std::sync::Arc;
 
@@ -23,10 +34,10 @@ use std::sync::Arc;
 const PAR_FLOP_THRESHOLD: usize = 16 * 1024;
 
 /// A kernel execution policy. All methods compute over row-major
-/// `f64` slices with caller-validated shapes (`debug_assert`ed in the
-/// kernels); output buffers must arrive zeroed, as [`crate::Workspace`]
-/// hands them out.
-pub trait Backend: Send + Sync + std::fmt::Debug {
+/// [`Element`] slices with caller-validated shapes (`debug_assert`ed
+/// in the kernels); output buffers must arrive zeroed, as
+/// [`crate::Workspace`] hands them out.
+pub trait Backend<E: Element = f64>: Send + Sync + std::fmt::Debug {
     /// Human-readable backend name (for logs and bench output).
     fn name(&self) -> String;
 
@@ -36,18 +47,18 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
     }
 
     /// `out = A·B` (`m×k` times `k×n`).
-    fn matmul(&self, a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    fn matmul(&self, a: &[E], b: &[E], out: &mut [E], m: usize, k: usize, n: usize) {
         kernels::matmul(a, b, out, m, k, n);
     }
 
     /// `out = A·Bᵀ` where `bt` is the logical `Bᵀ` stored row-major
     /// (`n×k`) — the packed-panel micro-kernel.
-    fn matmul_transb(&self, a: &[f64], bt: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    fn matmul_transb(&self, a: &[E], bt: &[E], out: &mut [E], m: usize, k: usize, n: usize) {
         kernels::matmul_transb(a, bt, out, m, k, n);
     }
 
     /// `out = Aᵀ·G` (`a` is `r×m`, `g` is `r×n`, out `m×n`).
-    fn matmul_transa(&self, a: &[f64], g: &[f64], out: &mut [f64], r: usize, m: usize, n: usize) {
+    fn matmul_transa(&self, a: &[E], g: &[E], out: &mut [E], r: usize, m: usize, n: usize) {
         kernels::matmul_transa(a, g, out, r, m, n);
     }
 
@@ -55,10 +66,10 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
     #[allow(clippy::too_many_arguments)]
     fn matmul_add_bias(
         &self,
-        a: &[f64],
-        b: &[f64],
-        bias: &[f64],
-        out: &mut [f64],
+        a: &[E],
+        b: &[E],
+        bias: &[E],
+        out: &mut [E],
         m: usize,
         k: usize,
         n: usize,
@@ -68,24 +79,17 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
     }
 
     /// `y += alpha·x`.
-    fn axpy(&self, y: &mut [f64], x: &[f64], alpha: f64) {
+    fn axpy(&self, y: &mut [E], x: &[E], alpha: E) {
         kernels::axpy(y, x, alpha);
     }
 
     /// Row-wise masked softmax (see [`kernels::masked_softmax_rows`]).
-    fn masked_softmax_rows(
-        &self,
-        x: &[f64],
-        mask: &[f64],
-        out: &mut [f64],
-        rows: usize,
-        cols: usize,
-    ) {
+    fn masked_softmax_rows(&self, x: &[E], mask: &[E], out: &mut [E], rows: usize, cols: usize) {
         kernels::masked_softmax_rows(x, mask, out, rows, cols);
     }
 
     /// `out[r] = dot(a.row(r), b.row(r))`.
-    fn rowwise_dot(&self, a: &[f64], b: &[f64], out: &mut [f64], rows: usize, cols: usize) {
+    fn rowwise_dot(&self, a: &[E], b: &[E], out: &mut [E], rows: usize, cols: usize) {
         kernels::rowwise_dot(a, b, out, rows, cols);
     }
 }
@@ -94,7 +98,7 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct Seq;
 
-impl Backend for Seq {
+impl<E: Element> Backend<E> for Seq {
     fn name(&self) -> String {
         "seq".to_string()
     }
@@ -129,21 +133,26 @@ impl Par {
 
 /// A raw mutable pointer that may cross thread boundaries. Each task
 /// writes a disjoint row range, so the aliasing is sound.
-#[derive(Clone, Copy)]
-struct SendPtr(*mut f64);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
+struct SendPtr<E>(*mut E);
+impl<E> Clone for SendPtr<E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<E> Copy for SendPtr<E> {}
+unsafe impl<E> Send for SendPtr<E> {}
+unsafe impl<E> Sync for SendPtr<E> {}
 
-impl SendPtr {
+impl<E: Element> SendPtr<E> {
     /// # Safety
     /// `lo*width..hi*width` must be in bounds and disjoint from every
     /// other task's range.
-    unsafe fn rows(self, lo: usize, hi: usize, width: usize) -> &'static mut [f64] {
+    unsafe fn rows(self, lo: usize, hi: usize, width: usize) -> &'static mut [E] {
         std::slice::from_raw_parts_mut(self.0.add(lo * width), (hi - lo) * width)
     }
 }
 
-impl Backend for Par {
+impl<E: Element> Backend<E> for Par {
     fn name(&self) -> String {
         format!("par:{}", self.pool.workers())
     }
@@ -152,7 +161,7 @@ impl Backend for Par {
         self.pool.workers()
     }
 
-    fn matmul(&self, a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    fn matmul(&self, a: &[E], b: &[E], out: &mut [E], m: usize, k: usize, n: usize) {
         if m * k * n < PAR_FLOP_THRESHOLD || self.pool.workers() == 1 {
             return kernels::matmul(a, b, out, m, k, n);
         }
@@ -165,7 +174,7 @@ impl Backend for Par {
         });
     }
 
-    fn matmul_transb(&self, a: &[f64], bt: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    fn matmul_transb(&self, a: &[E], bt: &[E], out: &mut [E], m: usize, k: usize, n: usize) {
         if m * k * n < PAR_FLOP_THRESHOLD || self.pool.workers() == 1 {
             return kernels::matmul_transb(a, bt, out, m, k, n);
         }
@@ -178,7 +187,7 @@ impl Backend for Par {
         });
     }
 
-    fn matmul_transa(&self, a: &[f64], g: &[f64], out: &mut [f64], r: usize, m: usize, n: usize) {
+    fn matmul_transa(&self, a: &[E], g: &[E], out: &mut [E], r: usize, m: usize, n: usize) {
         if r * m * n < PAR_FLOP_THRESHOLD || self.pool.workers() == 1 {
             return kernels::matmul_transa(a, g, out, r, m, n);
         }
@@ -191,14 +200,7 @@ impl Backend for Par {
         });
     }
 
-    fn masked_softmax_rows(
-        &self,
-        x: &[f64],
-        mask: &[f64],
-        out: &mut [f64],
-        rows: usize,
-        cols: usize,
-    ) {
+    fn masked_softmax_rows(&self, x: &[E], mask: &[E], out: &mut [E], rows: usize, cols: usize) {
         if rows * cols < PAR_FLOP_THRESHOLD || self.pool.workers() == 1 {
             return kernels::masked_softmax_rows(x, mask, out, rows, cols);
         }
@@ -213,7 +215,7 @@ impl Backend for Par {
 }
 
 /// Parsed backend selection, the form configs carry ("seq", "par",
-/// "par:8").
+/// "par:8", "simd").
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BackendChoice {
     /// Sequential reference backend.
@@ -221,14 +223,17 @@ pub enum BackendChoice {
     /// Parallel backend with an explicit worker count (`None` = one
     /// worker per available CPU).
     Par(Option<usize>),
+    /// Vectorized single-core backend (epsilon-accurate fast path).
+    Simd,
 }
 
 impl BackendChoice {
-    /// Parse a backend spec: `seq`, `par`, or `par:N`.
+    /// Parse a backend spec: `seq`, `par`, `par:N`, or `simd`.
     pub fn parse(spec: &str) -> Result<Self, RuntimeError> {
         match spec.trim() {
             "seq" => Ok(Self::Seq),
             "par" => Ok(Self::Par(None)),
+            "simd" => Ok(Self::Simd),
             other => match other.strip_prefix("par:").map(str::parse::<usize>) {
                 Some(Ok(n)) if n >= 1 => Ok(Self::Par(Some(n))),
                 _ => Err(RuntimeError::BadBackendSpec(spec.to_string())),
@@ -236,16 +241,29 @@ impl BackendChoice {
         }
     }
 
-    /// Instantiate the chosen backend.
+    fn par_threads(n: &Option<usize>) -> usize {
+        n.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+    }
+
+    /// Instantiate the chosen backend at the default (f64) precision.
     pub fn create(&self) -> Arc<dyn Backend> {
         match self {
             Self::Seq => Arc::new(Seq),
-            Self::Par(n) => {
-                let threads = n.unwrap_or_else(|| {
-                    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-                });
-                Arc::new(Par::new(threads))
-            }
+            Self::Par(n) => Arc::new(Par::new(Self::par_threads(n))),
+            Self::Simd => Arc::new(SimdSeq),
+        }
+    }
+
+    /// Instantiate the chosen backend at f32 — the quantized serving
+    /// precision. Every choice is available in both widths; `Seq`/`Par`
+    /// stay deterministic in f32 too, `SimdSeq` is the fast path.
+    pub fn create_f32(&self) -> Arc<dyn Backend<f32>> {
+        match self {
+            Self::Seq => Arc::new(Seq),
+            Self::Par(n) => Arc::new(Par::new(Self::par_threads(n))),
+            Self::Simd => Arc::new(SimdSeq),
         }
     }
 }
@@ -298,10 +316,28 @@ mod tests {
     }
 
     #[test]
+    fn par_f32_matches_seq_f32_bitwise() {
+        // The deterministic backends stay deterministic in f32: same
+        // generic kernels, same partition, same chains.
+        let (m, k, n) = (48, 40, 32);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 37) % 23) as f32 * 0.125 - 1.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 13) % 19) as f32 * 0.25 - 2.0).collect();
+        let mut want = vec![0.0f32; m * n];
+        Seq.matmul(&a, &b, &mut want, m, k, n);
+        let par = Par::new(4);
+        let mut got = vec![0.0f32; m * n];
+        par.matmul(&a, &b, &mut got, m, k, n);
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(w.to_bits(), g.to_bits());
+        }
+    }
+
+    #[test]
     fn choice_parsing() {
         assert_eq!(BackendChoice::parse("seq").unwrap(), BackendChoice::Seq);
         assert_eq!(BackendChoice::parse("par").unwrap(), BackendChoice::Par(None));
         assert_eq!(BackendChoice::parse(" par:8 ").unwrap(), BackendChoice::Par(Some(8)));
+        assert_eq!(BackendChoice::parse("simd").unwrap(), BackendChoice::Simd);
         assert!(BackendChoice::parse("par:0").is_err());
         assert!(BackendChoice::parse("gpu").is_err());
         assert!(BackendChoice::parse("").is_err());
@@ -313,5 +349,9 @@ mod tests {
         let par = BackendChoice::Par(Some(3)).create();
         assert_eq!(par.name(), "par:3");
         assert_eq!(par.threads(), 3);
+        assert_eq!(BackendChoice::Simd.create().name(), "simd");
+        assert_eq!(BackendChoice::Seq.create_f32().name(), "seq");
+        assert_eq!(BackendChoice::Simd.create_f32().name(), "simd");
+        assert_eq!(BackendChoice::Par(Some(2)).create_f32().threads(), 2);
     }
 }

@@ -1,8 +1,11 @@
-//! Sequential micro-kernels over row-major `f64` slices.
+//! Sequential micro-kernels over row-major [`Element`] slices.
 //!
-//! Every kernel here is **bit-compatible** with the historical
-//! `Matrix` loops it replaces. Two rules make that possible and must
-//! be preserved by any future optimization:
+//! The kernels are generic over the scalar ([`Element`]: `f64` or
+//! `f32`), but the `f64` instantiation is **bit-compatible** with the
+//! historical `Matrix` loops it replaces. Two rules make that possible
+//! and must be preserved by any future optimization of *this* module
+//! (the explicitly vectorized [`crate::simd`] path is exempt and pays
+//! for it with an epsilon oracle instead of a bit oracle):
 //!
 //! 1. each output element is produced by a *single* accumulator chain
 //!    that adds terms in strictly increasing `k` order (blocking over
@@ -13,6 +16,11 @@
 //!    bearing: skipping is how `0 · ∞ = NaN` never enters an
 //!    accumulator the old code kept clean.
 //!
+//! Both rules live in exactly one place: [`mac_row`], the shared
+//! multiply-accumulate core. All three matmul variants (`A·B`,
+//! `A·Bᵀ`, `Aᵀ·G`) and the naive oracle call it, so there is one MAC
+//! loop to audit, not three near-duplicates.
+//!
 //! Cache strategy: `B` is row-major, so a `k`-panel of `B` is already
 //! a packed contiguous block — the classic "pack B" step of a blocked
 //! GEMM is a no-op here. [`matmul`] therefore blocks over `i` and `k`
@@ -22,17 +30,34 @@
 //! product. The backward pass uses it (and [`matmul_transa`]) to fuse
 //! out the tape's materialized transposes.
 
+use crate::element::Element;
+
 /// Rows of `A`/`out` processed per cache block.
 const MC: usize = 32;
 /// Depth (`k`) processed per cache block; `KC` rows of `B` (`KC × n`
 /// values) stay hot across the `MC` rows of the block.
 const KC: usize = 256;
 
+/// The one multiply-accumulate core: `out[j] += av * b[j]` for every
+/// `j`, skipped entirely when `av == 0` (bit-compat rule 2 — the
+/// zero-skip that keeps `0 · ∞` out of the accumulators). Every
+/// output element of every matmul variant is built from calls to this
+/// function with strictly increasing `k`, which is bit-compat rule 1.
+#[inline(always)]
+pub fn mac_row<E: Element>(out: &mut [E], av: E, b: &[E]) {
+    if av == E::ZERO {
+        return;
+    }
+    for (o, &bv) in out.iter_mut().zip(b) {
+        *o += av * bv;
+    }
+}
+
 /// `out[m×n] += 0` is assumed: callers pass a zeroed output buffer.
 /// Cache-blocked `out = A·B` with the seed's ikj accumulation order.
 ///
 /// Debug-asserts slice lengths; shape validation belongs to callers.
-pub fn matmul(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn matmul<E: Element>(a: &[E], b: &[E], out: &mut [E], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k, "matmul: lhs buffer");
     debug_assert_eq!(b.len(), k * n, "matmul: rhs buffer");
     debug_assert_eq!(out.len(), m * n, "matmul: out buffer");
@@ -44,10 +69,10 @@ pub fn matmul(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usiz
 /// The `Par` backend calls this per chunk; because every output row is
 /// produced by this same sequential code whatever the chunking, results
 /// are bit-identical across thread counts.
-pub fn matmul_rows(
-    a: &[f64],
-    b: &[f64],
-    out: &mut [f64],
+pub fn matmul_rows<E: Element>(
+    a: &[E],
+    b: &[E],
+    out: &mut [E],
     lo: usize,
     hi: usize,
     k: usize,
@@ -62,13 +87,8 @@ pub fn matmul_rows(
                 let arow = &a[i * k..(i + 1) * k];
                 let out_row = &mut out[(i - lo) * n..(i - lo + 1) * n];
                 for (kk, &av) in arow[k0..k1].iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
                     let brow = &b[(k0 + kk) * n..(k0 + kk + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
+                    mac_row(out_row, av, brow);
                 }
             }
         }
@@ -81,7 +101,7 @@ pub fn matmul_rows(
 /// contiguous dot product. Bit-identical to materializing the
 /// transpose and calling [`matmul`] (same per-element accumulation
 /// chain, same zero-skip on the left operand).
-pub fn matmul_transb(a: &[f64], bt: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn matmul_transb<E: Element>(a: &[E], bt: &[E], out: &mut [E], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k, "matmul_transb: lhs buffer");
     debug_assert_eq!(bt.len(), n * k, "matmul_transb: rhs buffer");
     debug_assert_eq!(out.len(), m * n, "matmul_transb: out buffer");
@@ -89,11 +109,14 @@ pub fn matmul_transb(a: &[f64], bt: &[f64], out: &mut [f64], m: usize, k: usize,
 }
 
 /// Row-range worker behind [`matmul_transb`] (same contract as
-/// [`matmul_rows`]).
-pub fn matmul_transb_rows(
-    a: &[f64],
-    bt: &[f64],
-    out: &mut [f64],
+/// [`matmul_rows`]). The contiguous dot product is phrased as `k`
+/// single-lane [`mac_row`] calls on the accumulator; `mac_row` is
+/// `inline(always)`, so the accumulator stays in a register and the
+/// loop compiles to the same scalar chain the hand-written dot did.
+pub fn matmul_transb_rows<E: Element>(
+    a: &[E],
+    bt: &[E],
+    out: &mut [E],
     lo: usize,
     hi: usize,
     k: usize,
@@ -106,11 +129,8 @@ pub fn matmul_transb_rows(
         for (j, o) in out_row.iter_mut().enumerate() {
             let brow = &bt[j * k..(j + 1) * k];
             let mut acc = *o; // zero from the caller's buffer
-            for (&av, &bv) in arow.iter().zip(brow) {
-                if av == 0.0 {
-                    continue;
-                }
-                acc += av * bv;
+            for (&av, bv) in arow.iter().zip(brow) {
+                mac_row(std::slice::from_mut(&mut acc), av, std::slice::from_ref(bv));
             }
             *o = acc;
         }
@@ -123,7 +143,7 @@ pub fn matmul_transb_rows(
 /// the terms are added in increasing `r` order and the zero-skip tests
 /// the (transposed) left factor `a[r,i]`, exactly as the seed loop
 /// tested `Aᵀ[i,r]`.
-pub fn matmul_transa(a: &[f64], g: &[f64], out: &mut [f64], r: usize, m: usize, n: usize) {
+pub fn matmul_transa<E: Element>(a: &[E], g: &[E], out: &mut [E], r: usize, m: usize, n: usize) {
     debug_assert_eq!(a.len(), r * m, "matmul_transa: lhs buffer");
     debug_assert_eq!(g.len(), r * n, "matmul_transa: rhs buffer");
     debug_assert_eq!(out.len(), m * n, "matmul_transa: out buffer");
@@ -134,10 +154,10 @@ pub fn matmul_transa(a: &[f64], g: &[f64], out: &mut [f64], r: usize, m: usize, 
 /// `lo..hi` (columns `lo..hi` of the logical `A`) into `out`, which
 /// holds exactly those rows. `full_m` is the row stride of `a`.
 #[allow(clippy::too_many_arguments)]
-pub fn matmul_transa_cols(
-    a: &[f64],
-    g: &[f64],
-    out: &mut [f64],
+pub fn matmul_transa_cols<E: Element>(
+    a: &[E],
+    g: &[E],
+    out: &mut [E],
     lo: usize,
     hi: usize,
     r: usize,
@@ -149,13 +169,8 @@ pub fn matmul_transa_cols(
         let out_row = &mut out[(i - lo) * n..(i - lo + 1) * n];
         for rr in 0..r {
             let av = a[rr * full_m + i];
-            if av == 0.0 {
-                continue;
-            }
             let grow = &g[rr * n..(rr + 1) * n];
-            for (o, &gv) in out_row.iter_mut().zip(grow) {
-                *o += av * gv;
-            }
+            mac_row(out_row, av, grow);
         }
     }
 }
@@ -164,7 +179,7 @@ pub fn matmul_transa_cols(
 /// row of the `rows×n` buffer. Combined with [`matmul`] this is the
 /// fused `matmul_add_bias` — the adds happen in the same row-major
 /// order the tape's separate `add_row_broadcast` op used.
-pub fn add_bias_rows(out: &mut [f64], bias: &[f64], rows: usize, n: usize) {
+pub fn add_bias_rows<E: Element>(out: &mut [E], bias: &[E], rows: usize, n: usize) {
     debug_assert_eq!(out.len(), rows * n, "add_bias_rows: out buffer");
     debug_assert_eq!(bias.len(), n, "add_bias_rows: bias width");
     for row in out.chunks_exact_mut(n).take(rows) {
@@ -175,7 +190,7 @@ pub fn add_bias_rows(out: &mut [f64], bias: &[f64], rows: usize, n: usize) {
 }
 
 /// `y += alpha * x` — the optimizer-update axpy.
-pub fn axpy(y: &mut [f64], x: &[f64], alpha: f64) {
+pub fn axpy<E: Element>(y: &mut [E], x: &[E], alpha: E) {
     debug_assert_eq!(y.len(), x.len(), "axpy: length mismatch");
     for (yv, &xv) in y.iter_mut().zip(x) {
         *yv += alpha * xv;
@@ -187,7 +202,13 @@ pub fn axpy(y: &mut [f64], x: &[f64], alpha: f64) {
 /// arrive zeroed. Identical structure to the historical tape op,
 /// including the final divide over *all* columns (masked entries hold
 /// `0.0`, and `0.0 / denom == 0.0` for the always-positive denom).
-pub fn masked_softmax_rows(x: &[f64], mask: &[f64], out: &mut [f64], rows: usize, cols: usize) {
+pub fn masked_softmax_rows<E: Element>(
+    x: &[E],
+    mask: &[E],
+    out: &mut [E],
+    rows: usize,
+    cols: usize,
+) {
     debug_assert_eq!(x.len(), rows * cols, "masked_softmax_rows: input buffer");
     debug_assert_eq!(mask.len(), rows * cols, "masked_softmax_rows: mask buffer");
     debug_assert_eq!(out.len(), rows * cols, "masked_softmax_rows: out buffer");
@@ -195,10 +216,10 @@ pub fn masked_softmax_rows(x: &[f64], mask: &[f64], out: &mut [f64], rows: usize
 }
 
 /// Row-range worker behind [`masked_softmax_rows`].
-pub fn masked_softmax_rows_range(
-    x: &[f64],
-    mask: &[f64],
-    out: &mut [f64],
+pub fn masked_softmax_rows_range<E: Element>(
+    x: &[E],
+    mask: &[E],
+    out: &mut [E],
     lo: usize,
     hi: usize,
     cols: usize,
@@ -208,19 +229,19 @@ pub fn masked_softmax_rows_range(
         let xrow = &x[r * cols..(r + 1) * cols];
         let mrow = &mask[r * cols..(r + 1) * cols];
         let orow = &mut out[(r - lo) * cols..(r - lo + 1) * cols];
-        let mut maxv = f64::NEG_INFINITY;
+        let mut maxv = E::NEG_INFINITY;
         for (xv, mv) in xrow.iter().zip(mrow) {
-            if *mv != 0.0 {
+            if *mv != E::ZERO {
                 maxv = maxv.max(*xv);
             }
         }
-        if maxv == f64::NEG_INFINITY {
+        if maxv == E::NEG_INFINITY {
             continue; // fully masked row
         }
-        let mut denom = 0.0;
+        let mut denom = E::ZERO;
         for ((o, xv), mv) in orow.iter_mut().zip(xrow).zip(mrow) {
-            if *mv != 0.0 {
-                let e = (xv - maxv).exp();
+            if *mv != E::ZERO {
+                let e = (*xv - maxv).exp();
                 *o = e;
                 denom += e;
             }
@@ -232,35 +253,35 @@ pub fn masked_softmax_rows_range(
 }
 
 /// `out[r] = dot(a.row(r), b.row(r))` over `rows×cols` inputs; `out`
-/// has `rows` elements.
-pub fn rowwise_dot(a: &[f64], b: &[f64], out: &mut [f64], rows: usize, cols: usize) {
+/// has `rows` elements. The explicit fold from `E::ZERO` is the same
+/// accumulation chain the historical `.sum()` performed.
+pub fn rowwise_dot<E: Element>(a: &[E], b: &[E], out: &mut [E], rows: usize, cols: usize) {
     debug_assert_eq!(a.len(), rows * cols, "rowwise_dot: lhs buffer");
     debug_assert_eq!(b.len(), rows * cols, "rowwise_dot: rhs buffer");
     debug_assert_eq!(out.len(), rows, "rowwise_dot: out buffer");
     for (r, o) in out.iter_mut().enumerate() {
         let arow = &a[r * cols..(r + 1) * cols];
         let brow = &b[r * cols..(r + 1) * cols];
-        *o = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
+        let mut acc = E::ZERO;
+        for (&x, &y) in arow.iter().zip(brow) {
+            acc += x * y;
+        }
+        *o = acc;
     }
 }
 
 /// Reference triple loop — the seed `Matrix::matmul` verbatim, kept as
-/// the equivalence oracle for the blocked/parallel kernels.
-pub fn matmul_naive(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+/// the equivalence oracle for the blocked/parallel/vectorized kernels.
+pub fn matmul_naive<E: Element>(a: &[E], b: &[E], out: &mut [E], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     for i in 0..m {
         for kk in 0..k {
             let av = a[i * k + kk];
-            if av == 0.0 {
-                continue;
-            }
             let brow = &b[kk * n..(kk + 1) * n];
             let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
+            mac_row(out_row, av, brow);
         }
     }
 }
@@ -365,7 +386,7 @@ mod tests {
 
     #[test]
     fn softmax_rows_and_fully_masked_row() {
-        let x = [1.0, 2.0, 3.0, 0.0, 0.0, 0.0];
+        let x: [f64; 6] = [1.0, 2.0, 3.0, 0.0, 0.0, 0.0];
         let mask = [1.0, 0.0, 1.0, 0.0, 0.0, 0.0];
         let mut out = [0.0; 6];
         masked_softmax_rows(&x, &mask, &mut out, 2, 3);
@@ -383,5 +404,17 @@ mod tests {
         let mut out = [0.0; 2];
         rowwise_dot(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0], &mut out, 2, 2);
         assert_eq!(out, [17.0, 53.0]);
+    }
+
+    #[test]
+    fn f32_instantiation_computes_the_same_small_product() {
+        let a: [f32; 4] = [1.0, 2.0, 3.0, 4.0];
+        let b: [f32; 4] = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [0.0f32; 4];
+        matmul(&a, &b, &mut out, 2, 2, 2);
+        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+        let mut naive = [0.0f32; 4];
+        matmul_naive(&a, &b, &mut naive, 2, 2, 2);
+        assert_eq!(out, naive);
     }
 }

@@ -3,19 +3,23 @@
 //!
 //! The crate owns three things:
 //!
-//! 1. **Kernels** ([`kernels`]): cache-blocked row-major `f64`
-//!    routines — blocked matmul with a packed/transposed-B
-//!    micro-kernel, the two transpose-fused products the tape's
-//!    backward pass needs, fused bias addition, `axpy`, row-wise
-//!    masked softmax. Every kernel preserves the exact accumulation
-//!    order of the historical `Matrix` loops, so refactoring onto the
-//!    runtime changes no result bit.
+//! 1. **Kernels** ([`kernels`]): cache-blocked row-major routines,
+//!    generic over the scalar ([`Element`]: `f64` or `f32`) — blocked
+//!    matmul with a packed/transposed-B micro-kernel, the two
+//!    transpose-fused products the tape's backward pass needs, fused
+//!    bias addition, `axpy`, row-wise masked softmax. The `f64`
+//!    instantiation preserves the exact accumulation order of the
+//!    historical `Matrix` loops, so refactoring onto the runtime
+//!    changes no result bit.
 //! 2. **Backends** ([`backend`]): the [`Backend`] trait separates
-//!    *what* is computed from *where*. [`Seq`] is the bit-exact
-//!    reference; [`Par`] spreads disjoint row ranges of the same
-//!    kernels over a persistent std-only [`pool::ThreadPool`] with a
-//!    deterministic fixed partition — identical output run-to-run and
-//!    across thread counts.
+//!    *what* is computed from *where* (and, via its `Element`
+//!    parameter, at which precision — `f64` is the default). [`Seq`]
+//!    is the bit-exact reference; [`Par`] spreads disjoint row ranges
+//!    of the same kernels over a persistent std-only
+//!    [`pool::ThreadPool`] with a deterministic fixed partition —
+//!    identical output run-to-run and across thread counts.
+//!    [`SimdSeq`] ([`simd`]) is the explicitly vectorized single-core
+//!    fast path, held to an epsilon oracle instead of the bit oracle.
 //! 3. **Workspaces** ([`workspace`]): a scratch-buffer arena so the
 //!    training step and the serve engine reuse buffers instead of
 //!    allocating on the hot path.
@@ -25,12 +29,16 @@
 //! no-panic-in-inference rule without suppressions.
 
 pub mod backend;
+pub mod element;
 pub mod kernels;
 pub mod pool;
+pub mod simd;
 pub mod workspace;
 
 pub use backend::{seq, Backend, BackendChoice, Par, Seq};
+pub use element::Element;
 pub use pool::{partition, ThreadPool};
+pub use simd::SimdSeq;
 pub use workspace::Workspace;
 
 /// Errors surfaced by the runtime API.
@@ -45,8 +53,8 @@ pub enum RuntimeError {
         /// Right operand shape `(rows, cols)`.
         rhs: (usize, usize),
     },
-    /// A backend spec string that parses as neither `seq`, `par`, nor
-    /// `par:N` with `N ≥ 1`.
+    /// A backend spec string that parses as none of `seq`, `par`,
+    /// `par:N` with `N ≥ 1`, or `simd`.
     BadBackendSpec(String),
 }
 
@@ -57,7 +65,7 @@ impl std::fmt::Display for RuntimeError {
                 write!(f, "{op}: dimension mismatch ({}x{} vs {}x{})", lhs.0, lhs.1, rhs.0, rhs.1)
             }
             Self::BadBackendSpec(spec) => {
-                write!(f, "invalid backend spec {spec:?} (expected seq, par, or par:N)")
+                write!(f, "invalid backend spec {spec:?} (expected seq, par, par:N, or simd)")
             }
         }
     }

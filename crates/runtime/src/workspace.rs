@@ -1,23 +1,38 @@
 //! Scratch-buffer arena shared by the training step and the serve
 //! engine.
 //!
-//! A [`Workspace`] hands out zero-filled `Vec<f64>` buffers and takes
+//! A [`Workspace`] hands out zero-filled `Vec<E>` buffers and takes
 //! them back when the caller is done. Returned buffers are kept on a
 //! free list and re-issued by best capacity fit, so a steady-state
 //! loop — an epoch of training, a prediction request — performs zero
 //! heap allocations after warm-up. The `allocs`/`reuses` counters make
 //! that property testable: a hot path is allocation-free exactly when
 //! a second pass adds zero to `allocs`.
+//!
+//! The arena is generic over the scalar ([`Element`]) with `f64` as
+//! the default, so every pre-existing `Workspace` annotation keeps
+//! meaning what it meant; the f32 serve path owns its own
+//! `Workspace<f32>` alongside the f64 one (pools of different widths
+//! must not mix — a buffer's capacity is measured in its own
+//! element).
 
-/// A reusable pool of `f64` scratch buffers.
-#[derive(Debug, Default)]
-pub struct Workspace {
-    free: Vec<Vec<f64>>,
+use crate::element::Element;
+
+/// A reusable pool of scratch buffers of one scalar type.
+#[derive(Debug)]
+pub struct Workspace<E: Element = f64> {
+    free: Vec<Vec<E>>,
     allocs: usize,
     reuses: usize,
 }
 
-impl Workspace {
+impl<E: Element> Default for Workspace<E> {
+    fn default() -> Self {
+        Self { free: Vec::new(), allocs: 0, reuses: 0 }
+    }
+}
+
+impl<E: Element> Workspace<E> {
     /// An empty arena.
     pub fn new() -> Self {
         Self::default()
@@ -25,7 +40,7 @@ impl Workspace {
 
     /// Borrow a zero-filled buffer of exactly `len` elements,
     /// preferring the free buffer whose capacity fits tightest.
-    pub fn take(&mut self, len: usize) -> Vec<f64> {
+    pub fn take(&mut self, len: usize) -> Vec<E> {
         let best = self
             .free
             .iter()
@@ -39,19 +54,19 @@ impl Workspace {
                 let mut buf = self.free.swap_remove(i);
                 buf.clear();
                 // ams-audit: allow(alloc): resize within reserved capacity — the best-fit filter guarantees capacity >= len, so this never reallocates
-                buf.resize(len, 0.0);
+                buf.resize(len, E::ZERO);
                 buf
             }
             None => {
                 self.allocs += 1;
                 // ams-audit: allow(alloc): cold-start warm-up allocation, counted in self.allocs and asserted zero at steady state by the counter tests
-                vec![0.0; len]
+                vec![E::ZERO; len]
             }
         }
     }
 
     /// Return a buffer to the arena for reuse.
-    pub fn give(&mut self, buf: Vec<f64>) {
+    pub fn give(&mut self, buf: Vec<E>) {
         if buf.capacity() > 0 {
             // ams-audit: allow(alloc): free-list bookkeeping — its capacity stabilizes after warm-up, covered by the same steady-state counter tests
             self.free.push(buf);
@@ -77,7 +92,7 @@ mod tests {
 
     #[test]
     fn take_is_zero_filled_after_reuse() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace<f64> = Workspace::new();
         let mut buf = ws.take(8);
         buf.iter_mut().for_each(|v| *v = 3.0);
         ws.give(buf);
@@ -88,7 +103,7 @@ mod tests {
 
     #[test]
     fn best_fit_prefers_tightest_capacity() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace<f64> = Workspace::new();
         ws.give(vec![0.0; 100]);
         ws.give(vec![0.0; 10]);
         let buf = ws.take(8);
@@ -98,7 +113,7 @@ mod tests {
 
     #[test]
     fn steady_state_is_allocation_free() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace<f64> = Workspace::new();
         for _ in 0..3 {
             let a = ws.take(32);
             let b = ws.take(64);
@@ -112,11 +127,22 @@ mod tests {
 
     #[test]
     fn undersized_buffers_are_skipped() {
-        let mut ws = Workspace::new();
+        let mut ws: Workspace<f64> = Workspace::new();
         ws.give(vec![0.0; 4]);
         let buf = ws.take(16);
         assert_eq!(buf.len(), 16);
         assert_eq!(ws.counters(), (1, 0));
         assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn f32_arena_pools_independently() {
+        let mut ws: Workspace<f32> = Workspace::new();
+        let buf = ws.take(16);
+        assert_eq!(buf.len(), 16);
+        ws.give(buf);
+        let again = ws.take(12);
+        assert!(again.iter().all(|&v| v == 0.0f32));
+        assert_eq!(ws.counters(), (1, 1));
     }
 }

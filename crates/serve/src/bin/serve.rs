@@ -1,10 +1,16 @@
 //! The AMS prediction server.
 //!
 //! ```text
-//! serve [--addr 127.0.0.1:7878] [--workers 4] [--backend seq|par|par:N]
+//! serve [--addr 127.0.0.1:7878] [--workers 4]
+//!       [--backend seq|par|par:N|simd|f32|f32:SPEC]
 //!       [--artifact PATH]... [--demo] [--seed 7]
 //!       [--queue 64] [--idle-timeout-ms 30000] [--deadline-ms 0]
 //! ```
+//!
+//! `--backend f32` (or `f32:seq`, `f32:par:N`, `f32:simd`) serves
+//! batch predictions from the quantized mixed-precision path — within
+//! the documented epsilon of the f64 result, not bit-identical; see
+//! DESIGN.md §14.
 //!
 //! With `--artifact`, loads and publishes each artifact — either a
 //! plain JSON export or a checksummed `AMS-ART` file written by
@@ -71,7 +77,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: serve [--addr HOST:PORT] [--workers N] [--backend seq|par|par:N] \
+                    "usage: serve [--addr HOST:PORT] [--workers N] \
+                     [--backend seq|par|par:N|simd|f32|f32:SPEC] \
                      [--artifact PATH]... [--demo] [--seed N] [--queue N] \
                      [--idle-timeout-ms MS] [--deadline-ms MS]"
                 );

@@ -4,13 +4,23 @@
 //! pass on the autodiff [`ams_tensor::Graph`] — every intermediate is
 //! recorded on a tape so gradients *could* be taken, which serving
 //! never needs. [`Engine`] runs the same arithmetic directly on
-//! [`Matrix`] values: same primitives in the same order, so results
+//! workspace buffers: same primitives in the same order, so results
 //! are bit-for-bit identical to the tape, with no tape allocation.
 //!
-//! Two paths:
+//! The forward pass itself ([`run_plan`]) is generic over the scalar
+//! ([`Element`]): the engine freezes its weights into a
+//! [`ForwardPlan`] per precision at load time — an exact f64 copy
+//! (the bit-identical default path) and a quantized f32 copy (the
+//! mixed-precision path of DESIGN.md §14, within a documented epsilon
+//! of the f64 result).
+//!
+//! Three paths:
 //! * **batch** ([`Engine::predict_batch`]) re-runs the master and the
 //!   slave generation for a fresh feature matrix (one row per graph
 //!   node) — what a nightly re-score over updated panels uses;
+//! * **batch, f32** ([`Engine::predict_batch_f32`]) — the same pass on
+//!   the quantized plan and an `f32` backend (typically the vectorized
+//!   `SimdSeq`), trading the bit contract for throughput;
 //! * **fast** ([`Engine::predict_company`]) scores one company as a
 //!   dot product against its materialized slave-LR weights from the
 //!   artifact — the low-latency online path. At the artifact's
@@ -20,8 +30,8 @@
 //!   serving trade-off.
 
 use crate::artifact::{FallbackModel, ModelArtifact};
-use ams_core::{GatHead, GatLayer, LinearLayer};
-use ams_tensor::runtime::{Backend, RuntimeError, Seq, Workspace};
+use crate::plan::{ForwardPlan, PlanGatHead, PlanGatLayer, PlanLinear, Plane, PlaneRef};
+use ams_tensor::runtime::{Backend, Element, RuntimeError, Seq, SimdSeq, Workspace};
 use ams_tensor::Matrix;
 use std::time::Instant;
 
@@ -77,15 +87,16 @@ fn check_deadline(deadline: Option<Instant>) -> Result<(), PredictError> {
     }
 }
 
-/// A scoring-ready model: a validated artifact plus precomputed
-/// lookup structures. Cheap to clone behind an `Arc`; immutable, so
-/// freely shared across server workers.
+/// A scoring-ready model: a validated artifact plus its weights frozen
+/// into both execution precisions. Cheap to clone behind an `Arc`;
+/// immutable, so freely shared across server workers.
 #[derive(Debug)]
 pub struct Engine {
     artifact: ModelArtifact,
-    /// 0/1 projection from full feature space to slave columns
-    /// (`d×m`), `None` when the slave model uses every column.
-    selection: Option<Matrix>,
+    /// Exact copy of the snapshot weights — the bit-identical path.
+    plan64: ForwardPlan<f64>,
+    /// The weights quantized to f32 once, at load time.
+    plan32: ForwardPlan<f32>,
     /// Degraded-mode predictor, always resolved: taken from the
     /// artifact when present, rebuilt from the snapshot otherwise.
     fallback: FallbackModel,
@@ -95,14 +106,8 @@ impl Engine {
     /// Validate an artifact and prepare it for scoring.
     pub fn new(artifact: ModelArtifact) -> Result<Self, String> {
         artifact.validate()?;
-        let d = artifact.feature_width();
-        let selection = artifact.snapshot.config.slave_cols.as_ref().map(|cols| {
-            let mut s = Matrix::zeros(d, cols.len());
-            for (j, &c) in cols.iter().enumerate() {
-                s[(c, j)] = 1.0;
-            }
-            s
-        });
+        let plan64 = ForwardPlan::from_artifact(&artifact)?;
+        let plan32 = artifact.quantize_f32()?;
         let placeholder = FallbackModel {
             anchor: artifact
                 .snapshot
@@ -112,7 +117,7 @@ impl Engine {
             last_good: Matrix::zeros(artifact.num_companies(), 1),
         };
         let from_artifact = artifact.fallback.clone();
-        let mut engine = Self { artifact, selection, fallback: placeholder };
+        let mut engine = Self { artifact, plan64, plan32, fallback: placeholder };
         match from_artifact {
             Some(fb) => engine.fallback = fb,
             None => {
@@ -131,6 +136,11 @@ impl Engine {
     /// The degraded-mode predictor (never absent; see [`Engine::new`]).
     pub fn fallback(&self) -> &FallbackModel {
         &self.fallback
+    }
+
+    /// The quantized f32 plan this engine scores the f32 path with.
+    pub fn plan_f32(&self) -> &ForwardPlan<f32> {
+        &self.plan32
     }
 
     /// Score through the fallback ladder. `features` (full-width, may
@@ -264,212 +274,281 @@ impl Engine {
         ws: &mut Workspace,
         deadline: Option<Instant>,
     ) -> Result<Matrix, PredictError> {
-        let (pred, beta_v, beta) = self.run(x, backend, ws, deadline)?;
+        let (pred, beta_v, beta) =
+            run_plan(&self.plan64, PlaneRef::of_matrix(x), backend, ws, deadline)?;
         ws.give(beta_v.into_vec());
         ws.give(beta.into_vec());
         if pred.as_slice().iter().any(|v| !v.is_finite()) {
             ws.give(pred.into_vec());
             return Err(PredictError::Engine("non-finite prediction".to_string()));
         }
-        Ok(pred)
+        Ok(pred.into_matrix())
+    }
+
+    /// The f32 batch path: narrow the input once, run the forward pass
+    /// on the quantized plan with an `f32` backend, widen the
+    /// predictions back to f64. Within the epsilon bound of DESIGN.md
+    /// §14 of [`Engine::predict_batch`] — not bit-identical.
+    ///
+    /// Scratch comes from the caller's `f32` arena (`ws32`); the
+    /// widened output buffer comes from the f64 arena (`ws`), so both
+    /// pools warm up once and the steady-state path is allocation-free.
+    /// Non-finite input is rejected up front as a bad request: the
+    /// vectorized kernels do not carry the deterministic kernels'
+    /// `0·∞` guard, so their contract requires finite features.
+    pub fn predict_batch_f32_deadline(
+        &self,
+        x: &Matrix,
+        backend: &dyn Backend<f32>,
+        ws32: &mut Workspace<f32>,
+        ws: &mut Workspace,
+        deadline: Option<Instant>,
+    ) -> Result<Matrix, PredictError> {
+        // One pass both narrows and validates: the finite check rides
+        // the copy instead of a separate scan over `x`.
+        let mut xin = ws32.take(x.len());
+        let mut finite = true;
+        for (o, &v) in xin.iter_mut().zip(x.as_slice()) {
+            finite &= v.is_finite();
+            *o = v as f32;
+        }
+        if !finite {
+            ws32.give(xin);
+            return Err(PredictError::BadRequest(
+                "non-finite features (the f32 path requires finite input)".to_string(),
+            ));
+        }
+        let x32 = Plane::from_vec(x.rows(), x.cols(), xin);
+        let result = run_plan(&self.plan32, x32.view(), backend, ws32, deadline);
+        ws32.give(x32.into_vec());
+        let (pred, beta_v, beta) = result?;
+        ws32.give(beta_v.into_vec());
+        ws32.give(beta.into_vec());
+        let rows = pred.rows();
+        let mut data = ws.take(pred.len());
+        for (o, &v) in data.iter_mut().zip(pred.as_slice()) {
+            *o = v as f64;
+        }
+        ws32.give(pred.into_vec());
+        let out = Matrix::from_vec(rows, 1, data);
+        if out.as_slice().iter().any(|v| !v.is_finite()) {
+            ws.give(out.into_vec());
+            return Err(PredictError::Engine("non-finite prediction".to_string()));
+        }
+        Ok(out)
+    }
+
+    /// Convenience wrapper over [`Engine::predict_batch_f32_deadline`]
+    /// on the vectorized [`SimdSeq`] backend with throwaway arenas.
+    pub fn predict_batch_f32(&self, x: &Matrix) -> Result<Matrix, String> {
+        let mut ws32 = Workspace::new();
+        let mut ws = Workspace::new();
+        self.predict_batch_f32_deadline(x, &SimdSeq, &mut ws32, &mut ws, None)
+            .map_err(|e| e.to_string())
     }
 
     /// Batch slave weights `(assembled β, generated β_v)`, both `n×m` —
     /// the serving-side counterpart of `AmsModel::slave_weights`.
     pub fn slave_weights_batch(&self, x: &Matrix) -> Result<(Matrix, Matrix), String> {
         let mut ws = Workspace::new();
-        let (pred, beta_v, beta) = self.run(x, &Seq, &mut ws, None).map_err(|e| e.to_string())?;
+        let (pred, beta_v, beta) =
+            run_plan(&self.plan64, PlaneRef::of_matrix(x), &Seq, &mut ws, None)
+                .map_err(|e| e.to_string())?;
         ws.give(pred.into_vec());
-        Ok((beta, beta_v))
-    }
-
-    /// The forward pass of `AmsModel::forward`, replayed value-only on
-    /// the runtime kernels. Every step performs the identical
-    /// arithmetic in the identical order as the tape op — that is what
-    /// makes the engine exactly (not approximately) equal to the
-    /// training-side predict, on every backend.
-    fn run(
-        &self,
-        x: &Matrix,
-        backend: &dyn Backend,
-        ws: &mut Workspace,
-        deadline: Option<Instant>,
-    ) -> Result<(Matrix, Matrix, Matrix), PredictError> {
-        let snap = &self.artifact.snapshot;
-        let mask = snap.mask.as_ref().ok_or_else(|| {
-            PredictError::Engine("artifact has no adjacency mask (corrupt snapshot)".to_string())
-        })?;
-        if x.rows() != mask.rows() {
-            return Err(PredictError::BadRequest(format!(
-                "batch has {} rows but the model graph has {} nodes",
-                x.rows(),
-                mask.rows()
-            )));
-        }
-        if x.cols() != self.feature_width() {
-            return Err(PredictError::BadRequest(format!(
-                "feature width {} != model width {}",
-                x.cols(),
-                self.feature_width()
-            )));
-        }
-
-        // Node transform (Eq. 1); dropout is identity at eval time.
-        let mut h = clone_ws(x, ws);
-        for LinearLayer { w, b } in &snap.nt {
-            let mut z = matmul_add_bias_ws(&h, w, b, backend, ws)?;
-            relu_in_place(&mut z);
-            ws.give(h.into_vec());
-            h = z;
-        }
-        check_deadline(deadline)?;
-        let nt_out = clone_ws(&h, ws);
-        // GAT stack (Eqs. 2–3).
-        for layer in &snap.gat {
-            let next = gat_layer_forward_ws(layer, &h, mask, backend, ws)?;
-            ws.give(h.into_vec());
-            h = next;
-        }
-        check_deadline(deadline)?;
-        if snap.config.residual {
-            let cat = hcat_ws(&h, &nt_out, ws);
-            ws.give(h.into_vec());
-            h = cat;
-        }
-        ws.give(nt_out.into_vec());
-        // Generator M (Eq. 6): hidden ReLU layers then a linear map.
-        let n_gen = snap.gen.len();
-        for (i, LinearLayer { w, b }) in snap.gen.iter().enumerate() {
-            let mut z = matmul_add_bias_ws(&h, w, b, backend, ws)?;
-            if i + 1 < n_gen {
-                relu_in_place(&mut z);
-            }
-            ws.give(h.into_vec());
-            h = z;
-        }
-        check_deadline(deadline)?;
-        let beta_v = h;
-
-        // Model assembly (Eq. 10): β = γ β_v + (1−γ) β_c. The ones·βcᵀ
-        // product is kept (rather than a row copy) so `-0.0` entries
-        // normalize exactly as on the tape.
-        let gamma = snap.config.gamma;
-        let ones = {
-            let mut data = ws.take(x.rows());
-            data.iter_mut().for_each(|v| *v = 1.0);
-            Matrix::from_vec(x.rows(), 1, data)
-        };
-        let bc_t = transpose_ws(&snap.beta_c, ws);
-        let bc_rows = matmul_ws(&ones, &bc_t, backend, ws)?;
-        ws.give(ones.into_vec());
-        ws.give(bc_t.into_vec());
-        let mut beta = affine_ws(&beta_v, gamma, ws);
-        let bc_scaled = affine_ws(&bc_rows, 1.0 - gamma, ws);
-        ws.give(bc_rows.into_vec());
-        for (a, &b) in beta.as_mut_slice().iter_mut().zip(bc_scaled.as_slice()) {
-            *a += b;
-        }
-        ws.give(bc_scaled.into_vec());
-
-        // Slave-LR evaluation on the slave columns.
-        let x_slave = match &self.selection {
-            Some(sel) => matmul_ws(x, sel, backend, ws)?,
-            None => clone_ws(x, ws),
-        };
-        let mut pred_data = ws.take(x_slave.rows());
-        backend.rowwise_dot(
-            x_slave.as_slice(),
-            beta.as_slice(),
-            &mut pred_data,
-            x_slave.rows(),
-            x_slave.cols(),
-        );
-        let pred = Matrix::from_vec(x_slave.rows(), 1, pred_data);
-        ws.give(x_slave.into_vec());
-        Ok((pred, beta_v, beta))
+        Ok((beta.into_matrix(), beta_v.into_matrix()))
     }
 }
 
-/// Copy a matrix into a workspace buffer.
-fn clone_ws(x: &Matrix, ws: &mut Workspace) -> Matrix {
-    let mut data = ws.take(x.len());
-    data.copy_from_slice(x.as_slice());
-    Matrix::from_vec(x.rows(), x.cols(), data)
+/// What [`run_plan`] hands back: `(predictions, generated β_v,
+/// assembled β)`, all still in the plan's scalar type.
+type PlanOutputs<E> = (Plane<E>, Plane<E>, Plane<E>);
+
+/// The forward pass of `AmsModel::forward`, replayed value-only on the
+/// runtime kernels — generic over the scalar. For `E = f64` every step
+/// performs the identical arithmetic in the identical order as the
+/// tape op — that is what makes the engine exactly (not approximately)
+/// equal to the training-side predict, on every deterministic backend.
+/// For `E = f32` the same code is the quantized inference path.
+fn run_plan<E: Element>(
+    plan: &ForwardPlan<E>,
+    x: PlaneRef<'_, E>,
+    backend: &dyn Backend<E>,
+    ws: &mut Workspace<E>,
+    deadline: Option<Instant>,
+) -> Result<PlanOutputs<E>, PredictError> {
+    if x.rows != plan.companies {
+        return Err(PredictError::BadRequest(format!(
+            "batch has {} rows but the model graph has {} nodes",
+            x.rows, plan.companies
+        )));
+    }
+    if x.cols != plan.width {
+        return Err(PredictError::BadRequest(format!(
+            "feature width {} != model width {}",
+            x.cols, plan.width
+        )));
+    }
+
+    // Node transform (Eq. 1); dropout is identity at eval time.
+    let mut h = clone_ref_ws(x, ws);
+    for PlanLinear { w, b } in &plan.nt {
+        let mut z = matmul_add_bias_ws(h.view(), w.view(), b.view(), backend, ws)?;
+        relu_in_place(&mut z);
+        ws.give(h.into_vec());
+        h = z;
+    }
+    check_deadline(deadline)?;
+    let nt_out = clone_ref_ws(h.view(), ws);
+    // GAT stack (Eqs. 2–3).
+    for layer in &plan.gat {
+        let next = gat_layer_forward_ws(layer, &h, &plan.mask, backend, ws)?;
+        ws.give(h.into_vec());
+        h = next;
+    }
+    check_deadline(deadline)?;
+    if plan.residual {
+        let cat = hcat_ws(&h, &nt_out, ws);
+        ws.give(h.into_vec());
+        h = cat;
+    }
+    ws.give(nt_out.into_vec());
+    // Generator M (Eq. 6): hidden ReLU layers then a linear map.
+    let n_gen = plan.gen.len();
+    for (i, PlanLinear { w, b }) in plan.gen.iter().enumerate() {
+        let mut z = matmul_add_bias_ws(h.view(), w.view(), b.view(), backend, ws)?;
+        if i + 1 < n_gen {
+            relu_in_place(&mut z);
+        }
+        ws.give(h.into_vec());
+        h = z;
+    }
+    check_deadline(deadline)?;
+    let beta_v = h;
+
+    // Model assembly (Eq. 10): β = γ β_v + (1−γ) β_c. The ones·βcᵀ
+    // product is kept (rather than a row copy) so `-0.0` entries
+    // normalize exactly as on the tape.
+    let ones = {
+        let mut data = ws.take(x.rows);
+        data.iter_mut().for_each(|v| *v = E::ONE);
+        Plane::from_vec(x.rows, 1, data)
+    };
+    let bc_rows = matmul_ws(ones.view(), plan.beta_c_t.view(), backend, ws)?;
+    ws.give(ones.into_vec());
+    let mut beta = affine_ws(&beta_v, plan.gamma, ws);
+    let bc_scaled = affine_ws(&bc_rows, plan.gamma_c, ws);
+    ws.give(bc_rows.into_vec());
+    for (a, &b) in beta.as_mut_slice().iter_mut().zip(bc_scaled.as_slice()) {
+        *a += b;
+    }
+    ws.give(bc_scaled.into_vec());
+
+    // Slave-LR evaluation on the slave columns.
+    let x_slave = match &plan.selection {
+        Some(sel) => matmul_ws(x, sel.view(), backend, ws)?,
+        None => clone_ref_ws(x, ws),
+    };
+    let mut pred_data = ws.take(x_slave.rows());
+    backend.rowwise_dot(
+        x_slave.as_slice(),
+        beta.as_slice(),
+        &mut pred_data,
+        x_slave.rows(),
+        x_slave.cols(),
+    );
+    let pred = Plane::from_vec(x_slave.rows(), 1, pred_data);
+    ws.give(x_slave.into_vec());
+    Ok((pred, beta_v, beta))
+}
+
+/// Copy a plane view into a workspace buffer.
+fn clone_ref_ws<E: Element>(x: PlaneRef<'_, E>, ws: &mut Workspace<E>) -> Plane<E> {
+    let mut data = ws.take(x.data.len());
+    data.copy_from_slice(x.data);
+    Plane::from_vec(x.rows, x.cols, data)
 }
 
 /// `Graph::relu` value semantics, in place.
-fn relu_in_place(x: &mut Matrix) {
+fn relu_in_place<E: Element>(x: &mut Plane<E>) {
     for e in x.as_mut_slice() {
-        *e = e.max(0.0);
+        *e = (*e).max(E::ZERO);
     }
 }
 
 /// `Graph::leaky_relu` value semantics, in place.
-fn leaky_relu_in_place(x: &mut Matrix, alpha: f64) {
+fn leaky_relu_in_place<E: Element>(x: &mut Plane<E>, alpha: E) {
     for e in x.as_mut_slice() {
-        *e = if *e > 0.0 { *e } else { alpha * *e };
+        *e = if *e > E::ZERO { *e } else { alpha * *e };
     }
 }
 
 /// `Graph::affine`/`scale` value semantics (`alpha·x + 0.0`; the
 /// `+ 0.0` is kept so `-0.0` entries normalize exactly as on the tape).
-fn affine_ws(x: &Matrix, alpha: f64, ws: &mut Workspace) -> Matrix {
+fn affine_ws<E: Element>(x: &Plane<E>, alpha: E, ws: &mut Workspace<E>) -> Plane<E> {
     let mut data = ws.take(x.len());
     for (o, &e) in data.iter_mut().zip(x.as_slice()) {
-        *o = alpha * e + 0.0;
+        *o = alpha * e + E::ZERO;
     }
-    Matrix::from_vec(x.rows(), x.cols(), data)
+    Plane::from_vec(x.rows(), x.cols(), data)
 }
 
 /// Workspace-fed matrix product on the runtime kernels; shape errors
 /// surface as the runtime's typed error rendered to the engine's
 /// error-string convention (never a panic on the inference path).
-fn matmul_ws(
-    a: &Matrix,
-    b: &Matrix,
-    backend: &dyn Backend,
-    ws: &mut Workspace,
-) -> Result<Matrix, String> {
-    if a.cols() != b.rows() {
-        return Err(RuntimeError::ShapeMismatch { op: "matmul", lhs: a.shape(), rhs: b.shape() }
-            .to_string());
+fn matmul_ws<E: Element>(
+    a: PlaneRef<'_, E>,
+    b: PlaneRef<'_, E>,
+    backend: &dyn Backend<E>,
+    ws: &mut Workspace<E>,
+) -> Result<Plane<E>, String> {
+    if a.cols != b.rows {
+        return Err(RuntimeError::ShapeMismatch {
+            op: "matmul",
+            lhs: (a.rows, a.cols),
+            rhs: (b.rows, b.cols),
+        }
+        .to_string());
     }
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let (m, k, n) = (a.rows, a.cols, b.cols);
     let mut data = ws.take(m * n);
-    backend.matmul(a.as_slice(), b.as_slice(), &mut data, m, k, n);
-    Ok(Matrix::from_vec(m, n, data))
+    backend.matmul(a.data, b.data, &mut data, m, k, n);
+    Ok(Plane::from_vec(m, n, data))
 }
 
 /// Fused `x·W + b` (bias broadcast over rows), workspace-fed — the
 /// matmul and the bias add happen in the same order the tape's
 /// separate ops used, so values match bit-for-bit.
-fn matmul_add_bias_ws(
-    x: &Matrix,
-    w: &Matrix,
-    b: &Matrix,
-    backend: &dyn Backend,
-    ws: &mut Workspace,
-) -> Result<Matrix, String> {
-    if x.cols() != w.rows() {
-        return Err(RuntimeError::ShapeMismatch { op: "matmul", lhs: x.shape(), rhs: w.shape() }
-            .to_string());
-    }
-    if b.rows() != 1 || b.cols() != w.cols() {
+fn matmul_add_bias_ws<E: Element>(
+    x: PlaneRef<'_, E>,
+    w: PlaneRef<'_, E>,
+    b: PlaneRef<'_, E>,
+    backend: &dyn Backend<E>,
+    ws: &mut Workspace<E>,
+) -> Result<Plane<E>, String> {
+    if x.cols != w.rows {
         return Err(RuntimeError::ShapeMismatch {
-            op: "add_bias",
-            lhs: (x.rows(), w.cols()),
-            rhs: b.shape(),
+            op: "matmul",
+            lhs: (x.rows, x.cols),
+            rhs: (w.rows, w.cols),
         }
         .to_string());
     }
-    let (m, k, n) = (x.rows(), x.cols(), w.cols());
+    if b.rows != 1 || b.cols != w.cols {
+        return Err(RuntimeError::ShapeMismatch {
+            op: "add_bias",
+            lhs: (x.rows, w.cols),
+            rhs: (b.rows, b.cols),
+        }
+        .to_string());
+    }
+    let (m, k, n) = (x.rows, x.cols, w.cols);
     let mut data = ws.take(m * n);
-    backend.matmul_add_bias(x.as_slice(), w.as_slice(), b.as_slice(), &mut data, m, k, n);
-    Ok(Matrix::from_vec(m, n, data))
+    backend.matmul_add_bias(x.data, w.data, b.data, &mut data, m, k, n);
+    Ok(Plane::from_vec(m, n, data))
 }
 
 /// `Graph::outer_sum` value semantics: `out[i][j] = u[i] + v[j]`.
-fn outer_sum_ws(u: &Matrix, v: &Matrix, ws: &mut Workspace) -> Matrix {
+fn outer_sum_ws<E: Element>(u: &Plane<E>, v: &Plane<E>, ws: &mut Workspace<E>) -> Plane<E> {
     debug_assert_eq!(u.cols(), 1, "outer_sum: u must be a column vector");
     debug_assert_eq!(v.cols(), 1, "outer_sum: v must be a column vector");
     let (rows, cols) = (u.rows(), v.rows());
@@ -479,23 +558,11 @@ fn outer_sum_ws(u: &Matrix, v: &Matrix, ws: &mut Workspace) -> Matrix {
             data[i * cols + j] = u.as_slice()[i] + v.as_slice()[j];
         }
     }
-    Matrix::from_vec(rows, cols, data)
-}
-
-/// `Graph::transpose` value semantics, workspace-fed.
-fn transpose_ws(x: &Matrix, ws: &mut Workspace) -> Matrix {
-    let (rows, cols) = x.shape();
-    let mut data = ws.take(rows * cols);
-    for r in 0..rows {
-        for c in 0..cols {
-            data[c * rows + r] = x.as_slice()[r * cols + c];
-        }
-    }
-    Matrix::from_vec(cols, rows, data)
+    Plane::from_vec(rows, cols, data)
 }
 
 /// Horizontal concatenation `[a | b]`, workspace-fed.
-fn hcat_ws(a: &Matrix, b: &Matrix, ws: &mut Workspace) -> Matrix {
+fn hcat_ws<E: Element>(a: &Plane<E>, b: &Plane<E>, ws: &mut Workspace<E>) -> Plane<E> {
     debug_assert_eq!(a.rows(), b.rows(), "hcat: row mismatch");
     let (rows, ac, bc) = (a.rows(), a.cols(), b.cols());
     let mut data = ws.take(rows * (ac + bc));
@@ -503,21 +570,21 @@ fn hcat_ws(a: &Matrix, b: &Matrix, ws: &mut Workspace) -> Matrix {
         data[r * (ac + bc)..r * (ac + bc) + ac].copy_from_slice(a.row(r));
         data[r * (ac + bc) + ac..(r + 1) * (ac + bc)].copy_from_slice(b.row(r));
     }
-    Matrix::from_vec(rows, ac + bc, data)
+    Plane::from_vec(rows, ac + bc, data)
 }
 
 /// One attention head, value-only (`GatHead::forward` minus the tape).
-fn gat_head_forward_ws(
-    head: &GatHead,
-    x: &Matrix,
-    mask: &Matrix,
-    leaky_slope: f64,
-    backend: &dyn Backend,
-    ws: &mut Workspace,
-) -> Result<Matrix, String> {
-    let wx = matmul_ws(x, &head.w, backend, ws)?;
-    let s_l = matmul_ws(&wx, &head.a_left, backend, ws)?;
-    let s_r = matmul_ws(&wx, &head.a_right, backend, ws)?;
+fn gat_head_forward_ws<E: Element>(
+    head: &PlanGatHead<E>,
+    x: &Plane<E>,
+    mask: &Plane<E>,
+    leaky_slope: E,
+    backend: &dyn Backend<E>,
+    ws: &mut Workspace<E>,
+) -> Result<Plane<E>, String> {
+    let wx = matmul_ws(x.view(), head.w.view(), backend, ws)?;
+    let s_l = matmul_ws(wx.view(), head.a_left.view(), backend, ws)?;
+    let s_r = matmul_ws(wx.view(), head.a_right.view(), backend, ws)?;
     let mut logits = outer_sum_ws(&s_l, &s_r, ws);
     ws.give(s_l.into_vec());
     ws.give(s_r.into_vec());
@@ -530,9 +597,9 @@ fn gat_head_forward_ws(
         logits.rows(),
         logits.cols(),
     );
-    let attn = Matrix::from_vec(logits.rows(), logits.cols(), attn_data);
+    let attn = Plane::from_vec(logits.rows(), logits.cols(), attn_data);
     ws.give(logits.into_vec());
-    let out = matmul_ws(&attn, &wx, backend, ws)?;
+    let out = matmul_ws(attn.view(), wx.view(), backend, ws)?;
     ws.give(attn.into_vec());
     ws.give(wx.into_vec());
     Ok(out)
@@ -540,14 +607,14 @@ fn gat_head_forward_ws(
 
 /// One GAT layer, value-only (`GatLayer::forward` minus the tape).
 /// A zero-head layer is a corrupt artifact, reported as an error.
-fn gat_layer_forward_ws(
-    layer: &GatLayer,
-    x: &Matrix,
-    mask: &Matrix,
-    backend: &dyn Backend,
-    ws: &mut Workspace,
-) -> Result<Matrix, String> {
-    let mut out: Option<Matrix> = None;
+fn gat_layer_forward_ws<E: Element>(
+    layer: &PlanGatLayer<E>,
+    x: &Plane<E>,
+    mask: &Plane<E>,
+    backend: &dyn Backend<E>,
+    ws: &mut Workspace<E>,
+) -> Result<Plane<E>, String> {
+    let mut out: Option<Plane<E>> = None;
     for head in &layer.heads {
         let mut h = gat_head_forward_ws(head, x, mask, layer.leaky_slope, backend, ws)?;
         relu_in_place(&mut h);
@@ -662,6 +729,60 @@ mod tests {
         }
         let (allocs, _) = ws.counters();
         assert_eq!(allocs, allocs_after_warmup, "prediction hot path allocated after warm-up");
+    }
+
+    #[test]
+    fn f32_hot_path_is_allocation_free_after_warm_up() {
+        // The mixed-precision path pools through two arenas (f32
+        // scratch, f64 output); both must stop allocating once warm.
+        let fx = trained_fixture(46);
+        let engine = Engine::new(fx.artifact.clone()).unwrap();
+        let x = &fx.artifact.reference_features;
+        let mut ws32: Workspace<f32> = Workspace::new();
+        let mut ws: Workspace<f64> = Workspace::new();
+        let warm =
+            engine.predict_batch_f32_deadline(x, &SimdSeq, &mut ws32, &mut ws, None).unwrap();
+        ws.give(warm.into_vec());
+        let warm32 = ws32.counters().0;
+        let warm64 = ws.counters().0;
+        for _ in 0..5 {
+            let pred =
+                engine.predict_batch_f32_deadline(x, &SimdSeq, &mut ws32, &mut ws, None).unwrap();
+            ws.give(pred.into_vec());
+        }
+        assert_eq!(ws32.counters().0, warm32, "f32 arena allocated after warm-up");
+        assert_eq!(ws.counters().0, warm64, "f64 arena allocated after warm-up");
+    }
+
+    #[test]
+    fn f32_path_tracks_f64_within_documented_epsilon() {
+        // DESIGN.md §14: the quantized path must stay within
+        // rel 1e-4 · |prediction| + abs 1e-4 of the f64 path.
+        let fx = trained_fixture(50);
+        let engine = Engine::new(fx.artifact.clone()).unwrap();
+        let x = &fx.artifact.reference_features;
+        let want = engine.predict_batch(x).unwrap();
+        let got = engine.predict_batch_f32(x).unwrap();
+        assert_eq!(want.shape(), got.shape());
+        for i in 0..want.rows() {
+            let (w, g) = (want[(i, 0)], got[(i, 0)]);
+            let tol = 1e-4 * w.abs() + 1e-4;
+            assert!((w - g).abs() <= tol, "row {i}: f64 {w} vs f32 {g} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn f32_path_rejects_non_finite_input_as_bad_request() {
+        let fx = trained_fixture(50);
+        let engine = Engine::new(fx.artifact.clone()).unwrap();
+        let mut x = fx.artifact.reference_features.clone();
+        x[(0, 0)] = f64::NAN;
+        let mut ws32: Workspace<f32> = Workspace::new();
+        let mut ws: Workspace<f64> = Workspace::new();
+        let err =
+            engine.predict_batch_f32_deadline(&x, &SimdSeq, &mut ws32, &mut ws, None).unwrap_err();
+        assert!(matches!(err, PredictError::BadRequest(_)), "{err}");
+        assert!(!err.is_engine_failure());
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod breaker;
 pub mod demo;
 pub mod engine;
 pub mod metrics;
+pub mod plan;
 pub mod registry;
 pub mod server;
 
@@ -41,6 +42,7 @@ pub use artifact::{FallbackModel, ModelArtifact, Provenance, ARTIFACT_MAGIC, FOR
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use engine::{Engine, PredictError};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use plan::{ForwardPlan, Plane, PlaneRef};
 pub use registry::Registry;
 pub use server::{Server, ServerConfig};
 

@@ -1,0 +1,520 @@
+//! Precision-typed forward plan: the engine's weights, frozen into the
+//! scalar they will execute in.
+//!
+//! [`Engine`](crate::Engine) scores through a [`ForwardPlan`] rather
+//! than reading `Matrix` weights out of the snapshot on every request.
+//! The plan for `E = f64` holds exact copies of the snapshot (narrowing
+//! is the identity), so the f64 path stays bit-for-bit equal to
+//! training-side `AmsModel::predict`. The plan for `E = f32` is the
+//! quantized model: every weight rounded once, at load time, to the
+//! nearest f32 — the serving-side half of the mixed-precision path
+//! described in DESIGN.md §14.
+//!
+//! The f32 plan also has a standalone binary serialization
+//! ([`ForwardPlan::to_bytes`] / [`ForwardPlan::from_bytes`]) so a
+//! quantized model can be shipped without the f64 artifact. Decoding is
+//! length-checked at every field: a truncated or corrupt byte string
+//! returns `Err`, never panics, and never allocates more memory than
+//! the input could justify.
+
+use crate::artifact::ModelArtifact;
+use ams_tensor::runtime::Element;
+use ams_tensor::Matrix;
+
+/// Header magic for serialized f32 plans.
+pub const PLAN32_MAGIC: &[u8; 8] = b"AMSPLN32";
+/// Layout version embedded after the magic; bump on breaking change.
+pub const PLAN32_VERSION: u8 = 1;
+
+/// An owned row-major `rows × cols` buffer of one scalar type — the
+/// plan-side analogue of [`Matrix`], generic over the element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plane<E: Element> {
+    rows: usize,
+    cols: usize,
+    data: Vec<E>,
+}
+
+impl<E: Element> Plane<E> {
+    /// Wrap an existing buffer (`data.len()` must equal `rows * cols`).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<E>) -> Self {
+        assert_eq!(data.len(), rows * cols, "plane data does not match {rows}x{cols}");
+        Self { rows, cols, data }
+    }
+
+    /// Narrow (or copy, for `E = f64`) a matrix into a plane.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        let data = m.as_slice().iter().map(|&v| E::from_f64(v)).collect();
+        Self { rows: m.rows(), cols: m.cols(), data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[E] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [E] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[E] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A borrowed, `Copy` view of the whole plane.
+    pub fn view(&self) -> PlaneRef<'_, E> {
+        PlaneRef { rows: self.rows, cols: self.cols, data: &self.data }
+    }
+
+    /// Surrender the backing buffer (for returning it to a workspace).
+    pub fn into_vec(self) -> Vec<E> {
+        self.data
+    }
+}
+
+impl Plane<f64> {
+    /// Reinterpret an f64 plane as a [`Matrix`] without copying.
+    pub fn into_matrix(self) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data)
+    }
+}
+
+/// A borrowed view of a plane (or of a [`Matrix`], for `E = f64`).
+#[derive(Debug, Clone, Copy)]
+pub struct PlaneRef<'a, E: Element> {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: &'a [E],
+}
+
+impl<'a> PlaneRef<'a, f64> {
+    /// View a matrix as an f64 plane.
+    pub fn of_matrix(m: &'a Matrix) -> Self {
+        Self { rows: m.rows(), cols: m.cols(), data: m.as_slice() }
+    }
+}
+
+/// One affine layer of the plan (`w` is `in×out`, `b` is `1×out`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanLinear<E: Element> {
+    pub w: Plane<E>,
+    pub b: Plane<E>,
+}
+
+/// One attention head of the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanGatHead<E: Element> {
+    pub w: Plane<E>,
+    pub a_left: Plane<E>,
+    pub a_right: Plane<E>,
+}
+
+/// One GAT layer of the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanGatLayer<E: Element> {
+    pub heads: Vec<PlanGatHead<E>>,
+    pub leaky_slope: E,
+}
+
+/// Every parameter the batch forward pass reads, in the scalar it will
+/// execute in. Built once per engine (per precision) at load time.
+#[derive(Debug, Clone)]
+pub struct ForwardPlan<E: Element> {
+    /// Full feature width `d` the model consumes.
+    pub width: usize,
+    /// Companies (graph nodes) `n`.
+    pub companies: usize,
+    /// Node-transform layers (Eq. 1).
+    pub nt: Vec<PlanLinear<E>>,
+    /// GAT stack (Eqs. 2–3).
+    pub gat: Vec<PlanGatLayer<E>>,
+    /// Concatenate the node-transform output after the GAT stack.
+    pub residual: bool,
+    /// Generator layers (Eq. 6).
+    pub gen: Vec<PlanLinear<E>>,
+    /// Assembly weight γ (Eq. 10).
+    pub gamma: E,
+    /// `1 − γ`, computed in f64 *before* narrowing so both plans scale
+    /// β_c by the same rounded constant.
+    pub gamma_c: E,
+    /// `β_cᵀ` (`1×m`), pre-transposed — a transpose is an exact
+    /// element copy, so hoisting it out of the request path preserves
+    /// the f64 bit contract.
+    pub beta_c_t: Plane<E>,
+    /// Dense adjacency mask (`n×n`).
+    pub mask: Plane<E>,
+    /// 0/1 projection from full feature space to slave columns
+    /// (`d×m`), `None` when the slave model uses every column.
+    pub selection: Option<Plane<E>>,
+}
+
+impl<E: Element> ForwardPlan<E> {
+    /// Freeze an artifact's weights into `E`. For `E = f64` this is an
+    /// exact copy; for `E = f32` it is the quantization step.
+    pub fn from_artifact(artifact: &ModelArtifact) -> Result<Self, String> {
+        let snap = &artifact.snapshot;
+        let mask = snap
+            .mask
+            .as_ref()
+            .ok_or_else(|| "artifact has no adjacency mask (corrupt snapshot)".to_string())?;
+        let d = artifact.feature_width();
+        let selection = snap.config.slave_cols.as_ref().map(|cols| {
+            let mut s = vec![E::ZERO; d * cols.len()];
+            for (j, &c) in cols.iter().enumerate() {
+                s[c * cols.len() + j] = E::ONE;
+            }
+            Plane::from_vec(d, cols.len(), s)
+        });
+        let beta_c_t = {
+            let (r, c) = snap.beta_c.shape();
+            let mut data = vec![E::ZERO; r * c];
+            for i in 0..r {
+                for j in 0..c {
+                    data[j * r + i] = E::from_f64(snap.beta_c[(i, j)]);
+                }
+            }
+            Plane::from_vec(c, r, data)
+        };
+        let linear = |l: &ams_core::LinearLayer| PlanLinear {
+            w: Plane::from_matrix(&l.w),
+            b: Plane::from_matrix(&l.b),
+        };
+        Ok(Self {
+            width: d,
+            companies: artifact.num_companies(),
+            nt: snap.nt.iter().map(linear).collect(),
+            gat: snap
+                .gat
+                .iter()
+                .map(|layer| PlanGatLayer {
+                    heads: layer
+                        .heads
+                        .iter()
+                        .map(|h| PlanGatHead {
+                            w: Plane::from_matrix(&h.w),
+                            a_left: Plane::from_matrix(&h.a_left),
+                            a_right: Plane::from_matrix(&h.a_right),
+                        })
+                        .collect(),
+                    leaky_slope: E::from_f64(layer.leaky_slope),
+                })
+                .collect(),
+            residual: snap.config.residual,
+            gen: snap.gen.iter().map(linear).collect(),
+            gamma: E::from_f64(snap.config.gamma),
+            gamma_c: E::from_f64(1.0 - snap.config.gamma),
+            beta_c_t,
+            mask: Plane::from_matrix(mask),
+            selection,
+        })
+    }
+}
+
+// ---- f32 plan serialization -------------------------------------------
+//
+// Layout (all integers little-endian):
+//   magic[8] | version u8 | residual u8 | has_selection u8
+//   width u32 | companies u32 | nt u32 | gat u32 | gen u32
+//   gamma f32 | gamma_c f32
+//   nt × (plane w, plane b)
+//   gat × (heads u32, leaky_slope f32, heads × (plane w, a_left, a_right))
+//   gen × (plane w, plane b)
+//   plane beta_c_t | plane mask | [plane selection]
+// where plane = rows u32 | cols u32 | rows·cols × f32.
+
+impl ForwardPlan<f32> {
+    /// Serialize the quantized plan to a standalone byte string.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(PLAN32_MAGIC);
+        out.push(PLAN32_VERSION);
+        out.push(self.residual as u8);
+        out.push(self.selection.is_some() as u8);
+        for v in [
+            self.width as u32,
+            self.companies as u32,
+            self.nt.len() as u32,
+            self.gat.len() as u32,
+            self.gen.len() as u32,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.gamma.to_le_bytes());
+        out.extend_from_slice(&self.gamma_c.to_le_bytes());
+        for l in &self.nt {
+            write_plane(&mut out, &l.w);
+            write_plane(&mut out, &l.b);
+        }
+        for layer in &self.gat {
+            out.extend_from_slice(&(layer.heads.len() as u32).to_le_bytes());
+            out.extend_from_slice(&layer.leaky_slope.to_le_bytes());
+            for h in &layer.heads {
+                write_plane(&mut out, &h.w);
+                write_plane(&mut out, &h.a_left);
+                write_plane(&mut out, &h.a_right);
+            }
+        }
+        for l in &self.gen {
+            write_plane(&mut out, &l.w);
+            write_plane(&mut out, &l.b);
+        }
+        write_plane(&mut out, &self.beta_c_t);
+        write_plane(&mut out, &self.mask);
+        if let Some(sel) = &self.selection {
+            write_plane(&mut out, sel);
+        }
+        out
+    }
+
+    /// Decode a plan written by [`ForwardPlan::to_bytes`]. Every read
+    /// is bounds-checked against the remaining input, so truncated or
+    /// corrupt bytes fail with `Err` — this function cannot panic, and
+    /// it never allocates beyond what the input length can account for.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut cur = Cursor { buf: bytes, pos: 0 };
+        let magic = cur.take(PLAN32_MAGIC.len())?;
+        if magic != PLAN32_MAGIC {
+            return Err("plan32: bad magic (not an f32 plan)".to_string());
+        }
+        let version = cur.u8()?;
+        if version != PLAN32_VERSION {
+            return Err(format!(
+                "plan32: unsupported version {version} (this build reads {PLAN32_VERSION})"
+            ));
+        }
+        let residual = cur.u8()? != 0;
+        let has_selection = cur.u8()? != 0;
+        let width = cur.u32()? as usize;
+        let companies = cur.u32()? as usize;
+        let nt_len = cur.u32()? as usize;
+        let gat_len = cur.u32()? as usize;
+        let gen_len = cur.u32()? as usize;
+        let gamma = cur.f32()?;
+        let gamma_c = cur.f32()?;
+        // Layer counts are not trusted: each iteration consumes bytes,
+        // so a lying count fails on `take` long before it can balloon
+        // the growing Vecs past the input size.
+        let mut nt = Vec::new();
+        for _ in 0..nt_len {
+            // ams-lint: allow(no-unbounded-queue-in-serve) — bounded by the take()-checked input length
+            nt.push(PlanLinear { w: read_plane(&mut cur)?, b: read_plane(&mut cur)? });
+        }
+        let mut gat = Vec::new();
+        for _ in 0..gat_len {
+            let n_heads = cur.u32()? as usize;
+            let leaky_slope = cur.f32()?;
+            let mut heads = Vec::new();
+            for _ in 0..n_heads {
+                // ams-lint: allow(no-unbounded-queue-in-serve) — bounded by the take()-checked input length
+                heads.push(PlanGatHead {
+                    w: read_plane(&mut cur)?,
+                    a_left: read_plane(&mut cur)?,
+                    a_right: read_plane(&mut cur)?,
+                });
+            }
+            // ams-lint: allow(no-unbounded-queue-in-serve) — bounded by the take()-checked input length
+            gat.push(PlanGatLayer { heads, leaky_slope });
+        }
+        let mut gen = Vec::new();
+        for _ in 0..gen_len {
+            // ams-lint: allow(no-unbounded-queue-in-serve) — bounded by the take()-checked input length
+            gen.push(PlanLinear { w: read_plane(&mut cur)?, b: read_plane(&mut cur)? });
+        }
+        let beta_c_t = read_plane(&mut cur)?;
+        let mask = read_plane(&mut cur)?;
+        let selection = if has_selection { Some(read_plane(&mut cur)?) } else { None };
+        if cur.pos != bytes.len() {
+            return Err(format!("plan32: {} trailing bytes", bytes.len() - cur.pos));
+        }
+        if mask.rows() != companies || mask.cols() != companies {
+            return Err(format!(
+                "plan32: mask is {}x{} but the plan declares {companies} companies",
+                mask.rows(),
+                mask.cols()
+            ));
+        }
+        Ok(Self {
+            width,
+            companies,
+            nt,
+            gat,
+            residual,
+            gen,
+            gamma,
+            gamma_c,
+            beta_c_t,
+            mask,
+            selection,
+        })
+    }
+}
+
+fn write_plane(out: &mut Vec<u8>, p: &Plane<f32>) {
+    out.extend_from_slice(&(p.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(p.cols() as u32).to_le_bytes());
+    for v in p.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn read_plane(cur: &mut Cursor<'_>) -> Result<Plane<f32>, String> {
+    let rows = cur.u32()? as usize;
+    let cols = cur.u32()? as usize;
+    let n = rows.checked_mul(cols).ok_or_else(|| "plan32: plane size overflows".to_string())?;
+    let byte_len = n.checked_mul(4).ok_or_else(|| "plan32: plane size overflows".to_string())?;
+    // Reserve nothing until the bytes are proven present — the length
+    // check is what keeps a forged header from forcing a huge alloc.
+    let raw = cur.take(byte_len)?;
+    let data = raw.chunks_exact(4).map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])).collect();
+    Ok(Plane::from_vec(rows, cols, data))
+}
+
+/// Length-checked reader over a byte slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("plan32: truncated at byte {} (need {n} more)", self.pos))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f32(&mut self) -> Result<f32, String> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trained_fixture;
+
+    #[test]
+    fn f64_plan_copies_weights_exactly() {
+        let fx = trained_fixture(71);
+        let plan: ForwardPlan<f64> = ForwardPlan::from_artifact(&fx.artifact).unwrap();
+        let snap = &fx.artifact.snapshot;
+        assert_eq!(plan.nt.len(), snap.nt.len());
+        for (pl, l) in plan.nt.iter().zip(&snap.nt) {
+            assert_eq!(pl.w.as_slice(), l.w.as_slice());
+            assert_eq!(pl.b.as_slice(), l.b.as_slice());
+        }
+        // The pre-transposed β_cᵀ holds the same values.
+        let bc = &snap.beta_c;
+        assert_eq!(plan.beta_c_t.rows(), bc.cols());
+        assert_eq!(plan.beta_c_t.cols(), bc.rows());
+        for i in 0..bc.rows() {
+            for j in 0..bc.cols() {
+                assert_eq!(plan.beta_c_t.row(j)[i].to_bits(), bc[(i, j)].to_bits());
+            }
+        }
+        assert_eq!(plan.gamma, snap.config.gamma);
+    }
+
+    #[test]
+    fn f32_plan_is_nearest_rounding() {
+        let fx = trained_fixture(72);
+        let p64: ForwardPlan<f64> = ForwardPlan::from_artifact(&fx.artifact).unwrap();
+        let p32: ForwardPlan<f32> = ForwardPlan::from_artifact(&fx.artifact).unwrap();
+        for (a, b) in p64.nt.iter().zip(&p32.nt) {
+            for (x, y) in a.w.as_slice().iter().zip(b.w.as_slice()) {
+                assert_eq!((*x as f32).to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip_is_exact() {
+        let fx = trained_fixture(73);
+        let plan: ForwardPlan<f32> = ForwardPlan::from_artifact(&fx.artifact).unwrap();
+        let bytes = plan.to_bytes();
+        let back = ForwardPlan::from_bytes(&bytes).unwrap();
+        assert_eq!(back.width, plan.width);
+        assert_eq!(back.companies, plan.companies);
+        assert_eq!(back.residual, plan.residual);
+        assert_eq!(back.gamma.to_bits(), plan.gamma.to_bits());
+        assert_eq!(back.gamma_c.to_bits(), plan.gamma_c.to_bits());
+        assert_eq!(back.nt, plan.nt);
+        assert_eq!(back.gat, plan.gat);
+        assert_eq!(back.gen, plan.gen);
+        assert_eq!(back.beta_c_t, plan.beta_c_t);
+        assert_eq!(back.mask, plan.mask);
+        assert_eq!(back.selection, plan.selection);
+    }
+
+    #[test]
+    fn every_truncation_errors_never_panics() {
+        let fx = trained_fixture(74);
+        let plan: ForwardPlan<f32> = ForwardPlan::from_artifact(&fx.artifact).unwrap();
+        let bytes = plan.to_bytes();
+        for len in 0..bytes.len() {
+            assert!(
+                ForwardPlan::from_bytes(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let fx = trained_fixture(75);
+        let plan: ForwardPlan<f32> = ForwardPlan::from_artifact(&fx.artifact).unwrap();
+        let mut bytes = plan.to_bytes();
+        bytes[8] = PLAN32_VERSION + 1;
+        assert!(ForwardPlan::from_bytes(&bytes).unwrap_err().contains("version"));
+        bytes[0] ^= 0xFF;
+        assert!(ForwardPlan::from_bytes(&bytes).unwrap_err().contains("magic"));
+    }
+
+    #[test]
+    fn forged_plane_header_cannot_force_a_huge_alloc() {
+        // A header claiming u32::MAX × u32::MAX elements must fail the
+        // length check (or the overflow check), not attempt the alloc.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(PLAN32_MAGIC);
+        bytes.push(PLAN32_VERSION);
+        bytes.extend_from_slice(&[0, 0]);
+        for v in [1u32, 1, 1, 0, 0] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        bytes.extend_from_slice(&0.5f32.to_le_bytes());
+        bytes.extend_from_slice(&0.5f32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(ForwardPlan::from_bytes(&bytes).is_err());
+    }
+}

@@ -59,9 +59,15 @@ pub struct ServerConfig {
     pub addr: String,
     /// Fixed worker-thread count (min 1).
     pub workers: usize,
-    /// Execution backend spec (`"seq"`, `"par"`, `"par:N"`); `None`
-    /// means sequential. All backends produce bit-identical
-    /// predictions — this only chooses how the kernels execute.
+    /// Execution backend spec (`"seq"`, `"par"`, `"par:N"`, `"simd"`,
+    /// `"f32"`, `"f32:SPEC"`); `None` means sequential. The f64 specs
+    /// all produce bit-identical predictions — they only choose how the
+    /// kernels execute. A `"f32"` prefix switches batch prediction to
+    /// the quantized mixed-precision path (DESIGN.md §14): `"f32"`
+    /// alone runs it on the vectorized `simd` backend, `"f32:seq"` /
+    /// `"f32:par:N"` pick the execution strategy explicitly. Results
+    /// stay within the documented epsilon of the f64 path, not
+    /// bit-identical; single-company predicts are untouched.
     pub backend: Option<String>,
     /// Bounded admission queue: connections beyond this many waiting
     /// are shed with an explicit response (min 1).
@@ -96,6 +102,9 @@ struct Shared {
     registry: Arc<Registry>,
     metrics: Arc<Metrics>,
     backend: Arc<dyn Backend>,
+    /// `Some` puts batch prediction on the quantized f32 path, run on
+    /// this backend; `None` (the default) keeps the bit-exact f64 path.
+    backend_f32: Option<Arc<dyn Backend<f32>>>,
     shutdown: Arc<AtomicBool>,
     idle_timeout: Option<Duration>,
     default_deadline: Option<Duration>,
@@ -115,11 +124,24 @@ pub struct Server {
 impl Server {
     /// Bind, spawn the acceptor and the worker pool, and return.
     pub fn start(config: ServerConfig, registry: Arc<Registry>) -> std::io::Result<Self> {
-        let backend: Arc<dyn Backend> = match &config.backend {
-            Some(spec) => BackendChoice::parse(spec)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?
-                .create(),
-            None => ams_tensor::runtime::seq(),
+        let bad_spec = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, e);
+        // An `f32` prefix selects the precision; the remainder (default
+        // `simd`) selects the execution strategy for that precision.
+        type Backends = (Arc<dyn Backend>, Option<Arc<dyn Backend<f32>>>);
+        let (backend, backend_f32): Backends = match config.backend.as_deref() {
+            None => (ams_tensor::runtime::seq(), None),
+            Some("f32") => (ams_tensor::runtime::seq(), Some(BackendChoice::Simd.create_f32())),
+            Some(spec) => match spec.strip_prefix("f32:") {
+                Some(rest) => {
+                    let choice = BackendChoice::parse(rest)
+                        .map_err(|e| bad_spec(format!("f32 backend: {e}")))?;
+                    (ams_tensor::runtime::seq(), Some(choice.create_f32()))
+                }
+                None => (
+                    BackendChoice::parse(spec).map_err(|e| bad_spec(e.to_string()))?.create(),
+                    None,
+                ),
+            },
         };
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -129,6 +151,7 @@ impl Server {
             registry,
             metrics: Arc::clone(&metrics),
             backend,
+            backend_f32,
             shutdown: Arc::clone(&shutdown),
             idle_timeout: match config.idle_timeout_ms {
                 0 => None,
@@ -215,10 +238,13 @@ fn shed_connection(mut stream: TcpStream, metrics: &Metrics) {
 }
 
 fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, shared: &Shared) {
-    // Per-worker scratch arena: request handling borrows it mutably,
-    // so buffers recycle across every request this worker serves and
-    // the prediction hot path stops allocating once warm.
+    // Per-worker scratch arenas (one per precision): request handling
+    // borrows them mutably, so buffers recycle across every request
+    // this worker serves and the prediction hot path stops allocating
+    // once warm. The f32 arena stays empty unless the server runs the
+    // mixed-precision path.
     let mut ws = Workspace::new();
+    let mut ws32: Workspace<f32> = Workspace::new();
     loop {
         // Hold the queue lock only while dequeuing; the timeout lets the
         // worker notice shutdown even when no connections arrive.
@@ -230,7 +256,7 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, shared: &Shared) {
             guard.recv_timeout(Duration::from_millis(50))
         };
         match conn {
-            Ok(stream) => handle_connection(stream, shared, &mut ws),
+            Ok(stream) => handle_connection(stream, shared, &mut ws, &mut ws32),
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -241,7 +267,12 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, shared: &Shared) {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared, ws: &mut Workspace) {
+fn handle_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    ws: &mut Workspace,
+    ws32: &mut Workspace<f32>,
+) {
     if stream.set_nodelay(true).is_err() {
         shared.metrics.record_config_error();
     }
@@ -304,7 +335,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, ws: &mut Workspace) {
             apply_delay(millis);
         }
         let started = Instant::now();
-        let (kind, response) = handle_request(line.trim(), shared, ws);
+        let (kind, response) = handle_request(line.trim(), shared, ws, ws32);
         let is_error = matches!(response.get("ok").and_then(Value::as_bool), Some(false) | None);
         shared.metrics.record(&kind, started.elapsed(), is_error);
         let mut encoded = serde_json::to_string(&response).unwrap_or_else(|_| {
@@ -328,7 +359,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared, ws: &mut Workspace) {
 
 /// Dispatch one request line. Returns `(request kind, response)`;
 /// every failure path becomes an `{"ok":false,...}` response.
-fn handle_request(line: &str, shared: &Shared, ws: &mut Workspace) -> (String, Value) {
+fn handle_request(
+    line: &str,
+    shared: &Shared,
+    ws: &mut Workspace,
+    ws32: &mut Workspace<f32>,
+) -> (String, Value) {
     let parsed: Result<Value, _> = serde_json::from_str(line);
     let request = match parsed {
         Ok(v) => v,
@@ -346,7 +382,7 @@ fn handle_request(line: &str, shared: &Shared, ws: &mut Workspace) -> (String, V
         .map(|budget| Instant::now() + budget);
     let response = match kind.as_str() {
         "predict" => handle_predict(&request, shared, deadline),
-        "batch_predict" => handle_batch_predict(&request, shared, ws, deadline),
+        "batch_predict" => handle_batch_predict(&request, shared, ws, ws32, deadline),
         "slave_weights" => handle_slave_weights(&request, &shared.registry),
         "health" => Ok(handle_health(&shared.registry)),
         "stats" => Ok(Value::Object(vec![
@@ -592,6 +628,7 @@ fn handle_batch_predict(
     request: &Value,
     shared: &Shared,
     ws: &mut Workspace,
+    ws32: &mut Workspace<f32>,
     deadline: Option<Instant>,
 ) -> Result<Value, String> {
     let engine = resolve_engine(request, &shared.registry)?;
@@ -653,7 +690,14 @@ fn handle_batch_predict(
             return Ok(resp);
         }
     }
-    let pred = match engine.predict_batch_deadline(&x, shared.backend.as_ref(), ws, deadline) {
+    // Precision dispatch: the f32 backend (when configured) serves the
+    // batch on the quantized plan; otherwise the bit-exact f64 path.
+    // Both return f64 predictions, so everything downstream is shared.
+    let attempt = match &shared.backend_f32 {
+        Some(b32) => engine.predict_batch_f32_deadline(&x, b32.as_ref(), ws32, ws, deadline),
+        None => engine.predict_batch_deadline(&x, shared.backend.as_ref(), ws, deadline),
+    };
+    let pred = match attempt {
         Ok(p) => {
             if let Some(b) = &breaker {
                 b.record_success();

@@ -1,0 +1,127 @@
+//! Mixed-precision serving parity (DESIGN.md §14): the quantized f32
+//! inference path must (1) track the f64 path within the documented
+//! epsilon per prediction, (2) leave the Table III evaluation metrics
+//! (bounded accuracy, mean surprise ratio) effectively unchanged, and
+//! (3) serve over the wire exactly what the in-process f32 engine
+//! computes — the server adds transport, not arithmetic.
+
+use ams::eval::{bounded_accuracy, mean_surprise_ratio};
+use ams::serve::demo::train_demo;
+use ams::serve::{Engine, Registry, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn send(conn: &mut TcpStream, request: &str) -> serde_json::Value {
+    conn.write_all(request.as_bytes()).unwrap();
+    conn.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    serde_json::from_str(&line).unwrap()
+}
+
+#[test]
+fn f32_path_parity_and_metric_recheck() {
+    let bundle = train_demo(2026);
+    let engine = Engine::new(bundle.artifact.clone()).unwrap();
+    let n = bundle.test_x.rows();
+
+    // 1. Per-prediction delta bound: |f32 − f64| ≤ rel·|f64| + abs
+    //    with rel = abs = 1e-4 (the bound README/DESIGN document).
+    let pred64 = engine.predict_batch(&bundle.test_x).unwrap();
+    let pred32 = engine.predict_batch_f32(&bundle.test_x).unwrap();
+    assert_eq!(pred32.rows(), n);
+    for i in 0..n {
+        let (w, g) = (pred64[(i, 0)], pred32[(i, 0)]);
+        assert!(
+            (w - g).abs() <= 1e-4 * w.abs() + 1e-4,
+            "company {i}: f64 {w} vs f32 {g} outside the documented bound"
+        );
+    }
+
+    // 2. Table III re-check: BA and SR against the held-out quarter.
+    //    BA is a percentage of sign agreements, so one flipped sample
+    //    moves it by exactly 100/n — quantization may flip at most the
+    //    samples whose f64 prediction sits within the epsilon of zero,
+    //    and on this fixture that is at most one.
+    let actual: Vec<f64> = (0..n).map(|i| bundle.test_y[(i, 0)]).collect();
+    let p64: Vec<f64> = (0..n).map(|i| pred64[(i, 0)]).collect();
+    let p32: Vec<f64> = (0..n).map(|i| pred32[(i, 0)]).collect();
+    let (ba64, ba32) = (bounded_accuracy(&p64, &actual), bounded_accuracy(&p32, &actual));
+    assert!(
+        (ba64 - ba32).abs() <= 100.0 / n as f64 + 1e-9,
+        "bounded accuracy moved more than one sample: f64 {ba64} vs f32 {ba32}"
+    );
+    let (sr64, sr32) = (mean_surprise_ratio(&p64, &actual), mean_surprise_ratio(&p32, &actual));
+    assert!(sr64.is_finite() && sr32.is_finite());
+    assert!(
+        (sr64 - sr32).abs() <= 0.05,
+        "mean surprise ratio drifted under quantization: f64 {sr64} vs f32 {sr32}"
+    );
+}
+
+#[test]
+fn server_f32_backend_serves_the_in_process_f32_predictions() {
+    let bundle = train_demo(2026);
+    let engine = Engine::new(bundle.artifact.clone()).unwrap();
+    let registry = Arc::new(Registry::new());
+    registry.publish(bundle.artifact.clone()).unwrap();
+    let server = Server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            backend: Some("f32".into()),
+            ..Default::default()
+        },
+        Arc::clone(&registry),
+    )
+    .unwrap();
+    let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+
+    // Batch path: bitwise-equal to the local f32 engine. SimdSeq is
+    // run-to-run deterministic and serde_json round-trips f64 exactly
+    // (shortest round-trip formatting), so exact equality holds.
+    let n = bundle.test_x.rows();
+    let local = engine.predict_batch_f32(&bundle.test_x).unwrap();
+    let rows: Vec<String> = (0..n)
+        .map(|i| {
+            let row: Vec<String> = bundle.test_x.row(i).iter().map(|v| format!("{v}")).collect();
+            format!("[{}]", row.join(","))
+        })
+        .collect();
+    let request = format!(r#"{{"type":"batch_predict","features":[{}]}}"#, rows.join(","));
+    let resp = send(&mut conn, &request);
+    assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(true), "batch failed: {resp:?}");
+    let served = resp.get("predictions").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(served.len(), n);
+    for (i, value) in served.iter().enumerate() {
+        let got = value.as_f64().unwrap();
+        assert_eq!(
+            got.to_bits(),
+            local[(i, 0)].to_bits(),
+            "company {i}: served {got} vs local f32 {}",
+            local[(i, 0)]
+        );
+    }
+
+    // Single-company predict is NOT quantized: the scalar fast path
+    // stays on f64 and must still match the f64 engine bit-for-bit.
+    let row: Vec<String> = bundle.test_x.row(0).iter().map(|v| format!("{v}")).collect();
+    let request = format!(r#"{{"type":"predict","company":0,"features":[{}]}}"#, row.join(","));
+    let resp = send(&mut conn, &request);
+    assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(true));
+    let got = resp.get("prediction").and_then(|v| v.as_f64()).unwrap();
+    let want = engine.predict_company(0, bundle.test_x.row(0)).unwrap();
+    assert_eq!(got.to_bits(), want.to_bits());
+
+    // Non-finite input on the f32 path is refused per-request, and the
+    // connection survives.
+    let resp = send(&mut conn, r#"{"type":"batch_predict","features":[[1e400]]}"#);
+    assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(false));
+    let health = send(&mut conn, r#"{"type":"health"}"#);
+    assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("healthy"));
+
+    drop(conn);
+    server.shutdown();
+}
