@@ -13,13 +13,21 @@
 //! * [`shed_queue`] — `serve::server`'s bounded admission queue:
 //!   `try_send` sheds on full while a worker drains concurrently; a
 //!   sentinel models shutdown.
+//! * [`router_failover`] — `cluster::router`'s failover protocol: the
+//!   health prober and a request-draining dispatcher race for a
+//!   quarantined replica's half-open probe. Both go through `allow()`
+//!   (check + transition under **one** guard), so at most one spends
+//!   the probe; whoever wins records the outcome, re-admitting the
+//!   replica (`Closed`) exactly once. The prober's preliminary
+//!   `state() != Closed` peek is a benign stale read — the admission
+//!   decision itself stays guarded.
 //!
 //! Each correct model has a deliberately broken sibling
-//! ([`registry_hot_swap_lost_update`], [`breaker_double_probe`]) that
-//! re-introduces the classic bug the real code avoids — a
-//! read-validate-then-write gap. The unit tests assert the explorer
-//! *catches* those, which is what makes a clean pass over the correct
-//! models evidence rather than vacuity.
+//! ([`registry_hot_swap_lost_update`], [`breaker_double_probe`],
+//! [`router_failover_unguarded_probe`]) that re-introduces the classic
+//! bug the real code avoids — a read-validate-then-write gap. The unit
+//! tests assert the explorer *catches* those, which is what makes a
+//! clean pass over the correct models evidence rather than vacuity.
 //!
 //! All models pass exhaustively at the documented CI bound
 //! ([`Config::ci`], two pre-emptions); registry and breaker also pass
@@ -242,6 +250,145 @@ pub fn shed_queue(cfg: Config) -> Result<Stats, Box<Violation>> {
     })
 }
 
+/// Replica breaker state as the router failover model sees it;
+/// `Open`'s cooldown is the usual logical `elapsed` flag.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ReplicaState {
+    Open { elapsed: bool },
+    HalfOpen,
+    Closed,
+}
+
+/// What the modeled `allow()` granted.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Admission {
+    /// The caller spent the half-open probe (`Open → HalfOpen`).
+    Probe,
+    /// Normal admission on a closed breaker.
+    Normal,
+    /// Quarantined: skip this replica (degrade / try the next one).
+    Denied,
+}
+
+/// `CircuitBreaker::allow` as the router uses it per upstream: check
+/// and transition under one guard.
+fn replica_allow(state: &Mutex<ReplicaState>) -> Admission {
+    let mut g = state.lock();
+    match *g {
+        ReplicaState::Closed => Admission::Normal,
+        ReplicaState::Open { elapsed: true } => {
+            *g = ReplicaState::HalfOpen;
+            Admission::Probe
+        }
+        ReplicaState::Open { .. } | ReplicaState::HalfOpen => Admission::Denied,
+    }
+}
+
+/// The router's replica failover/re-admission protocol: a quarantined
+/// replica whose cooldown has elapsed is raced for by the health
+/// prober (stale `state() != Closed` peek, then `allow()`) and a
+/// dispatcher draining a live request (straight to `allow()`). The
+/// upstream answers both probes and requests, so every admitted
+/// attempt records success. Invariants, in every schedule: exactly one
+/// caller spends the half-open probe, a denied dispatcher degrades
+/// instead of dispatching, and the replica ends re-admitted
+/// (`Closed`) — re-admission is neither lost nor doubled.
+pub fn router_failover(cfg: Config) -> Result<Stats, Box<Violation>> {
+    explore(cfg, || {
+        let state = Arc::new(Mutex::new(ReplicaState::Open { elapsed: true }));
+        let probed: Vec<Arc<RaceCell<bool>>> =
+            (0..2).map(|_| Arc::new(RaceCell::new(false))).collect();
+        let degraded = Arc::new(RaceCell::new(false));
+        let prober = {
+            let state = Arc::clone(&state);
+            let probed = Arc::clone(&probed[0]);
+            spawn(move || {
+                // The real prober only bothers with non-closed
+                // upstreams; this peek may go stale, which is safe —
+                // admission is re-checked under allow()'s guard.
+                let quarantined = { *state.lock() != ReplicaState::Closed };
+                if !quarantined {
+                    return;
+                }
+                match replica_allow(&state) {
+                    Admission::Denied => {}
+                    admission => {
+                        if admission == Admission::Probe {
+                            probed.set(true);
+                        }
+                        // The health round trip succeeds: record it,
+                        // re-admitting the replica.
+                        *state.lock() = ReplicaState::Closed;
+                    }
+                }
+            })
+        };
+        let dispatcher = {
+            let state = Arc::clone(&state);
+            let probed = Arc::clone(&probed[1]);
+            let degraded = Arc::clone(&degraded);
+            spawn(move || match replica_allow(&state) {
+                Admission::Denied => degraded.set(true),
+                admission => {
+                    if admission == Admission::Probe {
+                        probed.set(true);
+                    }
+                    // The request succeeds: record_success.
+                    *state.lock() = ReplicaState::Closed;
+                }
+            })
+        };
+        prober.join();
+        dispatcher.join();
+        let probes = probed.iter().filter(|p| p.get()).count();
+        assert_eq!(probes, 1, "exactly one caller may spend the half-open probe");
+        assert!(
+            *state.lock() == ReplicaState::Closed,
+            "a successful probe must re-admit the replica"
+        );
+    })
+}
+
+/// The unguarded-probe bug re-introduced: the prober trusts its
+/// `state() != Closed` peek and probes *without* spending the breaker's
+/// half-open admission. A dispatcher that legitimately won the probe
+/// can then be mid-flight while the prober probes too — two callers
+/// hammering a replica that earned exactly one trial request. The
+/// explorer must find this within one pre-emption.
+pub fn router_failover_unguarded_probe(cfg: Config) -> Result<Stats, Box<Violation>> {
+    explore(cfg, || {
+        let state = Arc::new(Mutex::new(ReplicaState::Open { elapsed: true }));
+        let probed: Vec<Arc<RaceCell<bool>>> =
+            (0..2).map(|_| Arc::new(RaceCell::new(false))).collect();
+        let prober = {
+            let state = Arc::clone(&state);
+            let probed = Arc::clone(&probed[0]);
+            spawn(move || {
+                // BUG: the peek alone admits the probe — no allow().
+                let quarantined = { *state.lock() != ReplicaState::Closed };
+                if quarantined {
+                    probed.set(true);
+                    *state.lock() = ReplicaState::Closed;
+                }
+            })
+        };
+        let dispatcher = {
+            let state = Arc::clone(&state);
+            let probed = Arc::clone(&probed[1]);
+            spawn(move || {
+                if replica_allow(&state) == Admission::Probe {
+                    probed.set(true);
+                    *state.lock() = ReplicaState::Closed;
+                }
+            })
+        };
+        prober.join();
+        dispatcher.join();
+        let probes = probed.iter().filter(|p| p.get()).count();
+        assert!(probes <= 1, "two callers probed the quarantined replica");
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::sched::ViolationKind;
@@ -279,5 +426,19 @@ mod tests {
     fn shed_queue_is_clean_at_the_ci_bound() {
         let stats = shed_queue(Config::ci()).expect("admission/drain must be clean");
         assert!(stats.complete, "bounded space must be fully explored");
+    }
+
+    #[test]
+    fn router_failover_readmits_exactly_once() {
+        let stats = router_failover(Config::ci()).expect("failover protocol must be clean");
+        assert!(stats.complete, "bounded space must be fully explored");
+    }
+
+    #[test]
+    fn router_failover_unguarded_probe_is_caught() {
+        let err = router_failover_unguarded_probe(Config::ci())
+            .expect_err("an unguarded prober must double-probe");
+        assert_eq!(err.kind, ViolationKind::Panic);
+        assert!(err.message.contains("probed"), "{err}");
     }
 }

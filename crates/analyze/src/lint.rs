@@ -29,6 +29,13 @@ const PANIC_MACROS: [&str; 4] = ["panic!(", "todo!(", "unimplemented!(", "unreac
 /// Unwrap-family method calls denied on hot and untrusted-input paths.
 const UNWRAP_NEEDLES: [&str; 2] = [".unwrap()", ".expect("];
 
+/// Socket calls denied on request paths unless time-bounded: a raw
+/// `connect` waits on the OS default (minutes on most stacks), and
+/// clearing a timeout re-introduces the unbounded wait the serving
+/// stack is built to avoid.
+const UNBOUNDED_SOCKET_NEEDLES: [&str; 3] =
+    ["TcpStream::connect(", "set_read_timeout(None)", "set_write_timeout(None)"];
+
 /// One parameterized token-deny rule: the same matcher drives all
 /// four per-crate unwrap/panic policies, which used to be four
 /// copy-pasted blocks. `macro_family` switches on the
@@ -45,7 +52,7 @@ struct DenyRule {
 }
 
 /// Deny-rule table, in output order per line.
-static DENY_RULES: [DenyRule; 4] = [
+static DENY_RULES: [DenyRule; 5] = [
     DenyRule {
         rule: "no-unwrap-in-serve",
         in_scope: in_no_unwrap_scope,
@@ -82,7 +89,25 @@ static DENY_RULES: [DenyRule; 4] = [
         context: "on an inference path",
         hint: "return an error variant instead of panicking in the serving stack",
     },
+    // One slow or dead peer must cost a bounded slice of a worker's
+    // time, never the OS connect default or an indefinite read. The
+    // router's whole failover design (breakers, hedged retries,
+    // deadline budgets) assumes every socket wait is explicit.
+    DenyRule {
+        rule: "no-connect-without-timeout",
+        in_scope: in_request_path_scope,
+        needles: &UNBOUNDED_SOCKET_NEEDLES,
+        macro_family: false,
+        context: "on a request path: an unbounded socket wait wedges a worker until the \
+                  peer's stack gives up",
+        hint: "connect with `TcpStream::connect_timeout` and keep explicit read/write \
+               timeouts (`serve::net::JsonlConn` does both)",
+    },
 ];
+
+/// How many lines after a `connect_timeout` the read/write-timeout
+/// evidence search covers.
+const CONNECT_WINDOW: usize = 3;
 
 /// Integer target types for the float-truncation rule.
 const INT_CASTS: [&str; 8] =
@@ -122,6 +147,11 @@ fn in_serve_scope(path: &str) -> bool {
 
 fn in_store_scope(path: &str) -> bool {
     normalized(path).contains("store/src/")
+}
+
+fn in_request_path_scope(path: &str) -> bool {
+    let p = normalized(path);
+    p.contains("serve/src/") || p.contains("cluster/src/")
 }
 
 fn in_tensor_scope(path: &str) -> bool {
@@ -318,6 +348,35 @@ pub fn lint_source(path: &str, content: &str) -> Vec<Diagnostic> {
                     || trimmed == "loop {"
                 {
                     loop_stack.push(indent);
+                }
+            }
+        }
+
+        // no-connect-without-timeout, part two: `connect_timeout`
+        // bounds only the handshake. Unless the stream's read/write
+        // timeouts are set within the next few lines, a later read
+        // blocks indefinitely. Write-less uses (e.g. the shutdown
+        // nudge connections) carry a justified allow marker.
+        if in_request_path_scope(path) && !allowed.contains("no-connect-without-timeout") {
+            if let Some(pos) = code.find("TcpStream::connect_timeout(") {
+                let window_end = (idx + CONNECT_WINDOW).min(lines.len().saturating_sub(1));
+                let configured = (idx..=window_end).any(|j| {
+                    let c = code_part(lines[j]);
+                    c.contains("set_read_timeout(") || c.contains("set_write_timeout(")
+                });
+                if !configured {
+                    out.push(finding(
+                        true,
+                        "no-connect-without-timeout",
+                        path,
+                        line_no,
+                        pos + 1,
+                        "`TcpStream::connect_timeout` bounds only the handshake: the stream's \
+                         read/write timeouts are never set"
+                            .to_string(),
+                        "call `set_read_timeout(Some(..))` / `set_write_timeout(Some(..))` right \
+                         after connecting, or route through `serve::net::JsonlConn::connect`",
+                    ));
                 }
             }
         }
@@ -600,6 +659,45 @@ mod tests {
         assert_eq!(diags[0].rule, "no-unbounded-queue-in-serve");
         let bounded = "let (tx, rx) = mpsc::sync_channel(64);\n";
         assert!(lint_source("crates/serve/src/server.rs", bounded).is_empty());
+    }
+
+    #[test]
+    fn raw_connect_and_cleared_timeouts_flagged_on_request_paths() {
+        let raw = "let s = TcpStream::connect(addr)?;\n";
+        let diags = lint_source("crates/cluster/src/router.rs", raw);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "no-connect-without-timeout");
+        // serve request paths are covered the same way.
+        assert_eq!(lint_source("crates/serve/src/bin/loadgen.rs", raw).len(), 1);
+        // Outside the serving stack (bench drivers, tests) the rule
+        // does not apply.
+        assert!(lint_source("crates/bench/src/bin/chaos_bench.rs", raw).is_empty());
+        // Clearing a timeout re-introduces the unbounded wait.
+        let cleared = "stream.set_read_timeout(None)?;\n";
+        let diags = lint_source("crates/serve/src/server.rs", cleared);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "no-connect-without-timeout");
+    }
+
+    #[test]
+    fn connect_timeout_needs_read_write_timeouts_nearby() {
+        // The JsonlConn pattern — connect, then bound reads and
+        // writes — is the sanctioned shape.
+        let good = "let s = TcpStream::connect_timeout(&addr, t)?;\n\
+                    s.set_read_timeout(Some(t))?;\n\
+                    s.set_write_timeout(Some(t))?;\n";
+        assert!(lint_source("crates/serve/src/net.rs", good).is_empty());
+        // A bare connect_timeout bounds the handshake only.
+        let naked = "let s = TcpStream::connect_timeout(&addr, t)?;\n\
+                     let n = s.read(&mut buf)?;\n";
+        let diags = lint_source("crates/cluster/src/router.rs", naked);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "no-connect-without-timeout");
+        assert!(diags[0].message.contains("handshake"), "{diags:?}");
+        // A justified write-less nudge carries the allow marker.
+        let nudge = "// ams-lint: allow(no-connect-without-timeout) — write-less nudge\n\
+                     let _ = TcpStream::connect_timeout(&addr, t);\n";
+        assert!(lint_source("crates/serve/src/server.rs", nudge).is_empty());
     }
 
     #[test]

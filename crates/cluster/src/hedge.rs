@@ -1,0 +1,63 @@
+//! Hedged-read policy: the router's tail-latency defence.
+//!
+//! Classic hedging sends a duplicate request to a second replica when
+//! the first is slow and keeps both in flight. Over a persistent JSONL
+//! connection a duplicate would desynchronize the request/response
+//! pairing, so the router implements *staged* hedging: the first
+//! attempt's read is capped at the hedge threshold whenever another
+//! admissible replica exists; on expiry the connection is abandoned
+//! (dropped, so a late response can never be mis-paired) and the
+//! request is re-sent to the next replica with the remaining budget.
+//! Same tail-cutting effect, one request in flight at a time — the
+//! honest trade-off is documented in DESIGN §15.
+//!
+//! The decision itself is this pure function, kept free of I/O so it
+//! can be audited (panic/alloc/block-free) and unit-tested exactly.
+
+/// The read budget (ms) for one upstream attempt.
+///
+/// * `remaining_ms` — what is left of the request's deadline budget
+///   (callers pass a large sentinel when the request has no deadline).
+/// * `hedge_after_ms` — the configured hedge threshold; `0` disables
+///   hedging.
+/// * `alternatives` — how many other admissible replicas could still
+///   take this request if this attempt is abandoned.
+///
+/// With alternatives available the read is capped at the threshold so
+/// a stalled replica costs `hedge_after_ms`, not the full budget; on
+/// the last admissible replica the full remaining budget applies —
+/// abandoning it early would buy nothing. Never returns 0: a zero
+/// socket timeout means "block forever" in std, the opposite of the
+/// intent.
+pub fn hedge_read_timeout(remaining_ms: u64, hedge_after_ms: u64, alternatives: u32) -> u64 {
+    let full = remaining_ms.max(1);
+    if hedge_after_ms == 0 || alternatives == 0 {
+        return full;
+    }
+    full.min(hedge_after_ms.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_only_when_an_alternative_exists() {
+        assert_eq!(hedge_read_timeout(1000, 150, 1), 150);
+        assert_eq!(hedge_read_timeout(1000, 150, 0), 1000);
+        assert_eq!(hedge_read_timeout(1000, 0, 3), 1000, "hedging disabled");
+    }
+
+    #[test]
+    fn never_exceeds_the_remaining_budget() {
+        assert_eq!(hedge_read_timeout(80, 150, 2), 80);
+        assert_eq!(hedge_read_timeout(80, 150, 0), 80);
+    }
+
+    #[test]
+    fn never_returns_a_blocking_zero() {
+        assert_eq!(hedge_read_timeout(0, 0, 0), 1);
+        assert_eq!(hedge_read_timeout(0, 150, 1), 1);
+        assert_eq!(hedge_read_timeout(5, 0, 9), 5);
+    }
+}

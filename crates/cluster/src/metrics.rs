@@ -1,0 +1,81 @@
+//! Router-side counters, exposed through the router's `stats`
+//! endpoint. All atomics: incremented from client workers, shard
+//! dispatchers and the health prober concurrently.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters for one running router.
+#[derive(Debug, Default)]
+pub struct RouterMetrics {
+    /// Request lines handled (all types, including local health/stats).
+    pub requests: AtomicU64,
+    /// Connections or works refused with an explicit shed line.
+    pub sheds: AtomicU64,
+    /// Responses served from the router's local fallback because a
+    /// shard group had no usable replica.
+    pub degraded: AtomicU64,
+    /// Reads capped at the hedge threshold that expired and moved the
+    /// request to another replica.
+    pub hedges: AtomicU64,
+    /// Responses served by a replica other than the first one tried.
+    pub failovers: AtomicU64,
+    /// Health probes sent by the prober thread.
+    pub probes: AtomicU64,
+    /// Probes that closed an open breaker (upstream re-admitted).
+    pub readmissions: AtomicU64,
+    /// Dispatcher flushes (one upstream round trip each).
+    pub flushes: AtomicU64,
+    /// Single predicts coalesced into `multi_predict` envelopes.
+    pub coalesced: AtomicU64,
+    /// Full-universe batches fanned out across shard groups.
+    pub batch_fanouts: AtomicU64,
+    /// Client requests that outwaited the router's own reply budget.
+    pub router_timeouts: AtomicU64,
+}
+
+impl RouterMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Relaxed load of every counter as `(name, value)` pairs, in
+    /// stable order — the `stats` endpoint serializes these directly.
+    pub fn snapshot(&self) -> [(&'static str, u64); 11] {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        [
+            ("requests", get(&self.requests)),
+            ("sheds", get(&self.sheds)),
+            ("degraded", get(&self.degraded)),
+            ("hedges", get(&self.hedges)),
+            ("failovers", get(&self.failovers)),
+            ("probes", get(&self.probes)),
+            ("readmissions", get(&self.readmissions)),
+            ("flushes", get(&self.flushes)),
+            ("coalesced", get(&self.coalesced)),
+            ("batch_fanouts", get(&self.batch_fanouts)),
+            ("router_timeouts", get(&self.router_timeouts)),
+        ]
+    }
+
+    /// Relaxed increment, the only mutation the router uses.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps_in_order() {
+        let m = RouterMetrics::new();
+        RouterMetrics::bump(&m.requests);
+        RouterMetrics::bump(&m.requests);
+        RouterMetrics::bump(&m.readmissions);
+        let snap = m.snapshot();
+        assert_eq!(snap[0], ("requests", 2));
+        assert_eq!(snap[6], ("readmissions", 1));
+        assert!(snap.iter().all(|(name, _)| !name.is_empty()));
+    }
+}

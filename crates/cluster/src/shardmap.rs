@@ -1,0 +1,156 @@
+//! Consistent-hash shard map: rendezvous (highest-random-weight)
+//! hashing of company ids onto shard groups.
+//!
+//! Why rendezvous instead of a hash ring: the properties the router
+//! needs fall out of the definition with no virtual-node tuning.
+//!
+//! * **Total coverage** — every company id gets exactly one owner
+//!   (the argmax over a non-empty weight list always exists).
+//! * **Determinism across processes** — the weight is a pure function
+//!   of `(company, shard id)` built on [`ams_fault::mix64`], so the
+//!   router, every shard, the bench and the proptests all compute the
+//!   same assignment with no shared state.
+//! * **Bounded movement** — adding a shard moves exactly the keys
+//!   whose new argmax is the added shard (≈ `1/(n+1)` of them);
+//!   removing one moves only the keys it owned. Keys never move
+//!   *between* surviving shards, which the property tests assert.
+//!
+//! The map hashes *shard ids*, not positions, so the same id set in a
+//! different order yields identical ownership.
+
+use ams_fault::mix64;
+
+/// Domain-separation salt so company hashing here is independent of
+/// every other `mix64` user in the workspace.
+const COMPANY_SALT: u64 = 0x5348_4152_444D_4150; // "SHARDMAP"
+
+/// The rendezvous weight of `company` on shard `id`. Pure and
+/// allocation-free: callable from the router's hot routing path.
+fn weight(company: u64, id: u32) -> u64 {
+    mix64(mix64(company ^ COMPANY_SALT) ^ u64::from(id).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// An immutable assignment of the company-id space onto a set of
+/// shard-group ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    ids: Vec<u32>,
+}
+
+impl ShardMap {
+    /// Build a map over the given shard-group ids. Ids must be
+    /// non-empty and unique (order does not matter).
+    pub fn new(ids: Vec<u32>) -> Result<Self, String> {
+        if ids.is_empty() {
+            return Err("shard map needs at least one shard".to_string());
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(format!("duplicate shard id in {ids:?}"));
+        }
+        Ok(Self { ids })
+    }
+
+    /// Contiguous ids `0..n` — the common topology.
+    pub fn contiguous(n: usize) -> Result<Self, String> {
+        Self::new((0..n as u32).collect())
+    }
+
+    /// Number of shard groups.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the map has no shards (never constructible via
+    /// [`ShardMap::new`], but `len`/`is_empty` come in pairs).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The shard ids, in construction order.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The owning shard id for a company: the id with the highest
+    /// rendezvous weight. Panic-, allocation- and block-free — this is
+    /// the router's per-request routing decision.
+    pub fn shard_of(&self, company: u64) -> u32 {
+        let mut best_id = self.ids[0];
+        let mut best_w = weight(company, best_id);
+        let mut i = 1;
+        while i < self.ids.len() {
+            let id = self.ids[i];
+            let w = weight(company, id);
+            // Ties broken by id so the argmax is total and stable.
+            if w > best_w || (w == best_w && id > best_id) {
+                best_id = id;
+                best_w = w;
+            }
+            i += 1;
+        }
+        best_id
+    }
+
+    /// Position of a company's owner within [`ShardMap::ids`] — the
+    /// router indexes its dispatcher table with this.
+    pub fn position_of(&self, company: u64) -> usize {
+        let owner = self.shard_of(company);
+        let mut i = 0;
+        while i < self.ids.len() {
+            if self.ids[i] == owner {
+                return i;
+            }
+            i += 1;
+        }
+        // Unreachable: shard_of only returns members of `ids`.
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_duplicate_ids() {
+        assert!(ShardMap::new(vec![]).is_err());
+        assert!(ShardMap::new(vec![1, 2, 1]).is_err());
+        assert!(ShardMap::new(vec![3, 1, 2]).is_ok());
+    }
+
+    #[test]
+    fn assignment_ignores_id_order() {
+        let a = ShardMap::new(vec![0, 1, 2, 3]).unwrap();
+        let b = ShardMap::new(vec![3, 1, 0, 2]).unwrap();
+        for company in 0..500u64 {
+            assert_eq!(a.shard_of(company), b.shard_of(company));
+        }
+    }
+
+    #[test]
+    fn spread_is_roughly_uniform() {
+        let map = ShardMap::contiguous(4).unwrap();
+        let mut counts = [0usize; 4];
+        let n = 4000u64;
+        for company in 0..n {
+            counts[map.shard_of(company) as usize] += 1;
+        }
+        let expect = n as usize / 4;
+        for (id, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "shard {id} owns {c} of {n}: badly skewed {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn position_matches_owner() {
+        let map = ShardMap::new(vec![7, 3, 9]).unwrap();
+        for company in 0..300u64 {
+            assert_eq!(map.ids()[map.position_of(company)], map.shard_of(company));
+        }
+    }
+}

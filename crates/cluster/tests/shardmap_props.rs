@@ -1,0 +1,97 @@
+//! Property tests for the rendezvous shard map: the three guarantees
+//! the router's correctness rests on — total coverage of the
+//! company-id space, deterministic assignment across independently
+//! constructed maps (i.e. across processes), and bounded key movement
+//! when the shard set changes.
+
+use ams_cluster::ShardMap;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every company gets exactly one owner, and that owner is a
+    /// member of the map: coverage is total, never out of range.
+    #[test]
+    fn every_company_is_covered(
+        n in 1usize..9,
+        companies in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let map = ShardMap::contiguous(n).unwrap();
+        for &c in &companies {
+            let owner = map.shard_of(c);
+            prop_assert!(map.ids().contains(&owner), "owner {owner} not a shard id");
+            let pos = map.position_of(c);
+            prop_assert!(pos < map.len());
+            prop_assert_eq!(map.ids()[pos], owner);
+        }
+    }
+
+    /// Two maps built independently — different processes, different
+    /// id order — agree on every assignment.
+    #[test]
+    fn assignment_is_deterministic_across_processes(
+        ids in prop::collection::vec(0u32..64, 1..8),
+        companies in prop::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let mut ids = ids;
+        ids.sort_unstable();
+        ids.dedup();
+        let a = ShardMap::new(ids.clone()).unwrap();
+        let mut reversed = ids.clone();
+        reversed.reverse();
+        let b = ShardMap::new(reversed).unwrap();
+        for &c in &companies {
+            prop_assert_eq!(a.shard_of(c), b.shard_of(c));
+        }
+    }
+
+    /// Adding a shard moves keys only *to* the new shard: no key
+    /// shuffles between surviving shards, and the moved fraction is
+    /// in the right ballpark (≈ 1/(n+1)).
+    #[test]
+    fn adding_a_shard_moves_keys_only_to_it(n in 1usize..8) {
+        let before = ShardMap::contiguous(n).unwrap();
+        let after = ShardMap::contiguous(n + 1).unwrap();
+        let new_id = n as u32;
+        let universe = 3000u64;
+        let mut moved = 0usize;
+        for c in 0..universe {
+            let old = before.shard_of(c);
+            let new = after.shard_of(c);
+            if old != new {
+                prop_assert_eq!(new, new_id, "company {} moved {} -> {}, not to the new shard", c, old, new);
+                moved += 1;
+            }
+        }
+        // Expect ≈ universe/(n+1) moves; allow a wide band (the bound
+        // that matters is structural: only-to-the-new-shard above).
+        let expect = universe as usize / (n + 1);
+        prop_assert!(moved > expect / 3, "moved {moved}, expected ≈ {expect}: new shard starved");
+        prop_assert!(moved < expect * 3, "moved {moved}, expected ≈ {expect}: excessive movement");
+    }
+
+    /// Removing a shard moves only the keys it owned; every other
+    /// assignment is untouched.
+    #[test]
+    fn removing_a_shard_moves_only_its_keys(
+        ids in prop::collection::vec(0u32..32, 2..8),
+        remove_idx in 0usize..8,
+    ) {
+        let mut ids = ids;
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assume!(ids.len() >= 2);
+        let remove = ids[remove_idx % ids.len()];
+        let survivors: Vec<u32> = ids.iter().copied().filter(|&i| i != remove).collect();
+        let before = ShardMap::new(ids).unwrap();
+        let after = ShardMap::new(survivors).unwrap();
+        for c in 0..2000u64 {
+            let old = before.shard_of(c);
+            let new = after.shard_of(c);
+            if old != remove {
+                prop_assert_eq!(old, new, "company {} moved {} -> {} though its shard survived", c, old, new);
+            } else {
+                prop_assert!(new != remove);
+            }
+        }
+    }
+}

@@ -14,8 +14,7 @@
 //! worker that panics loses its samples but never takes down the run —
 //! join errors are collected and reported, not propagated.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use ams_serve::net::{backoff, JsonlConn, Timeouts};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -23,13 +22,14 @@ use std::time::{Duration, Instant};
 /// Reconnect attempts before a worker gives up.
 const MAX_RETRIES: u32 = 5;
 
-/// Jittered exponential backoff for attempt `k` (0-based): base
-/// `10·2^k` ms plus up to that much deterministic jitter, so workers
-/// that were shed together do not reconnect in lockstep.
-fn backoff(attempt: u32, salt: u64) -> Duration {
-    let base = 10u64 << attempt.min(10);
-    let jitter = ams_fault::mix64(salt ^ u64::from(attempt).wrapping_mul(0x9E37_79B9)) % base;
-    Duration::from_millis(base + jitter)
+/// Socket budgets: a quick connect, generous read (responses queue
+/// behind other clients under load), bounded write.
+fn timeouts() -> Timeouts {
+    Timeouts {
+        connect: Duration::from_millis(500),
+        read: Duration::from_secs(10),
+        write: Duration::from_secs(10),
+    }
 }
 
 struct Args {
@@ -78,38 +78,21 @@ fn parse_args() -> Result<Args, String> {
 
 /// One round trip: write a request line, read the response line.
 fn round_trip(
-    writer: &mut TcpStream,
-    reader: &mut BufReader<TcpStream>,
+    conn: &mut JsonlConn,
     request: &str,
     line: &mut String,
 ) -> Result<serde::Value, String> {
-    writer.write_all(request.as_bytes()).map_err(|e| e.to_string())?;
-    writer.write_all(b"\n").map_err(|e| e.to_string())?;
-    line.clear();
-    reader.read_line(line).map_err(|e| e.to_string())?;
-    if line.is_empty() {
-        return Err("server closed the connection".to_string());
-    }
+    conn.round_trip_into(request, line)?;
     serde_json::from_str(line.trim()).map_err(|e| format!("bad response: {e}"))
 }
 
-fn connect(addr: &str) -> Result<(TcpStream, BufReader<TcpStream>), String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    stream.set_nodelay(true).ok();
-    let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    Ok((stream, reader))
-}
-
-/// [`connect`] with bounded, jittered retry — a refused connection
-/// (full backlog, shed burst) earns up to [`MAX_RETRIES`] more tries.
-fn connect_with_retry(
-    addr: &str,
-    salt: u64,
-    retries: &AtomicU64,
-) -> Result<(TcpStream, BufReader<TcpStream>), String> {
+/// [`JsonlConn::connect_str`] with bounded, jittered retry — a refused
+/// connection (full backlog, shed burst) earns up to [`MAX_RETRIES`]
+/// more tries.
+fn connect_with_retry(addr: &str, salt: u64, retries: &AtomicU64) -> Result<JsonlConn, String> {
     let mut attempt = 0u32;
     loop {
-        match connect(addr) {
+        match JsonlConn::connect_str(addr, &timeouts()) {
             Ok(c) => return Ok(c),
             Err(e) if attempt < MAX_RETRIES => {
                 retries.fetch_add(1, Ordering::Relaxed);
@@ -132,7 +115,7 @@ fn main() {
     };
 
     // Discover the published model's shape from a health probe.
-    let (mut probe_w, mut probe_r) = match connect(&args.addr) {
+    let mut probe = match JsonlConn::connect_str(&args.addr, &timeouts()) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("loadgen: {e}");
@@ -140,11 +123,10 @@ fn main() {
         }
     };
     let mut line = String::new();
-    let health = round_trip(&mut probe_w, &mut probe_r, r#"{"type":"health"}"#, &mut line)
-        .unwrap_or_else(|e| {
-            eprintln!("loadgen: health probe failed: {e}");
-            std::process::exit(1);
-        });
+    let health = round_trip(&mut probe, r#"{"type":"health"}"#, &mut line).unwrap_or_else(|e| {
+        eprintln!("loadgen: health probe failed: {e}");
+        std::process::exit(1);
+    });
     let models = health.get("models").and_then(serde::Value::as_array).unwrap_or(&[]);
     let first = models.first().unwrap_or_else(|| {
         eprintln!("loadgen: server has no published models");
@@ -180,7 +162,7 @@ fn main() {
             let retries = Arc::clone(&retries);
             std::thread::spawn(move || -> Vec<u64> {
                 let salt = conn_id as u64;
-                let (mut w, mut r) = match connect_with_retry(&addr, salt, &retries) {
+                let mut conn = match connect_with_retry(&addr, salt, &retries) {
                     Ok(c) => c,
                     Err(e) => {
                         eprintln!("loadgen[{conn_id}]: {e}");
@@ -201,7 +183,7 @@ fn main() {
                         ),
                     };
                     let started = Instant::now();
-                    match round_trip(&mut w, &mut r, &request, &mut line) {
+                    match round_trip(&mut conn, &request, &mut line) {
                         Ok(resp) => {
                             let ok = resp.get("ok").and_then(serde::Value::as_bool) == Some(true);
                             let shed =
@@ -212,7 +194,7 @@ fn main() {
                                 retries.fetch_add(1, Ordering::Relaxed);
                                 std::thread::sleep(backoff(0, salt));
                                 match connect_with_retry(&addr, salt, &retries) {
-                                    Ok(c) => (w, r) = c,
+                                    Ok(c) => conn = c,
                                     Err(e) => {
                                         eprintln!("loadgen[{conn_id}]: {e}");
                                         failed.store(true, Ordering::Relaxed);
@@ -232,7 +214,7 @@ fn main() {
                             // restart, truncation, reset): reconnect
                             // with backoff rather than aborting the run.
                             match connect_with_retry(&addr, salt, &retries) {
-                                Ok(c) => (w, r) = c,
+                                Ok(c) => conn = c,
                                 Err(e) => {
                                     eprintln!("loadgen[{conn_id}]: {e}");
                                     failed.store(true, Ordering::Relaxed);

@@ -22,6 +22,9 @@
 //!   degradation to the artifact's fallback predictor;
 //! * [`metrics`] — [`Metrics`], atomic counters and a latency
 //!   histogram exposed through the `stats` request;
+//! * [`net`] — shared client-side JSONL framing with explicit
+//!   connect/read/write timeouts and jittered backoff, used by
+//!   `loadgen` and the cluster router (crates/cluster);
 //! * [`demo`] — train-and-export on a seeded synthetic universe (the
 //!   `serve --demo` quickstart and the test fixture).
 //!
@@ -34,6 +37,7 @@ pub mod breaker;
 pub mod demo;
 pub mod engine;
 pub mod metrics;
+pub mod net;
 pub mod plan;
 pub mod registry;
 pub mod server;
@@ -42,6 +46,7 @@ pub use artifact::{FallbackModel, ModelArtifact, Provenance, ARTIFACT_MAGIC, FOR
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use engine::{Engine, PredictError};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use net::{JsonlConn, Timeouts};
 pub use plan::{ForwardPlan, Plane, PlaneRef};
 pub use registry::Registry;
 pub use server::{Server, ServerConfig};

@@ -1,0 +1,204 @@
+//! Shared client-side JSONL connection layer.
+//!
+//! Every component that *talks to* a prediction server — the `loadgen`
+//! binary, the cluster router's upstream pool, the health prober, the
+//! chaos benches — needs the same three things: a TCP connection whose
+//! connect/read/write are all bounded by explicit timeouts, one-line
+//! request/response framing, and jittered backoff for reconnects. This
+//! module is that layer, extracted so the router (crates/cluster) does
+//! not re-derive it.
+//!
+//! Policy (enforced by the `no-connect-without-timeout` lint): no
+//! request-path socket may be created without a connect timeout, and
+//! every connection sets read + write timeouts immediately. A hung
+//! upstream must cost a bounded wait, never a pinned thread.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Explicit bounds on every socket operation of a [`JsonlConn`].
+#[derive(Debug, Clone, Copy)]
+pub struct Timeouts {
+    /// TCP connect budget.
+    pub connect: Duration,
+    /// Per-`read_line` budget (also the failover detection latency).
+    pub read: Duration,
+    /// Per-write budget.
+    pub write: Duration,
+}
+
+impl Timeouts {
+    /// The same budget for connect, read and write.
+    pub fn uniform(d: Duration) -> Self {
+        Self { connect: d, read: d, write: d }
+    }
+}
+
+impl Default for Timeouts {
+    fn default() -> Self {
+        Self {
+            connect: Duration::from_millis(500),
+            read: Duration::from_secs(2),
+            write: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Resolve `host:port` to the first socket address. `connect_timeout`
+/// needs a concrete [`SocketAddr`], so resolution is a separate,
+/// fallible step.
+pub fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("resolve {addr}: no addresses"))
+}
+
+/// Jittered exponential backoff for attempt `k` (0-based): base
+/// `10·2^k` ms plus up to that much deterministic jitter, so clients
+/// that were shed together do not reconnect in lockstep.
+pub fn backoff(attempt: u32, salt: u64) -> Duration {
+    let base = 10u64 << attempt.min(10);
+    let jitter = ams_fault::mix64(salt ^ u64::from(attempt).wrapping_mul(0x9E37_79B9)) % base;
+    Duration::from_millis(base + jitter)
+}
+
+/// One persistent JSON-lines client connection with every socket
+/// operation bounded: requests go out as single lines, responses come
+/// back as single lines.
+pub struct JsonlConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    addr: SocketAddr,
+}
+
+impl JsonlConn {
+    /// Connect with explicit timeouts on connect, read and write.
+    pub fn connect(addr: SocketAddr, timeouts: &Timeouts) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeouts.connect)?;
+        stream.set_read_timeout(Some(timeouts.read))?;
+        stream.set_write_timeout(Some(timeouts.write))?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { writer: stream, reader, addr })
+    }
+
+    /// [`JsonlConn::connect`] by hostname, resolving first.
+    pub fn connect_str(addr: &str, timeouts: &Timeouts) -> Result<Self, String> {
+        let sockaddr = resolve(addr)?;
+        Self::connect(sockaddr, timeouts).map_err(|e| format!("connect {addr}: {e}"))
+    }
+
+    /// The upstream this connection talks to.
+    pub fn peer(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Re-bound the read budget (the write/connect budgets are fixed at
+    /// connect time). The underlying socket is shared with the buffered
+    /// reader, so this takes effect on the next read.
+    pub fn set_read_timeout(&self, d: Duration) -> std::io::Result<()> {
+        self.writer.set_read_timeout(Some(d))
+    }
+
+    /// Write one request line (newline appended) and flush.
+    pub fn send_line(&mut self, request: &str) -> std::io::Result<()> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Read one response line into `buf` (cleared first). `Ok(0)` means
+    /// the peer closed; a timeout surfaces as `WouldBlock`/`TimedOut`.
+    pub fn read_line_into(&mut self, buf: &mut String) -> std::io::Result<usize> {
+        buf.clear();
+        self.reader.read_line(buf)
+    }
+
+    /// One request/response round trip; the response line lands in
+    /// `buf`. A closed connection is an error, not an empty line.
+    pub fn round_trip_into(&mut self, request: &str, buf: &mut String) -> Result<(), String> {
+        self.send_line(request).map_err(|e| format!("send to {}: {e}", self.addr))?;
+        let n = self.read_line_into(buf).map_err(|e| format!("read from {}: {e}", self.addr))?;
+        if n == 0 {
+            return Err(format!("{} closed the connection", self.addr));
+        }
+        Ok(())
+    }
+
+    /// Round trip returning the parsed response object.
+    pub fn round_trip_value(&mut self, request: &str) -> Result<serde::Value, String> {
+        let mut buf = String::new();
+        self.round_trip_into(request, &mut buf)?;
+        serde_json::from_str(buf.trim())
+            .map_err(|e| format!("bad response from {}: {e}", self.addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::server::{Server, ServerConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trip_against_a_live_server() {
+        let registry = Arc::new(Registry::new());
+        let server = Server::start(
+            ServerConfig { addr: "127.0.0.1:0".into(), workers: 1, ..Default::default() },
+            registry,
+        )
+        .unwrap();
+        let mut conn = JsonlConn::connect(server.local_addr(), &Timeouts::default()).unwrap();
+        let health = conn.round_trip_value(r#"{"type":"health"}"#).unwrap();
+        assert_eq!(health.get("ok").and_then(serde::Value::as_bool), Some(true));
+        let mut buf = String::new();
+        conn.round_trip_into(r#"{"type":"health"}"#, &mut buf).unwrap();
+        assert!(buf.trim_end().ends_with('}'));
+        server.shutdown();
+    }
+
+    #[test]
+    fn connect_to_a_dead_port_fails_within_the_budget() {
+        // Bind-then-drop: nobody is listening on this port right after.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let t = Timeouts::uniform(Duration::from_millis(200));
+        let started = std::time::Instant::now();
+        assert!(JsonlConn::connect(addr, &t).is_err());
+        assert!(started.elapsed() < Duration::from_secs(5), "connect did not bound its wait");
+    }
+
+    #[test]
+    fn read_timeout_surfaces_instead_of_hanging() {
+        // A listener that accepts and never answers.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let t = Timeouts::uniform(Duration::from_millis(100));
+        let mut conn = JsonlConn::connect(addr, &t).unwrap();
+        let mut buf = String::new();
+        let err = conn.round_trip_into(r#"{"type":"health"}"#, &mut buf).unwrap_err();
+        assert!(err.contains("read from"), "{err}");
+        drop(hold.join());
+    }
+
+    #[test]
+    fn resolve_and_backoff_are_sane() {
+        assert!(resolve("127.0.0.1:80").is_ok());
+        assert!(resolve("definitely not an address").is_err());
+        let mut prev = Duration::ZERO;
+        for attempt in 0..6 {
+            let d = backoff(attempt, 42);
+            let base = 10u64 << attempt;
+            assert!(d >= Duration::from_millis(base));
+            assert!(d <= Duration::from_millis(2 * base));
+            assert!(d >= prev / 4, "backoff collapsed at attempt {attempt}");
+            prev = d;
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! {"type":"predict","model":"ams","company":3,"features":[...]}
 //! {"type":"predict","company":3,"features":[...],"raw":true}
 //! {"type":"batch_predict","features":[[...],[...],...],"deadline_ms":50}
+//! {"type":"multi_predict","requests":[{"company":3,"features":[...]},...]}
 //! {"type":"slave_weights","company":3}
 //! {"type":"health"}
 //! {"type":"stats"}
@@ -215,8 +216,10 @@ impl Server {
     /// request they are on, join every thread.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the acceptor with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
+        // Unblock the acceptor with a throwaway connection — connected
+        // then dropped, never read from, so only the connect is bounded.
+        // ams-lint: allow(no-connect-without-timeout) — write-less nudge, no read to time out
+        let _ = TcpStream::connect_timeout(&self.local_addr, READ_TICK);
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
@@ -382,6 +385,7 @@ fn handle_request(
         .map(|budget| Instant::now() + budget);
     let response = match kind.as_str() {
         "predict" => handle_predict(&request, shared, deadline),
+        "multi_predict" => handle_multi_predict(&request, shared, deadline),
         "batch_predict" => handle_batch_predict(&request, shared, ws, ws32, deadline),
         "slave_weights" => handle_slave_weights(&request, &shared.registry),
         "health" => Ok(handle_health(&shared.registry)),
@@ -483,6 +487,46 @@ fn handle_predict(
     deadline: Option<Instant>,
 ) -> Result<Value, String> {
     let engine = resolve_engine(request, &shared.registry)?;
+    predict_resolved(&engine, request, shared, deadline)
+}
+
+/// Coalesced single predictions: the cluster router's micro-batching
+/// endpoint. The engine resolves once per envelope; each element runs
+/// the full [`handle_predict`] ladder independently, so one malformed
+/// or out-of-domain element degrades (or errors) on its own slot and
+/// never poisons its batch-mates. `results[i]` answers `requests[i]`.
+fn handle_multi_predict(
+    request: &Value,
+    shared: &Shared,
+    deadline: Option<Instant>,
+) -> Result<Value, String> {
+    let engine = resolve_engine(request, &shared.registry)?;
+    let elements = request
+        .get("requests")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing `requests`".to_string())?;
+    let mut results = Vec::with_capacity(elements.len());
+    for element in elements {
+        let resp = predict_resolved(&engine, element, shared, deadline)
+            .unwrap_or_else(|e| error_response(&e));
+        results.push(resp);
+    }
+    Ok(Value::Object(vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("model".to_string(), Value::String(engine.artifact().name.clone())),
+        ("version".to_string(), Value::Number(engine.artifact().version as f64)),
+        ("results".to_string(), Value::Array(results)),
+    ]))
+}
+
+/// The per-request body of [`handle_predict`], after engine
+/// resolution — shared with [`handle_multi_predict`].
+fn predict_resolved(
+    engine: &Arc<Engine>,
+    request: &Value,
+    shared: &Shared,
+    deadline: Option<Instant>,
+) -> Result<Value, String> {
     let company = company_field(request)?;
     let mut features = features_field(request)?;
     // Injected fault: out-of-domain feature values. Exercises the same
@@ -512,7 +556,7 @@ fn handle_predict(
     // Out-of-domain input: degraded answer, no breaker involvement.
     if company >= engine.num_companies() {
         return Ok(degraded_predict(
-            &engine,
+            engine,
             company,
             &features,
             standardizer,
@@ -529,7 +573,7 @@ fn handle_predict(
     }
     if features.iter().any(|v| !v.is_finite()) {
         return Ok(degraded_predict(
-            &engine,
+            engine,
             company,
             &features,
             standardizer,
@@ -547,7 +591,7 @@ fn handle_predict(
     if let Some(b) = &breaker {
         if !b.allow() {
             return Ok(degraded_predict(
-                &engine,
+                engine,
                 company,
                 &features,
                 standardizer,
@@ -577,7 +621,7 @@ fn handle_predict(
                 b.record_failure();
             }
             Ok(degraded_predict(
-                &engine,
+                engine,
                 company,
                 &features,
                 standardizer,

@@ -24,12 +24,17 @@
 //!   checksummed atomic file framing (see README "Resilience");
 //! * [`store`] — the columnar compressed feature store with
 //!   block-indexed random access (see README "Feature store"), built
-//!   on the always-on [`framed`] layer of `ams-fault`.
+//!   on the always-on [`framed`] layer of `ams-fault`;
+//! * [`cluster`] — fault-tolerant sharded serving: the consistent-hash
+//!   shard map and the router with per-upstream circuit breakers,
+//!   hedged retries, health-probe failover and adaptive micro-batching
+//!   (see README "Cluster serving").
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use ams_analyze as analyze;
 pub use ams_backtest as backtest;
+pub use ams_cluster as cluster;
 pub use ams_core as model;
 pub use ams_data as data;
 pub use ams_eval as eval;

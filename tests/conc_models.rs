@@ -3,10 +3,10 @@
 //!
 //! CI runs this in release mode (the `conc` job). Each correct model
 //! must pass *exhaustively* at the documented CI bound — two
-//! pre-emptions, the CHESS result's sweet spot — and the two
-//! two-thread protocols must also pass with the pre-emption bound
-//! removed, which makes the run a proof over every interleaving up to
-//! the schedule cap rather than a sample.
+//! pre-emptions, the CHESS result's sweet spot — and the two-thread
+//! protocols (breaker half-open, router failover) must also pass with
+//! the pre-emption bound removed, which makes the run a proof over
+//! every interleaving up to the schedule cap rather than a sample.
 
 use ams::analyze::conc::models;
 use ams::analyze::conc::Config;
@@ -50,13 +50,36 @@ fn shed_queue_passes_exhaustively_at_the_ci_bound() {
 }
 
 #[test]
+fn router_failover_passes_exhaustively_at_the_ci_bound() {
+    let stats = models::router_failover(Config::ci()).expect("failover must be clean");
+    assert!(stats.complete);
+    assert!(stats.schedules > 1);
+}
+
+#[test]
+fn router_failover_passes_with_the_preemption_bound_removed() {
+    let stats = models::router_failover(Config::exhaustive())
+        .expect("failover must be clean under full exploration");
+    assert!(stats.complete);
+}
+
+#[test]
+fn router_failover_unguarded_probe_is_caught() {
+    let err = models::router_failover_unguarded_probe(Config::ci())
+        .expect_err("skipping allow() must double-probe the replica");
+    assert!(err.message.contains("probed"), "{err}");
+}
+
+#[test]
 fn seeded_exploration_finds_the_same_violations() {
     // The seed rotates scheduling choices but must not change verdicts:
     // correct models stay clean, buggy ones stay caught.
     for seed in [1u64, 42, 0xdead_beef] {
         let cfg = Config { seed: Some(seed), ..Config::ci() };
         models::breaker_half_open(cfg).expect("clean regardless of seed");
+        models::router_failover(cfg).expect("clean regardless of seed");
         models::breaker_double_probe(cfg).expect_err("caught regardless of seed");
         models::registry_hot_swap_lost_update(cfg).expect_err("caught regardless of seed");
+        models::router_failover_unguarded_probe(cfg).expect_err("caught regardless of seed");
     }
 }
