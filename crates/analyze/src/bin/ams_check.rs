@@ -8,6 +8,8 @@
 //! ams-check plan FILE... [--format text|json]          audit JSON plan specs
 //! ams-check audit [PATHS...] [--config FILE] [--bench FILE]
 //!                                                      whole-program hot-path audit
+//! ams-check taint [PATHS...] [--config FILE] [--bench FILE]
+//!                                                      untrusted-input taint audit
 //! ```
 //!
 //! `conc` with no paths analyzes the workspace concurrency surface
@@ -18,8 +20,10 @@
 //! `audit` with no paths parses every workspace source under `--root`
 //! and checks the hot-path roots declared in `<root>/audit.toml`
 //! (override with `--config`); with paths it audits exactly those
-//! files, and `--config` is required. `--bench FILE` additionally
-//! writes wall-time and graph-size statistics as JSON.
+//! files, and `--config` is required. `taint` works the same way
+//! against `<root>/taint.toml` source/sink/sanitizer declarations.
+//! `--bench FILE` merges wall-time and graph-size statistics into a
+//! JSONL file, one line per tool.
 //!
 //! Exit codes (stable, documented in README):
 //!   0  clean, or warnings/infos only
@@ -27,7 +31,7 @@
 //!   2  internal failure: bad arguments, unreadable file, invalid spec
 
 use ams_analyze::conc::lockorder;
-use ams_analyze::{audit, lint, plan_io, Report};
+use ams_analyze::{audit, lint, plan_io, taint, Report};
 use serde::Value;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -36,7 +40,8 @@ const USAGE: &str = "usage: ams-check [--conc] [--root DIR] [--format text|json]
        ams-check lint [PATHS...] [--format text|json]
        ams-check conc [PATHS...] [--format text|json]
        ams-check plan FILE... [--format text|json]
-       ams-check audit [PATHS...] [--config FILE] [--bench FILE] [--format text|json]";
+       ams-check audit [PATHS...] [--config FILE] [--bench FILE] [--format text|json]
+       ams-check taint [PATHS...] [--config FILE] [--bench FILE] [--format text|json]";
 
 enum Format {
     Text,
@@ -63,6 +68,8 @@ enum Command {
     Plan(Vec<PathBuf>),
     AuditWorkspace,
     AuditPaths(Vec<PathBuf>),
+    TaintWorkspace,
+    TaintPaths(Vec<PathBuf>),
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -109,6 +116,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "plan" => Command::Plan(rest.iter().map(PathBuf::from).collect()),
             "audit" if rest.is_empty() => Command::AuditWorkspace,
             "audit" => Command::AuditPaths(rest.iter().map(PathBuf::from).collect()),
+            "taint" if rest.is_empty() => Command::TaintWorkspace,
+            "taint" => Command::TaintPaths(rest.iter().map(PathBuf::from).collect()),
             other => return Err(format!("unknown command `{other}`\n{USAGE}")),
         },
     };
@@ -117,14 +126,24 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     use the `conc` subcommand for explicit paths"
             .to_string());
     }
-    if config.is_some() && !matches!(command, Command::AuditWorkspace | Command::AuditPaths(_)) {
-        return Err("--config only applies to the `audit` subcommand".to_string());
+    let configurable = matches!(
+        command,
+        Command::AuditWorkspace
+            | Command::AuditPaths(_)
+            | Command::TaintWorkspace
+            | Command::TaintPaths(_)
+    );
+    if config.is_some() && !configurable {
+        return Err("--config only applies to the `audit`/`taint` subcommands".to_string());
     }
-    if bench.is_some() && !matches!(command, Command::AuditWorkspace | Command::AuditPaths(_)) {
-        return Err("--bench only applies to the `audit` subcommand".to_string());
+    if bench.is_some() && !configurable {
+        return Err("--bench only applies to the `audit`/`taint` subcommands".to_string());
     }
     if config.is_none() && matches!(command, Command::AuditPaths(_)) {
         return Err("audit with explicit paths needs --config FILE".to_string());
+    }
+    if config.is_none() && matches!(command, Command::TaintPaths(_)) {
+        return Err("taint with explicit paths needs --config FILE".to_string());
     }
     Ok(Cli {
         command,
@@ -164,9 +183,55 @@ fn run_audit(cli: &Cli) -> Result<Report, String> {
             ("roots".to_string(), Value::Number(stats.roots as f64)),
             ("violations".to_string(), Value::Number(stats.violations as f64)),
         ]);
-        let rendered = serde_json::to_string(&json).map_err(|e| format!("bench JSON: {e:?}"))?;
-        std::fs::write(bench, rendered + "\n")
-            .map_err(|e| format!("cannot write {}: {e}", bench.display()))?;
+        write_bench_line(bench, "ams-check audit", &json)?;
+    }
+    Ok(report)
+}
+
+/// Merge one tool's stats line into a JSONL bench file, preserving
+/// the other tools' lines (audit and taint share
+/// `results/BENCH_check.json`).
+fn write_bench_line(bench: &Path, tool: &str, json: &Value) -> Result<(), String> {
+    let rendered = serde_json::to_string(json).map_err(|e| format!("bench JSON: {e:?}"))?;
+    let marker = format!("\"tool\":\"{tool}\"");
+    let mut lines: Vec<String> = match std::fs::read_to_string(bench) {
+        Ok(text) => text.lines().filter(|l| !l.contains(&marker)).map(String::from).collect(),
+        Err(_) => Vec::new(),
+    };
+    lines.push(rendered);
+    std::fs::write(bench, lines.join("\n") + "\n")
+        .map_err(|e| format!("cannot write {}: {e}", bench.display()))
+}
+
+/// Run the taint audit, optionally merging its stats line into the
+/// shared bench file.
+fn run_taint(cli: &Cli) -> Result<Report, String> {
+    let config = match &cli.config {
+        Some(c) => c.clone(),
+        None => cli.root.join("taint.toml"),
+    };
+    let started = std::time::Instant::now();
+    let (report, stats) = match &cli.command {
+        Command::TaintPaths(paths) => {
+            let text = std::fs::read_to_string(&config)
+                .map_err(|e| format!("cannot read {}: {e}", config.display()))?;
+            let cfg = taint::config::parse(&text)?;
+            taint::taint_files(&cli.root, paths, &cfg)?
+        }
+        _ => taint::taint_workspace(&cli.root, &config)?,
+    };
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    if let Some(bench) = &cli.bench {
+        let json = Value::Object(vec![
+            ("tool".to_string(), Value::String("ams-check taint".to_string())),
+            ("wall_ms".to_string(), Value::Number((wall_ms * 1e3).round() / 1e3)),
+            ("files".to_string(), Value::Number(stats.files as f64)),
+            ("functions".to_string(), Value::Number(stats.functions as f64)),
+            ("edges".to_string(), Value::Number(stats.edges as f64)),
+            ("sources".to_string(), Value::Number(stats.sources as f64)),
+            ("violations".to_string(), Value::Number(stats.violations as f64)),
+        ]);
+        write_bench_line(bench, "ams-check taint", &json)?;
     }
     Ok(report)
 }
@@ -204,6 +269,9 @@ fn run(cli: &Cli) -> Result<Report, String> {
         Command::AuditWorkspace | Command::AuditPaths(_) => {
             report = run_audit(cli)?;
         }
+        Command::TaintWorkspace | Command::TaintPaths(_) => {
+            report = run_taint(cli)?;
+        }
     }
     report.sort();
     Ok(report)
@@ -236,6 +304,8 @@ fn describe(cli: &Cli) -> String {
         Command::Plan(files) => format!("{} plan spec(s)", files.len()),
         Command::AuditWorkspace => format!("hot-path audit of workspace at {}", cli.root.display()),
         Command::AuditPaths(paths) => format!("{} file(s) (hot-path audit)", paths.len()),
+        Command::TaintWorkspace => format!("taint audit of workspace at {}", cli.root.display()),
+        Command::TaintPaths(paths) => format!("{} file(s) (taint audit)", paths.len()),
     }
 }
 
@@ -251,7 +321,10 @@ fn main() -> ExitCode {
     // Sanity-check the root early so a typo'd --root is a clean 2.
     if matches!(
         cli.command,
-        Command::LintWorkspace | Command::ConcWorkspace | Command::AuditWorkspace
+        Command::LintWorkspace
+            | Command::ConcWorkspace
+            | Command::AuditWorkspace
+            | Command::TaintWorkspace
     ) && !Path::new(&cli.root).is_dir()
     {
         eprintln!("ams-check: --root {} is not a directory", cli.root.display());

@@ -20,6 +20,11 @@
 //!    panic/alloc/block propagation over a workspace call graph
 //!    (`ams-check audit`), gating the declared hot-path roots of
 //!    `audit.toml` with full root-to-site call-chain provenance.
+//! 5. **Taint audit** ([`taint`]) — interprocedural untrusted-input
+//!    dataflow (`ams-check taint`) from the sources of `taint.toml`
+//!    (socket reads, store file bytes, CLI args) to tainted-size
+//!    allocation/indexing sinks, with sanitizer kills and full
+//!    source→sink witness chains.
 //!
 //! CI runs `ams-check` and fails on any `error`-severity finding;
 //! `warn`/`info` are reported but do not gate. Exit codes are stable:
@@ -34,6 +39,7 @@ pub mod numeric;
 pub mod plan_io;
 pub mod reach;
 pub mod shape;
+pub mod taint;
 
 use ams_tensor::plan::{Plan, PlanOp};
 pub use diagnostic::{Diagnostic, Location, Report, Severity};

@@ -75,6 +75,44 @@ fn frozen_schema_round_trips() {
     }
 }
 
+/// The taint audit emits through the same frozen envelope: a planted
+/// source→sink flow must serialize to exactly these bytes — rule name,
+/// the `via … → …` witness-chain message shape, the source anchor and
+/// the remediation hint are all part of the contract CI and editors
+/// parse (DESIGN.md §16).
+#[test]
+fn taint_report_schema_is_frozen() {
+    let cfg = ams_analyze::taint::config::parse(
+        "[[source]]\nname = \"line\"\ntoken = \".read_line(\"\nkind = \"call\"\n\n\
+         [[sink]]\nrule = \"tainted-alloc\"\ntoken = \"vec![\"\nkind = \"vec-macro\"\n\n\
+         [[sanitizer]]\ntoken = \".min(\"\n\n\
+         [limits]\nnames = [\"MAX_\"]\n",
+    )
+    .expect("freeze config parses");
+    let text = "fn grow(r: &mut R) -> Vec<u8> {\n\
+                \x20   let mut s = String::new();\n\
+                \x20   let n = r.read_line(&mut s);\n\
+                \x20   vec![0u8; n]\n\
+                }\n";
+    let (report, stats) =
+        ams_analyze::taint::taint_sources(&[("crates/x/src/g.rs".to_string(), text.into())], &cfg);
+    let got = serde_json::to_string(&report.to_json()).unwrap();
+    let want = concat!(
+        r##"{"errors":1,"warnings":0,"infos":0,"diagnostics":["##,
+        r##"{"severity":"error","rule":"tainted-alloc","##,
+        r##""message":"`vec![..]` sized by untrusted input via line (crates/x/src/g.rs:3) → grow (crates/x/src/g.rs:4) → vec![..] (crates/x/src/g.rs:4)","##,
+        r##""file":"crates/x/src/g.rs","line":4,"col":5,"##,
+        r##""hint":"bound the value against a declared limit before the sink, or — if provably benign — suppress at the site with an `ams-taint` allow comment carrying a justification"}"##,
+        r##"]}"##,
+    );
+    assert_eq!(got, want, "taint report schema drifted");
+    assert_eq!(
+        (stats.files, stats.functions, stats.sources, stats.violations),
+        (1, 1, 1, 1),
+        "taint stats drifted: {stats:?}"
+    );
+}
+
 #[test]
 fn severity_strings_are_frozen() {
     for (d, want) in [

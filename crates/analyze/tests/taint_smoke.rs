@@ -1,0 +1,237 @@
+//! End-to-end smoke tests for `ams-check taint`: every planted fixture
+//! must be caught with its full source-to-sink witness chain, the
+//! preserved pre-fix copies of the real findings must stay caught (the
+//! regression guard now that the production sites are fixed), the live
+//! workspace must verify clean, and the documented exit codes
+//! (0 clean, 1 violations, 2 internal failure) must hold.
+
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("fixtures")
+        .join("taint")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ams-check"))
+        .args(args)
+        .output()
+        .expect("ams-check binary runs")
+}
+
+fn run_fixture_taint(files: &[&str], extra: &[&str]) -> Output {
+    let config = fixture("taint.toml");
+    let mut args: Vec<String> = vec!["taint".into()];
+    args.extend(files.iter().map(|f| fixture(f).to_str().unwrap().to_string()));
+    args.push("--config".into());
+    args.push(config.to_str().unwrap().to_string());
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    run(&arg_refs)
+}
+
+fn json_report(out: &Output) -> Value {
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    serde_json::from_str(stdout.trim()).unwrap_or_else(|e| panic!("bad JSON {e:?}: {stdout}"))
+}
+
+fn diagnostics(report: &Value) -> Vec<Value> {
+    report.get("diagnostics").and_then(Value::as_array).expect("diagnostics array").to_vec()
+}
+
+fn with_rule<'a>(diags: &'a [Value], rule: &str) -> Vec<&'a Value> {
+    diags.iter().filter(|d| d.get("rule").and_then(Value::as_str) == Some(rule)).collect()
+}
+
+fn message(d: &Value) -> &str {
+    d.get("message").and_then(Value::as_str).unwrap_or("")
+}
+
+fn line(d: &Value) -> u64 {
+    // The vendored serde shim backs all numbers with f64.
+    d.get("line").and_then(Value::as_f64).unwrap_or(0.0) as u64
+}
+
+fn num(v: &Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(Value::as_f64).map(|n| n as u64)
+}
+
+#[test]
+fn forged_length_allocation_is_caught_and_the_guarded_variant_is_clean() {
+    let out = run_fixture_taint(&["forged_len_alloc.rs"], &["--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let diags = diagnostics(&json_report(&out));
+    let hits = with_rule(&diags, "tainted-alloc");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert_eq!(line(hits[0]), 10);
+    // Full witness chain: the read_exact source, the function, the sink.
+    let msg = message(hits[0]);
+    assert!(msg.contains("read_exact"), "{msg}");
+    assert!(msg.contains("load"), "{msg}");
+    assert!(msg.contains("vec![..]"), "{msg}");
+    // `load_capped` (guarded against file_len) contributes nothing.
+    assert_eq!(diags.len(), 1, "{diags:?}");
+}
+
+#[test]
+fn tainted_index_is_caught_through_the_callee_and_the_checked_variant_is_clean() {
+    let out = run_fixture_taint(&["tainted_index.rs"], &["--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let diags = diagnostics(&json_report(&out));
+    let idx = with_rule(&diags, "tainted-index");
+    assert_eq!(idx.len(), 1, "{diags:?}");
+    assert_eq!(line(idx[0]), 9);
+    // The index came out of `parse_index`, which got the socket line —
+    // the chain must root at the read_line source.
+    let msg = message(idx[0]);
+    assert!(msg.contains("read_line"), "{msg}");
+    assert!(msg.contains("pick"), "{msg}");
+    // `pick_checked` bounds `k` against `table.len()` before indexing:
+    // its only findings are the unbounded reads themselves.
+    for d in with_rule(&diags, "unbounded-read") {
+        assert!(line(d) == 7 || line(d) == 18, "{d:?}");
+    }
+}
+
+#[test]
+fn overflowing_length_arithmetic_is_caught_and_checked_math_is_clean() {
+    let out = run_fixture_taint(&["overflow_len.rs"], &["--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let diags = diagnostics(&json_report(&out));
+    let hits = with_rule(&diags, "tainted-alloc");
+    assert_eq!(hits.len(), 1, "{diags:?}");
+    assert_eq!(line(hits[0]), 13);
+    assert!(message(hits[0]).contains("table"), "{:?}", hits[0]);
+    assert_eq!(diags.len(), 1, "table_checked must stay clean: {diags:?}");
+}
+
+#[test]
+fn prefix_read_line_sites_stay_caught() {
+    // The three real unbounded read_line sites the audit found on the
+    // live tree, preserved pre-fix. All three must keep firing.
+    let out = run_fixture_taint(&["prefix_read_line.rs"], &["--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let diags = diagnostics(&json_report(&out));
+    let hits = with_rule(&diags, "unbounded-read");
+    let mut lines: Vec<u64> = hits.iter().map(|d| line(d)).collect();
+    lines.sort_unstable();
+    assert_eq!(lines, vec![15, 29, 35], "{diags:?}");
+    for d in &hits {
+        assert!(message(d).contains("read_line"), "{d:?}");
+    }
+}
+
+#[test]
+fn prefix_store_allocation_sites_stay_caught_with_interprocedural_chains() {
+    let out = run_fixture_taint(&["prefix_seg_alloc.rs"], &["--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let diags = diagnostics(&json_report(&out));
+    let hits = with_rule(&diags, "tainted-alloc");
+    let mut lines: Vec<u64> = hits.iter().map(|d| line(d)).collect();
+    lines.sort_unstable();
+    assert_eq!(lines, vec![12, 22, 28], "{diags:?}");
+    // Every chain roots at the skeleton expr source.
+    for d in &hits {
+        assert!(message(d).contains("skeleton"), "{d:?}");
+    }
+    // The decoder allocation is reached *through* read_block_prefix —
+    // the chain must show both hops, not just the sink function.
+    let deep = hits.iter().find(|d| line(d) == 28).unwrap();
+    let msg = message(deep);
+    assert!(msg.contains("read_block_prefix"), "{msg}");
+    assert!(msg.contains("decode"), "{msg}");
+}
+
+#[test]
+fn the_live_workspace_verifies_clean() {
+    let root = workspace_root();
+    let out = run(&["taint", "--root", root.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace taint regressed:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn a_bare_allow_is_an_error_and_a_justified_allow_suppresses() {
+    let dir = std::env::temp_dir().join(format!("taint-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = fixture("taint.toml");
+
+    let bare = dir.join("bare.rs");
+    std::fs::write(
+        &bare,
+        "fn load(file: &mut File) -> Vec<u8> {\n\
+         \x20   let mut len_buf = [0u8; 8];\n\
+         \x20   file.read_exact(&mut len_buf).unwrap();\n\
+         \x20   let len = u64::from_le_bytes(len_buf) as usize;\n\
+         \x20   // ams-taint: allow(tainted-alloc)\n\
+         \x20   vec![0u8; len]\n\
+         }\n",
+    )
+    .unwrap();
+    let out = run(&["taint", bare.to_str().unwrap(), "--config", config.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("taint-bad-suppression"), "{text}");
+
+    let justified = dir.join("justified.rs");
+    std::fs::write(
+        &justified,
+        "fn load(file: &mut File) -> Vec<u8> {\n\
+         \x20   let mut len_buf = [0u8; 8];\n\
+         \x20   file.read_exact(&mut len_buf).unwrap();\n\
+         \x20   let len = u64::from_le_bytes(len_buf) as usize;\n\
+         \x20   // ams-taint: allow(tainted-alloc): caller verified len against file_len\n\
+         \x20   vec![0u8; len]\n\
+         }\n",
+    )
+    .unwrap();
+    let out = run(&["taint", justified.to_str().unwrap(), "--config", config.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "justified allow must suppress:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_missing_config_is_an_internal_failure() {
+    let out = run(&["taint", "nonexistent.rs", "--config", "/definitely/not/here.toml"]);
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn bench_line_records_taint_timing_and_graph_size() {
+    let dir = std::env::temp_dir().join(format!("taint-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bench = dir.join("BENCH_check.json");
+    let out = run_fixture_taint(&["forged_len_alloc.rs"], &["--bench", bench.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = std::fs::read_to_string(&bench).unwrap();
+    let taint_line = text
+        .lines()
+        .find(|l| l.contains("\"tool\":\"ams-check taint\""))
+        .unwrap_or_else(|| panic!("no taint line in {text}"));
+    let v: Value = serde_json::from_str(taint_line).unwrap();
+    assert!(v.get("wall_ms").and_then(Value::as_f64).is_some(), "{v:?}");
+    assert_eq!(num(&v, "files"), Some(1), "{v:?}");
+    assert!(num(&v, "functions").unwrap_or(0) >= 2, "{v:?}");
+    assert!(num(&v, "sources").unwrap_or(0) >= 1, "{v:?}");
+    assert_eq!(num(&v, "violations"), Some(1), "{v:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

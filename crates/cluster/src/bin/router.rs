@@ -106,8 +106,21 @@ fn parse_args() -> Result<Args, String> {
             "--shards is required (e.g. --shards \"127.0.0.1:7878;127.0.0.1:7879\")".to_string()
         );
     }
+    // Sizing knobs came off the command line — clamp them so a typo'd
+    // count costs a warning-sized structure, not the number's worth of
+    // threads or preallocated queue slots.
+    args.workers = args.workers.clamp(1, MAX_WORKERS);
+    args.queue = args.queue.clamp(1, MAX_QUEUE);
+    args.max_batch = args.max_batch.clamp(1, MAX_MAX_BATCH);
     Ok(args)
 }
+
+/// Ceiling on `--workers`: one thread per worker.
+const MAX_WORKERS: usize = 1024;
+/// Ceiling on `--queue`: each slot holds a pending request.
+const MAX_QUEUE: usize = 1 << 16;
+/// Ceiling on `--max-batch`: rows fanned in per batched request.
+const MAX_MAX_BATCH: usize = 1 << 12;
 
 /// Parse `"a,b;c"` into groups of replica addresses.
 fn parse_shards(spec: &str) -> Result<Vec<Vec<SocketAddr>>, String> {

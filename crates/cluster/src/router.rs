@@ -30,7 +30,9 @@
 use crate::hedge::hedge_read_timeout;
 use crate::metrics::RouterMetrics;
 use crate::shardmap::ShardMap;
-use ams_serve::net::{backoff, JsonlConn, Timeouts};
+use ams_serve::net::{
+    backoff, read_line_bounded, BoundedLine, JsonlConn, Timeouts, MAX_LINE_BYTES,
+};
 use ams_serve::{BreakerConfig, BreakerState, CircuitBreaker, Engine, ModelArtifact};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -51,6 +53,11 @@ const DEFAULT_REPLY_WAIT: Duration = Duration::from_secs(15);
 
 /// Upper bound for the adaptive coalescing window.
 const MAX_WINDOW_US: u64 = 500;
+
+/// Cap on the company count used to pre-size the fan-in response
+/// buffer (1M companies ≈ a 24 MB hint). Larger batches still render —
+/// the buffer just grows past the hint.
+const MAX_FANIN_HINT: usize = 1 << 20;
 
 /// Configuration for [`Router::start`].
 #[derive(Clone)]
@@ -577,6 +584,15 @@ fn handle_client(stream: TcpStream, shared: &Arc<RouterShared>) {
         match read_client_line(&mut reader, &mut line, shared) {
             ReadOutcome::Line => {}
             ReadOutcome::Closed => return,
+            ReadOutcome::TooLarge => {
+                // Past the cap there is no line boundary to resync on:
+                // answer with a typed refusal and drop the connection.
+                let refusal = error_line(&format!("request line exceeded {MAX_LINE_BYTES} bytes"));
+                let _ = writer.write_all(refusal.as_bytes());
+                let _ = writer.write_all(b"\n");
+                let _ = writer.flush();
+                return;
+            }
         }
         let trimmed = line.trim();
         if trimmed.is_empty() {
@@ -595,6 +611,8 @@ fn handle_client(stream: TcpStream, shared: &Arc<RouterShared>) {
 enum ReadOutcome {
     Line,
     Closed,
+    /// The client streamed past [`MAX_LINE_BYTES`] without a newline.
+    TooLarge,
 }
 
 fn read_client_line<R: BufRead>(
@@ -603,15 +621,13 @@ fn read_client_line<R: BufRead>(
     shared: &Arc<RouterShared>,
 ) -> ReadOutcome {
     loop {
-        match reader.read_line(line) {
-            Ok(0) => return ReadOutcome::Closed,
-            Ok(_) => {
-                if line.ends_with('\n') {
-                    return ReadOutcome::Line;
-                }
-                // Partial line before a timeout tick: keep reading.
-            }
+        match read_line_bounded(reader, line, MAX_LINE_BYTES) {
+            Ok(BoundedLine::Line(_)) => return ReadOutcome::Line,
+            Ok(BoundedLine::Closed) => return ReadOutcome::Closed,
+            Ok(BoundedLine::TooLarge) => return ReadOutcome::TooLarge,
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Partial bytes stay in `line`; the next call resumes
+                // with the remaining budget.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return ReadOutcome::Closed;
                 }
@@ -869,7 +885,10 @@ pub(crate) fn fanin_merge(
     degraded_companies: &[usize],
     upstream_degraded: bool,
 ) -> String {
-    let mut out = String::with_capacity(64 + n * 24);
+    // Capacity hint only (the string grows as needed) — capped so the
+    // engine's company count, which traces back to an operator-supplied
+    // artifact, never sizes an allocation by itself.
+    let mut out = String::with_capacity(64 + n.min(MAX_FANIN_HINT) * 24);
     out.push_str("{\"ok\":true");
     if !degraded_companies.is_empty() || upstream_degraded {
         out.push_str(",\"degraded\":true,\"degraded_reason\":\"");
@@ -1106,7 +1125,11 @@ fn dispatcher_loop(group: &Arc<GroupState>, rx: &Receiver<Work>, shared: &Arc<Ro
         match rx.recv_timeout(READ_TICK) {
             Ok(first) => {
                 slots[0] = Some(first);
-                let n = coalesce_drain(rx, &mut slots, Duration::from_micros(window_us));
+                // `coalesce_drain` never fills past the slot vec, but
+                // the slice below is taken on that contract — restate
+                // it as a bound rather than trusting the count.
+                let n = coalesce_drain(rx, &mut slots, Duration::from_micros(window_us))
+                    .min(slots.len());
                 flush_slots(
                     group,
                     &mut conns,

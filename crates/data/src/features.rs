@@ -106,9 +106,11 @@ impl FeatureSet {
         }
 
         let width = names.len();
+        let n_companies = panel.companies.len();
+        let n_quarters = panel.quarters.len();
         let mut samples = Vec::new();
-        for c in 0..panel.num_companies() {
-            for t in k..panel.num_quarters() {
+        for c in 0..n_companies {
+            for t in k..n_quarters {
                 let denom = panel.get(c, t - k).revenue;
                 let alt_denoms: Vec<f64> =
                     (0..n_ch).map(|ch| panel.get(c, t - k).alt[ch]).collect();

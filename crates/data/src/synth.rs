@@ -376,8 +376,26 @@ fn company_series(
     (latent, company_shocks, obs)
 }
 
+/// Ceiling on `SynthConfig::n_companies` (16M — vendor scale with an
+/// order of magnitude of slack). The generator sizes several arrays by
+/// the config's dimensions, so it refuses absurd ones loudly instead
+/// of attempting the allocation.
+pub const MAX_SYNTH_COMPANIES: usize = 1 << 24;
+/// Ceiling on `SynthConfig::n_quarters` (1024 quarters = 256 years).
+pub const MAX_SYNTH_QUARTERS: usize = 1 << 10;
+
 /// Generate a panel according to `config`.
+///
+/// # Panics
+/// Panics if the config's dimensions exceed [`MAX_SYNTH_COMPANIES`] /
+/// [`MAX_SYNTH_QUARTERS`].
 pub fn generate(config: &SynthConfig) -> SynthPanel {
+    assert!(
+        config.n_companies <= MAX_SYNTH_COMPANIES && config.n_quarters <= MAX_SYNTH_QUARTERS,
+        "synthetic panel dimensions {}x{} exceed {MAX_SYNTH_COMPANIES}x{MAX_SYNTH_QUARTERS}",
+        config.n_companies,
+        config.n_quarters
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let companies = random_universe(config.n_companies, &mut rng);
     let quarters: Vec<Quarter> =

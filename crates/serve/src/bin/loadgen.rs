@@ -73,8 +73,14 @@ fn parse_args() -> Result<Args, String> {
     if args.mode != "predict" && args.mode != "slave_weights" {
         return Err(format!("--mode must be predict or slave_weights, got `{}`", args.mode));
     }
+    // One thread per connection: clamp the command-line count so a
+    // typo'd `--connections` cannot ask for a million threads.
+    args.connections = args.connections.clamp(1, MAX_CONNECTIONS);
     Ok(args)
 }
+
+/// Ceiling on `--connections`.
+const MAX_CONNECTIONS: usize = 4096;
 
 /// One round trip: write a request line, read the response line.
 fn round_trip(

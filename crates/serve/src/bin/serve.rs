@@ -87,8 +87,18 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
+    // Sizing knobs came off the command line — clamp them so a
+    // fat-fingered `--queue 9999999999` costs a warning-sized queue,
+    // not the number's worth of preallocated memory.
+    args.workers = args.workers.clamp(1, MAX_WORKERS);
+    args.queue = args.queue.clamp(1, MAX_QUEUE);
     Ok(args)
 }
+
+/// Ceiling on `--workers`: one thread per worker.
+const MAX_WORKERS: usize = 1024;
+/// Ceiling on `--queue`: each slot holds a pending request.
+const MAX_QUEUE: usize = 1 << 16;
 
 /// Load a plain-JSON or checksummed (`AMS-ART` framed) artifact file.
 fn load_artifact(path: &str) -> Result<ModelArtifact, String> {

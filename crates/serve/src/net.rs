@@ -13,9 +13,56 @@
 //! every connection sets read + write timeouts immediately. A hung
 //! upstream must cost a bounded wait, never a pinned thread.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Hard cap on one JSONL request/response line, shared by every tier
+/// that reads framed lines off a socket (serve's request loop, the
+/// router's client loop, the upstream pool). A peer that streams an
+/// endless line must cost at most this much memory, then get a typed
+/// refusal — never an unbounded `String`.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Outcome of [`read_line_bounded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundedLine {
+    /// A full newline-terminated line is in the buffer; total buffered
+    /// bytes (newline included).
+    Line(usize),
+    /// The peer closed — at a line boundary (empty buffer) or mid-line
+    /// (partial bytes remain, never newline-terminated).
+    Closed,
+    /// The line hit the byte cap before a newline arrived. The stream
+    /// cannot be re-synchronized mid-line; the caller should send a
+    /// typed refusal and close.
+    TooLarge,
+}
+
+/// Read one `\n`-terminated line into `buf`, never growing `buf` past
+/// `max` bytes. The buffer is *not* cleared: a read interrupted by a
+/// timeout (`WouldBlock`/`TimedOut` propagate as errors) keeps its
+/// partial bytes, so tick-loop callers just call again and the budget
+/// shrinks accordingly. The `take` budget and the read share one
+/// statement so the cap is evident at the call site (and to the taint
+/// audit).
+pub fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    buf: &mut String,
+    max: usize,
+) -> std::io::Result<BoundedLine> {
+    let budget = max.saturating_sub(buf.len());
+    let n = reader.by_ref().take(budget as u64).read_line(buf)?;
+    if n == 0 && buf.is_empty() {
+        return Ok(BoundedLine::Closed);
+    }
+    if !buf.ends_with('\n') {
+        // No newline: either the budget ran out (oversized line) or
+        // the peer closed mid-line.
+        return Ok(if buf.len() >= max { BoundedLine::TooLarge } else { BoundedLine::Closed });
+    }
+    Ok(BoundedLine::Line(buf.len()))
+}
 
 /// Explicit bounds on every socket operation of a [`JsonlConn`].
 #[derive(Debug, Clone, Copy)]
@@ -109,11 +156,21 @@ impl JsonlConn {
         self.writer.flush()
     }
 
-    /// Read one response line into `buf` (cleared first). `Ok(0)` means
-    /// the peer closed; a timeout surfaces as `WouldBlock`/`TimedOut`.
+    /// Read one response line into `buf` (cleared first), capped at
+    /// [`MAX_LINE_BYTES`]. `Ok(0)` means the peer closed; an oversized
+    /// response is `InvalidData` (a server that streams an endless
+    /// line is as broken as one that closes mid-response); a timeout
+    /// surfaces as `WouldBlock`/`TimedOut`.
     pub fn read_line_into(&mut self, buf: &mut String) -> std::io::Result<usize> {
         buf.clear();
-        self.reader.read_line(buf)
+        match read_line_bounded(&mut self.reader, buf, MAX_LINE_BYTES)? {
+            BoundedLine::Line(n) => Ok(n),
+            BoundedLine::Closed => Ok(0),
+            BoundedLine::TooLarge => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("response line exceeded {MAX_LINE_BYTES} bytes"),
+            )),
+        }
     }
 
     /// One request/response round trip; the response line lands in

@@ -39,11 +39,12 @@
 
 use crate::engine::{Engine, PredictError};
 use crate::metrics::Metrics;
+use crate::net::{read_line_bounded, BoundedLine, MAX_LINE_BYTES};
 use crate::registry::Registry;
 use ams_fault::{apply_delay, corrupt_bytes, flip_non_finite, FaultAction, FaultPlan, FaultSite};
 use ams_tensor::runtime::{Backend, BackendChoice, Workspace};
 use serde::Value;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
@@ -294,10 +295,23 @@ fn handle_connection(
     let mut line = String::new();
     let mut idle = Duration::ZERO;
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => idle = Duration::ZERO,
+        // The buffer is cleared after each processed line, not here: a
+        // timeout tick leaves partial bytes that the next call resumes.
+        match read_line_bounded(&mut reader, &mut line, MAX_LINE_BYTES) {
+            Ok(BoundedLine::Line(_)) => idle = Duration::ZERO,
+            Ok(BoundedLine::Closed) => return, // client closed
+            Ok(BoundedLine::TooLarge) => {
+                // A line past the cap cannot be re-synchronized (the
+                // rest of it would parse as garbage requests): refuse
+                // with a typed error, then close.
+                shared.metrics.record("oversized", Duration::ZERO, true);
+                let refusal = format!(
+                    "{{\"ok\":false,\"error\":\"request line exceeded {MAX_LINE_BYTES} bytes\"}}\n"
+                );
+                let _ = writer.write_all(refusal.as_bytes());
+                let _ = writer.flush();
+                return;
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -317,6 +331,7 @@ fn handle_connection(
             Err(_) => return,
         }
         if line.trim().is_empty() {
+            line.clear();
             continue;
         }
         // Injected faults (NoFaults in production — every decide() is
@@ -357,6 +372,7 @@ fn handle_connection(
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
+        line.clear();
     }
 }
 

@@ -246,7 +246,7 @@ impl ColumnEncoding for RawF64 {
     }
 
     fn decode(&self, bytes: &[u8], n: usize) -> Result<Column, StoreError> {
-        if bytes.len() != n * 8 {
+        if Some(bytes.len()) != n.checked_mul(8) {
             return Err(StoreError::Invalid(format!(
                 "raw-f64: {} bytes for {n} values",
                 bytes.len()
@@ -306,6 +306,15 @@ impl ColumnEncoding for ShuffleRleF64 {
 
     fn decode(&self, bytes: &[u8], n: usize) -> Result<Column, StoreError> {
         let mut r = Reader::new(bytes);
+        if n > crate::limits::MAX_DECODED_VALUES {
+            return Err(r.corrupt("value count exceeds decode limit"));
+        }
+        // Eight planes of (run, byte) pairs, each run covering at most
+        // 255 values: fewer than ceil(n/255)·16 bytes cannot encode n
+        // values, so the count is disproved before it sizes the output.
+        if bytes.len() < n.div_ceil(255).saturating_mul(16) {
+            return Err(r.corrupt("segment too short for value count"));
+        }
         let mut planes = vec![0u8; n * 8];
         for plane in 0..8 {
             let mut filled = 0usize;
@@ -360,6 +369,10 @@ impl ColumnEncoding for DeltaVarintI64 {
 
     fn decode(&self, bytes: &[u8], n: usize) -> Result<Column, StoreError> {
         let mut r = Reader::new(bytes);
+        if n > bytes.len() {
+            // Every varint is at least one byte.
+            return Err(r.corrupt("segment too short for value count"));
+        }
         let mut vals = Vec::with_capacity(n);
         let mut prev = 0i64;
         for _ in 0..n {
@@ -423,6 +436,11 @@ impl ColumnEncoding for BitPackI64 {
             };
         }
         let mut r = Reader::new(bytes);
+        if n > crate::limits::MAX_DECODED_VALUES {
+            // A zero-width packing is two bytes for any count, so the
+            // byte length cannot bound n here; the limits table does.
+            return Err(r.corrupt("value count exceeds decode limit"));
+        }
         let min = unzigzag(r.varint()?);
         let width = r.u8()?;
         if width > 64 {
@@ -503,6 +521,10 @@ impl ColumnEncoding for DictStr {
             let s = std::str::from_utf8(raw)
                 .map_err(|_| StoreError::Invalid("dict-str: invalid utf-8".to_string()))?;
             dict.push(s.to_string());
+        }
+        if n > bytes.len() {
+            // Each dictionary index is at least one byte.
+            return Err(r.corrupt("segment too short for value count"));
         }
         let mut vals = Vec::with_capacity(n);
         for _ in 0..n {

@@ -34,6 +34,7 @@
 //! published atomically (write-temp → fsync → rename).
 
 pub mod encoding;
+pub mod limits;
 pub mod reader;
 pub mod skeleton;
 pub mod writer;
@@ -70,6 +71,17 @@ pub enum StoreError {
         /// What failed.
         detail: String,
     },
+    /// The skeleton declares a count or length beyond the [`limits`]
+    /// table (or beyond the file itself). The file is refused before
+    /// any allocation is sized by the forged number.
+    TooLarge {
+        /// Which declared quantity tripped its ceiling.
+        what: String,
+        /// The declared value.
+        declared: u64,
+        /// The ceiling it exceeded.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -80,6 +92,9 @@ impl std::fmt::Display for StoreError {
             StoreError::Invalid(msg) => write!(f, "invalid store file: {msg}"),
             StoreError::Corrupt { block, detail } => {
                 write!(f, "corrupt store block {block}: {detail}")
+            }
+            StoreError::TooLarge { what, declared, limit } => {
+                write!(f, "store declares {what} = {declared}, limit is {limit}")
             }
         }
     }

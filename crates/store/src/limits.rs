@@ -1,0 +1,39 @@
+//! Hard ceilings on every count and length a store file can declare.
+//!
+//! The skeleton and block directory are *data*: a forged file can claim
+//! a 2^60-byte segment or a 2^50-company block, and before these limits
+//! the reader would have allocated on the claim's say-so before a single
+//! payload byte disproved it. Every number that comes off disk and
+//! flows into an allocation size or an index is first checked against
+//! this table (and, where possible, against the actual file length).
+//! Exceeding a ceiling is a typed refusal — [`StoreError::TooLarge`] —
+//! never an abort or an unbounded `Vec`.
+//!
+//! The ceilings are sized for the vendor-scale target (1M companies ×
+//! 64 quarters × a handful of alt channels) with an order of magnitude
+//! of slack, so no legitimate writer output ever trips them.
+//!
+//! [`StoreError::TooLarge`]: crate::StoreError::TooLarge
+
+/// Largest encoded segment the reader will buffer (256 MiB). A block's
+/// worth of one column at vendor scale is a few MiB compressed.
+pub const MAX_SEGMENT_BYTES: u64 = 1 << 28;
+
+/// Most companies one block may declare (4M). Writers emit blocks of a
+/// few thousand companies.
+pub const MAX_BLOCK_COMPANIES: u64 = 1 << 22;
+
+/// Most companies one store may declare across all blocks (16M).
+pub const MAX_COMPANIES: u64 = 1 << 24;
+
+/// Longest quarter axis (1024 quarters = 256 years).
+pub const MAX_QUARTERS: usize = 1 << 10;
+
+/// Most alternative-data channels (revenue/consensus/estimates plus
+/// alt columns must stay a human-sized schema).
+pub const MAX_ALT_SIGNALS: usize = 1 << 8;
+
+/// Most values a single segment may decode to (block companies ×
+/// quarter axis, with slack). Also the cap a decoder enforces before
+/// allocating its output, independent of what the caller asked for.
+pub const MAX_DECODED_VALUES: usize = (MAX_BLOCK_COMPANIES as usize) * 64;

@@ -54,7 +54,9 @@ impl StoreReader {
         let (expected_crc, skeleton_len) = parse_header(head, STORE_MAGIC)?;
 
         let header_len = nl as u64 + 1;
-        let data_start = header_len + skeleton_len as u64;
+        let data_start = header_len.checked_add(skeleton_len as u64).ok_or_else(|| {
+            StoreError::Invalid(format!("skeleton length {skeleton_len} overflows the file offset"))
+        })?;
         if data_start > file_len {
             return Err(FrameError::LengthMismatch {
                 expected: skeleton_len,
@@ -108,12 +110,23 @@ impl StoreReader {
         self.skeleton.block_for_company(id)
     }
 
-    /// Fetch one segment's bytes and verify its CRC.
+    /// Fetch one segment's bytes and verify its CRC. The directory
+    /// length is re-checked against [`limits::MAX_SEGMENT_BYTES`] at
+    /// the allocation site (validation already enforced it, but the
+    /// number came off disk — the buffer is never sized on its say-so
+    /// alone).
     fn read_seg(
         &mut self,
         block: usize,
         seg: &crate::skeleton::SegmentEntry,
     ) -> Result<Vec<u8>, StoreError> {
+        if seg.len > crate::limits::MAX_SEGMENT_BYTES {
+            return Err(StoreError::TooLarge {
+                what: format!("block {block} segment length"),
+                declared: seg.len,
+                limit: crate::limits::MAX_SEGMENT_BYTES,
+            });
+        }
         self.file.seek(SeekFrom::Start(self.data_start + seg.offset))?;
         let mut bytes = vec![0u8; seg.len as usize];
         self.file.read_exact(&mut bytes)?;
@@ -140,8 +153,18 @@ impl StoreReader {
             .get(idx)
             .cloned()
             .ok_or_else(|| StoreError::Invalid(format!("no block {idx}")))?;
+        if entry.n_companies > crate::limits::MAX_BLOCK_COMPANIES {
+            return Err(StoreError::TooLarge {
+                what: format!("block {idx} company count"),
+                declared: entry.n_companies,
+                limit: crate::limits::MAX_BLOCK_COMPANIES,
+            });
+        }
         let n = entry.n_companies as usize;
         let nq = self.skeleton.quarters.len();
+        let cells = n.checked_mul(nq).ok_or_else(|| {
+            StoreError::Invalid(format!("block {idx}: {n} companies x {nq} quarters overflows"))
+        })?;
         let corrupt = |detail: String| StoreError::Corrupt { block: idx, detail };
 
         let mut company_cols = Vec::with_capacity(entry.company_segs.len());
@@ -150,7 +173,7 @@ impl StoreReader {
         }
         let mut obs_cols = Vec::with_capacity(entry.obs_segs.len());
         for (desc, seg) in self.skeleton.obs_cols.clone().iter().zip(&entry.obs_segs) {
-            obs_cols.push(self.decode_seg(idx, desc.kind, seg, n * nq)?);
+            obs_cols.push(self.decode_seg(idx, desc.kind, seg, cells)?);
         }
 
         // Reassemble rows from the fixed schema (see writer.rs).
@@ -221,8 +244,8 @@ impl StoreReader {
         for k in 0..n_alt {
             alts.push(fcol(5 + k)?);
         }
-        let mut obs = Vec::with_capacity(n * nq);
-        for i in 0..n * nq {
+        let mut obs = Vec::with_capacity(cells);
+        for i in 0..cells {
             obs.push(Observation {
                 revenue: revenue[i],
                 consensus: consensus[i],
@@ -271,21 +294,41 @@ impl StoreReader {
             .ok_or_else(|| StoreError::Invalid(format!("no company {id} in store")))?;
         let (companies, obs) = self.read_block(block)?;
         let nq = self.skeleton.quarters.len();
+        if block >= self.skeleton.blocks.len() {
+            return Err(StoreError::Invalid(format!("no block {block}")));
+        }
         let first = self.skeleton.blocks[block].first_id;
-        let k = (id - first) as usize;
+        let k = id.saturating_sub(first) as usize;
         let company = companies.into_iter().nth(k).ok_or_else(|| StoreError::Corrupt {
             block,
             detail: format!("block shorter than directory claims at company {id}"),
         })?;
-        Ok(CompanyHistory { company, obs: obs[k * nq..(k + 1) * nq].to_vec() })
+        // `read_block` decoded exactly n·nq observations, but both
+        // factors are directory claims — bound the slice before taking
+        // it rather than trusting the product.
+        let end = k.saturating_add(1).saturating_mul(nq);
+        if nq == 0 || end > obs.len() {
+            return Err(StoreError::Corrupt {
+                block,
+                detail: format!("company {id} history [{}, {end}) outside block", end - nq),
+            });
+        }
+        Ok(CompanyHistory { company, obs: obs[end - nq..end].to_vec() })
     }
 
     /// Full scan into an in-memory [`Panel`]. Paper-scale only; at
     /// vendor scale, consume the reader as a [`PanelSource`] instead.
     pub fn read_panel(&mut self) -> Result<Panel, StoreError> {
-        let mut companies = Vec::with_capacity(self.skeleton.n_companies as usize);
-        let mut obs =
-            Vec::with_capacity(self.skeleton.n_companies as usize * self.skeleton.quarters.len());
+        // Capacity hints only (contents grow by `extend`, which is
+        // payload-proportionate) — but the hints themselves allocate,
+        // so they are capped independently of the skeleton's claims.
+        let n_hint =
+            (self.skeleton.n_companies as usize).min(crate::limits::MAX_COMPANIES as usize);
+        let cell_hint = n_hint
+            .saturating_mul(self.skeleton.quarters.len())
+            .min(crate::limits::MAX_DECODED_VALUES);
+        let mut companies = Vec::with_capacity(n_hint);
+        let mut obs = Vec::with_capacity(cell_hint);
         for idx in 0..self.skeleton.blocks.len() {
             let (c, o) = self.read_block(idx)?;
             companies.extend(c);
@@ -302,7 +345,11 @@ impl StoreReader {
 
 impl PanelSource for StoreReader {
     fn num_companies(&self) -> usize {
-        self.skeleton.n_companies as usize
+        // `validate` already rejected skeletons past the ceiling, so
+        // the `min` is the identity on any opened store — it exists so
+        // every consumer sizing buffers off this count inherits the
+        // bound rather than the raw directory claim.
+        (self.skeleton.n_companies as usize).min(crate::limits::MAX_COMPANIES as usize)
     }
 
     fn quarters(&self) -> &[Quarter] {

@@ -14,6 +14,7 @@
 //! blocks before the directory is complete.
 
 use crate::encoding::EncodingTag;
+use crate::limits;
 use crate::StoreError;
 use ams_data::Quarter;
 
@@ -111,14 +112,39 @@ pub struct Skeleton {
 impl Skeleton {
     /// Validate the structural invariants a reader relies on: version,
     /// dense ascending blocks covering exactly `0..n_companies`,
-    /// segment counts matching the schema, and in-bounds segment
-    /// ranges given `data_len` (the byte length of the value section).
+    /// segment counts matching the schema, in-bounds segment ranges
+    /// given `data_len` (the byte length of the value section), and
+    /// every declared count under its [`limits`](crate::limits)
+    /// ceiling — a skeleton is untrusted input, and each of these
+    /// numbers sizes an allocation downstream.
     pub fn validate(&self, data_len: u64) -> Result<(), StoreError> {
         if self.format != STORE_FORMAT_VERSION {
             return Err(StoreError::Invalid(format!(
                 "unsupported store format {} (this build reads {STORE_FORMAT_VERSION})",
                 self.format
             )));
+        }
+        let too_large = |what: &str, declared: u64, limit: u64| StoreError::TooLarge {
+            what: what.to_string(),
+            declared,
+            limit,
+        };
+        if self.n_companies > limits::MAX_COMPANIES {
+            return Err(too_large("n_companies", self.n_companies, limits::MAX_COMPANIES));
+        }
+        if self.quarters.len() > limits::MAX_QUARTERS {
+            return Err(too_large(
+                "quarter axis length",
+                self.quarters.len() as u64,
+                limits::MAX_QUARTERS as u64,
+            ));
+        }
+        if self.alt_names.len() > limits::MAX_ALT_SIGNALS {
+            return Err(too_large(
+                "alt channel count",
+                self.alt_names.len() as u64,
+                limits::MAX_ALT_SIGNALS as u64,
+            ));
         }
         let mut next_id = 0u64;
         for (i, b) in self.blocks.iter().enumerate() {
@@ -130,6 +156,13 @@ impl Skeleton {
             }
             if b.n_companies == 0 {
                 return Err(StoreError::Invalid(format!("block {i} is empty")));
+            }
+            if b.n_companies > limits::MAX_BLOCK_COMPANIES {
+                return Err(too_large(
+                    "block company count",
+                    b.n_companies,
+                    limits::MAX_BLOCK_COMPANIES,
+                ));
             }
             next_id = next_id.saturating_add(b.n_companies);
             if b.company_segs.len() != self.company_cols.len()
@@ -145,6 +178,9 @@ impl Skeleton {
             }
             for s in b.company_segs.iter().chain(&b.obs_segs) {
                 s.encoding()?;
+                if s.len > limits::MAX_SEGMENT_BYTES {
+                    return Err(too_large("segment length", s.len, limits::MAX_SEGMENT_BYTES));
+                }
                 let end = s.offset.checked_add(s.len).ok_or_else(|| {
                     StoreError::Invalid(format!("block {i}: segment range overflows"))
                 })?;

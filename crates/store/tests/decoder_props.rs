@@ -1,0 +1,155 @@
+//! Decoder totality and allocation-proportionality properties: every
+//! column codec, fed *arbitrary* bytes and an arbitrary declared value
+//! count, must return (`Ok` or a typed error — never panic), must
+//! produce exactly the declared count on success, and must never
+//! allocate more than a small multiple of `count + input` bytes. The
+//! last property is the DoS contract: segment bytes reach `decode`
+//! only after the skeleton's counts passed the limits table, so an
+//! allocation proportional to the declared count is by design — but an
+//! allocation proportional to a number *read out of the bytes
+//! themselves* would be a forged-length amplification, and the
+//! counting allocator here would catch it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ams_store::encoding::{codec, Column, EncodingTag};
+use proptest::prelude::*;
+
+struct CountingAlloc;
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let now = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(now, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                let now = CURRENT.fetch_add(grow, Ordering::Relaxed) + grow;
+                PEAK.fetch_max(now, Ordering::Relaxed);
+            } else {
+                CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Heap growth (bytes above the level at call time) while running `f`.
+fn peak_heap_during<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let base = CURRENT.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    let out = f();
+    (out, PEAK.load(Ordering::Relaxed).saturating_sub(base))
+}
+
+/// Decode may allocate the output column (≤ 24 B/value counting
+/// shuffle's transient plane buffer), dictionary strings bounded by
+/// the input, and small error strings — nothing sized by unvalidated
+/// numbers parsed out of the segment.
+fn alloc_envelope(n: usize, input_len: usize) -> usize {
+    (1 << 20) + 24 * n + 8 * input_len
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Totality: arbitrary bytes with an arbitrary declared count
+    /// return a value, succeed only with exactly `n` decoded values,
+    /// and stay inside the count-proportional allocation envelope on
+    /// success *and* failure.
+    #[test]
+    fn decoders_are_total_and_allocation_is_count_proportional(
+        tag_idx in 0usize..EncodingTag::ALL.len(),
+        byte_codes in prop::collection::vec(0usize..256, 0..512),
+        n in 0usize..(1usize << 20),
+    ) {
+        let bytes: Vec<u8> = byte_codes.iter().map(|&b| b as u8).collect();
+        let c = codec(EncodingTag::ALL[tag_idx]);
+        let (res, peak) = peak_heap_during(|| c.decode(&bytes, n));
+        prop_assert!(
+            peak <= alloc_envelope(n, bytes.len()),
+            "{:?} decode of {} bytes, n={n}: peak {peak} outside envelope {}",
+            EncodingTag::ALL[tag_idx], bytes.len(), alloc_envelope(n, bytes.len())
+        );
+        if let Ok(col) = res {
+            prop_assert_eq!(col.len(), n, "{:?}", EncodingTag::ALL[tag_idx]);
+            // Decoding is a pure function of (bytes, n).
+            let again = c.decode(&bytes, n).expect("second decode of accepted input");
+            prop_assert_eq!(col, again);
+        }
+    }
+
+    /// Round-trip with a hostile *count*: encoded bytes are honest,
+    /// but the caller's count disagrees with them. Only the honest
+    /// count may decode; every lie must be a typed error (the block
+    /// directory's count and the segment must corroborate each other).
+    #[test]
+    fn an_i64_roundtrip_with_a_lying_count_is_refused(
+        vals in prop::collection::vec(-1000i64..1000, 1..64),
+        lie in 1usize..4,
+    ) {
+        for tag in [EncodingTag::DeltaVarintI64, EncodingTag::BitPackI64] {
+            let c = codec(tag);
+            let bytes = c.encode(&Column::I64(vals.clone())).expect("encode");
+            let back = c.decode(&bytes, vals.len()).expect("honest count decodes");
+            prop_assert_eq!(&back, &Column::I64(vals.clone()), "{:?}", tag);
+            // Delta-varint spends ≥ 1 byte per value, so any lie about
+            // the count leaves the byte math inconsistent. BitPack
+            // packs sub-byte: a lie that lands in the same rounded-up
+            // byte length (zero-width most of all) is indistinguishable
+            // by construction, so no refusal is asserted for it.
+            if tag == EncodingTag::DeltaVarintI64 {
+                let under = vals.len() - lie.min(vals.len() - 1);
+                if under < vals.len() {
+                    prop_assert!(c.decode(&bytes, under).is_err(), "{:?}", tag);
+                }
+                prop_assert!(c.decode(&bytes, vals.len() + lie).is_err(), "{:?}", tag);
+            }
+        }
+    }
+}
+
+/// The one legal amplification: a zero-width bit-packing declares `n`
+/// identical values in two bytes. The decode must honour it — bounded
+/// by the declared (limits-validated) count, roughly 8 B/value — and
+/// must refuse a count past the limits table with no allocation at
+/// all. This pins the documented contract that the *limits table*,
+/// not the byte length, bounds zero-width columns.
+#[test]
+fn zero_width_bitpack_amplification_is_bounded_by_the_declared_count() {
+    let c = codec(EncodingTag::BitPackI64);
+    let bytes = c.encode(&Column::I64(vec![7i64; 3])).expect("encode constant column");
+    assert!(bytes.len() <= 3, "constant column should pack to min+width only: {bytes:?}");
+
+    let n = 1usize << 20;
+    let (res, peak) = peak_heap_during(|| c.decode(&bytes, n));
+    let col = res.expect("zero-width decode with a large declared count");
+    assert_eq!(col.len(), n);
+    assert_eq!(col, Column::I64(vec![7i64; n]));
+    assert!(peak <= (1 << 20) + 24 * n, "zero-width decode peaked at {peak}");
+
+    let over = ams_store::limits::MAX_DECODED_VALUES + 1;
+    let (res, peak) = peak_heap_during(|| c.decode(&bytes, over));
+    assert!(res.is_err(), "count past the limits table must be refused");
+    assert!(peak <= 64 << 10, "refusal allocated {peak} bytes");
+}

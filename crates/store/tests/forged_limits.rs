@@ -1,0 +1,195 @@
+//! Forged-length containment: a store file whose *skeleton* declares
+//! hostile sizes — terabyte segments, millions of companies per
+//! block, an absurd quarter axis — must be refused with a typed
+//! [`StoreError::TooLarge`] / `Corrupt` **before** any allocation is
+//! sized by the forged number. A counting global allocator proves the
+//! "before": peak heap growth while rejecting a file that declares
+//! terabytes stays under a few megabytes.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ams_data::{generate, SynthConfig};
+use ams_fault::framed::{header_line, parse_header};
+use ams_store::{limits, write_panel, Skeleton, StoreError, StoreReader, STORE_MAGIC};
+
+struct CountingAlloc;
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let now = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(now, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                let now = CURRENT.fetch_add(grow, Ordering::Relaxed) + grow;
+                PEAK.fetch_max(now, Ordering::Relaxed);
+            } else {
+                CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Heap growth (bytes above the level at call time) while running `f`.
+fn peak_heap_during<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let base = CURRENT.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    let out = f();
+    (out, PEAK.load(Ordering::Relaxed).saturating_sub(base))
+}
+
+/// Rejecting a forged file must never allocate anywhere near the
+/// forged sizes; the skeleton itself is a few KiB of JSON.
+const PEAK_ALLOWANCE: usize = 8 << 20;
+
+/// Re-frame `orig` with a mutated skeleton: same data section, fresh
+/// header CRC/len so the forgery survives frame verification and is
+/// caught by the *semantic* limits, not the checksum.
+fn forge(orig: &Path, tag: &str, mutate: impl FnOnce(&mut Skeleton)) -> PathBuf {
+    let bytes = fs::read(orig).expect("read original store");
+    let nl = bytes.iter().position(|&b| b == b'\n').expect("header line");
+    let head = std::str::from_utf8(&bytes[..nl]).expect("utf-8 header");
+    let (_, skel_len) = parse_header(head, STORE_MAGIC).expect("parse header");
+    let body_start = nl + 1;
+    let mut sk: Skeleton =
+        serde_json::from_slice(&bytes[body_start..body_start + skel_len]).expect("skeleton JSON");
+    mutate(&mut sk);
+    let body = serde_json::to_string(&sk).expect("re-serialize skeleton");
+    let mut out = header_line(STORE_MAGIC, body.as_bytes()).into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out.extend_from_slice(&bytes[body_start + skel_len..]);
+    let path = std::env::temp_dir().join(format!("ams-forged-{tag}-{}.store", std::process::id()));
+    fs::write(&path, out).expect("write forged store");
+    path
+}
+
+fn open_refused(path: &Path) -> (StoreError, usize) {
+    let (res, peak) = peak_heap_during(|| StoreReader::open(path));
+    match res {
+        Err(e) => (e, peak),
+        Ok(_) => panic!("forged store {} must not open", path.display()),
+    }
+}
+
+#[test]
+fn forged_skeleton_numbers_are_refused_typed_and_without_matching_allocation() {
+    let cfg = SynthConfig { n_companies: 30, ..SynthConfig::tiny(47) };
+    let panel = generate(&cfg).panel;
+    let orig = std::env::temp_dir().join(format!("ams-forged-base-{}.store", std::process::id()));
+    write_panel(&orig, &panel, 8).expect("write");
+    StoreReader::open(&orig).expect("untampered store opens");
+
+    // A segment claiming 1 TiB: refused at open with the declared
+    // number and the ceiling it broke, and nothing 1 TiB-shaped was
+    // ever allocated.
+    let forged_seg = forge(&orig, "seglen", |sk| {
+        sk.blocks[0].obs_segs[0].len = 1 << 40;
+    });
+    let (err, peak) = open_refused(&forged_seg);
+    match err {
+        StoreError::TooLarge { ref what, declared, limit } => {
+            assert!(what.contains("segment length"), "{err}");
+            assert_eq!(declared, 1 << 40);
+            assert_eq!(limit, limits::MAX_SEGMENT_BYTES);
+        }
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+    assert!(peak < PEAK_ALLOWANCE, "rejection allocated {peak} bytes");
+
+    // A block claiming more companies than the per-block ceiling —
+    // the count that sizes the decoded-column vectors.
+    let huge_block = limits::MAX_BLOCK_COMPANIES + 7;
+    let forged_block = forge(&orig, "blockn", |sk| {
+        let grow = huge_block - sk.blocks[0].n_companies;
+        sk.blocks[0].n_companies = huge_block;
+        sk.n_companies += grow;
+    });
+    let (err, peak) = open_refused(&forged_block);
+    match err {
+        StoreError::TooLarge { ref what, declared, limit } => {
+            assert!(what.contains("block company count"), "{err}");
+            assert_eq!(declared, huge_block);
+            assert_eq!(limit, limits::MAX_BLOCK_COMPANIES);
+        }
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+    assert!(peak < PEAK_ALLOWANCE, "rejection allocated {peak} bytes");
+
+    // A top-level company count beyond the store ceiling.
+    let forged_total = forge(&orig, "totaln", |sk| {
+        sk.n_companies = limits::MAX_COMPANIES + 1;
+    });
+    let (err, peak) = open_refused(&forged_total);
+    match err {
+        StoreError::TooLarge { ref what, declared, limit } => {
+            assert!(what.contains("n_companies"), "{err}");
+            assert_eq!(declared, limits::MAX_COMPANIES + 1);
+            assert_eq!(limit, limits::MAX_COMPANIES);
+        }
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+    assert!(peak < PEAK_ALLOWANCE, "rejection allocated {peak} bytes");
+
+    // A quarter axis longer than any real panel: structurally valid
+    // (consecutive quarters) so only the limits table rejects it.
+    let forged_axis = forge(&orig, "quarters", |sk| {
+        while sk.quarters.len() <= limits::MAX_QUARTERS {
+            let last = *sk.quarters.last().expect("non-empty axis");
+            sk.quarters.push(last.next());
+        }
+    });
+    let (err, peak) = open_refused(&forged_axis);
+    match err {
+        StoreError::TooLarge { ref what, declared, limit } => {
+            assert!(what.contains("quarter axis"), "{err}");
+            assert_eq!(declared, limits::MAX_QUARTERS as u64 + 1);
+            assert_eq!(limit, limits::MAX_QUARTERS as u64);
+        }
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+    assert!(peak < PEAK_ALLOWANCE, "rejection allocated {peak} bytes");
+
+    // A *subtle* forgery — a segment length shaved by one byte stays
+    // inside every ceiling and inside the file, so the file opens; the
+    // segment's own CRC then catches it at read time, typed with the
+    // block index, and still without outsized allocation.
+    let forged_shave = forge(&orig, "shave", |sk| {
+        sk.blocks[1].obs_segs[0].len -= 1;
+    });
+    let mut reader = StoreReader::open(&forged_shave).expect("shaved store still opens");
+    let (res, peak) = peak_heap_during(|| reader.read_block(1));
+    match res {
+        Err(StoreError::Corrupt { block: 1, .. }) => {}
+        other => panic!("expected Corrupt{{block: 1}}, got {other:?}"),
+    }
+    assert!(peak < PEAK_ALLOWANCE, "corrupt read allocated {peak} bytes");
+    // Neighbouring blocks are untouched by the forgery.
+    reader.read_block(0).expect("block 0 clean");
+
+    for p in [orig, forged_seg, forged_block, forged_total, forged_axis, forged_shave] {
+        fs::remove_file(p).ok();
+    }
+}

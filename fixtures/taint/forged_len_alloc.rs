@@ -1,0 +1,23 @@
+//! Planted defect: a length field decoded from file bytes reaches an
+//! allocation with no bound check. The taint audit must report
+//! `tainted-alloc` at the `vec![0u8; …]` with the chain
+//! `read_exact → load → vec![..]`.
+
+fn load(file: &mut File) -> Vec<u8> {
+    let mut header = [0u8; 16];
+    file.read_exact(&mut header);
+    let len = u64::from_le_bytes(header) as usize;
+    let mut body = vec![0u8; len];
+    body
+}
+
+fn load_capped(file: &mut File, file_len: usize) -> Vec<u8> {
+    let mut header = [0u8; 16];
+    file.read_exact(&mut header);
+    let len = u64::from_le_bytes(header) as usize;
+    if len > file_len {
+        return Vec::new();
+    }
+    let mut body = vec![0u8; len];
+    body
+}

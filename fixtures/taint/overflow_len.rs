@@ -1,0 +1,25 @@
+//! Planted defect: tainted arithmetic used as a length. The product
+//! `rows * cols` of two decoded counts feeds `Vec::with_capacity`
+//! directly — `tainted-alloc`, chain `read_exact → table → with_capacity`.
+//! The checked variant multiplies with `checked_mul` and caps against
+//! a declared limit, which kills the taint.
+
+fn table(file: &mut File) -> Vec<f64> {
+    let mut dims = [0u8; 8];
+    file.read_exact(&mut dims);
+    let rows = u32::from_le_bytes(dims) as usize;
+    let cols = u32::from_le_bytes(dims) as usize;
+    let total = rows * cols;
+    let grid: Vec<f64> = Vec::with_capacity(total);
+    grid
+}
+
+fn table_checked(file: &mut File) -> Vec<f64> {
+    let mut dims = [0u8; 8];
+    file.read_exact(&mut dims);
+    let rows = u32::from_le_bytes(dims) as usize;
+    let cols = u32::from_le_bytes(dims) as usize;
+    let total = rows.checked_mul(cols).unwrap_or(0).min(MAX_CELLS);
+    let grid: Vec<f64> = Vec::with_capacity(total);
+    grid
+}

@@ -1,0 +1,41 @@
+//! Preserved pre-fix copies of the three unbounded `read_line` sites
+//! the taint audit caught on the live tree (serve/src/server.rs
+//! `handle_connection`, serve/src/net.rs `read_line_into`,
+//! cluster/src/router.rs `read_client_line`) before they were rewired
+//! onto `ams_serve::net::read_line_bounded`. The smoke test asserts
+//! the audit still reports all three with full witness chains — the
+//! regression guard for the analysis, now that the production sites
+//! are fixed.
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        handle_line(&line, shared);
+    }
+}
+
+fn read_line_into(reader: &mut BufReader, buf: &mut String) -> Result<usize> {
+    buf.clear();
+    let n = reader.read_line(buf)?;
+    Ok(n)
+}
+
+fn read_client_line(reader: &mut Reader, line: &mut String) -> Result<ReadOutcome> {
+    loop {
+        match reader.read_line(line) {
+            Ok(0) => return Ok(ReadOutcome::Closed),
+            Ok(_) => return Ok(ReadOutcome::Line),
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Preserved pre-fix copy of the store's segment-read path
+//! (store/src/reader.rs `read_seg`/`read_block`, encoding.rs
+//! `ShuffleRleF64::decode`) before directory lengths and counts were
+//! validated against the file length and the `limits` table. A forged
+//! `seg.len` or `n_companies` reaches three allocations unchecked:
+//! `vec![0u8; seg.len]`, `Vec::with_capacity(n)` and the decoder's
+//! `vec![0u8; n * 8]`. The smoke test asserts `tainted-alloc` fires at
+//! each, with chains rooted at the `skeleton` expr source.
+
+fn read_seg_prefix(store: &mut Store, block: usize) -> Result<Vec<u8>> {
+    for seg in &store.skeleton.blocks[block].segs {
+        let mut bytes = vec![0u8; seg.len as usize];
+        store.file.read_exact(&mut bytes)?;
+        return Ok(bytes);
+    }
+    Ok(Vec::new())
+}
+
+fn read_block_prefix(store: &mut Store, idx: usize) -> Result<Vec<Company>> {
+    let entry = store.skeleton.blocks.get(idx).cloned()?;
+    let n = entry.n_companies as usize;
+    let mut companies = Vec::with_capacity(n);
+    decode(&[], n)?;
+    Ok(companies)
+}
+
+fn decode(bytes: &[u8], n: usize) -> Result<Vec<f64>> {
+    let mut raw = vec![0u8; n * 8];
+    let mut out = Vec::with_capacity(n);
+    Ok(out)
+}

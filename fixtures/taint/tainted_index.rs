@@ -1,0 +1,24 @@
+//! Planted defect: an index parsed from an untrusted line is used to
+//! index a slice with no bound check — `tainted-index` at `table[k]`,
+//! chain `read_line → pick → [..]`.
+
+fn pick(reader: &mut Reader, table: &[f64]) -> f64 {
+    let mut line = String::new();
+    reader.read_line(&mut line);
+    let k = parse_index(&line);
+    table[k]
+}
+
+fn parse_index(line: &str) -> usize {
+    line.trim().parse().unwrap_or(0)
+}
+
+fn pick_checked(reader: &mut Reader, table: &[f64]) -> f64 {
+    let mut line = String::new();
+    reader.read_line(&mut line);
+    let k = parse_index(&line);
+    if k >= table.len() {
+        return 0.0;
+    }
+    table[k]
+}

@@ -127,14 +127,22 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Deepest container nesting the parser accepts. The parser is
+/// recursive-descent, so nesting costs stack; without a ceiling a
+/// line of `[[[[…` deep enough to fit a bounded request line would
+/// overflow the stack of whatever thread parses it. Far above any
+/// legitimate document, far below stack exhaustion.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 /// Parse a complete JSON document (rejecting trailing garbage).
 pub fn parse_value_complete(s: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0, depth: 0 };
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -301,12 +309,28 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Count one level of container nesting; errors past the ceiling.
+    /// Error paths abandon the parser, so only `Ok` returns unwind
+    /// the counter.
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(Error::custom(format!(
+                "nesting deeper than {MAX_PARSE_DEPTH} levels at byte {}",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+
     fn parse_array(&mut self) -> Result<Value, Error> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -318,6 +342,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => {
@@ -328,11 +353,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_object(&mut self) -> Result<Value, Error> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut entries = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(entries));
         }
         loop {
@@ -349,6 +376,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(entries));
                 }
                 _ => {
@@ -407,6 +435,21 @@ mod tests {
     fn rejects_malformed_input() {
         for text in ["{", "[1,", "\"open", "{\"a\" 1}", "nul", "1 2", "{\"a\":1,}"] {
             assert!(from_str::<Value>(text).is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn nesting_past_the_depth_ceiling_is_an_error_not_a_stack_overflow() {
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_PARSE_DEPTH), "]".repeat(MAX_PARSE_DEPTH));
+        assert!(from_str::<Value>(&deep_ok).is_ok());
+        // One past the ceiling, and absurdly past it (a 64 KiB request
+        // line of `[`), both come back as ordinary errors.
+        for depth in [MAX_PARSE_DEPTH + 1, 32 * 1024] {
+            let bomb = "[".repeat(depth);
+            let e = from_str::<Value>(&bomb).unwrap_err();
+            assert!(format!("{e}").contains("nesting deeper"), "{e}");
+            let obj_bomb = "{\"k\":".repeat(depth);
+            assert!(from_str::<Value>(&obj_bomb).is_err());
         }
     }
 }
